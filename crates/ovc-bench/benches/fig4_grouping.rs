@@ -1,0 +1,56 @@
+//! Figure 4: "Group boundaries from offset-value codes."
+//!
+//! In-stream aggregation over 1,000,000 sorted rows; the ratio of input
+//! rows to output groups varies.  OVC detects boundaries with one integer
+//! test per row; the baseline compares the grouping columns in full.
+//! The `figures` binary prints the full 7-point sweep of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ovc_baseline::GroupFullCompare;
+use ovc_bench::workload::grouped_sorted_table;
+use ovc_core::{Stats, VecStream};
+use ovc_exec::{Aggregate, GroupAggregate};
+use std::rc::Rc;
+
+const ROWS: usize = 1_000_000;
+const KEY_COLS: usize = 8;
+const GROUP_LEN: usize = 6;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_grouping");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ROWS as u64));
+
+    for ratio in [1usize, 10, 100] {
+        let rows = grouped_sorted_table(ROWS, KEY_COLS, ratio, 4);
+
+        g.bench_with_input(BenchmarkId::new("ovc_offset_test", ratio), &rows, |b, rows| {
+            b.iter(|| {
+                let input = VecStream::from_sorted_rows(rows.clone(), KEY_COLS);
+                GroupAggregate::new(input, GROUP_LEN, vec![Aggregate::Count]).count()
+            })
+        });
+
+        g.bench_with_input(
+            BenchmarkId::new("full_column_compare", ratio),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    let stats = Stats::new_shared();
+                    let input = VecStream::from_sorted_rows(rows.clone(), KEY_COLS);
+                    GroupFullCompare::new(
+                        input,
+                        GROUP_LEN,
+                        vec![Aggregate::Count],
+                        Rc::clone(&stats),
+                    )
+                    .count()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

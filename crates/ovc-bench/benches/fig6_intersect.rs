@@ -1,0 +1,54 @@
+//! Figure 6: "Performance of 'intersect distinct' query plans."
+//!
+//! Hash-based plan (two spilling hash aggregations + Grace hash join) vs
+//! sort-based plan (two in-sort aggregations + merge join consuming OVCs),
+//! with memory a tenth of the input as in the paper.  Absolute numbers
+//! scale down from the paper's 100M rows; the shape is the claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ovc_baseline::hash_intersect_distinct;
+use ovc_bench::workload::intersect_tables;
+use ovc_core::Stats;
+use ovc_exec::plans::{sort_intersect_distinct, IntersectConfig};
+use ovc_sort::MemoryRunStorage;
+use std::rc::Rc;
+
+const ROWS: usize = 400_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_intersect");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(2 * ROWS as u64));
+    let (t1, t2) = intersect_tables(ROWS, 42);
+    let mem = ROWS / 10;
+
+    g.bench_with_input(
+        BenchmarkId::new("hash_plan", ROWS),
+        &(t1.clone(), t2.clone()),
+        |b, (t1, t2)| {
+            b.iter(|| {
+                let stats = Stats::new_shared();
+                hash_intersect_distinct(t1.clone(), t2.clone(), mem, &stats).len()
+            })
+        },
+    );
+
+    g.bench_with_input(
+        BenchmarkId::new("sort_plan_ovc", ROWS),
+        &(t1, t2),
+        |b, (t1, t2)| {
+            b.iter(|| {
+                let stats = Stats::new_shared();
+                let mut s1 = MemoryRunStorage::new(Rc::clone(&stats));
+                let mut s2 = MemoryRunStorage::new(Rc::clone(&stats));
+                let cfg = IntersectConfig { key_len: 1, memory_rows: mem, fan_in: 128 };
+                sort_intersect_distinct(t1.clone(), t2.clone(), cfg, &mut s1, &mut s2, &stats)
+                    .len()
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

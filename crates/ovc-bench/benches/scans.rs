@@ -1,0 +1,65 @@
+//! Ordered scans as OVC sources (Section 4.11): b-tree scans, RLE
+//! column-store scans, and LSM merged scans all produce codes; the
+//! baseline derives codes from scratch row by row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ovc_bench::workload::{table, TableSpec};
+use ovc_core::{Row, Stats};
+use ovc_storage::{BTree, LsmConfig, LsmForest, RleColumnStore};
+use std::rc::Rc;
+
+const ROWS: usize = 200_000;
+const KEY_COLS: usize = 3;
+
+fn sorted_rows() -> Vec<Row> {
+    let mut rows = table(TableSpec {
+        rows: ROWS,
+        key_cols: KEY_COLS,
+        payload_cols: 1,
+        distinct_per_col: 16,
+        seed: 6,
+    });
+    rows.sort();
+    rows
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ordered_scans");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ROWS as u64));
+    let rows = sorted_rows();
+
+    let btree = BTree::bulk_load(rows.clone(), KEY_COLS, 256, 64);
+    g.bench_function(BenchmarkId::new("btree_scan_stored_codes", ROWS), |b| {
+        b.iter(|| btree.scan().count())
+    });
+
+    let rle = RleColumnStore::build(&rows, KEY_COLS);
+    g.bench_function(BenchmarkId::new("rle_scan_free_codes", ROWS), |b| {
+        b.iter(|| rle.scan().count())
+    });
+
+    let stats = Stats::new_shared();
+    let mut forest = LsmForest::new(KEY_COLS, LsmConfig { fanout: 4 }, Rc::clone(&stats));
+    for chunk in rows.chunks(ROWS / 16) {
+        forest.ingest(chunk.to_vec());
+    }
+    g.bench_function(BenchmarkId::new("lsm_merged_scan", ROWS), |b| {
+        b.iter(|| forest.scan().count())
+    });
+
+    g.bench_with_input(
+        BenchmarkId::new("derive_codes_from_scratch", ROWS),
+        &rows,
+        |b, rows| {
+            b.iter(|| {
+                let stats = Stats::default();
+                ovc_core::derive::derive_codes_counted(rows, KEY_COLS, &stats).len()
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Hypothesis 1, segmentation (Section 4.3): re-sorting a stream from
+//! (A, B) to (A, C) order by segments — boundaries found by code
+//! inspection — vs a full re-sort of the whole stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ovc_core::{Row, Stats, VecStream};
+use ovc_sort::{sort_rows_ovc, SegmentedSort};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+const ROWS: usize = 300_000;
+
+fn make_input(segments: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut rows: Vec<Row> = (0..ROWS)
+        .map(|_| {
+            Row::new(vec![
+                rng.gen_range(0..segments),
+                rng.gen_range(0..1000u64),
+                rng.gen_range(0..1000u64),
+            ])
+        })
+        .collect();
+    rows.sort_by(|x, y| (x.cols()[0], x.cols()[2]).cmp(&(y.cols()[0], y.cols()[2])));
+    rows
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segmented_sort");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ROWS as u64));
+    for segments in [16u64, 256] {
+        let rows = make_input(segments);
+        g.bench_with_input(
+            BenchmarkId::new("segmented_ovc", segments),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    let stats = Stats::new_shared();
+                    let stream = VecStream::from_sorted_rows(rows.clone(), 1);
+                    SegmentedSort::new(stream, 1, 2, Rc::clone(&stats)).count()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("full_resort", segments),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    let stats = Stats::new_shared();
+                    sort_rows_ovc(rows.clone(), 2, &stats).len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

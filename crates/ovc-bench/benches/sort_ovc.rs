@@ -1,0 +1,48 @@
+//! Hypothesis 1, sorting: external merge sort with offset-value coding vs
+//! the conventional sort (quicksorted runs, heap merge, full comparisons),
+//! plus the replacement-selection variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ovc_baseline::external_sort_plain;
+use ovc_bench::workload::{table, TableSpec};
+use ovc_core::Stats;
+use ovc_sort::{external_sort_collect, RunGenStrategy, SortConfig};
+
+const ROWS: usize = 300_000;
+const KEY_COLS: usize = 4;
+const MEMORY: usize = 30_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort_external");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ROWS as u64));
+    let spec = TableSpec { rows: ROWS, key_cols: KEY_COLS, payload_cols: 1, distinct_per_col: 8, seed: 7 };
+    let rows = table(spec);
+
+    g.bench_with_input(BenchmarkId::new("ovc_tree_of_losers", ROWS), &rows, |b, rows| {
+        b.iter(|| {
+            let stats = Stats::new_shared();
+            external_sort_collect(rows.clone(), SortConfig::new(KEY_COLS, MEMORY), &stats).len()
+        })
+    });
+
+    g.bench_with_input(BenchmarkId::new("plain_no_ovc", ROWS), &rows, |b, rows| {
+        b.iter(|| {
+            let stats = Stats::new_shared();
+            external_sort_plain(rows.clone(), KEY_COLS, MEMORY, 128, &stats).len()
+        })
+    });
+
+    g.bench_with_input(BenchmarkId::new("replacement_selection", ROWS), &rows, |b, rows| {
+        b.iter(|| {
+            let stats = Stats::new_shared();
+            let cfg = SortConfig::new(KEY_COLS, MEMORY)
+                .with_strategy(RunGenStrategy::ReplacementSelection);
+            external_sort_collect(rows.clone(), cfg, &stats).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

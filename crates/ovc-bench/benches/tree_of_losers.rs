@@ -1,0 +1,49 @@
+//! The tree-of-losers priority queue itself (Section 3): run generation by
+//! merging single-row runs, OVC vs quicksort, across key widths — the
+//! wider the key and the fewer distinct values, the more the codes save.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ovc_bench::workload::{table, TableSpec};
+use ovc_core::Stats;
+use ovc_sort::{sort_rows_ovc, sort_rows_quicksort};
+
+const ROWS: usize = 100_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run_generation");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ROWS as u64));
+    for key_cols in [2usize, 8] {
+        let rows = table(TableSpec {
+            rows: ROWS,
+            key_cols,
+            payload_cols: 0,
+            distinct_per_col: 4,
+            seed: 5,
+        });
+        g.bench_with_input(
+            BenchmarkId::new("ovc_priority_queue", key_cols),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    let stats = Stats::new_shared();
+                    sort_rows_ovc(rows.clone(), key_cols, &stats).len()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("quicksort_full_compare", key_cols),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    let stats = Stats::new_shared();
+                    sort_rows_quicksort(rows.clone(), key_cols, &stats).len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

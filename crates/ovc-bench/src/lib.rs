@@ -1,0 +1,12 @@
+//! # ovc-bench — workloads and harness support for the paper's evaluation
+//!
+//! Section 6 of the paper: "Test data are synthetic yet similar to the
+//! actual data in our daily production web analysis with many rows and
+//! many key columns.  Each key column is an 8-byte integer with only a
+//! few distinct values."  The [`workload`] module generates exactly that
+//! data shape, parameterized the way the figures sweep it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod workload;

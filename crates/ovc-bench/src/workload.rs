@@ -1,0 +1,144 @@
+//! Synthetic workloads matching the paper's evaluation data.
+
+use ovc_core::Row;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A table specification: many rows, several 8-byte integer key columns
+/// with few distinct values, optional payload columns.
+#[derive(Clone, Copy, Debug)]
+pub struct TableSpec {
+    /// Row count.
+    pub rows: usize,
+    /// Number of key columns.
+    pub key_cols: usize,
+    /// Number of payload columns.
+    pub payload_cols: usize,
+    /// Distinct values per key column ("only a few distinct values").
+    pub distinct_per_col: u64,
+    /// RNG seed (all workloads are deterministic).
+    pub seed: u64,
+}
+
+impl TableSpec {
+    /// A convenient default shape.
+    pub fn new(rows: usize, key_cols: usize) -> Self {
+        TableSpec { rows, key_cols, payload_cols: 1, distinct_per_col: 8, seed: 42 }
+    }
+}
+
+/// Generate an unsorted table.
+pub fn table(spec: TableSpec) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    (0..spec.rows)
+        .map(|_| {
+            let mut cols = Vec::with_capacity(spec.key_cols + spec.payload_cols);
+            for _ in 0..spec.key_cols {
+                cols.push(rng.gen_range(0..spec.distinct_per_col));
+            }
+            for _ in 0..spec.payload_cols {
+                cols.push(rng.gen::<u32>() as u64);
+            }
+            Row::new(cols)
+        })
+        .collect()
+}
+
+/// Generate a *sorted* table whose ratio of input rows to distinct keys is
+/// exactly `ratio` (Figure 4's x-axis: "a ratio of 100 indicates that on
+/// average 100 input rows contribute to each output row").
+///
+/// Keys have `key_cols` columns; each column's domain is kept as small as
+/// possible while still providing enough distinct key combinations.
+pub fn grouped_sorted_table(
+    rows: usize,
+    key_cols: usize,
+    ratio: usize,
+    seed: u64,
+) -> Vec<Row> {
+    assert!(ratio >= 1 && key_cols >= 1);
+    let groups = (rows / ratio).max(1);
+    // Smallest per-column domain whose key space covers `groups`.
+    let mut base = 2u64;
+    while base.pow(key_cols as u32) < groups as u64 {
+        base += 1;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Distinct keys: mixed-radix digits of g, permuted within the domain
+    // by a base-coprime multiplier so they look like data, not counters.
+    let mut mult = 0x9E37_79B9u64 % base;
+    while mult == 0 || gcd(mult, base) != 1 {
+        mult = mult % base + 1;
+    }
+    let spread = |d: u64| -> u64 { (d * mult) % base };
+    let mut out = Vec::with_capacity(rows);
+    for g in 0..groups {
+        let mut digits = Vec::with_capacity(key_cols);
+        let mut x = g as u64;
+        for _ in 0..key_cols {
+            digits.push(spread(x % base));
+            x /= base;
+        }
+        digits.reverse();
+        let copies = if g + 1 == groups { rows - out.len() } else { ratio };
+        for _ in 0..copies {
+            let mut cols = digits.clone();
+            cols.push(rng.gen::<u32>() as u64); // payload
+            out.push(Row::new(cols));
+        }
+    }
+    out.sort();
+    out
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 { a } else { gcd(b, a % b) }
+}
+
+/// Generate the Figure 6 intersect inputs: two tables of single-column
+/// rows over a domain sized so a meaningful fraction intersects.
+pub fn intersect_tables(rows: usize, seed: u64) -> (Vec<Row>, Vec<Row>) {
+    let domain = (rows as u64).max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = |rng: &mut StdRng| -> Vec<Row> {
+        (0..rows)
+            .map(|_| Row::new(vec![rng.gen_range(0..domain)]))
+            .collect()
+    };
+    (gen(&mut rng), gen(&mut rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn table_shape() {
+        let rows = table(TableSpec::new(100, 3));
+        assert_eq!(rows.len(), 100);
+        assert!(rows.iter().all(|r| r.width() == 4));
+        assert!(rows.iter().all(|r| r.key(3).iter().all(|&v| v < 8)));
+    }
+
+    #[test]
+    fn grouped_table_has_exact_ratio() {
+        for ratio in [1usize, 2, 5, 10, 100] {
+            let rows = grouped_sorted_table(10_000, 4, ratio, 1);
+            assert_eq!(rows.len(), 10_000);
+            let distinct: BTreeSet<Vec<u64>> =
+                rows.iter().map(|r| r.key(4).to_vec()).collect();
+            let expect = (10_000 / ratio).max(1);
+            assert_eq!(distinct.len(), expect, "ratio {ratio}");
+            assert!(ovc_core::derive::is_sorted(&rows, 4));
+        }
+    }
+
+    #[test]
+    fn intersect_tables_overlap() {
+        let (a, b) = intersect_tables(1000, 2);
+        let sa: BTreeSet<u64> = a.iter().map(|r| r.cols()[0]).collect();
+        let sb: BTreeSet<u64> = b.iter().map(|r| r.cols()[0]).collect();
+        assert!(sa.intersection(&sb).count() > 100);
+    }
+}

@@ -1,0 +1,164 @@
+//! Exact code derivation and validation for sorted data.
+//!
+//! `derive_codes` is the row-by-row, column-by-column method the paper
+//! calls too expensive for per-operator use — we keep it as (a) the
+//! reference implementation that operators are property-tested against,
+//! (b) the one-linear-pass code priming step after an in-memory quicksort,
+//! and (c) the tool ordered scans use at load time (Section 4.12: storage
+//! structures "preserve the effort for comparisons spent during index
+//! creation").
+
+use crate::compare::derive_code;
+use crate::ovc::Ovc;
+use crate::row::Row;
+use crate::stats::Stats;
+
+/// Derive the exact ascending code of every row in an already-sorted slice
+/// (first row coded relative to "−∞").  Uninstrumented convenience.
+pub fn derive_codes(rows: &[Row], key_len: usize) -> Vec<Ovc> {
+    let stats = Stats::default();
+    derive_codes_counted(rows, key_len, &stats)
+}
+
+/// As [`derive_codes`], counting every column-value comparison in `stats`.
+pub fn derive_codes_counted(rows: &[Row], key_len: usize, stats: &Stats) -> Vec<Ovc> {
+    let mut codes = Vec::with_capacity(rows.len());
+    let mut prev: Option<&Row> = None;
+    for row in rows {
+        let code = match prev {
+            None => Ovc::initial(row.key(key_len)),
+            Some(p) => derive_code(p.key(key_len), row.key(key_len), stats),
+        };
+        codes.push(code);
+        prev = Some(row);
+    }
+    codes
+}
+
+/// Is the slice sorted ascending on the first `key_len` columns?
+pub fn is_sorted(rows: &[Row], key_len: usize) -> bool {
+    rows.windows(2).all(|w| w[0].key(key_len) <= w[1].key(key_len))
+}
+
+/// Check that a coded sequence is sorted **and** every code is exact
+/// (maximal shared prefix with the predecessor) — the stream contract from
+/// DESIGN.md §3.3.  Returns the index of the first violation.
+pub fn find_code_violation(pairs: &[(Row, Ovc)], key_len: usize) -> Option<usize> {
+    let stats = Stats::default();
+    let mut prev: Option<&Row> = None;
+    for (i, (row, code)) in pairs.iter().enumerate() {
+        let expect = match prev {
+            None => Ovc::initial(row.key(key_len)),
+            Some(p) => {
+                if p.key(key_len) > row.key(key_len) {
+                    return Some(i); // not sorted
+                }
+                derive_code(p.key(key_len), row.key(key_len), &stats)
+            }
+        };
+        if *code != expect {
+            return Some(i);
+        }
+        prev = Some(row);
+    }
+    None
+}
+
+/// Panic with a precise message if the coded sequence violates the stream
+/// contract.  Test helper used across all crates.
+pub fn assert_codes_exact(pairs: &[(Row, Ovc)], key_len: usize) {
+    if let Some(i) = find_code_violation(pairs, key_len) {
+        let stats = Stats::default();
+        let expect = if i == 0 {
+            Ovc::initial(pairs[0].0.key(key_len))
+        } else {
+            derive_code(
+                pairs[i - 1].0.key(key_len),
+                pairs[i].0.key(key_len),
+                &stats,
+            )
+        };
+        panic!(
+            "code violation at row {i}: row={:?} code={:?} expected={:?} (prev={:?})",
+            pairs[i].0,
+            pairs[i].1,
+            expect,
+            i.checked_sub(1).map(|j| &pairs[j].0),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_matches_table1() {
+        let rows = crate::table1::rows();
+        let codes = derive_codes(&rows, crate::table1::ARITY);
+        assert_eq!(codes, crate::table1::asc_codes());
+    }
+
+    #[test]
+    fn derive_counts_at_most_n_times_k_comparisons() {
+        let rows = crate::table1::rows();
+        let stats = Stats::default();
+        let _ = derive_codes_counted(&rows, 4, &stats);
+        // First row is free; each subsequent row costs at most K.
+        assert!(stats.col_value_cmps() <= (rows.len() as u64 - 1) * 4);
+    }
+
+    #[test]
+    fn is_sorted_detects_order() {
+        let rows = crate::table1::rows();
+        assert!(is_sorted(&rows, 4));
+        let mut bad = rows.clone();
+        bad.swap(0, 6);
+        assert!(!is_sorted(&bad, 4));
+    }
+
+    #[test]
+    fn violation_checker_accepts_exact_codes() {
+        let rows = crate::table1::rows();
+        let codes = derive_codes(&rows, 4);
+        let pairs: Vec<_> = rows.into_iter().zip(codes).collect();
+        assert_eq!(find_code_violation(&pairs, 4), None);
+        assert_codes_exact(&pairs, 4);
+    }
+
+    #[test]
+    fn violation_checker_rejects_inexact_codes() {
+        let rows = crate::table1::rows();
+        let mut codes = derive_codes(&rows, 4);
+        codes[2] = Ovc::new(0, 5, 4); // over-approximated offset
+        let pairs: Vec<_> = rows.into_iter().zip(codes).collect();
+        assert_eq!(find_code_violation(&pairs, 4), Some(2));
+    }
+
+    #[test]
+    fn violation_checker_rejects_unsorted_input() {
+        let rows = crate::table1::rows();
+        let codes = derive_codes(&rows, 4);
+        let mut pairs: Vec<_> = rows.into_iter().zip(codes).collect();
+        pairs.swap(1, 5);
+        assert!(find_code_violation(&pairs, 4).is_some());
+    }
+
+    #[test]
+    fn empty_and_single_row_inputs() {
+        assert!(derive_codes(&[], 3).is_empty());
+        let one = vec![Row::new(vec![9, 9, 9])];
+        let codes = derive_codes(&one, 3);
+        assert_eq!(codes, vec![Ovc::initial(&[9, 9, 9])]);
+    }
+
+    #[test]
+    fn all_duplicate_rows() {
+        let rows = vec![Row::new(vec![1, 2]); 5];
+        let codes = derive_codes(&rows, 2);
+        assert_eq!(codes[0], Ovc::initial(&[1, 2]));
+        for c in &codes[1..] {
+            assert!(c.is_duplicate());
+        }
+    }
+}

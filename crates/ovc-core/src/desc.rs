@@ -1,0 +1,180 @@
+//! Descending offset-value codes and the dual (`min`) theorem.
+//!
+//! Table 1 of the paper shows both encodings.  Descending codes store the
+//! *actual* offset and the *negated* value (`domain − value` in the paper's
+//! decimal rendering), so for two keys coded relative to the same base the
+//! **larger** code is earlier in the (still ascending) sort sequence: a
+//! longer shared prefix means a larger offset, and on equal offsets a
+//! smaller data value means a larger negated value.
+//!
+//! Because "earlier" flips from smaller to larger, the combination theorem
+//! dualizes: `ovc_desc(A,C) = min(ovc_desc(A,B), ovc_desc(B,C))`
+//! (Section 4, Theorem).  IBM's CFC instruction implements descending
+//! normalized-key codes of this shape (Section 3).
+//!
+//! The ascending encoding in [`crate::ovc`] is what the execution operators
+//! use; this module exists to reproduce the paper's tables in full and to
+//! property-test the dual theorem.
+
+use crate::ovc::{clamp_value, VALUE_BITS, VALUE_MASK};
+use crate::row::Value;
+use crate::stats::Stats;
+
+const VALID_TAG: u64 = 1u64 << 62;
+
+/// A descending offset-value code.  **Larger code = earlier** in the sort
+/// sequence.  The late fence is therefore the smallest representation and
+/// the early fence the largest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DescOvc(u64);
+
+impl DescOvc {
+    /// Early fence for descending coding: larger than every valid code.
+    pub const EARLY_FENCE: DescOvc = DescOvc(u64::MAX);
+    /// Late fence for descending coding: smaller than every valid code.
+    pub const LATE_FENCE: DescOvc = DescOvc(0);
+
+    /// Construct from offset, value at the offset, and arity.
+    pub fn new(offset: usize, value: Value, arity: usize) -> DescOvc {
+        debug_assert!(offset <= arity);
+        if offset == arity {
+            return DescOvc::duplicate(arity);
+        }
+        let negated = VALUE_MASK - clamp_value(value);
+        DescOvc(VALID_TAG | ((offset as u64) << VALUE_BITS) | negated)
+    }
+
+    /// The duplicate code: offset equals arity, empty value field.  This is
+    /// the **largest** valid descending code (duplicates are "as early as
+    /// possible" behind their base), matching Table 1's `400`.
+    pub fn duplicate(arity: usize) -> DescOvc {
+        DescOvc(VALID_TAG | ((arity as u64) << VALUE_BITS) | VALUE_MASK)
+    }
+
+    /// Code of the first row of a stream (offset 0 relative to "−∞").
+    pub fn initial(key: &[Value]) -> DescOvc {
+        if key.is_empty() {
+            DescOvc::duplicate(0)
+        } else {
+            DescOvc::new(0, key[0], key.len())
+        }
+    }
+
+    /// Is this a valid (non-fence) code?
+    pub fn is_valid(self) -> bool {
+        (self.0 >> 62) == 0b01
+    }
+
+    /// The stored offset.
+    pub fn offset(self) -> usize {
+        ((self.0 >> VALUE_BITS) & crate::ovc::OFFSET_FIELD_MASK) as usize
+    }
+
+    /// The un-negated (clamped) value.
+    pub fn value(self) -> Value {
+        VALUE_MASK - (self.0 & VALUE_MASK)
+    }
+
+    /// Does this code mark a duplicate key?
+    pub fn is_duplicate(self, arity: usize) -> bool {
+        self.is_valid() && self.offset() == arity
+    }
+
+    /// Render the code as the paper's Table 1 does for a decimal domain:
+    /// `offset * 100 + (domain − value)`, duplicates as `offset * 100`.
+    pub fn paper_decimal(self, arity: usize, domain: u64) -> u64 {
+        debug_assert!(self.is_valid());
+        let off = self.offset() as u64;
+        if self.offset() == arity {
+            off * 100
+        } else {
+            off * 100 + (domain - self.value())
+        }
+    }
+}
+
+/// Dual combination theorem for descending codes:
+/// `ovc(A,C) = min(ovc(A,B), ovc(B,C))`.
+#[inline]
+pub fn combine_desc(ab: DescOvc, bc: DescOvc) -> DescOvc {
+    ab.min(bc)
+}
+
+/// Exact descending code of `succ` relative to `pred` (`pred <= succ`).
+pub fn derive_desc_code(pred_key: &[Value], succ_key: &[Value], stats: &Stats) -> DescOvc {
+    let arity = succ_key.len();
+    for i in 0..arity {
+        stats.count_col_cmp();
+        if pred_key[i] != succ_key[i] {
+            debug_assert!(pred_key[i] < succ_key[i]);
+            return DescOvc::new(i, succ_key[i], arity);
+        }
+    }
+    DescOvc::duplicate(arity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_descending_codes() {
+        // The "Descending OVC" column of Table 1: 95, 388, 192, 191, 400,
+        // 297, 393 (domain 1..99, arity 4).
+        let rows = crate::table1::rows();
+        let expected = [95u64, 388, 192, 191, 400, 297, 393];
+        let stats = Stats::default();
+        let mut prev: Option<&crate::row::Row> = None;
+        for (row, want) in rows.iter().zip(expected) {
+            let code = match prev {
+                None => DescOvc::initial(row.key(4)),
+                Some(p) => derive_desc_code(p.key(4), row.key(4), &stats),
+            };
+            assert_eq!(code.paper_decimal(4, 100), want);
+            prev = Some(row);
+        }
+    }
+
+    #[test]
+    fn larger_code_is_earlier() {
+        // Higher offset -> earlier -> larger code.
+        let deep = DescOvc::new(3, 50, 4);
+        let shallow = DescOvc::new(1, 50, 4);
+        assert!(deep > shallow);
+        // Same offset: smaller value -> earlier -> larger code.
+        let small_val = DescOvc::new(2, 10, 4);
+        let big_val = DescOvc::new(2, 90, 4);
+        assert!(small_val > big_val);
+        // Duplicate is the earliest (largest) valid code.
+        assert!(DescOvc::duplicate(4) > deep);
+    }
+
+    #[test]
+    fn fences_bracket_codes() {
+        let c = DescOvc::new(0, 5, 4);
+        assert!(DescOvc::LATE_FENCE < c);
+        assert!(c < DescOvc::EARLY_FENCE);
+    }
+
+    #[test]
+    fn dual_theorem_on_table1_cases() {
+        let stats = Stats::default();
+        // Case (i) analogue with rows 1..3 of Table 1.
+        let r1 = [5u64, 7, 3, 9];
+        let r2 = [5u64, 7, 3, 12];
+        let r3 = [5u64, 8, 4, 6];
+        let ab = derive_desc_code(&r1, &r2, &stats);
+        let bc = derive_desc_code(&r2, &r3, &stats);
+        let ac = derive_desc_code(&r1, &r3, &stats);
+        assert_eq!(combine_desc(ab, bc), ac);
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = DescOvc::new(2, 42, 4);
+        assert_eq!(c.offset(), 2);
+        assert_eq!(c.value(), 42);
+        assert!(!c.is_duplicate(4));
+        assert!(DescOvc::duplicate(4).is_duplicate(4));
+    }
+}

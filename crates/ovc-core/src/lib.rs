@@ -1,0 +1,57 @@
+//! # ovc-core — offset-value coding foundations
+//!
+//! Reproduction of the foundational machinery of *"Offset-value coding in
+//! database query processing"* (Goetz Graefe and Thanh Do, EDBT 2023;
+//! extended version arXiv:2210.00034):
+//!
+//! * [`row`] — rows of `u64` columns with prefix sort keys;
+//! * [`ovc`] — ascending offset-value codes packed in one `u64`, with early
+//!   and late fences folded in (the F1 layout of Section 5);
+//! * [`desc`] — descending codes and the dual theorem (Table 1);
+//! * [`normalized`] — byte-offset codes over normalized keys (the IBM CFC
+//!   variant of Sections 3 and 4.1);
+//! * [`compare`] — instrumented comparators implementing Iyer's equal- and
+//!   unequal-code theorems (Table 2);
+//! * [`theorem`] — the paper's new `max`-combination theorem, the filter
+//!   corollary, and the [`theorem::OvcAccumulator`] every operator uses to
+//!   produce output codes;
+//! * [`derive`] — reference derivation/validation of exact codes;
+//! * [`stream`] — the [`stream::OvcStream`] contract operators compose on;
+//! * [`stats`] — comparison and spill accounting for the paper's `N × K`
+//!   bound and the Figure 6 spill claims;
+//! * [`table1`] — the paper's running example as a shared fixture.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ovc_core::{Row, Ovc, derive::derive_codes};
+//!
+//! // Table 1 of the paper: a sorted stream with four key columns.
+//! let rows = ovc_core::table1::rows();
+//! let codes = derive_codes(&rows, 4);
+//!
+//! // First row is coded relative to "−∞": offset 0, value 5 ("405").
+//! assert_eq!(codes[0], Ovc::new(0, 5, 4));
+//! // The duplicate row's code has offset == arity ("0" ascending).
+//! assert!(codes[4].is_duplicate());
+//! # let _ = Row::new(vec![1]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compare;
+pub mod derive;
+pub mod desc;
+pub mod normalized;
+pub mod ovc;
+pub mod row;
+pub mod stats;
+pub mod stream;
+pub mod table1;
+pub mod theorem;
+
+pub use ovc::Ovc;
+pub use row::{Row, SortKey, Value};
+pub use stats::{Stats, StatsSnapshot};
+pub use stream::{OvcRow, OvcStream, VecStream};

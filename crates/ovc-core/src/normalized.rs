@@ -1,0 +1,232 @@
+//! Offset-value coding with byte offsets in normalized keys.
+//!
+//! Section 4.1: the derivation rules apply "mutatis mutandis … for
+//! offset-value coding using byte offsets within normalized keys", and
+//! Section 3 recalls that IBM's CFC "compare and form codeword"
+//! instruction "supports offset-value coding for descending normalized
+//! keys using blocks of bytes as values and counts of blocks as offsets".
+//!
+//! A *normalized key* is an order-preserving byte string: comparing two
+//! normalized keys bytewise equals comparing the original multi-column
+//! keys column by column.  Codes over byte offsets use the **descending**
+//! layout (offset stored directly, value negated) because byte strings may
+//! have different lengths, which the ascending `arity − offset` field
+//! cannot express uniformly.  The dual theorem
+//! (`ovc(A,C) = min(ovc(A,B), ovc(B,C))`) therefore governs combination.
+
+use crate::ovc::{OFFSET_FIELD_MASK, VALUE_BITS, VALUE_MASK};
+use crate::row::Value;
+use crate::stats::Stats;
+
+const VALID_TAG: u64 = 1u64 << 62;
+
+/// Maximum normalized-key length in bytes (the offset field width).
+pub const MAX_KEY_BYTES: usize = OFFSET_FIELD_MASK as usize - 1;
+
+/// Normalize a multi-column `u64` key into an order-preserving byte
+/// string: big-endian column concatenation.
+pub fn normalize(key: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.len() * 8);
+    for &c in key {
+        out.extend_from_slice(&c.to_be_bytes());
+    }
+    out
+}
+
+/// A descending byte-offset code over normalized keys.
+/// **Larger code = earlier** in the sort sequence, like
+/// [`crate::desc::DescOvc`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ByteOvc(u64);
+
+impl ByteOvc {
+    /// Early fence (largest representation).
+    pub const EARLY_FENCE: ByteOvc = ByteOvc(u64::MAX);
+    /// Late fence (smallest representation).
+    pub const LATE_FENCE: ByteOvc = ByteOvc(0);
+
+    /// Code from a byte offset and the byte at that offset.
+    pub fn new(offset: usize, byte: u8) -> ByteOvc {
+        debug_assert!(offset <= MAX_KEY_BYTES);
+        let negated = VALUE_MASK - byte as u64;
+        ByteOvc(VALID_TAG | ((offset as u64) << VALUE_BITS) | negated)
+    }
+
+    /// Duplicate code for a key of `len` bytes: the entire key is shared.
+    /// Encoded past every in-key offset so duplicates sort earliest among
+    /// codes with offsets `>= len`.
+    pub fn duplicate(len: usize) -> ByteOvc {
+        debug_assert!(len <= MAX_KEY_BYTES);
+        ByteOvc(VALID_TAG | (((len as u64) + 1) << VALUE_BITS) | VALUE_MASK)
+    }
+
+    /// Code of a stream's first key (relative to "−∞"): byte offset 0.
+    pub fn initial(key: &[u8]) -> ByteOvc {
+        if key.is_empty() {
+            ByteOvc::duplicate(0)
+        } else {
+            ByteOvc::new(0, key[0])
+        }
+    }
+
+    /// Is this a valid (non-fence) code?
+    pub fn is_valid(self) -> bool {
+        (self.0 >> 62) == 0b01
+    }
+
+    /// The stored byte offset (duplicates report `len + 1`).
+    pub fn offset(self) -> usize {
+        ((self.0 >> VALUE_BITS) & OFFSET_FIELD_MASK) as usize
+    }
+
+    /// The un-negated byte value.
+    pub fn byte(self) -> u8 {
+        (VALUE_MASK - (self.0 & VALUE_MASK)) as u8
+    }
+
+    /// Does this code mark a duplicate of a key with `len` bytes?
+    pub fn is_duplicate(self, len: usize) -> bool {
+        self.is_valid() && self.offset() == len + 1
+    }
+}
+
+/// Exact byte-offset code of `succ` relative to `pred`
+/// (`pred <= succ` bytewise; shorter prefix sorts first).
+pub fn derive_byte_code(pred: &[u8], succ: &[u8], stats: &Stats) -> ByteOvc {
+    let n = pred.len().min(succ.len());
+    for i in 0..n {
+        stats.count_col_cmp();
+        if pred[i] != succ[i] {
+            debug_assert!(pred[i] < succ[i]);
+            return ByteOvc::new(i, succ[i]);
+        }
+    }
+    if succ.len() > n {
+        // `pred` is a strict prefix: the first unshared byte of `succ`.
+        ByteOvc::new(n, succ[n])
+    } else {
+        debug_assert_eq!(pred.len(), succ.len(), "pred must not sort after succ");
+        ByteOvc::duplicate(succ.len())
+    }
+}
+
+/// Dual combination theorem for byte-offset codes:
+/// `ovc(A,C) = min(ovc(A,B), ovc(B,C))`.
+#[inline]
+pub fn combine_bytes(ab: ByteOvc, bc: ByteOvc) -> ByteOvc {
+    ab.min(bc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_preserves_order() {
+        let keys = [
+            vec![0u64, 0],
+            vec![0, u64::MAX],
+            vec![1, 0],
+            vec![256, 3],
+            vec![u64::MAX, 0],
+        ];
+        for w in keys.windows(2) {
+            assert!(normalize(&w[0]) < normalize(&w[1]));
+        }
+    }
+
+    #[test]
+    fn byte_codes_on_table1() {
+        // Table 1's second row differs from the first in column 3
+        // (values 9 vs 12): normalized, the first differing byte is the
+        // last byte of column 3 — byte offset 31.
+        let stats = Stats::default();
+        let a = normalize(&[5, 7, 3, 9]);
+        let b = normalize(&[5, 7, 3, 12]);
+        let code = derive_byte_code(&a, &b, &stats);
+        assert_eq!(code.offset(), 31);
+        assert_eq!(code.byte(), 12);
+        // The duplicate row yields the duplicate code.
+        let c = normalize(&[5, 9, 2, 7]);
+        assert!(derive_byte_code(&c, &c, &stats).is_duplicate(32));
+    }
+
+    #[test]
+    fn larger_code_is_earlier() {
+        // Deeper shared prefix -> larger code -> earlier.
+        let deep = ByteOvc::new(9, 200);
+        let shallow = ByteOvc::new(2, 1);
+        assert!(deep > shallow);
+        // Same offset: smaller byte -> earlier -> larger code.
+        assert!(ByteOvc::new(3, 10) > ByteOvc::new(3, 11));
+        // Duplicates are the earliest codes for their length.
+        assert!(ByteOvc::duplicate(16) > ByteOvc::new(15, 0));
+        // Fences bracket everything.
+        assert!(ByteOvc::LATE_FENCE < ByteOvc::new(0, 255));
+        assert!(ByteOvc::new(31, 0) < ByteOvc::EARLY_FENCE);
+    }
+
+    #[test]
+    fn dual_theorem_on_byte_codes() {
+        let stats = Stats::default();
+        let triples = [
+            ([1u64, 2], [1u64, 3], [2u64, 0]),
+            ([0, 0], [0, 0], [0, 1]),
+            ([5, 5], [5, 5], [5, 5]),
+            ([1, 0], [1, 255], [1, 256]),
+        ];
+        for (a, b, c) in triples {
+            let (na, nb, nc) = (normalize(&a), normalize(&b), normalize(&c));
+            let ab = derive_byte_code(&na, &nb, &stats);
+            let bc = derive_byte_code(&nb, &nc, &stats);
+            let ac = derive_byte_code(&na, &nc, &stats);
+            assert_eq!(combine_bytes(ab, bc), ac, "{a:?} {b:?} {c:?}");
+        }
+    }
+
+    #[test]
+    fn variable_length_keys() {
+        // Normalized keys of different lengths (e.g. truncated suffixes):
+        // a strict prefix sorts first and the code points at the first
+        // unshared byte.
+        let stats = Stats::default();
+        let short = vec![1u8, 2, 3];
+        let long = vec![1u8, 2, 3, 4];
+        let code = derive_byte_code(&short, &long, &stats);
+        assert_eq!(code.offset(), 3);
+        assert_eq!(code.byte(), 4);
+        assert!(!code.is_duplicate(4));
+    }
+
+    #[test]
+    fn empty_keys() {
+        assert!(ByteOvc::initial(&[]).is_duplicate(0));
+        let stats = Stats::default();
+        assert!(derive_byte_code(&[], &[], &stats).is_duplicate(0));
+    }
+
+    #[test]
+    fn byte_code_order_agrees_with_key_order() {
+        // For keys B, C >= A coded relative to A: code order must match
+        // key order whenever the codes differ.
+        let stats = Stats::default();
+        let mut keys: Vec<Vec<u64>> = vec![
+            vec![1, 1],
+            vec![1, 2],
+            vec![1, 258],
+            vec![2, 0],
+            vec![2, 1],
+        ];
+        keys.sort();
+        let base = normalize(&keys[0]);
+        for i in 1..keys.len() {
+            for j in (i + 1)..keys.len() {
+                let cb = derive_byte_code(&base, &normalize(&keys[i]), &stats);
+                let cc = derive_byte_code(&base, &normalize(&keys[j]), &stats);
+                if cb != cc {
+                    assert!(cb > cc, "earlier key must have larger desc code");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Row and sort-key model.
+//!
+//! The paper's evaluation uses rows whose key columns are 8-byte integers
+//! ("each key column is an 8-byte integer with only a few distinct values",
+//! Section 6).  We adopt the same model: a row is a flat sequence of `u64`
+//! columns, and a sort key is a *prefix* of those columns.  Operators that
+//! need a non-prefix sort key project first, exactly the way real engines
+//! normalize keys before a sort.
+
+use std::fmt;
+
+/// A single column value.  Key columns and payload columns share this type.
+pub type Value = u64;
+
+/// A row: a boxed slice of column values.
+///
+/// The first [`SortKey::len`] columns form the sort key; the remainder is
+/// payload carried through operators untouched.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Row {
+    cols: Box<[Value]>,
+}
+
+impl Row {
+    /// Create a row from column values.
+    pub fn new(cols: Vec<Value>) -> Self {
+        Row { cols: cols.into_boxed_slice() }
+    }
+
+    /// Create a row from a slice of column values.
+    pub fn from_slice(cols: &[Value]) -> Self {
+        Row { cols: cols.to_vec().into_boxed_slice() }
+    }
+
+    /// All columns of the row.
+    #[inline]
+    pub fn cols(&self) -> &[Value] {
+        &self.cols
+    }
+
+    /// Number of columns in the row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The sort-key prefix of the row.
+    ///
+    /// Panics if the row has fewer than `key_len` columns.
+    #[inline]
+    pub fn key(&self, key_len: usize) -> &[Value] {
+        &self.cols[..key_len]
+    }
+
+    /// The payload suffix of the row (columns past the sort key).
+    #[inline]
+    pub fn payload(&self, key_len: usize) -> &[Value] {
+        &self.cols[key_len..]
+    }
+
+    /// Concatenate this row's columns with another's (used by joins).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut cols = Vec::with_capacity(self.cols.len() + other.cols.len());
+        cols.extend_from_slice(&self.cols);
+        cols.extend_from_slice(&other.cols);
+        Row::new(cols)
+    }
+
+    /// Project the row onto the given column indices (in order).
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row::new(indices.iter().map(|&i| self.cols[i]).collect())
+    }
+}
+
+impl fmt::Debug for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Row{:?}", &self.cols[..])
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(cols: Vec<Value>) -> Self {
+        Row::new(cols)
+    }
+}
+
+impl From<&[Value]> for Row {
+    fn from(cols: &[Value]) -> Self {
+        Row::from_slice(cols)
+    }
+}
+
+/// Description of a sort key: the number of leading columns that form it.
+///
+/// Every [`crate::stream::OvcStream`] is sorted ascending on this prefix and
+/// carries offset-value codes with arity equal to `len`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SortKey {
+    /// Number of leading key columns (the "arity" of offset-value codes).
+    pub len: usize,
+}
+
+impl SortKey {
+    /// A sort key over the first `len` columns.
+    pub const fn new(len: usize) -> Self {
+        SortKey { len }
+    }
+}
+
+/// Compare two rows on their leading `key_len` columns.
+///
+/// This is the *uninstrumented* comparison used by reference
+/// implementations and tests; instrumented comparisons live in
+/// [`crate::compare`].
+#[inline]
+pub fn cmp_keys(a: &Row, b: &Row, key_len: usize) -> std::cmp::Ordering {
+    a.key(key_len).cmp(b.key(key_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_accessors() {
+        let r = Row::new(vec![1, 2, 3, 4, 5]);
+        assert_eq!(r.width(), 5);
+        assert_eq!(r.key(2), &[1, 2]);
+        assert_eq!(r.payload(2), &[3, 4, 5]);
+        assert_eq!(r.cols(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn row_concat() {
+        let a = Row::new(vec![1, 2]);
+        let b = Row::new(vec![3]);
+        assert_eq!(a.concat(&b), Row::new(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn row_project() {
+        let r = Row::new(vec![10, 20, 30, 40]);
+        assert_eq!(r.project(&[3, 1]), Row::new(vec![40, 20]));
+        assert_eq!(r.project(&[]), Row::new(vec![]));
+    }
+
+    #[test]
+    fn key_comparison_is_prefix_only() {
+        let a = Row::new(vec![1, 2, 99]);
+        let b = Row::new(vec![1, 2, 0]);
+        assert_eq!(cmp_keys(&a, &b, 2), std::cmp::Ordering::Equal);
+        assert_eq!(cmp_keys(&a, &b, 3), std::cmp::Ordering::Greater);
+    }
+
+    #[test]
+    fn empty_key_rows_compare_equal() {
+        let a = Row::new(vec![7]);
+        let b = Row::new(vec![8]);
+        assert_eq!(cmp_keys(&a, &b, 0), std::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,243 @@
+//! Comparison and I/O accounting.
+//!
+//! The paper's central efficiency claims are about *counts*: column-value
+//! comparisons are bounded by `N × K` with no `log N` factor (Section 3),
+//! and the sort-based plan of Figure 6 spills each row once where the
+//! hash-based plan spills many rows twice.  These counters make those
+//! claims measurable independent of wall-clock noise; EXPERIMENTS.md and
+//! the `ablation_counters` bench are driven by them.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Shared, single-threaded counters.  Operators hold an `Rc<Stats>`;
+/// parallel components (exchange) keep per-thread `Stats` and merge
+/// [`StatsSnapshot`]s afterwards.
+#[derive(Default)]
+pub struct Stats {
+    col_value_cmps: Cell<u64>,
+    ovc_cmps: Cell<u64>,
+    row_cmps: Cell<u64>,
+    rows_spilled: Cell<u64>,
+    bytes_spilled: Cell<u64>,
+    rows_read_back: Cell<u64>,
+    bytes_read_back: Cell<u64>,
+}
+
+impl Stats {
+    /// Fresh zeroed counters behind an `Rc` (the common way operators share
+    /// them along a pipeline).
+    pub fn new_shared() -> Rc<Stats> {
+        Rc::new(Stats::default())
+    }
+
+    /// Count one column-value comparison (the expensive kind the paper
+    /// bounds by `N × K`).
+    #[inline]
+    pub fn count_col_cmp(&self) {
+        self.col_value_cmps.set(self.col_value_cmps.get() + 1);
+    }
+
+    /// Count `n` column-value comparisons at once.
+    #[inline]
+    pub fn count_col_cmps(&self, n: u64) {
+        self.col_value_cmps.set(self.col_value_cmps.get() + n);
+    }
+
+    /// Count one offset-value-code comparison (a single integer compare;
+    /// the paper argues these are practically free).
+    #[inline]
+    pub fn count_ovc_cmp(&self) {
+        self.ovc_cmps.set(self.ovc_cmps.get() + 1);
+    }
+
+    /// Count one full row comparison (baseline algorithms).
+    #[inline]
+    pub fn count_row_cmp(&self) {
+        self.row_cmps.set(self.row_cmps.get() + 1);
+    }
+
+    /// Account rows and bytes written to spill storage.
+    #[inline]
+    pub fn count_spill(&self, rows: u64, bytes: u64) {
+        self.rows_spilled.set(self.rows_spilled.get() + rows);
+        self.bytes_spilled.set(self.bytes_spilled.get() + bytes);
+    }
+
+    /// Account rows and bytes read back from spill storage.
+    #[inline]
+    pub fn count_read_back(&self, rows: u64, bytes: u64) {
+        self.rows_read_back.set(self.rows_read_back.get() + rows);
+        self.bytes_read_back.set(self.bytes_read_back.get() + bytes);
+    }
+
+    /// Total column-value comparisons so far.
+    pub fn col_value_cmps(&self) -> u64 {
+        self.col_value_cmps.get()
+    }
+
+    /// Total offset-value-code comparisons so far.
+    pub fn ovc_cmps(&self) -> u64 {
+        self.ovc_cmps.get()
+    }
+
+    /// Total full row comparisons so far.
+    pub fn row_cmps(&self) -> u64 {
+        self.row_cmps.get()
+    }
+
+    /// Total rows spilled so far.
+    pub fn rows_spilled(&self) -> u64 {
+        self.rows_spilled.get()
+    }
+
+    /// Total bytes spilled so far.
+    pub fn bytes_spilled(&self) -> u64 {
+        self.bytes_spilled.get()
+    }
+
+    /// Total rows read back from spill storage so far.
+    pub fn rows_read_back(&self) -> u64 {
+        self.rows_read_back.get()
+    }
+
+    /// Total bytes read back from spill storage so far.
+    pub fn bytes_read_back(&self) -> u64 {
+        self.bytes_read_back.get()
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.col_value_cmps.set(0);
+        self.ovc_cmps.set(0);
+        self.row_cmps.set(0);
+        self.rows_spilled.set(0);
+        self.bytes_spilled.set(0);
+        self.rows_read_back.set(0);
+        self.bytes_read_back.set(0);
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            col_value_cmps: self.col_value_cmps.get(),
+            ovc_cmps: self.ovc_cmps.get(),
+            row_cmps: self.row_cmps.get(),
+            rows_spilled: self.rows_spilled.get(),
+            bytes_spilled: self.bytes_spilled.get(),
+            rows_read_back: self.rows_read_back.get(),
+            bytes_read_back: self.bytes_read_back.get(),
+        }
+    }
+
+    /// Add a snapshot (e.g. from another thread's `Stats`) into this one.
+    pub fn absorb(&self, s: &StatsSnapshot) {
+        self.count_col_cmps(s.col_value_cmps);
+        self.ovc_cmps.set(self.ovc_cmps.get() + s.ovc_cmps);
+        self.row_cmps.set(self.row_cmps.get() + s.row_cmps);
+        self.rows_spilled.set(self.rows_spilled.get() + s.rows_spilled);
+        self.bytes_spilled.set(self.bytes_spilled.get() + s.bytes_spilled);
+        self.rows_read_back
+            .set(self.rows_read_back.get() + s.rows_read_back);
+        self.bytes_read_back
+            .set(self.bytes_read_back.get() + s.bytes_read_back);
+    }
+}
+
+impl fmt::Debug for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+/// An owned, sendable copy of counter values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Column-value comparisons.
+    pub col_value_cmps: u64,
+    /// Offset-value-code comparisons.
+    pub ovc_cmps: u64,
+    /// Full row comparisons.
+    pub row_cmps: u64,
+    /// Rows written to spill storage.
+    pub rows_spilled: u64,
+    /// Bytes written to spill storage.
+    pub bytes_spilled: u64,
+    /// Rows read back from spill storage.
+    pub rows_read_back: u64,
+    /// Bytes read back from spill storage.
+    pub bytes_read_back: u64,
+}
+
+impl StatsSnapshot {
+    /// Difference of two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            col_value_cmps: self.col_value_cmps - earlier.col_value_cmps,
+            ovc_cmps: self.ovc_cmps - earlier.ovc_cmps,
+            row_cmps: self.row_cmps - earlier.row_cmps,
+            rows_spilled: self.rows_spilled - earlier.rows_spilled,
+            bytes_spilled: self.bytes_spilled - earlier.bytes_spilled,
+            rows_read_back: self.rows_read_back - earlier.rows_read_back,
+            bytes_read_back: self.bytes_read_back - earlier.bytes_read_back,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = Stats::default();
+        s.count_col_cmp();
+        s.count_col_cmps(4);
+        s.count_ovc_cmp();
+        s.count_row_cmp();
+        s.count_spill(10, 80);
+        s.count_read_back(10, 80);
+        assert_eq!(s.col_value_cmps(), 5);
+        assert_eq!(s.ovc_cmps(), 1);
+        assert_eq!(s.row_cmps(), 1);
+        assert_eq!(s.rows_spilled(), 10);
+        assert_eq!(s.bytes_spilled(), 80);
+        assert_eq!(s.rows_read_back(), 10);
+        assert_eq!(s.bytes_read_back(), 80);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = Stats::default();
+        s.count_col_cmps(7);
+        s.count_spill(1, 8);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn absorb_merges_snapshots() {
+        let a = Stats::default();
+        a.count_col_cmps(3);
+        let b = Stats::default();
+        b.count_col_cmps(4);
+        b.count_ovc_cmp();
+        a.absorb(&b.snapshot());
+        assert_eq!(a.col_value_cmps(), 7);
+        assert_eq!(a.ovc_cmps(), 1);
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let s = Stats::default();
+        s.count_col_cmps(5);
+        let before = s.snapshot();
+        s.count_col_cmps(2);
+        s.count_spill(1, 16);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.col_value_cmps, 2);
+        assert_eq!(delta.rows_spilled, 1);
+        assert_eq!(delta.bytes_spilled, 16);
+    }
+}

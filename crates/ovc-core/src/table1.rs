@@ -1,0 +1,98 @@
+//! The paper's Table 1 as a shared fixture.
+//!
+//! "Offset-value codes in a sorted file or stream": seven rows with four
+//! key columns each (domain 1…99), sorted ascending on all columns, with
+//! the expected descending and ascending codes.  Examples, unit tests,
+//! property tests, and the figure harness all reuse this data, so the
+//! reproduction of the paper's running example lives in exactly one place.
+
+use crate::ovc::Ovc;
+use crate::row::Row;
+
+/// Sort-key arity of the Table 1 rows.
+pub const ARITY: usize = 4;
+
+/// Column-value domain used by the paper's decimal rendering.
+pub const DOMAIN: u64 = 100;
+
+/// The seven rows of Table 1, already in ascending order.
+pub fn rows() -> Vec<Row> {
+    vec![
+        Row::new(vec![5, 7, 3, 9]),
+        Row::new(vec![5, 7, 3, 12]),
+        Row::new(vec![5, 8, 4, 6]),
+        Row::new(vec![5, 9, 2, 7]),
+        Row::new(vec![5, 9, 2, 7]),
+        Row::new(vec![5, 9, 3, 4]),
+        Row::new(vec![5, 9, 3, 7]),
+    ]
+}
+
+/// The expected ascending `(offset, value)` pairs; the duplicate row is
+/// `(4, None)`.
+pub fn asc_offset_value() -> Vec<(usize, Option<u64>)> {
+    vec![
+        (0, Some(5)),
+        (3, Some(12)),
+        (1, Some(8)),
+        (1, Some(9)),
+        (4, None),
+        (2, Some(3)),
+        (3, Some(7)),
+    ]
+}
+
+/// The expected ascending codes in the paper's decimal rendering
+/// (`(arity − offset) · 100 + value`): 405, 112, 308, 309, 0, 203, 107.
+pub fn asc_paper_decimals() -> Vec<u64> {
+    vec![405, 112, 308, 309, 0, 203, 107]
+}
+
+/// The expected descending codes in the paper's decimal rendering
+/// (`offset · 100 + (domain − value)`): 95, 388, 192, 191, 400, 297, 393.
+pub fn desc_paper_decimals() -> Vec<u64> {
+    vec![95, 388, 192, 191, 400, 297, 393]
+}
+
+/// The expected ascending [`Ovc`] values for the seven rows.
+pub fn asc_codes() -> Vec<Ovc> {
+    asc_offset_value()
+        .into_iter()
+        .map(|(off, val)| match val {
+            Some(v) => Ovc::new(off, v, ARITY),
+            None => Ovc::duplicate(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::derive_codes;
+
+    #[test]
+    fn fixture_is_sorted() {
+        let rows = rows();
+        for w in rows.windows(2) {
+            assert!(w[0].key(ARITY) <= w[1].key(ARITY));
+        }
+    }
+
+    #[test]
+    fn derived_codes_match_table1_ascending() {
+        let rows = rows();
+        let codes = derive_codes(&rows, ARITY);
+        assert_eq!(codes, asc_codes());
+        let decimals: Vec<u64> = codes.iter().map(|c| c.paper_decimal()).collect();
+        assert_eq!(decimals, asc_paper_decimals());
+    }
+
+    #[test]
+    fn offsets_match_table1() {
+        let rows = rows();
+        let codes = derive_codes(&rows, ARITY);
+        for (code, (off, _)) in codes.iter().zip(asc_offset_value()) {
+            assert_eq!(code.offset(ARITY), off);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Duplicate removal (Section 4.4).
+//!
+//! "In a sorted stream with offset-value codes, duplicate removal
+//! suppresses input rows with offsets equal to the arity (count of
+//! columns) … All other rows, i.e., the output rows, retain their
+//! offset-value codes from the input.  In the duplicate-free output, no
+//! row has an offset equal to the arity."
+//!
+//! Detection is a single integer test per row — `offset == arity` is the
+//! duplicate code, the smallest valid code — with no column comparisons.
+//! Retaining the survivors' codes is correct because a duplicate shares
+//! its entire key with its predecessor: the code of the next distinct row
+//! relative to the duplicate equals its code relative to the first copy.
+
+use ovc_core::{OvcRow, OvcStream};
+
+/// Duplicate removal over the full sort key.
+pub struct Dedup<S> {
+    input: S,
+}
+
+impl<S: OvcStream> Dedup<S> {
+    /// Remove rows whose key equals the previous row's key.
+    pub fn new(input: S) -> Self {
+        Dedup { input }
+    }
+}
+
+impl<S: OvcStream> Iterator for Dedup<S> {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        loop {
+            let r = self.input.next()?;
+            if !r.code.is_duplicate() {
+                return Some(r);
+            }
+        }
+    }
+}
+
+impl<S: OvcStream> OvcStream for Dedup<S> {
+    fn key_len(&self) -> usize {
+        self.input.key_len()
+    }
+}
+
+/// Duplicate removal that keeps a count of collapsed copies, appended as a
+/// payload column — the "single copy with counter" representation that
+/// Section 4.7 recommends for sort-based multi-set operations.
+pub struct DedupCounting<S: Iterator<Item = OvcRow>> {
+    input: std::iter::Peekable<S>,
+    key_len: usize,
+}
+
+impl<S: OvcStream> DedupCounting<S> {
+    /// Collapse duplicates into `(row, count)`; the count becomes the
+    /// output row's last column.
+    pub fn new(input: S) -> Self {
+        let key_len = input.key_len();
+        DedupCounting { input: input.peekable(), key_len }
+    }
+}
+
+impl<S: OvcStream> Iterator for DedupCounting<S> {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        let first = self.input.next()?;
+        debug_assert!(!first.code.is_duplicate(), "input must start each group");
+        let mut count = 1u64;
+        while let Some(peek) = self.input.peek() {
+            if peek.code.is_duplicate() {
+                count += 1;
+                self.input.next();
+            } else {
+                break;
+            }
+        }
+        let mut cols = first.row.cols().to_vec();
+        cols.push(count);
+        Some(OvcRow::new(ovc_core::Row::new(cols), first.code))
+    }
+}
+
+impl<S: OvcStream> OvcStream for DedupCounting<S> {
+    fn key_len(&self) -> usize {
+        self.key_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovc_core::derive::assert_codes_exact;
+    use ovc_core::stream::collect_pairs;
+    use ovc_core::{Row, VecStream};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn removes_the_table1_duplicate() {
+        let rows = ovc_core::table1::rows();
+        let input = VecStream::from_sorted_rows(rows.clone(), 4);
+        let dedup = Dedup::new(input);
+        let pairs = collect_pairs(dedup);
+        assert_eq!(pairs.len(), 6, "one duplicate row suppressed");
+        assert_codes_exact(&pairs, 4);
+        assert!(pairs.iter().all(|(_, c)| !c.is_duplicate()));
+        // Survivors keep their input codes.
+        let decimals: Vec<u64> = pairs.iter().map(|(_, c)| c.paper_decimal()).collect();
+        assert_eq!(decimals, vec![405, 112, 308, 309, 203, 107]);
+    }
+
+    #[test]
+    fn random_dedup_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut rows: Vec<Row> = (0..500)
+            .map(|_| Row::new(vec![rng.gen_range(0..5u64), rng.gen_range(0..5u64)]))
+            .collect();
+        rows.sort();
+        let mut expect = rows.clone();
+        expect.dedup();
+        let input = VecStream::from_sorted_rows(rows, 2);
+        let pairs = collect_pairs(Dedup::new(input));
+        assert_codes_exact(&pairs, 2);
+        let got: Vec<Row> = pairs.into_iter().map(|(r, _)| r).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn counting_dedup_counts() {
+        let rows = vec![
+            Row::new(vec![1]),
+            Row::new(vec![1]),
+            Row::new(vec![1]),
+            Row::new(vec![2]),
+            Row::new(vec![3]),
+            Row::new(vec![3]),
+        ];
+        let input = VecStream::from_sorted_rows(rows, 1);
+        let pairs = collect_pairs(DedupCounting::new(input));
+        let got: Vec<(u64, u64)> = pairs
+            .iter()
+            .map(|(r, _)| (r.cols()[0], r.cols()[1]))
+            .collect();
+        assert_eq!(got, vec![(1, 3), (2, 1), (3, 2)]);
+        assert_codes_exact(&pairs, 1);
+    }
+
+    #[test]
+    fn dedup_without_duplicates_is_identity() {
+        let rows: Vec<Row> = (0..20).map(|i| Row::new(vec![i])).collect();
+        let input = VecStream::from_sorted_rows(rows.clone(), 1);
+        let got: Vec<Row> = Dedup::new(input).map(|r| r.row).collect();
+        assert_eq!(got, rows);
+    }
+
+    #[test]
+    fn dedup_all_equal() {
+        let rows = vec![Row::new(vec![9, 9]); 10];
+        let input = VecStream::from_sorted_rows(rows, 2);
+        let pairs = collect_pairs(Dedup::new(input));
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let input = VecStream::from_sorted_rows(vec![], 2);
+        assert_eq!(Dedup::new(input).count(), 0);
+        let input = VecStream::from_sorted_rows(vec![], 2);
+        assert_eq!(DedupCounting::new(input).count(), 0);
+    }
+}

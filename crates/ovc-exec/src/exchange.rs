@@ -1,0 +1,210 @@
+//! Order-preserving exchange / shuffle (Section 4.10).
+//!
+//! * One-to-many "splitting" shuffle: each output partition is a selection
+//!   from the input stream, so it "resembles a filter with respect to each
+//!   output partition" — one filter-theorem accumulator per partition.
+//! * Many-to-one "merging" shuffle: "the standard merge logic, very
+//!   similar to a merge step in an external merge sort", i.e. a
+//!   tree-of-losers that consumes and produces codes.
+//! * Many-to-many: "similar to a sequence of many-to-one and one-to-many
+//!   shuffle operations" — composed from the two primitives.
+//!
+//! The paper's experiments are single-threaded (Section 6); these
+//! operators model the data movement and code computation, which is what
+//! offset-value coding touches — thread scheduling is orthogonal.
+
+use std::rc::Rc;
+
+use ovc_core::theorem::OvcAccumulator;
+use ovc_core::{OvcRow, OvcStream, Row, Stats, VecStream};
+use ovc_sort::TreeOfLosers;
+
+/// Ready-made partitioning functions.
+pub mod partition {
+    use ovc_core::{Row, Value};
+
+    /// Hash-partition on the given column.
+    pub fn by_hash(col: usize, n: usize) -> impl FnMut(&Row) -> usize {
+        move |r: &Row| {
+            // Fibonacci hashing of the column value.
+            let h = r.cols()[col].wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (h >> 32) as usize % n
+        }
+    }
+
+    /// Range-partition on column 0 with the given upper boundaries
+    /// (partition `i` receives values below `boundaries[i]`; the last
+    /// partition receives the rest).
+    pub fn by_range(boundaries: Vec<Value>) -> impl FnMut(&Row) -> usize {
+        move |r: &Row| {
+            let v = r.cols()[0];
+            boundaries.iter().position(|&b| v < b).unwrap_or(boundaries.len())
+        }
+    }
+
+    /// Round-robin by arrival order.
+    pub fn round_robin(n: usize) -> impl FnMut(&Row) -> usize {
+        let mut i = 0usize;
+        move |_: &Row| {
+            let p = i % n;
+            i += 1;
+            p
+        }
+    }
+}
+
+/// Order-preserving one-to-many split: route each row with `part`, keeping
+/// every partition sorted and exactly coded via its own accumulator.
+pub fn split<S, P>(input: S, parts: usize, mut part: P) -> Vec<VecStream>
+where
+    S: OvcStream,
+    P: FnMut(&Row) -> usize,
+{
+    let key_len = input.key_len();
+    let mut accs = vec![OvcAccumulator::new(); parts];
+    let mut outs: Vec<Vec<OvcRow>> = vec![Vec::new(); parts];
+    for OvcRow { row, code } in input {
+        let p = part(&row);
+        assert!(p < parts, "partition function out of range");
+        // This row is "kept" by partition p and "dropped" by all others.
+        for (i, acc) in accs.iter_mut().enumerate() {
+            if i == p {
+                let out_code = acc.emit(code);
+                outs[p].push(OvcRow::new(row.clone(), out_code));
+            } else {
+                acc.absorb(code);
+            }
+        }
+    }
+    outs
+        .into_iter()
+        .map(|rows| VecStream::from_coded(rows, key_len))
+        .collect()
+}
+
+/// Order-preserving many-to-one merge: the tree-of-losers merge over the
+/// partition streams.
+pub fn merge<S: OvcStream>(inputs: Vec<S>, key_len: usize, stats: &Rc<Stats>) -> TreeOfLosers<S> {
+    ovc_sort::merge_streams(inputs, key_len, stats)
+}
+
+/// Order-preserving many-to-many shuffle: split every input into
+/// `parts_out` ways, then merge column-wise.  (The paper notes real
+/// systems usually avoid this form due to deadlock concerns between
+/// producer and consumer threads; the data-flow semantics are as below.)
+pub fn many_to_many<S, P>(
+    inputs: Vec<S>,
+    parts_out: usize,
+    mut make_part: impl FnMut() -> P,
+    stats: &Rc<Stats>,
+) -> Vec<VecStream>
+where
+    S: OvcStream,
+    P: FnMut(&Row) -> usize,
+{
+    let key_len = inputs.first().map(|s| s.key_len()).unwrap_or(0);
+    // Split each input; transpose; merge each column of partitions.
+    let mut columns: Vec<Vec<VecStream>> = (0..parts_out).map(|_| Vec::new()).collect();
+    for input in inputs {
+        for (p, stream) in split(input, parts_out, make_part()).into_iter().enumerate() {
+            columns[p].push(stream);
+        }
+    }
+    columns
+        .into_iter()
+        .map(|streams| {
+            let merged: Vec<OvcRow> = merge(streams, key_len, stats).collect();
+            VecStream::from_coded(merged, key_len)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovc_core::derive::assert_codes_exact;
+    use ovc_core::stream::collect_pairs;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn stream(n: usize, seed: u64) -> (VecStream, Vec<Row>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows: Vec<Row> = (0..n)
+            .map(|_| Row::new(vec![rng.gen_range(0..20u64), rng.gen_range(0..20u64)]))
+            .collect();
+        rows.sort();
+        (VecStream::from_sorted_rows(rows.clone(), 2), rows)
+    }
+
+    #[test]
+    fn split_partitions_are_sorted_and_exact() {
+        let (input, rows) = stream(300, 1);
+        let parts = split(input, 4, partition::by_hash(1, 4));
+        assert_eq!(parts.len(), 4);
+        let mut total = 0;
+        for p in parts {
+            let pairs = collect_pairs(p);
+            total += pairs.len();
+            assert_codes_exact(&pairs, 2);
+        }
+        assert_eq!(total, rows.len());
+    }
+
+    #[test]
+    fn split_then_merge_round_trips() {
+        let (input, rows) = stream(500, 2);
+        let stats = Stats::new_shared();
+        let parts = split(input, 8, partition::by_hash(0, 8));
+        let merged = merge(parts, 2, &stats);
+        let pairs = collect_pairs(merged);
+        assert_codes_exact(&pairs, 2);
+        let got: Vec<Row> = pairs.into_iter().map(|(r, _)| r).collect();
+        assert_eq!(got, rows, "shuffle round trip preserves the sorted stream");
+    }
+
+    #[test]
+    fn range_partition_keeps_global_order_concatenated() {
+        let (input, rows) = stream(200, 3);
+        let parts = split(input, 3, partition::by_range(vec![7, 14]));
+        let mut got: Vec<Row> = Vec::new();
+        for p in parts {
+            let pairs = collect_pairs(p);
+            assert_codes_exact(&pairs, 2);
+            got.extend(pairs.into_iter().map(|(r, _)| r));
+        }
+        // Range partitions concatenate back to the global order.
+        assert_eq!(got, rows);
+    }
+
+    #[test]
+    fn round_robin_split() {
+        let (input, rows) = stream(100, 4);
+        let parts = split(input, 3, partition::round_robin(3));
+        let sizes: Vec<usize> = parts.iter().map(|p| p.size_hint().0).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), rows.len());
+        assert!(sizes.iter().all(|&s| s >= rows.len() / 3));
+    }
+
+    #[test]
+    fn many_to_many_shuffle() {
+        let (a, mut rows_a) = stream(150, 5);
+        let (b, rows_b) = stream(150, 6);
+        let stats = Stats::new_shared();
+        let outs = many_to_many(vec![a, b], 4, || partition::by_hash(0, 4), &stats);
+        let mut total = 0;
+        for o in outs {
+            let pairs = collect_pairs(o);
+            total += pairs.len();
+            assert_codes_exact(&pairs, 2);
+        }
+        rows_a.extend(rows_b);
+        assert_eq!(total, rows_a.len());
+    }
+
+    #[test]
+    fn empty_input_split() {
+        let input = VecStream::from_sorted_rows(vec![], 1);
+        let parts = split(input, 2, partition::round_robin(2));
+        assert!(parts.into_iter().all(|p| p.count() == 0));
+    }
+}

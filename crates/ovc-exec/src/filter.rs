@@ -1,0 +1,132 @@
+//! Filter (Section 4.1): the first and simplest application of the
+//! paper's filter theorem.
+//!
+//! "An output row's offset-value code is (in ascending encoding) the
+//! maximum of its offset-value code in the input and of the offset-value
+//! codes of rows that failed the filter predicate since the prior output
+//! row."  Table 3 illustrates the calculation on the data of Table 1.
+//!
+//! No row or column comparisons happen here at all — only one integer
+//! `max` per input row.
+
+use ovc_core::theorem::OvcAccumulator;
+use ovc_core::{OvcRow, OvcStream, Row};
+
+/// A predicate filter over a coded stream.
+pub struct Filter<S, P> {
+    input: S,
+    predicate: P,
+    acc: OvcAccumulator,
+}
+
+impl<S: OvcStream, P: FnMut(&Row) -> bool> Filter<S, P> {
+    /// Filter `input`, keeping rows for which `predicate` returns true.
+    pub fn new(input: S, predicate: P) -> Self {
+        Filter { input, predicate, acc: OvcAccumulator::new() }
+    }
+}
+
+impl<S: OvcStream, P: FnMut(&Row) -> bool> Iterator for Filter<S, P> {
+    type Item = OvcRow;
+
+    fn next(&mut self) -> Option<OvcRow> {
+        loop {
+            let OvcRow { row, code } = self.input.next()?;
+            if (self.predicate)(&row) {
+                // Filter theorem: max over the dropped chain plus this row.
+                let code = self.acc.emit(code);
+                return Some(OvcRow::new(row, code));
+            }
+            self.acc.absorb(code);
+        }
+    }
+}
+
+impl<S: OvcStream, P: FnMut(&Row) -> bool> OvcStream for Filter<S, P> {
+    fn key_len(&self) -> usize {
+        self.input.key_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovc_core::derive::assert_codes_exact;
+    use ovc_core::stream::collect_pairs;
+    use ovc_core::{Ovc, VecStream};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Table 3 of the paper: only the first and last rows of Table 1
+    /// satisfy the predicate; their ascending codes are 405 and 309.
+    #[test]
+    fn table3_filter_codes() {
+        let rows = ovc_core::table1::rows();
+        let keep: Vec<Row> = vec![rows[0].clone(), rows[6].clone()];
+        let input = VecStream::from_sorted_rows(rows, 4);
+        let filter = Filter::new(input, |r| keep.contains(r));
+        let pairs = collect_pairs(filter);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].1.paper_decimal(), 405);
+        assert_eq!(pairs[1].1.paper_decimal(), 309);
+        assert_codes_exact(&pairs, 4);
+    }
+
+    #[test]
+    fn filter_codes_match_rederivation_randomized() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut rows: Vec<Row> = (0..400)
+            .map(|_| {
+                Row::new(vec![
+                    rng.gen_range(0..6u64),
+                    rng.gen_range(0..6u64),
+                    rng.gen_range(0..6u64),
+                ])
+            })
+            .collect();
+        rows.sort();
+        let input = VecStream::from_sorted_rows(rows, 3);
+        let filter = Filter::new(input, |r| r.cols()[1] % 2 == 0);
+        let pairs = collect_pairs(filter);
+        assert_codes_exact(&pairs, 3);
+    }
+
+    #[test]
+    fn keep_all_is_identity() {
+        let rows = ovc_core::table1::rows();
+        let input = VecStream::from_sorted_rows(rows.clone(), 4);
+        let expect: Vec<Ovc> = ovc_core::table1::asc_codes();
+        let filter = Filter::new(input, |_| true);
+        let pairs = collect_pairs(filter);
+        let codes: Vec<Ovc> = pairs.iter().map(|(_, c)| *c).collect();
+        assert_eq!(codes, expect, "an all-pass filter changes nothing");
+    }
+
+    #[test]
+    fn drop_all_is_empty() {
+        let input = VecStream::from_sorted_rows(ovc_core::table1::rows(), 4);
+        let mut filter = Filter::new(input, |_| false);
+        assert!(filter.next().is_none());
+    }
+
+    #[test]
+    fn no_column_comparisons() {
+        let stats = ovc_core::Stats::default();
+        let input = VecStream::from_sorted_rows(ovc_core::table1::rows(), 4);
+        let filter = Filter::new(input, |r| r.cols()[0] > 0);
+        let _ = collect_pairs(filter);
+        assert_eq!(stats.col_value_cmps(), 0);
+        assert_eq!(stats.row_cmps(), 0);
+    }
+
+    #[test]
+    fn filters_compose() {
+        let rows = ovc_core::table1::rows();
+        let input = VecStream::from_sorted_rows(rows, 4);
+        let f1 = Filter::new(input, |r| r.cols()[1] >= 8);
+        let f2 = Filter::new(f1, |r| r.cols()[2] == 2);
+        let pairs = collect_pairs(f2);
+        assert_eq!(pairs.len(), 2); // the duplicate pair (5,9,2,7)
+        assert_codes_exact(&pairs, 4);
+    }
+}

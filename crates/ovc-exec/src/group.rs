@@ -1,0 +1,385 @@
+//! Grouping and aggregation in sorted streams (Section 4.5) — the
+//! operator behind Figure 4.
+//!
+//! "In a stream with offset-value codes sorted on a 'group by' list,
+//! grouping aggregates input rows with offsets equal to or larger than the
+//! 'group by' list.  In the aggregation output, no row has an offset equal
+//! to or larger than the 'group by' list.  The output rows retain the
+//! offset-value codes of the first row in each group of input rows."
+//!
+//! Group-boundary detection is one integer comparison per row against a
+//! precomputed code threshold — the exact mechanism Figure 4 benchmarks
+//! against "full comparisons of multiple key columns".
+
+use ovc_core::theorem::clamp_to_prefix;
+use ovc_core::{Ovc, OvcRow, OvcStream, Row, Value};
+
+/// An aggregate function over a group of rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Number of rows in the group.
+    Count,
+    /// Sum of the column at the given index.
+    Sum(usize),
+    /// Minimum of the column at the given index.
+    Min(usize),
+    /// Maximum of the column at the given index.
+    Max(usize),
+    /// The column value of the group's first row.
+    First(usize),
+    /// The column value of the group's last row.
+    Last(usize),
+}
+
+impl Aggregate {
+    /// Initialize the accumulator from a group's first row.
+    pub fn init(&self, row: &Row) -> Value {
+        match *self {
+            Aggregate::Count => 1,
+            Aggregate::Sum(c) | Aggregate::Min(c) | Aggregate::Max(c)
+            | Aggregate::First(c) | Aggregate::Last(c) => row.cols()[c],
+        }
+    }
+
+    /// Fold one more row into the accumulator.
+    pub fn fold(&self, acc: Value, row: &Row) -> Value {
+        match *self {
+            Aggregate::Count => acc + 1,
+            Aggregate::Sum(c) => acc.wrapping_add(row.cols()[c]),
+            Aggregate::Min(c) => acc.min(row.cols()[c]),
+            Aggregate::Max(c) => acc.max(row.cols()[c]),
+            Aggregate::First(_) => acc,
+            Aggregate::Last(c) => row.cols()[c],
+        }
+    }
+}
+
+/// In-stream grouping: aggregates consecutive rows that share the first
+/// `group_len` columns.  Output rows are the group key followed by one
+/// column per aggregate; output codes have arity `group_len` and are the
+/// (clamped) code of each group's first input row.
+pub struct GroupAggregate<S> {
+    input: S,
+    in_key_len: usize,
+    group_len: usize,
+    aggregates: Vec<Aggregate>,
+    /// First row of the group currently being accumulated.
+    pending: Option<(Row, Ovc, Vec<Value>)>,
+}
+
+impl<S: OvcStream> GroupAggregate<S> {
+    /// Build the operator.  Panics unless `group_len <= input.key_len()`.
+    pub fn new(input: S, group_len: usize, aggregates: Vec<Aggregate>) -> Self {
+        let in_key_len = input.key_len();
+        assert!(group_len <= in_key_len, "group key must be a sort-key prefix");
+        GroupAggregate { input, in_key_len, group_len, aggregates, pending: None }
+    }
+
+    fn finish(&self, (row, code, accs): (Row, Ovc, Vec<Value>)) -> OvcRow {
+        let mut cols = Vec::with_capacity(self.group_len + accs.len());
+        cols.extend_from_slice(row.key(self.group_len));
+        cols.extend_from_slice(&accs);
+        OvcRow::new(Row::new(cols), clamp_to_prefix(code, self.in_key_len, self.group_len))
+    }
+}
+
+impl<S: OvcStream> Iterator for GroupAggregate<S> {
+    type Item = OvcRow;
+
+    fn next(&mut self) -> Option<OvcRow> {
+        loop {
+            match self.input.next() {
+                None => {
+                    // Input exhausted: flush the final group, if any.
+                    return self.pending.take().map(|g| self.finish(g));
+                }
+                Some(OvcRow { row, code }) => {
+                    // Group membership by code inspection alone: an offset
+                    // of at least `group_len` means the entire group key is
+                    // shared with the predecessor.
+                    let same_group =
+                        code.is_valid() && code.offset(self.in_key_len) >= self.group_len;
+                    match (&mut self.pending, same_group) {
+                        (Some((_, _, accs)), true) => {
+                            for (acc, agg) in accs.iter_mut().zip(&self.aggregates) {
+                                *acc = agg.fold(*acc, &row);
+                            }
+                        }
+                        (pending @ None, _) => {
+                            let accs =
+                                self.aggregates.iter().map(|a| a.init(&row)).collect();
+                            *pending = Some((row, code, accs));
+                        }
+                        (pending @ Some(_), false) => {
+                            // Boundary: emit the finished group, start anew.
+                            let accs: Vec<Value> =
+                                self.aggregates.iter().map(|a| a.init(&row)).collect();
+                            let done = pending.replace((row, code, accs))
+                                .expect("pending group");
+                            return Some(self.finish(done));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<S: OvcStream> OvcStream for GroupAggregate<S> {
+    fn key_len(&self) -> usize {
+        self.group_len
+    }
+}
+
+/// The paper's motivating two-step query (Section 3): "in a query like
+/// `select …, count (distinct …) group by …`, the sort can detect
+/// duplicate rows by offsets equal to the column count and, after the
+/// sort, in-stream aggregation can detect group boundaries by offsets
+/// smaller than the grouping key."
+///
+/// Input: sorted on `(group key ++ distinct columns)` = the full sort key.
+/// Output: group key plus the count of distinct full keys per group —
+/// both tests are single integer comparisons against code thresholds.
+pub struct GroupCountDistinct<S> {
+    input: S,
+    in_key_len: usize,
+    group_len: usize,
+    pending: Option<(Row, Ovc, u64)>,
+}
+
+impl<S: OvcStream> GroupCountDistinct<S> {
+    /// Build the operator; the distinct columns are the sort-key suffix
+    /// past `group_len`.
+    pub fn new(input: S, group_len: usize) -> Self {
+        let in_key_len = input.key_len();
+        assert!(group_len <= in_key_len);
+        GroupCountDistinct { input, in_key_len, group_len, pending: None }
+    }
+
+    fn finish(&self, (row, code, distinct): (Row, Ovc, u64)) -> OvcRow {
+        let mut cols = Vec::with_capacity(self.group_len + 1);
+        cols.extend_from_slice(row.key(self.group_len));
+        cols.push(distinct);
+        OvcRow::new(Row::new(cols), clamp_to_prefix(code, self.in_key_len, self.group_len))
+    }
+}
+
+impl<S: OvcStream> Iterator for GroupCountDistinct<S> {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        loop {
+            match self.input.next() {
+                None => return self.pending.take().map(|g| self.finish(g)),
+                Some(OvcRow { row, code }) => {
+                    // Two integer tests per row, zero column comparisons:
+                    let is_duplicate = code.is_duplicate();
+                    let same_group =
+                        code.is_valid() && code.offset(self.in_key_len) >= self.group_len;
+                    match (&mut self.pending, same_group) {
+                        (Some((_, _, distinct)), true) => {
+                            if !is_duplicate {
+                                *distinct += 1;
+                            }
+                        }
+                        (pending @ None, _) => {
+                            *pending = Some((row, code, 1));
+                        }
+                        (pending @ Some(_), false) => {
+                            let done =
+                                pending.replace((row, code, 1)).expect("pending group");
+                            return Some(self.finish(done));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<S: OvcStream> OvcStream for GroupCountDistinct<S> {
+    fn key_len(&self) -> usize {
+        self.group_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovc_core::derive::assert_codes_exact;
+    use ovc_core::stream::collect_pairs;
+    use ovc_core::VecStream;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn groups_table1_on_two_columns() {
+        // "grouping on the first two columns can use offset-value codes
+        // similarly to segmentation" — Table 1 has groups (5,7), (5,8),
+        // (5,9) of sizes 2, 1, 4.
+        let input = VecStream::from_sorted_rows(ovc_core::table1::rows(), 4);
+        let group = GroupAggregate::new(input, 2, vec![Aggregate::Count]);
+        let pairs = collect_pairs(group);
+        let got: Vec<(Vec<u64>, u64)> = pairs
+            .iter()
+            .map(|(r, _)| (r.key(2).to_vec(), r.cols()[2]))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (vec![5, 7], 2),
+                (vec![5, 8], 1),
+                (vec![5, 9], 4),
+            ]
+        );
+        assert_codes_exact(&pairs, 2);
+        // No output offset reaches the group-key arity.
+        assert!(pairs.iter().all(|(_, c)| c.offset(2) < 2 || !c.is_valid()));
+    }
+
+    #[test]
+    fn aggregates_compute_correctly() {
+        let rows = vec![
+            Row::new(vec![1, 10]),
+            Row::new(vec![1, 30]),
+            Row::new(vec![1, 20]),
+            Row::new(vec![2, 5]),
+        ];
+        let input = VecStream::from_unsorted_rows(rows, 1);
+        let group = GroupAggregate::new(
+            input,
+            1,
+            vec![
+                Aggregate::Count,
+                Aggregate::Sum(1),
+                Aggregate::Min(1),
+                Aggregate::Max(1),
+                Aggregate::First(1),
+                Aggregate::Last(1),
+            ],
+        );
+        let out: Vec<Row> = group.map(|r| r.row).collect();
+        // Stable sort keeps group-1 payloads in arrival order 10, 30, 20.
+        assert_eq!(out[0], Row::new(vec![1, 3, 60, 10, 30, 10, 20]));
+        assert_eq!(out[1], Row::new(vec![2, 1, 5, 5, 5, 5, 5]));
+    }
+
+    #[test]
+    fn random_grouping_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut rows: Vec<Row> = (0..800)
+            .map(|_| {
+                Row::new(vec![
+                    rng.gen_range(0..4u64),
+                    rng.gen_range(0..4u64),
+                    rng.gen_range(0..100u64),
+                ])
+            })
+            .collect();
+        rows.sort();
+        let mut expect: BTreeMap<Vec<u64>, (u64, u64)> = BTreeMap::new();
+        for r in &rows {
+            let e = expect.entry(r.key(2).to_vec()).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += r.cols()[2];
+        }
+        let input = VecStream::from_sorted_rows(rows, 3);
+        let group =
+            GroupAggregate::new(input, 2, vec![Aggregate::Count, Aggregate::Sum(2)]);
+        let pairs = collect_pairs(group);
+        assert_codes_exact(&pairs, 2);
+        let got: Vec<(Vec<u64>, (u64, u64))> = pairs
+            .iter()
+            .map(|(r, _)| (r.key(2).to_vec(), (r.cols()[2], r.cols()[3])))
+            .collect();
+        let expect: Vec<(Vec<u64>, (u64, u64))> = expect.into_iter().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn group_by_full_key_is_dedup_with_count() {
+        let input = VecStream::from_sorted_rows(ovc_core::table1::rows(), 4);
+        let group = GroupAggregate::new(input, 4, vec![Aggregate::Count]);
+        let pairs = collect_pairs(group);
+        assert_eq!(pairs.len(), 6);
+        let counts: Vec<u64> = pairs.iter().map(|(r, _)| r.cols()[4]).collect();
+        assert_eq!(counts, vec![1, 1, 1, 2, 1, 1]);
+        assert_codes_exact(&pairs, 4);
+    }
+
+    #[test]
+    fn group_by_empty_key_aggregates_everything() {
+        let input = VecStream::from_sorted_rows(ovc_core::table1::rows(), 4);
+        let group = GroupAggregate::new(input, 0, vec![Aggregate::Count]);
+        let out: Vec<Row> = group.map(|r| r.row).collect();
+        assert_eq!(out, vec![Row::new(vec![7])]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let input = VecStream::from_sorted_rows(vec![], 2);
+        let mut group = GroupAggregate::new(input, 1, vec![Aggregate::Count]);
+        assert!(group.next().is_none());
+    }
+
+    #[test]
+    fn count_distinct_group_by() {
+        // select g, count(distinct d) from t group by g — over key (g, d).
+        let rows = vec![
+            Row::new(vec![1, 5]),
+            Row::new(vec![1, 5]), // duplicate
+            Row::new(vec![1, 7]),
+            Row::new(vec![2, 5]),
+            Row::new(vec![2, 5]), // duplicate
+            Row::new(vec![2, 5]), // duplicate
+            Row::new(vec![3, 1]),
+        ];
+        let input = VecStream::from_sorted_rows(rows, 2);
+        let stats = ovc_core::Stats::default();
+        let out: Vec<(u64, u64)> = GroupCountDistinct::new(input, 1)
+            .map(|r| (r.row.cols()[0], r.row.cols()[1]))
+            .collect();
+        assert_eq!(out, vec![(1, 2), (2, 1), (3, 1)]);
+        assert_eq!(stats.col_value_cmps(), 0);
+    }
+
+    #[test]
+    fn count_distinct_matches_reference_randomized() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut rows: Vec<Row> = (0..600)
+            .map(|_| Row::new(vec![rng.gen_range(0..5u64), rng.gen_range(0..5u64)]))
+            .collect();
+        rows.sort();
+        let mut expect: BTreeMap<u64, std::collections::BTreeSet<u64>> = BTreeMap::new();
+        for r in &rows {
+            expect.entry(r.cols()[0]).or_default().insert(r.cols()[1]);
+        }
+        let input = VecStream::from_sorted_rows(rows, 2);
+        let pairs = collect_pairs(GroupCountDistinct::new(input, 1));
+        assert_codes_exact(&pairs, 1);
+        let got: Vec<(u64, u64)> = pairs
+            .iter()
+            .map(|(r, _)| (r.cols()[0], r.cols()[1]))
+            .collect();
+        let expect: Vec<(u64, u64)> = expect
+            .into_iter()
+            .map(|(k, s)| (k, s.len() as u64))
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn count_distinct_empty_input() {
+        let input = VecStream::from_sorted_rows(vec![], 2);
+        assert_eq!(GroupCountDistinct::new(input, 1).count(), 0);
+    }
+
+    #[test]
+    fn boundary_detection_uses_no_column_comparisons() {
+        let stats = ovc_core::Stats::default();
+        let input = VecStream::from_sorted_rows(ovc_core::table1::rows(), 4);
+        let group = GroupAggregate::new(input, 2, vec![Aggregate::Count]);
+        let _ = collect_pairs(group);
+        assert_eq!(stats.col_value_cmps(), 0);
+    }
+}

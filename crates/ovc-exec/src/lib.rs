@@ -1,0 +1,51 @@
+//! # ovc-exec — query execution operators that consume and produce OVCs
+//!
+//! The paper's main contribution (Section 4): every order-preserving
+//! query execution operator can *produce* offset-value codes for its
+//! output from the codes of its inputs, with "no additional column value
+//! comparisons beyond those required in the operation itself":
+//!
+//! * [`filter`] — predicate filter via the filter theorem (§4.1, Table 3);
+//! * [`project`] — projection and sort-key clamping (§4.2);
+//! * [`dedup`] — duplicate removal by code inspection (§4.4);
+//! * [`group`] — in-stream grouping/aggregation, Figure 4's operator (§4.5);
+//! * [`pivot`] — pivoting as grouping (§4.6);
+//! * [`merge_join`] — inner/semi/anti/outer merge joins whose merge logic
+//!   itself compares codes (§4.7);
+//! * [`set_ops`] — union/intersect/except and multiset variants (§4.7);
+//! * [`nlj`] — nested-loops and b-tree lookup joins (§4.8);
+//! * [`hash_join_op`] — order-preserving in-memory hash join (§4.9);
+//! * [`window`] — analytic (window) functions over coded streams (§5);
+//! * [`exchange`] — order-preserving split and merge shuffles (§4.10);
+//! * [`plans`] — the sort-based "intersect distinct" plan of Figure 5.
+//!
+//! Every operator upholds the [`ovc_core::stream::OvcStream`] contract:
+//! output codes are exact, so operators compose into arbitrarily deep
+//! pipelines carrying codes end to end.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dedup;
+pub mod exchange;
+pub mod filter;
+pub mod group;
+pub mod hash_join_op;
+pub mod merge_join;
+pub mod nlj;
+pub mod pivot;
+pub mod plans;
+pub mod project;
+pub mod set_ops;
+pub mod window;
+
+pub use dedup::{Dedup, DedupCounting};
+pub use filter::Filter;
+pub use group::{Aggregate, GroupAggregate, GroupCountDistinct};
+pub use hash_join_op::{HashJoinOp, HashTable};
+pub use merge_join::{JoinType, MergeJoin, NULL_VALUE};
+pub use nlj::{BTreeInner, InnerSource, LookupJoin, PredicateInner};
+pub use pivot::{Pivot, PivotSpec};
+pub use project::{ClampKey, Project};
+pub use set_ops::{SetOp, SetOperation};
+pub use window::{Window, WindowFunc};

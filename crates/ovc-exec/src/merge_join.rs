@@ -1,0 +1,654 @@
+//! Merge join (Section 4.7): inner, semi, anti, and outer joins over
+//! sorted coded inputs.
+//!
+//! "The logic of merge join is similar to an external merge sort; hence,
+//! it can exploit offset-value codes in its two sorted inputs" — and it
+//! must produce codes for its output "without additional column value
+//! comparisons" beyond the merge logic itself.
+//!
+//! Structure:
+//!
+//! * a [`GroupedMerge`] runs a two-way merge of the two inputs with their
+//!   codes clamped to the join-key arity.  Exactly like a tree-of-losers
+//!   with two leaves, every comparison is a same-base code comparison: the
+//!   current row of each side is coded relative to the row most recently
+//!   consumed from *either* side, so codes decide most comparisons and
+//!   equal join keys surface as duplicate codes for free;
+//! * join-key groups fall out of the merged stream's codes (a
+//!   non-duplicate code marks a boundary);
+//! * per group, the join type decides what to emit.  Output codes come
+//!   from the filter theorem over the merged chain: the first output of an
+//!   emitted group carries the accumulated `max` since the previous output,
+//!   every further output within the group is a duplicate under the
+//!   join-key arity.  Semi and anti joins instead preserve the *left*
+//!   input's codes at its full arity, "just like the derivation of Table 3
+//!   from Table 1" (Section 4.7).
+
+use std::cmp::Ordering;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use ovc_core::compare::compare_same_base;
+use ovc_core::theorem::{clamp_to_prefix, OvcAccumulator};
+use ovc_core::{Ovc, OvcRow, OvcStream, Row, Stats, Value};
+
+/// The "null" padding value for outer-join non-matches.  Rows are plain
+/// `u64` columns, so a sentinel stands in for SQL NULL (DESIGN.md §3.6).
+pub const NULL_VALUE: Value = u64::MAX;
+
+/// Supported join types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinType {
+    /// All matching combinations.
+    Inner,
+    /// Matching combinations plus left rows without match (right padded).
+    LeftOuter,
+    /// Matching combinations plus right rows without match (left padded).
+    RightOuter,
+    /// Both of the above.
+    FullOuter,
+    /// Left rows with at least one match (SQL `EXISTS`).
+    LeftSemi,
+    /// Left rows without any match (SQL `NOT EXISTS`).
+    LeftAnti,
+}
+
+/// A buffered input row inside a join group: the row plus its code at the
+/// side's original arity (used by semi/anti joins).
+#[derive(Clone, Debug)]
+pub(crate) struct Item {
+    pub row: Row,
+    pub orig_code: Ovc,
+}
+
+/// One join-key group from the merged chain.
+pub(crate) struct JoinGroup {
+    /// Exact merged-chain code of the group's first row, at join arity.
+    pub code: Ovc,
+    pub left: Vec<Item>,
+    pub right: Vec<Item>,
+}
+
+/// Which side a merged item came from.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Left,
+    Right,
+}
+
+/// The current head of one side: comparison code (join arity, relative to
+/// the last row consumed from either side) plus the original code.
+struct Head {
+    row: Row,
+    cmp_code: Ovc,
+    orig_code: Ovc,
+}
+
+/// Two-way merge of the join inputs, grouped by join key.
+pub(crate) struct GroupedMerge<L: OvcStream, R: OvcStream> {
+    left: L,
+    right: R,
+    join_len: usize,
+    left_key_len: usize,
+    right_key_len: usize,
+    cur_l: Option<Head>,
+    cur_r: Option<Head>,
+    /// Lookahead: the first item of the next group, if already popped.
+    carry: Option<(Side, Item, Ovc)>,
+    stats: Rc<Stats>,
+    started: bool,
+}
+
+impl<L: OvcStream, R: OvcStream> GroupedMerge<L, R> {
+    pub fn new(mut left: L, mut right: R, join_len: usize, stats: Rc<Stats>) -> Self {
+        let left_key_len = left.key_len();
+        let right_key_len = right.key_len();
+        assert!(join_len <= left_key_len && join_len <= right_key_len,
+            "join key must be a sort-key prefix of both inputs");
+        let cur_l = Self::load(&mut left, left_key_len, join_len);
+        let cur_r = Self::load(&mut right, right_key_len, join_len);
+        GroupedMerge {
+            left,
+            right,
+            join_len,
+            left_key_len,
+            right_key_len,
+            cur_l,
+            cur_r,
+            carry: None,
+            stats,
+            started: false,
+        }
+    }
+
+    fn load<S: OvcStream>(input: &mut S, key_len: usize, join_len: usize) -> Option<Head> {
+        input.next().map(|OvcRow { row, code }| Head {
+            cmp_code: clamp_to_prefix(code, key_len, join_len),
+            orig_code: code,
+            row,
+        })
+    }
+
+    /// Pop the next item of the merged chain; its code is exact relative
+    /// to the previously popped item.
+    fn pop(&mut self) -> Option<(Side, Item, Ovc)> {
+        let side = match (&mut self.cur_l, &mut self.cur_r) {
+            (None, None) => return None,
+            (Some(_), None) => Side::Left,
+            (None, Some(_)) => Side::Right,
+            (Some(l), Some(r)) => {
+                let ord = compare_same_base(
+                    &l.row.key(self.join_len),
+                    &r.row.key(self.join_len),
+                    &mut l.cmp_code,
+                    &mut r.cmp_code,
+                    &self.stats,
+                );
+                match ord {
+                    Ordering::Less => Side::Left,
+                    Ordering::Greater => Side::Right,
+                    Ordering::Equal => {
+                        // Equal join keys: take the left first (stability);
+                        // the right head becomes a duplicate of it.
+                        r.cmp_code = Ovc::duplicate();
+                        Side::Left
+                    }
+                }
+            }
+        };
+        let head = match side {
+            Side::Left => {
+                let head = self.cur_l.take().expect("left head");
+                self.cur_l = Self::load(&mut self.left, self.left_key_len, self.join_len);
+                head
+            }
+            Side::Right => {
+                let head = self.cur_r.take().expect("right head");
+                self.cur_r = Self::load(&mut self.right, self.right_key_len, self.join_len);
+                head
+            }
+        };
+        Some((
+            side,
+            Item { row: head.row, orig_code: head.orig_code },
+            head.cmp_code,
+        ))
+    }
+}
+
+impl<L: OvcStream, R: OvcStream> Iterator for GroupedMerge<L, R> {
+    type Item = JoinGroup;
+
+    fn next(&mut self) -> Option<JoinGroup> {
+        let (side, item, code) = match self.carry.take() {
+            Some(c) => c,
+            None => self.pop()?,
+        };
+        debug_assert!(
+            !self.started || !code.is_duplicate() || self.join_len == 0,
+            "group must start at a boundary"
+        );
+        self.started = true;
+        let mut group = JoinGroup { code, left: Vec::new(), right: Vec::new() };
+        match side {
+            Side::Left => group.left.push(item),
+            Side::Right => group.right.push(item),
+        }
+        // Absorb the rest of the group: items whose merged-chain code is a
+        // duplicate at join arity (free detection; with an empty join key
+        // everything is one group).
+        while let Some((side, item, code)) = self.pop() {
+            if code.is_duplicate() {
+                match side {
+                    Side::Left => group.left.push(item),
+                    Side::Right => group.right.push(item),
+                }
+            } else {
+                self.carry = Some((side, item, code));
+                break;
+            }
+        }
+        Some(group)
+    }
+}
+
+/// Merge join over two coded streams.
+///
+/// The join key is the first `join_len` columns of both inputs.  Output
+/// rows are `left columns ++ right columns past the join key` (matching
+/// SQL `USING` semantics); outer-join non-matches pad the absent side with
+/// [`NULL_VALUE`].  Output codes have arity `join_len`, except for semi
+/// and anti joins whose outputs are unmodified left rows with codes at the
+/// left input's full arity.
+pub struct MergeJoin<L: OvcStream, R: OvcStream> {
+    groups: GroupedMerge<L, R>,
+    join_type: JoinType,
+    join_len: usize,
+    left_key_len: usize,
+    left_width: usize,
+    right_width: usize,
+    /// Filter-theorem accumulator over the merged chain (join arity).
+    acc: OvcAccumulator,
+    /// Filter-theorem accumulator over the left chain (semi/anti).
+    left_acc: OvcAccumulator,
+    queue: VecDeque<OvcRow>,
+}
+
+impl<L: OvcStream, R: OvcStream> MergeJoin<L, R> {
+    /// Build a merge join.  `left_width`/`right_width` are the inputs'
+    /// column counts (needed to pad outer-join non-matches).
+    pub fn new(
+        left: L,
+        right: R,
+        join_len: usize,
+        join_type: JoinType,
+        left_width: usize,
+        right_width: usize,
+        stats: Rc<Stats>,
+    ) -> Self {
+        let left_key_len = left.key_len();
+        assert!(join_len <= right_width && join_len <= left_width);
+        MergeJoin {
+            groups: GroupedMerge::new(left, right, join_len, stats),
+            join_type,
+            join_len,
+            left_key_len,
+            left_width,
+            right_width,
+            acc: OvcAccumulator::new(),
+            left_acc: OvcAccumulator::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn combine(&self, l: &Row, r: &Row) -> Row {
+        let mut cols = Vec::with_capacity(self.left_width + self.right_width - self.join_len);
+        cols.extend_from_slice(l.cols());
+        cols.extend_from_slice(&r.cols()[self.join_len..]);
+        Row::new(cols)
+    }
+
+    fn pad_right(&self, l: &Row) -> Row {
+        let mut cols = Vec::with_capacity(self.left_width + self.right_width - self.join_len);
+        cols.extend_from_slice(l.cols());
+        cols.resize(self.left_width + self.right_width - self.join_len, NULL_VALUE);
+        Row::new(cols)
+    }
+
+    fn pad_left(&self, r: &Row) -> Row {
+        let mut cols = Vec::with_capacity(self.left_width + self.right_width - self.join_len);
+        cols.extend_from_slice(&r.cols()[..self.join_len]);
+        cols.resize(self.left_width, NULL_VALUE);
+        cols.extend_from_slice(&r.cols()[self.join_len..]);
+        Row::new(cols)
+    }
+
+    /// Emit a group's combined rows into the queue, coding the first with
+    /// the accumulated merged-chain code and the rest as duplicates.
+    fn emit_combined(&mut self, group_code: Ovc, rows: Vec<Row>) {
+        let mut first = true;
+        for row in rows {
+            let code = if first {
+                first = false;
+                self.acc.emit(group_code)
+            } else {
+                Ovc::duplicate()
+            };
+            self.queue.push_back(OvcRow::new(row, code));
+        }
+    }
+
+    fn process_group(&mut self, group: JoinGroup) {
+        let JoinGroup { code, left, right } = group;
+        match self.join_type {
+            JoinType::Inner | JoinType::LeftOuter | JoinType::RightOuter
+            | JoinType::FullOuter => {
+                let matched = !left.is_empty() && !right.is_empty();
+                let rows: Vec<Row> = if matched {
+                    left.iter()
+                        .flat_map(|l| right.iter().map(|r| self.combine(&l.row, &r.row)))
+                        .collect()
+                } else if right.is_empty()
+                    && matches!(self.join_type, JoinType::LeftOuter | JoinType::FullOuter)
+                {
+                    left.iter().map(|l| self.pad_right(&l.row)).collect()
+                } else if left.is_empty()
+                    && matches!(self.join_type, JoinType::RightOuter | JoinType::FullOuter)
+                {
+                    right.iter().map(|r| self.pad_left(&r.row)).collect()
+                } else {
+                    Vec::new()
+                };
+                if rows.is_empty() {
+                    self.acc.absorb(code);
+                } else {
+                    self.emit_combined(code, rows);
+                }
+            }
+            JoinType::LeftSemi | JoinType::LeftAnti => {
+                let emit = match self.join_type {
+                    JoinType::LeftSemi => !right.is_empty(),
+                    _ => right.is_empty(),
+                } && !left.is_empty();
+                if emit {
+                    // Output codes follow the filter theorem over the left
+                    // input at its full arity (Section 4.7: "the rule for
+                    // setting offset-value codes in the output is the same
+                    // as given in the 'filter theorem'").
+                    let mut first = true;
+                    for item in &left {
+                        let code = if first {
+                            first = false;
+                            self.left_acc.emit(item.orig_code)
+                        } else {
+                            item.orig_code
+                        };
+                        self.queue.push_back(OvcRow::new(item.row.clone(), code));
+                    }
+                } else {
+                    for item in &left {
+                        self.left_acc.absorb(item.orig_code);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<L: OvcStream, R: OvcStream> Iterator for MergeJoin<L, R> {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        loop {
+            if let Some(r) = self.queue.pop_front() {
+                return Some(r);
+            }
+            let group = self.groups.next()?;
+            self.process_group(group);
+        }
+    }
+}
+
+impl<L: OvcStream, R: OvcStream> OvcStream for MergeJoin<L, R> {
+    fn key_len(&self) -> usize {
+        match self.join_type {
+            JoinType::LeftSemi | JoinType::LeftAnti => self.left_key_len,
+            _ => self.join_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovc_core::derive::assert_codes_exact;
+    use ovc_core::stream::collect_pairs;
+    use ovc_core::VecStream;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+
+    fn stream(rows: Vec<Vec<u64>>, key_len: usize) -> VecStream {
+        VecStream::from_unsorted_rows(rows.into_iter().map(Row::new).collect(), key_len)
+    }
+
+    /// Reference join on the first `j` columns, for all types.
+    fn reference_join(
+        l: &[Vec<u64>],
+        r: &[Vec<u64>],
+        j: usize,
+        jt: JoinType,
+        lw: usize,
+        rw: usize,
+    ) -> Vec<Vec<u64>> {
+        let mut lsort = l.to_vec();
+        let mut rsort = r.to_vec();
+        lsort.sort();
+        rsort.sort();
+        let mut rmap: BTreeMap<Vec<u64>, Vec<Vec<u64>>> = BTreeMap::new();
+        for row in &rsort {
+            rmap.entry(row[..j].to_vec()).or_default().push(row.clone());
+        }
+        let mut out = Vec::new();
+        match jt {
+            JoinType::Inner | JoinType::LeftOuter => {
+                for lrow in &lsort {
+                    match rmap.get(&lrow[..j]) {
+                        Some(matches) => {
+                            for m in matches {
+                                let mut c = lrow.clone();
+                                c.extend_from_slice(&m[j..]);
+                                out.push(c);
+                            }
+                        }
+                        None if jt == JoinType::LeftOuter => {
+                            let mut c = lrow.clone();
+                            c.resize(lw + rw - j, NULL_VALUE);
+                            out.push(c);
+                        }
+                        None => {}
+                    }
+                }
+            }
+            JoinType::LeftSemi => {
+                for lrow in &lsort {
+                    if rmap.contains_key(&lrow[..j]) {
+                        out.push(lrow.clone());
+                    }
+                }
+            }
+            JoinType::LeftAnti => {
+                for lrow in &lsort {
+                    if !rmap.contains_key(&lrow[..j]) {
+                        out.push(lrow.clone());
+                    }
+                }
+            }
+            JoinType::RightOuter | JoinType::FullOuter => {
+                let mut lmap: BTreeMap<Vec<u64>, Vec<Vec<u64>>> = BTreeMap::new();
+                for row in &lsort {
+                    lmap.entry(row[..j].to_vec()).or_default().push(row.clone());
+                }
+                let mut keys: Vec<Vec<u64>> = lmap
+                    .keys()
+                    .chain(rmap.keys())
+                    .cloned()
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                keys.sort();
+                for k in keys {
+                    match (lmap.get(&k), rmap.get(&k)) {
+                        (Some(ls), Some(rs)) => {
+                            for lrow in ls {
+                                for rrow in rs {
+                                    let mut c = lrow.clone();
+                                    c.extend_from_slice(&rrow[j..]);
+                                    out.push(c);
+                                }
+                            }
+                        }
+                        (Some(ls), None) if jt == JoinType::FullOuter => {
+                            for lrow in ls {
+                                let mut c = lrow.clone();
+                                c.resize(lw + rw - j, NULL_VALUE);
+                                out.push(c);
+                            }
+                        }
+                        (None, Some(rs)) => {
+                            for rrow in rs {
+                                let mut c = rrow[..j].to_vec();
+                                c.resize(lw, NULL_VALUE);
+                                c.extend_from_slice(&rrow[j..]);
+                                out.push(c);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn run_join_widths(
+        l: Vec<Vec<u64>>,
+        r: Vec<Vec<u64>>,
+        j: usize,
+        lkl: usize,
+        rkl: usize,
+        jt: JoinType,
+        lw: usize,
+        rw: usize,
+    ) -> Vec<(Row, Ovc)> {
+        let stats = Stats::new_shared();
+        let join = MergeJoin::new(
+            stream(l, lkl),
+            stream(r, rkl),
+            j,
+            jt,
+            lw,
+            rw,
+            stats,
+        );
+        let arity = join.key_len();
+        let pairs = collect_pairs(join);
+        assert_codes_exact(&pairs, arity);
+        pairs
+    }
+
+    fn run_join(
+        l: Vec<Vec<u64>>,
+        r: Vec<Vec<u64>>,
+        j: usize,
+        lkl: usize,
+        rkl: usize,
+        jt: JoinType,
+    ) -> Vec<(Row, Ovc)> {
+        let lw = l.first().map(|x| x.len()).unwrap_or(lkl);
+        let rw = r.first().map(|x| x.len()).unwrap_or(rkl);
+        run_join_widths(l, r, j, lkl, rkl, jt, lw, rw)
+    }
+
+    fn rows_of(pairs: &[(Row, Ovc)]) -> Vec<Vec<u64>> {
+        pairs.iter().map(|(r, _)| r.cols().to_vec()).collect()
+    }
+
+    #[test]
+    fn inner_join_basic() {
+        let l = vec![vec![1, 10], vec![2, 20], vec![4, 40]];
+        let r = vec![vec![2, 200], vec![3, 300], vec![4, 400]];
+        let pairs = run_join(l.clone(), r.clone(), 1, 1, 1, JoinType::Inner);
+        assert_eq!(
+            rows_of(&pairs),
+            reference_join(&l, &r, 1, JoinType::Inner, 2, 2)
+        );
+    }
+
+    #[test]
+    fn many_to_many_duplicates() {
+        let l = vec![vec![1, 1], vec![1, 2], vec![2, 1]];
+        let r = vec![vec![1, 10], vec![1, 20], vec![1, 30]];
+        let pairs = run_join(l.clone(), r.clone(), 1, 1, 1, JoinType::Inner);
+        assert_eq!(pairs.len(), 6);
+        assert_eq!(
+            rows_of(&pairs),
+            reference_join(&l, &r, 1, JoinType::Inner, 2, 2)
+        );
+        // All rows of a many-to-many group after the first are duplicates
+        // under the join key.
+        assert!(pairs[1..6].iter().all(|(_, c)| c.is_duplicate()));
+    }
+
+    #[test]
+    fn all_join_types_match_reference_randomized() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for jt in [
+            JoinType::Inner,
+            JoinType::LeftOuter,
+            JoinType::RightOuter,
+            JoinType::FullOuter,
+            JoinType::LeftSemi,
+            JoinType::LeftAnti,
+        ] {
+            for trial in 0..5 {
+                let l: Vec<Vec<u64>> = (0..rng.gen_range(0..60))
+                    .map(|_| vec![rng.gen_range(0..8u64), rng.gen_range(0..4u64), rng.gen()])
+                    .collect();
+                let r: Vec<Vec<u64>> = (0..rng.gen_range(0..60))
+                    .map(|_| vec![rng.gen_range(0..8u64), rng.gen_range(0..4u64), rng.gen()])
+                    .collect();
+                let pairs = run_join_widths(l.clone(), r.clone(), 2, 2, 2, jt, 3, 3);
+                let mut got = rows_of(&pairs);
+                let mut expect = reference_join(&l, &r, 2, jt, 3, 3);
+                got.sort();
+                expect.sort();
+                assert_eq!(got, expect, "{jt:?} trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn semi_join_preserves_left_codes_at_full_arity() {
+        // Table 3 analogue: semi join selecting first and last Table 1 rows.
+        let l = ovc_core::table1::rows();
+        let left = VecStream::from_sorted_rows(l, 4);
+        let right = stream(vec![vec![5, 7, 3, 9], vec![5, 9, 3, 7]], 4);
+        let stats = Stats::new_shared();
+        let join = MergeJoin::new(left, right, 4, JoinType::LeftSemi, 4, 4, stats);
+        let pairs = collect_pairs(join);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].1.paper_decimal(), 405);
+        assert_eq!(pairs[1].1.paper_decimal(), 309);
+        assert_codes_exact(&pairs, 4);
+    }
+
+    #[test]
+    fn join_with_empty_sides() {
+        let l = vec![vec![1, 1], vec![2, 2]];
+        assert_eq!(run_join(l.clone(), vec![], 1, 1, 1, JoinType::Inner).len(), 0);
+        assert_eq!(
+            run_join(l.clone(), vec![], 1, 1, 1, JoinType::LeftAnti).len(),
+            2
+        );
+        assert_eq!(run_join(vec![], l, 1, 1, 1, JoinType::Inner).len(), 0);
+    }
+
+    #[test]
+    fn codes_decide_most_join_comparisons() {
+        // With few distinct join keys, column comparisons in the merge are
+        // bounded by N*K while code comparisons do the bulk of the work.
+        let mut rng = StdRng::seed_from_u64(30);
+        let l: Vec<Vec<u64>> = (0..500)
+            .map(|_| vec![rng.gen_range(0..16u64), rng.gen_range(0..16u64), rng.gen()])
+            .collect();
+        let r: Vec<Vec<u64>> = (0..500)
+            .map(|_| vec![rng.gen_range(0..16u64), rng.gen_range(0..16u64), rng.gen()])
+            .collect();
+        let stats = Stats::new_shared();
+        let join = MergeJoin::new(
+            stream(l, 2),
+            stream(r, 2),
+            2,
+            JoinType::Inner,
+            3,
+            3,
+            Rc::clone(&stats),
+        );
+        let _ = join.count();
+        assert!(
+            stats.col_value_cmps() <= 1000 * 2,
+            "join merge logic exceeded the N*K bound: {}",
+            stats.col_value_cmps()
+        );
+    }
+
+    #[test]
+    fn outer_join_padding_layout() {
+        let l = vec![vec![1, 10]];
+        let r = vec![vec![2, 20]];
+        let pairs = run_join(l, r, 1, 1, 1, JoinType::FullOuter);
+        let rows = rows_of(&pairs);
+        assert_eq!(rows[0], vec![1, 10, NULL_VALUE]);
+        assert_eq!(rows[1], vec![2, NULL_VALUE, 20]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Projection (Section 4.2).
+//!
+//! "If all columns in the sort key survive the projection, offset-value
+//! codes in the output are the same as in the input.  If not, the offset
+//! must be limited to the prefix (column count) that survives."
+//!
+//! Two operators live here:
+//! * [`Project`] — removes, reorders, or computes columns while keeping
+//!   some prefix of the sort key as the new leading columns;
+//! * [`ClampKey`] — the degenerate projection that merely shortens the
+//!   sort key (used by merge join and set operations to re-base codes to
+//!   the join key before comparing).
+
+use ovc_core::theorem::clamp_to_prefix;
+use ovc_core::{OvcRow, OvcStream, Row};
+
+/// Column projection preserving the first `surviving_key` sort-key columns.
+///
+/// `map` receives each input row and produces the output row, whose first
+/// `surviving_key` columns must equal the input's first `surviving_key`
+/// columns (debug-asserted) — that is what keeps the stream sorted and the
+/// clamped codes exact.
+pub struct Project<S, F> {
+    input: S,
+    map: F,
+    in_key_len: usize,
+    surviving_key: usize,
+}
+
+impl<S: OvcStream, F: FnMut(&Row) -> Row> Project<S, F> {
+    /// Build a projection.  Panics if `surviving_key` exceeds the input
+    /// key length.
+    pub fn new(input: S, surviving_key: usize, map: F) -> Self {
+        let in_key_len = input.key_len();
+        assert!(surviving_key <= in_key_len);
+        Project { input, map, in_key_len, surviving_key }
+    }
+}
+
+impl<S: OvcStream, F: FnMut(&Row) -> Row> Iterator for Project<S, F> {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        let OvcRow { row, code } = self.input.next()?;
+        let out = (self.map)(&row);
+        debug_assert_eq!(
+            out.key(self.surviving_key),
+            row.key(self.surviving_key),
+            "projection must preserve the surviving key prefix"
+        );
+        let code = clamp_to_prefix(code, self.in_key_len, self.surviving_key);
+        Some(OvcRow::new(out, code))
+    }
+}
+
+impl<S: OvcStream, F: FnMut(&Row) -> Row> OvcStream for Project<S, F> {
+    fn key_len(&self) -> usize {
+        self.surviving_key
+    }
+}
+
+/// Shorten a stream's sort key to its first `new_key_len` columns, clamping
+/// codes accordingly.  Rows are untouched.
+pub struct ClampKey<S> {
+    input: S,
+    in_key_len: usize,
+    new_key_len: usize,
+}
+
+impl<S: OvcStream> ClampKey<S> {
+    /// Wrap `input` with a shorter sort key.
+    pub fn new(input: S, new_key_len: usize) -> Self {
+        let in_key_len = input.key_len();
+        assert!(new_key_len <= in_key_len);
+        ClampKey { input, in_key_len, new_key_len }
+    }
+}
+
+impl<S: OvcStream> Iterator for ClampKey<S> {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        let OvcRow { row, code } = self.input.next()?;
+        let code = clamp_to_prefix(code, self.in_key_len, self.new_key_len);
+        Some(OvcRow::new(row, code))
+    }
+}
+
+impl<S: OvcStream> OvcStream for ClampKey<S> {
+    fn key_len(&self) -> usize {
+        self.new_key_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovc_core::derive::assert_codes_exact;
+    use ovc_core::stream::collect_pairs;
+    use ovc_core::{Ovc, VecStream};
+
+    #[test]
+    fn full_key_projection_keeps_codes() {
+        let rows = ovc_core::table1::rows();
+        let input = VecStream::from_sorted_rows(rows, 4);
+        // Append a computed column; the whole key survives.
+        let proj = Project::new(input, 4, |r| {
+            let mut cols = r.cols().to_vec();
+            cols.push(cols.iter().sum());
+            Row::new(cols)
+        });
+        let pairs = collect_pairs(proj);
+        let codes: Vec<Ovc> = pairs.iter().map(|(_, c)| *c).collect();
+        assert_eq!(codes, ovc_core::table1::asc_codes());
+        assert_codes_exact(&pairs, 4);
+    }
+
+    #[test]
+    fn shortened_key_clamps_codes() {
+        let rows = ovc_core::table1::rows();
+        let input = VecStream::from_sorted_rows(rows, 4);
+        // Keep only the first two key columns.
+        let proj = Project::new(input, 2, |r| Row::new(r.key(2).to_vec()));
+        let pairs = collect_pairs(proj);
+        assert_codes_exact(&pairs, 2);
+        // Expected offsets under the 2-column key: Table 1 offsets clamped.
+        let offsets: Vec<usize> = pairs
+            .iter()
+            .map(|(_, c)| c.offset(2))
+            .collect();
+        assert_eq!(offsets, vec![0, 2, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn clamp_key_is_exact() {
+        let rows = ovc_core::table1::rows();
+        let input = VecStream::from_sorted_rows(rows, 4);
+        let clamped = ClampKey::new(input, 1);
+        assert_eq!(clamped.key_len(), 1);
+        let pairs = collect_pairs(clamped);
+        assert_codes_exact(&pairs, 1);
+        // Every row shares column 0 (= 5): all but the first are duplicates
+        // under the 1-column key.
+        assert!(pairs[1..].iter().all(|(_, c)| c.is_duplicate()));
+    }
+
+    #[test]
+    fn clamp_to_zero_key() {
+        let rows = ovc_core::table1::rows();
+        let input = VecStream::from_sorted_rows(rows, 4);
+        let clamped = ClampKey::new(input, 0);
+        let pairs = collect_pairs(clamped);
+        assert!(pairs.iter().skip(1).all(|(_, c)| c.is_duplicate()));
+    }
+
+    #[test]
+    fn reordering_payload_columns() {
+        let rows = vec![
+            Row::new(vec![1, 10, 100]),
+            Row::new(vec![2, 20, 200]),
+        ];
+        let input = VecStream::from_sorted_rows(rows, 1);
+        let proj = Project::new(input, 1, |r| r.project(&[0, 2, 1]));
+        let pairs = collect_pairs(proj);
+        assert_eq!(pairs[0].0, Row::new(vec![1, 100, 10]));
+        assert_codes_exact(&pairs, 1);
+    }
+}

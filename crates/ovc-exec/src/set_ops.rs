@@ -1,0 +1,215 @@
+//! Sort-based set operations (Section 4.7).
+//!
+//! "Among set operations, intersection proceeds mostly like an inner join,
+//! union like a full outer join, and difference like an anti semi join."
+//! The multiset ("all") variants follow SQL semantics; the paper notes
+//! they "benefit from grouping on the input side (collapsing duplicate
+//! rows to a single row with a counter)", which
+//! [`crate::dedup::DedupCounting`] provides.
+//!
+//! All six operations share the same grouped two-way merge as
+//! [`crate::merge_join::MergeJoin`]: per join-key group the operation only
+//! decides *how many* copies to emit; codes come from the filter theorem
+//! over the merged chain, with copies past the first being duplicates.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use ovc_core::theorem::OvcAccumulator;
+use ovc_core::{Ovc, OvcRow, OvcStream, Row, Stats};
+
+use crate::merge_join::{GroupedMerge, JoinGroup};
+
+/// SQL set operations over sorted coded inputs with identical schemas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SetOp {
+    /// `UNION` (distinct): one copy of every key present in either input.
+    Union,
+    /// `UNION ALL`: all copies from both inputs.
+    UnionAll,
+    /// `INTERSECT` (distinct): one copy of keys present in both inputs.
+    Intersect,
+    /// `INTERSECT ALL`: `min(count_left, count_right)` copies.
+    IntersectAll,
+    /// `EXCEPT` (distinct): one copy of keys present only in the left.
+    Except,
+    /// `EXCEPT ALL`: `max(count_left - count_right, 0)` copies.
+    ExceptAll,
+}
+
+impl SetOp {
+    /// Copies to emit for a group with `nl` left and `nr` right rows.
+    fn copies(self, nl: usize, nr: usize) -> usize {
+        match self {
+            SetOp::Union => 1,
+            SetOp::UnionAll => nl + nr,
+            SetOp::Intersect => usize::from(nl > 0 && nr > 0),
+            SetOp::IntersectAll => nl.min(nr),
+            SetOp::Except => usize::from(nl > 0 && nr == 0),
+            SetOp::ExceptAll => nl.saturating_sub(nr),
+        }
+    }
+}
+
+/// Set-operation operator.  Both inputs must be sorted on their full rows
+/// (key_len == row width), as SQL set semantics compare entire rows.
+pub struct SetOperation<L: OvcStream, R: OvcStream> {
+    groups: GroupedMerge<L, R>,
+    op: SetOp,
+    key_len: usize,
+    acc: OvcAccumulator,
+    queue: VecDeque<OvcRow>,
+}
+
+impl<L: OvcStream, R: OvcStream> SetOperation<L, R> {
+    /// Build the operator over two streams with equal key length.
+    pub fn new(left: L, right: R, op: SetOp, stats: Rc<Stats>) -> Self {
+        let key_len = left.key_len();
+        assert_eq!(key_len, right.key_len(), "set operands must agree on the key");
+        SetOperation {
+            groups: GroupedMerge::new(left, right, key_len, stats),
+            op,
+            key_len,
+            acc: OvcAccumulator::new(),
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+impl<L: OvcStream, R: OvcStream> Iterator for SetOperation<L, R> {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        loop {
+            if let Some(r) = self.queue.pop_front() {
+                return Some(r);
+            }
+            let JoinGroup { code, left, right } = self.groups.next()?;
+            let copies = self.op.copies(left.len(), right.len());
+            if copies == 0 {
+                self.acc.absorb(code);
+                continue;
+            }
+            let row: &Row = left
+                .first()
+                .map(|i| &i.row)
+                .or_else(|| right.first().map(|i| &i.row))
+                .expect("non-empty group");
+            for i in 0..copies {
+                let code = if i == 0 {
+                    self.acc.emit(code)
+                } else {
+                    Ovc::duplicate()
+                };
+                self.queue.push_back(OvcRow::new(row.clone(), code));
+            }
+        }
+    }
+}
+
+impl<L: OvcStream, R: OvcStream> OvcStream for SetOperation<L, R> {
+    fn key_len(&self) -> usize {
+        self.key_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovc_core::derive::assert_codes_exact;
+    use ovc_core::stream::collect_pairs;
+    use ovc_core::VecStream;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+
+    fn stream(rows: Vec<Vec<u64>>) -> VecStream {
+        let width = rows.first().map(|r| r.len()).unwrap_or(1);
+        VecStream::from_unsorted_rows(rows.into_iter().map(Row::new).collect(), width)
+    }
+
+    fn reference(l: &[Vec<u64>], r: &[Vec<u64>], op: SetOp) -> Vec<Vec<u64>> {
+        let mut counts: BTreeMap<Vec<u64>, (usize, usize)> = BTreeMap::new();
+        for x in l {
+            counts.entry(x.clone()).or_default().0 += 1;
+        }
+        for x in r {
+            counts.entry(x.clone()).or_default().1 += 1;
+        }
+        let mut out = Vec::new();
+        for (k, (nl, nr)) in counts {
+            for _ in 0..op.copies(nl, nr) {
+                out.push(k.clone());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn all_ops_match_reference_randomized() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for op in [
+            SetOp::Union,
+            SetOp::UnionAll,
+            SetOp::Intersect,
+            SetOp::IntersectAll,
+            SetOp::Except,
+            SetOp::ExceptAll,
+        ] {
+            for _ in 0..5 {
+                let l: Vec<Vec<u64>> = (0..rng.gen_range(0..80))
+                    .map(|_| vec![rng.gen_range(0..6u64), rng.gen_range(0..3u64)])
+                    .collect();
+                let r: Vec<Vec<u64>> = (0..rng.gen_range(0..80))
+                    .map(|_| vec![rng.gen_range(0..6u64), rng.gen_range(0..3u64)])
+                    .collect();
+                let stats = Stats::new_shared();
+                let setop = SetOperation::new(stream(l.clone()), stream(r.clone()), op, stats);
+                let pairs = collect_pairs(setop);
+                assert_codes_exact(&pairs, 2);
+                let got: Vec<Vec<u64>> =
+                    pairs.iter().map(|(row, _)| row.cols().to_vec()).collect();
+                assert_eq!(got, reference(&l, &r, op), "{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_distinct_example() {
+        // "select B from T1 intersect select B from T2" (Figure 5).
+        let t1 = vec![vec![1], vec![2], vec![2], vec![5]];
+        let t2 = vec![vec![2], vec![5], vec![5], vec![7]];
+        let stats = Stats::new_shared();
+        let setop = SetOperation::new(stream(t1), stream(t2), SetOp::Intersect, stats);
+        let got: Vec<u64> = setop.map(|r| r.row.cols()[0]).collect();
+        assert_eq!(got, vec![2, 5]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        for op in [SetOp::Union, SetOp::Intersect, SetOp::Except] {
+            let stats = Stats::new_shared();
+            let setop = SetOperation::new(
+                VecStream::from_sorted_rows(vec![], 1),
+                VecStream::from_sorted_rows(vec![], 1),
+                op,
+                stats,
+            );
+            assert_eq!(setop.count(), 0);
+        }
+    }
+
+    #[test]
+    fn union_with_one_empty_side() {
+        let stats = Stats::new_shared();
+        let setop = SetOperation::new(
+            stream(vec![vec![3], vec![1]]),
+            VecStream::from_sorted_rows(vec![], 1),
+            SetOp::Union,
+            stats,
+        );
+        let pairs = collect_pairs(setop);
+        assert_codes_exact(&pairs, 1);
+        let got: Vec<u64> = pairs.iter().map(|(r, _)| r.cols()[0]).collect();
+        assert_eq!(got, vec![1, 3]);
+    }
+}

@@ -1,0 +1,370 @@
+//! Analytic (window) functions over sorted coded streams.
+//!
+//! Section 5 lists "analytic functions" among the sort-based operators
+//! that "can leverage offset-value codes in their inputs" in F1 Query.
+//! With codes, partition boundaries (`offset < partition key length`) and
+//! peer-group boundaries (`offset < order key length`) are single integer
+//! tests — the same mechanism as grouping and segmentation.
+//!
+//! The operator appends one column per window function to each row.  It is
+//! order-preserving: rows pass through unchanged and in order, so input
+//! codes are also the output codes (a projection that keeps the whole sort
+//! key, Section 4.2).
+
+use std::collections::VecDeque;
+
+use ovc_core::{OvcRow, OvcStream, Row, Value};
+
+/// Supported window functions.  Frames are "rows between unbounded
+/// preceding and current row" for the running variants, and the whole
+/// partition for `PartitionCount`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowFunc {
+    /// 1, 2, 3, … within the partition in stream order.
+    RowNumber,
+    /// Rank with gaps: peers (equal order keys) share a rank.
+    Rank,
+    /// Rank without gaps.
+    DenseRank,
+    /// Running sum of a column from partition start to the current row.
+    RunningSum(usize),
+    /// Running minimum of a column.
+    RunningMin(usize),
+    /// Running maximum of a column.
+    RunningMax(usize),
+    /// Total rows in the partition (requires buffering the partition).
+    PartitionCount,
+    /// The column value of the previous row in the partition (`LAG(col, 1)`),
+    /// [`crate::merge_join::NULL_VALUE`] for the first row.
+    Lag(usize),
+}
+
+impl WindowFunc {
+    /// Does this function need the whole partition before emitting?
+    fn blocking(self) -> bool {
+        matches!(self, WindowFunc::PartitionCount)
+    }
+}
+
+/// Window operator: partition by the first `partition_len` sort-key
+/// columns, order within partitions by the next `order_len` columns
+/// (both prefixes of the input sort key, so both kinds of boundaries come
+/// from code inspection).
+pub struct Window<S: OvcStream> {
+    input: S,
+    in_key_len: usize,
+    partition_len: usize,
+    order_len: usize,
+    funcs: Vec<WindowFunc>,
+    /// Buffered current partition (only when a blocking function runs).
+    queue: VecDeque<OvcRow>,
+    /// Lookahead row that begins the next partition.
+    carry: Option<OvcRow>,
+    /// Running state per function, reset at partition boundaries.
+    state: PartitionState,
+    buffering: bool,
+    done: bool,
+    /// Peer flag of the row currently being annotated.
+    is_peer_cached: bool,
+    /// Size of the buffered partition (blocking path).
+    partition_count: u64,
+}
+
+#[derive(Default)]
+struct PartitionState {
+    row_number: u64,
+    rank: u64,
+    dense_rank: u64,
+    sums: Vec<Value>,
+    mins: Vec<Value>,
+    maxs: Vec<Value>,
+    lags: Vec<Value>,
+}
+
+impl<S: OvcStream> Window<S> {
+    /// Build the operator.  `partition_len + order_len` must not exceed
+    /// the input key length.
+    pub fn new(input: S, partition_len: usize, order_len: usize, funcs: Vec<WindowFunc>) -> Self {
+        let in_key_len = input.key_len();
+        assert!(partition_len + order_len <= in_key_len);
+        let buffering = funcs.iter().any(|f| f.blocking());
+        Window {
+            input,
+            in_key_len,
+            partition_len,
+            order_len,
+            funcs,
+            queue: VecDeque::new(),
+            carry: None,
+            state: PartitionState::default(),
+            buffering,
+            done: false,
+            is_peer_cached: false,
+            partition_count: 0,
+        }
+    }
+
+    /// Is this row the start of a new partition?  Code inspection only.
+    fn new_partition(&self, r: &OvcRow) -> bool {
+        !(r.code.is_valid() && r.code.offset(self.in_key_len) >= self.partition_len)
+    }
+
+    /// Is this row a peer of its predecessor (equal partition + order
+    /// keys)?  Code inspection only.
+    fn is_peer(&self, r: &OvcRow) -> bool {
+        r.code.is_valid()
+            && r.code.offset(self.in_key_len) >= self.partition_len + self.order_len
+    }
+
+    fn annotate(&mut self, r: &OvcRow, partition_count: Option<u64>) -> Row {
+        let st = &mut self.state;
+        let first = st.row_number == 0;
+        st.row_number += 1;
+        let peer = !first && self.is_peer_cached;
+        if first {
+            st.rank = 1;
+            st.dense_rank = 1;
+        } else if !peer {
+            st.rank = st.row_number;
+            st.dense_rank += 1;
+        }
+        let mut cols = r.row.cols().to_vec();
+        let mut sum_i = 0usize;
+        let mut min_i = 0usize;
+        let mut max_i = 0usize;
+        let mut lag_i = 0usize;
+        for f in &self.funcs {
+            match *f {
+                WindowFunc::RowNumber => cols.push(st.row_number),
+                WindowFunc::Rank => cols.push(st.rank),
+                WindowFunc::DenseRank => cols.push(st.dense_rank),
+                WindowFunc::RunningSum(c) => {
+                    let v = r.row.cols()[c];
+                    if first {
+                        st.sums.push(v);
+                    } else {
+                        st.sums[sum_i] = st.sums[sum_i].wrapping_add(v);
+                    }
+                    cols.push(st.sums[sum_i]);
+                    sum_i += 1;
+                }
+                WindowFunc::RunningMin(c) => {
+                    let v = r.row.cols()[c];
+                    if first {
+                        st.mins.push(v);
+                    } else {
+                        st.mins[min_i] = st.mins[min_i].min(v);
+                    }
+                    cols.push(st.mins[min_i]);
+                    min_i += 1;
+                }
+                WindowFunc::RunningMax(c) => {
+                    let v = r.row.cols()[c];
+                    if first {
+                        st.maxs.push(v);
+                    } else {
+                        st.maxs[max_i] = st.maxs[max_i].max(v);
+                    }
+                    cols.push(st.maxs[max_i]);
+                    max_i += 1;
+                }
+                WindowFunc::PartitionCount => {
+                    cols.push(partition_count.expect("buffered partition"));
+                }
+                WindowFunc::Lag(c) => {
+                    let prev = if first {
+                        crate::merge_join::NULL_VALUE
+                    } else {
+                        st.lags[lag_i]
+                    };
+                    cols.push(prev);
+                    if first {
+                        st.lags.push(r.row.cols()[c]);
+                    } else {
+                        st.lags[lag_i] = r.row.cols()[c];
+                    }
+                    lag_i += 1;
+                }
+            }
+        }
+        Row::new(cols)
+    }
+}
+
+// `is_peer` must be evaluated on the *input* row before `annotate`
+// consumes state; cache it on the struct first.
+impl<S: OvcStream> Window<S> {
+    fn annotate_row(&mut self, r: OvcRow, partition_count: Option<u64>) -> OvcRow {
+        self.is_peer_cached = self.is_peer(&r);
+        let row = self.annotate(&r, partition_count);
+        OvcRow::new(row, r.code)
+    }
+}
+
+impl<S: OvcStream> Iterator for Window<S> {
+    type Item = OvcRow;
+
+    fn next(&mut self) -> Option<OvcRow> {
+        if !self.buffering {
+            // Streaming path: one pass, constant memory.
+            let r = match self.carry.take() {
+                Some(r) => r,
+                None => self.input.next()?,
+            };
+            if self.new_partition(&r) && self.state.row_number > 0 {
+                self.state = PartitionState::default();
+            }
+            return Some(self.annotate_row(r, None));
+        }
+        // Buffering path: collect one whole partition, then drain it.
+        loop {
+            if let Some(r) = self.queue.pop_front() {
+                let count = self.partition_count;
+                return Some(self.annotate_row(r, Some(count)));
+            }
+            if self.done {
+                return None;
+            }
+            // Fill the next partition.
+            let first = match self.carry.take() {
+                Some(r) => r,
+                None => match self.input.next() {
+                    Some(r) => r,
+                    None => {
+                        self.done = true;
+                        return None;
+                    }
+                },
+            };
+            self.state = PartitionState::default();
+            self.queue.push_back(first);
+            loop {
+                match self.input.next() {
+                    None => {
+                        self.done = true;
+                        break;
+                    }
+                    Some(r) => {
+                        if self.new_partition(&r) {
+                            self.carry = Some(r);
+                            break;
+                        }
+                        self.queue.push_back(r);
+                    }
+                }
+            }
+            self.partition_count = self.queue.len() as u64;
+        }
+    }
+}
+
+impl<S: OvcStream> OvcStream for Window<S> {
+    fn key_len(&self) -> usize {
+        self.in_key_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovc_core::derive::assert_codes_exact;
+    use ovc_core::stream::collect_pairs;
+    use ovc_core::{Ovc, VecStream};
+
+    fn input() -> VecStream {
+        // (partition, order, payload)
+        let rows = vec![
+            Row::new(vec![1, 1, 10]),
+            Row::new(vec![1, 1, 20]), // peer of the previous row
+            Row::new(vec![1, 2, 30]),
+            Row::new(vec![2, 1, 40]),
+            Row::new(vec![2, 3, 50]),
+        ];
+        VecStream::from_sorted_rows(rows, 3)
+    }
+
+    #[test]
+    fn row_number_rank_dense_rank() {
+        let w = Window::new(
+            input(),
+            1,
+            1,
+            vec![WindowFunc::RowNumber, WindowFunc::Rank, WindowFunc::DenseRank],
+        );
+        let got: Vec<Vec<u64>> = w.map(|r| r.row.cols()[3..].to_vec()).collect();
+        assert_eq!(
+            got,
+            vec![
+                vec![1, 1, 1],
+                vec![2, 1, 1], // peer: same rank
+                vec![3, 3, 2],
+                vec![1, 1, 1], // new partition resets
+                vec![2, 2, 2],
+            ]
+        );
+    }
+
+    #[test]
+    fn running_aggregates() {
+        let w = Window::new(
+            input(),
+            1,
+            1,
+            vec![
+                WindowFunc::RunningSum(2),
+                WindowFunc::RunningMin(2),
+                WindowFunc::RunningMax(2),
+            ],
+        );
+        let got: Vec<Vec<u64>> = w.map(|r| r.row.cols()[3..].to_vec()).collect();
+        assert_eq!(
+            got,
+            vec![
+                vec![10, 10, 10],
+                vec![30, 10, 20],
+                vec![60, 10, 30],
+                vec![40, 40, 40],
+                vec![90, 40, 50],
+            ]
+        );
+    }
+
+    #[test]
+    fn partition_count_buffers() {
+        let w = Window::new(input(), 1, 1, vec![WindowFunc::PartitionCount]);
+        let got: Vec<u64> = w.map(|r| *r.row.cols().last().unwrap()).collect();
+        assert_eq!(got, vec![3, 3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn lag_function() {
+        let w = Window::new(input(), 1, 1, vec![WindowFunc::Lag(2)]);
+        let got: Vec<u64> = w.map(|r| *r.row.cols().last().unwrap()).collect();
+        assert_eq!(
+            got,
+            vec![crate::merge_join::NULL_VALUE, 10, 20, crate::merge_join::NULL_VALUE, 40]
+        );
+    }
+
+    #[test]
+    fn codes_pass_through_exactly() {
+        let w = Window::new(input(), 1, 1, vec![WindowFunc::RowNumber]);
+        let pairs: Vec<(Row, Ovc)> = collect_pairs(w);
+        assert_codes_exact(&pairs, 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = VecStream::from_sorted_rows(vec![], 2);
+        assert_eq!(Window::new(s, 1, 0, vec![WindowFunc::RowNumber]).count(), 0);
+        let s = VecStream::from_sorted_rows(vec![], 2);
+        assert_eq!(Window::new(s, 1, 0, vec![WindowFunc::PartitionCount]).count(), 0);
+    }
+
+    #[test]
+    fn global_window_partition_len_zero() {
+        let w = Window::new(input(), 0, 1, vec![WindowFunc::RowNumber]);
+        let got: Vec<u64> = w.map(|r| *r.row.cols().last().unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # ovc-sort — sorting with tree-of-losers priority queues and OVC
+//!
+//! The sorting substrate of the EDBT 2023 reproduction (Sections 3 and 5
+//! of the paper):
+//!
+//! * [`tree`] — the tree-of-losers priority queue of Figures 1–3, with
+//!   fences and offset-value codes folded into one 64-bit comparison;
+//! * [`runs`] — sorted coded runs (in-memory prefix-truncation equivalent);
+//! * [`run_gen`] — run generation by priority queue (OVC-native) or
+//!   quicksort (baseline);
+//! * [`replacement`] — replacement selection for longer runs;
+//! * [`merge`] — multi-way merging that consumes *and produces* codes;
+//! * [`external`] — the external merge sort modeled on F1's sort operator,
+//!   with spill accounting;
+//! * [`segmented`] — segmented sorting (Section 4.3), finding segment
+//!   boundaries by code inspection alone.
+//!
+//! ```
+//! use ovc_core::{Row, Stats};
+//! use ovc_sort::external::{external_sort_collect, SortConfig};
+//!
+//! let rows = vec![Row::new(vec![3, 1]), Row::new(vec![1, 2]), Row::new(vec![2, 0])];
+//! let stats = Stats::new_shared();
+//! let sorted = external_sort_collect(rows, SortConfig::new(2, 1024), &stats);
+//! assert_eq!(sorted[0].row.cols()[0], 1);
+//! assert_eq!(sorted.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod external;
+pub mod merge;
+pub mod replacement;
+pub mod run_gen;
+pub mod runs;
+pub mod segmented;
+pub mod tree;
+
+pub use external::{
+    external_sort, external_sort_collect, MemoryRunStorage, RunStorage, SortConfig, SortOutput,
+};
+pub use merge::{merge_runs, merge_runs_to_run, merge_streams};
+pub use run_gen::{generate_runs, sort_rows_ovc, sort_rows_quicksort, RunGenStrategy};
+pub use runs::{Run, RunCursor, SingleRow};
+pub use segmented::SegmentedSort;
+pub use tree::TreeOfLosers;

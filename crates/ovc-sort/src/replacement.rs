@@ -1,0 +1,413 @@
+//! Run generation by replacement selection (Section 3).
+//!
+//! "Run generation by replacement selection can try to extract longer
+//! sorted runs from the unsorted input: one additional comparison per input
+//! row doubles the expected run size, halves the run count, and saves one
+//! comparison per row during merging."
+//!
+//! A tree-of-losers over `C` memory slots holds rows tagged with a run
+//! number; a new input row is compared against the row just output (the
+//! "one additional comparison"), which both assigns its run — current run
+//! if it can still be output in order, next run otherwise — and derives its
+//! exact offset-value code relative to that output row.
+//!
+//! Entries compare by `(run, code)`: differing run numbers decide for free,
+//! equal run numbers compare codes.  The paper folds run indicators and
+//! code into a single 64-bit integer (Section 3, "these cases need some
+//! indicator field … but they require only 2 bits"); we keep the run number
+//! in a separate word to support unbounded run counts (DESIGN.md §3.4).
+//!
+//! One deviation for soundness, recorded in DESIGN.md: codes inside this
+//! tree can be relative to *different* base rows (rows enter at different
+//! times, and next-run rows cannot be coded relative to a row that sorts
+//! after them).  Each entry therefore carries the identity of its base
+//! row; comparisons fall back to full column comparisons when bases differ
+//! — next-run rows are coded relative to "−∞" so that they remain mutually
+//! code-comparable.  Output codes are derived exactly against the previous
+//! output row, which costs at most `K` column accesses per row and keeps
+//! the stream contract intact.
+
+use std::cmp::Ordering;
+use std::rc::Rc;
+
+use ovc_core::compare::{compare_same_base, derive_code, full_compare_set_loser};
+use ovc_core::{Ovc, OvcRow, Row, Stats};
+
+use crate::runs::Run;
+
+/// Base identity of the imaginary "−∞" predecessor.
+const BASE_NEG_INF: u64 = 0;
+/// Run number that marks an exhausted slot (a late fence).
+const FENCE_RUN: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    run: u32,
+    slot: u32,
+    /// Code relative to the row identified by `base`.
+    code: Ovc,
+    /// Identity of the base row (`BASE_NEG_INF` for "−∞").
+    base: u64,
+    /// Identity of this entry's own row (for re-basing losers).
+    id: u64,
+}
+
+impl Entry {
+    fn fence(slot: u32) -> Entry {
+        Entry { run: FENCE_RUN, slot, code: Ovc::LATE_FENCE, base: 0, id: 0 }
+    }
+    fn is_fence(&self) -> bool {
+        self.run == FENCE_RUN
+    }
+}
+
+struct Selector<I: Iterator<Item = Row>> {
+    input: I,
+    slots: Vec<Option<Row>>,
+    nodes: Vec<Entry>,
+    winner: Entry,
+    cap: usize,
+    key_len: usize,
+    next_id: u64,
+    stats: Rc<Stats>,
+}
+
+impl<I: Iterator<Item = Row>> Selector<I> {
+    fn new(mut input: I, key_len: usize, capacity: usize, stats: Rc<Stats>) -> Self {
+        let cap = capacity.next_power_of_two().max(1);
+        let mut slots: Vec<Option<Row>> = Vec::with_capacity(capacity);
+        let mut initial: Vec<Entry> = Vec::with_capacity(capacity);
+        let mut next_id = 1u64;
+        for slot in 0..capacity {
+            match input.next() {
+                Some(row) => {
+                    let code = Ovc::initial(row.key(key_len));
+                    initial.push(Entry {
+                        run: 0,
+                        slot: slot as u32,
+                        code,
+                        base: BASE_NEG_INF,
+                        id: next_id,
+                    });
+                    slots.push(Some(row));
+                    next_id += 1;
+                }
+                None => {
+                    initial.push(Entry::fence(slot as u32));
+                    slots.push(None);
+                }
+            }
+        }
+        let mut sel = Selector {
+            input,
+            slots,
+            nodes: vec![Entry::fence(0); cap],
+            winner: Entry::fence(0),
+            cap,
+            key_len,
+            next_id,
+            stats,
+        };
+        sel.winner = sel.build(1, &initial);
+        sel
+    }
+
+    fn key_of(&self, e: &Entry) -> &[u64] {
+        self.slots
+            .get(e.slot as usize)
+            .and_then(|r| r.as_ref())
+            .map(|r| r.key(self.key_len))
+            .unwrap_or(&[])
+    }
+
+    fn play(&self, mut a: Entry, mut b: Entry) -> (Entry, Entry) {
+        // Run numbers decide for free; fences have the largest run number.
+        if a.run != b.run {
+            return if a.run < b.run { (a, b) } else { (b, a) };
+        }
+        if a.is_fence() {
+            return (a, b);
+        }
+        let same_base = a.base == b.base;
+        let codes_equal = a.code == b.code;
+        let ord = {
+            let (ak, bk) = (self.key_of(&a), self.key_of(&b));
+            if same_base {
+                // The code fast path is sound only with a shared base.
+                compare_same_base(ak, bk, &mut a.code, &mut b.code, &self.stats)
+            } else {
+                full_compare_set_loser(ak, bk, &mut a.code, &mut b.code, &self.stats)
+            }
+        };
+        // Whenever column comparisons produced a fresh loser code, that
+        // code is relative to the winner — record the new base.  When codes
+        // alone decided, the unequal code theorem keeps both code and base
+        // valid unchanged.
+        let re_based = !same_base || codes_equal;
+        match ord {
+            Ordering::Less => {
+                if re_based {
+                    b.base = a.id;
+                }
+                (a, b)
+            }
+            Ordering::Greater => {
+                if re_based {
+                    a.base = b.id;
+                }
+                (b, a)
+            }
+            Ordering::Equal => {
+                // Equal keys: earlier id wins (FIFO stability); the loser
+                // is an exact duplicate of the winner.
+                let (w, mut l) = if a.id <= b.id { (a, b) } else { (b, a) };
+                l.code = Ovc::duplicate();
+                l.base = w.id;
+                (w, l)
+            }
+        }
+    }
+
+    fn build(&mut self, node: usize, initial: &[Entry]) -> Entry {
+        if node >= self.cap {
+            let slot = node - self.cap;
+            return initial
+                .get(slot)
+                .copied()
+                .unwrap_or_else(|| Entry::fence(slot as u32));
+        }
+        let a = self.build(2 * node, initial);
+        let b = self.build(2 * node + 1, initial);
+        let (w, l) = self.play(a, b);
+        self.nodes[node] = l;
+        w
+    }
+
+    /// Pop the winner, refill its slot from the input, and return
+    /// `(run, row, row_id)`.
+    fn pop(&mut self) -> Option<(u32, Row, u64)> {
+        if self.winner.is_fence() {
+            return None;
+        }
+        let w = self.winner;
+        let out_row = self.slots[w.slot as usize].take().expect("winner row");
+        let out_id = w.id;
+
+        // Refill the slot: the run-assignment comparison against the row
+        // just output doubles as exact code derivation.
+        let cand = match self.input.next() {
+            None => Entry::fence(w.slot),
+            Some(row) => {
+                let entry = self.classify(&row, &out_row, w.run, w.slot, out_id);
+                self.slots[w.slot as usize] = Some(row);
+                entry
+            }
+        };
+
+        // Leaf-to-root pass from the vacated slot.
+        let mut cand = cand;
+        let mut node = (self.cap + w.slot as usize) >> 1;
+        while node >= 1 {
+            let stored = self.nodes[node];
+            let (win, lose) = self.play(cand, stored);
+            self.nodes[node] = lose;
+            cand = win;
+            node >>= 1;
+        }
+        self.winner = cand;
+        Some((w.run, out_row, out_id))
+    }
+
+    /// Assign a run and an exact code to a fresh input row by comparing it
+    /// with the row just output.
+    fn classify(&mut self, row: &Row, out: &Row, out_run: u32, slot: u32, out_id: u64) -> Entry {
+        let id = self.next_id;
+        self.next_id += 1;
+        let k = self.key_len;
+        // One comparison per input row (Section 3): find the first
+        // difference between the new row and the last output.
+        let mut diff = None;
+        for i in 0..k {
+            self.stats.count_col_cmp();
+            if row.key(k)[i] != out.key(k)[i] {
+                diff = Some(i);
+                break;
+            }
+        }
+        match diff {
+            None => Entry {
+                // Exact duplicate of the last output: same run, duplicate
+                // code relative to it.
+                run: out_run,
+                slot,
+                code: Ovc::duplicate(),
+                base: out_id,
+                id,
+            },
+            Some(i) if row.key(k)[i] > out.key(k)[i] => Entry {
+                // Can still be emitted in order: current run, coded exactly
+                // relative to the last output.
+                run: out_run,
+                slot,
+                code: Ovc::new(i, row.key(k)[i], k),
+                base: out_id,
+                id,
+            },
+            Some(_) => Entry {
+                // Sorts before the last output: next run.  Coded relative
+                // to "−∞" so that next-run entries share a base.
+                run: out_run + 1,
+                slot,
+                code: Ovc::initial(row.key(k)),
+                base: BASE_NEG_INF,
+                id,
+            },
+        }
+    }
+}
+
+/// Generate runs by replacement selection with `capacity` memory slots.
+/// Expected run length on random input is about `2 × capacity`; every run
+/// except the last holds at least `capacity` rows.
+pub fn generate_runs_replacement<I>(
+    input: I,
+    key_len: usize,
+    capacity: usize,
+    stats: &Rc<Stats>,
+) -> Vec<Run>
+where
+    I: IntoIterator<Item = Row>,
+{
+    assert!(capacity > 0);
+    let mut sel = Selector::new(input.into_iter(), key_len, capacity, Rc::clone(stats));
+    let mut runs: Vec<Run> = Vec::new();
+    let mut cur: Vec<OvcRow> = Vec::new();
+    let mut cur_run = 0u32;
+    let mut prev_out: Option<Row> = None;
+
+    while let Some((run, row, _id)) = sel.pop() {
+        if run != cur_run {
+            debug_assert!(run > cur_run);
+            if !cur.is_empty() {
+                runs.push(Run::from_coded(std::mem::take(&mut cur), key_len));
+            }
+            cur_run = run;
+            prev_out = None;
+        }
+        // Exact output code relative to the previous output row of this
+        // run; the first row of a run is coded relative to "−∞".
+        let code = match &prev_out {
+            None => Ovc::initial(row.key(key_len)),
+            Some(p) => derive_code(p.key(key_len), row.key(key_len), stats),
+        };
+        prev_out = Some(row.clone());
+        cur.push(OvcRow::new(row, code));
+    }
+    if !cur.is_empty() {
+        runs.push(Run::from_coded(cur, key_len));
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovc_core::derive::assert_codes_exact;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rows(n: usize, k: usize, domain: u64, seed: u64) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Row::new((0..k).map(|_| rng.gen_range(0..domain)).collect()))
+            .collect()
+    }
+
+    fn check_runs(runs: &[Run], input: &[Row], key_len: usize) {
+        let mut all: Vec<Row> = Vec::new();
+        for run in runs {
+            let pairs: Vec<(Row, Ovc)> =
+                run.rows().iter().map(|r| (r.row.clone(), r.code)).collect();
+            assert_codes_exact(&pairs, key_len);
+            all.extend(pairs.into_iter().map(|(r, _)| r));
+        }
+        let mut expect = input.to_vec();
+        expect.sort();
+        all.sort();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn sorted_input_yields_one_run() {
+        let mut rows = random_rows(100, 2, 50, 1);
+        rows.sort();
+        let stats = Stats::new_shared();
+        let runs = generate_runs_replacement(rows.clone(), 2, 8, &stats);
+        assert_eq!(runs.len(), 1, "pre-sorted input never starts a new run");
+        check_runs(&runs, &rows, 2);
+    }
+
+    #[test]
+    fn reverse_sorted_input_yields_run_per_capacity() {
+        let n = 64;
+        let rows: Vec<Row> = (0..n).rev().map(|i| Row::new(vec![i as u64])).collect();
+        let stats = Stats::new_shared();
+        let runs = generate_runs_replacement(rows.clone(), 1, 8, &stats);
+        // Worst case: every input row starts sorts before the last output.
+        assert_eq!(runs.len(), n / 8);
+        check_runs(&runs, &rows, 1);
+    }
+
+    #[test]
+    fn random_input_runs_longer_than_capacity() {
+        let rows = random_rows(4000, 2, 1000, 7);
+        let stats = Stats::new_shared();
+        let cap = 64;
+        let runs = generate_runs_replacement(rows.clone(), 2, cap, &stats);
+        check_runs(&runs, &rows, 2);
+        // Every run except the last holds at least `capacity` rows, and the
+        // average should approach 2× capacity (Knuth's snowplow argument).
+        for run in &runs[..runs.len() - 1] {
+            assert!(run.len() >= cap, "run shorter than capacity");
+        }
+        let avg = rows.len() as f64 / runs.len() as f64;
+        assert!(
+            avg > 1.5 * cap as f64,
+            "expected ~2x capacity run length, got average {avg}"
+        );
+    }
+
+    #[test]
+    fn duplicates_stay_in_the_current_run() {
+        let rows = vec![Row::new(vec![5]); 30];
+        let stats = Stats::new_shared();
+        let runs = generate_runs_replacement(rows.clone(), 1, 4, &stats);
+        assert_eq!(runs.len(), 1);
+        check_runs(&runs, &rows, 1);
+        assert!(runs[0].rows()[1..].iter().all(|r| r.code.is_duplicate()));
+    }
+
+    #[test]
+    fn capacity_one_still_works() {
+        let rows = random_rows(50, 2, 10, 9);
+        let stats = Stats::new_shared();
+        let runs = generate_runs_replacement(rows.clone(), 2, 1, &stats);
+        check_runs(&runs, &rows, 2);
+    }
+
+    #[test]
+    fn capacity_larger_than_input() {
+        let rows = random_rows(10, 2, 10, 11);
+        let stats = Stats::new_shared();
+        let runs = generate_runs_replacement(rows.clone(), 2, 64, &stats);
+        assert_eq!(runs.len(), 1);
+        check_runs(&runs, &rows, 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let stats = Stats::new_shared();
+        let runs = generate_runs_replacement(Vec::<Row>::new(), 2, 8, &stats);
+        assert!(runs.is_empty());
+    }
+}

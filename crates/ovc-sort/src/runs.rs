@@ -1,0 +1,185 @@
+//! Sorted runs: the unit of work for run generation, merging, and spilling.
+//!
+//! A [`Run`] is a sorted sequence of rows whose offset-value codes are
+//! exact relative to each row's predecessor within the run — the in-memory
+//! equivalent of the paper's prefix-truncation-encoded runs ("input runs
+//! are encoded with prefixes truncated", Section 3).  "Offset-value codes
+//! for rows in sorted runs are a byproduct of run generation.  These
+//! offset-value codes later improve the efficiency of merging"
+//! (Section 5).
+
+use ovc_core::derive::derive_codes;
+use ovc_core::{Ovc, OvcRow, OvcStream, Row};
+
+/// A sorted, coded, in-memory run.
+#[derive(Clone, Debug)]
+pub struct Run {
+    rows: Vec<OvcRow>,
+    key_len: usize,
+}
+
+impl Run {
+    /// Wrap rows that already carry exact codes (e.g. merge output).
+    /// Debug builds verify the contract.
+    pub fn from_coded(rows: Vec<OvcRow>, key_len: usize) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let pairs: Vec<(Row, Ovc)> =
+                rows.iter().map(|r| (r.row.clone(), r.code)).collect();
+            if let Some(i) = ovc_core::derive::find_code_violation(&pairs, key_len) {
+                panic!("Run::from_coded: code violation at row {i}");
+            }
+        }
+        Run { rows, key_len }
+    }
+
+    /// Derive codes for an already-sorted row vector.
+    pub fn from_sorted_rows(rows: Vec<Row>, key_len: usize) -> Self {
+        debug_assert!(ovc_core::derive::is_sorted(&rows, key_len));
+        let codes = derive_codes(&rows, key_len);
+        let rows = rows
+            .into_iter()
+            .zip(codes)
+            .map(|(row, code)| OvcRow::new(row, code))
+            .collect();
+        Run { rows, key_len }
+    }
+
+    /// An empty run.
+    pub fn empty(key_len: usize) -> Self {
+        Run { rows: Vec::new(), key_len }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the run empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sort-key arity of the run's codes.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+
+    /// Borrow the coded rows.
+    pub fn rows(&self) -> &[OvcRow] {
+        &self.rows
+    }
+
+    /// Consume into the coded rows.
+    pub fn into_rows(self) -> Vec<OvcRow> {
+        self.rows
+    }
+
+    /// A consuming cursor for merging.
+    pub fn cursor(self) -> RunCursor {
+        RunCursor { iter: self.rows.into_iter(), key_len: self.key_len }
+    }
+
+    /// Total payload bytes a spill of this run would write (8 bytes per
+    /// column plus the 8-byte code per row) — used for I/O accounting.
+    pub fn spill_bytes(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| (r.row.width() as u64 + 1) * 8)
+            .sum()
+    }
+}
+
+/// Consuming cursor over a run's coded rows.
+pub struct RunCursor {
+    iter: std::vec::IntoIter<OvcRow>,
+    key_len: usize,
+}
+
+impl Iterator for RunCursor {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        self.iter.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+impl OvcStream for RunCursor {
+    fn key_len(&self) -> usize {
+        self.key_len
+    }
+}
+
+/// A cursor over exactly one row — run generation "merges 'sorted' runs of
+/// a single row each" (Section 3).  The row is coded relative to "−∞".
+pub struct SingleRow {
+    row: Option<OvcRow>,
+}
+
+impl SingleRow {
+    /// Wrap one row, priming its code (the only column-value access the
+    /// whole sort needs in the best case — see Section 7's "extreme case
+    /// with a unique first column").
+    pub fn new(row: Row, key_len: usize) -> Self {
+        let code = Ovc::initial(row.key(key_len));
+        SingleRow { row: Some(OvcRow::new(row, code)) }
+    }
+}
+
+impl Iterator for SingleRow {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        self.row.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_from_sorted_rows() {
+        let run = Run::from_sorted_rows(ovc_core::table1::rows(), 4);
+        assert_eq!(run.len(), 7);
+        assert!(!run.is_empty());
+        assert_eq!(run.key_len(), 4);
+        let codes: Vec<Ovc> = run.rows().iter().map(|r| r.code).collect();
+        assert_eq!(codes, ovc_core::table1::asc_codes());
+    }
+
+    #[test]
+    fn cursor_yields_all_rows() {
+        let run = Run::from_sorted_rows(ovc_core::table1::rows(), 4);
+        let n = run.len();
+        assert_eq!(run.cursor().count(), n);
+    }
+
+    #[test]
+    fn spill_bytes_counts_columns_and_code() {
+        let run = Run::from_sorted_rows(vec![Row::new(vec![1, 2, 3])], 2);
+        // 3 columns + 1 code word = 32 bytes.
+        assert_eq!(run.spill_bytes(), 32);
+        assert_eq!(Run::empty(2).spill_bytes(), 0);
+    }
+
+    #[test]
+    fn single_row_cursor() {
+        let mut c = SingleRow::new(Row::new(vec![7, 8]), 2);
+        let r = c.next().unwrap();
+        assert_eq!(r.code, Ovc::new(0, 7, 2));
+        assert!(c.next().is_none());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "code violation")]
+    fn from_coded_rejects_bad_codes() {
+        let rows = vec![
+            OvcRow::new(Row::new(vec![1]), Ovc::new(0, 1, 1)),
+            OvcRow::new(Row::new(vec![2]), Ovc::duplicate()), // wrong
+        ];
+        let _ = Run::from_coded(rows, 1);
+    }
+}

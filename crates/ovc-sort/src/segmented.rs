@@ -1,0 +1,275 @@
+//! Segmented sorting (Section 4.3).
+//!
+//! "A typical example is a stream sorted on (A, B) but required sorted on
+//! (A, C) — one can … segment the input on distinct values of (A) and sort
+//! each segment only on (C)."
+//!
+//! With offset-value codes, *"inspection of these code values suffices"*
+//! to find segment boundaries: an offset smaller than the segmentation-key
+//! length indicates a boundary — no column-value comparisons at all.
+//! Within a segment all rows share the segmentation key exactly, so the
+//! per-segment sort compares only the suffix columns, and the refined
+//! offsets extend past the segmentation key exactly as the paper
+//! describes ("all offsets within a segment are cut to the size of (A) …
+//! to be extended again by the sort within each segment").
+
+use std::rc::Rc;
+
+use ovc_core::{Ovc, OvcRow, OvcStream, Row, Stats};
+
+/// Re-sort a stream that is sorted on its first `seg_len` columns into one
+/// sorted on its first `out_key_len` columns (`out_key_len >= seg_len`),
+/// one segment at a time.
+///
+/// The input's codes (arity `input.key_len()`) are consumed to detect
+/// segment boundaries for free; the output's codes have arity
+/// `out_key_len` and are exact.
+pub struct SegmentedSort<S: OvcStream> {
+    input: std::iter::Peekable<S>,
+    in_key_len: usize,
+    seg_len: usize,
+    out_key_len: usize,
+    /// Clamped boundary code of the segment currently buffered.
+    segment: std::vec::IntoIter<OvcRow>,
+    stats: Rc<Stats>,
+    first_segment: bool,
+}
+
+impl<S: OvcStream> SegmentedSort<S> {
+    /// Build the operator.  Panics unless
+    /// `seg_len <= input.key_len()` and `seg_len <= out_key_len`.
+    pub fn new(input: S, seg_len: usize, out_key_len: usize, stats: Rc<Stats>) -> Self {
+        let in_key_len = input.key_len();
+        assert!(seg_len <= in_key_len, "segment key must be a prefix of the input key");
+        assert!(seg_len <= out_key_len, "output key must extend the segment key");
+        SegmentedSort {
+            input: input.peekable(),
+            in_key_len,
+            seg_len,
+            out_key_len,
+            segment: Vec::new().into_iter(),
+            stats,
+            first_segment: true,
+        }
+    }
+
+    /// Pull the next segment from the input, sort it on the output key,
+    /// and refine its codes.
+    fn refill(&mut self) -> bool {
+        let first = match self.input.next() {
+            Some(r) => r,
+            None => return false,
+        };
+        // The boundary row's input code, clamped to the segmentation key,
+        // is exact for the output arity: every row of the previous segment
+        // shares the same segmentation-key value, so the first difference
+        // (and the value there) is the same against any of them.
+        let boundary_code = if self.first_segment {
+            self.first_segment = false;
+            Ovc::initial(first.row.key(self.out_key_len))
+        } else {
+            clamp_and_rebase(first.code, self.in_key_len, self.out_key_len)
+        };
+
+        let mut rows: Vec<Row> = vec![first.row];
+        // Segment membership by code inspection: offset >= seg_len means
+        // the row shares the whole segmentation key with its predecessor.
+        while let Some(peek) = self.input.peek() {
+            let code = peek.code;
+            let within = code.is_valid() && code.offset(self.in_key_len) >= self.seg_len;
+            if !within {
+                break;
+            }
+            rows.push(self.input.next().expect("peeked").row);
+        }
+
+        // Sort the segment on the suffix columns only; the shared
+        // segmentation-key prefix never needs another comparison.
+        let (seg_len, out_key_len) = (self.seg_len, self.out_key_len);
+        let stats = Rc::clone(&self.stats);
+        rows.sort_by(|a, b| {
+            for i in seg_len..out_key_len {
+                stats.count_col_cmp();
+                match a.cols()[i].cmp(&b.cols()[i]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+
+        // Refine codes within the segment: offsets extend past seg_len.
+        let mut coded = Vec::with_capacity(rows.len());
+        let mut prev: Option<&Row> = None;
+        for row in &rows {
+            let code = match prev {
+                None => boundary_code,
+                Some(p) => derive_within_segment(
+                    p.key(out_key_len),
+                    row.key(out_key_len),
+                    seg_len,
+                    &self.stats,
+                ),
+            };
+            coded.push(OvcRow::new(row.clone(), code));
+            prev = Some(row);
+        }
+        self.segment = coded.into_iter();
+        true
+    }
+}
+
+/// Re-express a segment-boundary code (arity `in_arity`) for the output
+/// arity.  A boundary code's offset lies below the segmentation key, hence
+/// within both arities, so offset and value carry over unchanged — this is
+/// the paper's "cut to the size of the segmentation key" in the only case
+/// where anything survives the cut.
+fn clamp_and_rebase(code: Ovc, in_arity: usize, out_arity: usize) -> Ovc {
+    debug_assert!(code.is_valid());
+    Ovc::new(code.offset(in_arity), code.value(), out_arity)
+}
+
+/// Exact code of `succ` relative to `pred` where both share the first
+/// `seg_len` columns — comparisons start past the segmentation key.
+fn derive_within_segment(
+    pred: &[u64],
+    succ: &[u64],
+    seg_len: usize,
+    stats: &Stats,
+) -> Ovc {
+    debug_assert_eq!(&pred[..seg_len], &succ[..seg_len]);
+    let arity = succ.len();
+    for i in seg_len..arity {
+        stats.count_col_cmp();
+        if pred[i] != succ[i] {
+            debug_assert!(pred[i] < succ[i]);
+            return Ovc::new(i, succ[i], arity);
+        }
+    }
+    Ovc::duplicate()
+}
+
+impl<S: OvcStream> Iterator for SegmentedSort<S> {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        loop {
+            if let Some(r) = self.segment.next() {
+                return Some(r);
+            }
+            if !self.refill() {
+                return None;
+            }
+        }
+    }
+}
+
+impl<S: OvcStream> OvcStream for SegmentedSort<S> {
+    fn key_len(&self) -> usize {
+        self.out_key_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovc_core::derive::assert_codes_exact;
+    use ovc_core::stream::collect_pairs;
+    use ovc_core::VecStream;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Rows with columns (A, C, B): sorted on (A, B) means sorted on
+    /// column 0 then 2; we want (A, C) = columns 0 then 1.
+    fn make_input(n: usize, seed: u64) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows: Vec<Row> = (0..n)
+            .map(|_| {
+                Row::new(vec![
+                    rng.gen_range(0..5u64),  // A
+                    rng.gen_range(0..50u64), // C
+                    rng.gen_range(0..50u64), // B
+                ])
+            })
+            .collect();
+        // Sort on (A, B) = columns (0, 2).
+        rows.sort_by(|a, b| (a.cols()[0], a.cols()[2]).cmp(&(b.cols()[0], b.cols()[2])));
+        rows
+    }
+
+    #[test]
+    fn resorts_on_new_suffix() {
+        let rows = make_input(300, 1);
+        // Input stream: sorted on column 0 (A) only as far as codes of
+        // arity 1 are concerned.
+        let input = VecStream::from_sorted_rows(rows.clone(), 1);
+        let stats = Stats::new_shared();
+        let seg = SegmentedSort::new(input, 1, 2, Rc::clone(&stats));
+        let pairs = collect_pairs(seg);
+        assert_eq!(pairs.len(), 300);
+        assert_codes_exact(&pairs, 2);
+        // Output is sorted on (A, C).
+        for w in pairs.windows(2) {
+            assert!(w[0].0.key(2) <= w[1].0.key(2));
+        }
+    }
+
+    #[test]
+    fn boundary_detection_needs_no_boundary_comparisons() {
+        // Fully distinct segment keys: every row its own segment; zero
+        // column comparisons should be needed to find boundaries.
+        let rows: Vec<Row> = (0..100).map(|i| Row::new(vec![i, 100 - i])).collect();
+        let input = VecStream::from_sorted_rows(rows, 1);
+        let stats = Stats::new_shared();
+        let seg = SegmentedSort::new(input, 1, 2, Rc::clone(&stats));
+        let pairs = collect_pairs(seg);
+        assert_eq!(pairs.len(), 100);
+        assert_codes_exact(&pairs, 2);
+        assert_eq!(
+            stats.col_value_cmps(),
+            0,
+            "single-row segments require no comparisons at all"
+        );
+    }
+
+    #[test]
+    fn single_segment_input() {
+        // All rows share A: one big segment.
+        let mut rows: Vec<Row> =
+            (0..50).map(|i| Row::new(vec![7, 49 - i])).collect();
+        rows.sort_by_key(|r| r.cols()[1]); // already sorted on (A, B=C here)
+        let rows: Vec<Row> = (0..50).map(|i| Row::new(vec![7, (i * 13) % 50])).collect();
+        let input = VecStream::from_sorted_rows(
+            {
+                let mut r = rows.clone();
+                r.sort_by_key(|x| x.cols()[0]);
+                r
+            },
+            1,
+        );
+        let stats = Stats::new_shared();
+        let seg = SegmentedSort::new(input, 1, 2, Rc::clone(&stats));
+        let pairs = collect_pairs(seg);
+        assert_eq!(pairs.len(), 50);
+        assert_codes_exact(&pairs, 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let input = VecStream::from_sorted_rows(vec![], 1);
+        let stats = Stats::new_shared();
+        let mut seg = SegmentedSort::new(input, 1, 2, stats);
+        assert!(seg.next().is_none());
+    }
+
+    #[test]
+    fn segment_key_equals_out_key_passes_through() {
+        let rows = ovc_core::table1::rows();
+        let input = VecStream::from_sorted_rows(rows.clone(), 4);
+        let stats = Stats::new_shared();
+        let seg = SegmentedSort::new(input, 4, 4, stats);
+        let pairs = collect_pairs(seg);
+        assert_codes_exact(&pairs, 4);
+        let got: Vec<Row> = pairs.into_iter().map(|(r, _)| r).collect();
+        assert_eq!(got, rows);
+    }
+}

@@ -1,0 +1,352 @@
+//! Tree-of-losers priority queue with offset-value coding (Section 3,
+//! Figures 1–3 of the paper).
+//!
+//! A tournament tree embedded in an array merges `F` sorted inputs with one
+//! comparison per tree level on each leaf-to-root pass.  Every node holds a
+//! loser's offset-value code and its run identifier; the rows themselves
+//! stay in the input cursors ("strings remain in the input buffers",
+//! Figure 3).
+//!
+//! The crucial invariant (Section 3): after the overall winner moves to the
+//! output, all nodes on its leaf-to-root path hold codes relative to that
+//! winner, and the winner's successor — drawn from the same input, whose
+//! runs are prefix-truncation encoded — is coded relative to the same
+//! winner.  Every steady-state comparison is therefore a same-base code
+//! comparison:
+//!
+//! * codes differ → decided for free; the loser's code is already correct
+//!   relative to the winner (unequal code theorem);
+//! * codes equal → column comparisons resume past the shared prefix and
+//!   value, and the loser's offset grows accordingly (equal code theorem).
+//!
+//! Total column-value comparisons over a whole merge of `N` rows with `K`
+//! key columns are bounded by `N × K` — no `log N` factor (verified by the
+//! `comparison_bounds` integration tests).
+//!
+//! Queue build-up compares first rows, which are all coded relative to the
+//! imaginary "−∞" predecessor (offset 0, first column value), so even the
+//! build phase uses same-base code comparisons.  Exhausted inputs turn into
+//! late fences whose comparisons are single integer compares ("the
+//! comparison of offset-value codes is practically free", Section 5).
+
+use std::cmp::Ordering;
+use std::rc::Rc;
+
+use ovc_core::compare::compare_same_base;
+use ovc_core::{Ovc, OvcRow, OvcStream, Row, Stats};
+
+/// A tree node: an offset-value code plus a run identifier.  16 bytes, so a
+/// queue of 512–1024 entries fits an L1 cache as Section 3 envisions.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    code: Ovc,
+    run: u32,
+}
+
+/// Tree-of-losers priority queue merging `F` cursors of coded rows.
+///
+/// Each cursor must yield rows in ascending key order with exact codes
+/// relative to the cursor's previous row (the [`OvcStream`] contract).
+/// The merge output is itself a valid coded stream: the winner's code at
+/// the root is its code relative to the previous overall winner, i.e. the
+/// previous output row.
+pub struct TreeOfLosers<C: Iterator<Item = OvcRow>> {
+    cursors: Vec<C>,
+    /// Current head row of each real input (index = run id); `None` once
+    /// exhausted.  Padded inputs beyond `cursors.len()` are permanent
+    /// late fences and have no slot here.
+    cur: Vec<Option<Row>>,
+    /// Internal nodes; slot 0 unused, slots `1..cap` hold losers.
+    nodes: Vec<Entry>,
+    winner: Entry,
+    /// Leaf count: `cursors.len()` rounded up to a power of two.
+    cap: usize,
+    key_len: usize,
+    stats: Rc<Stats>,
+}
+
+impl<C: Iterator<Item = OvcRow>> TreeOfLosers<C> {
+    /// Build the queue over the given cursors.  Runs compete at fixed
+    /// leaves; missing leaves (when the fan-in is not a power of two) are
+    /// late fences.
+    pub fn new(mut cursors: Vec<C>, key_len: usize, stats: Rc<Stats>) -> Self {
+        let f = cursors.len();
+        let cap = f.next_power_of_two().max(1);
+        let mut cur = Vec::with_capacity(f);
+        let mut first_codes = Vec::with_capacity(f);
+        for c in cursors.iter_mut() {
+            match c.next() {
+                Some(OvcRow { row, code }) => {
+                    cur.push(Some(row));
+                    first_codes.push(code);
+                }
+                None => {
+                    cur.push(None);
+                    first_codes.push(Ovc::LATE_FENCE);
+                }
+            }
+        }
+        let mut tree = TreeOfLosers {
+            cursors,
+            cur,
+            nodes: vec![Entry { code: Ovc::LATE_FENCE, run: 0 }; cap],
+            winner: Entry { code: Ovc::LATE_FENCE, run: 0 },
+            cap,
+            key_len,
+            stats,
+        };
+        tree.winner = tree.build(1, &first_codes);
+        tree
+    }
+
+    /// Key slice of an entry's current row (empty for fences; only read
+    /// when both codes are valid and equal, in which case rows exist).
+    #[inline]
+    fn key_of(&self, e: Entry) -> &[u64] {
+        self.cur
+            .get(e.run as usize)
+            .and_then(|r| r.as_ref())
+            .map(|r| r.key(self.key_len))
+            .unwrap_or(&[])
+    }
+
+    /// Play one match: returns `(winner, loser)` with the loser's code
+    /// adjusted relative to the winner where required.
+    #[inline]
+    fn play(&self, mut a: Entry, mut b: Entry) -> (Entry, Entry) {
+        let ord = {
+            // Split borrows: keys are reads of `cur`, codes are locals.
+            let a_key = self.key_of(a);
+            let b_key = self.key_of(b);
+            compare_same_base(a_key, b_key, &mut a.code, &mut b.code, &self.stats)
+        };
+        match ord {
+            Ordering::Less => (a, b),
+            Ordering::Greater => (b, a),
+            Ordering::Equal => {
+                // Equal keys (or two fences).  Lower run index wins so the
+                // merge is stable; an equal-key loser is a duplicate of the
+                // winner.
+                let (w, mut l) = if a.run <= b.run { (a, b) } else { (b, a) };
+                if l.code.is_valid() {
+                    l.code = Ovc::duplicate();
+                }
+                (w, l)
+            }
+        }
+    }
+
+    /// Recursively run the initial tournament below `node`, storing losers,
+    /// returning the subtree winner.
+    fn build(&mut self, node: usize, first_codes: &[Ovc]) -> Entry {
+        if node >= self.cap {
+            let r = node - self.cap;
+            let code = first_codes.get(r).copied().unwrap_or(Ovc::LATE_FENCE);
+            return Entry { code, run: r as u32 };
+        }
+        let a = self.build(2 * node, first_codes);
+        let b = self.build(2 * node + 1, first_codes);
+        let (w, l) = self.play(a, b);
+        self.nodes[node] = l;
+        w
+    }
+
+    /// Number of leaves (padded fan-in).
+    pub fn fan_in(&self) -> usize {
+        self.cap
+    }
+
+    /// The shared statistics handle.
+    pub fn stats(&self) -> &Rc<Stats> {
+        &self.stats
+    }
+
+    /// Peek the code of the current overall winner without popping
+    /// (late fence once the merge is exhausted).
+    ///
+    /// F1's merge logic uses this to route rows whose offset equals the
+    /// key-column count straight to the output buffer (Section 5).
+    pub fn peek_code(&self) -> Ovc {
+        self.winner.code
+    }
+}
+
+impl<C: Iterator<Item = OvcRow>> Iterator for TreeOfLosers<C> {
+    type Item = OvcRow;
+
+    fn next(&mut self) -> Option<OvcRow> {
+        if self.winner.code.is_late_fence() {
+            return None;
+        }
+        let w = self.winner.run as usize;
+        let row = self.cur[w].take().expect("winner run has a current row");
+        let out = OvcRow::new(row, self.winner.code);
+
+        // Fetch the winner's successor from the same input; it is coded
+        // relative to the row just output (prefix truncation within the
+        // run), so the leaf-to-root pass below compares same-base codes.
+        let mut cand = match self.cursors[w].next() {
+            Some(OvcRow { row, code }) => {
+                self.cur[w] = Some(row);
+                Entry { code, run: w as u32 }
+            }
+            None => Entry { code: Ovc::LATE_FENCE, run: w as u32 },
+        };
+
+        // One comparison per tree level: the candidate retraces the prior
+        // winner's leaf-to-root path.
+        let mut node = (self.cap + w) >> 1;
+        while node >= 1 {
+            let stored = self.nodes[node];
+            let (win, lose) = self.play(cand, stored);
+            self.nodes[node] = lose;
+            cand = win;
+            node >>= 1;
+        }
+        self.winner = cand;
+        Some(out)
+    }
+}
+
+impl<C: Iterator<Item = OvcRow>> OvcStream for TreeOfLosers<C> {
+    fn key_len(&self) -> usize {
+        self.key_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovc_core::derive::assert_codes_exact;
+    use ovc_core::stream::collect_pairs;
+    use ovc_core::VecStream;
+
+    fn stream_of(rows: Vec<Vec<u64>>, key_len: usize) -> VecStream {
+        VecStream::from_sorted_rows(rows.into_iter().map(Row::new).collect(), key_len)
+    }
+
+    #[test]
+    fn merges_two_runs() {
+        let a = stream_of(vec![vec![1, 1], vec![3, 1], vec![5, 1]], 2);
+        let b = stream_of(vec![vec![2, 1], vec![4, 1], vec![6, 1]], 2);
+        let stats = Stats::new_shared();
+        let tree = TreeOfLosers::new(vec![a, b], 2, stats);
+        let pairs = collect_pairs(tree);
+        let keys: Vec<u64> = pairs.iter().map(|(r, _)| r.cols()[0]).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5, 6]);
+        assert_codes_exact(&pairs, 2);
+    }
+
+    #[test]
+    fn merge_output_codes_are_exact_for_many_runs() {
+        // Three runs with interleaved values and duplicates, odd fan-in.
+        let r1 = stream_of(vec![vec![1, 2], vec![1, 5], vec![7, 0]], 2);
+        let r2 = stream_of(vec![vec![1, 2], vec![4, 4]], 2);
+        let r3 = stream_of(vec![vec![0, 9], vec![9, 9]], 2);
+        let stats = Stats::new_shared();
+        let tree = TreeOfLosers::new(vec![r1, r2, r3], 2, stats);
+        let pairs = collect_pairs(tree);
+        assert_eq!(pairs.len(), 7);
+        assert_codes_exact(&pairs, 2);
+    }
+
+    #[test]
+    fn single_run_passes_through() {
+        let a = stream_of(vec![vec![2], vec![3], vec![9]], 1);
+        let stats = Stats::new_shared();
+        let tree = TreeOfLosers::new(vec![a], 1, Rc::clone(&stats));
+        let pairs = collect_pairs(tree);
+        assert_eq!(pairs.len(), 3);
+        assert_codes_exact(&pairs, 1);
+        // A single input requires no column comparisons at all.
+        assert_eq!(stats.col_value_cmps(), 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let stats = Stats::new_shared();
+        let tree: TreeOfLosers<VecStream> = TreeOfLosers::new(vec![], 1, stats);
+        assert_eq!(tree.count(), 0);
+
+        let empty = stream_of(vec![], 1);
+        let full = stream_of(vec![vec![1]], 1);
+        let stats = Stats::new_shared();
+        let tree = TreeOfLosers::new(vec![empty, full], 1, stats);
+        let pairs = collect_pairs(tree);
+        assert_eq!(pairs.len(), 1);
+        assert_codes_exact(&pairs, 1);
+    }
+
+    #[test]
+    fn all_duplicates_across_runs() {
+        let a = stream_of(vec![vec![5, 5]; 3], 2);
+        let b = stream_of(vec![vec![5, 5]; 2], 2);
+        let stats = Stats::new_shared();
+        let tree = TreeOfLosers::new(vec![a, b], 2, stats);
+        let pairs = collect_pairs(tree);
+        assert_eq!(pairs.len(), 5);
+        assert_codes_exact(&pairs, 2);
+        // All rows after the first carry the duplicate code.
+        assert!(pairs[1..].iter().all(|(_, c)| c.is_duplicate()));
+    }
+
+    #[test]
+    fn merge_is_stable_by_run_index() {
+        // Equal keys must come out in run order (payload reveals origin).
+        let a = stream_of(vec![vec![5, 100]], 1);
+        let b = stream_of(vec![vec![5, 200]], 1);
+        let stats = Stats::new_shared();
+        let tree = TreeOfLosers::new(vec![a, b], 1, stats);
+        let rows: Vec<Row> = tree.map(|r| r.row).collect();
+        assert_eq!(rows[0].cols()[1], 100);
+        assert_eq!(rows[1].cols()[1], 200);
+    }
+
+    #[test]
+    fn column_comparisons_bounded_by_n_times_k() {
+        // 8 runs of 32 rows each, 3 key columns with few distinct values.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut runs = Vec::new();
+        let mut n = 0u64;
+        for _ in 0..8 {
+            let mut rows: Vec<Row> = (0..32)
+                .map(|_| {
+                    Row::new(vec![
+                        rng.gen_range(0..4u64),
+                        rng.gen_range(0..4u64),
+                        rng.gen_range(0..4u64),
+                    ])
+                })
+                .collect();
+            rows.sort();
+            n += rows.len() as u64;
+            runs.push(VecStream::from_sorted_rows(rows, 3));
+        }
+        let stats = Stats::new_shared();
+        let tree = TreeOfLosers::new(runs, 3, Rc::clone(&stats));
+        let pairs = collect_pairs(tree);
+        assert_eq!(pairs.len() as u64, n);
+        assert_codes_exact(&pairs, 3);
+        // The paper's bound: total column-value comparisons <= N * K.
+        assert!(
+            stats.col_value_cmps() <= n * 3,
+            "col cmps {} exceed N*K = {}",
+            stats.col_value_cmps(),
+            n * 3
+        );
+    }
+
+    #[test]
+    fn peek_code_matches_next_output() {
+        let a = stream_of(vec![vec![1], vec![2]], 1);
+        let stats = Stats::new_shared();
+        let mut tree = TreeOfLosers::new(vec![a], 1, stats);
+        let peeked = tree.peek_code();
+        let first = tree.next().unwrap();
+        assert_eq!(peeked, first.code);
+        tree.next();
+        assert!(tree.peek_code().is_late_fence());
+    }
+}

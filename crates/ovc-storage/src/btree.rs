@@ -1,0 +1,410 @@
+//! B-tree with prefix truncation producing offset-value codes on scans
+//! (Section 4.11).
+//!
+//! "Traditional b-trees readily support sorted scans.  Page-wide prefix
+//! compression gives offset-value coding a head start; compression within
+//! index leaves by next-neighbor difference … provides offset-value codes
+//! practically for free."
+//!
+//! This bulk-loaded B-tree stores, with every leaf entry, its exact code
+//! relative to the preceding entry (next-neighbor difference), plus a link
+//! code connecting each leaf's first entry to the previous leaf's last —
+//! so a full or range scan emits coded rows with **zero** column-value
+//! comparisons.  The comparison effort spent at index-creation time is
+//! preserved, exactly as Section 4.12 describes.
+
+
+use ovc_core::compare::derive_code;
+use ovc_core::{Ovc, OvcRow, OvcStream, Row, Stats};
+
+/// A leaf page: coded entries plus the cross-leaf link code.
+struct Leaf {
+    /// Entries; entry 0's stored code is relative to the previous leaf's
+    /// last entry (the link), later entries to their in-leaf predecessor.
+    entries: Vec<OvcRow>,
+}
+
+/// An internal node: separator keys route to children one level below.
+/// `children[i]` covers keys `< keys[i]`; the last child covers the rest.
+struct Internal {
+    /// First keys of children 1.. (standard separator layout).
+    keys: Vec<Box<[u64]>>,
+    /// Child indices into the level below (leaves or internals).
+    children: Vec<u32>,
+}
+
+/// A bulk-loaded B-tree over sorted rows.
+pub struct BTree {
+    key_len: usize,
+    leaves: Vec<Leaf>,
+    /// Internal levels bottom-up; empty when a single leaf is the root.
+    levels: Vec<Vec<Internal>>,
+    n_rows: usize,
+}
+
+impl BTree {
+    /// Bulk-load from sorted rows.  `leaf_capacity` entries per leaf,
+    /// `branching` children per internal node.
+    pub fn bulk_load(
+        rows: Vec<Row>,
+        key_len: usize,
+        leaf_capacity: usize,
+        branching: usize,
+    ) -> Self {
+        assert!(leaf_capacity >= 1 && branching >= 2);
+        assert!(
+            ovc_core::derive::is_sorted(&rows, key_len),
+            "bulk load requires sorted input"
+        );
+        let n_rows = rows.len();
+        let stats = Stats::default(); // creation-time comparisons are the index's own cost
+        let mut leaves: Vec<Leaf> = Vec::new();
+        let mut prev: Option<Row> = None;
+        for chunk in rows.chunks(leaf_capacity) {
+            let mut entries = Vec::with_capacity(chunk.len());
+            for row in chunk {
+                let code = match &prev {
+                    None => Ovc::initial(row.key(key_len)),
+                    Some(p) => derive_code(p.key(key_len), row.key(key_len), &stats),
+                };
+                entries.push(OvcRow::new(row.clone(), code));
+                prev = Some(row.clone());
+            }
+            leaves.push(Leaf { entries });
+        }
+
+        // Build internal levels bottom-up.
+        let mut levels: Vec<Vec<Internal>> = Vec::new();
+        let mut child_first_keys: Vec<Box<[u64]>> = leaves
+            .iter()
+            .map(|l| l.entries[0].row.key(key_len).to_vec().into_boxed_slice())
+            .collect();
+        let mut width = leaves.len();
+        while width > 1 {
+            let mut level = Vec::new();
+            let mut next_first_keys = Vec::new();
+            let mut idx = 0u32;
+            for group in child_first_keys.chunks(branching) {
+                let children: Vec<u32> =
+                    (idx..idx + group.len() as u32).collect();
+                idx += group.len() as u32;
+                next_first_keys.push(group[0].clone());
+                level.push(Internal {
+                    keys: group[1..].to_vec(),
+                    children,
+                });
+            }
+            width = level.len();
+            levels.push(level);
+            child_first_keys = next_first_keys;
+        }
+
+        BTree { key_len, leaves, levels, n_rows }
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Sort-key arity.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+
+    /// Tree height (leaf level = 1).
+    pub fn height(&self) -> usize {
+        1 + self.levels.len()
+    }
+
+    /// Leaf index of the first entry whose key is `>= key` (prefix
+    /// comparison on `key.len()` columns), descending through the internal
+    /// levels with counted separator comparisons.
+    fn descend(&self, key: &[u64], stats: &Stats) -> usize {
+        if self.leaves.is_empty() {
+            return 0;
+        }
+        let mut node = 0usize;
+        for level in self.levels.iter().rev() {
+            let n = &level[node];
+            // Find the last child whose first key is strictly below the
+            // probe: duplicates equal to a separator can end the previous
+            // child, so a `<=` rule would skip them.
+            let mut child = 0usize;
+            for (i, sep) in n.keys.iter().enumerate() {
+                if cmp_prefix(sep, key, stats) == std::cmp::Ordering::Less {
+                    child = i + 1;
+                } else {
+                    break;
+                }
+            }
+            node = n.children[child] as usize;
+        }
+        node
+    }
+
+    /// Position `(leaf, entry)` of the first entry `>= key` under prefix
+    /// comparison (the classic `lower_bound`).
+    fn lower_bound(&self, key: &[u64], stats: &Stats) -> (usize, usize) {
+        if self.leaves.is_empty() {
+            return (0, 0);
+        }
+        let mut leaf = self.descend(key, stats);
+        loop {
+            let entries = &self.leaves[leaf].entries;
+            for (i, e) in entries.iter().enumerate() {
+                if cmp_prefix(e.row.key(self.key_len), key, stats)
+                    != std::cmp::Ordering::Less
+                {
+                    return (leaf, i);
+                }
+            }
+            leaf += 1;
+            if leaf == self.leaves.len() {
+                return (leaf, 0); // past the end
+            }
+        }
+    }
+
+    /// All rows whose key starts with `prefix`, in order, with exact codes
+    /// (first row coded relative to "−∞", later rows reuse stored codes).
+    pub fn lookup(&self, prefix: &[u64], stats: &Stats) -> Vec<OvcRow> {
+        assert!(prefix.len() <= self.key_len);
+        let (mut leaf, mut idx) = self.lower_bound(prefix, stats);
+        let mut out: Vec<OvcRow> = Vec::new();
+        while leaf < self.leaves.len() {
+            let entries = &self.leaves[leaf].entries;
+            while idx < entries.len() {
+                let e = &entries[idx];
+                stats.count_row_cmp();
+                if &e.row.key(self.key_len)[..prefix.len()] != prefix {
+                    return out;
+                }
+                let code = if out.is_empty() {
+                    // A fresh result stream starts relative to "−∞".
+                    Ovc::initial(e.row.key(self.key_len))
+                } else {
+                    // Contiguous predecessor: the stored next-neighbor
+                    // difference is exact — no comparison needed.
+                    e.code
+                };
+                out.push(OvcRow::new(e.row.clone(), code));
+                idx += 1;
+            }
+            leaf += 1;
+            idx = 0;
+        }
+        out
+    }
+
+    /// Full ordered scan producing codes with zero column comparisons.
+    pub fn scan(&self) -> BTreeScan<'_> {
+        BTreeScan { tree: self, leaf: 0, idx: 0, first: true }
+    }
+
+    /// Ordered scan of all rows with keys in `[lo, hi)` (prefix
+    /// comparisons).  Codes: first row relative to "−∞", later rows reuse
+    /// the stored next-neighbor differences.
+    pub fn range_scan(&self, lo: &[u64], hi: &[u64], stats: &Stats) -> Vec<OvcRow> {
+        let (mut leaf, mut idx) = self.lower_bound(lo, stats);
+        let mut out = Vec::new();
+        while leaf < self.leaves.len() {
+            let entries = &self.leaves[leaf].entries;
+            while idx < entries.len() {
+                let e = &entries[idx];
+                if cmp_prefix(e.row.key(self.key_len), hi, stats)
+                    != std::cmp::Ordering::Less
+                {
+                    return out;
+                }
+                let code = if out.is_empty() {
+                    Ovc::initial(e.row.key(self.key_len))
+                } else {
+                    e.code
+                };
+                out.push(OvcRow::new(e.row.clone(), code));
+                idx += 1;
+            }
+            leaf += 1;
+            idx = 0;
+        }
+        out
+    }
+}
+
+/// Compare a full key against a (possibly shorter) probe prefix.
+fn cmp_prefix(key: &[u64], prefix: &[u64], stats: &Stats) -> std::cmp::Ordering {
+    let n = prefix.len().min(key.len());
+    for i in 0..n {
+        stats.count_col_cmp();
+        match key[i].cmp(&prefix[i]) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Ordered full scan over a [`BTree`] — an [`OvcStream`] whose codes come
+/// straight from storage.
+pub struct BTreeScan<'a> {
+    tree: &'a BTree,
+    leaf: usize,
+    idx: usize,
+    first: bool,
+}
+
+impl Iterator for BTreeScan<'_> {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        while self.leaf < self.tree.leaves.len() {
+            let entries = &self.tree.leaves[self.leaf].entries;
+            if self.idx < entries.len() {
+                let e = entries[self.idx].clone();
+                self.idx += 1;
+                self.first = false;
+                return Some(e);
+            }
+            self.leaf += 1;
+            self.idx = 0;
+        }
+        None
+    }
+}
+
+impl OvcStream for BTreeScan<'_> {
+    fn key_len(&self) -> usize {
+        self.tree.key_len
+    }
+}
+
+/// Convenience wrapper yielding the scan as an owned stream (for pipelines
+/// that outlive the borrow, e.g. examples).
+pub fn scan_to_stream(tree: &BTree) -> ovc_core::VecStream {
+    ovc_core::VecStream::from_coded(tree.scan().collect(), tree.key_len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovc_core::derive::assert_codes_exact;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn build(n: usize, seed: u64) -> (BTree, Vec<Row>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows: Vec<Row> = (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    rng.gen_range(0..20u64),
+                    rng.gen_range(0..20u64),
+                    i as u64, // payload
+                ])
+            })
+            .collect();
+        rows.sort();
+        (BTree::bulk_load(rows.clone(), 2, 8, 4), rows)
+    }
+
+    #[test]
+    fn scan_is_free_and_exact() {
+        let (tree, rows) = build(500, 1);
+        assert_eq!(tree.len(), 500);
+        assert!(tree.height() >= 3, "multi-level tree expected");
+        let stats = Stats::new_shared();
+        // The scan itself performs no comparisons; count via a fresh Stats
+        // threaded nowhere — instead verify codes and order.
+        let pairs: Vec<(Row, Ovc)> = tree.scan().map(|r| (r.row, r.code)).collect();
+        assert_eq!(pairs.len(), 500);
+        assert_codes_exact(&pairs, 2);
+        let got: Vec<Row> = pairs.into_iter().map(|(r, _)| r).collect();
+        assert_eq!(got, rows);
+        assert_eq!(stats.col_value_cmps(), 0);
+    }
+
+    #[test]
+    fn lookup_finds_all_matches() {
+        let (tree, rows) = build(400, 2);
+        let stats = Stats::default();
+        for probe in 0..20u64 {
+            let got = tree.lookup(&[probe], &stats);
+            let expect: Vec<&Row> =
+                rows.iter().filter(|r| r.cols()[0] == probe).collect();
+            assert_eq!(got.len(), expect.len(), "probe {probe}");
+            for (g, e) in got.iter().zip(expect) {
+                assert_eq!(&g.row, e);
+            }
+            // Result codes form a valid coded stream.
+            let pairs: Vec<(Row, Ovc)> =
+                got.into_iter().map(|r| (r.row, r.code)).collect();
+            assert_codes_exact(&pairs, 2);
+        }
+    }
+
+    #[test]
+    fn lookup_missing_key() {
+        let (tree, _) = build(100, 3);
+        let stats = Stats::default();
+        assert!(tree.lookup(&[999], &stats).is_empty());
+    }
+
+    #[test]
+    fn full_key_lookup() {
+        let (tree, rows) = build(300, 4);
+        let stats = Stats::default();
+        let probe = rows[150].key(2);
+        let got = tree.lookup(probe, &stats);
+        assert!(!got.is_empty());
+        assert!(got.iter().all(|r| r.row.key(2) == probe));
+    }
+
+    #[test]
+    fn range_scan_respects_bounds() {
+        let (tree, rows) = build(400, 5);
+        let stats = Stats::default();
+        let got = tree.range_scan(&[5], &[12], &stats);
+        let expect: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.cols()[0] >= 5 && r.cols()[0] < 12)
+            .collect();
+        assert_eq!(got.len(), expect.len());
+        let pairs: Vec<(Row, Ovc)> = got.into_iter().map(|r| (r.row, r.code)).collect();
+        assert_codes_exact(&pairs, 2);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = BTree::bulk_load(vec![], 2, 8, 4);
+        assert!(tree.is_empty());
+        assert_eq!(tree.scan().count(), 0);
+        let stats = Stats::default();
+        assert!(tree.lookup(&[1], &stats).is_empty());
+        assert!(tree.range_scan(&[0], &[9], &stats).is_empty());
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let rows: Vec<Row> = (0..5).map(|i| Row::new(vec![i])).collect();
+        let tree = BTree::bulk_load(rows.clone(), 1, 8, 4);
+        assert_eq!(tree.height(), 1);
+        let got: Vec<Row> = tree.scan().map(|r| r.row).collect();
+        assert_eq!(got, rows);
+    }
+
+    #[test]
+    fn duplicates_spanning_leaves() {
+        // 30 identical keys with leaf capacity 8: duplicates cross leaves.
+        let rows: Vec<Row> = (0..30).map(|i| Row::new(vec![7, i])).collect();
+        let tree = BTree::bulk_load(rows.clone(), 1, 8, 4);
+        let stats = Stats::default();
+        let got = tree.lookup(&[7], &stats);
+        assert_eq!(got.len(), 30);
+        let payloads: Vec<u64> = got.iter().map(|r| r.row.cols()[1]).collect();
+        assert_eq!(payloads, (0..30).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,191 @@
+//! Spill devices: encoding-faithful [`RunStorage`] implementations.
+//!
+//! [`EncodedRunStorage`] keeps prefix-truncated byte images in memory and
+//! accounts *actual encoded bytes* — the honest substitute for the paper's
+//! temporary files (DESIGN.md §3.6): spill behaviour depends on row counts
+//! and byte volumes, not on the device.  [`FileRunStorage`] writes the same
+//! images through `std::fs` for runs that should genuinely leave memory.
+
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use ovc_core::Stats;
+use ovc_sort::{Run, RunStorage};
+
+use crate::encode::{decode_run, encode_run};
+
+/// In-memory spill device storing encoded (prefix-truncated) run images.
+pub struct EncodedRunStorage {
+    blobs: Vec<Option<(Vec<u8>, u64)>>, // (bytes, row count)
+    stats: Rc<Stats>,
+}
+
+impl EncodedRunStorage {
+    /// New device accounting into `stats`.
+    pub fn new(stats: Rc<Stats>) -> Self {
+        EncodedRunStorage { blobs: Vec::new(), stats }
+    }
+
+    /// Total encoded bytes currently held.
+    pub fn resident_bytes(&self) -> usize {
+        self.blobs
+            .iter()
+            .flatten()
+            .map(|(b, _)| b.len())
+            .sum()
+    }
+}
+
+impl RunStorage for EncodedRunStorage {
+    fn write_run(&mut self, run: Run) -> usize {
+        let rows = run.len() as u64;
+        let bytes = encode_run(&run);
+        self.stats.count_spill(rows, bytes.len() as u64);
+        self.blobs.push(Some((bytes, rows)));
+        self.blobs.len() - 1
+    }
+
+    fn read_run(&mut self, handle: usize) -> Run {
+        let (bytes, rows) = self.blobs[handle].take().expect("run already consumed");
+        self.stats.count_read_back(rows, bytes.len() as u64);
+        decode_run(&bytes)
+    }
+
+    fn stored_runs(&self) -> usize {
+        self.blobs.iter().filter(|b| b.is_some()).count()
+    }
+}
+
+/// File-backed spill device: each run is one file in a scratch directory,
+/// deleted when the device drops.
+pub struct FileRunStorage {
+    dir: PathBuf,
+    files: Vec<Option<(PathBuf, u64, u64)>>, // (path, rows, bytes)
+    stats: Rc<Stats>,
+    next_id: u64,
+}
+
+impl FileRunStorage {
+    /// Create a scratch directory under the system temp dir.
+    pub fn new(stats: Rc<Stats>) -> std::io::Result<Self> {
+        let dir = std::env::temp_dir().join(format!(
+            "ovc-spill-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileRunStorage { dir, files: Vec::new(), stats, next_id: 0 })
+    }
+
+    /// The scratch directory path.
+    pub fn dir(&self) -> &PathBuf {
+        &self.dir
+    }
+}
+
+impl RunStorage for FileRunStorage {
+    fn write_run(&mut self, run: Run) -> usize {
+        let rows = run.len() as u64;
+        let bytes = encode_run(&run);
+        let path = self.dir.join(format!("run-{}.ovc", self.next_id));
+        self.next_id += 1;
+        std::fs::write(&path, &bytes).expect("spill write");
+        self.stats.count_spill(rows, bytes.len() as u64);
+        self.files.push(Some((path, rows, bytes.len() as u64)));
+        self.files.len() - 1
+    }
+
+    fn read_run(&mut self, handle: usize) -> Run {
+        let (path, rows, bytes) = self.files[handle].take().expect("run already consumed");
+        let data = std::fs::read(&path).expect("spill read");
+        let _ = std::fs::remove_file(&path);
+        self.stats.count_read_back(rows, bytes);
+        decode_run(&data)
+    }
+
+    fn stored_runs(&self) -> usize {
+        self.files.iter().filter(|f| f.is_some()).count()
+    }
+}
+
+impl Drop for FileRunStorage {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovc_core::Row;
+    use ovc_sort::{external_sort, SortConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rows(n: usize, seed: u64) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Row::new(vec![rng.gen_range(0..8u64), rng.gen_range(0..8u64)]))
+            .collect()
+    }
+
+    #[test]
+    fn encoded_storage_round_trip() {
+        let stats = Stats::new_shared();
+        let mut storage = EncodedRunStorage::new(Rc::clone(&stats));
+        let run = Run::from_sorted_rows(ovc_core::table1::rows(), 4);
+        let h = storage.write_run(run.clone());
+        assert_eq!(storage.stored_runs(), 1);
+        assert!(storage.resident_bytes() > 0);
+        let back = storage.read_run(h);
+        assert_eq!(back.rows(), run.rows());
+        assert_eq!(storage.stored_runs(), 0);
+        assert_eq!(stats.rows_spilled(), 7);
+        assert_eq!(stats.rows_read_back(), 7);
+        assert_eq!(stats.bytes_spilled(), stats.bytes_read_back());
+    }
+
+    #[test]
+    fn external_sort_through_encoded_storage() {
+        let rows = random_rows(600, 9);
+        let stats = Stats::new_shared();
+        let mut storage = EncodedRunStorage::new(Rc::clone(&stats));
+        let out: Vec<_> =
+            external_sort(rows.clone(), SortConfig::new(2, 64), &mut storage, &stats).collect();
+        assert_eq!(out.len(), 600);
+        let pairs: Vec<_> = out.into_iter().map(|r| (r.row, r.code)).collect();
+        ovc_core::derive::assert_codes_exact(&pairs, 2);
+        assert_eq!(stats.rows_spilled(), 600, "one spill pass");
+    }
+
+    #[test]
+    fn file_storage_round_trip() {
+        let stats = Stats::new_shared();
+        let mut storage = FileRunStorage::new(Rc::clone(&stats)).expect("tempdir");
+        let dir = storage.dir().clone();
+        assert!(dir.exists());
+        let mut rows = random_rows(100, 3);
+        rows.sort();
+        let run = Run::from_sorted_rows(rows, 2);
+        let h = storage.write_run(run.clone());
+        let back = storage.read_run(h);
+        assert_eq!(back.rows(), run.rows());
+        drop(storage);
+        assert!(!dir.exists(), "scratch dir removed on drop");
+    }
+
+    #[test]
+    fn file_storage_external_sort() {
+        let rows = random_rows(400, 11);
+        let stats = Stats::new_shared();
+        let mut storage = FileRunStorage::new(Rc::clone(&stats)).expect("tempdir");
+        let out: Vec<_> =
+            external_sort(rows, SortConfig::new(2, 50), &mut storage, &stats).collect();
+        assert_eq!(out.len(), 400);
+        let pairs: Vec<_> = out.into_iter().map(|r| (r.row, r.code)).collect();
+        ovc_core::derive::assert_codes_exact(&pairs, 2);
+    }
+}

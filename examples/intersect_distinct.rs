@@ -1,0 +1,89 @@
+//! Figures 5 and 6: "select B from T1 intersect select B from T2",
+//! hash-based plan vs sort-based plan.
+//!
+//! Prints both plan shapes, runs both at a laptop-friendly scale with the
+//! paper's 10:1 input-to-memory ratio, and reports wall time, spill
+//! volume, and comparison counts.  Scale with an argument:
+//! `cargo run --release --example intersect_distinct -- 2000000`
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use ovc_baseline::hash_intersect_distinct;
+use ovc_bench::workload::intersect_tables;
+use ovc_core::Stats;
+use ovc_exec::plans::{sort_intersect_distinct, IntersectConfig};
+use ovc_sort::MemoryRunStorage;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(500_000);
+    let mem = n / 10;
+
+    println!("=== Figure 5: the two query plans ===\n");
+    println!("hash-based plan                sort-based plan");
+    println!("---------------                ---------------");
+    println!("      intersect                      intersect");
+    println!("     (hash join)                   (merge join, consumes OVCs)");
+    println!("      /       \\                      /       \\");
+    println!(" hash agg   hash agg          in-sort agg   in-sort agg");
+    println!(" (dedup)    (dedup)           (dedup via offset == arity)");
+    println!("    |           |                  |           |");
+    println!("  scan T1    scan T2            scan T1     scan T2");
+    println!();
+    println!("blocking operators: 3 (hash)   vs   2 (sort)\n");
+
+    println!("=== Figure 6: performance at N = {n} rows/table, memory = {mem} rows ===\n");
+    let (t1, t2) = intersect_tables(n, 42);
+
+    // Hash-based plan.
+    let hs = Stats::new_shared();
+    let start = Instant::now();
+    let hash_out = hash_intersect_distinct(t1.clone(), t2.clone(), mem, &hs);
+    let hash_time = start.elapsed();
+
+    // Sort-based plan.
+    let ss = Stats::new_shared();
+    let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
+    let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
+    let cfg = IntersectConfig { key_len: 1, memory_rows: mem, fan_in: 128 };
+    let start = Instant::now();
+    let sort_out = sort_intersect_distinct(t1, t2, cfg, &mut s1, &mut s2, &ss);
+    let sort_time = start.elapsed();
+
+    assert_eq!(hash_out.len(), sort_out.len(), "plans must agree");
+
+    println!("result rows: {}\n", sort_out.len());
+    println!("{:<28} {:>14} {:>14}", "", "hash plan", "sort plan");
+    println!("{:<28} {:>12.1?} {:>12.1?}", "wall time", hash_time, sort_time);
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "rows spilled",
+        hs.rows_spilled(),
+        ss.rows_spilled()
+    );
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "rows spilled / input row",
+        format!("{:.2}", hs.rows_spilled() as f64 / (2 * n) as f64),
+        format!("{:.2}", ss.rows_spilled() as f64 / (2 * n) as f64)
+    );
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "column comparisons",
+        hs.col_value_cmps(),
+        ss.col_value_cmps()
+    );
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "code comparisons",
+        hs.ovc_cmps(),
+        ss.ovc_cmps()
+    );
+    println!();
+    println!("\"In a hash-based plan, duplicate removal and join spill to temporary");
+    println!("storage such that many rows are spilled twice. In contrast, the");
+    println!("sort-based plan spills each input row only once.\" — Section 6");
+}

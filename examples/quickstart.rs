@@ -1,0 +1,73 @@
+//! Quickstart: offset-value codes on the paper's own running example.
+//!
+//! Reproduces Table 1 (code derivation in a sorted stream), Table 3
+//! (codes after a filter), and shows the basic sort → dedup → group
+//! pipeline carrying codes between operators.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ovc_core::derive::derive_codes;
+use ovc_core::desc::{derive_desc_code, DescOvc};
+use ovc_core::{table1, Row, Stats, VecStream};
+use ovc_exec::{Aggregate, Dedup, Filter, GroupAggregate};
+
+fn main() {
+    println!("=== Table 1: offset-value codes in a sorted stream ===\n");
+    let rows = table1::rows();
+    let asc = derive_codes(&rows, table1::ARITY);
+    let stats = Stats::default();
+
+    println!("{:<16} {:>6} {:>9} {:>8} {:>9} {:>8}", "row", "offset", "desc-code", "", "asc-code", "");
+    println!("{:<16} {:>6} {:>9} {:>8} {:>9} {:>8}", "", "", "(paper)", "", "(paper)", "(u64)");
+    let mut prev: Option<&Row> = None;
+    for (row, code) in rows.iter().zip(&asc) {
+        let desc = match prev {
+            None => DescOvc::initial(row.key(4)),
+            Some(p) => derive_desc_code(p.key(4), row.key(4), &stats),
+        };
+        println!(
+            "{:<16} {:>6} {:>9} {:>8} {:>9} {:#8x}",
+            format!("{:?}", row.cols()),
+            code.offset(4),
+            desc.paper_decimal(4, table1::DOMAIN),
+            "",
+            code.paper_decimal(),
+            code.raw(),
+        );
+        prev = Some(row);
+    }
+
+    println!("\n=== Table 3: codes after a filter (keep first & last row) ===\n");
+    let keep = [rows[0].clone(), rows[6].clone()];
+    let input = VecStream::from_sorted_rows(rows.clone(), 4);
+    for r in Filter::new(input, |row| keep.contains(row)) {
+        println!(
+            "{:<16} asc-code {:>4}  (offset {})",
+            format!("{:?}", r.row.cols()),
+            r.code.paper_decimal(),
+            r.code.offset(4)
+        );
+    }
+
+    println!("\n=== Duplicate removal by code inspection ===\n");
+    let input = VecStream::from_sorted_rows(rows.clone(), 4);
+    let distinct: Vec<_> = Dedup::new(input).collect();
+    println!(
+        "{} rows in, {} rows out — the duplicate (5,9,2,7) was found by the\nsingle integer test `offset == arity`, no column comparisons.",
+        rows.len(),
+        distinct.len()
+    );
+
+    println!("\n=== Grouping on the first two columns ===\n");
+    let input = VecStream::from_sorted_rows(rows, 4);
+    for r in GroupAggregate::new(input, 2, vec![Aggregate::Count]) {
+        println!(
+            "group {:?} -> count {}  (output code offset {})",
+            r.row.key(2),
+            r.row.cols()[2],
+            r.code.offset(2)
+        );
+    }
+    println!("\nGroup boundaries were detected by `offset < 2` on input codes —");
+    println!("the mechanism Figure 4 of the paper benchmarks.");
+}

@@ -1,0 +1,76 @@
+//! Section 4.3's segmented sorting scenario: "a stream sorted on (A, B)
+//! but required sorted on (A, C)" — re-sort only within segments of
+//! distinct A, finding segment boundaries by code inspection alone.
+//!
+//! Compares the segmented sort against a full re-sort of the whole
+//! stream, in wall time and column comparisons.
+//!
+//! Run with: `cargo run --release --example segmented_sort`
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use ovc_core::{Row, Stats, VecStream};
+use ovc_sort::{sort_rows_ovc, SegmentedSort};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(500_000);
+    let segments = 64u64;
+
+    // Columns (A, C, B): the stream arrives sorted on (A, B) = cols (0, 2);
+    // the consumer needs (A, C) = cols (0, 1).
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut input: Vec<Row> = (0..n)
+        .map(|_| {
+            Row::new(vec![
+                rng.gen_range(0..segments),
+                rng.gen_range(0..1000u64),
+                rng.gen_range(0..1000u64),
+            ])
+        })
+        .collect();
+    input.sort_by(|x, y| (x.cols()[0], x.cols()[2]).cmp(&(y.cols()[0], y.cols()[2])));
+
+    println!("=== Segmented sorting (Section 4.3) ===\n");
+    println!("{n} rows sorted on (A, B), needed on (A, C); {segments} distinct A values\n");
+
+    // Segmented: boundaries by code inspection, per-segment suffix sort.
+    let stats_seg = Stats::new_shared();
+    let stream = VecStream::from_sorted_rows(input.clone(), 1);
+    let start = Instant::now();
+    let seg = SegmentedSort::new(stream, 1, 2, Rc::clone(&stats_seg));
+    let seg_out: Vec<_> = seg.collect();
+    let t_seg = start.elapsed();
+
+    // Full re-sort of the entire stream on (A, C).
+    let stats_full = Stats::new_shared();
+    let start = Instant::now();
+    let full = sort_rows_ovc(input, 2, &stats_full);
+    let t_full = start.elapsed();
+
+    assert_eq!(seg_out.len(), full.len());
+    let seg_keys: Vec<&[u64]> = seg_out.iter().map(|r| r.row.key(2)).collect();
+    let full_keys: Vec<&[u64]> = full.rows().iter().map(|r| r.row.key(2)).collect();
+    assert_eq!(seg_keys, full_keys, "both orders must agree");
+
+    println!("{:<24} {:>12} {:>20}", "", "wall time", "column comparisons");
+    println!(
+        "{:<24} {:>10.1?} {:>20}",
+        "segmented sort",
+        t_seg,
+        stats_seg.col_value_cmps()
+    );
+    println!(
+        "{:<24} {:>10.1?} {:>20}",
+        "full re-sort",
+        t_full,
+        stats_full.col_value_cmps()
+    );
+    println!("\nsegment boundaries cost zero comparisons (\"inspection of these");
+    println!("code values suffices\"), and each segment sorts only its suffix.");
+}

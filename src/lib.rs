@@ -1,0 +1,13 @@
+//! # ovc-repro — reproduction of "Offset-value coding in database query
+//! processing" (Graefe & Do, EDBT 2023)
+//!
+//! This facade re-exports the workspace crates for the examples and
+//! integration tests.  See `README.md` for the architecture overview and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the paper mapping.
+
+pub use ovc_baseline as baseline;
+pub use ovc_bench as bench;
+pub use ovc_core as core;
+pub use ovc_exec as exec;
+pub use ovc_sort as sort;
+pub use ovc_storage as storage;

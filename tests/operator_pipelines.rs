@@ -1,0 +1,184 @@
+//! End-to-end pipelines: offset-value codes must flow from ordered scans
+//! through stacks of operators with the exactness contract intact at every
+//! stage — the paper's whole point ("order-preserving query execution
+//! algorithms must not only consume but also produce offset-value codes,
+//! to be consumed and exploited by the next operator in the pipeline").
+
+use std::rc::Rc;
+
+use ovc_core::derive::assert_codes_exact;
+use ovc_core::stream::collect_pairs;
+use ovc_core::{Ovc, Row, Stats, VecStream};
+use ovc_exec::{
+    exchange, Aggregate, Dedup, Filter, GroupAggregate, HashJoinOp, HashTable, JoinType,
+    LookupJoin, MergeJoin, Project, SetOp, SetOperation,
+};
+use ovc_exec::nlj::BTreeInner;
+use ovc_sort::{external_sort, MemoryRunStorage, SortConfig};
+use ovc_storage::{BTree, LsmConfig, LsmForest, RleColumnStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_rows(n: usize, key_cols: usize, domain: u64, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut cols: Vec<u64> =
+                (0..key_cols).map(|_| rng.gen_range(0..domain)).collect();
+            cols.push(rng.gen::<u32>() as u64);
+            Row::new(cols)
+        })
+        .collect()
+}
+
+/// Scan an RLE column store, filter, group, and verify codes at each hop.
+#[test]
+fn rle_scan_filter_group_pipeline() {
+    let mut rows = random_rows(2000, 3, 5, 1);
+    rows.sort();
+    let store = RleColumnStore::build(&rows, 3);
+    let stats = Stats::new_shared();
+
+    let scan = store.scan();
+    let filtered = Filter::new(scan, |r| r.cols()[2] != 0);
+    let grouped = GroupAggregate::new(filtered, 2, vec![Aggregate::Count, Aggregate::Sum(3)]);
+    let pairs = collect_pairs(grouped);
+    assert_codes_exact(&pairs, 2);
+    assert_eq!(
+        stats.col_value_cmps(),
+        0,
+        "scan + filter + group run entirely on codes"
+    );
+
+    // Cross-check totals against a reference.
+    let survivors = rows.iter().filter(|r| r.cols()[2] != 0).count() as u64;
+    let total: u64 = pairs.iter().map(|(r, _)| r.cols()[2]).sum();
+    assert_eq!(total, survivors);
+}
+
+/// Sort two unsorted tables externally, merge-join them, group the join
+/// result — codes valid end to end.
+#[test]
+fn sort_join_group_pipeline() {
+    let t1 = random_rows(1500, 2, 12, 2);
+    let t2 = random_rows(1500, 2, 12, 3);
+    let stats = Stats::new_shared();
+    let mut st1 = MemoryRunStorage::new(Rc::clone(&stats));
+    let mut st2 = MemoryRunStorage::new(Rc::clone(&stats));
+    let s1 = external_sort(t1, SortConfig::new(2, 200), &mut st1, &stats);
+    let s2 = external_sort(t2, SortConfig::new(2, 200), &mut st2, &stats);
+    let join = MergeJoin::new(s1, s2, 2, JoinType::Inner, 3, 3, Rc::clone(&stats));
+    let grouped = GroupAggregate::new(join, 1, vec![Aggregate::Count]);
+    let pairs = collect_pairs(grouped);
+    assert_codes_exact(&pairs, 1);
+    assert!(!pairs.is_empty());
+}
+
+/// LSM ingest → scan → dedup → semi join against a b-tree; Napa-flavoured.
+#[test]
+fn lsm_scan_join_pipeline() {
+    let stats = Stats::new_shared();
+    let mut forest = LsmForest::new(2, LsmConfig { fanout: 3 }, Rc::clone(&stats));
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..8 {
+        forest.ingest(
+            (0..250)
+                .map(|_| Row::new(vec![rng.gen_range(0..30u64), rng.gen_range(0..30u64)]))
+                .collect(),
+        );
+    }
+    let mut dim_rows: Vec<Row> = (0..15u64).map(|k| Row::new(vec![k * 2, k])).collect();
+    dim_rows.sort();
+    let dim = BTree::bulk_load(dim_rows, 2, 8, 4);
+
+    let scan = forest.into_scan();
+    let dedup = Dedup::new(scan);
+    let inner = BTreeInner::new(&dim, 1, 2, Rc::clone(&stats));
+    let join = LookupJoin::new(dedup, inner, JoinType::LeftSemi);
+    let pairs = collect_pairs(join);
+    assert_codes_exact(&pairs, 2);
+    assert!(pairs.iter().all(|(r, _)| r.cols()[0] % 2 == 0 && r.cols()[0] < 30));
+}
+
+/// Split a sorted stream across an exchange, process partitions
+/// independently, merge back — codes valid throughout.
+#[test]
+fn exchange_round_trip_with_partitionwise_grouping() {
+    let mut rows = random_rows(1200, 2, 8, 5);
+    rows.sort();
+    let stats = Stats::new_shared();
+    let input = VecStream::from_sorted_rows(rows.clone(), 2);
+    let parts = exchange::split(input, 4, exchange::partition::by_hash(0, 4));
+
+    // Hash partitioning on the leading key column keeps whole groups in
+    // one partition, so partition-wise grouping is correct.
+    let mut grouped_parts = Vec::new();
+    for p in parts {
+        let grouped: Vec<_> =
+            GroupAggregate::new(p, 2, vec![Aggregate::Count]).collect();
+        let pairs: Vec<(Row, Ovc)> =
+            grouped.iter().map(|r| (r.row.clone(), r.code)).collect();
+        assert_codes_exact(&pairs, 2);
+        grouped_parts.push(VecStream::from_coded(grouped, 2));
+    }
+    let merged = exchange::merge(grouped_parts, 2, &stats);
+    let pairs = collect_pairs(merged);
+    assert_codes_exact(&pairs, 2);
+    let total: u64 = pairs.iter().map(|(r, _)| r.cols()[2]).sum();
+    assert_eq!(total, rows.len() as u64);
+}
+
+/// Order-preserving hash join inside a sorted pipeline, then projection
+/// and set operation against another stream.
+#[test]
+fn hash_join_project_setop_pipeline() {
+    let probe_rows = random_rows(800, 2, 10, 6);
+    let build_rows: Vec<Row> = (0..10u64).map(|k| Row::new(vec![k, k * 7])).collect();
+    let stats = Stats::new_shared();
+
+    let probe = VecStream::from_unsorted_rows(probe_rows, 2);
+    let table = HashTable::build(build_rows, 1);
+    let join = HashJoinOp::new(probe, table, JoinType::Inner);
+    // Project down to the first key column only.
+    let projected = Project::new(join, 1, |r| Row::new(vec![r.cols()[0]]));
+    let left = VecStream::from_coded(Dedup::new(projected).collect(), 1);
+
+    let right = VecStream::from_unsorted_rows(
+        (0..6u64).map(|k| Row::new(vec![k])).collect(),
+        1,
+    );
+    let setop = SetOperation::new(left, right, SetOp::Intersect, Rc::clone(&stats));
+    let pairs = collect_pairs(setop);
+    assert_codes_exact(&pairs, 1);
+    assert!(pairs.iter().all(|(r, _)| r.cols()[0] < 6));
+}
+
+/// A deep pipeline: b-tree scan → filter → merge join → dedup → group —
+/// eight hops of code-carrying operators, zero column comparisons outside
+/// the join's merge logic.
+#[test]
+fn deep_pipeline_comparison_budget() {
+    let mut fact = random_rows(3000, 2, 20, 7);
+    fact.sort();
+    let mut dim = random_rows(300, 2, 20, 8);
+    dim.sort();
+    let fact_tree = BTree::bulk_load(fact, 2, 32, 8);
+    let dim_tree = BTree::bulk_load(dim, 2, 32, 8);
+    let stats = Stats::new_shared();
+
+    let f = ovc_storage::btree::scan_to_stream(&fact_tree);
+    let d = ovc_storage::btree::scan_to_stream(&dim_tree);
+    let filtered = Filter::new(f, |r| r.cols()[1] % 3 != 0);
+    let join = MergeJoin::new(filtered, d, 1, JoinType::Inner, 3, 3, Rc::clone(&stats));
+    let dedup = Dedup::new(join);
+    let grouped = GroupAggregate::new(dedup, 1, vec![Aggregate::Count]);
+    let pairs = collect_pairs(grouped);
+    assert_codes_exact(&pairs, 1);
+    // Only the merge join may compare columns, bounded by N*K of its
+    // combined input sizes.
+    assert!(
+        stats.col_value_cmps() <= (3000 + 300) * 1,
+        "pipeline comparisons {} exceed the join's N*K budget",
+        stats.col_value_cmps()
+    );
+}

@@ -1,0 +1,133 @@
+//! Spill accounting across the Figure 6 plans and the storage substrates:
+//! conservation laws (bytes written == bytes read back), the paper's
+//! "sort spills once, hash spills twice" shape at several scales, and the
+//! prefix-truncation byte savings.
+
+use std::rc::Rc;
+
+use ovc_baseline::hash_intersect_distinct;
+use ovc_core::{Row, Stats};
+use ovc_exec::plans::{sort_intersect_distinct, IntersectConfig};
+use ovc_sort::{external_sort, MemoryRunStorage, RunStorage, SortConfig};
+use ovc_storage::EncodedRunStorage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn table(n: usize, domain: u64, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Row::new(vec![rng.gen_range(0..domain)]))
+        .collect()
+}
+
+#[test]
+fn sort_spill_conservation() {
+    let rows = table(3000, 500, 1);
+    let stats = Stats::new_shared();
+    let mut storage = EncodedRunStorage::new(Rc::clone(&stats));
+    let out: usize = external_sort(rows, SortConfig::new(1, 200), &mut storage, &stats).count();
+    assert_eq!(out, 3000);
+    assert_eq!(stats.rows_spilled(), stats.rows_read_back());
+    assert_eq!(stats.bytes_spilled(), stats.bytes_read_back());
+    assert_eq!(storage.stored_runs(), 0, "every spilled run consumed");
+}
+
+#[test]
+fn prefix_truncation_shrinks_spill_bytes() {
+    // Same data, wide keys with few distinct values: encoded spill must be
+    // much smaller than the flat 8-bytes-per-column image.
+    let mut rng = StdRng::seed_from_u64(2);
+    let rows: Vec<Row> = (0..4000)
+        .map(|_| {
+            Row::new(vec![
+                rng.gen_range(0..3u64),
+                rng.gen_range(0..3u64),
+                rng.gen_range(0..3u64),
+                rng.gen_range(0..3u64),
+            ])
+        })
+        .collect();
+    let stats = Stats::new_shared();
+    let mut storage = EncodedRunStorage::new(Rc::clone(&stats));
+    let _ = external_sort(rows, SortConfig::new(4, 500), &mut storage, &stats).count();
+    let flat = stats.rows_spilled() * 5 * 8; // 4 cols + code per row
+    assert!(
+        stats.bytes_spilled() * 2 < flat,
+        "truncation saved too little: {} vs flat {}",
+        stats.bytes_spilled(),
+        flat
+    );
+}
+
+#[test]
+fn figure6_shape_across_scales() {
+    // The who-wins shape must hold across input sizes (with the paper's
+    // 10:1 input-to-memory ratio).
+    for n in [2000usize, 8000] {
+        let t1 = table(n, (n as u64) * 3 / 4, 3);
+        let t2 = table(n, (n as u64) * 3 / 4, 4);
+        let mem = n / 10;
+
+        let hs = Stats::new_shared();
+        let _ = hash_intersect_distinct(t1.clone(), t2.clone(), mem, &hs);
+
+        let ss = Stats::new_shared();
+        let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
+        let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
+        let cfg = IntersectConfig { key_len: 1, memory_rows: mem, fan_in: 64 };
+        let _ = sort_intersect_distinct(t1, t2, cfg, &mut s1, &mut s2, &ss);
+
+        assert!(
+            ss.rows_spilled() <= 2 * n as u64,
+            "n={n}: sort spills each row at most once ({})",
+            ss.rows_spilled()
+        );
+        assert!(
+            hs.rows_spilled() > ss.rows_spilled(),
+            "n={n}: hash plan must spill more (hash {} vs sort {})",
+            hs.rows_spilled(),
+            ss.rows_spilled()
+        );
+    }
+}
+
+#[test]
+fn in_memory_plans_spill_nothing() {
+    let t1 = table(500, 100, 5);
+    let t2 = table(500, 100, 6);
+    let hs = Stats::new_shared();
+    let _ = hash_intersect_distinct(t1.clone(), t2.clone(), 10_000, &hs);
+    assert_eq!(hs.rows_spilled(), 0);
+
+    let ss = Stats::new_shared();
+    let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
+    let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
+    let cfg = IntersectConfig { key_len: 1, memory_rows: 10_000, fan_in: 64 };
+    let _ = sort_intersect_distinct(t1, t2, cfg, &mut s1, &mut s2, &ss);
+    assert_eq!(ss.rows_spilled(), 0);
+}
+
+#[test]
+fn lsm_compaction_write_amplification_bounded() {
+    // Stepped-merge forests re-write each row once per level: total
+    // spilled rows <= (depth + 1) * ingested rows.
+    let stats = Stats::new_shared();
+    let mut forest =
+        ovc_storage::LsmForest::new(1, ovc_storage::LsmConfig { fanout: 4 }, Rc::clone(&stats));
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut n = 0u64;
+    for _ in 0..32 {
+        let batch: Vec<Row> = (0..100)
+            .map(|_| Row::new(vec![rng.gen_range(0..1000u64)]))
+            .collect();
+        n += batch.len() as u64;
+        forest.ingest(batch);
+    }
+    let bound = (forest.depth() as u64 + 1) * n;
+    assert!(
+        stats.rows_spilled() <= bound,
+        "write amplification {} exceeds (depth+1)*N = {}",
+        stats.rows_spilled(),
+        bound
+    );
+}

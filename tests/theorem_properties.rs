@@ -1,0 +1,150 @@
+//! Property-based tests of the paper's Section 4 theory: the proposition,
+//! the new theorem (ascending `max` / descending `min`), Iyer's two
+//! corollaries, and the filter corollary — all on randomized keys.
+
+use ovc_core::compare::derive_code;
+use ovc_core::desc::{combine_desc, derive_desc_code, DescOvc};
+use ovc_core::theorem::{clamp_to_prefix, combine, OvcAccumulator};
+use ovc_core::{Ovc, Row, Stats};
+use proptest::prelude::*;
+
+/// Strategy: a sorted triple of distinct-ish keys with small domains
+/// (small domains maximize shared prefixes, the interesting case).
+fn sorted_triple(arity: usize) -> impl Strategy<Value = (Vec<u64>, Vec<u64>, Vec<u64>)> {
+    let key = prop::collection::vec(0u64..4, arity);
+    (key.clone(), key.clone(), key).prop_map(|(mut a, mut b, mut c)| {
+        let mut v = vec![a.clone(), b.clone(), c.clone()];
+        v.sort();
+        a = v[0].clone();
+        b = v[1].clone();
+        c = v[2].clone();
+        (a, b, c)
+    })
+}
+
+proptest! {
+    /// Theorem: ovc(A,C) = max(ovc(A,B), ovc(B,C)) for A <= B <= C.
+    #[test]
+    fn ascending_theorem((a, b, c) in sorted_triple(4)) {
+        let stats = Stats::default();
+        let ab = derive_code(&a, &b, &stats);
+        let bc = derive_code(&b, &c, &stats);
+        let ac = derive_code(&a, &c, &stats);
+        prop_assert_eq!(combine(ab, bc), ac);
+    }
+
+    /// Dual theorem for descending codes: min instead of max.
+    #[test]
+    fn descending_theorem((a, b, c) in sorted_triple(4)) {
+        let stats = Stats::default();
+        let ab = derive_desc_code(&a, &b, &stats);
+        let bc = derive_desc_code(&b, &c, &stats);
+        let ac = derive_desc_code(&a, &c, &stats);
+        prop_assert_eq!(combine_desc(ab, bc), ac);
+    }
+
+    /// Proposition: for A < B < C with A != B or B != C,
+    /// ovc(A,B) != ovc(B,C).
+    #[test]
+    fn proposition((a, b, c) in sorted_triple(4)) {
+        prop_assume!(a != b || b != c);
+        let stats = Stats::default();
+        let ab = derive_code(&a, &b, &stats);
+        let bc = derive_code(&b, &c, &stats);
+        prop_assert_ne!(ab, bc);
+    }
+
+    /// Iyer's unequal code theorem: ovc(A,B) < ovc(A,C) implies
+    /// ovc(B,C) = ovc(A,C).
+    #[test]
+    fn unequal_code_theorem((a, b, c) in sorted_triple(4)) {
+        let stats = Stats::default();
+        let ab = derive_code(&a, &b, &stats);
+        let ac = derive_code(&a, &c, &stats);
+        let bc = derive_code(&b, &c, &stats);
+        if ab < ac {
+            prop_assert_eq!(bc, ac);
+        }
+    }
+
+    /// Iyer's equal code theorem: ovc(A,B) = ovc(A,C) implies
+    /// ovc(B,C) < ovc(A,C)  (for B != C; equal keys share the premise
+    /// only vacuously).
+    #[test]
+    fn equal_code_theorem((a, b, c) in sorted_triple(4)) {
+        prop_assume!(b != c);
+        let stats = Stats::default();
+        let ab = derive_code(&a, &b, &stats);
+        let ac = derive_code(&a, &c, &stats);
+        let bc = derive_code(&b, &c, &stats);
+        if ab == ac {
+            prop_assert!(bc < ac);
+        }
+    }
+
+    /// Filter corollary over whole sorted chains: the accumulator equals
+    /// the directly derived code between any two chain elements.
+    #[test]
+    fn filter_corollary(keys in prop::collection::vec(prop::collection::vec(0u64..4, 3), 2..40)) {
+        let mut keys = keys;
+        keys.sort();
+        let stats = Stats::default();
+        let mut acc = OvcAccumulator::new();
+        for w in keys.windows(2) {
+            acc.absorb(derive_code(&w[0], &w[1], &stats));
+        }
+        let combined = acc.emit(Ovc::EARLY_FENCE);
+        let direct = derive_code(&keys[0], keys.last().unwrap(), &stats);
+        prop_assert_eq!(combined, direct);
+    }
+
+    /// Code comparisons order keys correctly whenever codes share a base:
+    /// for base A and keys B, C >= A, ovc(A,B) vs ovc(A,C) must agree with
+    /// B vs C unless the codes are equal.
+    #[test]
+    fn code_order_is_sound((a, b, c) in sorted_triple(4)) {
+        let stats = Stats::default();
+        let ab = derive_code(&a, &b, &stats);
+        let ac = derive_code(&a, &c, &stats);
+        if ab != ac {
+            // b <= c always holds here, so ab < ac must hold too.
+            prop_assert!(ab < ac, "codes mis-ordered: {:?} vs {:?}", ab, ac);
+        }
+    }
+
+    /// Clamping codes to a shorter prefix matches deriving codes on the
+    /// projected keys directly.
+    #[test]
+    fn clamp_matches_projection((a, b, _c) in sorted_triple(4), p in 0usize..=4) {
+        let stats = Stats::default();
+        let full = derive_code(&a, &b, &stats);
+        let clamped = clamp_to_prefix(full, 4, p);
+        let direct = derive_code(&a[..p], &b[..p], &stats);
+        prop_assert_eq!(clamped, direct);
+    }
+
+    /// Descending codes reproduce the ascending order reversed at the
+    /// code level: larger descending code = earlier key.
+    #[test]
+    fn descending_codes_order((a, b, c) in sorted_triple(4)) {
+        prop_assume!(b != c);
+        let stats = Stats::default();
+        let ab = derive_desc_code(&a, &b, &stats);
+        let ac = derive_desc_code(&a, &c, &stats);
+        if ab != ac {
+            prop_assert!(ab > ac, "desc codes: earlier key must be larger");
+        }
+        let _ = DescOvc::initial(&a);
+    }
+
+    /// Exact codes derived for a sorted vector round-trip through
+    /// `find_code_violation` with no violation reported.
+    #[test]
+    fn derived_codes_are_exact(keys in prop::collection::vec(prop::collection::vec(0u64..5, 3), 0..50)) {
+        let mut rows: Vec<Row> = keys.into_iter().map(Row::new).collect();
+        rows.sort();
+        let codes = ovc_core::derive::derive_codes(&rows, 3);
+        let pairs: Vec<(Row, Ovc)> = rows.into_iter().zip(codes).collect();
+        prop_assert_eq!(ovc_core::derive::find_code_violation(&pairs, 3), None);
+    }
+}
