@@ -26,7 +26,13 @@ pub struct GroupFullCompare<S> {
 impl<S: Iterator<Item = OvcRow>> GroupFullCompare<S> {
     /// Build the baseline operator over any sorted row stream.
     pub fn new(input: S, group_len: usize, aggregates: Vec<Aggregate>, stats: Rc<Stats>) -> Self {
-        GroupFullCompare { input, group_len, aggregates, pending: None, stats }
+        GroupFullCompare {
+            input,
+            group_len,
+            aggregates,
+            pending: None,
+            stats,
+        }
     }
 
     fn finish(&self, (row, accs): (Row, Vec<Value>)) -> Row {
@@ -109,10 +115,9 @@ mod tests {
             Rc::clone(&stats),
         )
         .collect();
-        let ovc: Vec<Row> =
-            GroupAggregate::new(VecStream::from_sorted_rows(rows, 3), 2, aggs)
-                .map(|r| r.row)
-                .collect();
+        let ovc: Vec<Row> = GroupAggregate::new(VecStream::from_sorted_rows(rows, 3), 2, aggs)
+            .map(|r| r.row)
+            .collect();
         assert_eq!(baseline, ovc);
     }
 

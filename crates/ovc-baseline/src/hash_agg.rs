@@ -48,7 +48,9 @@ pub(crate) fn decode_rows(bytes: &[u8]) -> Vec<Row> {
         pos += 8;
         let mut cols = Vec::with_capacity(w);
         for _ in 0..w {
-            cols.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8")));
+            cols.push(u64::from_le_bytes(
+                bytes[pos..pos + 8].try_into().expect("8"),
+            ));
             pos += 8;
         }
         rows.push(Row::new(cols));
@@ -59,11 +61,7 @@ pub(crate) fn decode_rows(bytes: &[u8]) -> Vec<Row> {
 /// Hash-based duplicate removal with a `memory_rows` budget.  Output order
 /// is arbitrary (hash order) — the hash plan has no interesting ordering
 /// to offer downstream.
-pub fn hash_aggregate_distinct(
-    rows: Vec<Row>,
-    memory_rows: usize,
-    stats: &Rc<Stats>,
-) -> Vec<Row> {
+pub fn hash_aggregate_distinct(rows: Vec<Row>, memory_rows: usize, stats: &Rc<Stats>) -> Vec<Row> {
     assert!(memory_rows > 0);
     distinct_recursive(rows, memory_rows, 0, stats)
 }

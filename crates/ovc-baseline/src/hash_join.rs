@@ -52,8 +52,7 @@ fn join_recursive(
         (right, left, false)
     };
     if build.len() <= memory_rows {
-        let mut table: HashMap<Box<[Value]>, Vec<Row>> =
-            HashMap::with_capacity(build.len());
+        let mut table: HashMap<Box<[Value]>, Vec<Row>> = HashMap::with_capacity(build.len());
         for row in build {
             stats.count_col_cmps(join_len as u64); // hash-function accesses
             table
@@ -99,7 +98,14 @@ fn join_recursive(
         let (b, p) = (decode_rows(&bb), decode_rows(&pb));
         stats.count_read_back(rows, bytes);
         let (l, r) = if build_is_left { (b, p) } else { (p, b) };
-        out.extend(join_recursive(l, r, join_len, memory_rows, level + 1, stats));
+        out.extend(join_recursive(
+            l,
+            r,
+            join_len,
+            memory_rows,
+            level + 1,
+            stats,
+        ));
     }
     out
 }
@@ -118,7 +124,7 @@ mod tests {
         }
         let mut out = Vec::new();
         for lrow in l {
-            if let Some(ms) = rmap.get(&lrow.cols()[..j].to_vec()) {
+            if let Some(ms) = rmap.get(&lrow.cols()[..j]) {
                 for m in ms {
                     let mut c = lrow.cols().to_vec();
                     c.extend_from_slice(&m.cols()[j..]);

@@ -1,6 +1,13 @@
 //! The hash-based query plan of Figure 5: "select B from T1 intersect
 //! select B from T2" with "three blocking operators: two hash aggregation
 //! operators for duplicate removal and a hash join for set intersection".
+//!
+//! Since the `ovc-plan` crate landed, this pipeline too is planner
+//! territory: forcing the hash preference on the one logical query in
+//! `ovc_plan::figure5` reproduces exactly this plan — two `HashDistinct`
+//! blocking operators feeding a `GraceHashJoin`.  The hand-written
+//! [`hash_intersect_distinct`] stays as the reference the planner's
+//! property tests compare against row for row.
 
 use std::rc::Rc;
 
@@ -55,19 +62,21 @@ mod tests {
         let t2 = table(3000, 700, 2);
 
         let hs = Stats::new_shared();
-        let mut hash_result: Vec<Row> =
-            hash_intersect_distinct(t1.clone(), t2.clone(), 200, &hs);
+        let mut hash_result: Vec<Row> = hash_intersect_distinct(t1.clone(), t2.clone(), 200, &hs);
         hash_result.sort();
 
         let ss = Stats::new_shared();
         let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
         let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
-        let cfg = IntersectConfig { key_len: 1, memory_rows: 200, fan_in: 64 };
-        let sort_result: Vec<Row> =
-            sort_intersect_distinct(t1, t2, cfg, &mut s1, &mut s2, &ss)
-                .into_iter()
-                .map(|r| r.row)
-                .collect();
+        let cfg = IntersectConfig {
+            key_len: 1,
+            memory_rows: 200,
+            fan_in: 64,
+        };
+        let sort_result: Vec<Row> = sort_intersect_distinct(t1, t2, cfg, &mut s1, &mut s2, &ss)
+            .into_iter()
+            .map(|r| r.row)
+            .collect();
 
         assert_eq!(hash_result, sort_result);
     }
@@ -88,7 +97,11 @@ mod tests {
         let ss = Stats::new_shared();
         let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
         let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
-        let cfg = IntersectConfig { key_len: 1, memory_rows: mem, fan_in: 64 };
+        let cfg = IntersectConfig {
+            key_len: 1,
+            memory_rows: mem,
+            fan_in: 64,
+        };
         let _ = sort_intersect_distinct(t1, t2, cfg, &mut s1, &mut s2, &ss);
 
         assert!(
@@ -108,8 +121,6 @@ mod tests {
     fn empty_inputs() {
         let stats = Stats::new_shared();
         assert!(hash_intersect_distinct(vec![], vec![], 10, &stats).is_empty());
-        assert!(
-            hash_intersect_distinct(table(10, 5, 5), vec![], 10, &stats).is_empty()
-        );
+        assert!(hash_intersect_distinct(table(10, 5, 5), vec![], 10, &stats).is_empty());
     }
 }

@@ -48,8 +48,7 @@ impl Ord for HeapEntry<'_> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-merge on a max-heap; tie-break on run for
         // stability.
-        compare_keys_counted(other.key, self.key, self.stats)
-            .then_with(|| other.run.cmp(&self.run))
+        compare_keys_counted(other.key, self.key, self.stats).then_with(|| other.run.cmp(&self.run))
     }
 }
 
@@ -60,7 +59,12 @@ pub fn merge_runs_plain(runs: Vec<Vec<Row>>, key_len: usize, stats: &Rc<Stats>) 
     let mut heap: BinaryHeap<HeapEntry<'_>> = BinaryHeap::with_capacity(runs.len());
     for (run, rows) in runs.iter().enumerate() {
         if let Some(first) = rows.first() {
-            heap.push(HeapEntry { key: first.key(key_len), run, pos: 0, stats });
+            heap.push(HeapEntry {
+                key: first.key(key_len),
+                run,
+                pos: 0,
+                stats,
+            });
         }
     }
     while let Some(HeapEntry { run, pos, .. }) = heap.pop() {
@@ -160,9 +164,7 @@ mod tests {
             .map(|r| r.row)
             .collect();
         // Key order must agree (payload ties may differ in order).
-        let keys = |v: &[Row]| -> Vec<Vec<u64>> {
-            v.iter().map(|r| r.key(2).to_vec()).collect()
-        };
+        let keys = |v: &[Row]| -> Vec<Vec<u64>> { v.iter().map(|r| r.key(2).to_vec()).collect() };
         assert_eq!(keys(&plain), keys(&ovc));
     }
 

@@ -18,18 +18,28 @@ fn main() {
     println!("# Ablation: comparison counters (the claims behind the figures)\n");
 
     println!("## N x K bound, no log N factor (Section 3)\n");
-    println!("{:>10} {:>4} {:>14} {:>10} {:>16} {:>12}", "N", "K", "ovc col-cmps", "N*K", "plain col-cmps", "plain/ovc");
+    println!(
+        "{:>10} {:>4} {:>14} {:>10} {:>16} {:>12}",
+        "N", "K", "ovc col-cmps", "N*K", "plain col-cmps", "plain/ovc"
+    );
     for exp in 0..5 {
         let n = 25_000usize << exp;
         let k = 3;
-        let rows = table(TableSpec { rows: n, key_cols: k, payload_cols: 0, distinct_per_col: 4, seed: 1 });
+        let rows = table(TableSpec {
+            rows: n,
+            key_cols: k,
+            payload_cols: 0,
+            distinct_per_col: 4,
+            seed: 1,
+        });
         let s_ovc = Stats::new_shared();
         let _ = sort_rows_ovc(rows.clone(), k, &s_ovc);
         let s_plain = Stats::new_shared();
         let _ = ovc_baseline::sort_rows_plain(rows, k, &s_plain);
         println!(
             "{:>10} {:>4} {:>14} {:>10} {:>16} {:>12.1}",
-            n, k,
+            n,
+            k,
             s_ovc.col_value_cmps(),
             n * k,
             s_plain.col_value_cmps(),
@@ -38,28 +48,65 @@ fn main() {
     }
 
     println!("\n## External sort: column comparisons per strategy (N = 400k, K = 4)\n");
-    let rows = table(TableSpec { rows: 400_000, key_cols: 4, payload_cols: 1, distinct_per_col: 8, seed: 2 });
+    let rows = table(TableSpec {
+        rows: 400_000,
+        key_cols: 4,
+        payload_cols: 1,
+        distinct_per_col: 8,
+        seed: 2,
+    });
     let s = Stats::new_shared();
     let _ = external_sort_collect(rows.clone(), SortConfig::new(4, 40_000), &s);
-    println!("{:<28} col-cmps {:>12}  code-cmps {:>12}", "ovc external sort", s.col_value_cmps(), s.ovc_cmps());
+    println!(
+        "{:<28} col-cmps {:>12}  code-cmps {:>12}",
+        "ovc external sort",
+        s.col_value_cmps(),
+        s.ovc_cmps()
+    );
     let s = Stats::new_shared();
     let _ = external_sort_plain(rows.clone(), 4, 40_000, 128, &s);
-    println!("{:<28} col-cmps {:>12}  code-cmps {:>12}", "plain external sort", s.col_value_cmps(), s.ovc_cmps());
+    println!(
+        "{:<28} col-cmps {:>12}  code-cmps {:>12}",
+        "plain external sort",
+        s.col_value_cmps(),
+        s.ovc_cmps()
+    );
 
     println!("\n## In-stream aggregation boundary tests (Figure 4's mechanism, N = 1M)\n");
     let rows = grouped_sorted_table(1_000_000, 4, 10, 3);
     let s = Stats::new_shared();
     let input = VecStream::from_sorted_rows(rows.clone(), 4);
     let _ = GroupAggregate::new(input, 2, vec![Aggregate::Count]).count();
-    println!("{:<28} col-cmps {:>12}", "ovc offset test", s.col_value_cmps());
+    println!(
+        "{:<28} col-cmps {:>12}",
+        "ovc offset test",
+        s.col_value_cmps()
+    );
     let s = Stats::new_shared();
     let input = VecStream::from_sorted_rows(rows, 4);
-    let _ = ovc_baseline::GroupFullCompare::new(input, 2, vec![Aggregate::Count], Rc::clone(&s)).count();
-    println!("{:<28} col-cmps {:>12}", "full column compare", s.col_value_cmps());
+    let _ = ovc_baseline::GroupFullCompare::new(input, 2, vec![Aggregate::Count], Rc::clone(&s))
+        .count();
+    println!(
+        "{:<28} col-cmps {:>12}",
+        "full column compare",
+        s.col_value_cmps()
+    );
 
     println!("\n## Merge join + dedup pipeline budget (2 x 200k rows, K = 2)\n");
-    let mut l = table(TableSpec { rows: 200_000, key_cols: 2, payload_cols: 1, distinct_per_col: 64, seed: 4 });
-    let mut r = table(TableSpec { rows: 200_000, key_cols: 2, payload_cols: 1, distinct_per_col: 64, seed: 5 });
+    let mut l = table(TableSpec {
+        rows: 200_000,
+        key_cols: 2,
+        payload_cols: 1,
+        distinct_per_col: 64,
+        seed: 4,
+    });
+    let mut r = table(TableSpec {
+        rows: 200_000,
+        key_cols: 2,
+        payload_cols: 1,
+        distinct_per_col: 64,
+        seed: 5,
+    });
     l.sort();
     r.sort();
     let s = Stats::new_shared();
@@ -67,10 +114,17 @@ fn main() {
     let rs = VecStream::from_sorted_rows(r, 2);
     let join = MergeJoin::new(ls, rs, 2, JoinType::Inner, 3, 3, Rc::clone(&s));
     let n_out = Dedup::new(join).count();
-    println!("join+dedup output rows {n_out}; col-cmps {} (bound 2*N*K = {})", s.col_value_cmps(), 2 * 200_000 * 2);
+    println!(
+        "join+dedup output rows {n_out}; col-cmps {} (bound 2*N*K = {})",
+        s.col_value_cmps(),
+        2 * 200_000 * 2
+    );
 
     println!("\n## Figure 6 spill shape (rows spilled; input 2 x N, memory N/10)\n");
-    println!("{:>10} {:>14} {:>14} {:>8}", "N", "hash plan", "sort plan", "ratio");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8}",
+        "N", "hash plan", "sort plan", "ratio"
+    );
     for n in [50_000usize, 200_000] {
         let (t1, t2) = intersect_tables(n, 6);
         let hs = Stats::new_shared();
@@ -78,7 +132,11 @@ fn main() {
         let ss = Stats::new_shared();
         let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
         let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
-        let cfg = IntersectConfig { key_len: 1, memory_rows: n / 10, fan_in: 128 };
+        let cfg = IntersectConfig {
+            key_len: 1,
+            memory_rows: n / 10,
+            fan_in: 128,
+        };
         let _ = sort_intersect_distinct(t1, t2, cfg, &mut s1, &mut s2, &ss);
         println!(
             "{:>10} {:>14} {:>14} {:>8.2}",

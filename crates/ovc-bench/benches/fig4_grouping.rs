@@ -24,12 +24,16 @@ fn bench(c: &mut Criterion) {
     for ratio in [1usize, 10, 100] {
         let rows = grouped_sorted_table(ROWS, KEY_COLS, ratio, 4);
 
-        g.bench_with_input(BenchmarkId::new("ovc_offset_test", ratio), &rows, |b, rows| {
-            b.iter(|| {
-                let input = VecStream::from_sorted_rows(rows.clone(), KEY_COLS);
-                GroupAggregate::new(input, GROUP_LEN, vec![Aggregate::Count]).count()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("ovc_offset_test", ratio),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    let input = VecStream::from_sorted_rows(rows.clone(), KEY_COLS);
+                    GroupAggregate::new(input, GROUP_LEN, vec![Aggregate::Count]).count()
+                })
+            },
+        );
 
         g.bench_with_input(
             BenchmarkId::new("full_column_compare", ratio),

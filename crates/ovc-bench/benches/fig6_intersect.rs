@@ -41,9 +41,12 @@ fn bench(c: &mut Criterion) {
                 let stats = Stats::new_shared();
                 let mut s1 = MemoryRunStorage::new(Rc::clone(&stats));
                 let mut s2 = MemoryRunStorage::new(Rc::clone(&stats));
-                let cfg = IntersectConfig { key_len: 1, memory_rows: mem, fan_in: 128 };
-                sort_intersect_distinct(t1.clone(), t2.clone(), cfg, &mut s1, &mut s2, &stats)
-                    .len()
+                let cfg = IntersectConfig {
+                    key_len: 1,
+                    memory_rows: mem,
+                    fan_in: 128,
+                };
+                sort_intersect_distinct(t1.clone(), t2.clone(), cfg, &mut s1, &mut s2, &stats).len()
             })
         },
     );

@@ -35,15 +35,13 @@ fn plain_merge_join_with_code_rederivation(
                 let key = l[i].key(join_len).to_vec();
                 let li = i;
                 while i < l.len()
-                    && compare_keys_counted(l[i].key(join_len), &key, stats)
-                        == Ordering::Equal
+                    && compare_keys_counted(l[i].key(join_len), &key, stats) == Ordering::Equal
                 {
                     i += 1;
                 }
                 let rj = j;
                 while j < r.len()
-                    && compare_keys_counted(r[j].key(join_len), &key, stats)
-                        == Ordering::Equal
+                    && compare_keys_counted(r[j].key(join_len), &key, stats) == Ordering::Equal
                 {
                     j += 1;
                 }
@@ -91,8 +89,16 @@ fn bench(c: &mut Criterion) {
                 let stats = Stats::new_shared();
                 let ls = VecStream::from_sorted_rows(l.clone(), KEY_COLS);
                 let rs = VecStream::from_sorted_rows(r.clone(), KEY_COLS);
-                MergeJoin::new(ls, rs, KEY_COLS, JoinType::Inner, KEY_COLS + 1, KEY_COLS + 1, stats)
-                    .count()
+                MergeJoin::new(
+                    ls,
+                    rs,
+                    KEY_COLS,
+                    JoinType::Inner,
+                    KEY_COLS + 1,
+                    KEY_COLS + 1,
+                    stats,
+                )
+                .count()
             })
         },
     );

@@ -1,0 +1,131 @@
+//! Planner overhead bench: the Figure 5 workload, planner-produced vs
+//! hand-written.
+//!
+//! The planner must be a zero-cost abstraction on the hot path: a
+//! planner-produced plan lowers onto exactly the operators the
+//! hand-written pipelines call, so `plan + execute` should match the
+//! hand-written wall time, and `plan` alone should be microseconds.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ovc_baseline::hash_intersect_distinct;
+use ovc_bench::workload::intersect_tables;
+use ovc_core::Stats;
+use ovc_exec::plans::{sort_intersect_distinct, IntersectConfig};
+use ovc_plan::exec::{execute, ExecOptions};
+use ovc_plan::figure5::{catalog_sorted, catalog_unsorted, intersect_distinct_query};
+use ovc_plan::{Planner, PlannerConfig, Preference};
+use ovc_sort::MemoryRunStorage;
+
+const ROWS: usize = 100_000;
+
+fn bench(c: &mut Criterion) {
+    let (t1, t2) = intersect_tables(ROWS, 42);
+    let mem = ROWS / 10;
+
+    let mut g = c.benchmark_group("planner_fig5");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(2 * ROWS as u64));
+
+    // Hand-written sort-based plan (the seed's hard-wired pipeline).
+    g.bench_with_input(
+        BenchmarkId::new("hand_sort_plan", ROWS),
+        &(t1.clone(), t2.clone()),
+        |b, (t1, t2)| {
+            b.iter(|| {
+                let stats = Stats::new_shared();
+                let mut s1 = MemoryRunStorage::new(Rc::clone(&stats));
+                let mut s2 = MemoryRunStorage::new(Rc::clone(&stats));
+                let cfg = IntersectConfig {
+                    key_len: 1,
+                    memory_rows: mem,
+                    fan_in: 64,
+                };
+                sort_intersect_distinct(t1.clone(), t2.clone(), cfg, &mut s1, &mut s2, &stats).len()
+            })
+        },
+    );
+
+    // Planner-produced sort-based plan over the same unsorted inputs.
+    let unsorted_cat = catalog_unsorted(t1.clone(), t2.clone());
+    let sort_cfg = PlannerConfig::default()
+        .with_memory_rows(mem)
+        .with_preference(Preference::ForceSortBased);
+    g.bench_function(BenchmarkId::new("planned_sort_plan", ROWS), |b| {
+        b.iter(|| {
+            let plan = Planner::new(&unsorted_cat, sort_cfg)
+                .plan(&intersect_distinct_query())
+                .expect("plans");
+            let stats = Stats::new_shared();
+            execute(&plan, &unsorted_cat, &stats, &ExecOptions::default())
+                .into_rows()
+                .len()
+        })
+    });
+
+    // Hand-written hash-based plan.
+    g.bench_with_input(
+        BenchmarkId::new("hand_hash_plan", ROWS),
+        &(t1.clone(), t2.clone()),
+        |b, (t1, t2)| {
+            b.iter(|| {
+                let stats = Stats::new_shared();
+                hash_intersect_distinct(t1.clone(), t2.clone(), mem, &stats).len()
+            })
+        },
+    );
+
+    // Planner-produced hash-based plan.
+    let hash_cfg = PlannerConfig::default()
+        .with_memory_rows(mem)
+        .with_preference(Preference::ForceHashBased);
+    g.bench_function(BenchmarkId::new("planned_hash_plan", ROWS), |b| {
+        b.iter(|| {
+            let plan = Planner::new(&unsorted_cat, hash_cfg)
+                .plan(&intersect_distinct_query())
+                .expect("plans");
+            let stats = Stats::new_shared();
+            execute(&plan, &unsorted_cat, &stats, &ExecOptions::default())
+                .into_rows()
+                .len()
+        })
+    });
+
+    // Pre-sorted coded inputs: the elided-sort plan streams straight
+    // through the merge — the paper's interesting-orderings payoff.
+    let sorted_cat = catalog_sorted(t1, t2);
+    let auto_cfg = PlannerConfig::default().with_memory_rows(mem);
+    g.bench_function(BenchmarkId::new("planned_elided_sorts", ROWS), |b| {
+        b.iter(|| {
+            let plan = Planner::new(&sorted_cat, auto_cfg)
+                .plan(&intersect_distinct_query())
+                .expect("plans");
+            let stats = Stats::new_shared();
+            execute(&plan, &sorted_cat, &stats, &ExecOptions::default())
+                .into_rows()
+                .len()
+        })
+    });
+    g.finish();
+
+    // Planning alone: must be microseconds, independent of table size.
+    let mut g = c.benchmark_group("planner_overhead");
+    g.sample_size(20);
+    g.bench_function(BenchmarkId::new("plan_only", ROWS), |b| {
+        b.iter(|| {
+            Planner::new(
+                &unsorted_cat,
+                PlannerConfig::default().with_memory_rows(mem),
+            )
+            .plan(&intersect_distinct_query())
+            .expect("plans")
+            .nodes()
+            .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -16,15 +16,25 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("sort_external");
     g.sample_size(10);
     g.throughput(Throughput::Elements(ROWS as u64));
-    let spec = TableSpec { rows: ROWS, key_cols: KEY_COLS, payload_cols: 1, distinct_per_col: 8, seed: 7 };
+    let spec = TableSpec {
+        rows: ROWS,
+        key_cols: KEY_COLS,
+        payload_cols: 1,
+        distinct_per_col: 8,
+        seed: 7,
+    };
     let rows = table(spec);
 
-    g.bench_with_input(BenchmarkId::new("ovc_tree_of_losers", ROWS), &rows, |b, rows| {
-        b.iter(|| {
-            let stats = Stats::new_shared();
-            external_sort_collect(rows.clone(), SortConfig::new(KEY_COLS, MEMORY), &stats).len()
-        })
-    });
+    g.bench_with_input(
+        BenchmarkId::new("ovc_tree_of_losers", ROWS),
+        &rows,
+        |b, rows| {
+            b.iter(|| {
+                let stats = Stats::new_shared();
+                external_sort_collect(rows.clone(), SortConfig::new(KEY_COLS, MEMORY), &stats).len()
+            })
+        },
+    );
 
     g.bench_with_input(BenchmarkId::new("plain_no_ovc", ROWS), &rows, |b, rows| {
         b.iter(|| {
@@ -33,14 +43,18 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    g.bench_with_input(BenchmarkId::new("replacement_selection", ROWS), &rows, |b, rows| {
-        b.iter(|| {
-            let stats = Stats::new_shared();
-            let cfg = SortConfig::new(KEY_COLS, MEMORY)
-                .with_strategy(RunGenStrategy::ReplacementSelection);
-            external_sort_collect(rows.clone(), cfg, &stats).len()
-        })
-    });
+    g.bench_with_input(
+        BenchmarkId::new("replacement_selection", ROWS),
+        &rows,
+        |b, rows| {
+            b.iter(|| {
+                let stats = Stats::new_shared();
+                let cfg = SortConfig::new(KEY_COLS, MEMORY)
+                    .with_strategy(RunGenStrategy::ReplacementSelection);
+                external_sort_collect(rows.clone(), cfg, &stats).len()
+            })
+        },
+    );
     g.finish();
 }
 

@@ -41,7 +41,10 @@ fn table_1() {
     let rows = table1::rows();
     let asc = derive_codes(&rows, 4);
     let stats = Stats::default();
-    println!("{:<18} {:>7} {:>10} {:>9} {:>8}", "rows", "d-offs", "desc OVC", "a-offs", "asc OVC");
+    println!(
+        "{:<18} {:>7} {:>10} {:>9} {:>8}",
+        "rows", "d-offs", "desc OVC", "a-offs", "asc OVC"
+    );
     let mut prev: Option<&Row> = None;
     for (row, code) in rows.iter().zip(&asc) {
         let desc = match prev {
@@ -73,13 +76,20 @@ fn table_2() {
         ([3u64, 4, 3, 8], [3u64, 4, 9, 1]),
         ([3u64, 7, 4, 7], [3u64, 7, 4, 9]),
     ];
-    println!("{:<6} {:<14} {:<14} {:>6} {:>6} {:>16}", "case", "key B", "key C", "B ovc", "C ovc", "loser-to-winner");
+    println!(
+        "{:<6} {:<14} {:<14} {:>6} {:>6} {:>16}",
+        "case", "key B", "key C", "B ovc", "C ovc", "loser-to-winner"
+    );
     for (i, (b, c)) in cases.iter().enumerate() {
         let mut bc = ovc_core::compare::derive_code(&base, b, &stats);
         let mut cc = ovc_core::compare::derive_code(&base, c, &stats);
         let (bd, cd) = (bc.paper_decimal(), cc.paper_decimal());
         let ord = compare_same_base(b, c, &mut bc, &mut cc, &stats);
-        let loser = if ord == std::cmp::Ordering::Less { cc } else { bc };
+        let loser = if ord == std::cmp::Ordering::Less {
+            cc
+        } else {
+            bc
+        };
         println!(
             "{:<6} {:<14} {:<14} {:>6} {:>6} {:>16}",
             i + 1,
@@ -130,8 +140,7 @@ fn figure_4(rows_n: usize) {
         // The sort already ran: rows are materialized with their codes,
         // exactly the state Figure 4 starts from.
         let codes = derive_codes(&rows, K);
-        let coded: Vec<(Row, ovc_core::Ovc)> =
-            rows.into_iter().zip(codes).collect();
+        let coded: Vec<(Row, ovc_core::Ovc)> = rows.into_iter().zip(codes).collect();
 
         // OVC: one integer test per row against the code threshold, plus
         // the aggregation itself (count, sum of the payload).
@@ -231,7 +240,11 @@ fn figure_6(rows_n: usize) {
     let ss = Stats::new_shared();
     let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
     let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
-    let cfg = IntersectConfig { key_len: 1, memory_rows: mem, fan_in: 128 };
+    let cfg = IntersectConfig {
+        key_len: 1,
+        memory_rows: mem,
+        fan_in: 128,
+    };
     let start = Instant::now();
     let s = sort_intersect_distinct(t1, t2, cfg, &mut s1, &mut s2, &ss);
     let t_sort = start.elapsed();
@@ -240,21 +253,36 @@ fn figure_6(rows_n: usize) {
     println!("result rows: {}\n", s.len());
     println!("{:<30} {:>14} {:>14}", "", "hash plan", "sort plan");
     println!("{:<30} {:>12.1?} {:>12.1?}", "wall time", t_hash, t_sort);
-    println!("{:<30} {:>14} {:>14}", "rows spilled", hs.rows_spilled(), ss.rows_spilled());
+    println!(
+        "{:<30} {:>14} {:>14}",
+        "rows spilled",
+        hs.rows_spilled(),
+        ss.rows_spilled()
+    );
     println!(
         "{:<30} {:>14.2} {:>14.2}",
         "spills per input row",
         hs.rows_spilled() as f64 / (2 * rows_n) as f64,
         ss.rows_spilled() as f64 / (2 * rows_n) as f64
     );
-    println!("{:<30} {:>14} {:>14}", "bytes spilled", hs.bytes_spilled(), ss.bytes_spilled());
+    println!(
+        "{:<30} {:>14} {:>14}",
+        "bytes spilled",
+        hs.bytes_spilled(),
+        ss.bytes_spilled()
+    );
     println!(
         "{:<30} {:>14} {:>14}",
         "column accesses/comparisons",
         hs.col_value_cmps(),
         ss.col_value_cmps()
     );
-    println!("{:<30} {:>14} {:>14}", "code comparisons", hs.ovc_cmps(), ss.ovc_cmps());
+    println!(
+        "{:<30} {:>14} {:>14}",
+        "code comparisons",
+        hs.ovc_cmps(),
+        ss.ovc_cmps()
+    );
     println!("\npaper shape: sort plan spills each row once (hash: many rows twice)");
     println!("and the merge join rides on the aggregation's offset-value codes\n");
 }

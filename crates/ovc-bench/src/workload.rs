@@ -23,7 +23,13 @@ pub struct TableSpec {
 impl TableSpec {
     /// A convenient default shape.
     pub fn new(rows: usize, key_cols: usize) -> Self {
-        TableSpec { rows, key_cols, payload_cols: 1, distinct_per_col: 8, seed: 42 }
+        TableSpec {
+            rows,
+            key_cols,
+            payload_cols: 1,
+            distinct_per_col: 8,
+            seed: 42,
+        }
     }
 }
 
@@ -50,12 +56,7 @@ pub fn table(spec: TableSpec) -> Vec<Row> {
 ///
 /// Keys have `key_cols` columns; each column's domain is kept as small as
 /// possible while still providing enough distinct key combinations.
-pub fn grouped_sorted_table(
-    rows: usize,
-    key_cols: usize,
-    ratio: usize,
-    seed: u64,
-) -> Vec<Row> {
+pub fn grouped_sorted_table(rows: usize, key_cols: usize, ratio: usize, seed: u64) -> Vec<Row> {
     assert!(ratio >= 1 && key_cols >= 1);
     let groups = (rows / ratio).max(1);
     // Smallest per-column domain whose key space covers `groups`.
@@ -80,7 +81,11 @@ pub fn grouped_sorted_table(
             x /= base;
         }
         digits.reverse();
-        let copies = if g + 1 == groups { rows - out.len() } else { ratio };
+        let copies = if g + 1 == groups {
+            rows - out.len()
+        } else {
+            ratio
+        };
         for _ in 0..copies {
             let mut cols = digits.clone();
             cols.push(rng.gen::<u32>() as u64); // payload
@@ -92,7 +97,11 @@ pub fn grouped_sorted_table(
 }
 
 fn gcd(a: u64, b: u64) -> u64 {
-    if b == 0 { a } else { gcd(b, a % b) }
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
 }
 
 /// Generate the Figure 6 intersect inputs: two tables of single-column
@@ -126,8 +135,7 @@ mod tests {
         for ratio in [1usize, 2, 5, 10, 100] {
             let rows = grouped_sorted_table(10_000, 4, ratio, 1);
             assert_eq!(rows.len(), 10_000);
-            let distinct: BTreeSet<Vec<u64>> =
-                rows.iter().map(|r| r.key(4).to_vec()).collect();
+            let distinct: BTreeSet<Vec<u64>> = rows.iter().map(|r| r.key(4).to_vec()).collect();
             let expect = (10_000 / ratio).max(1);
             assert_eq!(distinct.len(), expect, "ratio {ratio}");
             assert!(ovc_core::derive::is_sorted(&rows, 4));

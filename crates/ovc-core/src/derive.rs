@@ -37,7 +37,8 @@ pub fn derive_codes_counted(rows: &[Row], key_len: usize, stats: &Stats) -> Vec<
 
 /// Is the slice sorted ascending on the first `key_len` columns?
 pub fn is_sorted(rows: &[Row], key_len: usize) -> bool {
-    rows.windows(2).all(|w| w[0].key(key_len) <= w[1].key(key_len))
+    rows.windows(2)
+        .all(|w| w[0].key(key_len) <= w[1].key(key_len))
 }
 
 /// Check that a coded sequence is sorted **and** every code is exact
@@ -72,11 +73,7 @@ pub fn assert_codes_exact(pairs: &[(Row, Ovc)], key_len: usize) {
         let expect = if i == 0 {
             Ovc::initial(pairs[0].0.key(key_len))
         } else {
-            derive_code(
-                pairs[i - 1].0.key(key_len),
-                pairs[i].0.key(key_len),
-                &stats,
-            )
+            derive_code(pairs[i - 1].0.key(key_len), pairs[i].0.key(key_len), &stats)
         };
         panic!(
             "code violation at row {i}: row={:?} code={:?} expected={:?} (prev={:?})",

@@ -53,5 +53,5 @@ pub mod theorem;
 
 pub use ovc::Ovc;
 pub use row::{Row, SortKey, Value};
-pub use stats::{Stats, StatsSnapshot};
+pub use stats::{CostWeights, Stats, StatsSnapshot};
 pub use stream::{OvcRow, OvcStream, VecStream};

@@ -210,13 +210,8 @@ mod tests {
         // For keys B, C >= A coded relative to A: code order must match
         // key order whenever the codes differ.
         let stats = Stats::default();
-        let mut keys: Vec<Vec<u64>> = vec![
-            vec![1, 1],
-            vec![1, 2],
-            vec![1, 258],
-            vec![2, 0],
-            vec![2, 1],
-        ];
+        let mut keys: Vec<Vec<u64>> =
+            vec![vec![1, 1], vec![1, 2], vec![1, 258], vec![2, 0], vec![2, 1]];
         keys.sort();
         let base = normalize(&keys[0]);
         for i in 1..keys.len() {

@@ -75,7 +75,10 @@ impl Ovc {
     /// Panics (debug) if `offset > arity` or `arity > MAX_ARITY`.
     #[inline]
     pub fn new(offset: usize, value: Value, arity: usize) -> Ovc {
-        debug_assert!(arity <= MAX_ARITY, "sort-key arity {arity} exceeds {MAX_ARITY}");
+        debug_assert!(
+            arity <= MAX_ARITY,
+            "sort-key arity {arity} exceeds {MAX_ARITY}"
+        );
         debug_assert!(offset <= arity, "offset {offset} exceeds arity {arity}");
         if offset == arity {
             return Ovc::duplicate();

@@ -24,12 +24,16 @@ pub struct Row {
 impl Row {
     /// Create a row from column values.
     pub fn new(cols: Vec<Value>) -> Self {
-        Row { cols: cols.into_boxed_slice() }
+        Row {
+            cols: cols.into_boxed_slice(),
+        }
     }
 
     /// Create a row from a slice of column values.
     pub fn from_slice(cols: &[Value]) -> Self {
-        Row { cols: cols.to_vec().into_boxed_slice() }
+        Row {
+            cols: cols.to_vec().into_boxed_slice(),
+        }
     }
 
     /// All columns of the row.

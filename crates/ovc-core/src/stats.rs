@@ -136,8 +136,10 @@ impl Stats {
         self.count_col_cmps(s.col_value_cmps);
         self.ovc_cmps.set(self.ovc_cmps.get() + s.ovc_cmps);
         self.row_cmps.set(self.row_cmps.get() + s.row_cmps);
-        self.rows_spilled.set(self.rows_spilled.get() + s.rows_spilled);
-        self.bytes_spilled.set(self.bytes_spilled.get() + s.bytes_spilled);
+        self.rows_spilled
+            .set(self.rows_spilled.get() + s.rows_spilled);
+        self.bytes_spilled
+            .set(self.bytes_spilled.get() + s.bytes_spilled);
         self.rows_read_back
             .set(self.rows_read_back.get() + s.rows_read_back);
         self.bytes_read_back
@@ -170,6 +172,43 @@ pub struct StatsSnapshot {
     pub bytes_read_back: u64,
 }
 
+/// Weights folding the counter classes into one comparable scalar.
+///
+/// The planner's cost model (`ovc-plan`) *estimates* in these units and
+/// [`StatsSnapshot::weighted_cost`] *measures* in them, so predicted and
+/// observed plan costs live on the same scale.  The defaults encode the
+/// paper's cost argument: an offset-value-code comparison is one integer
+/// instruction (weight 1); a column-value comparison costs a few times
+/// that (cache-missing column access); a full row comparison is a short
+/// loop of column comparisons; and a spilled row costs two orders of
+/// magnitude more than any comparison (serialization plus I/O), which is
+/// why Figure 6 is about spill volume.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostWeights {
+    /// Cost of one column-value comparison.
+    pub col_cmp: f64,
+    /// Cost of one offset-value-code comparison.
+    pub ovc_cmp: f64,
+    /// Cost of one full row comparison.
+    pub row_cmp: f64,
+    /// Cost of one row written to spill storage.
+    pub spill_row: f64,
+    /// Cost of one row read back from spill storage.
+    pub read_row: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights {
+            col_cmp: 4.0,
+            ovc_cmp: 1.0,
+            row_cmp: 8.0,
+            spill_row: 128.0,
+            read_row: 64.0,
+        }
+    }
+}
+
 impl StatsSnapshot {
     /// Difference of two snapshots (`self` taken after `earlier`).
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
@@ -182,6 +221,16 @@ impl StatsSnapshot {
             rows_read_back: self.rows_read_back - earlier.rows_read_back,
             bytes_read_back: self.bytes_read_back - earlier.bytes_read_back,
         }
+    }
+
+    /// Fold the counters into one scalar under the given weights — the
+    /// measured counterpart of the planner's estimated plan cost.
+    pub fn weighted_cost(&self, w: &CostWeights) -> f64 {
+        self.col_value_cmps as f64 * w.col_cmp
+            + self.ovc_cmps as f64 * w.ovc_cmp
+            + self.row_cmps as f64 * w.row_cmp
+            + self.rows_spilled as f64 * w.spill_row
+            + self.rows_read_back as f64 * w.read_row
     }
 }
 
@@ -226,6 +275,26 @@ mod tests {
         a.absorb(&b.snapshot());
         assert_eq!(a.col_value_cmps(), 7);
         assert_eq!(a.ovc_cmps(), 1);
+    }
+
+    #[test]
+    fn weighted_cost_combines_counter_classes() {
+        let s = Stats::default();
+        s.count_ovc_cmp();
+        s.count_col_cmps(2);
+        s.count_spill(1, 8);
+        let w = CostWeights {
+            col_cmp: 4.0,
+            ovc_cmp: 1.0,
+            row_cmp: 8.0,
+            spill_row: 100.0,
+            read_row: 50.0,
+        };
+        assert_eq!(s.snapshot().weighted_cost(&w), 1.0 + 8.0 + 100.0);
+        // Spilling dominates comparisons under the default weights, the
+        // premise of the paper's Figure 6 argument.
+        let d = CostWeights::default();
+        assert!(d.spill_row > 8.0 * d.col_cmp);
     }
 
     #[test]

@@ -64,11 +64,13 @@ impl VecStream {
     pub fn from_coded(rows: Vec<OvcRow>, key_len: usize) -> Self {
         #[cfg(debug_assertions)]
         {
-            let pairs: Vec<(Row, Ovc)> =
-                rows.iter().map(|r| (r.row.clone(), r.code)).collect();
+            let pairs: Vec<(Row, Ovc)> = rows.iter().map(|r| (r.row.clone(), r.code)).collect();
             crate::derive::assert_codes_exact(&pairs, key_len);
         }
-        VecStream { iter: rows.into_iter(), key_len }
+        VecStream {
+            iter: rows.into_iter(),
+            key_len,
+        }
     }
 
     /// Derive codes for sorted rows and wrap them.  Panics if unsorted.
@@ -83,7 +85,10 @@ impl VecStream {
             .zip(codes)
             .map(|(row, code)| OvcRow::new(row, code))
             .collect();
-        VecStream { iter: coded.into_iter(), key_len }
+        VecStream {
+            iter: coded.into_iter(),
+            key_len,
+        }
     }
 
     /// Sort the rows, derive codes, and wrap them (test convenience).

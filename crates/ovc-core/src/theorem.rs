@@ -49,7 +49,9 @@ impl OvcAccumulator {
     /// A fresh accumulator with no pending codes.
     #[inline]
     pub fn new() -> Self {
-        OvcAccumulator { pending: Ovc::EARLY_FENCE }
+        OvcAccumulator {
+            pending: Ovc::EARLY_FENCE,
+        }
     }
 
     /// Absorb the input code of a row that does **not** produce output

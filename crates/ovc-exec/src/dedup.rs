@@ -57,7 +57,10 @@ impl<S: OvcStream> DedupCounting<S> {
     /// output row's last column.
     pub fn new(input: S) -> Self {
         let key_len = input.key_len();
-        DedupCounting { input: input.peekable(), key_len }
+        DedupCounting {
+            input: input.peekable(),
+            key_len,
+        }
     }
 }
 

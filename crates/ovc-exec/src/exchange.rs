@@ -38,7 +38,10 @@ pub mod partition {
     pub fn by_range(boundaries: Vec<Value>) -> impl FnMut(&Row) -> usize {
         move |r: &Row| {
             let v = r.cols()[0];
-            boundaries.iter().position(|&b| v < b).unwrap_or(boundaries.len())
+            boundaries
+                .iter()
+                .position(|&b| v < b)
+                .unwrap_or(boundaries.len())
         }
     }
 
@@ -76,8 +79,7 @@ where
             }
         }
     }
-    outs
-        .into_iter()
+    outs.into_iter()
         .map(|rows| VecStream::from_coded(rows, key_len))
         .collect()
 }

@@ -22,7 +22,11 @@ pub struct Filter<S, P> {
 impl<S: OvcStream, P: FnMut(&Row) -> bool> Filter<S, P> {
     /// Filter `input`, keeping rows for which `predicate` returns true.
     pub fn new(input: S, predicate: P) -> Self {
-        Filter { input, predicate, acc: OvcAccumulator::new() }
+        Filter {
+            input,
+            predicate,
+            acc: OvcAccumulator::new(),
+        }
     }
 }
 

@@ -36,8 +36,11 @@ impl Aggregate {
     pub fn init(&self, row: &Row) -> Value {
         match *self {
             Aggregate::Count => 1,
-            Aggregate::Sum(c) | Aggregate::Min(c) | Aggregate::Max(c)
-            | Aggregate::First(c) | Aggregate::Last(c) => row.cols()[c],
+            Aggregate::Sum(c)
+            | Aggregate::Min(c)
+            | Aggregate::Max(c)
+            | Aggregate::First(c)
+            | Aggregate::Last(c) => row.cols()[c],
         }
     }
 
@@ -71,15 +74,27 @@ impl<S: OvcStream> GroupAggregate<S> {
     /// Build the operator.  Panics unless `group_len <= input.key_len()`.
     pub fn new(input: S, group_len: usize, aggregates: Vec<Aggregate>) -> Self {
         let in_key_len = input.key_len();
-        assert!(group_len <= in_key_len, "group key must be a sort-key prefix");
-        GroupAggregate { input, in_key_len, group_len, aggregates, pending: None }
+        assert!(
+            group_len <= in_key_len,
+            "group key must be a sort-key prefix"
+        );
+        GroupAggregate {
+            input,
+            in_key_len,
+            group_len,
+            aggregates,
+            pending: None,
+        }
     }
 
     fn finish(&self, (row, code, accs): (Row, Ovc, Vec<Value>)) -> OvcRow {
         let mut cols = Vec::with_capacity(self.group_len + accs.len());
         cols.extend_from_slice(row.key(self.group_len));
         cols.extend_from_slice(&accs);
-        OvcRow::new(Row::new(cols), clamp_to_prefix(code, self.in_key_len, self.group_len))
+        OvcRow::new(
+            Row::new(cols),
+            clamp_to_prefix(code, self.in_key_len, self.group_len),
+        )
     }
 }
 
@@ -106,16 +121,14 @@ impl<S: OvcStream> Iterator for GroupAggregate<S> {
                             }
                         }
                         (pending @ None, _) => {
-                            let accs =
-                                self.aggregates.iter().map(|a| a.init(&row)).collect();
+                            let accs = self.aggregates.iter().map(|a| a.init(&row)).collect();
                             *pending = Some((row, code, accs));
                         }
                         (pending @ Some(_), false) => {
                             // Boundary: emit the finished group, start anew.
                             let accs: Vec<Value> =
                                 self.aggregates.iter().map(|a| a.init(&row)).collect();
-                            let done = pending.replace((row, code, accs))
-                                .expect("pending group");
+                            let done = pending.replace((row, code, accs)).expect("pending group");
                             return Some(self.finish(done));
                         }
                     }
@@ -153,14 +166,22 @@ impl<S: OvcStream> GroupCountDistinct<S> {
     pub fn new(input: S, group_len: usize) -> Self {
         let in_key_len = input.key_len();
         assert!(group_len <= in_key_len);
-        GroupCountDistinct { input, in_key_len, group_len, pending: None }
+        GroupCountDistinct {
+            input,
+            in_key_len,
+            group_len,
+            pending: None,
+        }
     }
 
     fn finish(&self, (row, code, distinct): (Row, Ovc, u64)) -> OvcRow {
         let mut cols = Vec::with_capacity(self.group_len + 1);
         cols.extend_from_slice(row.key(self.group_len));
         cols.push(distinct);
-        OvcRow::new(Row::new(cols), clamp_to_prefix(code, self.in_key_len, self.group_len))
+        OvcRow::new(
+            Row::new(cols),
+            clamp_to_prefix(code, self.in_key_len, self.group_len),
+        )
     }
 }
 
@@ -185,8 +206,7 @@ impl<S: OvcStream> Iterator for GroupCountDistinct<S> {
                             *pending = Some((row, code, 1));
                         }
                         (pending @ Some(_), false) => {
-                            let done =
-                                pending.replace((row, code, 1)).expect("pending group");
+                            let done = pending.replace((row, code, 1)).expect("pending group");
                             return Some(self.finish(done));
                         }
                     }
@@ -226,11 +246,7 @@ mod tests {
             .collect();
         assert_eq!(
             got,
-            vec![
-                (vec![5, 7], 2),
-                (vec![5, 8], 1),
-                (vec![5, 9], 4),
-            ]
+            vec![(vec![5, 7], 2), (vec![5, 8], 1), (vec![5, 9], 4),]
         );
         assert_codes_exact(&pairs, 2);
         // No output offset reaches the group-key arity.
@@ -284,8 +300,7 @@ mod tests {
             e.1 += r.cols()[2];
         }
         let input = VecStream::from_sorted_rows(rows, 3);
-        let group =
-            GroupAggregate::new(input, 2, vec![Aggregate::Count, Aggregate::Sum(2)]);
+        let group = GroupAggregate::new(input, 2, vec![Aggregate::Count, Aggregate::Sum(2)]);
         let pairs = collect_pairs(group);
         assert_codes_exact(&pairs, 2);
         let got: Vec<(Vec<u64>, (u64, u64))> = pairs

@@ -42,7 +42,11 @@ impl HashTable {
             let key = row.cols()[..join_len].to_vec().into_boxed_slice();
             map.entry(key).or_default().push(row);
         }
-        HashTable { map, join_len, width }
+        HashTable {
+            map,
+            join_len,
+            width,
+        }
     }
 
     /// Rows matching the probe key.
@@ -95,18 +99,19 @@ impl<S: OvcStream> HashJoinOp<S> {
     }
 
     fn combine(&self, probe: &Row, build: &Row) -> Row {
-        let mut cols =
-            Vec::with_capacity(probe.width() + self.table.width - self.join_len);
+        let mut cols = Vec::with_capacity(probe.width() + self.table.width - self.join_len);
         cols.extend_from_slice(probe.cols());
         cols.extend_from_slice(&build.cols()[self.join_len..]);
         Row::new(cols)
     }
 
     fn pad(&self, probe: &Row) -> Row {
-        let mut cols =
-            Vec::with_capacity(probe.width() + self.table.width - self.join_len);
+        let mut cols = Vec::with_capacity(probe.width() + self.table.width - self.join_len);
         cols.extend_from_slice(probe.cols());
-        cols.extend(std::iter::repeat(NULL_VALUE).take(self.table.width - self.join_len));
+        cols.extend(std::iter::repeat_n(
+            NULL_VALUE,
+            self.table.width - self.join_len,
+        ));
         Row::new(cols)
     }
 }
@@ -175,7 +180,11 @@ mod tests {
     #[test]
     fn inner_join_preserves_probe_order_and_codes() {
         let build = HashTable::build(
-            vec![Row::new(vec![1, 10]), Row::new(vec![1, 20]), Row::new(vec![3, 30])],
+            vec![
+                Row::new(vec![1, 10]),
+                Row::new(vec![1, 20]),
+                Row::new(vec![3, 30]),
+            ],
             1,
         );
         let probe = probe_stream(vec![vec![3, 9], vec![1, 7], vec![2, 8]], 2);
@@ -184,10 +193,7 @@ mod tests {
         let pairs = collect_pairs(join);
         assert_codes_exact(&pairs, 2);
         let got: Vec<Vec<u64>> = pairs.iter().map(|(r, _)| r.cols().to_vec()).collect();
-        assert_eq!(
-            got,
-            vec![vec![1, 7, 10], vec![1, 7, 20], vec![3, 9, 30]]
-        );
+        assert_eq!(got, vec![vec![1, 7, 10], vec![1, 7, 20], vec![3, 9, 30]]);
     }
 
     #[test]
@@ -215,10 +221,8 @@ mod tests {
             JoinType::LeftSemi,
             JoinType::LeftAnti,
         ] {
-            let build = HashTable::build(
-                build_rows.iter().map(|r| Row::new(r.clone())).collect(),
-                1,
-            );
+            let build =
+                HashTable::build(build_rows.iter().map(|r| Row::new(r.clone())).collect(), 1);
             let probe = probe_stream(probe_rows.clone(), 2);
             let join = HashJoinOp::new(probe, build, jt);
             let arity = join.key_len();

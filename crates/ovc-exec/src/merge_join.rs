@@ -103,8 +103,10 @@ impl<L: OvcStream, R: OvcStream> GroupedMerge<L, R> {
     pub fn new(mut left: L, mut right: R, join_len: usize, stats: Rc<Stats>) -> Self {
         let left_key_len = left.key_len();
         let right_key_len = right.key_len();
-        assert!(join_len <= left_key_len && join_len <= right_key_len,
-            "join key must be a sort-key prefix of both inputs");
+        assert!(
+            join_len <= left_key_len && join_len <= right_key_len,
+            "join key must be a sort-key prefix of both inputs"
+        );
         let cur_l = Self::load(&mut left, left_key_len, join_len);
         let cur_r = Self::load(&mut right, right_key_len, join_len);
         GroupedMerge {
@@ -138,8 +140,8 @@ impl<L: OvcStream, R: OvcStream> GroupedMerge<L, R> {
             (None, Some(_)) => Side::Right,
             (Some(l), Some(r)) => {
                 let ord = compare_same_base(
-                    &l.row.key(self.join_len),
-                    &r.row.key(self.join_len),
+                    l.row.key(self.join_len),
+                    r.row.key(self.join_len),
                     &mut l.cmp_code,
                     &mut r.cmp_code,
                     &self.stats,
@@ -170,7 +172,10 @@ impl<L: OvcStream, R: OvcStream> GroupedMerge<L, R> {
         };
         Some((
             side,
-            Item { row: head.row, orig_code: head.orig_code },
+            Item {
+                row: head.row,
+                orig_code: head.orig_code,
+            },
             head.cmp_code,
         ))
     }
@@ -189,7 +194,11 @@ impl<L: OvcStream, R: OvcStream> Iterator for GroupedMerge<L, R> {
             "group must start at a boundary"
         );
         self.started = true;
-        let mut group = JoinGroup { code, left: Vec::new(), right: Vec::new() };
+        let mut group = JoinGroup {
+            code,
+            left: Vec::new(),
+            right: Vec::new(),
+        };
         match side {
             Side::Left => group.left.push(item),
             Side::Right => group.right.push(item),
@@ -271,7 +280,10 @@ impl<L: OvcStream, R: OvcStream> MergeJoin<L, R> {
     fn pad_right(&self, l: &Row) -> Row {
         let mut cols = Vec::with_capacity(self.left_width + self.right_width - self.join_len);
         cols.extend_from_slice(l.cols());
-        cols.resize(self.left_width + self.right_width - self.join_len, NULL_VALUE);
+        cols.resize(
+            self.left_width + self.right_width - self.join_len,
+            NULL_VALUE,
+        );
         Row::new(cols)
     }
 
@@ -301,8 +313,7 @@ impl<L: OvcStream, R: OvcStream> MergeJoin<L, R> {
     fn process_group(&mut self, group: JoinGroup) {
         let JoinGroup { code, left, right } = group;
         match self.join_type {
-            JoinType::Inner | JoinType::LeftOuter | JoinType::RightOuter
-            | JoinType::FullOuter => {
+            JoinType::Inner | JoinType::LeftOuter | JoinType::RightOuter | JoinType::FullOuter => {
                 let matched = !left.is_empty() && !right.is_empty();
                 let rows: Vec<Row> = if matched {
                     left.iter()
@@ -490,6 +501,7 @@ mod tests {
         out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_join_widths(
         l: Vec<Vec<u64>>,
         r: Vec<Vec<u64>>,
@@ -501,15 +513,7 @@ mod tests {
         rw: usize,
     ) -> Vec<(Row, Ovc)> {
         let stats = Stats::new_shared();
-        let join = MergeJoin::new(
-            stream(l, lkl),
-            stream(r, rkl),
-            j,
-            jt,
-            lw,
-            rw,
-            stats,
-        );
+        let join = MergeJoin::new(stream(l, lkl), stream(r, rkl), j, jt, lw, rw, stats);
         let arity = join.key_len();
         let pairs = collect_pairs(join);
         assert_codes_exact(&pairs, arity);
@@ -605,7 +609,10 @@ mod tests {
     #[test]
     fn join_with_empty_sides() {
         let l = vec![vec![1, 1], vec![2, 2]];
-        assert_eq!(run_join(l.clone(), vec![], 1, 1, 1, JoinType::Inner).len(), 0);
+        assert_eq!(
+            run_join(l.clone(), vec![], 1, 1, 1, JoinType::Inner).len(),
+            0
+        );
         assert_eq!(
             run_join(l.clone(), vec![], 1, 1, 1, JoinType::LeftAnti).len(),
             2

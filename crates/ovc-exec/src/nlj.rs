@@ -51,7 +51,12 @@ impl<'a> BTreeInner<'a> {
     /// Probe `index` with the outer row's first `probe_len` columns.
     pub fn new(index: &'a BTree, probe_len: usize, width: usize, stats: Rc<Stats>) -> Self {
         assert!(probe_len <= index.key_len());
-        BTreeInner { index, probe_len, width, stats }
+        BTreeInner {
+            index,
+            probe_len,
+            width,
+            stats,
+        }
     }
 }
 
@@ -63,7 +68,8 @@ impl InnerSource for BTreeInner<'_> {
         self.width
     }
     fn lookup(&self, outer: &Row) -> Vec<OvcRow> {
-        self.index.lookup(&outer.cols()[..self.probe_len], &self.stats)
+        self.index
+            .lookup(&outer.cols()[..self.probe_len], &self.stats)
     }
 }
 
@@ -82,7 +88,12 @@ impl<P: Fn(&Row, &Row) -> bool> PredicateInner<P> {
     /// Wrap a sorted coded table and a predicate `(outer, inner) -> bool`.
     pub fn new(table: Vec<OvcRow>, key_len: usize, predicate: P) -> Self {
         let width = table.first().map(|r| r.row.width()).unwrap_or(key_len);
-        PredicateInner { table, key_len, width, predicate }
+        PredicateInner {
+            table,
+            key_len,
+            width,
+            predicate,
+        }
     }
 }
 
@@ -191,11 +202,12 @@ impl<S: OvcStream, I: InnerSource> LookupJoin<S, I> {
         let ikl = self.inner.inner_key_len();
         let mut cols = Vec::with_capacity(outer.width() + self.inner.inner_width());
         cols.extend_from_slice(outer.key(self.outer_key_len));
-        cols.extend(std::iter::repeat(NULL_VALUE).take(ikl));
+        cols.extend(std::iter::repeat_n(NULL_VALUE, ikl));
         cols.extend_from_slice(outer.payload(self.outer_key_len));
-        cols.extend(
-            std::iter::repeat(NULL_VALUE).take(self.inner.inner_width() - ikl),
-        );
+        cols.extend(std::iter::repeat_n(
+            NULL_VALUE,
+            self.inner.inner_width() - ikl,
+        ));
         Row::new(cols)
     }
 
@@ -206,7 +218,11 @@ impl<S: OvcStream, I: InnerSource> LookupJoin<S, I> {
             // Only possible for the degenerate 0-column outer key.
             Ovc::duplicate()
         } else {
-            Ovc::new(code.offset(self.outer_key_len), code.value(), self.out_arity)
+            Ovc::new(
+                code.offset(self.outer_key_len),
+                code.value(),
+                self.out_arity,
+            )
         }
     }
 
@@ -217,7 +233,11 @@ impl<S: OvcStream, I: InnerSource> LookupJoin<S, I> {
         if code.is_duplicate() {
             Ovc::duplicate()
         } else {
-            Ovc::new(self.outer_key_len + code.offset(ikl), code.value(), self.out_arity)
+            Ovc::new(
+                self.outer_key_len + code.offset(ikl),
+                code.value(),
+                self.out_arity,
+            )
         }
     }
 
@@ -225,10 +245,14 @@ impl<S: OvcStream, I: InnerSource> LookupJoin<S, I> {
         let matches = self.inner.lookup(&group[0].row);
         match self.join_type {
             JoinType::LeftSemi | JoinType::LeftAnti => {
-                let emit = (self.join_type == JoinType::LeftSemi) == !matches.is_empty();
+                let emit = (self.join_type == JoinType::LeftSemi) != matches.is_empty();
                 if emit {
                     for (i, r) in group.into_iter().enumerate() {
-                        let code = if i == 0 { self.outer_acc.emit(r.code) } else { r.code };
+                        let code = if i == 0 {
+                            self.outer_acc.emit(r.code)
+                        } else {
+                            r.code
+                        };
                         self.queue.push_back(OvcRow::new(r.row, code));
                     }
                 } else {
@@ -318,15 +342,10 @@ mod tests {
     fn index_lookup_inner_join() {
         // Outer: (k, payload); inner indexed on (k, v).
         let outer_rows = vec![vec![1u64, 100], vec![2, 200], vec![3, 300]];
-        let index = build_index(
-            vec![vec![1, 11], vec![1, 12], vec![3, 31]],
-            2,
-        );
+        let index = build_index(vec![vec![1, 11], vec![1, 12], vec![3, 31]], 2);
         let stats = Stats::new_shared();
-        let outer = VecStream::from_unsorted_rows(
-            outer_rows.into_iter().map(Row::new).collect(),
-            1,
-        );
+        let outer =
+            VecStream::from_unsorted_rows(outer_rows.into_iter().map(Row::new).collect(), 1);
         let inner = BTreeInner::new(&index, 1, 2, Rc::clone(&stats));
         let join = LookupJoin::new(outer, inner, JoinType::Inner);
         assert_eq!(join.key_len(), 3); // outer key (1) + inner key (2)
@@ -348,10 +367,8 @@ mod tests {
     fn duplicate_outer_keys_reverse_loops() {
         // Two identical outer rows, two matches: emission must be
         // inner-major and codes exact at the combined arity.
-        let outer = VecStream::from_unsorted_rows(
-            vec![Row::new(vec![5, 1]), Row::new(vec![5, 1])],
-            2,
-        );
+        let outer =
+            VecStream::from_unsorted_rows(vec![Row::new(vec![5, 1]), Row::new(vec![5, 1])], 2);
         let index = build_index(vec![vec![5, 10], vec![5, 20]], 2);
         let stats = Stats::new_shared();
         let inner = BTreeInner::new(&index, 1, 2, stats);
@@ -366,10 +383,7 @@ mod tests {
 
     #[test]
     fn left_outer_pads_non_matches() {
-        let outer = VecStream::from_unsorted_rows(
-            vec![Row::new(vec![1]), Row::new(vec![9])],
-            1,
-        );
+        let outer = VecStream::from_unsorted_rows(vec![Row::new(vec![1]), Row::new(vec![9])], 1);
         let index = build_index(vec![vec![1, 10]], 2);
         let stats = Stats::new_shared();
         let inner = BTreeInner::new(&index, 1, 2, stats);

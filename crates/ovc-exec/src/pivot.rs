@@ -43,7 +43,12 @@ impl<S: OvcStream> Pivot<S> {
     pub fn new(input: S, spec: PivotSpec) -> Self {
         let in_key_len = input.key_len();
         assert!(spec.group_len <= in_key_len);
-        Pivot { input, spec, in_key_len, pending: None }
+        Pivot {
+            input,
+            spec,
+            in_key_len,
+            pending: None,
+        }
     }
 
     fn finish(&self, (row, code, accs): (Row, Ovc, Vec<Value>)) -> OvcRow {
@@ -64,12 +69,10 @@ impl<S: OvcStream> Iterator for Pivot<S> {
             match self.input.next() {
                 None => return self.pending.take().map(|g| self.finish(g)),
                 Some(OvcRow { row, code }) => {
-                    let same_group = code.is_valid()
-                        && code.offset(self.in_key_len) >= self.spec.group_len;
-                    if same_group && self.pending.is_some() {
-                        let spec = &self.spec;
-                        let (_, _, accs) = self.pending.as_mut().expect("pending");
-                        accumulate(spec, accs, &row);
+                    let same_group =
+                        code.is_valid() && code.offset(self.in_key_len) >= self.spec.group_len;
+                    if let (true, Some((_, _, accs))) = (same_group, self.pending.as_mut()) {
+                        accumulate(&self.spec, accs, &row);
                     } else {
                         let mut accs = vec![0; self.spec.buckets.len()];
                         accumulate(&self.spec, &mut accs, &row);
@@ -126,13 +129,7 @@ mod tests {
         let pivot = Pivot::new(input, spec);
         let pairs = collect_pairs(pivot);
         let got: Vec<Vec<u64>> = pairs.iter().map(|(r, _)| r.cols().to_vec()).collect();
-        assert_eq!(
-            got,
-            vec![
-                vec![2021, 150, 0, 70],
-                vec![2022, 0, 10, 20],
-            ]
-        );
+        assert_eq!(got, vec![vec![2021, 150, 0, 70], vec![2022, 0, 10, 20],]);
         assert_codes_exact(&pairs, 1);
     }
 
@@ -140,7 +137,12 @@ mod tests {
     fn values_outside_buckets_are_dropped() {
         let rows = vec![Row::new(vec![1, 99, 5])];
         let input = VecStream::from_sorted_rows(rows, 2);
-        let spec = PivotSpec { group_len: 1, pivot_col: 1, value_col: 2, buckets: vec![1, 2] };
+        let spec = PivotSpec {
+            group_len: 1,
+            pivot_col: 1,
+            value_col: 2,
+            buckets: vec![1, 2],
+        };
         let out: Vec<Row> = Pivot::new(input, spec).map(|r| r.row).collect();
         assert_eq!(out, vec![Row::new(vec![1, 0, 0])]);
     }
@@ -148,7 +150,12 @@ mod tests {
     #[test]
     fn empty_input() {
         let input = VecStream::from_sorted_rows(vec![], 2);
-        let spec = PivotSpec { group_len: 1, pivot_col: 1, value_col: 1, buckets: vec![] };
+        let spec = PivotSpec {
+            group_len: 1,
+            pivot_col: 1,
+            value_col: 1,
+            buckets: vec![],
+        };
         assert_eq!(Pivot::new(input, spec).count(), 0);
     }
 }

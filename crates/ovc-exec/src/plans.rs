@@ -10,6 +10,14 @@
 //! In-sort duplicate removal drops duplicates (detected by their codes)
 //! before runs spill *and* after the final merge, so the sort never
 //! spills a row twice and the join input arrives deduplicated and coded.
+//!
+//! Since the `ovc-plan` crate landed, this pipeline is **planner
+//! territory**: [`in_sort_distinct`] is the physical building block that
+//! `ovc_plan`'s executor lowers `InSortDistinct` nodes onto, and the
+//! planner derives this exact plan (and its hash-based rival) from the
+//! one logical query in `ovc_plan::figure5`.  [`sort_intersect_distinct`]
+//! remains as the hand-written reference that benches and planner tests
+//! compare against, row for row and spill for spill.
 
 use std::rc::Rc;
 
@@ -48,7 +56,10 @@ where
     .collect();
 
     if runs.len() <= 1 {
-        let run = runs.into_iter().next().unwrap_or_else(|| Run::empty(key_len));
+        let run = runs
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| Run::empty(key_len));
         return DistinctSortOutput(Dedup::new(SortOutput::Memory(run.cursor())));
     }
 
@@ -58,8 +69,7 @@ where
         let mut next = Vec::new();
         for chunk in handles.chunks(fan_in) {
             let level: Vec<Run> = chunk.iter().map(|&h| storage.read_run(h)).collect();
-            let merged: Vec<OvcRow> =
-                Dedup::new(merge_runs(level, key_len, stats)).collect();
+            let merged: Vec<OvcRow> = Dedup::new(merge_runs(level, key_len, stats)).collect();
             next.push(storage.write_run(Run::from_coded(merged, key_len)));
         }
         handles = next;
@@ -198,7 +208,11 @@ mod tests {
         let stats = Stats::new_shared();
         let mut s1 = MemoryRunStorage::new(Rc::clone(&stats));
         let mut s2 = MemoryRunStorage::new(Rc::clone(&stats));
-        let cfg = IntersectConfig { key_len: 1, memory_rows: 256, fan_in: 64 };
+        let cfg = IntersectConfig {
+            key_len: 1,
+            memory_rows: 256,
+            fan_in: 64,
+        };
         let out = sort_intersect_distinct(t1, t2, cfg, &mut s1, &mut s2, &stats);
         let got: Vec<u64> = out.iter().map(|r| r.row.cols()[0]).collect();
         assert_eq!(got, expect);
@@ -215,7 +229,11 @@ mod tests {
         let stats = Stats::new_shared();
         let mut s1 = MemoryRunStorage::new(Rc::clone(&stats));
         let mut s2 = MemoryRunStorage::new(Rc::clone(&stats));
-        let cfg = IntersectConfig { key_len: 1, memory_rows: 400, fan_in: 64 };
+        let cfg = IntersectConfig {
+            key_len: 1,
+            memory_rows: 400,
+            fan_in: 64,
+        };
         let _ = sort_intersect_distinct(t1, t2, cfg, &mut s1, &mut s2, &stats);
         assert!(
             stats.rows_spilled() <= 8000,
@@ -229,7 +247,11 @@ mod tests {
         let stats = Stats::new_shared();
         let mut s1 = MemoryRunStorage::new(Rc::clone(&stats));
         let mut s2 = MemoryRunStorage::new(Rc::clone(&stats));
-        let cfg = IntersectConfig { key_len: 1, memory_rows: 1000, fan_in: 64 };
+        let cfg = IntersectConfig {
+            key_len: 1,
+            memory_rows: 1000,
+            fan_in: 64,
+        };
         let out = sort_intersect_distinct(
             table(100, 10, 7),
             table(100, 10, 8),

@@ -33,7 +33,12 @@ impl<S: OvcStream, F: FnMut(&Row) -> Row> Project<S, F> {
     pub fn new(input: S, surviving_key: usize, map: F) -> Self {
         let in_key_len = input.key_len();
         assert!(surviving_key <= in_key_len);
-        Project { input, map, in_key_len, surviving_key }
+        Project {
+            input,
+            map,
+            in_key_len,
+            surviving_key,
+        }
     }
 }
 
@@ -71,7 +76,11 @@ impl<S: OvcStream> ClampKey<S> {
     pub fn new(input: S, new_key_len: usize) -> Self {
         let in_key_len = input.key_len();
         assert!(new_key_len <= in_key_len);
-        ClampKey { input, in_key_len, new_key_len }
+        ClampKey {
+            input,
+            in_key_len,
+            new_key_len,
+        }
     }
 }
 
@@ -122,10 +131,7 @@ mod tests {
         let pairs = collect_pairs(proj);
         assert_codes_exact(&pairs, 2);
         // Expected offsets under the 2-column key: Table 1 offsets clamped.
-        let offsets: Vec<usize> = pairs
-            .iter()
-            .map(|(_, c)| c.offset(2))
-            .collect();
+        let offsets: Vec<usize> = pairs.iter().map(|(_, c)| c.offset(2)).collect();
         assert_eq!(offsets, vec![0, 2, 1, 1, 2, 2, 2]);
     }
 
@@ -153,10 +159,7 @@ mod tests {
 
     #[test]
     fn reordering_payload_columns() {
-        let rows = vec![
-            Row::new(vec![1, 10, 100]),
-            Row::new(vec![2, 20, 200]),
-        ];
+        let rows = vec![Row::new(vec![1, 10, 100]), Row::new(vec![2, 20, 200])];
         let input = VecStream::from_sorted_rows(rows, 1);
         let proj = Project::new(input, 1, |r| r.project(&[0, 2, 1]));
         let pairs = collect_pairs(proj);

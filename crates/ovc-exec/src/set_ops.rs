@@ -65,7 +65,11 @@ impl<L: OvcStream, R: OvcStream> SetOperation<L, R> {
     /// Build the operator over two streams with equal key length.
     pub fn new(left: L, right: R, op: SetOp, stats: Rc<Stats>) -> Self {
         let key_len = left.key_len();
-        assert_eq!(key_len, right.key_len(), "set operands must agree on the key");
+        assert_eq!(
+            key_len,
+            right.key_len(),
+            "set operands must agree on the key"
+        );
         SetOperation {
             groups: GroupedMerge::new(left, right, key_len, stats),
             op,
@@ -166,8 +170,7 @@ mod tests {
                 let setop = SetOperation::new(stream(l.clone()), stream(r.clone()), op, stats);
                 let pairs = collect_pairs(setop);
                 assert_codes_exact(&pairs, 2);
-                let got: Vec<Vec<u64>> =
-                    pairs.iter().map(|(row, _)| row.cols().to_vec()).collect();
+                let got: Vec<Vec<u64>> = pairs.iter().map(|(row, _)| row.cols().to_vec()).collect();
                 assert_eq!(got, reference(&l, &r, op), "{op:?}");
             }
         }

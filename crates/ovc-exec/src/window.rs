@@ -112,8 +112,7 @@ impl<S: OvcStream> Window<S> {
     /// Is this row a peer of its predecessor (equal partition + order
     /// keys)?  Code inspection only.
     fn is_peer(&self, r: &OvcRow) -> bool {
-        r.code.is_valid()
-            && r.code.offset(self.in_key_len) >= self.partition_len + self.order_len
+        r.code.is_valid() && r.code.offset(self.in_key_len) >= self.partition_len + self.order_len
     }
 
     fn annotate(&mut self, r: &OvcRow, partition_count: Option<u64>) -> Row {
@@ -289,7 +288,11 @@ mod tests {
             input(),
             1,
             1,
-            vec![WindowFunc::RowNumber, WindowFunc::Rank, WindowFunc::DenseRank],
+            vec![
+                WindowFunc::RowNumber,
+                WindowFunc::Rank,
+                WindowFunc::DenseRank,
+            ],
         );
         let got: Vec<Vec<u64>> = w.map(|r| r.row.cols()[3..].to_vec()).collect();
         assert_eq!(
@@ -342,7 +345,13 @@ mod tests {
         let got: Vec<u64> = w.map(|r| *r.row.cols().last().unwrap()).collect();
         assert_eq!(
             got,
-            vec![crate::merge_join::NULL_VALUE, 10, 20, crate::merge_join::NULL_VALUE, 40]
+            vec![
+                crate::merge_join::NULL_VALUE,
+                10,
+                20,
+                crate::merge_join::NULL_VALUE,
+                40
+            ]
         );
     }
 
@@ -358,7 +367,10 @@ mod tests {
         let s = VecStream::from_sorted_rows(vec![], 2);
         assert_eq!(Window::new(s, 1, 0, vec![WindowFunc::RowNumber]).count(), 0);
         let s = VecStream::from_sorted_rows(vec![], 2);
-        assert_eq!(Window::new(s, 1, 0, vec![WindowFunc::PartitionCount]).count(), 0);
+        assert_eq!(
+            Window::new(s, 1, 0, vec![WindowFunc::PartitionCount]).count(),
+            0
+        );
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Named base tables and the statistics the planner reads off them.
+//!
+//! Section 4.11 of the paper: "Data access is a source of offset-value
+//! codes as important as sorting."  A [`Table`] registered as *sorted*
+//! derives its codes **once** (the storage-layer effort the paper says
+//! scans should preserve) and every scan of it streams those codes for
+//! free; an unsorted table only offers raw rows, and any interesting
+//! ordering above it must be earned with a sort.
+
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+use ovc_core::derive::{derive_codes, is_sorted};
+use ovc_core::{OvcRow, Row};
+
+/// A base table plus the cheap exact statistics the cost model feeds on.
+#[derive(Clone, Debug)]
+pub struct Table {
+    rows: Vec<Row>,
+    /// Codes of `rows`, derived once at registration (sorted tables only).
+    coded: Option<Vec<OvcRow>>,
+    width: usize,
+    sorted_key: usize,
+    /// Exact count of distinct full rows (one hash pass at registration).
+    distinct_rows: usize,
+}
+
+impl Table {
+    /// Register an unsorted heap table.
+    pub fn unsorted(rows: Vec<Row>) -> Table {
+        let width = rows.first().map(Row::width).unwrap_or(1);
+        let distinct_rows = count_distinct(&rows);
+        Table {
+            rows,
+            coded: None,
+            width,
+            sorted_key: 0,
+            distinct_rows,
+        }
+    }
+
+    /// Register a table stored sorted on its first `sorted_key` columns.
+    ///
+    /// Codes are derived here, once — scans replay them without any
+    /// column comparison.  Panics if the rows are not actually sorted.
+    pub fn sorted(rows: Vec<Row>, sorted_key: usize) -> Table {
+        assert!(
+            is_sorted(&rows, sorted_key),
+            "Table::sorted requires rows sorted on the leading {sorted_key} columns"
+        );
+        let width = rows.first().map(Row::width).unwrap_or(sorted_key.max(1));
+        assert!(sorted_key <= width, "sort key cannot exceed the row width");
+        let distinct_rows = count_distinct(&rows);
+        let codes = derive_codes(&rows, sorted_key);
+        let coded = rows
+            .iter()
+            .cloned()
+            .zip(codes)
+            .map(|(row, code)| OvcRow::new(row, code))
+            .collect();
+        Table {
+            rows,
+            coded: Some(coded),
+            width,
+            sorted_key,
+            distinct_rows,
+        }
+    }
+
+    /// Sort the rows on the full row and register the result (test and
+    /// example convenience).
+    pub fn sorted_from_unsorted(mut rows: Vec<Row>) -> Table {
+        rows.sort();
+        let width = rows.first().map(Row::width).unwrap_or(1);
+        Table::sorted(rows, width)
+    }
+
+    /// The stored rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Pre-coded rows, when the table is stored sorted.
+    pub fn coded(&self) -> Option<&[OvcRow]> {
+        self.coded.as_deref()
+    }
+
+    /// Number of columns per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Leading columns the stored rows are sorted on (0 = unsorted).
+    pub fn sorted_key(&self) -> usize {
+        self.sorted_key
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Exact number of distinct full rows.
+    pub fn distinct_rows(&self) -> usize {
+        self.distinct_rows
+    }
+}
+
+fn count_distinct(rows: &[Row]) -> usize {
+    rows.iter().collect::<HashSet<_>>().len()
+}
+
+/// The planner's name → table mapping.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register `table` under `name`, replacing any previous entry.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) -> &mut Self {
+        self.tables.insert(name.into(), table);
+        self
+    }
+
+    /// Look a table up by name.
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Names of all registered tables.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovc_core::derive::assert_codes_exact;
+    use ovc_core::Ovc;
+
+    #[test]
+    fn sorted_table_precomputes_exact_codes() {
+        let t = Table::sorted(ovc_core::table1::rows(), 4);
+        assert_eq!(t.sorted_key(), 4);
+        assert_eq!(t.width(), 4);
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.distinct_rows(), 6); // Table 1 holds one duplicate
+        let pairs: Vec<(Row, Ovc)> = t
+            .coded()
+            .expect("sorted table is coded")
+            .iter()
+            .map(|r| (r.row.clone(), r.code))
+            .collect();
+        assert_codes_exact(&pairs, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires rows sorted")]
+    fn sorted_rejects_unsorted_rows() {
+        let mut rows = ovc_core::table1::rows();
+        rows.reverse();
+        let _ = Table::sorted(rows, 4);
+    }
+
+    #[test]
+    fn unsorted_table_has_no_codes() {
+        let t = Table::unsorted(vec![Row::new(vec![3, 1]), Row::new(vec![1, 2])]);
+        assert!(t.coded().is_none());
+        assert_eq!(t.sorted_key(), 0);
+        assert_eq!(t.width(), 2);
+    }
+
+    #[test]
+    fn catalog_registration_and_lookup() {
+        let mut cat = Catalog::new();
+        cat.register("t", Table::unsorted(vec![Row::new(vec![1])]));
+        assert!(cat.get("t").is_some());
+        assert!(cat.get("missing").is_none());
+        assert_eq!(cat.table_names().collect::<Vec<_>>(), vec!["t"]);
+    }
+
+    #[test]
+    fn empty_table_defaults() {
+        let t = Table::unsorted(vec![]);
+        assert_eq!(t.width(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.distinct_rows(), 0);
+    }
+}

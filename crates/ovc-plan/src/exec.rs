@@ -1,0 +1,305 @@
+//! Lowering physical plans onto the operator library and running them.
+//!
+//! The executor walks a [`PhysicalPlan`] bottom-up, building real
+//! operator pipelines: coded paths become [`OvcStream`] stacks over
+//! `ovc-exec`/`ovc-sort` operators, hash paths call the `ovc-baseline`
+//! algorithms on materialized rows.  The boundary between the two worlds
+//! is explicit in the plan (a hash operator's output is rows; a sort
+//! brings rows back into the coded world), so the executor never guesses.
+//!
+//! [`ExecOptions::verify_trusted`] turns every [`PhysOp::TrustSorted`]
+//! marker — an *elided sort* — into a checked assertion: the stream the
+//! planner trusted is drained and audited with
+//! [`ovc_core::derive::assert_codes_exact`] before flowing on.  The
+//! planner property tests run with this enabled, which is what "every
+//! elided sort is justified" means operationally.
+
+use std::rc::Rc;
+
+use ovc_core::derive::assert_codes_exact;
+use ovc_core::{Ovc, OvcRow, OvcStream, Row, Stats, VecStream};
+use ovc_exec::plans::in_sort_distinct;
+use ovc_exec::{
+    Dedup, Filter as FilterOp, GroupAggregate, MergeJoin, Project as ProjectOp, SetOperation,
+};
+use ovc_sort::{external_sort, MemoryRunStorage, SortConfig};
+
+use crate::catalog::Catalog;
+use crate::physical::{PhysOp, PhysicalPlan};
+
+/// Executor knobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOptions {
+    /// Audit every elided sort: drain each trusted stream and panic
+    /// unless its codes are exact (test harness for the planner).
+    pub verify_trusted: bool,
+}
+
+/// What a (sub)plan produced: a coded sorted stream, or bare rows.
+pub enum Output {
+    /// Sorted stream carrying exact offset-value codes.
+    Stream(Box<dyn OvcStream>),
+    /// Materialized rows in arbitrary order (hash-side operators).
+    Rows(Vec<Row>),
+}
+
+impl Output {
+    /// Materialize as rows, dropping codes if present.
+    pub fn into_rows(self) -> Vec<Row> {
+        match self {
+            Output::Stream(s) => s.map(|r| r.row).collect(),
+            Output::Rows(rows) => rows,
+        }
+    }
+
+    /// Materialize as coded rows; panics if this output is unordered
+    /// (callers decide via the plan's properties, not by trial).
+    pub fn into_coded(self) -> Vec<OvcRow> {
+        match self {
+            Output::Stream(s) => s.collect(),
+            Output::Rows(_) => panic!("plan output is unordered; no codes to collect"),
+        }
+    }
+
+    /// The coded stream; panics if this output is unordered.
+    pub fn into_stream(self) -> Box<dyn OvcStream> {
+        match self {
+            Output::Stream(s) => s,
+            Output::Rows(_) => panic!("plan output is unordered; not a coded stream"),
+        }
+    }
+
+    /// Is this a coded stream?
+    pub fn is_stream(&self) -> bool {
+        matches!(self, Output::Stream(_))
+    }
+}
+
+/// Run a physical plan against a catalog, accounting into `stats`.
+///
+/// Panics if the plan references tables missing from `catalog` or if its
+/// structure violates operator contracts — both are planner bugs, not
+/// runtime conditions, so they fail loudly.
+pub fn execute(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    stats: &Rc<Stats>,
+    options: &ExecOptions,
+) -> Output {
+    let cx = Cx {
+        catalog,
+        stats,
+        options,
+    };
+    cx.run(plan)
+}
+
+/// As [`execute`], but demand a coded stream (the plan root must be
+/// ordered; the planner's `Sort`/`TopK` roots and all merge-side plans
+/// are).
+pub fn execute_stream(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    stats: &Rc<Stats>,
+    options: &ExecOptions,
+) -> Box<dyn OvcStream> {
+    execute(plan, catalog, stats, options).into_stream()
+}
+
+struct Cx<'a> {
+    catalog: &'a Catalog,
+    stats: &'a Rc<Stats>,
+    options: &'a ExecOptions,
+}
+
+impl Cx<'_> {
+    fn table(&self, name: &str) -> &crate::catalog::Table {
+        self.catalog
+            .get(name)
+            .unwrap_or_else(|| panic!("plan references unknown table {name}"))
+    }
+
+    fn run(&self, plan: &PhysicalPlan) -> Output {
+        match &plan.op {
+            PhysOp::ScanRows { table } => Output::Rows(self.table(table).rows().to_vec()),
+            PhysOp::ScanCoded { table } => {
+                let t = self.table(table);
+                let coded = t
+                    .coded()
+                    .unwrap_or_else(|| panic!("table {table} is not stored sorted"))
+                    .to_vec();
+                Output::Stream(Box::new(VecStream::from_coded(coded, t.sorted_key())))
+            }
+            PhysOp::SortOvc {
+                input,
+                key_len,
+                memory_rows,
+                fan_in,
+            } => {
+                let rows = self.run(input).into_rows();
+                let mut storage = MemoryRunStorage::new(Rc::clone(self.stats));
+                let cfg = SortConfig::new(*key_len, *memory_rows).with_fan_in(*fan_in);
+                Output::Stream(Box::new(external_sort(rows, cfg, &mut storage, self.stats)))
+            }
+            PhysOp::TrustSorted { input, key_len } => {
+                let stream = self.run(input).into_stream();
+                if self.options.verify_trusted {
+                    // Audit the elision: the stream the planner trusted
+                    // must carry exact codes at its own arity (which
+                    // implies the required prefix ordering).
+                    let arity = stream.key_len();
+                    debug_assert!(*key_len <= arity);
+                    let coded: Vec<OvcRow> = stream.collect();
+                    let pairs: Vec<(Row, Ovc)> =
+                        coded.iter().map(|r| (r.row.clone(), r.code)).collect();
+                    assert_codes_exact(&pairs, arity);
+                    Output::Stream(Box::new(VecStream::from_coded(coded, arity)))
+                } else {
+                    Output::Stream(stream)
+                }
+            }
+            PhysOp::InSortDistinct {
+                input,
+                key_len,
+                memory_rows,
+                fan_in,
+            } => {
+                let rows = self.run(input).into_rows();
+                let mut storage = MemoryRunStorage::new(Rc::clone(self.stats));
+                Output::Stream(Box::new(in_sort_distinct(
+                    rows,
+                    *key_len,
+                    *memory_rows,
+                    *fan_in,
+                    &mut storage,
+                    self.stats,
+                )))
+            }
+            PhysOp::DedupCodes { input } => {
+                let stream = self.run(input).into_stream();
+                Output::Stream(Box::new(Dedup::new(stream)))
+            }
+            PhysOp::HashDistinct { input, memory_rows } => {
+                let rows = self.run(input).into_rows();
+                Output::Rows(ovc_baseline::hash_aggregate_distinct(
+                    rows,
+                    *memory_rows,
+                    self.stats,
+                ))
+            }
+            PhysOp::Filter { input, pred } => match self.run(input) {
+                Output::Stream(s) => {
+                    let p = pred.clone();
+                    Output::Stream(Box::new(FilterOp::new(s, move |row: &Row| p.eval(row))))
+                }
+                Output::Rows(rows) => {
+                    Output::Rows(rows.into_iter().filter(|r| pred.eval(r)).collect())
+                }
+            },
+            PhysOp::Project {
+                input,
+                cols,
+                surviving_key,
+            } => match self.run(input) {
+                Output::Stream(s) => {
+                    let cols = cols.clone();
+                    Output::Stream(Box::new(ProjectOp::new(
+                        s,
+                        *surviving_key,
+                        move |row: &Row| row.project(&cols),
+                    )))
+                }
+                Output::Rows(rows) => Output::Rows(rows.iter().map(|r| r.project(cols)).collect()),
+            },
+            PhysOp::GroupOvc {
+                input,
+                group_len,
+                aggs,
+            } => {
+                let stream = self.run(input).into_stream();
+                Output::Stream(Box::new(GroupAggregate::new(
+                    stream,
+                    *group_len,
+                    aggs.clone(),
+                )))
+            }
+            PhysOp::MergeJoinOvc {
+                left,
+                right,
+                join_len,
+                join_type,
+            } => {
+                let (lw, rw) = (left.props.width, right.props.width);
+                let l = self.run(left).into_stream();
+                let r = self.run(right).into_stream();
+                Output::Stream(Box::new(MergeJoin::new(
+                    l,
+                    r,
+                    *join_len,
+                    *join_type,
+                    lw,
+                    rw,
+                    Rc::clone(self.stats),
+                )))
+            }
+            PhysOp::GraceHashJoin {
+                left,
+                right,
+                join_len,
+                memory_rows,
+            } => {
+                let l = self.run(left).into_rows();
+                let r = self.run(right).into_rows();
+                Output::Rows(ovc_baseline::grace_hash_join(
+                    l,
+                    r,
+                    *join_len,
+                    *memory_rows,
+                    self.stats,
+                ))
+            }
+            PhysOp::SetOpMerge { left, right, op } => {
+                let l = self.run(left).into_stream();
+                let r = self.run(right).into_stream();
+                Output::Stream(Box::new(SetOperation::new(
+                    l,
+                    r,
+                    *op,
+                    Rc::clone(self.stats),
+                )))
+            }
+            PhysOp::TopK { input, k } => {
+                let stream = self.run(input).into_stream();
+                Output::Stream(Box::new(TakeStream {
+                    key_len: stream.key_len(),
+                    inner: stream,
+                    left: *k,
+                }))
+            }
+        }
+    }
+}
+
+/// First-`k` adapter: a prefix of a coded stream stays exactly coded.
+struct TakeStream {
+    inner: Box<dyn OvcStream>,
+    key_len: usize,
+    left: usize,
+}
+
+impl Iterator for TakeStream {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        self.inner.next()
+    }
+}
+
+impl OvcStream for TakeStream {
+    fn key_len(&self) -> usize {
+        self.key_len
+    }
+}

@@ -1,0 +1,176 @@
+//! The paper's Figure 5 experiment, expressed through the planner.
+//!
+//! The repository's first generation hand-wired both Figure 5 plans:
+//! `ovc_exec::plans::sort_intersect_distinct` (two in-sort duplicate
+//! removals feeding a code-consuming merge join) and
+//! `ovc_baseline::plans::hash_intersect_distinct` (two hash aggregations
+//! and a Grace hash join).  This module derives both from one logical
+//! query — `select B from T1 intersect select B from T2` — so the choice
+//! the paper's authors made by hand is now the planner's to make, and
+//! every future workload flows through the same machinery.
+
+use std::rc::Rc;
+
+use ovc_core::{Row, Stats};
+
+use crate::catalog::{Catalog, Table};
+use crate::exec::{execute, ExecOptions, Output};
+use crate::logical::{LogicalPlan, SetOp};
+use crate::physical::PhysicalPlan;
+use crate::planner::{PlanError, Planner, PlannerConfig};
+
+/// The Figure 5 logical query: `select B from T1 intersect select B from
+/// T2` over tables registered as `t1` and `t2`.
+pub fn intersect_distinct_query() -> LogicalPlan {
+    LogicalPlan::scan("t1").set_op(LogicalPlan::scan("t2"), SetOp::Intersect)
+}
+
+/// Catalog holding the two Figure 5 inputs as unsorted heap tables (the
+/// experiment's setting: no interesting ordering exists yet, both plans
+/// must earn their own).
+pub fn catalog_unsorted(t1: Vec<Row>, t2: Vec<Row>) -> Catalog {
+    let mut cat = Catalog::new();
+    cat.register("t1", Table::unsorted(t1));
+    cat.register("t2", Table::unsorted(t2));
+    cat
+}
+
+/// Catalog holding the two inputs stored sorted (and therefore coded):
+/// the "interesting orderings available" regime in which the planner
+/// should elide every sort.
+pub fn catalog_sorted(mut t1: Vec<Row>, mut t2: Vec<Row>) -> Catalog {
+    t1.sort();
+    t2.sort();
+    let w1 = t1.first().map(Row::width).unwrap_or(1);
+    let w2 = t2.first().map(Row::width).unwrap_or(1);
+    let mut cat = Catalog::new();
+    cat.register("t1", Table::sorted(t1, w1));
+    cat.register("t2", Table::sorted(t2, w2));
+    cat
+}
+
+/// Plan the Figure 5 query against `catalog`.
+pub fn plan_intersect(catalog: &Catalog, config: PlannerConfig) -> Result<PhysicalPlan, PlanError> {
+    Planner::new(catalog, config).plan(&intersect_distinct_query())
+}
+
+/// Plan and run the Figure 5 query in one call, returning its output and
+/// the chosen plan (spills and comparisons accumulate in `stats`).
+pub fn run_intersect(
+    catalog: &Catalog,
+    config: PlannerConfig,
+    stats: &Rc<Stats>,
+) -> Result<(PhysicalPlan, Output), PlanError> {
+    let plan = plan_intersect(catalog, config)?;
+    let out = execute(&plan, catalog, stats, &ExecOptions::default());
+    Ok((plan, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Preference;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    fn table(n: usize, domain: u64, seed: u64) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Row::new(vec![rng.gen_range(0..domain)]))
+            .collect()
+    }
+
+    fn reference(t1: &[Row], t2: &[Row]) -> Vec<u64> {
+        let a: BTreeSet<u64> = t1.iter().map(|r| r.cols()[0]).collect();
+        let b: BTreeSet<u64> = t2.iter().map(|r| r.cols()[0]).collect();
+        a.intersection(&b).copied().collect()
+    }
+
+    #[test]
+    fn planner_reproduces_figure5_sort_plan() {
+        let (t1, t2) = (table(3000, 40, 1), table(3000, 60, 2));
+        let cat = catalog_unsorted(t1.clone(), t2.clone());
+        let cfg = PlannerConfig::default()
+            .with_memory_rows(256)
+            .with_preference(Preference::ForceSortBased);
+        let plan = plan_intersect(&cat, cfg).expect("plans");
+        // Two in-sort dedups under one merge set operation — Figure 5's
+        // sort side, with only two blocking operators.
+        assert_eq!(plan.count_op("InSortDistinct"), 2, "{plan}");
+        assert_eq!(plan.count_op("SetOpMerge"), 1, "{plan}");
+        assert!(!plan.uses_hash_based_ops(), "{plan}");
+
+        let stats = Stats::new_shared();
+        let out = execute(&plan, &cat, &stats, &ExecOptions::default());
+        let got: Vec<u64> = out.into_rows().iter().map(|r| r.cols()[0]).collect();
+        assert_eq!(got, reference(&t1, &t2));
+    }
+
+    #[test]
+    fn planner_reproduces_figure5_hash_plan() {
+        let (t1, t2) = (table(3000, 40, 3), table(3000, 60, 4));
+        let cat = catalog_unsorted(t1.clone(), t2.clone());
+        let cfg = PlannerConfig::default()
+            .with_memory_rows(256)
+            .with_preference(Preference::ForceHashBased);
+        let plan = plan_intersect(&cat, cfg).expect("plans");
+        // Three blocking hash operators — Figure 5's hash side.
+        assert_eq!(plan.count_op("HashDistinct"), 2, "{plan}");
+        assert_eq!(plan.count_op("GraceHashJoin"), 1, "{plan}");
+        assert!(!plan.uses_sort_based_ops(), "{plan}");
+
+        let stats = Stats::new_shared();
+        let out = execute(&plan, &cat, &stats, &ExecOptions::default());
+        let mut got: Vec<u64> = out.into_rows().iter().map(|r| r.cols()[0]).collect();
+        got.sort();
+        assert_eq!(got, reference(&t1, &t2));
+    }
+
+    #[test]
+    fn sorted_coded_inputs_make_the_planner_elide_every_sort() {
+        let (t1, t2) = (table(2000, 50, 5), table(2000, 70, 6));
+        let cat = catalog_sorted(t1.clone(), t2.clone());
+        let cfg = PlannerConfig::default().with_memory_rows(200);
+        let plan = plan_intersect(&cat, cfg).expect("plans");
+        // The acceptance shape: sort-based, sorts elided, coded scans in.
+        assert!(plan.uses_sort_based_ops(), "{plan}");
+        assert!(!plan.uses_hash_based_ops(), "{plan}");
+        assert_eq!(plan.elided_sorts().len(), 2, "{plan}");
+        assert_eq!(
+            plan.count_op("SortOvc") + plan.count_op("InSortDistinct"),
+            0,
+            "{plan}"
+        );
+
+        let stats = Stats::new_shared();
+        let out = execute(
+            &plan,
+            &cat,
+            &stats,
+            &ExecOptions {
+                verify_trusted: true,
+            },
+        );
+        let got: Vec<u64> = out.into_rows().iter().map(|r| r.cols()[0]).collect();
+        assert_eq!(got, reference(&t1, &t2));
+        // Nothing blocked, so nothing spilled.
+        assert_eq!(stats.rows_spilled(), 0);
+    }
+
+    #[test]
+    fn auto_preference_picks_sort_when_memory_is_scarce() {
+        // Figure 6's regime: memory a tenth of the input, mostly distinct
+        // rows, so the hash plan spills (much of it twice) while the sort
+        // plan spills each row at most once.  The cost model must see it.
+        let n = 4000;
+        let (t1, t2) = (table(n, 3000, 7), table(n, 3000, 8));
+        let cat = catalog_unsorted(t1, t2);
+        let cfg = PlannerConfig::default().with_memory_rows(n / 10);
+        let plan = plan_intersect(&cat, cfg).expect("plans");
+        assert!(
+            plan.uses_sort_based_ops() && !plan.uses_hash_based_ops(),
+            "expected the sort-based plan under spill pressure:\n{plan}"
+        );
+    }
+}

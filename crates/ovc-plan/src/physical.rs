@@ -1,0 +1,383 @@
+//! Physical plans: chosen operators, inferred properties, estimated cost.
+//!
+//! Every node records the [`PhysicalProps`] the planner inferred for its
+//! output — sort order *and* offset-value-code availability — which is
+//! the machinery behind the paper's "interesting orderings" argument:
+//! properties flow bottom-up through order-preserving operators (by the
+//! theorems of `ovc_core::theorem`), and wherever a required ordering is
+//! already satisfied by a coded stream the planner records a
+//! [`PhysOp::TrustSorted`] marker instead of a sort.  Those markers are
+//! the *elided sorts*; tests audit them with
+//! [`ovc_core::derive::assert_codes_exact`] on the very streams they
+//! trusted.
+
+use std::fmt;
+
+use crate::cost::Cost;
+use crate::logical::{Aggregate, JoinType, Predicate, SetOp};
+
+/// Inferred output properties of a physical plan node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhysicalProps {
+    /// Columns per output row.
+    pub width: usize,
+    /// Leading columns the output is guaranteed sorted on (0 = none).
+    pub ordered_key: usize,
+    /// Does the output carry exact offset-value codes at `ordered_key`
+    /// arity?  (Every ordered operator in this repository produces them,
+    /// but the flag keeps the property explicit and auditable.)
+    pub coded: bool,
+    /// Estimated output row count.
+    pub rows: f64,
+    /// Estimated distinct full rows in the output.
+    pub distinct_rows: f64,
+}
+
+impl PhysicalProps {
+    /// Does this output satisfy an ordering requirement on the leading
+    /// `key_len` columns with codes available?
+    pub fn satisfies_ordering(&self, key_len: usize) -> bool {
+        self.coded && self.ordered_key >= key_len
+    }
+}
+
+/// One physical operator, with children embedded.
+#[derive(Clone, Debug)]
+pub enum PhysOp {
+    /// Scan of a table stored sorted: replays codes derived at
+    /// registration (Section 4.11 — scans are a source of codes).
+    ScanCoded {
+        /// Catalog table name.
+        table: String,
+    },
+    /// Scan of an unsorted table: raw rows, no order, no codes.
+    ScanRows {
+        /// Catalog table name.
+        table: String,
+    },
+    /// External merge sort with offset-value coding (`ovc-sort`).
+    SortOvc {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Sort-key length (code arity) of the output.
+        key_len: usize,
+        /// Memory budget in rows (stamped from the planner config).
+        memory_rows: usize,
+        /// Merge fan-in.
+        fan_in: usize,
+    },
+    /// **Elided sort**: the input already carries the required ordering
+    /// and exact codes, so no work happens here.  The node stays in the
+    /// plan as an auditable record of what the planner trusted.
+    TrustSorted {
+        /// Input plan (already ordered and coded).
+        input: Box<PhysicalPlan>,
+        /// The ordering requirement that was satisfied without sorting.
+        key_len: usize,
+    },
+    /// External sort with duplicate removal folded into run generation
+    /// and merging (Figure 5's sort-side blocking operator).
+    InSortDistinct {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Sort-key length — the full row width under set semantics.
+        key_len: usize,
+        /// Memory budget in rows.
+        memory_rows: usize,
+        /// Merge fan-in.
+        fan_in: usize,
+    },
+    /// Streaming duplicate removal by code inspection (input must be
+    /// sorted and coded on the full row).
+    DedupCodes {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+    },
+    /// Hash-based duplicate removal (`ovc-baseline`): arbitrary output
+    /// order, spills every row when over budget.
+    HashDistinct {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Memory budget in rows.
+        memory_rows: usize,
+    },
+    /// Streaming predicate filter (filter theorem for output codes).
+    Filter {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Row predicate.
+        pred: Predicate,
+    },
+    /// Column projection; keeps codes for the surviving key prefix.
+    Project {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Column indices to emit.
+        cols: Vec<usize>,
+        /// Leading sort-key columns that survive in place.
+        surviving_key: usize,
+    },
+    /// In-stream grouping/aggregation over a sorted coded input.
+    GroupOvc {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Grouping-key length.
+        group_len: usize,
+        /// Aggregates appended after the group key.
+        aggs: Vec<Aggregate>,
+    },
+    /// Merge join consuming and producing codes (Section 4.7).
+    MergeJoinOvc {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join-key length.
+        join_len: usize,
+        /// Join type.
+        join_type: JoinType,
+    },
+    /// Spilling Grace hash join (`ovc-baseline`), inner joins only.
+    GraceHashJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join-key length.
+        join_len: usize,
+        /// Memory budget in rows.
+        memory_rows: usize,
+    },
+    /// Merge-based set operation over sorted coded inputs.
+    SetOpMerge {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Which set operation.
+        op: SetOp,
+    },
+    /// First `k` rows of a sorted coded input.
+    TopK {
+        /// Input plan (ordered).
+        input: Box<PhysicalPlan>,
+        /// Rows to keep.
+        k: usize,
+    },
+}
+
+/// A physical plan node: operator, inferred properties, cumulative cost.
+#[derive(Clone, Debug)]
+pub struct PhysicalPlan {
+    /// The operator and its children.
+    pub op: PhysOp,
+    /// Inferred output properties.
+    pub props: PhysicalProps,
+    /// Estimated cumulative cost of the whole subtree.
+    pub cost: Cost,
+}
+
+impl PhysicalPlan {
+    /// Operator name for display and tests.
+    pub fn op_name(&self) -> &'static str {
+        match &self.op {
+            PhysOp::ScanCoded { .. } => "ScanCoded",
+            PhysOp::ScanRows { .. } => "ScanRows",
+            PhysOp::SortOvc { .. } => "SortOvc",
+            PhysOp::TrustSorted { .. } => "TrustSorted",
+            PhysOp::InSortDistinct { .. } => "InSortDistinct",
+            PhysOp::DedupCodes { .. } => "DedupCodes",
+            PhysOp::HashDistinct { .. } => "HashDistinct",
+            PhysOp::Filter { .. } => "Filter",
+            PhysOp::Project { .. } => "Project",
+            PhysOp::GroupOvc { .. } => "GroupOvc",
+            PhysOp::MergeJoinOvc { .. } => "MergeJoinOvc",
+            PhysOp::GraceHashJoin { .. } => "GraceHashJoin",
+            PhysOp::SetOpMerge { .. } => "SetOpMerge",
+            PhysOp::TopK { .. } => "TopK",
+        }
+    }
+
+    /// Children of this node, in order.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match &self.op {
+            PhysOp::ScanCoded { .. } | PhysOp::ScanRows { .. } => vec![],
+            PhysOp::SortOvc { input, .. }
+            | PhysOp::TrustSorted { input, .. }
+            | PhysOp::InSortDistinct { input, .. }
+            | PhysOp::DedupCodes { input }
+            | PhysOp::HashDistinct { input, .. }
+            | PhysOp::Filter { input, .. }
+            | PhysOp::Project { input, .. }
+            | PhysOp::GroupOvc { input, .. }
+            | PhysOp::TopK { input, .. } => vec![input],
+            PhysOp::MergeJoinOvc { left, right, .. }
+            | PhysOp::GraceHashJoin { left, right, .. }
+            | PhysOp::SetOpMerge { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// All nodes of the subtree, preorder.
+    pub fn nodes(&self) -> Vec<&PhysicalPlan> {
+        let mut out = vec![self];
+        for c in self.children() {
+            out.extend(c.nodes());
+        }
+        out
+    }
+
+    /// Count operators by name (test/inspection convenience).
+    pub fn count_op(&self, name: &str) -> usize {
+        self.nodes().iter().filter(|n| n.op_name() == name).count()
+    }
+
+    /// The elided-sort markers in this plan: every place the planner
+    /// trusted an existing ordering instead of sorting.
+    pub fn elided_sorts(&self) -> Vec<&PhysicalPlan> {
+        self.nodes()
+            .into_iter()
+            .filter(|n| matches!(n.op, PhysOp::TrustSorted { .. }))
+            .collect()
+    }
+
+    /// Does the plan contain any sort-based blocking/streaming-order
+    /// operator (the OVC side of the paper's comparison)?
+    pub fn uses_sort_based_ops(&self) -> bool {
+        self.nodes().iter().any(|n| {
+            matches!(
+                n.op,
+                PhysOp::SortOvc { .. }
+                    | PhysOp::InSortDistinct { .. }
+                    | PhysOp::MergeJoinOvc { .. }
+                    | PhysOp::SetOpMerge { .. }
+                    | PhysOp::DedupCodes { .. }
+            )
+        })
+    }
+
+    /// Does the plan contain any hash-based operator (the baseline side)?
+    pub fn uses_hash_based_ops(&self) -> bool {
+        self.nodes().iter().any(|n| {
+            matches!(
+                n.op,
+                PhysOp::HashDistinct { .. } | PhysOp::GraceHashJoin { .. }
+            )
+        })
+    }
+
+    /// Render the plan tree with properties and costs (`EXPLAIN`).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        let detail = match &self.op {
+            PhysOp::ScanCoded { table } | PhysOp::ScanRows { table } => format!(" {table}"),
+            PhysOp::SortOvc { key_len, .. } => format!(" key={key_len}"),
+            PhysOp::TrustSorted { key_len, .. } => format!(" key={key_len} (sort elided)"),
+            PhysOp::InSortDistinct { key_len, .. } => format!(" key={key_len}"),
+            PhysOp::Filter { pred, .. } => format!(" [{pred}]"),
+            PhysOp::Project { cols, .. } => format!(" {cols:?}"),
+            PhysOp::GroupOvc { group_len, .. } => format!(" group={group_len}"),
+            PhysOp::MergeJoinOvc {
+                join_len,
+                join_type,
+                ..
+            } => {
+                format!(" {join_type:?} on={join_len}")
+            }
+            PhysOp::GraceHashJoin { join_len, .. } => format!(" Inner on={join_len}"),
+            PhysOp::SetOpMerge { op, .. } => format!(" {op:?}"),
+            PhysOp::TopK { k, .. } => format!(" k={k}"),
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "{pad}{}{detail}  [rows~{:.0}, ordered={}, coded={}, spill~{:.0}]",
+            self.op_name(),
+            self.props.rows,
+            self.props.ordered_key,
+            self.props.coded,
+            self.cost.spill_rows,
+        );
+        for c in self.children() {
+            c.explain_into(out, depth + 1);
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(name: &str) -> PhysicalPlan {
+        PhysicalPlan {
+            op: PhysOp::ScanCoded { table: name.into() },
+            props: PhysicalProps {
+                width: 1,
+                ordered_key: 1,
+                coded: true,
+                rows: 10.0,
+                distinct_rows: 10.0,
+            },
+            cost: Cost::zero(),
+        }
+    }
+
+    #[test]
+    fn tree_walks_and_counters() {
+        let l = leaf("a");
+        let r = leaf("b");
+        let join = PhysicalPlan {
+            props: l.props,
+            cost: Cost::zero(),
+            op: PhysOp::MergeJoinOvc {
+                left: Box::new(PhysicalPlan {
+                    props: l.props,
+                    cost: Cost::zero(),
+                    op: PhysOp::TrustSorted {
+                        input: Box::new(l),
+                        key_len: 1,
+                    },
+                }),
+                right: Box::new(r),
+                join_len: 1,
+                join_type: JoinType::Inner,
+            },
+        };
+        assert_eq!(join.nodes().len(), 4);
+        assert_eq!(join.elided_sorts().len(), 1);
+        assert_eq!(join.count_op("ScanCoded"), 2);
+        assert!(join.uses_sort_based_ops());
+        assert!(!join.uses_hash_based_ops());
+        let ex = join.explain();
+        assert!(ex.contains("sort elided"), "{ex}");
+        assert!(ex.contains("MergeJoinOvc"), "{ex}");
+    }
+
+    #[test]
+    fn props_satisfaction() {
+        let p = PhysicalProps {
+            width: 3,
+            ordered_key: 2,
+            coded: true,
+            rows: 1.0,
+            distinct_rows: 1.0,
+        };
+        assert!(p.satisfies_ordering(1));
+        assert!(p.satisfies_ordering(2));
+        assert!(!p.satisfies_ordering(3));
+        let un = PhysicalProps { coded: false, ..p };
+        assert!(!un.satisfies_ordering(1));
+    }
+}

@@ -1,0 +1,861 @@
+//! The order-aware planner: logical algebra in, physical plan out.
+//!
+//! For every logical node the planner keeps (up to) two alternatives —
+//! one whose output is **sorted and coded** on the node's natural key,
+//! one with no order guarantee — and prices both with the cost model.
+//! Operators that require an ordering call [`Planner::ensure_ordered`]:
+//! when a child alternative already satisfies the requirement with exact
+//! offset-value codes, the planner **elides the sort**, recording a
+//! [`PhysOp::TrustSorted`] marker instead of a [`PhysOp::SortOvc`]; the
+//! justification is the property-propagation theorems of
+//! [`ovc_core::theorem`] (order-preserving operators produce exact codes
+//! from exact codes), and tests audit every marker with
+//! [`ovc_core::derive::assert_codes_exact`].
+//!
+//! This is the choice the paper's Section 6 evaluation makes by hand:
+//! between the sort-based Figure 5 plan (interesting orderings + codes)
+//! and the hash-based one (three blocking operators, rows spilled twice).
+
+use std::fmt;
+
+use ovc_core::CostWeights;
+
+use crate::catalog::Catalog;
+use crate::cost::{self, Cost};
+use crate::logical::{JoinType, Logical, LogicalPlan, SetOp};
+use crate::physical::{PhysOp, PhysicalPlan, PhysicalProps};
+
+/// Which side of the paper's comparison the planner may pick from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Preference {
+    /// Pick by estimated cost (the planner's purpose).
+    #[default]
+    Auto,
+    /// Use OVC sort-based operators wherever one exists (Figure 5 right).
+    ForceSortBased,
+    /// Use hash-based operators wherever one exists (Figure 5 left).
+    ForceHashBased,
+}
+
+/// Planner knobs; also stamped into blocking operators at lowering time.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannerConfig {
+    /// Memory budget in rows per blocking operator.
+    pub memory_rows: usize,
+    /// Merge fan-in for external sorts.
+    pub fan_in: usize,
+    /// Physical-operator preference.
+    pub preference: Preference,
+    /// Weights folding estimated counters into one scalar.
+    pub weights: CostWeights,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            memory_rows: 4096,
+            fan_in: 64,
+            preference: Preference::Auto,
+            weights: CostWeights::default(),
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// Override the memory budget.
+    pub fn with_memory_rows(mut self, memory_rows: usize) -> Self {
+        self.memory_rows = memory_rows.max(1);
+        self
+    }
+
+    /// Override the merge fan-in.
+    pub fn with_fan_in(mut self, fan_in: usize) -> Self {
+        self.fan_in = fan_in.max(2);
+        self
+    }
+
+    /// Override the preference.
+    pub fn with_preference(mut self, preference: Preference) -> Self {
+        self.preference = preference;
+        self
+    }
+}
+
+/// Why a logical plan could not be planned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// A scan references a table the catalog does not know.
+    UnknownTable(String),
+    /// Inputs or arguments violate an operator's schema contract.
+    Schema(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            PlanError::Schema(msg) => write!(f, "schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Alternatives kept per logical node: at most one plan per interesting
+/// physical-property class (the two-class core of a System-R style
+/// optimizer — "no ordering" and "sorted + coded on the natural key").
+struct Alts {
+    ordered: Option<PhysicalPlan>,
+    unordered: Option<PhysicalPlan>,
+}
+
+impl Alts {
+    /// Cheapest available alternative (ordered wins ties: its extra
+    /// properties are free at equal cost).
+    fn best(self, w: &CostWeights) -> PhysicalPlan {
+        match (self.ordered, self.unordered) {
+            (Some(o), Some(u)) => {
+                if o.cost.total(w) <= u.cost.total(w) {
+                    o
+                } else {
+                    u
+                }
+            }
+            (Some(o), None) => o,
+            (None, Some(u)) => u,
+            (None, None) => unreachable!("every node produces at least one alternative"),
+        }
+    }
+}
+
+/// The planner: borrows a catalog, holds a config.
+pub struct Planner<'a> {
+    catalog: &'a Catalog,
+    config: PlannerConfig,
+}
+
+impl<'a> Planner<'a> {
+    /// A planner over `catalog` with the given config.
+    pub fn new(catalog: &'a Catalog, config: PlannerConfig) -> Self {
+        Planner { catalog, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Plan a logical query, returning the cheapest physical plan.
+    pub fn plan(&self, query: &LogicalPlan) -> Result<PhysicalPlan, PlanError> {
+        Ok(self.alts(&query.root)?.best(&self.config.weights))
+    }
+
+    fn alts(&self, node: &Logical) -> Result<Alts, PlanError> {
+        match node {
+            Logical::Scan { table } => self.plan_scan(table),
+            Logical::Filter { input, pred } => {
+                let child = self.alts(input)?;
+                let mk = |input: PhysicalPlan| {
+                    let sel = pred.selectivity();
+                    let props = PhysicalProps {
+                        rows: input.props.rows * sel,
+                        distinct_rows: (input.props.distinct_rows * sel).max(1.0),
+                        ..input.props
+                    };
+                    let local = Cost {
+                        col_cmps: input.props.rows, // predicate column accesses
+                        ..cost::streaming(input.props.rows)
+                    };
+                    PhysicalPlan {
+                        cost: input.cost.plus(&local),
+                        props,
+                        op: PhysOp::Filter {
+                            input: Box::new(input),
+                            pred: pred.clone(),
+                        },
+                    }
+                };
+                Ok(Alts {
+                    ordered: child.ordered.map(mk),
+                    unordered: child.unordered.map(mk),
+                })
+            }
+            Logical::Project { input, cols } => self.plan_project(input, cols),
+            Logical::Distinct { input } => self.plan_distinct(input),
+            Logical::GroupBy {
+                input,
+                group_len,
+                aggs,
+            } => self.plan_group_by(input, *group_len, aggs),
+            Logical::Join {
+                left,
+                right,
+                join_len,
+                join_type,
+            } => self.plan_join(left, right, *join_len, *join_type),
+            Logical::SetOperation { left, right, op } => self.plan_set_op(left, right, *op),
+            Logical::Sort { input, key_len } => {
+                let child = self.alts(input)?;
+                let plan = self.ensure_ordered(&child, *key_len, false)?;
+                Ok(Alts {
+                    ordered: Some(plan),
+                    unordered: None,
+                })
+            }
+            Logical::TopK { input, key_len, k } => {
+                let child = self.alts(input)?;
+                let input = self.ensure_ordered(&child, *key_len, false)?;
+                let props = PhysicalProps {
+                    rows: input.props.rows.min(*k as f64),
+                    distinct_rows: input.props.distinct_rows.min(*k as f64),
+                    ..input.props
+                };
+                let plan = PhysicalPlan {
+                    cost: input.cost.plus(&cost::streaming(*k as f64)),
+                    props,
+                    op: PhysOp::TopK {
+                        input: Box::new(input),
+                        k: *k,
+                    },
+                };
+                Ok(Alts {
+                    ordered: Some(plan),
+                    unordered: None,
+                })
+            }
+        }
+    }
+
+    fn plan_scan(&self, table: &str) -> Result<Alts, PlanError> {
+        let t = self
+            .catalog
+            .get(table)
+            .ok_or_else(|| PlanError::UnknownTable(table.to_string()))?;
+        let base = PhysicalProps {
+            width: t.width(),
+            ordered_key: 0,
+            coded: false,
+            rows: t.len() as f64,
+            distinct_rows: t.distinct_rows() as f64,
+        };
+        let unordered = PhysicalPlan {
+            op: PhysOp::ScanRows {
+                table: table.to_string(),
+            },
+            props: base,
+            cost: Cost::zero(),
+        };
+        let ordered = (t.sorted_key() > 0).then(|| PhysicalPlan {
+            op: PhysOp::ScanCoded {
+                table: table.to_string(),
+            },
+            props: PhysicalProps {
+                ordered_key: t.sorted_key(),
+                coded: true,
+                ..base
+            },
+            cost: Cost::zero(),
+        });
+        Ok(Alts {
+            ordered,
+            unordered: Some(unordered),
+        })
+    }
+
+    fn plan_project(&self, input: &Logical, cols: &[usize]) -> Result<Alts, PlanError> {
+        let child = self.alts(input)?;
+        let child_width = child
+            .ordered
+            .as_ref()
+            .or(child.unordered.as_ref())
+            .map(|p| p.props.width)
+            .unwrap_or(0);
+        if let Some(&bad) = cols.iter().find(|&&c| c >= child_width) {
+            return Err(PlanError::Schema(format!(
+                "projection references column {bad} of a {child_width}-column input"
+            )));
+        }
+        // "If all columns in the sort key survive the projection, codes
+        // are the same; if not, the offset must be limited to the prefix
+        // that survives" (Section 4.2): the surviving key is the longest
+        // prefix of the input sort key kept in place.
+        let in_place = cols
+            .iter()
+            .enumerate()
+            .take_while(|&(i, &c)| c == i)
+            .count();
+        let dropped = child_width.saturating_sub(cols.len()) as i32;
+        let mk = |input: PhysicalPlan, surviving_key: usize| {
+            let props = PhysicalProps {
+                width: cols.len(),
+                ordered_key: surviving_key,
+                coded: input.props.coded && surviving_key > 0,
+                rows: input.props.rows,
+                distinct_rows: (input.props.distinct_rows * 0.8f64.powi(dropped)).max(1.0),
+            };
+            let local = cost::streaming(input.props.rows);
+            PhysicalPlan {
+                cost: input.cost.plus(&local),
+                props,
+                op: PhysOp::Project {
+                    input: Box::new(input),
+                    cols: cols.to_vec(),
+                    surviving_key,
+                },
+            }
+        };
+        let Alts {
+            ordered: child_ordered,
+            unordered: child_unordered,
+        } = child;
+        let ordered = child_ordered.as_ref().and_then(|o| {
+            let surviving = in_place.min(o.props.ordered_key);
+            (surviving > 0).then(|| mk(o.clone(), surviving))
+        });
+        // A projection that destroys the ordering still lowers over an
+        // ordered-only child (Sort, TopK, GroupBy outputs) as a plain
+        // unordered projection.
+        let unordered = child_unordered.map(|u| mk(u, 0)).or_else(|| {
+            if ordered.is_none() {
+                child_ordered.map(|o| mk(o, 0))
+            } else {
+                None
+            }
+        });
+        Ok(Alts { ordered, unordered })
+    }
+
+    fn plan_distinct(&self, input: &Logical) -> Result<Alts, PlanError> {
+        let child = self.alts(input)?;
+        let (width, rows, distinct) = child_shape(&child);
+        let w = &self.config.weights;
+
+        // Sort-based: trust an existing full-row ordering (streaming dedup
+        // by code inspection — one integer test per row) or fold the
+        // dedup into the sort itself.
+        let sorted = if self.config.preference == Preference::ForceHashBased {
+            None
+        } else {
+            let ordered_in = self.ensure_ordered_alternatives(&child, width, true)?;
+            Some(match ordered_in {
+                Ensured::Trusted(plan) => {
+                    let props = PhysicalProps {
+                        rows: distinct,
+                        distinct_rows: distinct,
+                        ..plan.props
+                    };
+                    PhysicalPlan {
+                        cost: plan.cost.plus(&cost::streaming(rows)),
+                        props,
+                        op: PhysOp::DedupCodes {
+                            input: Box::new(plan),
+                        },
+                    }
+                }
+                Ensured::Sorted(plan) => plan, // InSortDistinct already dedups
+            })
+        };
+
+        // Hash-based: arbitrary output order.
+        let hashed = if self.config.preference == Preference::ForceSortBased {
+            None
+        } else {
+            child_clone_best(&child, w).map(|input| {
+                let local = cost::hash_distinct(rows, width, self.config.memory_rows);
+                let props = PhysicalProps {
+                    width,
+                    ordered_key: 0,
+                    coded: false,
+                    rows: distinct,
+                    distinct_rows: distinct,
+                };
+                PhysicalPlan {
+                    cost: input.cost.plus(&local),
+                    props,
+                    op: PhysOp::HashDistinct {
+                        input: Box::new(input),
+                        memory_rows: self.config.memory_rows,
+                    },
+                }
+            })
+        };
+
+        Ok(Alts {
+            ordered: sorted,
+            unordered: hashed,
+        })
+    }
+
+    fn plan_group_by(
+        &self,
+        input: &Logical,
+        group_len: usize,
+        aggs: &[crate::logical::Aggregate],
+    ) -> Result<Alts, PlanError> {
+        let child = self.alts(input)?;
+        let (width, rows, distinct) = child_shape(&child);
+        if group_len > width {
+            return Err(PlanError::Schema(format!(
+                "group key of {group_len} columns exceeds input width {width}"
+            )));
+        }
+        // Grouping exploits sorted coded input (Figure 4's operator); the
+        // repository's hash side has no grouping aggregation, and the
+        // paper's point is that it should not need one.
+        let input = self.ensure_ordered(&child, group_len, false)?;
+        let groups = distinct
+            .powf(group_len as f64 / width.max(1) as f64)
+            .min(rows)
+            .max(1.0);
+        let props = PhysicalProps {
+            width: group_len + aggs.len(),
+            ordered_key: group_len,
+            coded: true,
+            rows: groups,
+            distinct_rows: groups,
+        };
+        let plan = PhysicalPlan {
+            cost: input.cost.plus(&cost::streaming(rows)),
+            props,
+            op: PhysOp::GroupOvc {
+                input: Box::new(input),
+                group_len,
+                aggs: aggs.to_vec(),
+            },
+        };
+        Ok(Alts {
+            ordered: Some(plan),
+            unordered: None,
+        })
+    }
+
+    fn plan_join(
+        &self,
+        left: &Logical,
+        right: &Logical,
+        join_len: usize,
+        join_type: JoinType,
+    ) -> Result<Alts, PlanError> {
+        let l = self.alts(left)?;
+        let r = self.alts(right)?;
+        let (lw, ln, ld) = child_shape(&l);
+        let (rw, rn, rd) = child_shape(&r);
+        if join_len > lw || join_len > rw {
+            return Err(PlanError::Schema(format!(
+                "join key of {join_len} columns exceeds input widths {lw}/{rw}"
+            )));
+        }
+        let w = &self.config.weights;
+
+        // Cardinality: containment assumption on the join key.
+        let ld_key = ld.powf(join_len as f64 / lw.max(1) as f64).max(1.0);
+        let rd_key = rd.powf(join_len as f64 / rw.max(1) as f64).max(1.0);
+        let inner_rows = (ln * rn / ld_key.max(rd_key)).max(1.0);
+        let (out_width, out_rows) = match join_type {
+            JoinType::Inner => (lw + rw - join_len, inner_rows),
+            JoinType::LeftOuter => (lw + rw - join_len, inner_rows + ln),
+            JoinType::RightOuter => (lw + rw - join_len, inner_rows + rn),
+            JoinType::FullOuter => (lw + rw - join_len, inner_rows + ln + rn),
+            JoinType::LeftSemi | JoinType::LeftAnti => (lw, (ln * 0.5).max(1.0)),
+        };
+
+        let hash_allowed =
+            join_type == JoinType::Inner && self.config.preference != Preference::ForceSortBased;
+        let merge_allowed = !(hash_allowed && self.config.preference == Preference::ForceHashBased);
+
+        let merged = if merge_allowed {
+            let li = self.ensure_ordered(&l, join_len, false)?;
+            let ri = self.ensure_ordered(&r, join_len, false)?;
+            let ordered_key = match join_type {
+                JoinType::LeftSemi | JoinType::LeftAnti => li.props.ordered_key,
+                _ => join_len,
+            };
+            let props = PhysicalProps {
+                width: out_width,
+                ordered_key,
+                coded: true,
+                rows: out_rows,
+                distinct_rows: out_rows,
+            };
+            Some(PhysicalPlan {
+                cost: li
+                    .cost
+                    .plus(&ri.cost)
+                    .plus(&cost::merge_streaming(ln, rn, join_len)),
+                props,
+                op: PhysOp::MergeJoinOvc {
+                    left: Box::new(li),
+                    right: Box::new(ri),
+                    join_len,
+                    join_type,
+                },
+            })
+        } else {
+            None
+        };
+
+        let hashed = if hash_allowed {
+            let li = child_clone_best(&l, w).expect("left alternatives");
+            let ri = child_clone_best(&r, w).expect("right alternatives");
+            let local = cost::grace_hash_join(ln, rn, join_len, self.config.memory_rows);
+            let props = PhysicalProps {
+                width: out_width,
+                ordered_key: 0,
+                coded: false,
+                rows: out_rows,
+                distinct_rows: out_rows,
+            };
+            Some(PhysicalPlan {
+                cost: li.cost.plus(&ri.cost).plus(&local),
+                props,
+                op: PhysOp::GraceHashJoin {
+                    left: Box::new(li),
+                    right: Box::new(ri),
+                    join_len,
+                    memory_rows: self.config.memory_rows,
+                },
+            })
+        } else {
+            None
+        };
+
+        Ok(Alts {
+            ordered: merged,
+            unordered: hashed,
+        })
+    }
+
+    fn plan_set_op(&self, left: &Logical, right: &Logical, op: SetOp) -> Result<Alts, PlanError> {
+        let l = self.alts(left)?;
+        let r = self.alts(right)?;
+        let (lw, ln, ld) = child_shape(&l);
+        let (rw, rn, rd) = child_shape(&r);
+        if lw != rw {
+            return Err(PlanError::Schema(format!(
+                "set operands must have equal width, got {lw} and {rw}"
+            )));
+        }
+        let w = &self.config.weights;
+        let distinct_semantics = matches!(op, SetOp::Union | SetOp::Intersect | SetOp::Except);
+        let out_rows = match op {
+            SetOp::Union => (ld + rd) * 0.75,
+            SetOp::UnionAll => ln + rn,
+            SetOp::Intersect => ld.min(rd) * 0.5,
+            SetOp::IntersectAll => ln.min(rn) * 0.5,
+            SetOp::Except => (ld - rd * 0.5).max(1.0),
+            SetOp::ExceptAll => (ln - rn * 0.5).max(1.0),
+        }
+        .max(1.0);
+
+        // Hash-based lowering exists for INTERSECT (distinct): dedup both
+        // sides, then an inner hash join on the whole row — exactly the
+        // Figure 5 hash plan with its three blocking operators.
+        let hash_allowed =
+            op == SetOp::Intersect && self.config.preference != Preference::ForceSortBased;
+        let merge_allowed = !(hash_allowed && self.config.preference == Preference::ForceHashBased);
+
+        let merged = if merge_allowed {
+            // Distinct set semantics allow (and profit from) in-sort
+            // duplicate removal on each input; ALL-semantics must keep
+            // multiplicities, so inputs get a plain sort.
+            let li = self.ensure_ordered(&l, lw, distinct_semantics)?;
+            let ri = self.ensure_ordered(&r, rw, distinct_semantics)?;
+            let props = PhysicalProps {
+                width: lw,
+                ordered_key: lw,
+                coded: true,
+                rows: out_rows,
+                distinct_rows: out_rows.min(ld + rd),
+            };
+            Some(PhysicalPlan {
+                cost: li.cost.plus(&ri.cost).plus(&cost::merge_streaming(
+                    li.props.rows,
+                    ri.props.rows,
+                    lw,
+                )),
+                props,
+                op: PhysOp::SetOpMerge {
+                    left: Box::new(li),
+                    right: Box::new(ri),
+                    op,
+                },
+            })
+        } else {
+            None
+        };
+
+        let hashed = if hash_allowed {
+            let mem = self.config.memory_rows;
+            let mk_distinct = |alts: &Alts, rows: f64, distinct: f64| {
+                child_clone_best(alts, w).map(|input| {
+                    let local = cost::hash_distinct(rows, lw, mem);
+                    let props = PhysicalProps {
+                        width: lw,
+                        ordered_key: 0,
+                        coded: false,
+                        rows: distinct,
+                        distinct_rows: distinct,
+                    };
+                    PhysicalPlan {
+                        cost: input.cost.plus(&local),
+                        props,
+                        op: PhysOp::HashDistinct {
+                            input: Box::new(input),
+                            memory_rows: mem,
+                        },
+                    }
+                })
+            };
+            let li = mk_distinct(&l, ln, ld).expect("left alternatives");
+            let ri = mk_distinct(&r, rn, rd).expect("right alternatives");
+            let local = cost::grace_hash_join(ld, rd, lw, mem);
+            let props = PhysicalProps {
+                width: lw,
+                ordered_key: 0,
+                coded: false,
+                rows: out_rows,
+                distinct_rows: out_rows,
+            };
+            Some(PhysicalPlan {
+                cost: li.cost.plus(&ri.cost).plus(&local),
+                props,
+                op: PhysOp::GraceHashJoin {
+                    left: Box::new(li),
+                    right: Box::new(ri),
+                    join_len: lw,
+                    memory_rows: mem,
+                },
+            })
+        } else {
+            None
+        };
+
+        Ok(Alts {
+            ordered: merged,
+            unordered: hashed,
+        })
+    }
+
+    /// Make a plan whose output is sorted and coded on the leading
+    /// `key_len` columns: trust an existing ordering when the properties
+    /// prove it (sort **elided**), otherwise insert a real sort —
+    /// with in-sort duplicate removal when `distinct` semantics allow it.
+    fn ensure_ordered(
+        &self,
+        child: &Alts,
+        key_len: usize,
+        distinct: bool,
+    ) -> Result<PhysicalPlan, PlanError> {
+        Ok(
+            match self.ensure_ordered_alternatives(child, key_len, distinct)? {
+                Ensured::Trusted(p) | Ensured::Sorted(p) => p,
+            },
+        )
+    }
+
+    fn ensure_ordered_alternatives(
+        &self,
+        child: &Alts,
+        key_len: usize,
+        distinct: bool,
+    ) -> Result<Ensured, PlanError> {
+        let w = &self.config.weights;
+        let (width, rows, distinct_rows) = child_shape(child);
+        if key_len > width {
+            return Err(PlanError::Schema(format!(
+                "ordering on {key_len} columns exceeds input width {width}"
+            )));
+        }
+        if let Some(o) = &child.ordered {
+            if o.props.satisfies_ordering(key_len) {
+                // The interesting ordering is already there and the codes
+                // are exact by the operator theorems: elide the sort.
+                let plan = PhysicalPlan {
+                    props: o.props,
+                    cost: o.cost,
+                    op: PhysOp::TrustSorted {
+                        input: Box::new(o.clone()),
+                        key_len,
+                    },
+                };
+                return Ok(Ensured::Trusted(plan));
+            }
+        }
+        let input = child_clone_best(child, w).expect("alternatives exist");
+        let mem = self.config.memory_rows;
+        let fan = self.config.fan_in;
+        let plan = if distinct {
+            let local = cost::in_sort_distinct(rows, distinct_rows, key_len, mem, fan);
+            let props = PhysicalProps {
+                width,
+                ordered_key: key_len,
+                coded: true,
+                rows: distinct_rows,
+                distinct_rows,
+            };
+            PhysicalPlan {
+                cost: input.cost.plus(&local),
+                props,
+                op: PhysOp::InSortDistinct {
+                    input: Box::new(input),
+                    key_len,
+                    memory_rows: mem,
+                    fan_in: fan,
+                },
+            }
+        } else {
+            let local = cost::sort_ovc(rows, key_len, mem, fan);
+            let props = PhysicalProps {
+                width,
+                ordered_key: key_len,
+                coded: true,
+                rows,
+                distinct_rows,
+            };
+            PhysicalPlan {
+                cost: input.cost.plus(&local),
+                props,
+                op: PhysOp::SortOvc {
+                    input: Box::new(input),
+                    key_len,
+                    memory_rows: mem,
+                    fan_in: fan,
+                },
+            }
+        };
+        Ok(Ensured::Sorted(plan))
+    }
+}
+
+enum Ensured {
+    /// Requirement satisfied by existing properties (sort elided).
+    Trusted(PhysicalPlan),
+    /// A sort (possibly with in-sort dedup) had to be inserted.
+    Sorted(PhysicalPlan),
+}
+
+/// `(width, rows, distinct_rows)` of whichever alternative exists.
+fn child_shape(alts: &Alts) -> (usize, f64, f64) {
+    let p = alts
+        .ordered
+        .as_ref()
+        .or(alts.unordered.as_ref())
+        .expect("every node produces at least one alternative");
+    (p.props.width, p.props.rows, p.props.distinct_rows)
+}
+
+/// Clone the cheaper alternative for use as an order-free input.
+fn child_clone_best(alts: &Alts, w: &CostWeights) -> Option<PhysicalPlan> {
+    match (&alts.ordered, &alts.unordered) {
+        (Some(o), Some(u)) => Some(if o.cost.total(w) <= u.cost.total(w) {
+            o.clone()
+        } else {
+            u.clone()
+        }),
+        (Some(o), None) => Some(o.clone()),
+        (None, Some(u)) => Some(u.clone()),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Table;
+    use crate::exec::{execute, ExecOptions};
+    use crate::logical::Predicate;
+    use ovc_core::{Row, Stats};
+
+    fn catalog_with(rows: Vec<Vec<u64>>, sorted_key: usize) -> Catalog {
+        let rows: Vec<Row> = rows.into_iter().map(Row::new).collect();
+        let mut cat = Catalog::new();
+        if sorted_key > 0 {
+            let mut s = rows;
+            s.sort();
+            cat.register("t", Table::sorted(s, sorted_key));
+        } else {
+            cat.register("t", Table::unsorted(rows));
+        }
+        cat
+    }
+
+    /// Regression: a projection that destroys the ordering must still be
+    /// plannable over a child with only an ordered alternative (Sort,
+    /// TopK, GroupBy outputs), lowering as an unordered projection.
+    #[test]
+    fn project_dropping_the_key_over_sorted_only_child_plans() {
+        let cat = catalog_with(vec![vec![3, 30], vec![1, 10], vec![2, 20]], 0);
+        let q = LogicalPlan::scan("t").sort(1).project(vec![1]);
+        let plan = Planner::new(&cat, PlannerConfig::default())
+            .plan(&q)
+            .expect("must plan");
+        assert_eq!(plan.props.width, 1);
+        assert_eq!(plan.props.ordered_key, 0, "ordering destroyed:\n{plan}");
+        let stats = Stats::new_shared();
+        let mut rows = execute(&plan, &cat, &stats, &ExecOptions::default()).into_rows();
+        rows.sort();
+        let expect: Vec<Row> = vec![Row::new(vec![10]), Row::new(vec![20]), Row::new(vec![30])];
+        assert_eq!(rows, expect);
+    }
+
+    /// Projections keeping the key prefix in place keep order and codes.
+    #[test]
+    fn project_keeping_prefix_preserves_order_and_codes() {
+        let cat = catalog_with(vec![vec![3, 30], vec![1, 10], vec![2, 20]], 2);
+        let q = LogicalPlan::scan("t").project(vec![0]).sort(1);
+        let plan = Planner::new(&cat, PlannerConfig::default())
+            .plan(&q)
+            .expect("must plan");
+        assert_eq!(plan.count_op("SortOvc"), 0, "sort elided:\n{plan}");
+        assert_eq!(plan.elided_sorts().len(), 1, "{plan}");
+        let stats = Stats::new_shared();
+        let out = execute(
+            &plan,
+            &cat,
+            &stats,
+            &ExecOptions {
+                verify_trusted: true,
+            },
+        )
+        .into_rows();
+        assert_eq!(
+            out,
+            vec![Row::new(vec![1]), Row::new(vec![2]), Row::new(vec![3])]
+        );
+    }
+
+    /// Out-of-range projection columns are a schema error, not a panic.
+    #[test]
+    fn project_out_of_range_is_schema_error() {
+        let cat = catalog_with(vec![vec![1, 2]], 0);
+        let err = Planner::new(&cat, PlannerConfig::default())
+            .plan(&LogicalPlan::scan("t").project(vec![5]))
+            .unwrap_err();
+        assert!(matches!(err, PlanError::Schema(_)), "{err}");
+    }
+
+    /// Filters compose with every downstream shape without losing the
+    /// ordered alternative.
+    #[test]
+    fn filter_preserves_both_alternatives() {
+        let cat = catalog_with(vec![vec![3, 1], vec![1, 1], vec![2, 1]], 2);
+        let q = LogicalPlan::scan("t")
+            .filter(Predicate::ColGt(0, 1))
+            .sort(2);
+        let plan = Planner::new(&cat, PlannerConfig::default())
+            .plan(&q)
+            .expect("plans");
+        assert_eq!(plan.count_op("SortOvc"), 0, "filter keeps codes:\n{plan}");
+        let stats = Stats::new_shared();
+        let out = execute(
+            &plan,
+            &cat,
+            &stats,
+            &ExecOptions {
+                verify_trusted: true,
+            },
+        )
+        .into_rows();
+        assert_eq!(out, vec![Row::new(vec![2, 1]), Row::new(vec![3, 1])]);
+    }
+}

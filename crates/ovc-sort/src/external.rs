@@ -85,7 +85,10 @@ pub struct MemoryRunStorage {
 impl MemoryRunStorage {
     /// New storage device accounting into `stats`.
     pub fn new(stats: Rc<Stats>) -> Self {
-        MemoryRunStorage { runs: Vec::new(), stats }
+        MemoryRunStorage {
+            runs: Vec::new(),
+            stats,
+        }
     }
 }
 
@@ -173,10 +176,8 @@ where
     while handles.len() > config.fan_in {
         let mut next_level = Vec::new();
         for chunk in handles.chunks(config.fan_in) {
-            let level_runs: Vec<Run> =
-                chunk.iter().map(|&h| storage.read_run(h)).collect();
-            let merged: Vec<OvcRow> =
-                merge_runs(level_runs, config.key_len, stats).collect();
+            let level_runs: Vec<Run> = chunk.iter().map(|&h| storage.read_run(h)).collect();
+            let merged: Vec<OvcRow> = merge_runs(level_runs, config.key_len, stats).collect();
             next_level.push(storage.write_run(Run::from_coded(merged, config.key_len)));
         }
         handles = next_level;
@@ -211,8 +212,7 @@ mod tests {
     }
 
     fn check_sorted(out: &[OvcRow], input: &[Row], key_len: usize) {
-        let pairs: Vec<(Row, Ovc)> =
-            out.iter().map(|r| (r.row.clone(), r.code)).collect();
+        let pairs: Vec<(Row, Ovc)> = out.iter().map(|r| (r.row.clone(), r.code)).collect();
         assert_codes_exact(&pairs, key_len);
         let mut expect = input.to_vec();
         expect.sort();
@@ -283,13 +283,7 @@ mod tests {
         let s_rs = Stats::new_shared();
         let mut st_pq = MemoryRunStorage::new(Rc::clone(&s_pq));
         let mut st_rs = MemoryRunStorage::new(Rc::clone(&s_rs));
-        let _ = external_sort(
-            rows.clone(),
-            SortConfig::new(2, 100),
-            &mut st_pq,
-            &s_pq,
-        )
-        .count();
+        let _ = external_sort(rows.clone(), SortConfig::new(2, 100), &mut st_pq, &s_pq).count();
         let _ = external_sort(
             rows,
             SortConfig::new(2, 100).with_strategy(RunGenStrategy::ReplacementSelection),

@@ -54,7 +54,13 @@ struct Entry {
 
 impl Entry {
     fn fence(slot: u32) -> Entry {
-        Entry { run: FENCE_RUN, slot, code: Ovc::LATE_FENCE, base: 0, id: 0 }
+        Entry {
+            run: FENCE_RUN,
+            slot,
+            code: Ovc::LATE_FENCE,
+            base: 0,
+            id: 0,
+        }
     }
     fn is_fence(&self) -> bool {
         self.run == FENCE_RUN

@@ -74,16 +74,19 @@ where
 {
     assert!(memory_rows > 0, "memory budget must hold at least one row");
     if strategy == RunGenStrategy::ReplacementSelection {
-        return crate::replacement::generate_runs_replacement(
-            input, key_len, memory_rows, stats,
-        );
+        return crate::replacement::generate_runs_replacement(input, key_len, memory_rows, stats);
     }
     let mut runs = Vec::new();
     let mut buffer: Vec<Row> = Vec::with_capacity(memory_rows);
     for row in input {
         buffer.push(row);
         if buffer.len() == memory_rows {
-            runs.push(sort_buffer(std::mem::take(&mut buffer), key_len, strategy, stats));
+            runs.push(sort_buffer(
+                std::mem::take(&mut buffer),
+                key_len,
+                strategy,
+                stats,
+            ));
             buffer.reserve(memory_rows);
         }
     }
@@ -93,12 +96,7 @@ where
     runs
 }
 
-fn sort_buffer(
-    rows: Vec<Row>,
-    key_len: usize,
-    strategy: RunGenStrategy,
-    stats: &Rc<Stats>,
-) -> Run {
+fn sort_buffer(rows: Vec<Row>, key_len: usize, strategy: RunGenStrategy, stats: &Rc<Stats>) -> Run {
     match strategy {
         RunGenStrategy::OvcPriorityQueue => sort_rows_ovc(rows, key_len, stats),
         RunGenStrategy::Quicksort => sort_rows_quicksort(rows, key_len, stats),
@@ -122,8 +120,7 @@ mod tests {
     }
 
     fn check_run(run: &Run, rows: &[Row], key_len: usize) {
-        let pairs: Vec<(Row, Ovc)> =
-            run.rows().iter().map(|r| (r.row.clone(), r.code)).collect();
+        let pairs: Vec<(Row, Ovc)> = run.rows().iter().map(|r| (r.row.clone(), r.code)).collect();
         assert_codes_exact(&pairs, key_len);
         let mut expect: Vec<Row> = rows.to_vec();
         expect.sort();
@@ -175,13 +172,7 @@ mod tests {
     #[test]
     fn empty_input_yields_no_runs() {
         let stats = Stats::new_shared();
-        let runs = generate_runs(
-            Vec::<Row>::new(),
-            2,
-            10,
-            RunGenStrategy::Quicksort,
-            &stats,
-        );
+        let runs = generate_runs(Vec::<Row>::new(), 2, 10, RunGenStrategy::Quicksort, &stats);
         assert!(runs.is_empty());
         assert!(sort_rows_ovc(vec![], 2, &stats).is_empty());
     }

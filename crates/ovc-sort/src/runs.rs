@@ -24,8 +24,7 @@ impl Run {
     pub fn from_coded(rows: Vec<OvcRow>, key_len: usize) -> Self {
         #[cfg(debug_assertions)]
         {
-            let pairs: Vec<(Row, Ovc)> =
-                rows.iter().map(|r| (r.row.clone(), r.code)).collect();
+            let pairs: Vec<(Row, Ovc)> = rows.iter().map(|r| (r.row.clone(), r.code)).collect();
             if let Some(i) = ovc_core::derive::find_code_violation(&pairs, key_len) {
                 panic!("Run::from_coded: code violation at row {i}");
             }
@@ -47,7 +46,10 @@ impl Run {
 
     /// An empty run.
     pub fn empty(key_len: usize) -> Self {
-        Run { rows: Vec::new(), key_len }
+        Run {
+            rows: Vec::new(),
+            key_len,
+        }
     }
 
     /// Number of rows.
@@ -77,7 +79,10 @@ impl Run {
 
     /// A consuming cursor for merging.
     pub fn cursor(self) -> RunCursor {
-        RunCursor { iter: self.rows.into_iter(), key_len: self.key_len }
+        RunCursor {
+            iter: self.rows.into_iter(),
+            key_len: self.key_len,
+        }
     }
 
     /// Total payload bytes a spill of this run would write (8 bytes per
@@ -124,7 +129,9 @@ impl SingleRow {
     /// with a unique first column").
     pub fn new(row: Row, key_len: usize) -> Self {
         let code = Ovc::initial(row.key(key_len));
-        SingleRow { row: Some(OvcRow::new(row, code)) }
+        SingleRow {
+            row: Some(OvcRow::new(row, code)),
+        }
     }
 }
 

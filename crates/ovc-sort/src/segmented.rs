@@ -40,8 +40,14 @@ impl<S: OvcStream> SegmentedSort<S> {
     /// `seg_len <= input.key_len()` and `seg_len <= out_key_len`.
     pub fn new(input: S, seg_len: usize, out_key_len: usize, stats: Rc<Stats>) -> Self {
         let in_key_len = input.key_len();
-        assert!(seg_len <= in_key_len, "segment key must be a prefix of the input key");
-        assert!(seg_len <= out_key_len, "output key must extend the segment key");
+        assert!(
+            seg_len <= in_key_len,
+            "segment key must be a prefix of the input key"
+        );
+        assert!(
+            seg_len <= out_key_len,
+            "output key must extend the segment key"
+        );
         SegmentedSort {
             input: input.peekable(),
             in_key_len,
@@ -131,12 +137,7 @@ fn clamp_and_rebase(code: Ovc, in_arity: usize, out_arity: usize) -> Ovc {
 
 /// Exact code of `succ` relative to `pred` where both share the first
 /// `seg_len` columns — comparisons start past the segmentation key.
-fn derive_within_segment(
-    pred: &[u64],
-    succ: &[u64],
-    seg_len: usize,
-    stats: &Stats,
-) -> Ovc {
+fn derive_within_segment(pred: &[u64], succ: &[u64], seg_len: usize, stats: &Stats) -> Ovc {
     debug_assert_eq!(&pred[..seg_len], &succ[..seg_len]);
     let arity = succ.len();
     for i in seg_len..arity {
@@ -234,8 +235,7 @@ mod tests {
     #[test]
     fn single_segment_input() {
         // All rows share A: one big segment.
-        let mut rows: Vec<Row> =
-            (0..50).map(|i| Row::new(vec![7, 49 - i])).collect();
+        let mut rows: Vec<Row> = (0..50).map(|i| Row::new(vec![7, 49 - i])).collect();
         rows.sort_by_key(|r| r.cols()[1]); // already sorted on (A, B=C here)
         let rows: Vec<Row> = (0..50).map(|i| Row::new(vec![7, (i * 13) % 50])).collect();
         let input = VecStream::from_sorted_rows(

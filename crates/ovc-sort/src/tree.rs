@@ -89,8 +89,17 @@ impl<C: Iterator<Item = OvcRow>> TreeOfLosers<C> {
         let mut tree = TreeOfLosers {
             cursors,
             cur,
-            nodes: vec![Entry { code: Ovc::LATE_FENCE, run: 0 }; cap],
-            winner: Entry { code: Ovc::LATE_FENCE, run: 0 },
+            nodes: vec![
+                Entry {
+                    code: Ovc::LATE_FENCE,
+                    run: 0
+                };
+                cap
+            ],
+            winner: Entry {
+                code: Ovc::LATE_FENCE,
+                run: 0,
+            },
             cap,
             key_len,
             stats,
@@ -142,7 +151,10 @@ impl<C: Iterator<Item = OvcRow>> TreeOfLosers<C> {
         if node >= self.cap {
             let r = node - self.cap;
             let code = first_codes.get(r).copied().unwrap_or(Ovc::LATE_FENCE);
-            return Entry { code, run: r as u32 };
+            return Entry {
+                code,
+                run: r as u32,
+            };
         }
         let a = self.build(2 * node, first_codes);
         let b = self.build(2 * node + 1, first_codes);
@@ -188,9 +200,15 @@ impl<C: Iterator<Item = OvcRow>> Iterator for TreeOfLosers<C> {
         let mut cand = match self.cursors[w].next() {
             Some(OvcRow { row, code }) => {
                 self.cur[w] = Some(row);
-                Entry { code, run: w as u32 }
+                Entry {
+                    code,
+                    run: w as u32,
+                }
             }
-            None => Entry { code: Ovc::LATE_FENCE, run: w as u32 },
+            None => Entry {
+                code: Ovc::LATE_FENCE,
+                run: w as u32,
+            },
         };
 
         // One comparison per tree level: the candidate retraces the prior

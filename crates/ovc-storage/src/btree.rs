@@ -13,7 +13,6 @@
 //! comparisons.  The comparison effort spent at index-creation time is
 //! preserved, exactly as Section 4.12 describes.
 
-
 use ovc_core::compare::derive_code;
 use ovc_core::{Ovc, OvcRow, OvcStream, Row, Stats};
 
@@ -85,8 +84,7 @@ impl BTree {
             let mut next_first_keys = Vec::new();
             let mut idx = 0u32;
             for group in child_first_keys.chunks(branching) {
-                let children: Vec<u32> =
-                    (idx..idx + group.len() as u32).collect();
+                let children: Vec<u32> = (idx..idx + group.len() as u32).collect();
                 idx += group.len() as u32;
                 next_first_keys.push(group[0].clone());
                 level.push(Internal {
@@ -99,7 +97,12 @@ impl BTree {
             child_first_keys = next_first_keys;
         }
 
-        BTree { key_len, leaves, levels, n_rows }
+        BTree {
+            key_len,
+            leaves,
+            levels,
+            n_rows,
+        }
     }
 
     /// Number of indexed rows.
@@ -158,9 +161,7 @@ impl BTree {
         loop {
             let entries = &self.leaves[leaf].entries;
             for (i, e) in entries.iter().enumerate() {
-                if cmp_prefix(e.row.key(self.key_len), key, stats)
-                    != std::cmp::Ordering::Less
-                {
+                if cmp_prefix(e.row.key(self.key_len), key, stats) != std::cmp::Ordering::Less {
                     return (leaf, i);
                 }
             }
@@ -204,7 +205,12 @@ impl BTree {
 
     /// Full ordered scan producing codes with zero column comparisons.
     pub fn scan(&self) -> BTreeScan<'_> {
-        BTreeScan { tree: self, leaf: 0, idx: 0, first: true }
+        BTreeScan {
+            tree: self,
+            leaf: 0,
+            idx: 0,
+            first: true,
+        }
     }
 
     /// Ordered scan of all rows with keys in `[lo, hi)` (prefix
@@ -217,9 +223,7 @@ impl BTree {
             let entries = &self.leaves[leaf].entries;
             while idx < entries.len() {
                 let e = &entries[idx];
-                if cmp_prefix(e.row.key(self.key_len), hi, stats)
-                    != std::cmp::Ordering::Less
-                {
+                if cmp_prefix(e.row.key(self.key_len), hi, stats) != std::cmp::Ordering::Less {
                     return out;
                 }
                 let code = if out.is_empty() {
@@ -333,15 +337,13 @@ mod tests {
         let stats = Stats::default();
         for probe in 0..20u64 {
             let got = tree.lookup(&[probe], &stats);
-            let expect: Vec<&Row> =
-                rows.iter().filter(|r| r.cols()[0] == probe).collect();
+            let expect: Vec<&Row> = rows.iter().filter(|r| r.cols()[0] == probe).collect();
             assert_eq!(got.len(), expect.len(), "probe {probe}");
             for (g, e) in got.iter().zip(expect) {
                 assert_eq!(&g.row, e);
             }
             // Result codes form a valid coded stream.
-            let pairs: Vec<(Row, Ovc)> =
-                got.into_iter().map(|r| (r.row, r.code)).collect();
+            let pairs: Vec<(Row, Ovc)> = got.into_iter().map(|r| (r.row, r.code)).collect();
             assert_codes_exact(&pairs, 2);
         }
     }

@@ -34,7 +34,11 @@ pub fn encode_run(run: &Run) -> Vec<u8> {
     for OvcRow { row, code } in run.rows() {
         assert_eq!(row.width(), width, "runs must have uniform row width");
         push_u64(&mut out, code.raw());
-        let offset = if code.is_valid() { code.offset(key_len) } else { 0 };
+        let offset = if code.is_valid() {
+            code.offset(key_len)
+        } else {
+            0
+        };
         for &col in &row.key(key_len)[offset..] {
             push_u64(&mut out, col);
         }

@@ -170,12 +170,7 @@ impl LsmForest {
     pub fn into_scan(self) -> TreeOfLosers<RunCursor> {
         let key_len = self.key_len;
         let stats = Rc::clone(&self.stats);
-        let cursors: Vec<RunCursor> = self
-            .levels
-            .into_iter()
-            .flatten()
-            .map(Run::cursor)
-            .collect();
+        let cursors: Vec<RunCursor> = self.levels.into_iter().flatten().map(Run::cursor).collect();
         TreeOfLosers::new(cursors, key_len, stats)
     }
 }

@@ -64,7 +64,10 @@ impl RleColumnStore {
             };
             for (j, runs) in key_runs.iter_mut().enumerate() {
                 if j >= break_col || runs.is_empty() {
-                    runs.push(Rle { value: row.cols()[j], len: 1 });
+                    runs.push(Rle {
+                        value: row.cols()[j],
+                        len: 1,
+                    });
                 } else {
                     runs.last_mut().expect("non-empty").len += 1;
                 }
@@ -113,7 +116,13 @@ impl RleColumnStore {
         RleScan {
             store: self,
             row: 0,
-            cursors: vec![RunCursor { run: 0, remaining: 0 }; self.key_len],
+            cursors: vec![
+                RunCursor {
+                    run: 0,
+                    remaining: 0
+                };
+                self.key_len
+            ],
         }
     }
 }

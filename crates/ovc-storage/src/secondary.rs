@@ -62,7 +62,11 @@ impl SecondaryIndex {
                 }
             }
         }
-        SecondaryIndex { entries, column, table_rows: table.len() }
+        SecondaryIndex {
+            entries,
+            column,
+            table_rows: table.len(),
+        }
     }
 
     /// Indexed column.
@@ -90,7 +94,10 @@ impl SecondaryIndex {
     /// Coded RID stream for an equality predicate.  The stored codes come
     /// out unchanged — "practically for free".
     pub fn scan_eq(&self, value: Value) -> VecStream {
-        let rows = self.list_for(value).map(<[OvcRow]>::to_vec).unwrap_or_default();
+        let rows = self
+            .list_for(value)
+            .map(<[OvcRow]>::to_vec)
+            .unwrap_or_default();
         VecStream::from_coded(rows, 1)
     }
 
@@ -134,7 +141,11 @@ impl SecondaryIndex {
             .enumerate()
             .map(|(i, (rid, v))| {
                 // RIDs are unique and ascending: codes are immediate.
-                let code = if i == 0 { Ovc::initial(&[rid]) } else { Ovc::new(0, rid, 1) };
+                let code = if i == 0 {
+                    Ovc::initial(&[rid])
+                } else {
+                    Ovc::new(0, rid, 1)
+                };
                 OvcRow::new(Row::new(vec![rid, v]), code)
             })
             .collect();

@@ -23,16 +23,15 @@ pub struct EncodedRunStorage {
 impl EncodedRunStorage {
     /// New device accounting into `stats`.
     pub fn new(stats: Rc<Stats>) -> Self {
-        EncodedRunStorage { blobs: Vec::new(), stats }
+        EncodedRunStorage {
+            blobs: Vec::new(),
+            stats,
+        }
     }
 
     /// Total encoded bytes currently held.
     pub fn resident_bytes(&self) -> usize {
-        self.blobs
-            .iter()
-            .flatten()
-            .map(|(b, _)| b.len())
-            .sum()
+        self.blobs.iter().flatten().map(|(b, _)| b.len()).sum()
     }
 }
 
@@ -77,7 +76,12 @@ impl FileRunStorage {
                 .unwrap_or(0)
         ));
         std::fs::create_dir_all(&dir)?;
-        Ok(FileRunStorage { dir, files: Vec::new(), stats, next_id: 0 })
+        Ok(FileRunStorage {
+            dir,
+            files: Vec::new(),
+            stats,
+            next_id: 0,
+        })
     }
 
     /// The scratch directory path.

@@ -48,7 +48,11 @@ fn main() {
     let ss = Stats::new_shared();
     let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
     let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
-    let cfg = IntersectConfig { key_len: 1, memory_rows: mem, fan_in: 128 };
+    let cfg = IntersectConfig {
+        key_len: 1,
+        memory_rows: mem,
+        fan_in: 128,
+    };
     let start = Instant::now();
     let sort_out = sort_intersect_distinct(t1, t2, cfg, &mut s1, &mut s2, &ss);
     let sort_time = start.elapsed();
@@ -57,7 +61,10 @@ fn main() {
 
     println!("result rows: {}\n", sort_out.len());
     println!("{:<28} {:>14} {:>14}", "", "hash plan", "sort plan");
-    println!("{:<28} {:>12.1?} {:>12.1?}", "wall time", hash_time, sort_time);
+    println!(
+        "{:<28} {:>12.1?} {:>12.1?}",
+        "wall time", hash_time, sort_time
+    );
     println!(
         "{:<28} {:>14} {:>14}",
         "rows spilled",

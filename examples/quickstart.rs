@@ -17,8 +17,14 @@ fn main() {
     let asc = derive_codes(&rows, table1::ARITY);
     let stats = Stats::default();
 
-    println!("{:<16} {:>6} {:>9} {:>8} {:>9} {:>8}", "row", "offset", "desc-code", "", "asc-code", "");
-    println!("{:<16} {:>6} {:>9} {:>8} {:>9} {:>8}", "", "", "(paper)", "", "(paper)", "(u64)");
+    println!(
+        "{:<16} {:>6} {:>9} {:>8} {:>9} {:>8}",
+        "row", "offset", "desc-code", "", "asc-code", ""
+    );
+    println!(
+        "{:<16} {:>6} {:>9} {:>8} {:>9} {:>8}",
+        "", "", "(paper)", "", "(paper)", "(u64)"
+    );
     let mut prev: Option<&Row> = None;
     for (row, code) in rows.iter().zip(&asc) {
         let desc = match prev {

@@ -58,7 +58,10 @@ fn main() {
     let full_keys: Vec<&[u64]> = full.rows().iter().map(|r| r.row.key(2)).collect();
     assert_eq!(seg_keys, full_keys, "both orders must agree");
 
-    println!("{:<24} {:>12} {:>20}", "", "wall time", "column comparisons");
+    println!(
+        "{:<24} {:>12} {:>20}",
+        "", "wall time", "column comparisons"
+    );
     println!(
         "{:<24} {:>10.1?} {:>20}",
         "segmented sort",

@@ -42,18 +42,25 @@ fn main() {
         .iter()
         .map(|r| VecStream::from_sorted_rows(r.clone(), 3))
         .collect();
-    let mut tree = TreeOfLosers::new(cursors, 3, Rc::clone(&stats));
+    let tree = TreeOfLosers::new(cursors, 3, Rc::clone(&stats));
 
     println!("merging {} runs of 3-character strings\n", runs.len());
-    println!("{:<8} {:>8} {:>7} {:>14} {:>14}", "output", "offset", "value", "code-cmps", "col-cmps");
+    println!(
+        "{:<8} {:>8} {:>7} {:>14} {:>14}",
+        "output", "offset", "value", "code-cmps", "col-cmps"
+    );
     let mut before = stats.snapshot();
-    while let Some(out) = tree.next() {
+    for out in tree {
         let delta = stats.snapshot().since(&before);
         before = stats.snapshot();
         println!(
             "{:<8} {:>8} {:>7} {:>14} {:>14}",
             show(&out.row),
-            if out.code.is_duplicate() { 3 } else { out.code.offset(3) },
+            if out.code.is_duplicate() {
+                3
+            } else {
+                out.code.offset(3)
+            },
             if out.code.is_duplicate() {
                 "-".to_string()
             } else {
@@ -92,11 +99,20 @@ fn main() {
 
     use ovc_core::compare::compare_same_base;
     let o1 = compare_same_base(k092.key(3), k503.key(3), &mut c092, &mut c503, &stats);
-    println!("\"092\" vs \"503\": offsets 1 vs 0 decide -> {:?} (\"092\" wins)", o1);
+    println!(
+        "\"092\" vs \"503\": offsets 1 vs 0 decide -> {:?} (\"092\" wins)",
+        o1
+    );
     let o2 = compare_same_base(k092.key(3), k087.key(3), &mut c092, &mut c087, &stats);
-    println!("\"092\" vs \"087\": equal offsets, values 9 vs 8 decide -> {:?} (\"087\" wins)", o2);
+    println!(
+        "\"092\" vs \"087\": equal offsets, values 9 vs 8 decide -> {:?} (\"087\" wins)",
+        o2
+    );
     let o3 = compare_same_base(k087.key(3), k154.key(3), &mut c087, &mut c154, &stats);
-    println!("\"087\" vs \"154\": offsets 1 vs 0 decide -> {:?} (\"087\" reaches the root)", o3);
+    println!(
+        "\"087\" vs \"154\": offsets 1 vs 0 decide -> {:?} (\"087\" reaches the root)",
+        o3
+    );
     println!(
         "\ncolumn comparisons used in this leaf-to-root pass: {}",
         stats.col_value_cmps() - col_cmps_before

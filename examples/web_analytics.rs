@@ -63,7 +63,10 @@ fn main() {
 
         assert_eq!(groups_ovc, groups_full);
         println!("  output groups:            {groups_ovc}");
-        println!("  OVC boundary test:        {t_ovc:>10.1?}  ({} column comparisons)", stats_ovc.col_value_cmps());
+        println!(
+            "  OVC boundary test:        {t_ovc:>10.1?}  ({} column comparisons)",
+            stats_ovc.col_value_cmps()
+        );
         println!(
             "  full-compare boundaries:  {t_full:>10.1?}  ({} column comparisons)",
             stats_full.col_value_cmps()

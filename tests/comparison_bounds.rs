@@ -128,12 +128,7 @@ fn replacement_selection_bounded_by_constant_times_n_k() {
     let n = 5000;
     let k = 3;
     let stats = Stats::new_shared();
-    let runs = ovc_sort::replacement::generate_runs_replacement(
-        rows(n, k, 4, 16),
-        k,
-        64,
-        &stats,
-    );
+    let runs = ovc_sort::replacement::generate_runs_replacement(rows(n, k, 4, 16), k, 64, &stats);
     assert!(!runs.is_empty());
     assert!(
         stats.col_value_cmps() <= (4 * n * k) as u64,
@@ -156,7 +151,13 @@ fn generate_runs_strategies_comparison_ordering() {
         let data = rows(n, k, 3, 17);
         let s_pq = Stats::new_shared();
         let s_qs = Stats::new_shared();
-        let _ = ovc_sort::generate_runs(data.clone(), k, 256, RunGenStrategy::OvcPriorityQueue, &s_pq);
+        let _ = ovc_sort::generate_runs(
+            data.clone(),
+            k,
+            256,
+            RunGenStrategy::OvcPriorityQueue,
+            &s_pq,
+        );
         let _ = ovc_sort::generate_runs(data, k, 256, RunGenStrategy::Quicksort, &s_qs);
         assert!(s_pq.col_value_cmps() < s_qs.col_value_cmps());
     }

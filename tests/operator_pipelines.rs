@@ -9,11 +9,11 @@ use std::rc::Rc;
 use ovc_core::derive::assert_codes_exact;
 use ovc_core::stream::collect_pairs;
 use ovc_core::{Ovc, Row, Stats, VecStream};
+use ovc_exec::nlj::BTreeInner;
 use ovc_exec::{
     exchange, Aggregate, Dedup, Filter, GroupAggregate, HashJoinOp, HashTable, JoinType,
     LookupJoin, MergeJoin, Project, SetOp, SetOperation,
 };
-use ovc_exec::nlj::BTreeInner;
 use ovc_sort::{external_sort, MemoryRunStorage, SortConfig};
 use ovc_storage::{BTree, LsmConfig, LsmForest, RleColumnStore};
 use rand::rngs::StdRng;
@@ -23,8 +23,7 @@ fn random_rows(n: usize, key_cols: usize, domain: u64, seed: u64) -> Vec<Row> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
-            let mut cols: Vec<u64> =
-                (0..key_cols).map(|_| rng.gen_range(0..domain)).collect();
+            let mut cols: Vec<u64> = (0..key_cols).map(|_| rng.gen_range(0..domain)).collect();
             cols.push(rng.gen::<u32>() as u64);
             Row::new(cols)
         })
@@ -97,7 +96,9 @@ fn lsm_scan_join_pipeline() {
     let join = LookupJoin::new(dedup, inner, JoinType::LeftSemi);
     let pairs = collect_pairs(join);
     assert_codes_exact(&pairs, 2);
-    assert!(pairs.iter().all(|(r, _)| r.cols()[0] % 2 == 0 && r.cols()[0] < 30));
+    assert!(pairs
+        .iter()
+        .all(|(r, _)| r.cols()[0] % 2 == 0 && r.cols()[0] < 30));
 }
 
 /// Split a sorted stream across an exchange, process partitions
@@ -114,10 +115,8 @@ fn exchange_round_trip_with_partitionwise_grouping() {
     // one partition, so partition-wise grouping is correct.
     let mut grouped_parts = Vec::new();
     for p in parts {
-        let grouped: Vec<_> =
-            GroupAggregate::new(p, 2, vec![Aggregate::Count]).collect();
-        let pairs: Vec<(Row, Ovc)> =
-            grouped.iter().map(|r| (r.row.clone(), r.code)).collect();
+        let grouped: Vec<_> = GroupAggregate::new(p, 2, vec![Aggregate::Count]).collect();
+        let pairs: Vec<(Row, Ovc)> = grouped.iter().map(|r| (r.row.clone(), r.code)).collect();
         assert_codes_exact(&pairs, 2);
         grouped_parts.push(VecStream::from_coded(grouped, 2));
     }
@@ -143,10 +142,7 @@ fn hash_join_project_setop_pipeline() {
     let projected = Project::new(join, 1, |r| Row::new(vec![r.cols()[0]]));
     let left = VecStream::from_coded(Dedup::new(projected).collect(), 1);
 
-    let right = VecStream::from_unsorted_rows(
-        (0..6u64).map(|k| Row::new(vec![k])).collect(),
-        1,
-    );
+    let right = VecStream::from_unsorted_rows((0..6u64).map(|k| Row::new(vec![k])).collect(), 1);
     let setop = SetOperation::new(left, right, SetOp::Intersect, Rc::clone(&stats));
     let pairs = collect_pairs(setop);
     assert_codes_exact(&pairs, 1);
@@ -177,7 +173,7 @@ fn deep_pipeline_comparison_budget() {
     // Only the merge join may compare columns, bounded by N*K of its
     // combined input sizes.
     assert!(
-        stats.col_value_cmps() <= (3000 + 300) * 1,
+        stats.col_value_cmps() <= (3000 + 300),
         "pipeline comparisons {} exceed the join's N*K budget",
         stats.col_value_cmps()
     );

@@ -40,7 +40,8 @@ fn table1_full_reproduction() {
 #[test]
 fn table2_full_reproduction() {
     let stats = Stats::default();
-    let cases: [([u64; 4], [u64; 4], u64, u64, u64); 3] = [
+    type Table2Case = ([u64; 4], [u64; 4], u64, u64, u64);
+    let cases: [Table2Case; 3] = [
         // keys B, C; codes to base; expected loser-to-winner code.
         ([3, 5, 8, 2], [3, 4, 6, 1], 305, 206, 305),
         ([3, 4, 3, 8], [3, 4, 9, 1], 203, 209, 209),
@@ -72,13 +73,7 @@ fn table3_full_reproduction() {
     let out: Vec<(Vec<u64>, u64)> = Filter::new(input, |r| keep.contains(r))
         .map(|r| (r.row.cols().to_vec(), r.code.paper_decimal()))
         .collect();
-    assert_eq!(
-        out,
-        vec![
-            (vec![5, 7, 3, 9], 405),
-            (vec![5, 9, 3, 7], 309),
-        ]
-    );
+    assert_eq!(out, vec![(vec![5, 7, 3, 9], 405), (vec![5, 9, 3, 7], 309),]);
 }
 
 /// The worked example of Section 3 / Figure 2: after "061" leaves the

@@ -74,7 +74,11 @@ fn figure6_shape_across_scales() {
         let ss = Stats::new_shared();
         let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
         let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
-        let cfg = IntersectConfig { key_len: 1, memory_rows: mem, fan_in: 64 };
+        let cfg = IntersectConfig {
+            key_len: 1,
+            memory_rows: mem,
+            fan_in: 64,
+        };
         let _ = sort_intersect_distinct(t1, t2, cfg, &mut s1, &mut s2, &ss);
 
         assert!(
@@ -102,7 +106,11 @@ fn in_memory_plans_spill_nothing() {
     let ss = Stats::new_shared();
     let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
     let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
-    let cfg = IntersectConfig { key_len: 1, memory_rows: 10_000, fan_in: 64 };
+    let cfg = IntersectConfig {
+        key_len: 1,
+        memory_rows: 10_000,
+        fan_in: 64,
+    };
     let _ = sort_intersect_distinct(t1, t2, cfg, &mut s1, &mut s2, &ss);
     assert_eq!(ss.rows_spilled(), 0);
 }

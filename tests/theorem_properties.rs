@@ -13,7 +13,7 @@ use proptest::prelude::*;
 fn sorted_triple(arity: usize) -> impl Strategy<Value = (Vec<u64>, Vec<u64>, Vec<u64>)> {
     let key = prop::collection::vec(0u64..4, arity);
     (key.clone(), key.clone(), key).prop_map(|(mut a, mut b, mut c)| {
-        let mut v = vec![a.clone(), b.clone(), c.clone()];
+        let mut v = [a.clone(), b.clone(), c.clone()];
         v.sort();
         a = v[0].clone();
         b = v[1].clone();

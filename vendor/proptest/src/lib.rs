@@ -1,0 +1,450 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of the `proptest` API its property tests use: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`, integer
+//! range and tuple strategies, [`collection::vec`], [`strategy::Just`],
+//! [`prop_oneof!`], the `prop_assert*` / [`prop_assume!`] macros, and
+//! [`test_runner::Config`] (`ProptestConfig`).
+//!
+//! Semantics: each test runs `cases` deterministic randomized cases.
+//! Failing cases panic with the case number so they can be replayed (the
+//! RNG is seeded from the case number alone).  There is **no shrinking** —
+//! a deliberate simplification; failures report the generated values via
+//! the assertion message instead.
+
+/// Deterministic RNG and per-test configuration.
+pub mod test_runner {
+    /// SplitMix64 generator driving all value generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator for one test case, seeded by case number.
+        pub fn for_case(case: u64) -> Self {
+            TestRng {
+                state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03,
+            }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw below `bound` (which must be nonzero).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Per-`proptest!` configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of randomized cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; this stand-in runs fewer because
+            // the repository's suites sort hundreds of rows per case and
+            // run in debug CI.
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a test case did not complete normally.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is retried.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Generates values of an associated type from a [`TestRng`].
+    ///
+    /// Unlike upstream there is no value tree / shrinking: a strategy is
+    /// just a deterministic function of the RNG state.
+    pub trait Strategy {
+        /// Type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies (built by [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from boxed alternatives; panics when empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].new_value(rng)
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (**self).new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Permitted element counts for [`vec`]: a fixed size or a range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for vectors of `element`-generated values.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector strategy with the given element strategy and size.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// The customary `use proptest::prelude::*;` import surface.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace mirror (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a `proptest!` body, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Reject the current case's inputs (the case is retried, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ::std::boxed::Box::new($option) ),+
+        ])
+    };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            config = <$crate::test_runner::Config as ::core::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_body {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        // The `#[test]` attribute comes with the user's `$meta` (upstream
+        // proptest requires it written inside the macro too).
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut ran: u32 = 0;
+            let mut case: u64 = 0;
+            let max_attempts = (config.cases as u64) * 20 + 100;
+            while ran < config.cases && case < max_attempts {
+                let mut rng = $crate::test_runner::TestRng::for_case(case);
+                case += 1;
+                $(
+                    let $pat =
+                        $crate::strategy::Strategy::new_value(&($strategy), &mut rng);
+                )+
+                let outcome = (move || -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => ran += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject,
+                    ) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => panic!(
+                        "proptest case {} failed: {}",
+                        case - 1,
+                        msg
+                    ),
+                }
+            }
+            assert!(
+                ran == config.cases,
+                "too many rejected cases ({} ran of {})",
+                ran,
+                config.cases
+            );
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_vec_generate_in_bounds() {
+        let mut rng = TestRng::for_case(3);
+        for _ in 0..200 {
+            let v = (1u64..5).new_value(&mut rng);
+            assert!((1..5).contains(&v));
+            let w = (0usize..=4).new_value(&mut rng);
+            assert!(w <= 4);
+        }
+        let vs = crate::collection::vec(0u64..6, 2..10).new_value(&mut rng);
+        assert!((2..10).contains(&vs.len()));
+        assert!(vs.iter().all(|&x| x < 6));
+    }
+
+    #[test]
+    fn map_tuple_just_and_union() {
+        let mut rng = TestRng::for_case(5);
+        let s = (0u64..3, 0u64..3).prop_map(|(a, b)| a + b);
+        for _ in 0..50 {
+            assert!(s.new_value(&mut rng) <= 4);
+        }
+        let u = prop_oneof![Just(1u32), Just(2u32)];
+        for _ in 0..50 {
+            let v = u.new_value(&mut rng);
+            assert!(v == 1 || v == 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: patterns, assume, and asserts all wire up.
+        #[test]
+        fn macro_smoke((a, b) in (0u64..10, 0u64..10), n in 1usize..4) {
+            prop_assume!(a != 9);
+            prop_assert!(a < 10, "a out of range: {}", a);
+            prop_assert_eq!(n.min(3), n);
+            prop_assert_ne!(a, 10);
+            let _ = b;
+        }
+    }
+}

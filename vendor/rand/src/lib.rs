@@ -1,0 +1,247 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the small slice of the `rand` 0.8 API its tests, benches, and workload
+//! generators actually use: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen`], and [`Rng::gen_range`] over half-open integer ranges.
+//!
+//! The generator is SplitMix64 — statistically solid for test-data
+//! synthesis and fully deterministic per seed, which is all the repository
+//! relies on (every workload is seeded).  It makes no attempt at
+//! reproducing upstream `rand`'s value sequences or its wider API.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let a = rng.gen_range(0..10u64);
+//! assert!(a < 10);
+//! let b: u32 = rng.gen();
+//! let mut rng2 = StdRng::seed_from_u64(42);
+//! assert_eq!(rng2.gen_range(0..10u64), a);
+//! let _ = b;
+//! ```
+
+/// Concrete generators.
+pub mod rngs {
+    /// Deterministic 64-bit generator (SplitMix64 under the hood).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    #[inline]
+    fn next_u64_impl(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Pre-advance once so seed 0 does not start at state 0.
+        let mut rng = StdRng { state: seed };
+        let _ = rng.next_u64_impl();
+        StdRng {
+            state: rng.state ^ seed.rotate_left(17),
+        }
+    }
+}
+
+/// Types producible by [`Rng::gen`] (stand-in for the `Standard`
+/// distribution).
+pub trait Standard: Sized {
+    /// Build a value from one raw 64-bit draw.
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_u64(raw: u64) -> u64 {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn from_u64(raw: u64) -> u32 {
+        (raw >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    #[inline]
+    fn from_u64(raw: u64) -> usize {
+        raw as usize
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_u64(raw: u64) -> bool {
+        raw & 1 == 1
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Uniform-ish draw from `[lo, hi)`; panics when the range is empty.
+    fn sample(lo: Self, hi: Self, raw: u64) -> Self;
+}
+
+/// Range forms accepted by [`Rng::gen_range`] (half-open and inclusive).
+pub trait SampleRange<T> {
+    /// Draw a value from the range using one raw 64-bit draw.
+    fn sample_from(self, raw: u64) -> T;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample(lo: $t, hi: $t, raw: u64) -> $t {
+                assert!(lo < hi, "gen_range called with an empty range");
+                let span = (hi - lo) as u64;
+                lo + (raw % span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from(self, raw: u64) -> $t {
+                <$t as SampleUniform>::sample(self.start, self.end, raw)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, raw: u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range called with an empty range");
+                let span = (hi - lo) as u64 + 1;
+                lo + (raw % span.max(1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample(lo: $t, hi: $t, raw: u64) -> $t {
+                assert!(lo < hi, "gen_range called with an empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                lo.wrapping_add((raw % span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from(self, raw: u64) -> $t {
+                <$t as SampleUniform>::sample(self.start, self.end, raw)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, raw: u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range called with an empty range");
+                let span = ((hi as i64).wrapping_sub(lo as i64) as u64).wrapping_add(1);
+                lo.wrapping_add((raw % span.max(1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Random-value methods (subset of `rand::Rng`).
+pub trait Rng {
+    /// One raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// A value of any [`Standard`] type.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// A value uniform in `range` (half-open or inclusive).
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self.next_u64())
+    }
+
+    /// A biased coin flip.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10u64);
+            assert!((3..10).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+    }
+
+    #[test]
+    fn gen_usize_and_u32() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _: u32 = rng.gen();
+        let _: usize = rng.gen_range(0..5usize);
+    }
+}
