@@ -1,0 +1,112 @@
+//! Threads sweep over the Figure-5/Figure-6 workloads: serial vs parallel
+//! execution of the same coded sort and the same planned intersect query,
+//! threads ∈ {1, 2, 4, 8}.
+//!
+//! Equivalence (identical rows *and* codes across thread counts) is
+//! asserted once before timing; the timed loops then measure the speedup
+//! of parallel run generation behind the order-preserving exchange.
+//!
+//! Interpreting the sweep: run generation is ~3/4 of the sort's work and
+//! parallelizes linearly, so with ≥ 4 cores the 4-thread row should run
+//! ≳ 2× the 1-thread row (Amdahl over the serial final merge).  On a
+//! single-core host (the sweep prints what it detects) the same numbers
+//! degenerate into an *overhead* measurement: parallel within a few
+//! percent of serial means the threading machinery costs ~nothing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ovc_bench::workload::{intersect_tables, table, TableSpec};
+use ovc_core::{OvcRow, Stats};
+use ovc_plan::exec::{execute, ExecOptions};
+use ovc_plan::figure5::{catalog_unsorted, plan_intersect};
+use ovc_plan::{PlannerConfig, Preference};
+use ovc_sort::parallel::parallel_sort;
+
+/// The sort-heavy workload: many rows, several key columns, few distinct
+/// values per column (the paper's evaluation data shape).
+const SORT_ROWS: usize = 300_000;
+const KEY_COLS: usize = 4;
+const MEMORY_ROWS: usize = 16 * 1024;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_parallel_sort(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("(host reports {cores} core(s) — speedup requires > 1)");
+    let rows = table(TableSpec {
+        rows: SORT_ROWS,
+        key_cols: KEY_COLS,
+        payload_cols: 1,
+        distinct_per_col: 8,
+        seed: 42,
+    });
+
+    // Serial/parallel equivalence, asserted outside the timed region.
+    let reference: Vec<OvcRow> = parallel_sort(
+        rows.clone(),
+        KEY_COLS,
+        1,
+        MEMORY_ROWS,
+        64,
+        &Stats::new_shared(),
+    )
+    .collect();
+    for threads in THREADS {
+        let out: Vec<OvcRow> = parallel_sort(
+            rows.clone(),
+            KEY_COLS,
+            threads,
+            MEMORY_ROWS,
+            64,
+            &Stats::new_shared(),
+        )
+        .collect();
+        assert_eq!(out, reference, "threads={threads} must match serial");
+    }
+
+    let mut g = c.benchmark_group("parallel_sort_threads");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(SORT_ROWS as u64));
+    for threads in THREADS {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let stats = Stats::new_shared();
+                parallel_sort(rows.clone(), KEY_COLS, t, MEMORY_ROWS, 64, &stats).count()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_figure5(c: &mut Criterion) {
+    let (t1, t2) = intersect_tables(200_000, 7);
+    let catalog = catalog_unsorted(t1, t2);
+    let base = PlannerConfig::default()
+        .with_memory_rows(MEMORY_ROWS)
+        .with_preference(Preference::ForceSortBased);
+
+    let run = |dop: usize| -> Vec<OvcRow> {
+        let cfg = base.with_dop(dop).with_parallel_threshold(1);
+        let plan = plan_intersect(&catalog, cfg).expect("plans");
+        let stats = Stats::new_shared();
+        execute(&plan, &catalog, &stats, &ExecOptions::default()).into_coded()
+    };
+    let reference = run(1);
+    for dop in THREADS {
+        assert_eq!(run(dop), reference, "dop={dop} must match serial");
+    }
+
+    let mut g = c.benchmark_group("fig5_planned_query_dop");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(2 * 200_000));
+    for dop in THREADS {
+        g.bench_with_input(BenchmarkId::from_parameter(dop), &dop, |b, &d| {
+            b.iter(|| run(d).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_sort, bench_parallel_figure5);
+criterion_main!(benches);

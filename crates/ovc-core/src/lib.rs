@@ -15,10 +15,13 @@
 //! * [`theorem`] — the paper's new `max`-combination theorem, the filter
 //!   corollary, and the [`theorem::OvcAccumulator`] every operator uses to
 //!   produce output codes;
-//! * [`derive`] — reference derivation/validation of exact codes;
-//! * [`stream`] — the [`stream::OvcStream`] contract operators compose on;
+//! * [`mod@derive`] — reference derivation/validation of exact codes;
+//! * [`stream`] — the [`stream::OvcStream`] contract operators compose on,
+//!   plus the [`stream::CodedBatch`] / [`stream::SendOvcStream`] adapters
+//!   that let coded streams cross thread boundaries;
 //! * [`stats`] — comparison and spill accounting for the paper's `N × K`
-//!   bound and the Figure 6 spill claims;
+//!   bound and the Figure 6 spill claims, single-threaded (`Stats`) and
+//!   sendable ([`stats::AtomicStats`], per-thread snapshot merging);
 //! * [`table1`] — the paper's running example as a shared fixture.
 //!
 //! ## Quick example
@@ -53,5 +56,5 @@ pub mod theorem;
 
 pub use ovc::Ovc;
 pub use row::{Row, SortKey, Value};
-pub use stats::{CostWeights, Stats, StatsSnapshot};
-pub use stream::{OvcRow, OvcStream, VecStream};
+pub use stats::{AtomicStats, CostWeights, Stats, StatsSnapshot};
+pub use stream::{CodedBatch, OvcRow, OvcStream, SendOvcStream, VecStream};

@@ -10,10 +10,21 @@
 use std::cell::Cell;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Shared, single-threaded counters.  Operators hold an `Rc<Stats>`;
-/// parallel components (exchange) keep per-thread `Stats` and merge
-/// [`StatsSnapshot`]s afterwards.
+/// Shared counters for one thread of execution.  Operators hold an
+/// `Rc<Stats>` along a pipeline.  Parallel components (the threaded
+/// exchange, parallel run generation) have two sendable paths:
+///
+/// * **per-thread `Stats`** — each worker creates its own `Stats`, and the
+///   coordinator merges [`StatsSnapshot`]s with [`Stats::absorb`] after
+///   joining (lock-free, zero contention; the default choice);
+/// * **[`AtomicStats`]** — one `Sync` accumulator shared via `Arc` when
+///   workers must publish counters while still running.
+///
+/// Both merge paths preserve the accounting exactly — every worker's
+/// counts land in the coordinator's totals, nothing lost or
+/// double-counted.
 #[derive(Default)]
 pub struct Stats {
     col_value_cmps: Cell<u64>,
@@ -148,6 +159,98 @@ impl Stats {
 }
 
 impl fmt::Debug for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+/// `Send + Sync` counters for cross-thread accounting (`AtomicU64`,
+/// relaxed ordering — counters are statistics, not synchronization).
+///
+/// Worker threads that share one accumulator wrap it in an `Arc`; the
+/// coordinator reads a [`StatsSnapshot`] after joining them and folds it
+/// into its pipeline-local [`Stats`] with [`Stats::absorb`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use ovc_core::{AtomicStats, Stats};
+///
+/// let shared = Arc::new(AtomicStats::default());
+/// let worker = Arc::clone(&shared);
+/// std::thread::spawn(move || worker.count_col_cmps(3)).join().unwrap();
+///
+/// let main = Stats::default();
+/// main.absorb(&shared.snapshot());
+/// assert_eq!(main.col_value_cmps(), 3);
+/// ```
+#[derive(Default)]
+pub struct AtomicStats {
+    col_value_cmps: AtomicU64,
+    ovc_cmps: AtomicU64,
+    row_cmps: AtomicU64,
+    rows_spilled: AtomicU64,
+    bytes_spilled: AtomicU64,
+    rows_read_back: AtomicU64,
+    bytes_read_back: AtomicU64,
+}
+
+impl AtomicStats {
+    /// Count `n` column-value comparisons.
+    #[inline]
+    pub fn count_col_cmps(&self, n: u64) {
+        self.col_value_cmps.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one offset-value-code comparison.
+    #[inline]
+    pub fn count_ovc_cmp(&self) {
+        self.ovc_cmps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one full row comparison.
+    #[inline]
+    pub fn count_row_cmp(&self) {
+        self.row_cmps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account rows and bytes written to spill storage.
+    #[inline]
+    pub fn count_spill(&self, rows: u64, bytes: u64) {
+        self.rows_spilled.fetch_add(rows, Ordering::Relaxed);
+        self.bytes_spilled.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Account rows and bytes read back from spill storage.
+    #[inline]
+    pub fn count_read_back(&self, rows: u64, bytes: u64) {
+        self.rows_read_back.fetch_add(rows, Ordering::Relaxed);
+        self.bytes_read_back.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Fold a finished worker's per-thread counters in.
+    pub fn absorb(&self, s: &StatsSnapshot) {
+        self.count_col_cmps(s.col_value_cmps);
+        self.ovc_cmps.fetch_add(s.ovc_cmps, Ordering::Relaxed);
+        self.row_cmps.fetch_add(s.row_cmps, Ordering::Relaxed);
+        self.count_spill(s.rows_spilled, s.bytes_spilled);
+        self.count_read_back(s.rows_read_back, s.bytes_read_back);
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            col_value_cmps: self.col_value_cmps.load(Ordering::Relaxed),
+            ovc_cmps: self.ovc_cmps.load(Ordering::Relaxed),
+            row_cmps: self.row_cmps.load(Ordering::Relaxed),
+            rows_spilled: self.rows_spilled.load(Ordering::Relaxed),
+            bytes_spilled: self.bytes_spilled.load(Ordering::Relaxed),
+            rows_read_back: self.rows_read_back.load(Ordering::Relaxed),
+            bytes_read_back: self.bytes_read_back.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for AtomicStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         self.snapshot().fmt(f)
     }
@@ -295,6 +398,39 @@ mod tests {
         // premise of the paper's Figure 6 argument.
         let d = CostWeights::default();
         assert!(d.spill_row > 8.0 * d.col_cmp);
+    }
+
+    #[test]
+    fn atomic_stats_accumulate_across_threads() {
+        use std::sync::Arc;
+        let shared = Arc::new(AtomicStats::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    s.count_col_cmps(10);
+                    s.count_ovc_cmp();
+                    s.count_spill(1, 8);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = shared.snapshot();
+        assert_eq!(snap.col_value_cmps, 40);
+        assert_eq!(snap.ovc_cmps, 4);
+        assert_eq!(snap.rows_spilled, 4);
+        assert_eq!(snap.bytes_spilled, 32);
+        // Per-thread merge path: fold into a pipeline-local Stats.
+        let local = Stats::default();
+        local.absorb(&snap);
+        assert_eq!(local.col_value_cmps(), 40);
+        // And the atomic absorb hook mirrors Stats::absorb.
+        let other = AtomicStats::default();
+        other.count_row_cmp();
+        shared.absorb(&other.snapshot());
+        assert_eq!(shared.snapshot().row_cmps, 1);
     }
 
     #[test]

@@ -114,6 +114,94 @@ impl OvcStream for VecStream {
     }
 }
 
+/// A coded stream that may cross a thread boundary.
+///
+/// This is a pure marker: any [`OvcStream`] whose row source is `Send`
+/// (which includes [`VecStream`], [`CodedBatch`] cursors, and the threaded
+/// exchange's channel streams) already satisfies it via the blanket impl.
+/// The exactness contract travels with the stream — codes are a function
+/// of the row sequence alone, so moving a stream between threads cannot
+/// invalidate them.
+pub trait SendOvcStream: OvcStream + Send {}
+
+impl<S: OvcStream + Send> SendOvcStream for S {}
+
+/// An owned, sendable batch of coded rows — the hand-off unit between
+/// pipeline threads.
+///
+/// Where a single-threaded pipeline passes an [`OvcStream`] by value, the
+/// parallel operators (`ovc-exec`'s threaded exchange, `ovc-sort`'s
+/// parallel run generation) materialize a `CodedBatch`, move it across a
+/// thread or channel, and resume streaming on the other side with
+/// [`CodedBatch::into_stream`].  The batch carries the same contract as
+/// the stream it came from: rows sorted on the leading `key_len` columns,
+/// every code exact relative to its predecessor.
+#[derive(Clone, Debug)]
+pub struct CodedBatch {
+    rows: Vec<OvcRow>,
+    key_len: usize,
+}
+
+impl CodedBatch {
+    /// Materialize a coded stream into a sendable batch.
+    pub fn from_stream<S: OvcStream>(stream: S) -> Self {
+        let key_len = stream.key_len();
+        CodedBatch {
+            rows: stream.collect(),
+            key_len,
+        }
+    }
+
+    /// Wrap already-coded rows.  Debug builds verify the contract.
+    pub fn from_coded(rows: Vec<OvcRow>, key_len: usize) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let pairs: Vec<(Row, Ovc)> = rows.iter().map(|r| (r.row.clone(), r.code)).collect();
+            crate::derive::assert_codes_exact(&pairs, key_len);
+        }
+        CodedBatch { rows, key_len }
+    }
+
+    /// Derive codes for sorted rows and wrap them.  Panics if unsorted.
+    pub fn from_sorted_rows(rows: Vec<Row>, key_len: usize) -> Self {
+        Self::from_stream(VecStream::from_sorted_rows(rows, key_len))
+    }
+
+    /// Resume streaming (typically on a different thread than the one
+    /// that materialized the batch).
+    pub fn into_stream(self) -> VecStream {
+        VecStream {
+            iter: self.rows.into_iter(),
+            key_len: self.key_len,
+        }
+    }
+
+    /// Consume into the coded rows.
+    pub fn into_rows(self) -> Vec<OvcRow> {
+        self.rows
+    }
+
+    /// Borrow the coded rows.
+    pub fn rows(&self) -> &[OvcRow] {
+        &self.rows
+    }
+
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sort-key arity of the batch's codes.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+}
+
 /// Drain a stream into `(Row, Ovc)` pairs (test/bench convenience).
 pub fn collect_pairs<S: OvcStream>(stream: S) -> Vec<(Row, Ovc)> {
     stream.map(|r| (r.row, r.code)).collect()
@@ -166,5 +254,32 @@ mod tests {
     fn empty_stream() {
         let stream = VecStream::from_sorted_rows(vec![], 2);
         assert_eq!(collect_pairs(stream).len(), 0);
+    }
+
+    #[test]
+    fn coded_batch_round_trips_across_a_thread() {
+        fn assert_send_stream<S: crate::stream::SendOvcStream>(_: &S) {}
+
+        let batch = CodedBatch::from_stream(VecStream::from_sorted_rows(crate::table1::rows(), 4));
+        assert_eq!(batch.len(), 7);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.key_len(), 4);
+        // The batch (and the stream it reopens) may cross threads.
+        let reopened = std::thread::spawn(move || {
+            let stream = batch.into_stream();
+            assert_send_stream(&stream);
+            collect_pairs(stream)
+        })
+        .join()
+        .unwrap();
+        let codes: Vec<Ovc> = reopened.iter().map(|(_, c)| *c).collect();
+        assert_eq!(codes, crate::table1::asc_codes());
+    }
+
+    #[test]
+    fn coded_batch_from_coded_and_rows_accessors() {
+        let batch = CodedBatch::from_sorted_rows(crate::table1::rows(), 4);
+        let again = CodedBatch::from_coded(batch.rows().to_vec(), 4);
+        assert_eq!(again.into_rows().len(), 7);
     }
 }

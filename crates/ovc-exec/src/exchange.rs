@@ -9,9 +9,12 @@
 //! * Many-to-many: "similar to a sequence of many-to-one and one-to-many
 //!   shuffle operations" — composed from the two primitives.
 //!
-//! The paper's experiments are single-threaded (Section 6); these
-//! operators model the data movement and code computation, which is what
-//! offset-value coding touches — thread scheduling is orthogonal.
+//! These operators express the data movement and code computation as
+//! single-threaded data-flow — the reference semantics.  The same
+//! computations run on real producer/consumer threads over bounded
+//! channels in [`crate::parallel`] (`split_threaded`, `merge_threaded`,
+//! `repartition_threaded`), which is property-tested to match these
+//! functions row for row and code for code.
 
 use std::rc::Rc;
 

@@ -16,7 +16,10 @@
 //! * [`nlj`] — nested-loops and b-tree lookup joins (§4.8);
 //! * [`hash_join_op`] — order-preserving in-memory hash join (§4.9);
 //! * [`window`] — analytic (window) functions over coded streams (§5);
-//! * [`exchange`] — order-preserving split and merge shuffles (§4.10);
+//! * [`exchange`] — order-preserving split and merge shuffles (§4.10),
+//!   single-threaded data-flow semantics;
+//! * [`parallel`] — the same shuffles on real producer/consumer threads
+//!   with bounded channels (the exchange-parallel regime of F1 Query);
 //! * [`plans`] — the sort-based "intersect distinct" plan of Figure 5.
 //!
 //! Every operator upholds the [`ovc_core::stream::OvcStream`] contract:
@@ -33,6 +36,7 @@ pub mod group;
 pub mod hash_join_op;
 pub mod merge_join;
 pub mod nlj;
+pub mod parallel;
 pub mod pivot;
 pub mod plans;
 pub mod project;
@@ -45,6 +49,10 @@ pub use group::{Aggregate, GroupAggregate, GroupCountDistinct};
 pub use hash_join_op::{HashJoinOp, HashTable};
 pub use merge_join::{JoinType, MergeJoin, NULL_VALUE};
 pub use nlj::{BTreeInner, InnerSource, LookupJoin, PredicateInner};
+pub use parallel::{
+    merge_threaded, repartition_threaded, split_threaded, ChannelStream, MergeThreaded,
+    SplitThreads, DEFAULT_CHANNEL_CAPACITY,
+};
 pub use pivot::{Pivot, PivotSpec};
 pub use project::{ClampKey, Project};
 pub use set_ops::{SetOp, SetOperation};

@@ -8,7 +8,7 @@
 //!
 //! Structure:
 //!
-//! * a [`GroupedMerge`] runs a two-way merge of the two inputs with their
+//! * a `GroupedMerge` runs a two-way merge of the two inputs with their
 //!   codes clamped to the join-key arity.  Exactly like a tree-of-losers
 //!   with two leaves, every comparison is a same-base code comparison: the
 //!   current row of each side is coded relative to the row most recently

@@ -76,7 +76,7 @@ impl InnerSource for BTreeInner<'_> {
 /// Plain nested-loops source: a stored sorted coded table filtered by an
 /// arbitrary two-table predicate.  Result codes follow the filter theorem
 /// (Section 4.8: the theorem does not care whether rows fail "a
-/// single-table predicate in a filter [or] a two-table predicate").
+/// single-table predicate in a filter \[or\] a two-table predicate").
 pub struct PredicateInner<P> {
     table: Vec<OvcRow>,
     key_len: usize,
@@ -320,7 +320,7 @@ impl<S: OvcStream, I: InnerSource> OvcStream for LookupJoin<S, I> {
     }
 }
 
-/// Convenience: the [`Value`] alias is re-exported for predicate closures.
+/// Convenience: the [`ovc_core::Value`] alias serves predicate closures.
 pub type PredicateFn = fn(&Row, &Row) -> bool;
 
 #[cfg(test)]

@@ -1,0 +1,450 @@
+//! The order-preserving exchange with real threads (Section 4.10, scaled).
+//!
+//! [`crate::exchange`] implements the paper's splitting/merging shuffles as
+//! single-threaded data-flow; this module runs the same code computations
+//! across producer/consumer threads connected by **bounded channels**
+//! (`std::sync::mpsc::sync_channel` — backpressure, no unbounded queues):
+//!
+//! * [`split_threaded`] — one-to-many: a producer thread routes rows by
+//!   range/hash/round-robin and repairs codes with one
+//!   [`OvcAccumulator`] per partition (the filter corollary); each output
+//!   partition is a [`ChannelStream`] that any thread may consume.
+//! * [`merge_threaded`] — many-to-one: one feeder thread per input pushes
+//!   coded rows into its channel; the consuming thread runs the
+//!   tree-of-losers merge over the channel streams, producing exact codes
+//!   while the feeders are still running.
+//! * [`repartition_threaded`] — many-to-many: N splitter threads and P
+//!   merger threads all live at once, bounded channels throughout — the
+//!   shape of F1 Query's exchange-parallel plans.
+//!
+//! Code exactness survives every hand-off because codes are a function of
+//! the row sequence within a partition stream, and each thread sees its
+//! partition in order.  Comparison counters from worker threads are kept
+//! in per-thread [`Stats`] and merged into the caller's by snapshot
+//! (`ovc_core::stats`), so accounting is identical to the serial exchange.
+
+use std::rc::Rc;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::{self, JoinHandle};
+
+use ovc_core::theorem::OvcAccumulator;
+use ovc_core::{CodedBatch, OvcRow, OvcStream, Row, Stats, StatsSnapshot, VecStream};
+use ovc_sort::TreeOfLosers;
+
+/// Default bound of every exchange channel, in rows.  Small enough for
+/// backpressure to keep memory flat, large enough to amortize wakeups.
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
+
+/// A coded stream arriving over a bounded channel from a producer thread.
+///
+/// `ChannelStream` is `Send`: it can be handed to whichever thread runs
+/// the consuming operator.  Iteration blocks on the producer (that is the
+/// backpressure) and ends when the producer drops its sender.
+pub struct ChannelStream {
+    rx: Receiver<OvcRow>,
+    key_len: usize,
+}
+
+impl Iterator for ChannelStream {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        self.rx.recv().ok()
+    }
+}
+
+impl OvcStream for ChannelStream {
+    fn key_len(&self) -> usize {
+        self.key_len
+    }
+}
+
+/// The output side of [`split_threaded`]: per-partition channel streams
+/// plus the producer's join handle.
+pub struct SplitThreads {
+    partitions: Vec<ChannelStream>,
+    producer: JoinHandle<()>,
+}
+
+impl SplitThreads {
+    /// Take the partition streams (each `Send`, consumable by any thread)
+    /// and the producer handle to [`join`](JoinHandle::join) afterwards.
+    pub fn into_parts(self) -> (Vec<ChannelStream>, JoinHandle<()>) {
+        (self.partitions, self.producer)
+    }
+
+    /// Drain every partition concurrently (one consumer thread each) and
+    /// return the materialized batches.
+    ///
+    /// Draining partitions **sequentially** against a bounded-channel
+    /// producer deadlocks — the producer blocks on a full buffer of a
+    /// partition nobody is reading yet (the very deadlock §4.10 notes
+    /// real systems design around) — so this helper always fans out.
+    pub fn collect_all(self) -> Vec<CodedBatch> {
+        let (parts, producer) = self.into_parts();
+        let out = thread::scope(|scope| {
+            let consumers: Vec<_> = parts
+                .into_iter()
+                .map(|p| scope.spawn(move || CodedBatch::from_stream(p)))
+                .collect();
+            consumers
+                .into_iter()
+                .map(|c| c.join().expect("split consumer panicked"))
+                .collect()
+        });
+        producer.join().expect("split producer panicked");
+        out
+    }
+}
+
+/// One-to-many splitting shuffle on a real producer thread.
+///
+/// The producer owns one [`OvcAccumulator`] per partition: a row routed to
+/// partition `p` is "kept" there and "absorbed" by every other partition's
+/// accumulator, so each partition stream carries exact codes relative to
+/// its own previous row — the same repair the serial
+/// [`crate::exchange::split`] performs, now overlapped with consumption.
+pub fn split_threaded<P>(input: CodedBatch, parts: usize, part: P, capacity: usize) -> SplitThreads
+where
+    P: FnMut(&Row) -> usize + Send + 'static,
+{
+    assert!(parts > 0, "split needs at least one partition");
+    let key_len = input.key_len();
+    let capacity = capacity.max(1);
+    let (txs, rxs): (Vec<SyncSender<OvcRow>>, Vec<Receiver<OvcRow>>) =
+        (0..parts).map(|_| sync_channel(capacity)).unzip();
+    let producer = thread::spawn(move || {
+        route_coded_rows(input, parts, part, |p, row| txs[p].send(row).is_ok());
+    });
+    SplitThreads {
+        partitions: rxs
+            .into_iter()
+            .map(|rx| ChannelStream { rx, key_len })
+            .collect(),
+        producer,
+    }
+}
+
+/// The splitting side shared by [`split_threaded`] and
+/// [`repartition_threaded`]: route every row of `input` with `part`,
+/// repairing codes with one [`OvcAccumulator`] per partition (a row
+/// "kept" by partition `p` is "absorbed" by every other partition's
+/// accumulator — the filter corollary), and hand each coded row to
+/// `send`.  A `false` return from `send` closes that partition (its
+/// consumer is gone); the others keep flowing.
+fn route_coded_rows<P>(
+    input: CodedBatch,
+    parts: usize,
+    mut part: P,
+    mut send: impl FnMut(usize, OvcRow) -> bool,
+) where
+    P: FnMut(&Row) -> usize,
+{
+    let mut accs = vec![OvcAccumulator::new(); parts];
+    let mut open = vec![true; parts];
+    for OvcRow { row, code } in input.into_stream() {
+        let p = part(&row);
+        assert!(p < parts, "partition function out of range");
+        let out_code = accs[p].emit(code);
+        for (i, acc) in accs.iter_mut().enumerate() {
+            if i != p {
+                acc.absorb(code);
+            }
+        }
+        // The row moves straight into the send — no per-row clone.
+        if open[p] && !send(p, OvcRow::new(row, out_code)) {
+            open[p] = false;
+        }
+    }
+}
+
+/// Many-to-one merging shuffle: feeder threads push each input batch into
+/// a bounded channel; the *calling* thread consumes the tree-of-losers
+/// merge as a coded stream while the feeders run.
+///
+/// Dropping the stream early is safe: closed channels make the feeders
+/// exit, and the feeder threads are joined on drop.
+pub struct MergeThreaded {
+    tree: Option<TreeOfLosers<ChannelStream>>,
+    feeders: Vec<JoinHandle<()>>,
+    key_len: usize,
+}
+
+impl Iterator for MergeThreaded {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        self.tree.as_mut().and_then(|t| t.next())
+    }
+}
+
+impl OvcStream for MergeThreaded {
+    fn key_len(&self) -> usize {
+        self.key_len
+    }
+}
+
+impl Drop for MergeThreaded {
+    fn drop(&mut self) {
+        // Drop the tree (and its receivers) first so blocked feeders see
+        // closed channels instead of deadlocking, then reap them.
+        self.tree = None;
+        for f in self.feeders.drain(..) {
+            let _ = f.join();
+        }
+    }
+}
+
+/// Order-preserving many-to-one merge over worker-fed channels.
+pub fn merge_threaded(
+    inputs: Vec<CodedBatch>,
+    key_len: usize,
+    capacity: usize,
+    stats: &Rc<Stats>,
+) -> MergeThreaded {
+    debug_assert!(inputs.iter().all(|b| b.key_len() == key_len));
+    let capacity = capacity.max(1);
+    let mut streams = Vec::with_capacity(inputs.len());
+    let mut feeders = Vec::with_capacity(inputs.len());
+    for batch in inputs {
+        let (tx, rx) = sync_channel::<OvcRow>(capacity);
+        feeders.push(thread::spawn(move || {
+            for row in batch.into_stream() {
+                if tx.send(row).is_err() {
+                    break; // consumer gone: stop feeding
+                }
+            }
+        }));
+        streams.push(ChannelStream { rx, key_len });
+    }
+    MergeThreaded {
+        tree: Some(TreeOfLosers::new(streams, key_len, Rc::clone(stats))),
+        feeders,
+        key_len,
+    }
+}
+
+/// Many-to-many shuffle with N splitter threads and `parts_out` merger
+/// threads running concurrently, one bounded channel per merger.
+///
+/// Each splitter repairs codes per output partition (as in
+/// [`split_threaded`]); each merger drains its inlet into per-splitter
+/// buffers and runs a tree-of-losers over them with a per-thread
+/// [`Stats`], merged into the caller's counters after the join.  Returns
+/// the materialized output partitions.
+pub fn repartition_threaded<P>(
+    inputs: Vec<CodedBatch>,
+    key_len: usize,
+    parts_out: usize,
+    mut make_part: impl FnMut() -> P,
+    capacity: usize,
+    stats: &Rc<Stats>,
+) -> Vec<CodedBatch>
+where
+    P: FnMut(&Row) -> usize + Send,
+{
+    assert!(parts_out > 0, "repartition needs at least one partition");
+    debug_assert!(inputs.iter().all(|b| b.key_len() == key_len));
+    let capacity = capacity.max(1);
+    let n_inputs = inputs.len();
+
+    // One bounded channel per *merger*, shared by all splitters, rows
+    // tagged with their splitter index.  A merger blocks on its single
+    // inlet and is therefore always draining, which is the deadlock
+    // avoidance §4.10 alludes to: with one bounded channel per
+    // splitter×merger edge, a merge that waits on one splitter's row
+    // while another splitter's buffer sits full forms a
+    // producer/consumer wait cycle.  mpsc guarantees per-sender FIFO, so
+    // each splitter's partition order (and with it code exactness)
+    // survives the shared channel.
+    let mut merger_rxs = Vec::with_capacity(parts_out);
+    let mut txs_template: Vec<SyncSender<(usize, OvcRow)>> = Vec::with_capacity(parts_out);
+    for _ in 0..parts_out {
+        let (tx, rx) = sync_channel::<(usize, OvcRow)>(capacity);
+        txs_template.push(tx);
+        merger_rxs.push(rx);
+    }
+
+    let merged: Vec<(Vec<OvcRow>, StatsSnapshot)> = thread::scope(|scope| {
+        // Splitters: one thread per input, the same routing core as
+        // split_threaded, rows tagged with their splitter index.
+        for (idx, batch) in inputs.into_iter().enumerate() {
+            let txs = txs_template.clone();
+            let part = make_part();
+            scope.spawn(move || {
+                route_coded_rows(batch, parts_out, part, |p, row| {
+                    txs[p].send((idx, row)).is_ok()
+                });
+            });
+        }
+        // The template senders must drop before the mergers can see
+        // end-of-input (a merger's channel closes when every splitter
+        // has dropped its clone).
+        drop(txs_template);
+
+        // Mergers: one thread per output partition, per-thread Stats.
+        // Each blocks on its inlet, demultiplexes rows back into
+        // per-splitter buffers, then runs the coded tree-of-losers merge.
+        let mergers: Vec<_> = merger_rxs
+            .into_iter()
+            .map(|rx| {
+                scope.spawn(move || {
+                    let mut bufs: Vec<Vec<OvcRow>> = vec![Vec::new(); n_inputs];
+                    while let Ok((idx, row)) = rx.recv() {
+                        bufs[idx].push(row);
+                    }
+                    let local = Stats::new_shared();
+                    let streams: Vec<VecStream> = bufs
+                        .into_iter()
+                        .map(|rows| CodedBatch::from_coded(rows, key_len).into_stream())
+                        .collect();
+                    let rows: Vec<OvcRow> =
+                        TreeOfLosers::new(streams, key_len, Rc::clone(&local)).collect();
+                    (rows, local.snapshot())
+                })
+            })
+            .collect();
+        mergers
+            .into_iter()
+            .map(|m| m.join().expect("exchange merger panicked"))
+            .collect()
+    });
+
+    merged
+        .into_iter()
+        .map(|(rows, snapshot)| {
+            stats.absorb(&snapshot);
+            CodedBatch::from_coded(rows, key_len)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exchange::{self, partition};
+    use ovc_core::derive::assert_codes_exact;
+    use ovc_core::stream::collect_pairs;
+    use ovc_core::{Ovc, VecStream};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn batch(n: usize, seed: u64) -> (CodedBatch, Vec<Row>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows: Vec<Row> = (0..n)
+            .map(|_| Row::new(vec![rng.gen_range(0..30u64), rng.gen_range(0..30u64)]))
+            .collect();
+        rows.sort();
+        (CodedBatch::from_sorted_rows(rows.clone(), 2), rows)
+    }
+
+    fn check_exact(b: &CodedBatch) {
+        let pairs: Vec<(Row, Ovc)> = b.rows().iter().map(|r| (r.row.clone(), r.code)).collect();
+        assert_codes_exact(&pairs, b.key_len());
+    }
+
+    #[test]
+    fn threaded_split_matches_serial_split() {
+        let (input, rows) = batch(400, 1);
+        let serial = exchange::split(
+            VecStream::from_sorted_rows(rows, 2),
+            4,
+            partition::by_hash(0, 4),
+        );
+        let threaded = split_threaded(input, 4, partition::by_hash(0, 4), 16).collect_all();
+        assert_eq!(threaded.len(), 4);
+        for (t, s) in threaded.into_iter().zip(serial) {
+            check_exact(&t);
+            assert_eq!(t.into_rows(), s.collect::<Vec<OvcRow>>());
+        }
+    }
+
+    #[test]
+    fn threaded_split_partitions_consumed_on_worker_threads() {
+        let (input, rows) = batch(300, 2);
+        let (parts, producer) = split_threaded(input, 3, partition::by_hash(1, 3), 8).into_parts();
+        let consumers: Vec<_> = parts
+            .into_iter()
+            .map(|p| thread::spawn(move || CodedBatch::from_stream(p)))
+            .collect();
+        let mut total = 0;
+        for c in consumers {
+            let b = c.join().unwrap();
+            check_exact(&b);
+            total += b.len();
+        }
+        producer.join().unwrap();
+        assert_eq!(total, rows.len());
+    }
+
+    #[test]
+    fn threaded_merge_round_trips() {
+        let (input, rows) = batch(500, 3);
+        let stats = Stats::new_shared();
+        let parts = split_threaded(input, 8, partition::by_hash(0, 8), DEFAULT_CHANNEL_CAPACITY)
+            .collect_all();
+        let merged = merge_threaded(parts, 2, DEFAULT_CHANNEL_CAPACITY, &stats);
+        let pairs = collect_pairs(merged);
+        assert_codes_exact(&pairs, 2);
+        let got: Vec<Row> = pairs.into_iter().map(|(r, _)| r).collect();
+        assert_eq!(got, rows, "threaded shuffle round trip");
+    }
+
+    #[test]
+    fn threaded_merge_dropped_early_joins_cleanly() {
+        let (input, _) = batch(2000, 4);
+        let stats = Stats::new_shared();
+        let parts = split_threaded(input, 4, partition::round_robin(4), 8).collect_all();
+        let mut merged = merge_threaded(parts, 2, 2, &stats);
+        let _ = merged.next();
+        drop(merged); // feeders must exit via closed channels, not hang
+    }
+
+    #[test]
+    fn repartition_matches_serial_many_to_many() {
+        let (a, rows_a) = batch(300, 5);
+        let (b, rows_b) = batch(300, 6);
+        let stats = Stats::new_shared();
+        let outs = repartition_threaded(vec![a, b], 2, 4, || partition::by_hash(0, 4), 16, &stats);
+        let serial_stats = Stats::new_shared();
+        let serial = exchange::many_to_many(
+            vec![
+                VecStream::from_sorted_rows(rows_a.clone(), 2),
+                VecStream::from_sorted_rows(rows_b.clone(), 2),
+            ],
+            4,
+            || partition::by_hash(0, 4),
+            &serial_stats,
+        );
+        let mut total = 0;
+        for (t, s) in outs.into_iter().zip(serial) {
+            check_exact(&t);
+            total += t.len();
+            assert_eq!(t.into_rows(), s.collect::<Vec<OvcRow>>());
+        }
+        assert_eq!(total, rows_a.len() + rows_b.len());
+        // Per-thread merger counters landed in the caller's stats, and the
+        // totals agree with the serial exchange (dop-invariant accounting).
+        assert_eq!(stats.ovc_cmps(), serial_stats.ovc_cmps());
+        assert_eq!(stats.col_value_cmps(), serial_stats.col_value_cmps());
+    }
+
+    #[test]
+    fn skewed_split_one_empty_one_hot() {
+        let (input, rows) = batch(200, 7);
+        // by_range routes values below the boundary to partition 0, so a
+        // boundary above the whole domain leaves partition 1 empty and
+        // partition 0 hot.
+        let parts = split_threaded(input, 2, partition::by_range(vec![1000]), 4).collect_all();
+        assert_eq!(parts[1].len(), 0, "nothing reaches the upper range");
+        assert_eq!(parts[0].len(), rows.len());
+        check_exact(&parts[0]);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_partitions() {
+        let input = CodedBatch::from_sorted_rows(vec![], 1);
+        let parts = split_threaded(input, 3, partition::round_robin(3), 4).collect_all();
+        assert!(parts.iter().all(|p| p.is_empty()));
+        let stats = Stats::new_shared();
+        assert_eq!(merge_threaded(vec![], 1, 4, &stats).count(), 0);
+    }
+}

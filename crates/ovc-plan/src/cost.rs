@@ -179,6 +179,70 @@ pub fn streaming(rows: f64) -> Cost {
     }
 }
 
+/// Order-preserving exchange around a `parts`-way parallel operator
+/// (Section 4.10): every row pays one accumulator `max` on the splitting
+/// side and `log2(parts)` code comparisons in the merging tree-of-losers.
+///
+/// This prices the *threaded exchange operators* of
+/// `ovc_exec::parallel` (used when plans place explicit exchanges —
+/// ROADMAP).  The parallel sorts run no exchange, so
+/// [`sort_ovc_parallel`] / [`in_sort_distinct_parallel`] deliberately do
+/// **not** include this term: estimates describe the chosen lowering.
+pub fn exchange(rows: f64, parts: usize) -> Cost {
+    if parts <= 1 {
+        return Cost::zero();
+    }
+    Cost {
+        ovc_cmps: rows * (1.0 + log2(parts as f64)),
+        ..Cost::zero()
+    }
+}
+
+/// Parallel OVC sort (`ovc_sort::parallel::parallel_sort`): run
+/// generation on `dop` worker slices, then the same in-memory
+/// bounded-fan-in cascade the serial estimate already counts.
+/// Comparison terms carry over unchanged (same per-run budget, same
+/// `N × K` bound, same merge levels — the lowering runs no exchange,
+/// so none is charged); but the parallel lowering keeps every run
+/// resident, so — unlike [`sort_ovc`] — **nothing spills**, and the
+/// estimate must say so or `Preference::Auto` would reject spill-free
+/// parallel sort plans on phantom I/O.  `_dop` stays in the signature
+/// for when parallel spilling (ROADMAP) makes cost dop-sensitive.
+pub fn sort_ovc_parallel(
+    rows: f64,
+    key_len: usize,
+    memory_rows: usize,
+    fan_in: usize,
+    _dop: usize,
+) -> Cost {
+    let serial = sort_ovc(rows, key_len, memory_rows, fan_in);
+    Cost {
+        spill_rows: 0.0,
+        read_rows: 0.0,
+        ..serial
+    }
+}
+
+/// Parallel in-sort duplicate removal
+/// (`ovc_sort::parallel::parallel_sort_distinct`): as
+/// [`sort_ovc_parallel`], with the dedup folded into run generation and
+/// every merge level.  Spill-free for the same reason.
+pub fn in_sort_distinct_parallel(
+    rows: f64,
+    distinct: f64,
+    key_len: usize,
+    memory_rows: usize,
+    fan_in: usize,
+    _dop: usize,
+) -> Cost {
+    let serial = in_sort_distinct(rows, distinct, key_len, memory_rows, fan_in);
+    Cost {
+        spill_rows: 0.0,
+        read_rows: 0.0,
+        ..serial
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +319,40 @@ mod tests {
         assert_eq!(c.spill_rows, 0.0);
         let s = merge_streaming(10.0, 10.0, 1);
         assert_eq!(s.spill_rows, 0.0);
+    }
+
+    #[test]
+    fn exchange_overhead_is_small_and_serial_free() {
+        assert_eq!(exchange(10_000.0, 1), Cost::zero());
+        let c = exchange(10_000.0, 4);
+        assert_eq!(c.spill_rows, 0.0, "exchanges never spill");
+        assert_eq!(c.col_cmps, 0.0, "exchanges never touch column values");
+        // The overhead stays a sliver of the sort it parallelizes.
+        let sort = sort_ovc(10_000.0, 2, 1000, 64);
+        assert!(c.total(&W) < sort.total(&W) / 4.0);
+    }
+
+    #[test]
+    fn parallel_sorts_are_priced_spill_free() {
+        // The parallel lowerings keep runs resident: the estimate must
+        // drop the serial spill term (or Auto would reject parallel sort
+        // plans on I/O they never perform) while keeping comparisons.
+        let serial = sort_ovc(50_000.0, 2, 1000, 64);
+        let parallel = sort_ovc_parallel(50_000.0, 2, 1000, 64, 4);
+        assert!(serial.spill_rows > 0.0);
+        assert_eq!(parallel.spill_rows, 0.0);
+        assert_eq!(parallel.read_rows, 0.0);
+        assert_eq!(parallel.col_cmps, serial.col_cmps);
+        // No exchange runs in the parallel sort lowering, so none is
+        // charged: comparison estimates carry over verbatim.
+        assert_eq!(parallel.ovc_cmps, serial.ovc_cmps);
+        // Spill-free parallel sort prices below the spilling serial one.
+        assert!(parallel.total(&W) < serial.total(&W));
+
+        let d_serial = in_sort_distinct(50_000.0, 40_000.0, 1, 1000, 64);
+        let d_parallel = in_sort_distinct_parallel(50_000.0, 40_000.0, 1, 1000, 64, 4);
+        assert!(d_serial.spill_rows > 0.0);
+        assert_eq!(d_parallel.spill_rows, 0.0);
     }
 
     #[test]

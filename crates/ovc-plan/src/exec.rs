@@ -135,11 +135,26 @@ impl Cx<'_> {
                 key_len,
                 memory_rows,
                 fan_in,
+                dop,
             } => {
                 let rows = self.run(input).into_rows();
-                let mut storage = MemoryRunStorage::new(Rc::clone(self.stats));
-                let cfg = SortConfig::new(*key_len, *memory_rows).with_fan_in(*fan_in);
-                Output::Stream(Box::new(external_sort(rows, cfg, &mut storage, self.stats)))
+                if *dop > 1 {
+                    // Parallel run generation over row-range slices: rows
+                    // and codes are byte-identical to the serial sort
+                    // (tests/parallel_properties.rs holds it to that).
+                    Output::Stream(Box::new(ovc_sort::parallel::parallel_sort(
+                        rows,
+                        *key_len,
+                        *dop,
+                        *memory_rows,
+                        *fan_in,
+                        self.stats,
+                    )))
+                } else {
+                    let mut storage = MemoryRunStorage::new(Rc::clone(self.stats));
+                    let cfg = SortConfig::new(*key_len, *memory_rows).with_fan_in(*fan_in);
+                    Output::Stream(Box::new(external_sort(rows, cfg, &mut storage, self.stats)))
+                }
             }
             PhysOp::TrustSorted { input, key_len } => {
                 let stream = self.run(input).into_stream();
@@ -163,17 +178,29 @@ impl Cx<'_> {
                 key_len,
                 memory_rows,
                 fan_in,
+                dop,
             } => {
                 let rows = self.run(input).into_rows();
-                let mut storage = MemoryRunStorage::new(Rc::clone(self.stats));
-                Output::Stream(Box::new(in_sort_distinct(
-                    rows,
-                    *key_len,
-                    *memory_rows,
-                    *fan_in,
-                    &mut storage,
-                    self.stats,
-                )))
+                if *dop > 1 {
+                    Output::Stream(Box::new(ovc_sort::parallel::parallel_sort_distinct(
+                        rows,
+                        *key_len,
+                        *dop,
+                        *memory_rows,
+                        *fan_in,
+                        self.stats,
+                    )))
+                } else {
+                    let mut storage = MemoryRunStorage::new(Rc::clone(self.stats));
+                    Output::Stream(Box::new(in_sort_distinct(
+                        rows,
+                        *key_len,
+                        *memory_rows,
+                        *fan_in,
+                        &mut storage,
+                        self.stats,
+                    )))
+                }
             }
             PhysOp::DedupCodes { input } => {
                 let stream = self.run(input).into_stream();

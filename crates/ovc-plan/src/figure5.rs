@@ -159,6 +159,40 @@ mod tests {
     }
 
     #[test]
+    fn parallel_figure5_matches_serial_rows_and_codes() {
+        let (t1, t2) = (table(4000, 500, 9), table(4000, 700, 10));
+        let cat = catalog_unsorted(t1, t2);
+        let serial_cfg = PlannerConfig::default()
+            .with_memory_rows(256)
+            .with_preference(Preference::ForceSortBased);
+        let parallel_cfg = serial_cfg.with_dop(4).with_parallel_threshold(1);
+
+        let serial_plan = plan_intersect(&cat, serial_cfg).expect("plans");
+        let parallel_plan = plan_intersect(&cat, parallel_cfg).expect("plans");
+        assert!(parallel_plan.explain().contains("dop=4"), "{parallel_plan}");
+        assert_eq!(parallel_plan.props.dop, 4, "{parallel_plan}");
+        assert_eq!(serial_plan.props.dop, 1, "{serial_plan}");
+
+        let (s_stats, p_stats) = (Stats::new_shared(), Stats::new_shared());
+        let serial = execute(&serial_plan, &cat, &s_stats, &ExecOptions::default()).into_coded();
+        let parallel =
+            execute(&parallel_plan, &cat, &p_stats, &ExecOptions::default()).into_coded();
+        // The acceptance bar: identical rows *and* identical exact codes.
+        assert_eq!(serial, parallel);
+        // Counters follow the lowering: the serial plan spills (memory is
+        // a sixteenth of the input), the parallel sorts keep their runs
+        // resident and spill nothing — exactly what the parallel cost
+        // functions promised at planning time.
+        assert!(s_stats.rows_spilled() > 0);
+        assert_eq!(p_stats.rows_spilled(), 0);
+        assert_eq!(parallel_plan.cost.spill_rows, 0.0, "{parallel_plan}");
+        assert!(serial_plan.cost.spill_rows > 0.0, "{serial_plan}");
+        // Both lowerings respect the N × K column-comparison regime on
+        // the sort inputs (8000 rows, 1 key column, plus merge slack).
+        assert!(p_stats.col_value_cmps() <= s_stats.col_value_cmps() * 2);
+    }
+
+    #[test]
     fn auto_preference_picks_sort_when_memory_is_scarce() {
         // Figure 6's regime: memory a tenth of the input, mostly distinct
         // rows, so the hash plan spills (much of it twice) while the sort

@@ -31,6 +31,15 @@ pub struct PhysicalProps {
     pub rows: f64,
     /// Estimated distinct full rows in the output.
     pub distinct_rows: f64,
+    /// Highest degree of parallelism used anywhere in the subtree that
+    /// produces this output (1 = fully serial).  Output rows and codes
+    /// are dop-invariant (parallel and serial plans answer identically,
+    /// byte for byte); counters follow the chosen lowering — the
+    /// parallel sorts keep runs resident and spill nothing, which the
+    /// parallel cost functions reflect.  This property carries the
+    /// *wall-clock* side of the plan, while `Cost` carries the counted
+    /// side.
+    pub dop: usize,
 }
 
 impl PhysicalProps {
@@ -65,6 +74,9 @@ pub enum PhysOp {
         memory_rows: usize,
         /// Merge fan-in.
         fan_in: usize,
+        /// Run-generation worker threads (1 = the serial external sort;
+        /// > 1 lowers onto `ovc_sort::parallel::parallel_sort`).
+        dop: usize,
     },
     /// **Elided sort**: the input already carries the required ordering
     /// and exact codes, so no work happens here.  The node stays in the
@@ -86,6 +98,9 @@ pub enum PhysOp {
         memory_rows: usize,
         /// Merge fan-in.
         fan_in: usize,
+        /// Run-generation worker threads (1 = serial; > 1 lowers onto
+        /// `ovc_sort::parallel::parallel_sort_distinct`).
+        dop: usize,
     },
     /// Streaming duplicate removal by code inspection (input must be
     /// sorted and coded on the full row).
@@ -277,9 +292,14 @@ impl PhysicalPlan {
         let pad = "  ".repeat(depth);
         let detail = match &self.op {
             PhysOp::ScanCoded { table } | PhysOp::ScanRows { table } => format!(" {table}"),
-            PhysOp::SortOvc { key_len, .. } => format!(" key={key_len}"),
+            PhysOp::SortOvc { key_len, dop, .. } | PhysOp::InSortDistinct { key_len, dop, .. } => {
+                if *dop > 1 {
+                    format!(" key={key_len} dop={dop}")
+                } else {
+                    format!(" key={key_len}")
+                }
+            }
             PhysOp::TrustSorted { key_len, .. } => format!(" key={key_len} (sort elided)"),
-            PhysOp::InSortDistinct { key_len, .. } => format!(" key={key_len}"),
             PhysOp::Filter { pred, .. } => format!(" [{pred}]"),
             PhysOp::Project { cols, .. } => format!(" {cols:?}"),
             PhysOp::GroupOvc { group_len, .. } => format!(" group={group_len}"),
@@ -329,6 +349,7 @@ mod tests {
                 coded: true,
                 rows: 10.0,
                 distinct_rows: 10.0,
+                dop: 1,
             },
             cost: Cost::zero(),
         }
@@ -373,6 +394,7 @@ mod tests {
             coded: true,
             rows: 1.0,
             distinct_rows: 1.0,
+            dop: 1,
         };
         assert!(p.satisfies_ordering(1));
         assert!(p.satisfies_ordering(2));

@@ -3,7 +3,7 @@
 //! For every logical node the planner keeps (up to) two alternatives —
 //! one whose output is **sorted and coded** on the node's natural key,
 //! one with no order guarantee — and prices both with the cost model.
-//! Operators that require an ordering call [`Planner::ensure_ordered`]:
+//! Operators that require an ordering call `Planner::ensure_ordered`:
 //! when a child alternative already satisfies the requirement with exact
 //! offset-value codes, the planner **elides the sort**, recording a
 //! [`PhysOp::TrustSorted`] marker instead of a [`PhysOp::SortOvc`]; the
@@ -48,6 +48,16 @@ pub struct PlannerConfig {
     pub preference: Preference,
     /// Weights folding estimated counters into one scalar.
     pub weights: CostWeights,
+    /// Degree of parallelism available to blocking operators (1 = serial).
+    /// Sorts over at least [`PlannerConfig::parallel_threshold_rows`]
+    /// estimated rows are stamped with this dop and lower onto
+    /// `ovc_sort::parallel`'s sliced run generation.
+    pub dop: usize,
+    /// Minimum estimated input rows before a sort goes parallel — below
+    /// this, thread spawn and coordination outweigh the work (an
+    /// uncounted wall-clock effect, hence a floor rather than a cost
+    /// term).
+    pub parallel_threshold_rows: usize,
 }
 
 impl Default for PlannerConfig {
@@ -57,6 +67,8 @@ impl Default for PlannerConfig {
             fan_in: 64,
             preference: Preference::Auto,
             weights: CostWeights::default(),
+            dop: 1,
+            parallel_threshold_rows: 4096,
         }
     }
 }
@@ -77,6 +89,18 @@ impl PlannerConfig {
     /// Override the preference.
     pub fn with_preference(mut self, preference: Preference) -> Self {
         self.preference = preference;
+        self
+    }
+
+    /// Override the degree of parallelism.
+    pub fn with_dop(mut self, dop: usize) -> Self {
+        self.dop = dop.max(1);
+        self
+    }
+
+    /// Override the row floor above which sorts run parallel.
+    pub fn with_parallel_threshold(mut self, rows: usize) -> Self {
+        self.parallel_threshold_rows = rows;
         self
     }
 }
@@ -237,6 +261,7 @@ impl<'a> Planner<'a> {
             coded: false,
             rows: t.len() as f64,
             distinct_rows: t.distinct_rows() as f64,
+            dop: 1,
         };
         let unordered = PhysicalPlan {
             op: PhysOp::ScanRows {
@@ -292,6 +317,7 @@ impl<'a> Planner<'a> {
                 coded: input.props.coded && surviving_key > 0,
                 rows: input.props.rows,
                 distinct_rows: (input.props.distinct_rows * 0.8f64.powi(dropped)).max(1.0),
+                dop: input.props.dop,
             };
             let local = cost::streaming(input.props.rows);
             PhysicalPlan {
@@ -368,6 +394,7 @@ impl<'a> Planner<'a> {
                     coded: false,
                     rows: distinct,
                     distinct_rows: distinct,
+                    dop: input.props.dop,
                 };
                 PhysicalPlan {
                     cost: input.cost.plus(&local),
@@ -413,6 +440,7 @@ impl<'a> Planner<'a> {
             coded: true,
             rows: groups,
             distinct_rows: groups,
+            dop: input.props.dop,
         };
         let plan = PhysicalPlan {
             cost: input.cost.plus(&cost::streaming(rows)),
@@ -476,6 +504,7 @@ impl<'a> Planner<'a> {
                 coded: true,
                 rows: out_rows,
                 distinct_rows: out_rows,
+                dop: li.props.dop.max(ri.props.dop),
             };
             Some(PhysicalPlan {
                 cost: li
@@ -504,6 +533,7 @@ impl<'a> Planner<'a> {
                 coded: false,
                 rows: out_rows,
                 distinct_rows: out_rows,
+                dop: li.props.dop.max(ri.props.dop),
             };
             Some(PhysicalPlan {
                 cost: li.cost.plus(&ri.cost).plus(&local),
@@ -566,6 +596,7 @@ impl<'a> Planner<'a> {
                 coded: true,
                 rows: out_rows,
                 distinct_rows: out_rows.min(ld + rd),
+                dop: li.props.dop.max(ri.props.dop),
             };
             Some(PhysicalPlan {
                 cost: li.cost.plus(&ri.cost).plus(&cost::merge_streaming(
@@ -595,6 +626,7 @@ impl<'a> Planner<'a> {
                         coded: false,
                         rows: distinct,
                         distinct_rows: distinct,
+                        dop: input.props.dop,
                     };
                     PhysicalPlan {
                         cost: input.cost.plus(&local),
@@ -615,6 +647,7 @@ impl<'a> Planner<'a> {
                 coded: false,
                 rows: out_rows,
                 distinct_rows: out_rows,
+                dop: li.props.dop.max(ri.props.dop),
             };
             Some(PhysicalPlan {
                 cost: li.cost.plus(&ri.cost).plus(&local),
@@ -684,14 +717,32 @@ impl<'a> Planner<'a> {
         let input = child_clone_best(child, w).expect("alternatives exist");
         let mem = self.config.memory_rows;
         let fan = self.config.fan_in;
+        // The degree-of-parallelism directive: a sort big enough to clear
+        // the threshold is stamped with the config's dop and lowers onto
+        // ovc_sort::parallel's sliced run generation.  Rows and codes
+        // are identical either way; the estimate switches to the
+        // parallel cost functions because the parallel lowering keeps
+        // its runs resident (no spill — like every storage device in
+        // this repository, "spilling" is accounting over in-memory
+        // buffers, so residency changes the counters, not the RSS).
+        let dop = if self.config.dop > 1 && rows >= self.config.parallel_threshold_rows as f64 {
+            self.config.dop
+        } else {
+            1
+        };
         let plan = if distinct {
-            let local = cost::in_sort_distinct(rows, distinct_rows, key_len, mem, fan);
+            let local = if dop > 1 {
+                cost::in_sort_distinct_parallel(rows, distinct_rows, key_len, mem, fan, dop)
+            } else {
+                cost::in_sort_distinct(rows, distinct_rows, key_len, mem, fan)
+            };
             let props = PhysicalProps {
                 width,
                 ordered_key: key_len,
                 coded: true,
                 rows: distinct_rows,
                 distinct_rows,
+                dop: dop.max(input.props.dop),
             };
             PhysicalPlan {
                 cost: input.cost.plus(&local),
@@ -701,16 +752,22 @@ impl<'a> Planner<'a> {
                     key_len,
                     memory_rows: mem,
                     fan_in: fan,
+                    dop,
                 },
             }
         } else {
-            let local = cost::sort_ovc(rows, key_len, mem, fan);
+            let local = if dop > 1 {
+                cost::sort_ovc_parallel(rows, key_len, mem, fan, dop)
+            } else {
+                cost::sort_ovc(rows, key_len, mem, fan)
+            };
             let props = PhysicalProps {
                 width,
                 ordered_key: key_len,
                 coded: true,
                 rows,
                 distinct_rows,
+                dop: dop.max(input.props.dop),
             };
             PhysicalPlan {
                 cost: input.cost.plus(&local),
@@ -720,6 +777,7 @@ impl<'a> Planner<'a> {
                     key_len,
                     memory_rows: mem,
                     fan_in: fan,
+                    dop,
                 },
             }
         };

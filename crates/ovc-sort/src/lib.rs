@@ -12,6 +12,9 @@
 //! * [`merge`] — multi-way merging that consumes *and produces* codes;
 //! * [`external`] — the external merge sort modeled on F1's sort operator,
 //!   with spill accounting;
+//! * [`parallel`] — parallel run generation (one sorter thread per
+//!   row-range slice) feeding the same bounded-fan-in coded merge, with
+//!   byte-identical output rows and codes;
 //! * [`segmented`] — segmented sorting (Section 4.3), finding segment
 //!   boundaries by code inspection alone.
 //!
@@ -31,6 +34,7 @@
 
 pub mod external;
 pub mod merge;
+pub mod parallel;
 pub mod replacement;
 pub mod run_gen;
 pub mod runs;
@@ -41,6 +45,7 @@ pub use external::{
     external_sort, external_sort_collect, MemoryRunStorage, RunStorage, SortConfig, SortOutput,
 };
 pub use merge::{merge_runs, merge_runs_to_run, merge_streams};
+pub use parallel::{parallel_generate_runs, parallel_sort, parallel_sort_distinct};
 pub use run_gen::{generate_runs, sort_rows_ovc, sort_rows_quicksort, RunGenStrategy};
 pub use runs::{Run, RunCursor, SingleRow};
 pub use segmented::SegmentedSort;

@@ -1,0 +1,314 @@
+//! Parallel run generation feeding the coded merge (Section 6 at scale).
+//!
+//! The paper's experiments run single-threaded, but the systems it builds
+//! on do not: F1 Query runs exchange-parallel plans and Napa's LSM
+//! compactions merge across workers.  This module parallelizes the
+//! *embarrassingly parallel* half of an external sort — run generation —
+//! with `std::thread` alone:
+//!
+//! 1. slice the input into one contiguous row range per worker;
+//! 2. each worker generates sorted, exactly-coded runs with the OVC
+//!    tree-of-losers (its own per-thread [`Stats`], merged into the
+//!    caller's by snapshot afterwards — see `ovc_core::stats`);
+//! 3. the caller's thread merges all runs with the existing bounded-fan-in
+//!    coded merge.
+//!
+//! **Equivalence guarantee:** exact offset-value codes are a function of
+//! the output row sequence alone (each code relates a row to its
+//! predecessor), so a parallel sort produces rows *and codes* byte-for-byte
+//! identical to the serial sort — asserted by `tests/parallel_properties.rs`
+//! and relied on by `ovc-plan` when it picks a parallel plan.
+//!
+//! Counters differ from the serial sort in one deliberate way: the
+//! parallel lowering keeps every run resident, so it **never spills**
+//! (`ovc_plan::cost::sort_ovc_parallel` prices it accordingly), while
+//! comparison counts obey the same `N × K` bound and land within
+//! run-boundary effects of the serial totals.  Note `memory_rows` is an
+//! accounting budget throughout this repository — the serial sorter's
+//! `MemoryRunStorage` also holds "spilled" runs in RAM — so residency
+//! here changes the counters, not the process footprint; real
+//! out-of-core parallel spilling is a ROADMAP item.
+
+use std::rc::Rc;
+use std::thread;
+
+use ovc_core::{OvcRow, OvcStream, Row, Stats, StatsSnapshot};
+
+use crate::external::SortOutput;
+use crate::merge::{merge_runs, merge_runs_to_run};
+use crate::run_gen::{generate_runs, RunGenStrategy};
+use crate::runs::Run;
+
+/// Generate initial runs from `threads` workers over contiguous row-range
+/// slices of the input.  Each worker respects the per-worker `memory_rows`
+/// budget; per-thread comparison counts are merged into `stats`.
+pub fn parallel_generate_runs(
+    rows: Vec<Row>,
+    key_len: usize,
+    threads: usize,
+    memory_rows: usize,
+    stats: &Rc<Stats>,
+) -> Vec<Run> {
+    let threads = threads.clamp(1, rows.len().max(1));
+    if threads <= 1 {
+        return generate_runs(
+            rows,
+            key_len,
+            memory_rows,
+            RunGenStrategy::OvcPriorityQueue,
+            stats,
+        );
+    }
+    let chunk_len = rows.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<Row>> = Vec::with_capacity(threads);
+    let mut rest = rows;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+
+    let results: Vec<(Vec<Run>, StatsSnapshot)> = thread::scope(|scope| {
+        let workers: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    // Per-thread counters: `Rc<Stats>` never crosses the
+                    // thread boundary; only the snapshot does.
+                    let local = Stats::new_shared();
+                    let runs = generate_runs(
+                        chunk,
+                        key_len,
+                        memory_rows,
+                        RunGenStrategy::OvcPriorityQueue,
+                        &local,
+                    );
+                    (runs, local.snapshot())
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("run-generation worker panicked"))
+            .collect()
+    });
+
+    let mut runs = Vec::new();
+    for (worker_runs, snapshot) in results {
+        stats.absorb(&snapshot);
+        runs.extend(worker_runs);
+    }
+    runs
+}
+
+/// Reduce a run set to at most `fan_in` runs by cascaded in-memory merges
+/// (the bounded-fan-in regime of the external sorter, without the spill:
+/// parallel run generation keeps everything resident).  `post` transforms
+/// each merged run before the next level — identity for a plain sort,
+/// duplicate removal for the distinct variant.
+fn reduce_to_fan_in(
+    mut runs: Vec<Run>,
+    key_len: usize,
+    fan_in: usize,
+    stats: &Rc<Stats>,
+    post: impl Fn(Run, usize) -> Run,
+) -> Vec<Run> {
+    let fan_in = fan_in.max(2);
+    while runs.len() > fan_in {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(fan_in));
+        let mut level = runs.into_iter();
+        loop {
+            let group: Vec<Run> = level.by_ref().take(fan_in).collect();
+            if group.is_empty() {
+                break;
+            }
+            next.push(post(merge_runs_to_run(group, key_len, stats), key_len));
+        }
+        runs = next;
+    }
+    runs
+}
+
+/// Sort rows with `threads` parallel run-generation workers, streaming the
+/// final bounded-fan-in coded merge.  Output rows and codes are identical
+/// to [`crate::external::external_sort`] over the same input.
+pub fn parallel_sort(
+    rows: Vec<Row>,
+    key_len: usize,
+    threads: usize,
+    memory_rows: usize,
+    fan_in: usize,
+    stats: &Rc<Stats>,
+) -> SortOutput {
+    let runs = parallel_generate_runs(rows, key_len, threads, memory_rows, stats);
+    if runs.is_empty() {
+        return SortOutput::Memory(Run::empty(key_len).cursor());
+    }
+    let mut runs = reduce_to_fan_in(runs, key_len, fan_in, stats, |run, _| run);
+    if runs.len() == 1 {
+        return SortOutput::Memory(runs.pop().expect("one run").cursor());
+    }
+    SortOutput::Merge(merge_runs(runs, key_len, stats))
+}
+
+/// Convenience: parallel sort and collect.
+pub fn parallel_sort_collect(
+    rows: Vec<Row>,
+    key_len: usize,
+    threads: usize,
+    memory_rows: usize,
+    stats: &Rc<Stats>,
+) -> Vec<OvcRow> {
+    parallel_sort(rows, key_len, threads, memory_rows, 128, stats).collect()
+}
+
+/// Parallel external sort with duplicate removal folded in (the parallel
+/// lowering of the planner's `InSortDistinct`): workers dedup their runs
+/// by code inspection before hand-off, merges dedup at every level, and
+/// the final stream drops duplicate-coded rows.  Rows and codes match the
+/// serial `ovc_exec::plans::in_sort_distinct` byte for byte.
+pub fn parallel_sort_distinct(
+    rows: Vec<Row>,
+    key_len: usize,
+    threads: usize,
+    memory_rows: usize,
+    fan_in: usize,
+    stats: &Rc<Stats>,
+) -> impl OvcStream {
+    let runs: Vec<Run> = parallel_generate_runs(rows, key_len, threads, memory_rows, stats)
+        .into_iter()
+        .map(|run| dedup_run(run, key_len))
+        .collect();
+    let runs = reduce_to_fan_in(runs, key_len, fan_in, stats, dedup_run);
+    let inner = if runs.len() <= 1 {
+        SortOutput::Memory(
+            runs.into_iter()
+                .next()
+                .unwrap_or_else(|| Run::empty(key_len))
+                .cursor(),
+        )
+    } else {
+        SortOutput::Merge(merge_runs(runs, key_len, stats))
+    };
+    DedupCodes(inner)
+}
+
+/// Drop duplicate-coded rows from a run.  Removing a row whose code says
+/// "equal to my predecessor" leaves every surviving code exact (the
+/// predecessor it described is equal to the one it now follows).
+fn dedup_run(run: Run, key_len: usize) -> Run {
+    let rows: Vec<OvcRow> = run
+        .into_rows()
+        .into_iter()
+        .filter(|r| !r.code.is_duplicate())
+        .collect();
+    Run::from_coded(rows, key_len)
+}
+
+/// Streaming duplicate filter by code inspection (one integer test/row).
+struct DedupCodes(SortOutput);
+
+impl Iterator for DedupCodes {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        loop {
+            let r = self.0.next()?;
+            if !r.code.is_duplicate() {
+                return Some(r);
+            }
+        }
+    }
+}
+
+impl OvcStream for DedupCodes {
+    fn key_len(&self) -> usize {
+        self.0.key_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::external::external_sort_collect;
+    use crate::SortConfig;
+    use ovc_core::derive::assert_codes_exact;
+    use ovc_core::{Ovc, Row};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rows(n: usize, k: usize, domain: u64, seed: u64) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Row::new((0..k).map(|_| rng.gen_range(0..domain)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_sort_matches_serial_rows_and_codes() {
+        let rows = random_rows(5000, 3, 12, 1);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let s_par = Stats::new_shared();
+            let s_ser = Stats::new_shared();
+            let par = parallel_sort_collect(rows.clone(), 3, threads, 256, &s_par);
+            let ser = external_sort_collect(rows.clone(), SortConfig::new(3, 256), &s_ser);
+            assert_eq!(par, ser, "threads={threads}");
+            let pairs: Vec<(Row, Ovc)> = par.into_iter().map(|r| (r.row, r.code)).collect();
+            assert_codes_exact(&pairs, 3);
+        }
+    }
+
+    #[test]
+    fn parallel_sort_counts_worker_comparisons() {
+        // Per-thread Stats snapshots must land in the caller's counters;
+        // the N×K bound holds regardless of the thread count.
+        let rows = random_rows(2000, 2, 5, 2);
+        let stats = Stats::new_shared();
+        let _ = parallel_sort_collect(rows, 2, 4, 128, &stats);
+        assert!(stats.col_value_cmps() > 0, "worker counters merged");
+        assert!(
+            stats.col_value_cmps() <= 2000 * 2,
+            "N*K bound: {}",
+            stats.col_value_cmps()
+        );
+    }
+
+    #[test]
+    fn parallel_sort_distinct_matches_serial_distinct() {
+        let rows = random_rows(4000, 2, 9, 3);
+        let mut expect: Vec<Row> = rows.clone();
+        expect.sort();
+        expect.dedup();
+        for threads in [2usize, 4] {
+            let stats = Stats::new_shared();
+            let out: Vec<OvcRow> =
+                parallel_sort_distinct(rows.clone(), 2, threads, 128, 8, &stats).collect();
+            let got: Vec<Row> = out.iter().map(|r| r.row.clone()).collect();
+            assert_eq!(got, expect, "threads={threads}");
+            let pairs: Vec<(Row, Ovc)> = out.into_iter().map(|r| (r.row, r.code)).collect();
+            assert_codes_exact(&pairs, 2);
+        }
+    }
+
+    #[test]
+    fn narrow_fan_in_cascades_without_spilling() {
+        let rows = random_rows(3000, 2, 10, 4);
+        let stats = Stats::new_shared();
+        let out: Vec<OvcRow> = parallel_sort(rows.clone(), 2, 4, 64, 3, &stats).collect();
+        let ser = external_sort_collect(rows, SortConfig::new(2, 64), &Stats::new_shared());
+        assert_eq!(out, ser);
+        // Parallel run generation keeps everything resident.
+        assert_eq!(stats.rows_spilled(), 0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let stats = Stats::new_shared();
+        assert!(parallel_sort_collect(vec![], 2, 8, 16, &stats).is_empty());
+        let one = parallel_sort_collect(vec![Row::new(vec![7, 7])], 2, 8, 16, &stats);
+        assert_eq!(one.len(), 1);
+        // More threads than rows clamps to one row per worker.
+        let few = random_rows(3, 2, 4, 5);
+        let out = parallel_sort_collect(few.clone(), 2, 64, 16, &stats);
+        assert_eq!(out.len(), 3);
+    }
+}

@@ -69,6 +69,18 @@ fn main() {
         PlannerConfig::default().with_memory_rows(n / 10),
     );
 
+    // Parallel regime: same query, same answer, same codes — the planner
+    // stamps dop=4 into the blocking sorts (look for `dop=4` in the
+    // EXPLAIN) and the executor runs run generation on real threads
+    // behind the order-preserving exchange.
+    run_case(
+        "unsorted inputs, memory = n/10, dop = 4 (parallel run generation)",
+        &catalog_unsorted(t1.clone(), t2.clone()),
+        PlannerConfig::default()
+            .with_memory_rows(n / 10)
+            .with_dop(4),
+    );
+
     // Beyond Figure 5: the same planner handles arbitrary compositions.
     println!("--- a composed query: filter, join, group-by, top-k ---");
     let mut catalog = Catalog::new();

@@ -1,0 +1,200 @@
+//! Property tests of parallel execution: any degree of parallelism must
+//! be invisible in the output — byte-identical rows *and* byte-identical
+//! exact offset-value codes against the serial implementation, because
+//! exact codes are a function of the output row sequence alone.
+
+use ovc_core::derive::assert_codes_exact;
+use ovc_core::{CodedBatch, Ovc, OvcRow, Row, Stats, VecStream};
+use ovc_exec::exchange::{self, partition};
+use ovc_exec::parallel::{merge_threaded, repartition_threaded, split_threaded};
+use ovc_plan::exec::{execute, ExecOptions};
+use ovc_plan::{figure5, PlannerConfig, Preference};
+use ovc_sort::external::external_sort_collect;
+use ovc_sort::parallel::{parallel_sort, parallel_sort_distinct};
+use ovc_sort::SortConfig;
+use proptest::prelude::*;
+
+fn rows_strategy(width: usize, max_rows: usize) -> impl Strategy<Value = Vec<Row>> {
+    prop::collection::vec(prop::collection::vec(0u64..40, width), 0..max_rows)
+        .prop_map(|v| v.into_iter().map(Row::new).collect())
+}
+
+fn exact(pairs: &[(Row, Ovc)], key_len: usize) {
+    assert_codes_exact(pairs, key_len);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Parallel sort ≡ serial sort, rows and codes, threads ∈ {2, 4}.
+    #[test]
+    fn parallel_sort_equals_serial(rows in rows_strategy(2, 400), mem in 16usize..96) {
+        let serial = external_sort_collect(
+            rows.clone(),
+            SortConfig::new(2, mem),
+            &Stats::new_shared(),
+        );
+        for threads in [2usize, 4] {
+            let stats = Stats::new_shared();
+            let par: Vec<OvcRow> =
+                parallel_sort(rows.clone(), 2, threads, mem, 64, &stats).collect();
+            prop_assert_eq!(&par, &serial, "threads={}", threads);
+            let pairs: Vec<(Row, Ovc)> = par.into_iter().map(|r| (r.row, r.code)).collect();
+            exact(&pairs, 2);
+        }
+    }
+
+    /// Parallel in-sort distinct ≡ sorted-dedup reference, with codes.
+    #[test]
+    fn parallel_distinct_equals_serial(rows in rows_strategy(2, 400)) {
+        let mut expect = rows.clone();
+        expect.sort();
+        expect.dedup();
+        for threads in [2usize, 4] {
+            let out: Vec<OvcRow> =
+                parallel_sort_distinct(rows.clone(), 2, threads, 32, 8, &Stats::new_shared())
+                    .collect();
+            let got: Vec<Row> = out.iter().map(|r| r.row.clone()).collect();
+            prop_assert_eq!(&got, &expect, "threads={}", threads);
+            let pairs: Vec<(Row, Ovc)> = out.into_iter().map(|r| (r.row, r.code)).collect();
+            exact(&pairs, 2);
+        }
+    }
+
+    /// The threaded exchange matches the serial exchange partition by
+    /// partition — including under extreme skew (every row to one
+    /// partition, the others empty) — and a threaded split/merge round
+    /// trip reproduces the input stream exactly.
+    #[test]
+    fn threaded_exchange_equals_serial(
+        rows in rows_strategy(2, 300),
+        parts in 2usize..5,
+        skew_sel in 0usize..2,
+    ) {
+        let skewed = skew_sel == 1;
+        let mut sorted = rows;
+        sorted.sort();
+        let make_part = |parts: usize, skewed: bool| -> Box<dyn FnMut(&Row) -> usize + Send> {
+            if skewed {
+                // One hot partition, the rest empty.
+                Box::new(move |_: &Row| parts - 1)
+            } else {
+                Box::new(partition::by_hash(0, parts))
+            }
+        };
+
+        let serial = exchange::split(
+            VecStream::from_sorted_rows(sorted.clone(), 2),
+            parts,
+            make_part(parts, skewed),
+        );
+        let threaded = split_threaded(
+            CodedBatch::from_sorted_rows(sorted.clone(), 2),
+            parts,
+            make_part(parts, skewed),
+            8,
+        )
+        .collect_all();
+        prop_assert_eq!(threaded.len(), parts);
+        let mut batches = Vec::new();
+        for (t, s) in threaded.into_iter().zip(serial) {
+            let s_rows: Vec<OvcRow> = s.collect();
+            prop_assert_eq!(t.rows(), &s_rows[..]);
+            batches.push(t);
+        }
+        if skewed {
+            prop_assert!(batches[..parts - 1].iter().all(|b| b.is_empty()));
+            prop_assert_eq!(batches[parts - 1].len(), sorted.len());
+        }
+
+        // Round trip: merging the partitions restores the input stream.
+        let merged: Vec<OvcRow> =
+            merge_threaded(batches, 2, 8, &Stats::new_shared()).collect();
+        let expect: Vec<OvcRow> = VecStream::from_sorted_rows(sorted, 2).collect();
+        prop_assert_eq!(merged, expect);
+    }
+
+    /// Many-to-many repartitioning (N splitters, P mergers, all threaded)
+    /// matches the serial many-to-many shuffle output for output.
+    #[test]
+    fn threaded_repartition_equals_serial(
+        a in rows_strategy(2, 200),
+        b in rows_strategy(2, 200),
+        parts_out in 2usize..4,
+    ) {
+        let (mut a, mut b) = (a, b);
+        a.sort();
+        b.sort();
+        let stats = Stats::new_shared();
+        let threaded = repartition_threaded(
+            vec![
+                CodedBatch::from_sorted_rows(a.clone(), 2),
+                CodedBatch::from_sorted_rows(b.clone(), 2),
+            ],
+            2,
+            parts_out,
+            || partition::by_hash(1, parts_out),
+            8,
+            &stats,
+        );
+        let serial = exchange::many_to_many(
+            vec![
+                VecStream::from_sorted_rows(a, 2),
+                VecStream::from_sorted_rows(b, 2),
+            ],
+            parts_out,
+            || partition::by_hash(1, parts_out),
+            &Stats::new_shared(),
+        );
+        for (t, s) in threaded.into_iter().zip(serial) {
+            let s_rows: Vec<OvcRow> = s.collect();
+            prop_assert_eq!(t.into_rows(), s_rows);
+        }
+    }
+
+    /// The acceptance property: the Figure-5 query planned with dop ∈
+    /// {2, 4} executes to byte-identical rows and exact codes as the
+    /// dop=1 plan, with every elided sort still passing the trusted-
+    /// stream audit.
+    #[test]
+    fn figure5_parallel_plans_equal_serial(
+        t1 in rows_strategy(1, 300),
+        t2 in rows_strategy(1, 300),
+    ) {
+        let catalog = figure5::catalog_unsorted(t1, t2);
+        let base = PlannerConfig::default()
+            .with_memory_rows(48)
+            .with_fan_in(8)
+            .with_preference(Preference::ForceSortBased);
+        let run = |cfg: PlannerConfig| -> Vec<OvcRow> {
+            let plan = figure5::plan_intersect(&catalog, cfg).expect("plans");
+            let stats = Stats::new_shared();
+            execute(&plan, &catalog, &stats, &ExecOptions { verify_trusted: true }).into_coded()
+        };
+        let serial = run(base);
+        let pairs: Vec<(Row, Ovc)> =
+            serial.iter().map(|r| (r.row.clone(), r.code)).collect();
+        exact(&pairs, 1);
+        for dop in [2usize, 4] {
+            let parallel = run(base.with_dop(dop).with_parallel_threshold(1));
+            prop_assert_eq!(&parallel, &serial, "dop={}", dop);
+        }
+    }
+}
+
+/// Deterministic spot-check of the planner threshold: small inputs stay
+/// serial even when a dop is configured, large ones go parallel.
+#[test]
+fn dop_threshold_gates_parallel_sorts() {
+    let rows: Vec<Row> = (0..100).map(|i| Row::new(vec![i % 7])).collect();
+    let catalog = figure5::catalog_unsorted(rows.clone(), rows);
+    let cfg = PlannerConfig::default()
+        .with_preference(Preference::ForceSortBased)
+        .with_dop(8)
+        .with_parallel_threshold(1000);
+    let plan = figure5::plan_intersect(&catalog, cfg).expect("plans");
+    assert_eq!(plan.props.dop, 1, "below threshold stays serial:\n{plan}");
+    let plan = figure5::plan_intersect(&catalog, cfg.with_parallel_threshold(10)).expect("plans");
+    assert_eq!(plan.props.dop, 8, "above threshold goes parallel:\n{plan}");
+    assert!(plan.explain().contains("dop=8"), "{plan}");
+}

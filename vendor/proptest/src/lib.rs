@@ -205,7 +205,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Permitted element counts for [`vec`]: a fixed size or a range.
+    /// Permitted element counts for [`fn@vec`]: a fixed size or a range.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
