@@ -26,4 +26,6 @@ pub use group_full::GroupFullCompare;
 pub use hash_agg::hash_aggregate_distinct;
 pub use hash_join::grace_hash_join;
 pub use plans::hash_intersect_distinct;
-pub use sort_plain::{external_sort_plain, merge_runs_plain, sort_rows_plain};
+pub use sort_plain::{
+    external_sort_plain, merge_runs_plain, sort_rows_plain, sort_rows_plain_spec,
+};

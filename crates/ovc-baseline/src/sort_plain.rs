@@ -24,6 +24,31 @@ pub fn sort_rows_plain(mut rows: Vec<Row>, key_len: usize, stats: &Rc<Stats>) ->
     rows
 }
 
+/// Direction-aware [`sort_rows_plain`]: the same instrumented
+/// column-by-column full comparisons under an arbitrary leading-prefix
+/// [`ovc_core::SortSpec`] — the reference the planner's direction-aware
+/// sort plans are property-tested against, row for row.
+pub fn sort_rows_plain_spec(
+    mut rows: Vec<Row>,
+    spec: &ovc_core::SortSpec,
+    stats: &Rc<Stats>,
+) -> Vec<Row> {
+    let k = spec.len();
+    rows.sort_by(|a, b| {
+        stats.count_row_cmp();
+        let (ak, bk) = (a.key(k), b.key(k));
+        for i in 0..k {
+            stats.count_col_cmp();
+            match spec.cmp_values(i, ak[i], bk[i]) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    });
+    rows
+}
+
 /// A heap entry: (row, run index, position) ordered by key, inverted for
 /// the max-heap, with full comparisons counted.
 struct HeapEntry<'a> {

@@ -19,6 +19,7 @@ use std::cmp::Ordering;
 
 use crate::ovc::Ovc;
 use crate::row::Value;
+use crate::spec::SortSpec;
 use crate::stats::Stats;
 
 /// Compare two keys whose codes are relative to the same base key.
@@ -79,6 +80,57 @@ pub fn compare_same_base(
     Ordering::Equal
 }
 
+/// Direction-aware [`compare_same_base`]: the same two theorems, with
+/// column comparisons and loser re-coding driven by a [`SortSpec`].
+///
+/// Key slices are laid out in spec order (element `i` is the `i`-th key
+/// of each row); codes carry direction-encoded values
+/// ([`SortSpec::code_value`]), which keeps the single-integer code
+/// comparison decisive for mixed ascending/descending keys.  The resume
+/// point after equal codes is [`SortSpec::resume_key`], whose lossy-end
+/// check is direction-dependent.
+#[inline]
+pub fn compare_same_base_spec(
+    a_key: &[Value],
+    b_key: &[Value],
+    a_code: &mut Ovc,
+    b_code: &mut Ovc,
+    spec: &SortSpec,
+    stats: &Stats,
+) -> Ordering {
+    stats.count_ovc_cmp();
+    if a_code != b_code {
+        // Unequal code theorem, direction-independent: the loser's code
+        // relative to the winner is its existing code.
+        return (*a_code).cmp(b_code);
+    }
+    if !a_code.is_valid() {
+        return Ordering::Equal;
+    }
+    let arity = spec.len();
+    debug_assert_eq!(arity, a_key.len());
+    debug_assert_eq!(arity, b_key.len());
+    if a_code.is_duplicate() {
+        return Ordering::Equal;
+    }
+    let start = spec.resume_key(*a_code);
+    for i in start..arity {
+        stats.count_col_cmp();
+        match spec.cmp_values(i, a_key[i], b_key[i]) {
+            Ordering::Equal => continue,
+            Ordering::Less => {
+                *b_code = Ovc::new(i, spec.code_value(i, b_key[i]), arity);
+                return Ordering::Less;
+            }
+            Ordering::Greater => {
+                *a_code = Ovc::new(i, spec.code_value(i, a_key[i]), arity);
+                return Ordering::Greater;
+            }
+        }
+    }
+    Ordering::Equal
+}
+
 /// Compare two keys column by column from the start, setting the loser's
 /// code relative to the winner.
 ///
@@ -131,6 +183,33 @@ pub fn derive_code(pred_key: &[Value], succ_key: &[Value], stats: &Stats) -> Ovc
                 "derive_code requires pred <= succ (violated at column {i})"
             );
             return Ovc::new(i, succ_key[i], arity);
+        }
+    }
+    Ovc::duplicate()
+}
+
+/// Direction-aware [`derive_code`]: exact code of `succ` relative to
+/// `pred` under `spec` (`pred` at or before `succ` in spec order).  The
+/// offset is the shared-prefix length exactly as in the ascending case;
+/// the value is direction-encoded via [`SortSpec::code_value`].
+#[inline]
+pub fn derive_code_spec(
+    pred_key: &[Value],
+    succ_key: &[Value],
+    spec: &SortSpec,
+    stats: &Stats,
+) -> Ovc {
+    let arity = spec.len();
+    debug_assert_eq!(arity, pred_key.len());
+    debug_assert_eq!(arity, succ_key.len());
+    for i in 0..arity {
+        stats.count_col_cmp();
+        if pred_key[i] != succ_key[i] {
+            debug_assert!(
+                spec.cmp_values(i, pred_key[i], succ_key[i]) == Ordering::Less,
+                "derive_code_spec requires pred <= succ in spec order (violated at key {i})"
+            );
+            return Ovc::new(i, spec.code_value(i, succ_key[i]), arity);
         }
     }
     Ovc::duplicate()
@@ -319,6 +398,70 @@ mod tests {
         let ord = compare_same_base(&a, &b, &mut ac, &mut bc, &stats);
         assert_eq!(ord, Ordering::Less);
         assert_eq!(bc, Ovc::new(0, big_b, 2), "loser re-coded at offset 0");
+        assert!(stats.col_value_cmps() >= 1);
+    }
+
+    #[test]
+    fn spec_compare_agrees_with_plain_on_ascending_specs() {
+        use crate::spec::SortSpec;
+        let spec = SortSpec::asc(4);
+        let stats = Stats::default();
+        let b_key = [3u64, 7, 4, 7];
+        let c_key = [3u64, 7, 4, 9];
+        let mut b1 = Ovc::new(1, 7, 4);
+        let mut c1 = Ovc::new(1, 7, 4);
+        let mut b2 = b1;
+        let mut c2 = c1;
+        let plain = compare_same_base(&b_key, &c_key, &mut b1, &mut c1, &stats);
+        let spec_ord = compare_same_base_spec(&b_key, &c_key, &mut b2, &mut c2, &spec, &stats);
+        assert_eq!(plain, spec_ord);
+        assert_eq!((b1, c1), (b2, c2), "identical recoding");
+        assert_eq!(
+            derive_code(&[5, 7, 3, 9], &[5, 7, 3, 12], &stats),
+            derive_code_spec(&[5, 7, 3, 9], &[5, 7, 3, 12], &spec, &stats)
+        );
+    }
+
+    #[test]
+    fn spec_compare_orders_descending_keys() {
+        use crate::spec::{Direction, SortSpec};
+        let spec = SortSpec::with_dirs(&[Direction::Asc, Direction::Desc]);
+        let stats = Stats::default();
+        // Base (3, 9); B = (3, 7), C = (3, 2): desc on c1 puts B before C.
+        let base = [3u64, 9];
+        let b_key = [3u64, 7];
+        let c_key = [3u64, 2];
+        let mut b_code = derive_code_spec(&base, &b_key, &spec, &stats);
+        let mut c_code = derive_code_spec(&base, &c_key, &spec, &stats);
+        assert!(b_code < c_code, "desc-earlier key has the smaller code");
+        let ord = compare_same_base_spec(&b_key, &c_key, &mut b_code, &mut c_code, &spec, &stats);
+        assert_eq!(ord, Ordering::Less);
+        // Equal codes force column comparisons that respect direction and
+        // re-code the loser with the direction-encoded value.
+        let d_key = [4u64, 8];
+        let e_key = [4u64, 3];
+        let mut d_code = derive_code_spec(&b_key, &d_key, &spec, &stats);
+        let e_dup = derive_code_spec(&b_key, &d_key, &spec, &stats);
+        let mut e_code = e_dup;
+        let ord = compare_same_base_spec(&d_key, &e_key, &mut d_code, &mut e_code, &spec, &stats);
+        assert_eq!(ord, Ordering::Less, "8 before 3 under desc");
+        assert_eq!(e_code, Ovc::new(1, spec.code_value(1, 3), 2));
+    }
+
+    #[test]
+    fn spec_compare_descending_lossy_end_recompares_offset_column() {
+        use crate::spec::SortSpec;
+        // Two huge descending values complement to the same (0) field; the
+        // comparator must re-compare the offset column itself.
+        let spec = SortSpec::desc(1);
+        let stats = Stats::default();
+        let a = [u64::MAX - 1];
+        let b = [u64::MAX - 9];
+        let mut ac = Ovc::new(0, spec.code_value(0, a[0]), 1);
+        let mut bc = Ovc::new(0, spec.code_value(0, b[0]), 1);
+        assert_eq!(ac, bc, "complemented clamped codes collide");
+        let ord = compare_same_base_spec(&a, &b, &mut ac, &mut bc, &spec, &stats);
+        assert_eq!(ord, Ordering::Less, "larger value is desc-earlier");
         assert!(stats.col_value_cmps() >= 1);
     }
 

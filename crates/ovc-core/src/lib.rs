@@ -16,6 +16,9 @@
 //!   corollary, and the [`theorem::OvcAccumulator`] every operator uses to
 //!   produce output codes;
 //! * [`mod@derive`] — reference derivation/validation of exact codes;
+//! * [`spec`] — [`spec::SortSpec`]: the first-class ordering contract
+//!   (per-column directions plus an optional normalized-key flag) that
+//!   streams carry and planners match on;
 //! * [`stream`] — the [`stream::OvcStream`] contract operators compose on,
 //!   plus the [`stream::CodedBatch`] / [`stream::SendOvcStream`] adapters
 //!   that let coded streams cross thread boundaries;
@@ -49,6 +52,7 @@ pub mod desc;
 pub mod normalized;
 pub mod ovc;
 pub mod row;
+pub mod spec;
 pub mod stats;
 pub mod stream;
 pub mod table1;
@@ -56,5 +60,6 @@ pub mod theorem;
 
 pub use ovc::Ovc;
 pub use row::{Row, SortKey, Value};
+pub use spec::{Direction, SortSpec};
 pub use stats::{AtomicStats, CostWeights, Stats, StatsSnapshot};
 pub use stream::{CodedBatch, OvcRow, OvcStream, SendOvcStream, VecStream};

@@ -1,0 +1,404 @@
+//! Sort specifications: the ordering contract a coded stream carries.
+//!
+//! The paper treats three code families as one mechanism under different
+//! encodings: ascending codes (Section 3, [`crate::ovc`]), descending
+//! codes with negated values (Table 1, [`crate::desc`]), and byte-offset
+//! codes over normalized keys (Sections 3 and 4.1, [`crate::normalized`]).
+//! A [`SortSpec`] names which of those encodings a stream's order uses —
+//! an ordered list of `(column, Direction)` pairs plus an optional
+//! normalized-key flag — and supplies the direction-aware primitives
+//! (`cmp_values`, `code_value`, `initial_code`) that let the *ascending*
+//! 64-bit [`Ovc`] layout carry mixed ascending/descending keys:
+//!
+//! * the offset field is direction-independent (a shared prefix is a
+//!   shared prefix either way), and
+//! * a descending column stores its value **negated**
+//!   (`VALUE_MASK − value`, exactly the [`crate::desc::DescOvc`] trick
+//!   applied per column), so "smaller code = earlier" keeps holding and
+//!   one unsigned integer comparison still orders two same-base codes.
+//!
+//! Everything downstream — tree-of-losers merges, run generation, merge
+//! join, the planner's property matching — takes a `SortSpec` instead of
+//! a bare column-prefix count.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::ovc::{clamp_value, Ovc, VALUE_MASK};
+use crate::row::{Row, Value};
+
+/// Per-column sort direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Smaller values first (the paper's default throughout).
+    Asc,
+    /// Larger values first (Table 1's "Descending OVC" column).
+    Desc,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub fn reversed(self) -> Direction {
+        match self {
+            Direction::Asc => Direction::Desc,
+            Direction::Desc => Direction::Asc,
+        }
+    }
+
+    /// Lower-case name, as printed in EXPLAIN output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::Asc => "asc",
+            Direction::Desc => "desc",
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An ordering contract: `(column, Direction)` pairs in significance
+/// order, plus an optional normalized-key encoding flag.
+///
+/// The empty spec means "no ordering".  Specs whose columns are the
+/// leading prefix `0, 1, …, k−1` (see [`SortSpec::is_prefix`]) are the
+/// ones execution operators accept — rows travel with their sort key in
+/// front throughout this repository — while the general form exists so
+/// planner-level reasoning (projection column maps, future index specs)
+/// is not artificially restricted.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SortSpec {
+    keys: Vec<(usize, Direction)>,
+    normalized: bool,
+}
+
+impl SortSpec {
+    /// A spec from explicit `(column, Direction)` pairs.
+    pub fn new(keys: Vec<(usize, Direction)>) -> SortSpec {
+        SortSpec {
+            keys,
+            normalized: false,
+        }
+    }
+
+    /// The empty spec: no ordering guarantee.
+    pub fn none() -> SortSpec {
+        SortSpec::new(Vec::new())
+    }
+
+    /// Ascending on the leading `n` columns — the contract every
+    /// pre-`SortSpec` operator in this repository assumed implicitly.
+    pub fn asc(n: usize) -> SortSpec {
+        SortSpec::new((0..n).map(|c| (c, Direction::Asc)).collect())
+    }
+
+    /// Descending on the leading `n` columns.
+    pub fn desc(n: usize) -> SortSpec {
+        SortSpec::new((0..n).map(|c| (c, Direction::Desc)).collect())
+    }
+
+    /// Leading columns with the given per-column directions.
+    pub fn with_dirs(dirs: &[Direction]) -> SortSpec {
+        SortSpec::new(dirs.iter().copied().enumerate().collect())
+    }
+
+    /// Request (or clear) normalized-key encoding: run generation compares
+    /// order-preserving byte strings ([`crate::normalized::normalize`]
+    /// extended with per-column direction complements) instead of column
+    /// values — the IBM CFC regime of Section 3.
+    pub fn with_normalized(mut self, normalized: bool) -> SortSpec {
+        self.normalized = normalized;
+        self
+    }
+
+    /// Is normalized-key encoding requested?
+    pub fn normalized(&self) -> bool {
+        self.normalized
+    }
+
+    /// The `(column, Direction)` pairs in significance order.
+    pub fn keys(&self) -> &[(usize, Direction)] {
+        &self.keys
+    }
+
+    /// Number of key columns (the code arity).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Is this the empty (no-ordering) spec?
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Column index of the `i`-th key.
+    pub fn col(&self, i: usize) -> usize {
+        self.keys[i].0
+    }
+
+    /// Direction of the `i`-th key.
+    pub fn dir(&self, i: usize) -> Direction {
+        self.keys[i].1
+    }
+
+    /// Do the keys name the leading columns `0, 1, …, len−1` in order?
+    /// Execution operators require this (rows carry their sort key as a
+    /// leading prefix); the planner rejects non-prefix specs with a
+    /// schema error instead of panicking.
+    pub fn is_prefix(&self) -> bool {
+        self.keys.iter().enumerate().all(|(i, &(c, _))| c == i)
+    }
+
+    /// Is this an all-ascending leading-prefix spec (the fast path every
+    /// pre-`SortSpec` operator implemented)?
+    pub fn is_asc_prefix(&self) -> bool {
+        self.is_prefix() && self.keys.iter().all(|&(_, d)| d == Direction::Asc)
+    }
+
+    /// The first `n` keys as a spec (normalized flag preserved).
+    pub fn prefix(&self, n: usize) -> SortSpec {
+        SortSpec {
+            keys: self.keys[..n.min(self.keys.len())].to_vec(),
+            normalized: self.normalized,
+        }
+    }
+
+    /// Every direction flipped: the spec a reversed stream satisfies.
+    pub fn reversed(&self) -> SortSpec {
+        SortSpec {
+            keys: self.keys.iter().map(|&(c, d)| (c, d.reversed())).collect(),
+            normalized: self.normalized,
+        }
+    }
+
+    /// Does an output ordered by `self` satisfy `required`?  True when
+    /// `required`'s keys are a `(column, Direction)`-exact prefix of
+    /// `self`'s (the normalized flag is an encoding hint, not part of the
+    /// ordering semantics, so it does not participate).
+    pub fn satisfies(&self, required: &SortSpec) -> bool {
+        required.len() <= self.len() && self.keys[..required.len()] == required.keys[..]
+    }
+
+    /// Compare two values of the `i`-th key column under its direction.
+    #[inline]
+    pub fn cmp_values(&self, i: usize, a: Value, b: Value) -> Ordering {
+        match self.dir(i) {
+            Direction::Asc => a.cmp(&b),
+            Direction::Desc => b.cmp(&a),
+        }
+    }
+
+    /// Compare two key slices laid out in spec order (element `i` is the
+    /// `i`-th key column of each row).
+    pub fn cmp_keys(&self, a: &[Value], b: &[Value]) -> Ordering {
+        for i in 0..self.len() {
+            match self.cmp_values(i, a[i], b[i]) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Compare two whole rows, indexing each key's column (supports
+    /// non-prefix specs).
+    pub fn cmp_rows(&self, a: &Row, b: &Row) -> Ordering {
+        for i in 0..self.len() {
+            let c = self.col(i);
+            match self.cmp_values(i, a.cols()[c], b.cols()[c]) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// The value stored in a code's value field for key `i`: the clamped
+    /// value for ascending columns, its complement for descending ones —
+    /// keeping "smaller code = earlier" true in both directions.
+    #[inline]
+    pub fn code_value(&self, i: usize, v: Value) -> u64 {
+        match self.dir(i) {
+            Direction::Asc => clamp_value(v),
+            Direction::Desc => VALUE_MASK - clamp_value(v),
+        }
+    }
+
+    /// Code of a stream's first key relative to "−∞": offset 0, the first
+    /// key column's (direction-encoded) value.
+    pub fn initial_code(&self, key: &[Value]) -> Ovc {
+        if self.is_empty() || key.is_empty() {
+            Ovc::duplicate()
+        } else {
+            Ovc::new(0, self.code_value(0, key[0]), self.len())
+        }
+    }
+
+    /// First key index at which column comparisons must resume after two
+    /// *equal* codes (the spec-aware version of [`Ovc::resume_column`]).
+    ///
+    /// Clamping loses information at the saturated end of the value field
+    /// — `VALUE_MASK` for ascending columns, but `0` for descending ones
+    /// (large values complement to small fields) — so the lossy check is
+    /// direction-dependent: equal lossy codes may hide a difference at
+    /// the offset column itself.
+    #[inline]
+    pub fn resume_key(&self, code: Ovc) -> usize {
+        let off = code.offset(self.len());
+        let lossy = match self.dir(off) {
+            Direction::Asc => code.value() == VALUE_MASK,
+            Direction::Desc => code.value() == 0,
+        };
+        if lossy {
+            off
+        } else {
+            off + 1
+        }
+    }
+
+    /// Order-preserving byte string of a key slice in spec order:
+    /// big-endian column concatenation with descending columns
+    /// complemented, so bytewise ascending comparison equals spec order
+    /// (the normalized-key regime of [`crate::normalized`]).
+    pub fn normalize_key(&self, key: &[Value]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len() * 8);
+        for (i, &k) in key.iter().enumerate().take(self.len()) {
+            let v = match self.dir(i) {
+                Direction::Asc => k,
+                Direction::Desc => !k,
+            };
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        out
+    }
+}
+
+impl fmt::Display for SortSpec {
+    /// Renders as `[c0 asc, c1 desc]` (with ` norm` appended when
+    /// normalized-key encoding is requested), or `none` when empty.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("none");
+        }
+        f.write_str("[")?;
+        for (i, &(c, d)) in self.keys.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "c{c} {d}")?;
+        }
+        f.write_str("]")?;
+        if self.normalized {
+            f.write_str(" norm")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let s = SortSpec::asc(3);
+        assert_eq!(s.len(), 3);
+        assert!(s.is_prefix() && s.is_asc_prefix());
+        assert_eq!(s.col(2), 2);
+        assert_eq!(s.dir(2), Direction::Asc);
+        assert!(SortSpec::none().is_empty());
+        let d = SortSpec::desc(2);
+        assert!(d.is_prefix() && !d.is_asc_prefix());
+        let m = SortSpec::with_dirs(&[Direction::Asc, Direction::Desc]);
+        assert_eq!(m.dir(0), Direction::Asc);
+        assert_eq!(m.dir(1), Direction::Desc);
+        assert!(!SortSpec::new(vec![(2, Direction::Asc)]).is_prefix());
+    }
+
+    #[test]
+    fn satisfaction_is_direction_exact_prefix_matching() {
+        let provided = SortSpec::with_dirs(&[Direction::Asc, Direction::Desc, Direction::Asc]);
+        assert!(provided.satisfies(&SortSpec::none()));
+        assert!(provided.satisfies(&SortSpec::asc(1)));
+        assert!(provided.satisfies(&provided.prefix(2)));
+        assert!(provided.satisfies(&provided));
+        assert!(!provided.satisfies(&SortSpec::asc(2)), "direction differs");
+        assert!(
+            !provided.satisfies(&SortSpec::asc(4)),
+            "longer than provided"
+        );
+        // Normalized flag is an encoding hint: it never blocks satisfaction.
+        assert!(provided.satisfies(&SortSpec::asc(1).with_normalized(true)));
+    }
+
+    #[test]
+    fn reversed_round_trips() {
+        let m = SortSpec::with_dirs(&[Direction::Asc, Direction::Desc]);
+        let r = m.reversed();
+        assert_eq!(r.dir(0), Direction::Desc);
+        assert_eq!(r.dir(1), Direction::Asc);
+        assert_eq!(r.reversed(), m);
+    }
+
+    #[test]
+    fn comparisons_respect_direction() {
+        let m = SortSpec::with_dirs(&[Direction::Desc, Direction::Asc]);
+        assert_eq!(m.cmp_keys(&[5, 1], &[3, 9]), Ordering::Less, "5 desc-first");
+        assert_eq!(m.cmp_keys(&[5, 1], &[5, 0]), Ordering::Greater);
+        assert_eq!(m.cmp_keys(&[5, 1], &[5, 1]), Ordering::Equal);
+        let a = Row::new(vec![1, 2]);
+        let b = Row::new(vec![2, 2]);
+        assert_eq!(m.cmp_rows(&a, &b), Ordering::Greater, "desc on c0");
+    }
+
+    #[test]
+    fn code_values_keep_smaller_code_earlier() {
+        let m = SortSpec::with_dirs(&[Direction::Desc]);
+        // Desc: the larger value is earlier and must get the smaller field.
+        assert!(m.code_value(0, 9) < m.code_value(0, 3));
+        let asc = SortSpec::asc(1);
+        assert!(asc.code_value(0, 3) < asc.code_value(0, 9));
+    }
+
+    #[test]
+    fn resume_key_lossy_ends_differ_by_direction() {
+        let asc = SortSpec::asc(1);
+        let desc = SortSpec::desc(1);
+        // Ascending: saturation at VALUE_MASK.
+        assert_eq!(asc.resume_key(Ovc::new(0, VALUE_MASK, 1)), 0);
+        assert_eq!(asc.resume_key(Ovc::new(0, 5, 1)), 1);
+        // Descending: huge values complement to 0 — that end is lossy.
+        assert_eq!(
+            desc.resume_key(Ovc::new(0, desc.code_value(0, u64::MAX), 1)),
+            0
+        );
+        assert_eq!(desc.resume_key(Ovc::new(0, desc.code_value(0, 5), 1)), 1);
+    }
+
+    #[test]
+    fn normalize_key_preserves_spec_order() {
+        let m = SortSpec::with_dirs(&[Direction::Desc, Direction::Asc]);
+        let keys: [[u64; 2]; 4] = [[9, 0], [9, 5], [3, 1], [0, 0]];
+        for w in keys.windows(2) {
+            assert_eq!(m.cmp_keys(&w[0], &w[1]), Ordering::Less);
+            assert!(m.normalize_key(&w[0]) < m.normalize_key(&w[1]));
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SortSpec::none().to_string(), "none");
+        assert_eq!(
+            SortSpec::with_dirs(&[Direction::Asc, Direction::Desc]).to_string(),
+            "[c0 asc, c1 desc]"
+        );
+        assert_eq!(
+            SortSpec::asc(1).with_normalized(true).to_string(),
+            "[c0 asc] norm"
+        );
+    }
+}

@@ -9,9 +9,10 @@
 //! deriving the output codes with the theorem machinery — never by
 //! re-comparing rows.
 
-use crate::derive::derive_codes;
+use crate::derive::{derive_codes, derive_codes_spec};
 use crate::ovc::Ovc;
 use crate::row::Row;
+use crate::spec::SortSpec;
 
 /// A row travelling through a pipeline together with its offset-value code
 /// (the paper's "artificial column").
@@ -39,11 +40,23 @@ impl OvcRow {
 pub trait OvcStream: Iterator<Item = OvcRow> {
     /// Number of leading sort-key columns (the code arity).
     fn key_len(&self) -> usize;
+
+    /// The ordering contract this stream's rows and codes follow — the
+    /// stream's first-class "interesting ordering".  Defaults to
+    /// all-ascending on the leading `key_len()` columns, which is what
+    /// every operator produced before [`SortSpec`] existed; streams that
+    /// carry descending or normalized-key orders override it.
+    fn sort_spec(&self) -> SortSpec {
+        SortSpec::asc(self.key_len())
+    }
 }
 
 impl<S: OvcStream + ?Sized> OvcStream for Box<S> {
     fn key_len(&self) -> usize {
         (**self).key_len()
+    }
+    fn sort_spec(&self) -> SortSpec {
+        (**self).sort_spec()
     }
 }
 
@@ -51,25 +64,34 @@ impl<S: OvcStream + ?Sized> OvcStream for &mut S {
     fn key_len(&self) -> usize {
         (**self).key_len()
     }
+    fn sort_spec(&self) -> SortSpec {
+        (**self).sort_spec()
+    }
 }
 
 /// An in-memory stream over pre-coded rows.
 pub struct VecStream {
     iter: std::vec::IntoIter<OvcRow>,
-    key_len: usize,
+    spec: SortSpec,
 }
 
 impl VecStream {
     /// Wrap already-coded rows.  Debug builds verify the contract.
     pub fn from_coded(rows: Vec<OvcRow>, key_len: usize) -> Self {
+        Self::from_coded_spec(rows, SortSpec::asc(key_len))
+    }
+
+    /// Wrap rows coded under an explicit [`SortSpec`].  Debug builds
+    /// verify the spec's stream contract.
+    pub fn from_coded_spec(rows: Vec<OvcRow>, spec: SortSpec) -> Self {
         #[cfg(debug_assertions)]
         {
             let pairs: Vec<(Row, Ovc)> = rows.iter().map(|r| (r.row.clone(), r.code)).collect();
-            crate::derive::assert_codes_exact(&pairs, key_len);
+            crate::derive::assert_codes_exact_spec(&pairs, &spec);
         }
         VecStream {
             iter: rows.into_iter(),
-            key_len,
+            spec,
         }
     }
 
@@ -87,7 +109,26 @@ impl VecStream {
             .collect();
         VecStream {
             iter: coded.into_iter(),
-            key_len,
+            spec: SortSpec::asc(key_len),
+        }
+    }
+
+    /// Derive codes for rows already ordered under `spec` and wrap them.
+    /// Panics if the rows violate the spec's order.
+    pub fn from_sorted_rows_spec(rows: Vec<Row>, spec: SortSpec) -> Self {
+        assert!(
+            crate::derive::is_sorted_spec(&rows, &spec),
+            "VecStream::from_sorted_rows_spec requires input sorted under {spec}"
+        );
+        let codes = derive_codes_spec(&rows, &spec);
+        let coded: Vec<OvcRow> = rows
+            .into_iter()
+            .zip(codes)
+            .map(|(row, code)| OvcRow::new(row, code))
+            .collect();
+        VecStream {
+            iter: coded.into_iter(),
+            spec,
         }
     }
 
@@ -110,7 +151,10 @@ impl Iterator for VecStream {
 
 impl OvcStream for VecStream {
     fn key_len(&self) -> usize {
-        self.key_len
+        self.spec.len()
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
     }
 }
 
@@ -139,27 +183,34 @@ impl<S: OvcStream + Send> SendOvcStream for S {}
 #[derive(Clone, Debug)]
 pub struct CodedBatch {
     rows: Vec<OvcRow>,
-    key_len: usize,
+    spec: SortSpec,
 }
 
 impl CodedBatch {
-    /// Materialize a coded stream into a sendable batch.
+    /// Materialize a coded stream into a sendable batch, carrying the
+    /// stream's ordering contract along.
     pub fn from_stream<S: OvcStream>(stream: S) -> Self {
-        let key_len = stream.key_len();
+        let spec = stream.sort_spec();
         CodedBatch {
             rows: stream.collect(),
-            key_len,
+            spec,
         }
     }
 
     /// Wrap already-coded rows.  Debug builds verify the contract.
     pub fn from_coded(rows: Vec<OvcRow>, key_len: usize) -> Self {
+        Self::from_coded_spec(rows, SortSpec::asc(key_len))
+    }
+
+    /// Wrap rows coded under an explicit [`SortSpec`].  Debug builds
+    /// verify the spec's stream contract.
+    pub fn from_coded_spec(rows: Vec<OvcRow>, spec: SortSpec) -> Self {
         #[cfg(debug_assertions)]
         {
             let pairs: Vec<(Row, Ovc)> = rows.iter().map(|r| (r.row.clone(), r.code)).collect();
-            crate::derive::assert_codes_exact(&pairs, key_len);
+            crate::derive::assert_codes_exact_spec(&pairs, &spec);
         }
-        CodedBatch { rows, key_len }
+        CodedBatch { rows, spec }
     }
 
     /// Derive codes for sorted rows and wrap them.  Panics if unsorted.
@@ -172,7 +223,7 @@ impl CodedBatch {
     pub fn into_stream(self) -> VecStream {
         VecStream {
             iter: self.rows.into_iter(),
-            key_len: self.key_len,
+            spec: self.spec,
         }
     }
 
@@ -198,7 +249,12 @@ impl CodedBatch {
 
     /// Sort-key arity of the batch's codes.
     pub fn key_len(&self) -> usize {
-        self.key_len
+        self.spec.len()
+    }
+
+    /// The ordering contract the batch's rows and codes follow.
+    pub fn sort_spec(&self) -> &SortSpec {
+        &self.spec
     }
 }
 
@@ -274,6 +330,36 @@ mod tests {
         .unwrap();
         let codes: Vec<Ovc> = reopened.iter().map(|(_, c)| *c).collect();
         assert_eq!(codes, crate::table1::asc_codes());
+    }
+
+    #[test]
+    fn spec_streams_carry_their_ordering_contract() {
+        use crate::spec::{Direction, SortSpec};
+        let spec = SortSpec::with_dirs(&[Direction::Desc, Direction::Asc]);
+        let rows: Vec<Row> = [[9u64, 1], [9, 5], [2, 0]]
+            .iter()
+            .map(|c| Row::new(c.to_vec()))
+            .collect();
+        let stream = VecStream::from_sorted_rows_spec(rows.clone(), spec.clone());
+        assert_eq!(stream.key_len(), 2);
+        assert_eq!(stream.sort_spec(), spec);
+        let batch = CodedBatch::from_stream(stream);
+        assert_eq!(batch.sort_spec(), &spec);
+        let reopened = batch.into_stream();
+        assert_eq!(reopened.sort_spec(), spec);
+        let pairs = collect_pairs(reopened);
+        crate::derive::assert_codes_exact_spec(&pairs, &spec);
+        // The default contract on plain streams is ascending.
+        let plain = VecStream::from_sorted_rows(crate::table1::rows(), 4);
+        assert_eq!(plain.sort_spec(), SortSpec::asc(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires input sorted under")]
+    fn spec_stream_rejects_order_violations() {
+        use crate::spec::SortSpec;
+        let rows = vec![Row::new(vec![1]), Row::new(vec![2])];
+        let _ = VecStream::from_sorted_rows_spec(rows, SortSpec::desc(1));
     }
 
     #[test]

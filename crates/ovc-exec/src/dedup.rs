@@ -42,6 +42,9 @@ impl<S: OvcStream> OvcStream for Dedup<S> {
     fn key_len(&self) -> usize {
         self.input.key_len()
     }
+    fn sort_spec(&self) -> ovc_core::SortSpec {
+        self.input.sort_spec()
+    }
 }
 
 /// Duplicate removal that keeps a count of collapsed copies, appended as a
@@ -49,17 +52,17 @@ impl<S: OvcStream> OvcStream for Dedup<S> {
 /// Section 4.7 recommends for sort-based multi-set operations.
 pub struct DedupCounting<S: Iterator<Item = OvcRow>> {
     input: std::iter::Peekable<S>,
-    key_len: usize,
+    spec: ovc_core::SortSpec,
 }
 
 impl<S: OvcStream> DedupCounting<S> {
     /// Collapse duplicates into `(row, count)`; the count becomes the
     /// output row's last column.
     pub fn new(input: S) -> Self {
-        let key_len = input.key_len();
+        let spec = input.sort_spec();
         DedupCounting {
             input: input.peekable(),
-            key_len,
+            spec,
         }
     }
 }
@@ -86,7 +89,10 @@ impl<S: OvcStream> Iterator for DedupCounting<S> {
 
 impl<S: OvcStream> OvcStream for DedupCounting<S> {
     fn key_len(&self) -> usize {
-        self.key_len
+        self.spec.len()
+    }
+    fn sort_spec(&self) -> ovc_core::SortSpec {
+        self.spec.clone()
     }
 }
 

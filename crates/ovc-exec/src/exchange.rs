@@ -35,6 +35,26 @@ pub mod partition {
         }
     }
 
+    /// Hash-partition on the leading `key_len` columns together — the
+    /// partitioner co-partitioned merge joins need: rows with equal join
+    /// keys land in the same partition, whichever side they come from.
+    pub fn by_key_hash(key_len: usize, n: usize) -> impl FnMut(&Row) -> usize + Clone {
+        by_cols_hash((0..key_len).collect(), n)
+    }
+
+    /// Hash-partition on an arbitrary set of columns together.
+    pub fn by_cols_hash(cols: Vec<usize>, n: usize) -> impl FnMut(&Row) -> usize + Clone {
+        move |r: &Row| {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+            for &c in &cols {
+                h ^= r.cols()[c];
+                h = h.wrapping_mul(0x100_0000_01b3); // FNV prime
+            }
+            // Fibonacci finisher spreads the low bits.
+            ((h.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as usize % n
+        }
+    }
+
     /// Range-partition on column 0 with the given upper boundaries
     /// (partition `i` receives values below `boundaries[i]`; the last
     /// partition receives the rest).

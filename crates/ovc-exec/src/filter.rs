@@ -50,6 +50,9 @@ impl<S: OvcStream, P: FnMut(&Row) -> bool> OvcStream for Filter<S, P> {
     fn key_len(&self) -> usize {
         self.input.key_len()
     }
+    fn sort_spec(&self) -> ovc_core::SortSpec {
+        self.input.sort_spec()
+    }
 }
 
 #[cfg(test)]

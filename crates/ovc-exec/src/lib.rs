@@ -50,8 +50,8 @@ pub use hash_join_op::{HashJoinOp, HashTable};
 pub use merge_join::{JoinType, MergeJoin, NULL_VALUE};
 pub use nlj::{BTreeInner, InnerSource, LookupJoin, PredicateInner};
 pub use parallel::{
-    merge_threaded, repartition_threaded, split_threaded, ChannelStream, MergeThreaded,
-    SplitThreads, DEFAULT_CHANNEL_CAPACITY,
+    merge_join_partitions, merge_threaded, merge_threaded_spec, repartition_threaded,
+    split_threaded, ChannelStream, MergeThreaded, SplitThreads, DEFAULT_CHANNEL_CAPACITY,
 };
 pub use pivot::{Pivot, PivotSpec};
 pub use project::{ClampKey, Project};

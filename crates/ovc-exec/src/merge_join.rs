@@ -28,9 +28,9 @@ use std::cmp::Ordering;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use ovc_core::compare::compare_same_base;
+use ovc_core::compare::compare_same_base_spec;
 use ovc_core::theorem::{clamp_to_prefix, OvcAccumulator};
-use ovc_core::{Ovc, OvcRow, OvcStream, Row, Stats, Value};
+use ovc_core::{Ovc, OvcRow, OvcStream, Row, SortSpec, Stats, Value};
 
 /// The "null" padding value for outer-join non-matches.  Rows are plain
 /// `u64` columns, so a sentinel stands in for SQL NULL (DESIGN.md §3.6).
@@ -89,6 +89,9 @@ pub(crate) struct GroupedMerge<L: OvcStream, R: OvcStream> {
     left: L,
     right: R,
     join_len: usize,
+    /// Ordering contract of the join-key prefix (shared by both inputs);
+    /// drives every merge comparison, so mixed asc/desc join keys work.
+    join_spec: SortSpec,
     left_key_len: usize,
     right_key_len: usize,
     cur_l: Option<Head>,
@@ -107,12 +110,19 @@ impl<L: OvcStream, R: OvcStream> GroupedMerge<L, R> {
             join_len <= left_key_len && join_len <= right_key_len,
             "join key must be a sort-key prefix of both inputs"
         );
+        let join_spec = left.sort_spec().prefix(join_len).with_normalized(false);
+        assert_eq!(
+            join_spec.keys(),
+            right.sort_spec().prefix(join_len).keys(),
+            "join inputs must agree on the join-key ordering contract"
+        );
         let cur_l = Self::load(&mut left, left_key_len, join_len);
         let cur_r = Self::load(&mut right, right_key_len, join_len);
         GroupedMerge {
             left,
             right,
             join_len,
+            join_spec,
             left_key_len,
             right_key_len,
             cur_l,
@@ -139,11 +149,12 @@ impl<L: OvcStream, R: OvcStream> GroupedMerge<L, R> {
             (Some(_), None) => Side::Left,
             (None, Some(_)) => Side::Right,
             (Some(l), Some(r)) => {
-                let ord = compare_same_base(
+                let ord = compare_same_base_spec(
                     l.row.key(self.join_len),
                     r.row.key(self.join_len),
                     &mut l.cmp_code,
                     &mut r.cmp_code,
+                    &self.join_spec,
                     &self.stats,
                 );
                 match ord {
@@ -234,6 +245,8 @@ pub struct MergeJoin<L: OvcStream, R: OvcStream> {
     join_type: JoinType,
     join_len: usize,
     left_key_len: usize,
+    /// The left input's full ordering contract (semi/anti output spec).
+    left_spec: SortSpec,
     left_width: usize,
     right_width: usize,
     /// Filter-theorem accumulator over the merged chain (join arity).
@@ -256,12 +269,14 @@ impl<L: OvcStream, R: OvcStream> MergeJoin<L, R> {
         stats: Rc<Stats>,
     ) -> Self {
         let left_key_len = left.key_len();
+        let left_spec = left.sort_spec();
         assert!(join_len <= right_width && join_len <= left_width);
         MergeJoin {
             groups: GroupedMerge::new(left, right, join_len, stats),
             join_type,
             join_len,
             left_key_len,
+            left_spec,
             left_width,
             right_width,
             acc: OvcAccumulator::new(),
@@ -384,6 +399,12 @@ impl<L: OvcStream, R: OvcStream> OvcStream for MergeJoin<L, R> {
         match self.join_type {
             JoinType::LeftSemi | JoinType::LeftAnti => self.left_key_len,
             _ => self.join_len,
+        }
+    }
+    fn sort_spec(&self) -> SortSpec {
+        match self.join_type {
+            JoinType::LeftSemi | JoinType::LeftAnti => self.left_spec.clone(),
+            _ => self.groups.join_spec.clone(),
         }
     }
 }
@@ -647,6 +668,56 @@ mod tests {
             "join merge logic exceeded the N*K bound: {}",
             stats.col_value_cmps()
         );
+    }
+
+    #[test]
+    fn mixed_direction_join_keys_match_reference() {
+        use ovc_core::derive::assert_codes_exact_spec;
+        use ovc_core::{Direction, SortSpec};
+        let spec = SortSpec::with_dirs(&[Direction::Desc, Direction::Asc]);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut l: Vec<Row> = (0..80)
+            .map(|_| {
+                Row::new(vec![
+                    rng.gen_range(0..6u64),
+                    rng.gen_range(0..4u64),
+                    rng.gen(),
+                ])
+            })
+            .collect();
+        let mut r: Vec<Row> = (0..80)
+            .map(|_| {
+                Row::new(vec![
+                    rng.gen_range(0..6u64),
+                    rng.gen_range(0..4u64),
+                    rng.gen(),
+                ])
+            })
+            .collect();
+        let jspec = spec.clone();
+        l.sort_by(|a, b| jspec.cmp_keys(a.key(2), b.key(2)));
+        r.sort_by(|a, b| jspec.cmp_keys(a.key(2), b.key(2)));
+        let stats = Stats::new_shared();
+        let join = MergeJoin::new(
+            VecStream::from_sorted_rows_spec(l.clone(), spec.clone()),
+            VecStream::from_sorted_rows_spec(r.clone(), spec.clone()),
+            2,
+            JoinType::Inner,
+            3,
+            3,
+            stats,
+        );
+        assert_eq!(join.sort_spec().keys(), spec.keys());
+        let pairs = collect_pairs(join);
+        assert_codes_exact_spec(&pairs, &spec);
+        // Same multiset as the direction-agnostic reference join.
+        let lv: Vec<Vec<u64>> = l.iter().map(|x| x.cols().to_vec()).collect();
+        let rv: Vec<Vec<u64>> = r.iter().map(|x| x.cols().to_vec()).collect();
+        let mut got = rows_of(&pairs);
+        let mut expect = reference_join(&lv, &rv, 2, JoinType::Inner, 3, 3);
+        got.sort();
+        expect.sort();
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -28,8 +28,10 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::{self, JoinHandle};
 
 use ovc_core::theorem::OvcAccumulator;
-use ovc_core::{CodedBatch, OvcRow, OvcStream, Row, Stats, StatsSnapshot, VecStream};
+use ovc_core::{CodedBatch, OvcRow, OvcStream, Row, SortSpec, Stats, StatsSnapshot, VecStream};
 use ovc_sort::TreeOfLosers;
+
+use crate::merge_join::{JoinType, MergeJoin};
 
 /// Default bound of every exchange channel, in rows.  Small enough for
 /// backpressure to keep memory flat, large enough to amortize wakeups.
@@ -42,7 +44,7 @@ pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
 /// backpressure) and ends when the producer drops its sender.
 pub struct ChannelStream {
     rx: Receiver<OvcRow>,
-    key_len: usize,
+    spec: SortSpec,
 }
 
 impl Iterator for ChannelStream {
@@ -54,7 +56,10 @@ impl Iterator for ChannelStream {
 
 impl OvcStream for ChannelStream {
     fn key_len(&self) -> usize {
-        self.key_len
+        self.spec.len()
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
     }
 }
 
@@ -108,7 +113,7 @@ where
     P: FnMut(&Row) -> usize + Send + 'static,
 {
     assert!(parts > 0, "split needs at least one partition");
-    let key_len = input.key_len();
+    let spec = input.sort_spec().clone();
     let capacity = capacity.max(1);
     let (txs, rxs): (Vec<SyncSender<OvcRow>>, Vec<Receiver<OvcRow>>) =
         (0..parts).map(|_| sync_channel(capacity)).unzip();
@@ -118,7 +123,10 @@ where
     SplitThreads {
         partitions: rxs
             .into_iter()
-            .map(|rx| ChannelStream { rx, key_len })
+            .map(|rx| ChannelStream {
+                rx,
+                spec: spec.clone(),
+            })
             .collect(),
         producer,
     }
@@ -166,7 +174,7 @@ fn route_coded_rows<P>(
 pub struct MergeThreaded {
     tree: Option<TreeOfLosers<ChannelStream>>,
     feeders: Vec<JoinHandle<()>>,
-    key_len: usize,
+    spec: SortSpec,
 }
 
 impl Iterator for MergeThreaded {
@@ -178,7 +186,10 @@ impl Iterator for MergeThreaded {
 
 impl OvcStream for MergeThreaded {
     fn key_len(&self) -> usize {
-        self.key_len
+        self.spec.len()
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
     }
 }
 
@@ -193,14 +204,26 @@ impl Drop for MergeThreaded {
     }
 }
 
-/// Order-preserving many-to-one merge over worker-fed channels.
+/// Order-preserving many-to-one merge over worker-fed channels, with
+/// the default ascending ordering on the leading `key_len` columns.
 pub fn merge_threaded(
     inputs: Vec<CodedBatch>,
     key_len: usize,
     capacity: usize,
     stats: &Rc<Stats>,
 ) -> MergeThreaded {
-    debug_assert!(inputs.iter().all(|b| b.key_len() == key_len));
+    merge_threaded_spec(inputs, SortSpec::asc(key_len), capacity, stats)
+}
+
+/// Order-preserving many-to-one merge over worker-fed channels under an
+/// arbitrary [`SortSpec`] (the inputs must all carry it).
+pub fn merge_threaded_spec(
+    inputs: Vec<CodedBatch>,
+    spec: SortSpec,
+    capacity: usize,
+    stats: &Rc<Stats>,
+) -> MergeThreaded {
+    debug_assert!(inputs.iter().all(|b| b.sort_spec() == &spec));
     let capacity = capacity.max(1);
     let mut streams = Vec::with_capacity(inputs.len());
     let mut feeders = Vec::with_capacity(inputs.len());
@@ -213,12 +236,19 @@ pub fn merge_threaded(
                 }
             }
         }));
-        streams.push(ChannelStream { rx, key_len });
+        streams.push(ChannelStream {
+            rx,
+            spec: spec.clone(),
+        });
     }
     MergeThreaded {
-        tree: Some(TreeOfLosers::new(streams, key_len, Rc::clone(stats))),
+        tree: Some(TreeOfLosers::new_spec(
+            streams,
+            spec.clone(),
+            Rc::clone(stats),
+        )),
         feeders,
-        key_len,
+        spec,
     }
 }
 
@@ -313,6 +343,68 @@ where
         .map(|(rows, snapshot)| {
             stats.absorb(&snapshot);
             CodedBatch::from_coded(rows, key_len)
+        })
+        .collect()
+}
+
+/// Partition-parallel merge join: one worker thread per partition pair,
+/// each running the ordinary [`MergeJoin`] over its co-partitioned
+/// inputs with a per-thread [`Stats`] (merged into the caller's by
+/// snapshot, as everywhere in this module).
+///
+/// Correctness rests on co-partitioning: rows with equal join keys must
+/// sit in the same partition index on both sides (hash the *whole* join
+/// key — [`crate::exchange::partition::by_key_hash`]), so every join
+/// group is local to one worker, and merging the sorted per-partition
+/// outputs ([`merge_threaded`]) reproduces the serial join's row
+/// sequence — and therefore, codes being a function of the row sequence,
+/// its exact codes — byte for byte.
+pub fn merge_join_partitions(
+    left: Vec<CodedBatch>,
+    right: Vec<CodedBatch>,
+    join_len: usize,
+    join_type: JoinType,
+    left_width: usize,
+    right_width: usize,
+    stats: &Rc<Stats>,
+) -> Vec<CodedBatch> {
+    assert_eq!(
+        left.len(),
+        right.len(),
+        "partitioned merge join requires co-partitioned inputs"
+    );
+    let joined: Vec<(Vec<OvcRow>, SortSpec, StatsSnapshot)> = thread::scope(|scope| {
+        let workers: Vec<_> = left
+            .into_iter()
+            .zip(right)
+            .map(|(l, r)| {
+                scope.spawn(move || {
+                    let local = Stats::new_shared();
+                    let join = MergeJoin::new(
+                        l.into_stream(),
+                        r.into_stream(),
+                        join_len,
+                        join_type,
+                        left_width,
+                        right_width,
+                        Rc::clone(&local),
+                    );
+                    let spec = join.sort_spec();
+                    let rows: Vec<OvcRow> = join.collect();
+                    (rows, spec, local.snapshot())
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("partitioned join worker panicked"))
+            .collect()
+    });
+    joined
+        .into_iter()
+        .map(|(rows, spec, snapshot)| {
+            stats.absorb(&snapshot);
+            CodedBatch::from_coded_spec(rows, spec)
         })
         .collect()
 }
@@ -437,6 +529,62 @@ mod tests {
         assert_eq!(parts[1].len(), 0, "nothing reaches the upper range");
         assert_eq!(parts[0].len(), rows.len());
         check_exact(&parts[0]);
+    }
+
+    #[test]
+    fn partitioned_merge_join_matches_serial_join() {
+        use ovc_core::derive::assert_codes_exact;
+        let mut rng = StdRng::seed_from_u64(91);
+        let mk = |seed: u64| -> Vec<Row> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rows: Vec<Row> = (0..300)
+                .map(|_| Row::new(vec![rng.gen_range(0..20u64), rng.gen_range(0..20u64)]))
+                .collect();
+            rows.sort();
+            rows
+        };
+        let _ = rng.gen_range(0..2u64);
+        for join_type in [JoinType::Inner, JoinType::LeftOuter, JoinType::LeftSemi] {
+            let (l, r) = (mk(1), mk(2));
+            // Serial reference.
+            let serial_stats = Stats::new_shared();
+            let serial: Vec<OvcRow> = MergeJoin::new(
+                VecStream::from_sorted_rows(l.clone(), 2),
+                VecStream::from_sorted_rows(r.clone(), 2),
+                1,
+                join_type,
+                2,
+                2,
+                Rc::clone(&serial_stats),
+            )
+            .collect();
+
+            // Partition both sides on the whole join key, join per
+            // partition on worker threads, gather with the merging
+            // exchange.
+            let parts = 3;
+            let stats = Stats::new_shared();
+            let lp = split_threaded(
+                CodedBatch::from_sorted_rows(l, 2),
+                parts,
+                partition::by_key_hash(1, parts),
+                16,
+            )
+            .collect_all();
+            let rp = split_threaded(
+                CodedBatch::from_sorted_rows(r, 2),
+                parts,
+                partition::by_key_hash(1, parts),
+                16,
+            )
+            .collect_all();
+            let joined = merge_join_partitions(lp, rp, 1, join_type, 2, 2, &stats);
+            let out_key = joined.first().map(|b| b.key_len()).unwrap_or(1);
+            let gathered: Vec<OvcRow> = merge_threaded(joined, out_key, 16, &stats).collect();
+            assert_eq!(gathered, serial, "{join_type:?}: rows and codes");
+            let pairs: Vec<(Row, Ovc)> = gathered.into_iter().map(|r| (r.row, r.code)).collect();
+            assert_codes_exact(&pairs, out_key);
+        }
     }
 
     #[test]

@@ -61,6 +61,9 @@ impl<S: OvcStream, F: FnMut(&Row) -> Row> OvcStream for Project<S, F> {
     fn key_len(&self) -> usize {
         self.surviving_key
     }
+    fn sort_spec(&self) -> ovc_core::SortSpec {
+        self.input.sort_spec().prefix(self.surviving_key)
+    }
 }
 
 /// Shorten a stream's sort key to its first `new_key_len` columns, clamping
@@ -96,6 +99,9 @@ impl<S: OvcStream> Iterator for ClampKey<S> {
 impl<S: OvcStream> OvcStream for ClampKey<S> {
     fn key_len(&self) -> usize {
         self.new_key_len
+    }
+    fn sort_spec(&self) -> ovc_core::SortSpec {
+        self.input.sort_spec().prefix(self.new_key_len)
     }
 }
 

@@ -10,8 +10,8 @@
 use std::collections::BTreeMap;
 use std::collections::HashSet;
 
-use ovc_core::derive::{derive_codes, is_sorted};
-use ovc_core::{OvcRow, Row};
+use ovc_core::derive::{derive_codes_spec, is_sorted_spec};
+use ovc_core::{OvcRow, Row, SortSpec};
 
 /// A base table plus the cheap exact statistics the cost model feeds on.
 #[derive(Clone, Debug)]
@@ -20,7 +20,8 @@ pub struct Table {
     /// Codes of `rows`, derived once at registration (sorted tables only).
     coded: Option<Vec<OvcRow>>,
     width: usize,
-    sorted_key: usize,
+    /// Ordering contract the stored rows follow (empty = heap table).
+    spec: SortSpec,
     /// Exact count of distinct full rows (one hash pass at registration).
     distinct_rows: usize,
 }
@@ -34,24 +35,36 @@ impl Table {
             rows,
             coded: None,
             width,
-            sorted_key: 0,
+            spec: SortSpec::none(),
             distinct_rows,
         }
     }
 
-    /// Register a table stored sorted on its first `sorted_key` columns.
+    /// Register a table stored sorted ascending on its first
+    /// `sorted_key` columns (shorthand for [`Table::sorted_by`]).
+    pub fn sorted(rows: Vec<Row>, sorted_key: usize) -> Table {
+        Table::sorted_by(rows, SortSpec::asc(sorted_key))
+    }
+
+    /// Register a table stored ordered under an explicit [`SortSpec`]
+    /// (mixed ascending/descending directions supported).
     ///
     /// Codes are derived here, once — scans replay them without any
-    /// column comparison.  Panics if the rows are not actually sorted.
-    pub fn sorted(rows: Vec<Row>, sorted_key: usize) -> Table {
+    /// column comparison (Section 4.11: data access is a source of codes
+    /// as important as sorting).  Panics if the rows violate the spec.
+    pub fn sorted_by(rows: Vec<Row>, spec: SortSpec) -> Table {
         assert!(
-            is_sorted(&rows, sorted_key),
-            "Table::sorted requires rows sorted on the leading {sorted_key} columns"
+            spec.is_prefix(),
+            "stored orderings must be leading-column prefixes, got {spec}"
         );
-        let width = rows.first().map(Row::width).unwrap_or(sorted_key.max(1));
-        assert!(sorted_key <= width, "sort key cannot exceed the row width");
+        assert!(
+            is_sorted_spec(&rows, &spec),
+            "Table::sorted_by requires rows ordered under {spec}"
+        );
+        let width = rows.first().map(Row::width).unwrap_or(spec.len().max(1));
+        assert!(spec.len() <= width, "sort key cannot exceed the row width");
         let distinct_rows = count_distinct(&rows);
-        let codes = derive_codes(&rows, sorted_key);
+        let codes = derive_codes_spec(&rows, &spec);
         let coded = rows
             .iter()
             .cloned()
@@ -62,7 +75,7 @@ impl Table {
             rows,
             coded: Some(coded),
             width,
-            sorted_key,
+            spec,
             distinct_rows,
         }
     }
@@ -92,7 +105,12 @@ impl Table {
 
     /// Leading columns the stored rows are sorted on (0 = unsorted).
     pub fn sorted_key(&self) -> usize {
-        self.sorted_key
+        self.spec.len()
+    }
+
+    /// The ordering contract the stored rows follow (empty = heap).
+    pub fn sort_spec(&self) -> &SortSpec {
+        &self.spec
     }
 
     /// Row count.
@@ -167,7 +185,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "requires rows sorted")]
+    #[should_panic(expected = "requires rows ordered under")]
     fn sorted_rejects_unsorted_rows() {
         let mut rows = ovc_core::table1::rows();
         rows.reverse();
@@ -180,6 +198,33 @@ mod tests {
         assert!(t.coded().is_none());
         assert_eq!(t.sorted_key(), 0);
         assert_eq!(t.width(), 2);
+    }
+
+    #[test]
+    fn descending_table_precomputes_spec_codes() {
+        use ovc_core::derive::assert_codes_exact_spec;
+        let spec = SortSpec::desc(1);
+        let rows: Vec<Row> = [[9u64, 0], [5, 1], [5, 2], [1, 3]]
+            .iter()
+            .map(|c| Row::new(c.to_vec()))
+            .collect();
+        let t = Table::sorted_by(rows, spec.clone());
+        assert_eq!(t.sort_spec(), &spec);
+        assert_eq!(t.sorted_key(), 1);
+        let pairs: Vec<(Row, Ovc)> = t
+            .coded()
+            .expect("spec-sorted table is coded")
+            .iter()
+            .map(|r| (r.row.clone(), r.code))
+            .collect();
+        assert_codes_exact_spec(&pairs, &spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered under")]
+    fn sorted_by_rejects_spec_violations() {
+        let rows = vec![Row::new(vec![1]), Row::new(vec![2])];
+        let _ = Table::sorted_by(rows, SortSpec::desc(1));
     }
 
     #[test]

@@ -198,6 +198,18 @@ pub fn exchange(rows: f64, parts: usize) -> Cost {
     }
 }
 
+/// Opposite-direction reuse (`PhysOp::Reverse`): materialize, reverse,
+/// and re-prime codes in one linear pass — `rows × key_len` column
+/// accesses (the derivation bound) plus one accumulator op per row, no
+/// `log N` factor, no spill.  Always cheaper than the sort it replaces.
+pub fn reverse(rows: f64, key_len: usize) -> Cost {
+    Cost {
+        col_cmps: rows * key_len as f64,
+        ovc_cmps: rows,
+        ..Cost::zero()
+    }
+}
+
 /// Parallel OVC sort (`ovc_sort::parallel::parallel_sort`): run
 /// generation on `dop` worker slices, then the same in-memory
 /// bounded-fan-in cascade the serial estimate already counts.
@@ -353,6 +365,15 @@ mod tests {
         let d_parallel = in_sort_distinct_parallel(50_000.0, 40_000.0, 1, 1000, 64, 4);
         assert!(d_serial.spill_rows > 0.0);
         assert_eq!(d_parallel.spill_rows, 0.0);
+    }
+
+    #[test]
+    fn reversal_prices_below_the_sort_it_replaces() {
+        let n = 20_000.0;
+        let rev = reverse(n, 3);
+        let sort = sort_ovc(n, 3, 1000, 64);
+        assert_eq!(rev.spill_rows, 0.0);
+        assert!(rev.total(&W) < sort.total(&W));
     }
 
     #[test]

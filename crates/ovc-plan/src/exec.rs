@@ -3,44 +3,60 @@
 //! The executor walks a [`PhysicalPlan`] bottom-up, building real
 //! operator pipelines: coded paths become [`OvcStream`] stacks over
 //! `ovc-exec`/`ovc-sort` operators, hash paths call the `ovc-baseline`
-//! algorithms on materialized rows.  The boundary between the two worlds
-//! is explicit in the plan (a hash operator's output is rows; a sort
-//! brings rows back into the coded world), so the executor never guesses.
+//! algorithms on materialized rows, and **exchange sandwiches** run on
+//! real threads — [`PhysOp::Exchange`] to a hash layout lowers onto the
+//! threaded splitting shuffle (`split_threaded`), a partitioned
+//! [`PhysOp::MergeJoinOvc`] joins partition pairs on worker threads
+//! (`merge_join_partitions`), and the gathering exchange merges the
+//! partition streams back with the threaded tree-of-losers
+//! (`merge_threaded`).  The boundaries between the three worlds
+//! (stream / rows / partitions) are explicit in the plan, so the
+//! executor never guesses.
 //!
 //! [`ExecOptions::verify_trusted`] turns every [`PhysOp::TrustSorted`]
 //! marker — an *elided sort* — into a checked assertion: the stream the
 //! planner trusted is drained and audited with
-//! [`ovc_core::derive::assert_codes_exact`] before flowing on.  The
-//! planner property tests run with this enabled, which is what "every
-//! elided sort is justified" means operationally.
+//! [`ovc_core::derive::assert_codes_exact_spec`] against the stream's
+//! own [`SortSpec`] before flowing on.  The planner property tests run
+//! with this enabled, which is what "every elided sort is justified"
+//! means operationally.
 
 use std::rc::Rc;
 
-use ovc_core::derive::assert_codes_exact;
-use ovc_core::{Ovc, OvcRow, OvcStream, Row, Stats, VecStream};
+use ovc_core::derive::{assert_codes_exact_spec, derive_codes_spec_counted};
+use ovc_core::{CodedBatch, Ovc, OvcRow, OvcStream, Row, SortSpec, Stats, VecStream};
+use ovc_exec::exchange::partition;
 use ovc_exec::plans::in_sort_distinct;
 use ovc_exec::{
-    Dedup, Filter as FilterOp, GroupAggregate, MergeJoin, Project as ProjectOp, SetOperation,
+    merge_join_partitions, merge_threaded_spec, split_threaded, Dedup, Filter as FilterOp,
+    GroupAggregate, MergeJoin, Project as ProjectOp, SetOperation, DEFAULT_CHANNEL_CAPACITY,
 };
-use ovc_sort::{external_sort, MemoryRunStorage, SortConfig};
+use ovc_sort::{external_sort, external_sort_spec, MemoryRunStorage, SortConfig};
 
 use crate::catalog::Catalog;
-use crate::physical::{PhysOp, PhysicalPlan};
+use crate::physical::{Partitioning, PhysOp, PhysicalPlan};
 
 /// Executor knobs.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ExecOptions {
     /// Audit every elided sort: drain each trusted stream and panic
-    /// unless its codes are exact (test harness for the planner).
+    /// unless its codes are exact under its spec (test harness for the
+    /// planner).
     pub verify_trusted: bool,
 }
 
-/// What a (sub)plan produced: a coded sorted stream, or bare rows.
+/// What a (sub)plan produced: a coded sorted stream, bare rows, or — in
+/// the middle of an exchange sandwich — hash partitions of a coded
+/// stream.
 pub enum Output {
     /// Sorted stream carrying exact offset-value codes.
     Stream(Box<dyn OvcStream>),
     /// Materialized rows in arbitrary order (hash-side operators).
     Rows(Vec<Row>),
+    /// Hash-partitioned coded batches (between a splitting
+    /// [`PhysOp::Exchange`] and the gathering one); each batch is sorted
+    /// and exactly coded on its own.
+    Partitions(Vec<CodedBatch>),
 }
 
 impl Output {
@@ -49,6 +65,9 @@ impl Output {
         match self {
             Output::Stream(s) => s.map(|r| r.row).collect(),
             Output::Rows(rows) => rows,
+            Output::Partitions(_) => {
+                panic!("plan output is partitioned; gather it with an Exchange to single")
+            }
         }
     }
 
@@ -58,6 +77,9 @@ impl Output {
         match self {
             Output::Stream(s) => s.collect(),
             Output::Rows(_) => panic!("plan output is unordered; no codes to collect"),
+            Output::Partitions(_) => {
+                panic!("plan output is partitioned; gather it with an Exchange to single")
+            }
         }
     }
 
@@ -66,6 +88,18 @@ impl Output {
         match self {
             Output::Stream(s) => s,
             Output::Rows(_) => panic!("plan output is unordered; not a coded stream"),
+            Output::Partitions(_) => {
+                panic!("plan output is partitioned; gather it with an Exchange to single")
+            }
+        }
+    }
+
+    /// The hash partitions; panics unless this output sits between a
+    /// splitting and a gathering exchange.
+    pub fn into_partitions(self) -> Vec<CodedBatch> {
+        match self {
+            Output::Partitions(p) => p,
+            _ => panic!("plan output is not partitioned"),
         }
     }
 
@@ -128,11 +162,14 @@ impl Cx<'_> {
                     .coded()
                     .unwrap_or_else(|| panic!("table {table} is not stored sorted"))
                     .to_vec();
-                Output::Stream(Box::new(VecStream::from_coded(coded, t.sorted_key())))
+                Output::Stream(Box::new(VecStream::from_coded_spec(
+                    coded,
+                    t.sort_spec().clone(),
+                )))
             }
             PhysOp::SortOvc {
                 input,
-                key_len,
+                spec,
                 memory_rows,
                 fan_in,
                 dop,
@@ -142,49 +179,86 @@ impl Cx<'_> {
                     // Parallel run generation over row-range slices: rows
                     // and codes are byte-identical to the serial sort
                     // (tests/parallel_properties.rs holds it to that).
+                    // The planner stamps dop > 1 only onto plain
+                    // ascending-prefix specs.
+                    debug_assert!(spec.is_asc_prefix() && !spec.normalized());
                     Output::Stream(Box::new(ovc_sort::parallel::parallel_sort(
                         rows,
-                        *key_len,
+                        spec.len(),
                         *dop,
                         *memory_rows,
                         *fan_in,
                         self.stats,
                     )))
-                } else {
+                } else if spec.is_asc_prefix() && !spec.normalized() {
                     let mut storage = MemoryRunStorage::new(Rc::clone(self.stats));
-                    let cfg = SortConfig::new(*key_len, *memory_rows).with_fan_in(*fan_in);
+                    let cfg = SortConfig::new(spec.len(), *memory_rows).with_fan_in(*fan_in);
                     Output::Stream(Box::new(external_sort(rows, cfg, &mut storage, self.stats)))
+                } else {
+                    // Direction-aware (and/or normalized-key) external
+                    // sort: same cascade, spec-driven comparisons.
+                    let mut storage = MemoryRunStorage::new(Rc::clone(self.stats));
+                    let cfg = SortConfig::new(spec.len(), *memory_rows).with_fan_in(*fan_in);
+                    Output::Stream(Box::new(external_sort_spec(
+                        rows,
+                        cfg,
+                        spec,
+                        &mut storage,
+                        self.stats,
+                    )))
                 }
             }
-            PhysOp::TrustSorted { input, key_len } => {
+            PhysOp::TrustSorted { input, spec } => {
                 let stream = self.run(input).into_stream();
                 if self.options.verify_trusted {
                     // Audit the elision: the stream the planner trusted
-                    // must carry exact codes at its own arity (which
+                    // must carry exact codes under its own spec (which
                     // implies the required prefix ordering).
-                    let arity = stream.key_len();
-                    debug_assert!(*key_len <= arity);
+                    let stream_spec = stream.sort_spec();
+                    debug_assert!(stream_spec.satisfies(spec));
                     let coded: Vec<OvcRow> = stream.collect();
                     let pairs: Vec<(Row, Ovc)> =
                         coded.iter().map(|r| (r.row.clone(), r.code)).collect();
-                    assert_codes_exact(&pairs, arity);
-                    Output::Stream(Box::new(VecStream::from_coded(coded, arity)))
+                    assert_codes_exact_spec(&pairs, &stream_spec);
+                    Output::Stream(Box::new(VecStream::from_coded_spec(coded, stream_spec)))
                 } else {
                     Output::Stream(stream)
                 }
             }
+            PhysOp::Reverse { input, spec } => {
+                // Opposite-direction reuse: materialize, reverse, and
+                // re-prime codes in one linear pass (priced by
+                // cost::reverse).  The input is sorted on spec.reversed(),
+                // so the reversed row sequence satisfies `spec` — only
+                // the codes need re-deriving.
+                let stream = self.run(input).into_stream();
+                debug_assert!(stream.sort_spec().satisfies(&spec.reversed()));
+                let mut rows: Vec<Row> = stream.map(|r| r.row).collect();
+                rows.reverse();
+                let codes = derive_codes_spec_counted(&rows, spec, self.stats);
+                let coded: Vec<OvcRow> = rows
+                    .into_iter()
+                    .zip(codes)
+                    .map(|(row, code)| OvcRow::new(row, code))
+                    .collect();
+                Output::Stream(Box::new(VecStream::from_coded_spec(coded, spec.clone())))
+            }
             PhysOp::InSortDistinct {
                 input,
-                key_len,
+                spec,
                 memory_rows,
                 fan_in,
                 dop,
             } => {
+                // The planner only requests ascending full-width specs
+                // for distinct semantics.
+                debug_assert!(spec.is_asc_prefix());
+                let key_len = spec.len();
                 let rows = self.run(input).into_rows();
                 if *dop > 1 {
                     Output::Stream(Box::new(ovc_sort::parallel::parallel_sort_distinct(
                         rows,
-                        *key_len,
+                        key_len,
                         *dop,
                         *memory_rows,
                         *fan_in,
@@ -194,7 +268,7 @@ impl Cx<'_> {
                     let mut storage = MemoryRunStorage::new(Rc::clone(self.stats));
                     Output::Stream(Box::new(in_sort_distinct(
                         rows,
-                        *key_len,
+                        key_len,
                         *memory_rows,
                         *fan_in,
                         &mut storage,
@@ -222,6 +296,7 @@ impl Cx<'_> {
                 Output::Rows(rows) => {
                     Output::Rows(rows.into_iter().filter(|r| pred.eval(r)).collect())
                 }
+                Output::Partitions(_) => panic!("filter over partitions is not planned"),
             },
             PhysOp::Project {
                 input,
@@ -237,6 +312,7 @@ impl Cx<'_> {
                     )))
                 }
                 Output::Rows(rows) => Output::Rows(rows.iter().map(|r| r.project(cols)).collect()),
+                Output::Partitions(_) => panic!("projection over partitions is not planned"),
             },
             PhysOp::GroupOvc {
                 input,
@@ -257,17 +333,18 @@ impl Cx<'_> {
                 join_type,
             } => {
                 let (lw, rw) = (left.props.width, right.props.width);
-                let l = self.run(left).into_stream();
-                let r = self.run(right).into_stream();
-                Output::Stream(Box::new(MergeJoin::new(
-                    l,
-                    r,
-                    *join_len,
-                    *join_type,
-                    lw,
-                    rw,
-                    Rc::clone(self.stats),
-                )))
+                match (self.run(left), self.run(right)) {
+                    // Partition-parallel: both inputs arrive hash-co-
+                    // partitioned from explicit Exchange children; join
+                    // each partition pair on its own worker thread.
+                    (Output::Partitions(lp), Output::Partitions(rp)) => Output::Partitions(
+                        merge_join_partitions(lp, rp, *join_len, *join_type, lw, rw, self.stats),
+                    ),
+                    (Output::Stream(l), Output::Stream(r)) => Output::Stream(Box::new(
+                        MergeJoin::new(l, r, *join_len, *join_type, lw, rw, Rc::clone(self.stats)),
+                    )),
+                    _ => panic!("merge join inputs must both be streams or both partitioned"),
+                }
             }
             PhysOp::GraceHashJoin {
                 left,
@@ -298,10 +375,62 @@ impl Cx<'_> {
             PhysOp::TopK { input, k } => {
                 let stream = self.run(input).into_stream();
                 Output::Stream(Box::new(TakeStream {
-                    key_len: stream.key_len(),
+                    spec: stream.sort_spec(),
                     inner: stream,
                     left: *k,
                 }))
+            }
+            PhysOp::Exchange { input, to } => match to {
+                // Splitting shuffle: one producer thread routes rows by
+                // hash of the partitioning columns, repairing codes with
+                // one accumulator per partition; consumers drain
+                // concurrently (collect_all fans out — sequential
+                // draining against bounded channels deadlocks, §4.10).
+                Partitioning::Hash { cols, parts } => {
+                    let stream = self.run(input).into_stream();
+                    let batch = CodedBatch::from_stream(stream);
+                    let split = split_threaded(
+                        batch,
+                        *parts,
+                        partition::by_cols_hash(cols.clone(), *parts),
+                        DEFAULT_CHANNEL_CAPACITY,
+                    );
+                    Output::Partitions(split.collect_all())
+                }
+                // Gathering shuffle: feeder threads push each partition
+                // into a bounded channel; the calling thread consumes
+                // the order-preserving tree-of-losers merge under the
+                // partitions' actual ordering contract.
+                Partitioning::Single => {
+                    let parts = self.run(input).into_partitions();
+                    let spec = parts
+                        .first()
+                        .map(|b| b.sort_spec().clone())
+                        .unwrap_or_else(|| input.props.order.clone());
+                    Output::Stream(Box::new(merge_threaded_spec(
+                        parts,
+                        spec,
+                        DEFAULT_CHANNEL_CAPACITY,
+                        self.stats,
+                    )))
+                }
+                Partitioning::Any => panic!("Exchange to `any` is not a layout"),
+            },
+            PhysOp::Repartition { input, cols, parts } => {
+                let batches = self.run(input).into_partitions();
+                let key_len = batches
+                    .first()
+                    .map(|b| b.key_len())
+                    .unwrap_or_else(|| input.props.order.len());
+                let cols = cols.clone();
+                Output::Partitions(ovc_exec::parallel::repartition_threaded(
+                    batches,
+                    key_len,
+                    *parts,
+                    || partition::by_cols_hash(cols.clone(), *parts),
+                    DEFAULT_CHANNEL_CAPACITY,
+                    self.stats,
+                ))
             }
         }
     }
@@ -310,7 +439,7 @@ impl Cx<'_> {
 /// First-`k` adapter: a prefix of a coded stream stays exactly coded.
 struct TakeStream {
     inner: Box<dyn OvcStream>,
-    key_len: usize,
+    spec: SortSpec,
     left: usize,
 }
 
@@ -327,6 +456,9 @@ impl Iterator for TakeStream {
 
 impl OvcStream for TakeStream {
     fn key_len(&self) -> usize {
-        self.key_len
+        self.spec.len()
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
     }
 }

@@ -68,5 +68,9 @@ pub use catalog::{Catalog, Table};
 pub use cost::Cost;
 pub use exec::{execute, execute_stream, ExecOptions, Output};
 pub use logical::{Aggregate, JoinType, LogicalPlan, Predicate, SetOp};
-pub use physical::{PhysOp, PhysicalPlan, PhysicalProps};
+pub use physical::{Partitioning, PhysOp, PhysicalPlan, PhysicalProps};
 pub use planner::{PlanError, Planner, PlannerConfig, Preference};
+
+// The property types plans are matched on, re-exported so planner users
+// need not depend on `ovc-core` directly.
+pub use ovc_core::{Direction, SortSpec};

@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use ovc_core::{Row, Value};
+use ovc_core::{Row, SortSpec, Value};
 pub use ovc_exec::{Aggregate, JoinType, SetOp};
 
 /// A predicate over single rows, built from column comparisons.
@@ -93,6 +93,7 @@ impl fmt::Display for Predicate {
 }
 
 /// One node of the logical algebra.
+#[non_exhaustive]
 #[derive(Clone, Debug)]
 pub enum Logical {
     /// Read a named base table.
@@ -148,12 +149,13 @@ pub enum Logical {
         /// Which operation.
         op: SetOp,
     },
-    /// Demand the output sorted on the leading `key_len` columns.
+    /// Demand the output ordered under a full [`SortSpec`]: per-column
+    /// directions plus an optional normalized-key encoding request.
     Sort {
         /// Input relation.
         input: Box<Logical>,
-        /// Number of leading sort-key columns.
-        key_len: usize,
+        /// The required ordering.
+        spec: SortSpec,
     },
     /// The first `k` rows under the leading-`key_len` ordering.
     TopK {
@@ -255,12 +257,21 @@ impl LogicalPlan {
         }
     }
 
-    /// Demand the output sorted on the leading `key_len` columns.
+    /// Demand the output sorted ascending on the leading `key_len`
+    /// columns (shorthand for [`LogicalPlan::sort_by`] with an
+    /// all-ascending spec).
     pub fn sort(self, key_len: usize) -> LogicalPlan {
+        self.sort_by(SortSpec::asc(key_len))
+    }
+
+    /// Demand the output ordered under an explicit [`SortSpec`] — mixed
+    /// ascending/descending directions, optional normalized-key
+    /// encoding.
+    pub fn sort_by(self, spec: SortSpec) -> LogicalPlan {
         LogicalPlan {
             root: Logical::Sort {
                 input: Box::new(self.root),
-                key_len,
+                spec,
             },
         }
     }
@@ -323,8 +334,8 @@ impl LogicalPlan {
                 Self::fmt_node(left, f, depth + 1)?;
                 Self::fmt_node(right, f, depth + 1)
             }
-            Logical::Sort { input, key_len } => {
-                writeln!(f, "{pad}Sort first {key_len} col(s)")?;
+            Logical::Sort { input, spec } => {
+                writeln!(f, "{pad}Sort {spec}")?;
                 Self::fmt_node(input, f, depth + 1)
             }
             Logical::TopK { input, key_len, k } => {

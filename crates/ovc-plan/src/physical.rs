@@ -1,32 +1,102 @@
 //! Physical plans: chosen operators, inferred properties, estimated cost.
 //!
 //! Every node records the [`PhysicalProps`] the planner inferred for its
-//! output — sort order *and* offset-value-code availability — which is
-//! the machinery behind the paper's "interesting orderings" argument:
-//! properties flow bottom-up through order-preserving operators (by the
-//! theorems of `ovc_core::theorem`), and wherever a required ordering is
-//! already satisfied by a coded stream the planner records a
-//! [`PhysOp::TrustSorted`] marker instead of a sort.  Those markers are
-//! the *elided sorts*; tests audit them with
-//! [`ovc_core::derive::assert_codes_exact`] on the very streams they
-//! trusted.
+//! output.  Since the ordering/partitioning API redesign those properties
+//! are first-class values, not counts:
+//!
+//! * **order** — a full [`SortSpec`] (per-column directions, optional
+//!   normalized-key encoding) plus the `coded` flag, the machinery behind
+//!   the paper's "interesting orderings" argument: properties flow
+//!   bottom-up through order-preserving operators (by the theorems of
+//!   `ovc_core::theorem`), and wherever a required ordering is already
+//!   satisfied by a coded stream the planner records a
+//!   [`PhysOp::TrustSorted`] marker instead of a sort.  Those markers are
+//!   the *elided sorts*; tests audit them with
+//!   [`ovc_core::derive::assert_codes_exact_spec`] on the very streams
+//!   they trusted.
+//! * **partitioning** — a [`Partitioning`] value describing how the
+//!   output is laid out across streams.  Explicit [`PhysOp::Exchange`]
+//!   nodes move data between layouts (Section 4.10's order-preserving
+//!   shuffles, lowered onto the threaded exchange of
+//!   `ovc_exec::parallel`), which is how a merge join runs
+//!   partition-parallel over hash-co-partitioned inputs.
 
 use std::fmt;
+
+use ovc_core::SortSpec;
 
 use crate::cost::Cost;
 use crate::logical::{Aggregate, JoinType, Predicate, SetOp};
 
+/// How a plan node's output is laid out across streams.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Partitioning {
+    /// No guarantee / don't care — the wildcard on the *required* side
+    /// of property matching (any layout satisfies it).
+    Any,
+    /// One stream (the default for every serial operator).
+    Single,
+    /// `parts` streams, rows routed by a hash of the named columns; rows
+    /// agreeing on those columns share a partition — the co-location
+    /// guarantee partitioned joins and aggregations build on.
+    Hash {
+        /// Columns hashed together to pick a partition.
+        cols: Vec<usize>,
+        /// Number of partitions (= the degree of parallelism).
+        parts: usize,
+    },
+}
+
+impl Partitioning {
+    /// Does this layout satisfy `required`?  `Any` as a requirement is
+    /// the wildcard; everything else matches exactly.
+    pub fn satisfies(&self, required: &Partitioning) -> bool {
+        matches!(required, Partitioning::Any) || self == required
+    }
+
+    /// Number of parallel streams in this layout.
+    pub fn parts(&self) -> usize {
+        match self {
+            Partitioning::Hash { parts, .. } => *parts,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Partitioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Partitioning::Any => f.write_str("any"),
+            Partitioning::Single => f.write_str("single"),
+            Partitioning::Hash { cols, parts } => {
+                f.write_str("hash(")?;
+                for (i, c) in cols.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "c{c}")?;
+                }
+                write!(f, ")x{parts}")
+            }
+        }
+    }
+}
+
 /// Inferred output properties of a physical plan node.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PhysicalProps {
     /// Columns per output row.
     pub width: usize,
-    /// Leading columns the output is guaranteed sorted on (0 = none).
-    pub ordered_key: usize,
-    /// Does the output carry exact offset-value codes at `ordered_key`
-    /// arity?  (Every ordered operator in this repository produces them,
-    /// but the flag keeps the property explicit and auditable.)
+    /// The ordering contract the output rows follow (empty = none).
+    pub order: SortSpec,
+    /// Does the output carry exact offset-value codes at the full arity
+    /// of `order`?  (Every ordered operator in this repository produces
+    /// them, but the flag keeps the property explicit and auditable.)
     pub coded: bool,
+    /// How the output is laid out across streams.  `Single` for every
+    /// serial operator; `Hash` between a splitting [`PhysOp::Exchange`]
+    /// and the gathering one.
+    pub partitioning: Partitioning,
     /// Estimated output row count.
     pub rows: f64,
     /// Estimated distinct full rows in the output.
@@ -34,23 +104,29 @@ pub struct PhysicalProps {
     /// Highest degree of parallelism used anywhere in the subtree that
     /// produces this output (1 = fully serial).  Output rows and codes
     /// are dop-invariant (parallel and serial plans answer identically,
-    /// byte for byte); counters follow the chosen lowering — the
-    /// parallel sorts keep runs resident and spill nothing, which the
-    /// parallel cost functions reflect.  This property carries the
-    /// *wall-clock* side of the plan, while `Cost` carries the counted
-    /// side.
+    /// byte for byte); counters follow the chosen lowering.  This
+    /// property carries the *wall-clock* side of the plan, while `Cost`
+    /// carries the counted side.
     pub dop: usize,
 }
 
 impl PhysicalProps {
-    /// Does this output satisfy an ordering requirement on the leading
-    /// `key_len` columns with codes available?
-    pub fn satisfies_ordering(&self, key_len: usize) -> bool {
-        self.coded && self.ordered_key >= key_len
+    /// Leading sort-key arity of the output order (0 = unordered).
+    /// Compatibility accessor for the pre-`SortSpec` prefix-count view.
+    pub fn ordered_key(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Does this output satisfy an ordering requirement — the required
+    /// spec a `(column, direction)`-exact prefix of the carried order,
+    /// with codes available?
+    pub fn satisfies_ordering(&self, required: &SortSpec) -> bool {
+        self.coded && self.order.satisfies(required)
     }
 }
 
 /// One physical operator, with children embedded.
+#[non_exhaustive]
 #[derive(Clone, Debug)]
 pub enum PhysOp {
     /// Scan of a table stored sorted: replays codes derived at
@@ -64,18 +140,21 @@ pub enum PhysOp {
         /// Catalog table name.
         table: String,
     },
-    /// External merge sort with offset-value coding (`ovc-sort`).
+    /// External merge sort with offset-value coding (`ovc-sort`),
+    /// direction-aware: the spec may mix ascending and descending
+    /// columns and request normalized-key run generation.
     SortOvc {
         /// Input plan.
         input: Box<PhysicalPlan>,
-        /// Sort-key length (code arity) of the output.
-        key_len: usize,
+        /// Ordering (and code arity) of the output.
+        spec: SortSpec,
         /// Memory budget in rows (stamped from the planner config).
         memory_rows: usize,
         /// Merge fan-in.
         fan_in: usize,
-        /// Run-generation worker threads (1 = the serial external sort;
-        /// > 1 lowers onto `ovc_sort::parallel::parallel_sort`).
+        /// Run-generation worker threads: 1 = the serial external sort,
+        /// more lowers onto `ovc_sort::parallel::parallel_sort`
+        /// (ascending-prefix specs only).
         dop: usize,
     },
     /// **Elided sort**: the input already carries the required ordering
@@ -85,15 +164,26 @@ pub enum PhysOp {
         /// Input plan (already ordered and coded).
         input: Box<PhysicalPlan>,
         /// The ordering requirement that was satisfied without sorting.
-        key_len: usize,
+        spec: SortSpec,
+    },
+    /// **Reused opposite ordering**: the input is sorted and coded on
+    /// exactly the reversed spec, so the requirement is met by
+    /// materializing, reversing, and re-priming codes in one linear pass
+    /// — `N × K` column accesses, no `log N` sort factor, no spill.
+    Reverse {
+        /// Input plan (ordered and coded on `spec.reversed()`).
+        input: Box<PhysicalPlan>,
+        /// The ordering the reversed output satisfies.
+        spec: SortSpec,
     },
     /// External sort with duplicate removal folded into run generation
     /// and merging (Figure 5's sort-side blocking operator).
     InSortDistinct {
         /// Input plan.
         input: Box<PhysicalPlan>,
-        /// Sort-key length — the full row width under set semantics.
-        key_len: usize,
+        /// Ordering of the output — the full row width under set
+        /// semantics (ascending in every plan this planner emits).
+        spec: SortSpec,
         /// Memory budget in rows.
         memory_rows: usize,
         /// Merge fan-in.
@@ -141,7 +231,10 @@ pub enum PhysOp {
         /// Aggregates appended after the group key.
         aggs: Vec<Aggregate>,
     },
-    /// Merge join consuming and producing codes (Section 4.7).
+    /// Merge join consuming and producing codes (Section 4.7).  When its
+    /// inputs are hash-co-partitioned on the join key (explicit
+    /// [`PhysOp::Exchange`] children), the join runs one worker per
+    /// partition pair (`ovc_exec::parallel::merge_join_partitions`).
     MergeJoinOvc {
         /// Left input.
         left: Box<PhysicalPlan>,
@@ -179,6 +272,29 @@ pub enum PhysOp {
         /// Rows to keep.
         k: usize,
     },
+    /// Order-preserving exchange (Section 4.10): moves the input into
+    /// the target [`Partitioning`].  `Single → Hash` lowers onto the
+    /// threaded splitting shuffle (`split_threaded`, one filter-theorem
+    /// accumulator per partition), `Hash → Single` onto the threaded
+    /// merging shuffle (`merge_threaded`, a tree-of-losers over the
+    /// partition streams).  Codes stay exact across both.
+    Exchange {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Target layout.
+        to: Partitioning,
+    },
+    /// Hash-to-hash repartitioning: N splitters × P mergers, all
+    /// threaded (`repartition_threaded`) — used when the input is
+    /// already partitioned but on the wrong columns or width.
+    Repartition {
+        /// Input plan (hash-partitioned).
+        input: Box<PhysicalPlan>,
+        /// Columns hashed to pick the new partition.
+        cols: Vec<usize>,
+        /// New partition count.
+        parts: usize,
+    },
 }
 
 /// A physical plan node: operator, inferred properties, cumulative cost.
@@ -200,6 +316,7 @@ impl PhysicalPlan {
             PhysOp::ScanRows { .. } => "ScanRows",
             PhysOp::SortOvc { .. } => "SortOvc",
             PhysOp::TrustSorted { .. } => "TrustSorted",
+            PhysOp::Reverse { .. } => "Reverse",
             PhysOp::InSortDistinct { .. } => "InSortDistinct",
             PhysOp::DedupCodes { .. } => "DedupCodes",
             PhysOp::HashDistinct { .. } => "HashDistinct",
@@ -210,6 +327,8 @@ impl PhysicalPlan {
             PhysOp::GraceHashJoin { .. } => "GraceHashJoin",
             PhysOp::SetOpMerge { .. } => "SetOpMerge",
             PhysOp::TopK { .. } => "TopK",
+            PhysOp::Exchange { .. } => "Exchange",
+            PhysOp::Repartition { .. } => "Repartition",
         }
     }
 
@@ -219,13 +338,16 @@ impl PhysicalPlan {
             PhysOp::ScanCoded { .. } | PhysOp::ScanRows { .. } => vec![],
             PhysOp::SortOvc { input, .. }
             | PhysOp::TrustSorted { input, .. }
+            | PhysOp::Reverse { input, .. }
             | PhysOp::InSortDistinct { input, .. }
             | PhysOp::DedupCodes { input }
             | PhysOp::HashDistinct { input, .. }
             | PhysOp::Filter { input, .. }
             | PhysOp::Project { input, .. }
             | PhysOp::GroupOvc { input, .. }
-            | PhysOp::TopK { input, .. } => vec![input],
+            | PhysOp::TopK { input, .. }
+            | PhysOp::Exchange { input, .. }
+            | PhysOp::Repartition { input, .. } => vec![input],
             PhysOp::MergeJoinOvc { left, right, .. }
             | PhysOp::GraceHashJoin { left, right, .. }
             | PhysOp::SetOpMerge { left, right, .. } => vec![left, right],
@@ -252,6 +374,15 @@ impl PhysicalPlan {
         self.nodes()
             .into_iter()
             .filter(|n| matches!(n.op, PhysOp::TrustSorted { .. }))
+            .collect()
+    }
+
+    /// The explicit exchange operators in this plan (splits, gathers,
+    /// and repartitions).
+    pub fn exchanges(&self) -> Vec<&PhysicalPlan> {
+        self.nodes()
+            .into_iter()
+            .filter(|n| matches!(n.op, PhysOp::Exchange { .. } | PhysOp::Repartition { .. }))
             .collect()
     }
 
@@ -292,14 +423,15 @@ impl PhysicalPlan {
         let pad = "  ".repeat(depth);
         let detail = match &self.op {
             PhysOp::ScanCoded { table } | PhysOp::ScanRows { table } => format!(" {table}"),
-            PhysOp::SortOvc { key_len, dop, .. } | PhysOp::InSortDistinct { key_len, dop, .. } => {
+            PhysOp::SortOvc { spec, dop, .. } | PhysOp::InSortDistinct { spec, dop, .. } => {
                 if *dop > 1 {
-                    format!(" key={key_len} dop={dop}")
+                    format!(" key={spec} dop={dop}")
                 } else {
-                    format!(" key={key_len}")
+                    format!(" key={spec}")
                 }
             }
-            PhysOp::TrustSorted { key_len, .. } => format!(" key={key_len} (sort elided)"),
+            PhysOp::TrustSorted { spec, .. } => format!(" key={spec} (sort elided)"),
+            PhysOp::Reverse { spec, .. } => format!(" key={spec} (reused opposite order)"),
             PhysOp::Filter { pred, .. } => format!(" [{pred}]"),
             PhysOp::Project { cols, .. } => format!(" {cols:?}"),
             PhysOp::GroupOvc { group_len, .. } => format!(" group={group_len}"),
@@ -313,15 +445,29 @@ impl PhysicalPlan {
             PhysOp::GraceHashJoin { join_len, .. } => format!(" Inner on={join_len}"),
             PhysOp::SetOpMerge { op, .. } => format!(" {op:?}"),
             PhysOp::TopK { k, .. } => format!(" k={k}"),
+            PhysOp::Exchange { to, .. } => format!(" -> {to}"),
+            PhysOp::Repartition { cols, parts, .. } => {
+                let to = Partitioning::Hash {
+                    cols: cols.clone(),
+                    parts: *parts,
+                };
+                format!(" -> {to}")
+            }
             _ => String::new(),
+        };
+        let dop = if self.props.dop > 1 {
+            format!(", dop={}", self.props.dop)
+        } else {
+            String::new()
         };
         let _ = writeln!(
             out,
-            "{pad}{}{detail}  [rows~{:.0}, ordered={}, coded={}, spill~{:.0}]",
+            "{pad}{}{detail}  [rows~{:.0}, order={}, coded={}, part={}{dop}, spill~{:.0}]",
             self.op_name(),
             self.props.rows,
-            self.props.ordered_key,
+            self.props.order,
             self.props.coded,
+            self.props.partitioning,
             self.cost.spill_rows,
         );
         for c in self.children() {
@@ -345,8 +491,9 @@ mod tests {
             op: PhysOp::ScanCoded { table: name.into() },
             props: PhysicalProps {
                 width: 1,
-                ordered_key: 1,
+                order: SortSpec::asc(1),
                 coded: true,
+                partitioning: Partitioning::Single,
                 rows: 10.0,
                 distinct_rows: 10.0,
                 dop: 1,
@@ -360,15 +507,15 @@ mod tests {
         let l = leaf("a");
         let r = leaf("b");
         let join = PhysicalPlan {
-            props: l.props,
+            props: l.props.clone(),
             cost: Cost::zero(),
             op: PhysOp::MergeJoinOvc {
                 left: Box::new(PhysicalPlan {
-                    props: l.props,
+                    props: l.props.clone(),
                     cost: Cost::zero(),
                     op: PhysOp::TrustSorted {
                         input: Box::new(l),
-                        key_len: 1,
+                        spec: SortSpec::asc(1),
                     },
                 }),
                 right: Box::new(r),
@@ -381,25 +528,83 @@ mod tests {
         assert_eq!(join.count_op("ScanCoded"), 2);
         assert!(join.uses_sort_based_ops());
         assert!(!join.uses_hash_based_ops());
+        assert!(join.exchanges().is_empty());
         let ex = join.explain();
         assert!(ex.contains("sort elided"), "{ex}");
         assert!(ex.contains("MergeJoinOvc"), "{ex}");
+        assert!(ex.contains("order=[c0 asc]"), "{ex}");
+        assert!(ex.contains("part=single"), "{ex}");
     }
 
     #[test]
     fn props_satisfaction() {
+        use ovc_core::Direction;
         let p = PhysicalProps {
             width: 3,
-            ordered_key: 2,
+            order: SortSpec::with_dirs(&[Direction::Asc, Direction::Desc]),
             coded: true,
+            partitioning: Partitioning::Single,
             rows: 1.0,
             distinct_rows: 1.0,
             dop: 1,
         };
-        assert!(p.satisfies_ordering(1));
-        assert!(p.satisfies_ordering(2));
-        assert!(!p.satisfies_ordering(3));
-        let un = PhysicalProps { coded: false, ..p };
-        assert!(!un.satisfies_ordering(1));
+        assert!(p.satisfies_ordering(&SortSpec::asc(1)));
+        assert!(p.satisfies_ordering(&p.order));
+        assert!(
+            !p.satisfies_ordering(&SortSpec::asc(2)),
+            "direction matters"
+        );
+        assert!(!p.satisfies_ordering(&SortSpec::asc(3)));
+        assert_eq!(p.ordered_key(), 2);
+        let un = PhysicalProps {
+            coded: false,
+            ..p.clone()
+        };
+        assert!(!un.satisfies_ordering(&SortSpec::asc(1)));
+    }
+
+    #[test]
+    fn partitioning_satisfaction_and_display() {
+        let hash = Partitioning::Hash {
+            cols: vec![0, 1],
+            parts: 4,
+        };
+        assert!(hash.satisfies(&Partitioning::Any));
+        assert!(hash.satisfies(&hash.clone()));
+        assert!(!hash.satisfies(&Partitioning::Single));
+        assert!(Partitioning::Single.satisfies(&Partitioning::Any));
+        assert_eq!(hash.parts(), 4);
+        assert_eq!(Partitioning::Single.parts(), 1);
+        assert_eq!(hash.to_string(), "hash(c0,c1)x4");
+        assert_eq!(Partitioning::Single.to_string(), "single");
+        assert_eq!(Partitioning::Any.to_string(), "any");
+    }
+
+    #[test]
+    fn exchange_nodes_render_their_target() {
+        let base = leaf("t");
+        let split = PhysicalPlan {
+            props: PhysicalProps {
+                partitioning: Partitioning::Hash {
+                    cols: vec![0],
+                    parts: 4,
+                },
+                dop: 4,
+                ..base.props.clone()
+            },
+            cost: Cost::zero(),
+            op: PhysOp::Exchange {
+                input: Box::new(base),
+                to: Partitioning::Hash {
+                    cols: vec![0],
+                    parts: 4,
+                },
+            },
+        };
+        let ex = split.explain();
+        assert!(ex.contains("Exchange -> hash(c0)x4"), "{ex}");
+        assert!(ex.contains("part=hash(c0)x4"), "{ex}");
+        assert!(ex.contains("dop=4"), "{ex}");
+        assert_eq!(split.exchanges().len(), 1);
     }
 }

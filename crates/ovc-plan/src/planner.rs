@@ -3,14 +3,29 @@
 //! For every logical node the planner keeps (up to) two alternatives —
 //! one whose output is **sorted and coded** on the node's natural key,
 //! one with no order guarantee — and prices both with the cost model.
-//! Operators that require an ordering call `Planner::ensure_ordered`:
-//! when a child alternative already satisfies the requirement with exact
-//! offset-value codes, the planner **elides the sort**, recording a
-//! [`PhysOp::TrustSorted`] marker instead of a [`PhysOp::SortOvc`]; the
-//! justification is the property-propagation theorems of
+//! Operators that require physical properties go through enforcer-style
+//! property matching:
+//!
+//! * **Ordering** (`Planner::ensure_ordered`, requirement expressed as
+//!   a full [`SortSpec`]): when a child alternative already satisfies the
+//!   spec with exact offset-value codes the planner **elides the sort**
+//!   ([`PhysOp::TrustSorted`]); when the child carries exactly the
+//!   *opposite* ordering it reuses the stream by reversal
+//!   ([`PhysOp::Reverse`] — one linear re-priming pass, no sort); only
+//!   otherwise does it insert a real [`PhysOp::SortOvc`] with
+//!   direction-aware codes (or [`PhysOp::InSortDistinct`] when distinct
+//!   semantics allow folding the dedup in).
+//! * **Partitioning** (`Planner::exchange_to`): when the config grants
+//!   a degree of parallelism and the input is large enough, a merge join
+//!   is bracketed with explicit [`PhysOp::Exchange`] nodes — hash-split
+//!   both inputs on the join key, join partition pairs on worker
+//!   threads, gather with the order-preserving merging shuffle (the
+//!   F1-Query-style exchange parallelism of Section 4.10).
+//!
+//! The elision justification is the property-propagation theorems of
 //! [`ovc_core::theorem`] (order-preserving operators produce exact codes
 //! from exact codes), and tests audit every marker with
-//! [`ovc_core::derive::assert_codes_exact`].
+//! [`ovc_core::derive::assert_codes_exact_spec`].
 //!
 //! This is the choice the paper's Section 6 evaluation makes by hand:
 //! between the sort-based Figure 5 plan (interesting orderings + codes)
@@ -18,12 +33,12 @@
 
 use std::fmt;
 
-use ovc_core::CostWeights;
+use ovc_core::{CostWeights, SortSpec};
 
 use crate::catalog::Catalog;
 use crate::cost::{self, Cost};
 use crate::logical::{JoinType, Logical, LogicalPlan, SetOp};
-use crate::physical::{PhysOp, PhysicalPlan, PhysicalProps};
+use crate::physical::{Partitioning, PhysOp, PhysicalPlan, PhysicalProps};
 
 /// Which side of the paper's comparison the planner may pick from.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -48,13 +63,15 @@ pub struct PlannerConfig {
     pub preference: Preference,
     /// Weights folding estimated counters into one scalar.
     pub weights: CostWeights,
-    /// Degree of parallelism available to blocking operators (1 = serial).
-    /// Sorts over at least [`PlannerConfig::parallel_threshold_rows`]
-    /// estimated rows are stamped with this dop and lower onto
-    /// `ovc_sort::parallel`'s sliced run generation.
+    /// Degree of parallelism available (1 = serial).  Sorts over at
+    /// least [`PlannerConfig::parallel_threshold_rows`] estimated rows
+    /// are stamped with this dop and lower onto `ovc_sort::parallel`'s
+    /// sliced run generation; merge joins whose combined input clears
+    /// the same threshold are bracketed with explicit
+    /// [`PhysOp::Exchange`] nodes and run one worker per hash partition.
     pub dop: usize,
-    /// Minimum estimated input rows before a sort goes parallel — below
-    /// this, thread spawn and coordination outweigh the work (an
+    /// Minimum estimated input rows before an operator goes parallel —
+    /// below this, thread spawn and coordination outweigh the work (an
     /// uncounted wall-clock effect, hence a floor rather than a cost
     /// term).
     pub parallel_threshold_rows: usize,
@@ -98,7 +115,7 @@ impl PlannerConfig {
         self
     }
 
-    /// Override the row floor above which sorts run parallel.
+    /// Override the row floor above which operators run parallel.
     pub fn with_parallel_threshold(mut self, rows: usize) -> Self {
         self.parallel_threshold_rows = rows;
         self
@@ -106,12 +123,16 @@ impl PlannerConfig {
 }
 
 /// Why a logical plan could not be planned.
+#[non_exhaustive]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PlanError {
     /// A scan references a table the catalog does not know.
     UnknownTable(String),
     /// Inputs or arguments violate an operator's schema contract.
     Schema(String),
+    /// The request is well-formed but outside what the physical operator
+    /// library can execute (e.g. a non-leading-prefix sort spec).
+    Unsupported(String),
 }
 
 impl fmt::Display for PlanError {
@@ -119,6 +140,7 @@ impl fmt::Display for PlanError {
         match self {
             PlanError::UnknownTable(t) => write!(f, "unknown table: {t}"),
             PlanError::Schema(msg) => write!(f, "schema error: {msg}"),
+            PlanError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }
 }
@@ -184,7 +206,7 @@ impl<'a> Planner<'a> {
                     let props = PhysicalProps {
                         rows: input.props.rows * sel,
                         distinct_rows: (input.props.distinct_rows * sel).max(1.0),
-                        ..input.props
+                        ..input.props.clone()
                     };
                     let local = Cost {
                         col_cmps: input.props.rows, // predicate column accesses
@@ -218,9 +240,15 @@ impl<'a> Planner<'a> {
                 join_type,
             } => self.plan_join(left, right, *join_len, *join_type),
             Logical::SetOperation { left, right, op } => self.plan_set_op(left, right, *op),
-            Logical::Sort { input, key_len } => {
+            Logical::Sort { input, spec } => {
+                if !spec.is_prefix() {
+                    return Err(PlanError::Unsupported(format!(
+                        "sort spec {spec} is not a leading-column prefix; \
+                         project the key columns to the front first"
+                    )));
+                }
                 let child = self.alts(input)?;
-                let plan = self.ensure_ordered(&child, *key_len, false)?;
+                let plan = self.ensure_ordered(&child, spec, false)?;
                 Ok(Alts {
                     ordered: Some(plan),
                     unordered: None,
@@ -228,11 +256,11 @@ impl<'a> Planner<'a> {
             }
             Logical::TopK { input, key_len, k } => {
                 let child = self.alts(input)?;
-                let input = self.ensure_ordered(&child, *key_len, false)?;
+                let input = self.ensure_ordered(&child, &SortSpec::asc(*key_len), false)?;
                 let props = PhysicalProps {
                     rows: input.props.rows.min(*k as f64),
                     distinct_rows: input.props.distinct_rows.min(*k as f64),
-                    ..input.props
+                    ..input.props.clone()
                 };
                 let plan = PhysicalPlan {
                     cost: input.cost.plus(&cost::streaming(*k as f64)),
@@ -257,8 +285,9 @@ impl<'a> Planner<'a> {
             .ok_or_else(|| PlanError::UnknownTable(table.to_string()))?;
         let base = PhysicalProps {
             width: t.width(),
-            ordered_key: 0,
+            order: SortSpec::none(),
             coded: false,
+            partitioning: Partitioning::Single,
             rows: t.len() as f64,
             distinct_rows: t.distinct_rows() as f64,
             dop: 1,
@@ -267,15 +296,15 @@ impl<'a> Planner<'a> {
             op: PhysOp::ScanRows {
                 table: table.to_string(),
             },
-            props: base,
+            props: base.clone(),
             cost: Cost::zero(),
         };
-        let ordered = (t.sorted_key() > 0).then(|| PhysicalPlan {
+        let ordered = (!t.sort_spec().is_empty()).then(|| PhysicalPlan {
             op: PhysOp::ScanCoded {
                 table: table.to_string(),
             },
             props: PhysicalProps {
-                ordered_key: t.sorted_key(),
+                order: t.sort_spec().clone(),
                 coded: true,
                 ..base
             },
@@ -313,8 +342,9 @@ impl<'a> Planner<'a> {
         let mk = |input: PhysicalPlan, surviving_key: usize| {
             let props = PhysicalProps {
                 width: cols.len(),
-                ordered_key: surviving_key,
+                order: input.props.order.prefix(surviving_key),
                 coded: input.props.coded && surviving_key > 0,
+                partitioning: input.props.partitioning.clone(),
                 rows: input.props.rows,
                 distinct_rows: (input.props.distinct_rows * 0.8f64.powi(dropped)).max(1.0),
                 dop: input.props.dop,
@@ -335,7 +365,7 @@ impl<'a> Planner<'a> {
             unordered: child_unordered,
         } = child;
         let ordered = child_ordered.as_ref().and_then(|o| {
-            let surviving = in_place.min(o.props.ordered_key);
+            let surviving = in_place.min(o.props.order.len());
             (surviving > 0).then(|| mk(o.clone(), surviving))
         });
         // A projection that destroys the ordering still lowers over an
@@ -362,13 +392,14 @@ impl<'a> Planner<'a> {
         let sorted = if self.config.preference == Preference::ForceHashBased {
             None
         } else {
-            let ordered_in = self.ensure_ordered_alternatives(&child, width, true)?;
+            let ordered_in =
+                self.ensure_ordered_alternatives(&child, &SortSpec::asc(width), true)?;
             Some(match ordered_in {
                 Ensured::Trusted(plan) => {
                     let props = PhysicalProps {
                         rows: distinct,
                         distinct_rows: distinct,
-                        ..plan.props
+                        ..plan.props.clone()
                     };
                     PhysicalPlan {
                         cost: plan.cost.plus(&cost::streaming(rows)),
@@ -390,8 +421,9 @@ impl<'a> Planner<'a> {
                 let local = cost::hash_distinct(rows, width, self.config.memory_rows);
                 let props = PhysicalProps {
                     width,
-                    ordered_key: 0,
+                    order: SortSpec::none(),
                     coded: false,
+                    partitioning: Partitioning::Single,
                     rows: distinct,
                     distinct_rows: distinct,
                     dop: input.props.dop,
@@ -429,15 +461,16 @@ impl<'a> Planner<'a> {
         // Grouping exploits sorted coded input (Figure 4's operator); the
         // repository's hash side has no grouping aggregation, and the
         // paper's point is that it should not need one.
-        let input = self.ensure_ordered(&child, group_len, false)?;
+        let input = self.ensure_ordered(&child, &SortSpec::asc(group_len), false)?;
         let groups = distinct
             .powf(group_len as f64 / width.max(1) as f64)
             .min(rows)
             .max(1.0);
         let props = PhysicalProps {
             width: group_len + aggs.len(),
-            ordered_key: group_len,
+            order: SortSpec::asc(group_len),
             coded: true,
+            partitioning: Partitioning::Single,
             rows: groups,
             distinct_rows: groups,
             dop: input.props.dop,
@@ -455,6 +488,26 @@ impl<'a> Planner<'a> {
             ordered: Some(plan),
             unordered: None,
         })
+    }
+
+    /// Wrap `input` in an explicit [`PhysOp::Exchange`] targeting `to`,
+    /// with the exchange's code-repair overhead charged via
+    /// [`cost::exchange`].
+    fn exchange_to(&self, input: PhysicalPlan, to: Partitioning) -> PhysicalPlan {
+        let parts = to.parts().max(input.props.partitioning.parts());
+        let props = PhysicalProps {
+            partitioning: to.clone(),
+            dop: input.props.dop.max(to.parts()),
+            ..input.props.clone()
+        };
+        PhysicalPlan {
+            cost: input.cost.plus(&cost::exchange(input.props.rows, parts)),
+            props,
+            op: PhysOp::Exchange {
+                input: Box::new(input),
+                to,
+            },
+        }
     }
 
     fn plan_join(
@@ -492,21 +545,54 @@ impl<'a> Planner<'a> {
         let merge_allowed = !(hash_allowed && self.config.preference == Preference::ForceHashBased);
 
         let merged = if merge_allowed {
-            let li = self.ensure_ordered(&l, join_len, false)?;
-            let ri = self.ensure_ordered(&r, join_len, false)?;
-            let ordered_key = match join_type {
-                JoinType::LeftSemi | JoinType::LeftAnti => li.props.ordered_key,
-                _ => join_len,
+            let li = self.ensure_ordered(&l, &SortSpec::asc(join_len), false)?;
+            let ri = self.ensure_ordered(&r, &SortSpec::asc(join_len), false)?;
+            let order = match join_type {
+                JoinType::LeftSemi | JoinType::LeftAnti => li.props.order.clone(),
+                _ => SortSpec::asc(join_len),
+            };
+            // The partitioning enforcer: with a dop granted and enough
+            // rows to amortize thread coordination, bracket the join
+            // with explicit exchanges — hash-co-partition both inputs on
+            // the whole join key, join partition pairs in parallel,
+            // gather with the order-preserving merging shuffle.  Rows
+            // and codes are dop-invariant (the gather merge reproduces
+            // the serial sequence because equal join keys co-locate).
+            // Restricted to plain ascending-prefix input orders: a
+            // trusted stream may carry a longer mixed-direction spec
+            // (e.g. a table stored [c0 asc, c1 desc]), and the threaded
+            // exchange path is exercised for ascending contracts only —
+            // such joins run serial rather than risk a mis-specced
+            // shuffle.
+            let partition_parallel = self.config.dop > 1
+                && join_len > 0
+                && (ln + rn) >= self.config.parallel_threshold_rows as f64
+                && li.props.order.is_asc_prefix()
+                && ri.props.order.is_asc_prefix();
+            let (li, ri, join_partitioning, join_dop) = if partition_parallel {
+                let to = Partitioning::Hash {
+                    cols: (0..join_len).collect(),
+                    parts: self.config.dop,
+                };
+                (
+                    self.exchange_to(li, to.clone()),
+                    self.exchange_to(ri, to.clone()),
+                    to,
+                    self.config.dop,
+                )
+            } else {
+                (li, ri, Partitioning::Single, 1)
             };
             let props = PhysicalProps {
                 width: out_width,
-                ordered_key,
+                order,
                 coded: true,
+                partitioning: join_partitioning,
                 rows: out_rows,
                 distinct_rows: out_rows,
-                dop: li.props.dop.max(ri.props.dop),
+                dop: join_dop.max(li.props.dop).max(ri.props.dop),
             };
-            Some(PhysicalPlan {
+            let join = PhysicalPlan {
                 cost: li
                     .cost
                     .plus(&ri.cost)
@@ -518,6 +604,13 @@ impl<'a> Planner<'a> {
                     join_len,
                     join_type,
                 },
+            };
+            // Partitioned joins gather back to a single stream so the
+            // plan's output contract is layout-independent.
+            Some(if partition_parallel {
+                self.exchange_to(join, Partitioning::Single)
+            } else {
+                join
             })
         } else {
             None
@@ -529,8 +622,9 @@ impl<'a> Planner<'a> {
             let local = cost::grace_hash_join(ln, rn, join_len, self.config.memory_rows);
             let props = PhysicalProps {
                 width: out_width,
-                ordered_key: 0,
+                order: SortSpec::none(),
                 coded: false,
+                partitioning: Partitioning::Single,
                 rows: out_rows,
                 distinct_rows: out_rows,
                 dop: li.props.dop.max(ri.props.dop),
@@ -588,12 +682,13 @@ impl<'a> Planner<'a> {
             // Distinct set semantics allow (and profit from) in-sort
             // duplicate removal on each input; ALL-semantics must keep
             // multiplicities, so inputs get a plain sort.
-            let li = self.ensure_ordered(&l, lw, distinct_semantics)?;
-            let ri = self.ensure_ordered(&r, rw, distinct_semantics)?;
+            let li = self.ensure_ordered(&l, &SortSpec::asc(lw), distinct_semantics)?;
+            let ri = self.ensure_ordered(&r, &SortSpec::asc(rw), distinct_semantics)?;
             let props = PhysicalProps {
                 width: lw,
-                ordered_key: lw,
+                order: SortSpec::asc(lw),
                 coded: true,
+                partitioning: Partitioning::Single,
                 rows: out_rows,
                 distinct_rows: out_rows.min(ld + rd),
                 dop: li.props.dop.max(ri.props.dop),
@@ -622,8 +717,9 @@ impl<'a> Planner<'a> {
                     let local = cost::hash_distinct(rows, lw, mem);
                     let props = PhysicalProps {
                         width: lw,
-                        ordered_key: 0,
+                        order: SortSpec::none(),
                         coded: false,
+                        partitioning: Partitioning::Single,
                         rows: distinct,
                         distinct_rows: distinct,
                         dop: input.props.dop,
@@ -643,8 +739,9 @@ impl<'a> Planner<'a> {
             let local = cost::grace_hash_join(ld, rd, lw, mem);
             let props = PhysicalProps {
                 width: lw,
-                ordered_key: 0,
+                order: SortSpec::none(),
                 coded: false,
+                partitioning: Partitioning::Single,
                 rows: out_rows,
                 distinct_rows: out_rows,
                 dop: li.props.dop.max(ri.props.dop),
@@ -669,18 +766,19 @@ impl<'a> Planner<'a> {
         })
     }
 
-    /// Make a plan whose output is sorted and coded on the leading
-    /// `key_len` columns: trust an existing ordering when the properties
-    /// prove it (sort **elided**), otherwise insert a real sort —
-    /// with in-sort duplicate removal when `distinct` semantics allow it.
+    /// Make a plan whose output is sorted and coded under `spec`: trust
+    /// an existing ordering when the properties prove it (sort
+    /// **elided**), reuse an exactly-opposite ordering by reversal,
+    /// otherwise insert a real sort — with in-sort duplicate removal
+    /// when `distinct` semantics allow it.
     fn ensure_ordered(
         &self,
         child: &Alts,
-        key_len: usize,
+        spec: &SortSpec,
         distinct: bool,
     ) -> Result<PhysicalPlan, PlanError> {
         Ok(
-            match self.ensure_ordered_alternatives(child, key_len, distinct)? {
+            match self.ensure_ordered_alternatives(child, spec, distinct)? {
                 Ensured::Trusted(p) | Ensured::Sorted(p) => p,
             },
         )
@@ -689,43 +787,75 @@ impl<'a> Planner<'a> {
     fn ensure_ordered_alternatives(
         &self,
         child: &Alts,
-        key_len: usize,
+        spec: &SortSpec,
         distinct: bool,
     ) -> Result<Ensured, PlanError> {
         let w = &self.config.weights;
         let (width, rows, distinct_rows) = child_shape(child);
-        if key_len > width {
+        if spec.len() > width {
             return Err(PlanError::Schema(format!(
-                "ordering on {key_len} columns exceeds input width {width}"
+                "ordering on {} columns exceeds input width {width}",
+                spec.len()
             )));
         }
+        debug_assert!(spec.is_prefix(), "planner only requires prefix specs");
         if let Some(o) = &child.ordered {
-            if o.props.satisfies_ordering(key_len) {
+            if o.props.satisfies_ordering(spec) {
                 // The interesting ordering is already there and the codes
                 // are exact by the operator theorems: elide the sort.
                 let plan = PhysicalPlan {
-                    props: o.props,
+                    props: o.props.clone(),
                     cost: o.cost,
                     op: PhysOp::TrustSorted {
                         input: Box::new(o.clone()),
-                        key_len,
+                        spec: spec.clone(),
                     },
                 };
                 return Ok(Ensured::Trusted(plan));
+            }
+            // Opposite-direction reuse: a stream sorted on exactly the
+            // reversed spec is this ordering read back to front — one
+            // materialize-and-reverse plus a linear code re-priming pass
+            // (N × K column accesses, no log factor, no spill) beats any
+            // sort.  Distinct semantics skip this (a Reverse keeps
+            // multiplicities; the in-sort dedup below is the better
+            // deal).
+            if !distinct && o.props.satisfies_ordering(&spec.reversed()) {
+                let props = PhysicalProps {
+                    order: spec.clone(),
+                    coded: true,
+                    ..o.props.clone()
+                };
+                let plan = PhysicalPlan {
+                    cost: o.cost.plus(&cost::reverse(rows, spec.len())),
+                    props,
+                    op: PhysOp::Reverse {
+                        input: Box::new(o.clone()),
+                        spec: spec.clone(),
+                    },
+                };
+                return Ok(Ensured::Sorted(plan));
             }
         }
         let input = child_clone_best(child, w).expect("alternatives exist");
         let mem = self.config.memory_rows;
         let fan = self.config.fan_in;
+        let key_len = spec.len();
         // The degree-of-parallelism directive: a sort big enough to clear
         // the threshold is stamped with the config's dop and lowers onto
-        // ovc_sort::parallel's sliced run generation.  Rows and codes
-        // are identical either way; the estimate switches to the
-        // parallel cost functions because the parallel lowering keeps
-        // its runs resident (no spill — like every storage device in
-        // this repository, "spilling" is accounting over in-memory
-        // buffers, so residency changes the counters, not the RSS).
-        let dop = if self.config.dop > 1 && rows >= self.config.parallel_threshold_rows as f64 {
+        // ovc_sort::parallel's sliced run generation (an
+        // ascending-prefix-only lowering — direction-aware and
+        // normalized-key sorts run serial).  Rows and codes are identical
+        // either way; the estimate switches to the parallel cost
+        // functions because the parallel lowering keeps its runs resident
+        // (no spill — like every storage device in this repository,
+        // "spilling" is accounting over in-memory buffers, so residency
+        // changes the counters, not the RSS).
+        let dop = if self.config.dop > 1
+            && rows >= self.config.parallel_threshold_rows as f64
+            && spec.is_asc_prefix()
+            && !spec.normalized()
+        {
             self.config.dop
         } else {
             1
@@ -738,8 +868,9 @@ impl<'a> Planner<'a> {
             };
             let props = PhysicalProps {
                 width,
-                ordered_key: key_len,
+                order: spec.clone(),
                 coded: true,
+                partitioning: Partitioning::Single,
                 rows: distinct_rows,
                 distinct_rows,
                 dop: dop.max(input.props.dop),
@@ -749,7 +880,7 @@ impl<'a> Planner<'a> {
                 props,
                 op: PhysOp::InSortDistinct {
                     input: Box::new(input),
-                    key_len,
+                    spec: spec.clone(),
                     memory_rows: mem,
                     fan_in: fan,
                     dop,
@@ -763,8 +894,9 @@ impl<'a> Planner<'a> {
             };
             let props = PhysicalProps {
                 width,
-                ordered_key: key_len,
+                order: spec.clone(),
                 coded: true,
+                partitioning: Partitioning::Single,
                 rows,
                 distinct_rows,
                 dop: dop.max(input.props.dop),
@@ -774,7 +906,7 @@ impl<'a> Planner<'a> {
                 props,
                 op: PhysOp::SortOvc {
                     input: Box::new(input),
-                    key_len,
+                    spec: spec.clone(),
                     memory_rows: mem,
                     fan_in: fan,
                     dop,
@@ -788,7 +920,8 @@ impl<'a> Planner<'a> {
 enum Ensured {
     /// Requirement satisfied by existing properties (sort elided).
     Trusted(PhysicalPlan),
-    /// A sort (possibly with in-sort dedup) had to be inserted.
+    /// A sort (possibly with in-sort dedup) or a reversal had to be
+    /// inserted.
     Sorted(PhysicalPlan),
 }
 
@@ -822,7 +955,7 @@ mod tests {
     use crate::catalog::Table;
     use crate::exec::{execute, ExecOptions};
     use crate::logical::Predicate;
-    use ovc_core::{Row, Stats};
+    use ovc_core::{Direction, Row, Stats};
 
     fn catalog_with(rows: Vec<Vec<u64>>, sorted_key: usize) -> Catalog {
         let rows: Vec<Row> = rows.into_iter().map(Row::new).collect();
@@ -848,7 +981,7 @@ mod tests {
             .plan(&q)
             .expect("must plan");
         assert_eq!(plan.props.width, 1);
-        assert_eq!(plan.props.ordered_key, 0, "ordering destroyed:\n{plan}");
+        assert!(plan.props.order.is_empty(), "ordering destroyed:\n{plan}");
         let stats = Stats::new_shared();
         let mut rows = execute(&plan, &cat, &stats, &ExecOptions::default()).into_rows();
         rows.sort();
@@ -915,5 +1048,66 @@ mod tests {
         )
         .into_rows();
         assert_eq!(out, vec![Row::new(vec![2, 1]), Row::new(vec![3, 1])]);
+    }
+
+    /// A descending sort over an ascending-stored table reuses the
+    /// stream by reversal instead of sorting.
+    #[test]
+    fn descending_sort_over_ascending_table_reverses() {
+        let cat = catalog_with(vec![vec![3, 30], vec![1, 10], vec![2, 20]], 2);
+        let q = LogicalPlan::scan("t").sort_by(SortSpec::desc(2));
+        let plan = Planner::new(&cat, PlannerConfig::default())
+            .plan(&q)
+            .expect("plans");
+        assert_eq!(plan.count_op("SortOvc"), 0, "no sort:\n{plan}");
+        assert_eq!(plan.count_op("Reverse"), 1, "{plan}");
+        assert_eq!(plan.props.order, SortSpec::desc(2));
+        let stats = Stats::new_shared();
+        let out = execute(&plan, &cat, &stats, &ExecOptions::default()).into_rows();
+        assert_eq!(
+            out,
+            vec![
+                Row::new(vec![3, 30]),
+                Row::new(vec![2, 20]),
+                Row::new(vec![1, 10])
+            ]
+        );
+    }
+
+    /// A mixed-direction sort with no reusable ordering gets a real
+    /// direction-aware SortOvc stamped with the requested spec.
+    #[test]
+    fn mixed_direction_sort_inserts_direction_aware_sort() {
+        let cat = catalog_with(vec![vec![3, 1], vec![1, 2], vec![3, 0], vec![1, 9]], 0);
+        let spec = SortSpec::with_dirs(&[Direction::Desc, Direction::Asc]);
+        let q = LogicalPlan::scan("t").sort_by(spec.clone());
+        let plan = Planner::new(&cat, PlannerConfig::default())
+            .plan(&q)
+            .expect("plans");
+        assert_eq!(plan.count_op("SortOvc"), 1, "{plan}");
+        assert_eq!(plan.props.order, spec);
+        assert!(plan.explain().contains("key=[c0 desc, c1 asc]"), "{plan}");
+        let stats = Stats::new_shared();
+        let out = execute(&plan, &cat, &stats, &ExecOptions::default()).into_rows();
+        assert_eq!(
+            out,
+            vec![
+                Row::new(vec![3, 0]),
+                Row::new(vec![3, 1]),
+                Row::new(vec![1, 2]),
+                Row::new(vec![1, 9])
+            ]
+        );
+    }
+
+    /// Non-prefix sort specs are rejected with a typed error.
+    #[test]
+    fn non_prefix_sort_spec_is_unsupported() {
+        let cat = catalog_with(vec![vec![1, 2]], 0);
+        let spec = SortSpec::new(vec![(1, Direction::Asc)]);
+        let err = Planner::new(&cat, PlannerConfig::default())
+            .plan(&LogicalPlan::scan("t").sort_by(spec))
+            .unwrap_err();
+        assert!(matches!(err, PlanError::Unsupported(_)), "{err}");
     }
 }

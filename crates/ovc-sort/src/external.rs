@@ -19,10 +19,10 @@
 
 use std::rc::Rc;
 
-use ovc_core::{OvcRow, OvcStream, Row, Stats};
+use ovc_core::{OvcRow, OvcStream, Row, SortSpec, Stats};
 
-use crate::merge::merge_runs;
-use crate::run_gen::{generate_runs, RunGenStrategy};
+use crate::merge::merge_runs_spec;
+use crate::run_gen::{generate_runs_spec, RunGenStrategy};
 use crate::runs::{Run, RunCursor};
 use crate::tree::TreeOfLosers;
 
@@ -136,6 +136,12 @@ impl OvcStream for SortOutput {
             SortOutput::Merge(t) => t.key_len(),
         }
     }
+    fn sort_spec(&self) -> SortSpec {
+        match self {
+            SortOutput::Memory(c) => c.sort_spec(),
+            SortOutput::Merge(t) => t.sort_spec(),
+        }
+    }
 }
 
 /// Externally sort `input`, producing a coded stream.
@@ -154,37 +160,8 @@ where
     I: IntoIterator<Item = Row>,
     S: RunStorage,
 {
-    let mut runs = generate_runs(
-        input,
-        config.key_len,
-        config.memory_rows,
-        config.strategy,
-        stats,
-    );
-    if runs.is_empty() {
-        return SortOutput::Memory(Run::empty(config.key_len).cursor());
-    }
-    if runs.len() == 1 {
-        // Fits in memory (single initial run): no spill at all.
-        return SortOutput::Memory(runs.pop().expect("one run").cursor());
-    }
-
-    // Spill all initial runs.
-    let mut handles: Vec<usize> = runs.into_iter().map(|r| storage.write_run(r)).collect();
-
-    // Intermediate merge levels until one final merge suffices.
-    while handles.len() > config.fan_in {
-        let mut next_level = Vec::new();
-        for chunk in handles.chunks(config.fan_in) {
-            let level_runs: Vec<Run> = chunk.iter().map(|&h| storage.read_run(h)).collect();
-            let merged: Vec<OvcRow> = merge_runs(level_runs, config.key_len, stats).collect();
-            next_level.push(storage.write_run(Run::from_coded(merged, config.key_len)));
-        }
-        handles = next_level;
-    }
-
-    let final_runs: Vec<Run> = handles.into_iter().map(|h| storage.read_run(h)).collect();
-    SortOutput::Merge(merge_runs(final_runs, config.key_len, stats))
+    let spec = SortSpec::asc(config.key_len);
+    external_sort_spec(input, config, &spec, storage, stats)
 }
 
 /// Convenience: sort and collect (tests, small inputs).
@@ -194,6 +171,57 @@ where
 {
     let mut storage = MemoryRunStorage::new(Rc::clone(stats));
     external_sort(input, config, &mut storage, stats).collect()
+}
+
+/// Direction-aware [`external_sort`]: the same run-generation / spill /
+/// bounded-fan-in merge cascade under an arbitrary leading-prefix
+/// [`SortSpec`] (mixed ascending/descending directions, optional
+/// normalized-key run generation).  `config.key_len` is ignored in
+/// favour of `spec.len()`.
+pub fn external_sort_spec<I, S>(
+    input: I,
+    config: SortConfig,
+    spec: &SortSpec,
+    storage: &mut S,
+    stats: &Rc<Stats>,
+) -> SortOutput
+where
+    I: IntoIterator<Item = Row>,
+    S: RunStorage,
+{
+    let mut runs = generate_runs_spec(input, spec, config.memory_rows, config.strategy, stats);
+    if runs.is_empty() {
+        return SortOutput::Memory(Run::empty_spec(spec.clone()).cursor());
+    }
+    if runs.len() == 1 {
+        return SortOutput::Memory(runs.pop().expect("one run").cursor());
+    }
+    let mut handles: Vec<usize> = runs.into_iter().map(|r| storage.write_run(r)).collect();
+    while handles.len() > config.fan_in {
+        let mut next_level = Vec::new();
+        for chunk in handles.chunks(config.fan_in) {
+            let level_runs: Vec<Run> = chunk.iter().map(|&h| storage.read_run(h)).collect();
+            let merged: Vec<OvcRow> = merge_runs_spec(level_runs, spec, stats).collect();
+            next_level.push(storage.write_run(Run::from_coded_spec(merged, spec.clone())));
+        }
+        handles = next_level;
+    }
+    let final_runs: Vec<Run> = handles.into_iter().map(|h| storage.read_run(h)).collect();
+    SortOutput::Merge(merge_runs_spec(final_runs, spec, stats))
+}
+
+/// Convenience: spec-aware sort and collect.
+pub fn external_sort_spec_collect<I>(
+    input: I,
+    config: SortConfig,
+    spec: &SortSpec,
+    stats: &Rc<Stats>,
+) -> Vec<OvcRow>
+where
+    I: IntoIterator<Item = Row>,
+{
+    let mut storage = MemoryRunStorage::new(Rc::clone(stats));
+    external_sort_spec(input, config, spec, &mut storage, stats).collect()
 }
 
 #[cfg(test)]
@@ -274,6 +302,41 @@ mod tests {
         let stats = Stats::new_shared();
         let out = external_sort_collect(Vec::<Row>::new(), SortConfig::new(1, 10), &stats);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn spec_sort_matches_reference_order_for_mixed_directions() {
+        use ovc_core::derive::assert_codes_exact_spec;
+        use ovc_core::{Direction, SortSpec};
+        let rows = random_rows(600, 2, 9, 11);
+        let spec = SortSpec::with_dirs(&[Direction::Desc, Direction::Asc]);
+        for (label, spec) in [
+            ("plain", spec.clone()),
+            ("normalized", spec.with_normalized(true)),
+        ] {
+            let stats = Stats::new_shared();
+            let cfg = SortConfig::new(2, 64).with_fan_in(4);
+            let out = external_sort_spec_collect(rows.clone(), cfg, &spec, &stats);
+            let pairs: Vec<(Row, Ovc)> = out.iter().map(|r| (r.row.clone(), r.code)).collect();
+            assert_codes_exact_spec(&pairs, &spec);
+            let mut expect = rows.clone();
+            expect.sort_by(|a, b| spec.cmp_keys(a.key(2), b.key(2)));
+            let got: Vec<Row> = out.into_iter().map(|r| r.row).collect();
+            assert_eq!(got, expect, "{label}");
+        }
+    }
+
+    #[test]
+    fn spec_sort_on_ascending_spec_equals_plain_sort() {
+        use ovc_core::SortSpec;
+        let rows = random_rows(400, 2, 6, 12);
+        let stats_a = Stats::new_shared();
+        let stats_b = Stats::new_shared();
+        let cfg = SortConfig::new(2, 50).with_fan_in(4);
+        let plain = external_sort_collect(rows.clone(), cfg, &stats_a);
+        let spec = external_sort_spec_collect(rows, cfg, &SortSpec::asc(2), &stats_b);
+        assert_eq!(plain, spec, "rows and codes byte-identical");
+        assert_eq!(stats_a.rows_spilled(), stats_b.rows_spilled());
     }
 
     #[test]

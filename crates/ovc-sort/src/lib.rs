@@ -42,11 +42,18 @@ pub mod segmented;
 pub mod tree;
 
 pub use external::{
-    external_sort, external_sort_collect, MemoryRunStorage, RunStorage, SortConfig, SortOutput,
+    external_sort, external_sort_collect, external_sort_spec, external_sort_spec_collect,
+    MemoryRunStorage, RunStorage, SortConfig, SortOutput,
 };
-pub use merge::{merge_runs, merge_runs_to_run, merge_streams};
+pub use merge::{
+    merge_runs, merge_runs_spec, merge_runs_to_run, merge_runs_to_run_spec, merge_streams,
+    merge_streams_spec,
+};
 pub use parallel::{parallel_generate_runs, parallel_sort, parallel_sort_distinct};
-pub use run_gen::{generate_runs, sort_rows_ovc, sort_rows_quicksort, RunGenStrategy};
+pub use run_gen::{
+    generate_runs, generate_runs_spec, sort_rows_ovc, sort_rows_ovc_spec, sort_rows_quicksort,
+    sort_rows_quicksort_spec, RunGenStrategy,
+};
 pub use runs::{Run, RunCursor, SingleRow};
 pub use segmented::SegmentedSort;
 pub use tree::TreeOfLosers;

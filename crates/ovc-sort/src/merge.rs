@@ -9,7 +9,7 @@
 
 use std::rc::Rc;
 
-use ovc_core::{OvcRow, OvcStream, Stats};
+use ovc_core::{OvcRow, OvcStream, SortSpec, Stats};
 
 use crate::runs::{Run, RunCursor};
 use crate::tree::TreeOfLosers;
@@ -19,6 +19,33 @@ pub fn merge_runs(runs: Vec<Run>, key_len: usize, stats: &Rc<Stats>) -> TreeOfLo
     debug_assert!(runs.iter().all(|r| r.key_len() == key_len));
     let cursors: Vec<RunCursor> = runs.into_iter().map(Run::cursor).collect();
     TreeOfLosers::new(cursors, key_len, Rc::clone(stats))
+}
+
+/// Merge runs ordered under an arbitrary [`SortSpec`].
+pub fn merge_runs_spec(
+    runs: Vec<Run>,
+    spec: &SortSpec,
+    stats: &Rc<Stats>,
+) -> TreeOfLosers<RunCursor> {
+    debug_assert!(runs.iter().all(|r| r.sort_spec() == spec));
+    let cursors: Vec<RunCursor> = runs.into_iter().map(Run::cursor).collect();
+    TreeOfLosers::new_spec(cursors, spec.clone(), Rc::clone(stats))
+}
+
+/// Merge coded streams ordered under an arbitrary [`SortSpec`].
+pub fn merge_streams_spec<S: OvcStream>(
+    inputs: Vec<S>,
+    spec: &SortSpec,
+    stats: &Rc<Stats>,
+) -> TreeOfLosers<S> {
+    debug_assert!(inputs.iter().all(|s| s.sort_spec() == *spec));
+    TreeOfLosers::new_spec(inputs, spec.clone(), Rc::clone(stats))
+}
+
+/// Spec-aware [`merge_runs_to_run`].
+pub fn merge_runs_to_run_spec(runs: Vec<Run>, spec: &SortSpec, stats: &Rc<Stats>) -> Run {
+    let merged: Vec<OvcRow> = merge_runs_spec(runs, spec, stats).collect();
+    Run::from_coded_spec(merged, spec.clone())
 }
 
 /// Merge arbitrary coded streams (all sorted on the same key prefix).

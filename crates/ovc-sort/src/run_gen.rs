@@ -13,8 +13,8 @@
 
 use std::rc::Rc;
 
-use ovc_core::derive::derive_codes_counted;
-use ovc_core::{compare::compare_keys_counted, Row, Stats};
+use ovc_core::derive::{derive_codes_counted, derive_codes_spec_counted};
+use ovc_core::{compare::compare_keys_counted, Row, SortSpec, Stats};
 
 use crate::runs::{Run, SingleRow};
 use crate::tree::TreeOfLosers;
@@ -44,6 +44,44 @@ pub fn sort_rows_quicksort(mut rows: Vec<Row>, key_len: usize, stats: &Rc<Stats>
         .map(|(row, code)| ovc_core::OvcRow::new(row, code))
         .collect();
     Run::from_coded(coded, key_len)
+}
+
+/// Direction-aware [`sort_rows_ovc`]: a tree-of-losers over single-row
+/// inputs under an arbitrary leading-prefix [`SortSpec`].  When the spec
+/// requests normalized-key encoding the rows are instead ordered by
+/// comparing order-preserving byte strings (the IBM CFC regime — one
+/// normalization pass charged as `N × K` column accesses, then pure byte
+/// comparisons) and codes are derived in a linear pass.
+pub fn sort_rows_ovc_spec(rows: Vec<Row>, spec: &SortSpec, stats: &Rc<Stats>) -> Run {
+    if rows.is_empty() {
+        return Run::empty_spec(spec.clone());
+    }
+    if spec.normalized() {
+        return sort_rows_normalized(rows, spec, stats);
+    }
+    let singles: Vec<SingleRow> = rows
+        .into_iter()
+        .map(|r| SingleRow::new_spec(r, spec))
+        .collect();
+    let tree = TreeOfLosers::new_spec(singles, spec.clone(), Rc::clone(stats));
+    Run::from_coded_spec(tree.collect(), spec.clone())
+}
+
+/// Sort by normalized keys: one byte-string encode per row (charged as
+/// `key_len` column accesses, the CFC encode cost), a bytewise sort, and
+/// a linear code-priming pass.  Output rows and codes are identical to
+/// the column-comparison strategies under the same spec.
+fn sort_rows_normalized(mut rows: Vec<Row>, spec: &SortSpec, stats: &Rc<Stats>) -> Run {
+    let k = spec.len();
+    stats.count_col_cmps((rows.len() * k) as u64);
+    rows.sort_by_cached_key(|r| spec.normalize_key(r.key(k)));
+    let codes = derive_codes_spec_counted(&rows, spec, stats);
+    let coded = rows
+        .into_iter()
+        .zip(codes)
+        .map(|(row, code)| ovc_core::OvcRow::new(row, code))
+        .collect();
+    Run::from_coded_spec(coded, spec.clone())
 }
 
 /// How initial runs are produced.
@@ -102,6 +140,93 @@ fn sort_buffer(rows: Vec<Row>, key_len: usize, strategy: RunGenStrategy, stats: 
         RunGenStrategy::Quicksort => sort_rows_quicksort(rows, key_len, stats),
         RunGenStrategy::ReplacementSelection => unreachable!("handled by caller"),
     }
+}
+
+/// Direction-aware [`generate_runs`]: initial runs ordered under `spec`.
+///
+/// Replacement selection is an ascending-prefix-only strategy (its heap
+/// logic has not been spec-plumbed); requesting it with any other spec
+/// panics rather than silently mis-sorting.
+pub fn generate_runs_spec<I>(
+    input: I,
+    spec: &SortSpec,
+    memory_rows: usize,
+    strategy: RunGenStrategy,
+    stats: &Rc<Stats>,
+) -> Vec<Run>
+where
+    I: IntoIterator<Item = Row>,
+{
+    assert!(memory_rows > 0, "memory budget must hold at least one row");
+    assert!(
+        spec.is_prefix(),
+        "run generation requires a leading-prefix sort spec, got {spec}"
+    );
+    if spec.is_asc_prefix() && !spec.normalized() {
+        return generate_runs(input, spec.len(), memory_rows, strategy, stats);
+    }
+    assert!(
+        strategy != RunGenStrategy::ReplacementSelection,
+        "replacement selection supports ascending-prefix specs only"
+    );
+    let mut runs = Vec::new();
+    let mut buffer: Vec<Row> = Vec::with_capacity(memory_rows);
+    for row in input {
+        buffer.push(row);
+        if buffer.len() == memory_rows {
+            runs.push(sort_buffer_spec(
+                std::mem::take(&mut buffer),
+                spec,
+                strategy,
+                stats,
+            ));
+            buffer.reserve(memory_rows);
+        }
+    }
+    if !buffer.is_empty() {
+        runs.push(sort_buffer_spec(buffer, spec, strategy, stats));
+    }
+    runs
+}
+
+fn sort_buffer_spec(
+    rows: Vec<Row>,
+    spec: &SortSpec,
+    strategy: RunGenStrategy,
+    stats: &Rc<Stats>,
+) -> Run {
+    match strategy {
+        RunGenStrategy::OvcPriorityQueue => sort_rows_ovc_spec(rows, spec, stats),
+        RunGenStrategy::Quicksort => sort_rows_quicksort_spec(rows, spec, stats),
+        RunGenStrategy::ReplacementSelection => unreachable!("rejected by caller"),
+    }
+}
+
+/// Direction-aware [`sort_rows_quicksort`]: full-key comparisons under
+/// the spec, then a linear code-priming pass.
+pub fn sort_rows_quicksort_spec(mut rows: Vec<Row>, spec: &SortSpec, stats: &Rc<Stats>) -> Run {
+    if spec.normalized() {
+        return sort_rows_normalized(rows, spec, stats);
+    }
+    let k = spec.len();
+    rows.sort_by(|a, b| {
+        stats.count_row_cmp();
+        for i in 0..k {
+            stats.count_col_cmp();
+            match spec.cmp_values(i, a.key(k)[i], b.key(k)[i]) {
+                std::cmp::Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let codes = derive_codes_spec_counted(&rows, spec, stats);
+    let coded = rows
+        .into_iter()
+        .zip(codes)
+        .map(|(row, code)| ovc_core::OvcRow::new(row, code))
+        .collect();
+    Run::from_coded_spec(coded, spec.clone())
 }
 
 #[cfg(test)]

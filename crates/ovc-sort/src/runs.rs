@@ -8,28 +8,34 @@
 //! offset-value codes later improve the efficiency of merging"
 //! (Section 5).
 
-use ovc_core::derive::derive_codes;
-use ovc_core::{Ovc, OvcRow, OvcStream, Row};
+use ovc_core::derive::{derive_codes, derive_codes_spec};
+use ovc_core::{Ovc, OvcRow, OvcStream, Row, SortSpec};
 
 /// A sorted, coded, in-memory run.
 #[derive(Clone, Debug)]
 pub struct Run {
     rows: Vec<OvcRow>,
-    key_len: usize,
+    spec: SortSpec,
 }
 
 impl Run {
     /// Wrap rows that already carry exact codes (e.g. merge output).
     /// Debug builds verify the contract.
     pub fn from_coded(rows: Vec<OvcRow>, key_len: usize) -> Self {
+        Self::from_coded_spec(rows, SortSpec::asc(key_len))
+    }
+
+    /// Wrap rows coded under an explicit [`SortSpec`].  Debug builds
+    /// verify the spec's stream contract.
+    pub fn from_coded_spec(rows: Vec<OvcRow>, spec: SortSpec) -> Self {
         #[cfg(debug_assertions)]
         {
             let pairs: Vec<(Row, Ovc)> = rows.iter().map(|r| (r.row.clone(), r.code)).collect();
-            if let Some(i) = ovc_core::derive::find_code_violation(&pairs, key_len) {
-                panic!("Run::from_coded: code violation at row {i}");
+            if let Some(i) = ovc_core::derive::find_code_violation_spec(&pairs, &spec) {
+                panic!("Run::from_coded: code violation at row {i} under {spec}");
             }
         }
-        Run { rows, key_len }
+        Run { rows, spec }
     }
 
     /// Derive codes for an already-sorted row vector.
@@ -41,14 +47,34 @@ impl Run {
             .zip(codes)
             .map(|(row, code)| OvcRow::new(row, code))
             .collect();
-        Run { rows, key_len }
+        Run {
+            rows,
+            spec: SortSpec::asc(key_len),
+        }
+    }
+
+    /// Derive codes for rows already ordered under `spec`.
+    pub fn from_sorted_rows_spec(rows: Vec<Row>, spec: SortSpec) -> Self {
+        debug_assert!(ovc_core::derive::is_sorted_spec(&rows, &spec));
+        let codes = derive_codes_spec(&rows, &spec);
+        let rows = rows
+            .into_iter()
+            .zip(codes)
+            .map(|(row, code)| OvcRow::new(row, code))
+            .collect();
+        Run { rows, spec }
     }
 
     /// An empty run.
     pub fn empty(key_len: usize) -> Self {
+        Self::empty_spec(SortSpec::asc(key_len))
+    }
+
+    /// An empty run under an explicit spec.
+    pub fn empty_spec(spec: SortSpec) -> Self {
         Run {
             rows: Vec::new(),
-            key_len,
+            spec,
         }
     }
 
@@ -64,7 +90,12 @@ impl Run {
 
     /// Sort-key arity of the run's codes.
     pub fn key_len(&self) -> usize {
-        self.key_len
+        self.spec.len()
+    }
+
+    /// The ordering contract the run's rows and codes follow.
+    pub fn sort_spec(&self) -> &SortSpec {
+        &self.spec
     }
 
     /// Borrow the coded rows.
@@ -81,7 +112,7 @@ impl Run {
     pub fn cursor(self) -> RunCursor {
         RunCursor {
             iter: self.rows.into_iter(),
-            key_len: self.key_len,
+            spec: self.spec,
         }
     }
 
@@ -98,7 +129,7 @@ impl Run {
 /// Consuming cursor over a run's coded rows.
 pub struct RunCursor {
     iter: std::vec::IntoIter<OvcRow>,
-    key_len: usize,
+    spec: SortSpec,
 }
 
 impl Iterator for RunCursor {
@@ -113,7 +144,10 @@ impl Iterator for RunCursor {
 
 impl OvcStream for RunCursor {
     fn key_len(&self) -> usize {
-        self.key_len
+        self.spec.len()
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
     }
 }
 
@@ -129,6 +163,15 @@ impl SingleRow {
     /// with a unique first column").
     pub fn new(row: Row, key_len: usize) -> Self {
         let code = Ovc::initial(row.key(key_len));
+        SingleRow {
+            row: Some(OvcRow::new(row, code)),
+        }
+    }
+
+    /// Wrap one row priming its code under `spec` (direction-encoded
+    /// initial value).
+    pub fn new_spec(row: Row, spec: &SortSpec) -> Self {
+        let code = spec.initial_code(row.key(spec.len()));
         SingleRow {
             row: Some(OvcRow::new(row, code)),
         }

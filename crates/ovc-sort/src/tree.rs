@@ -32,8 +32,8 @@
 use std::cmp::Ordering;
 use std::rc::Rc;
 
-use ovc_core::compare::compare_same_base;
-use ovc_core::{Ovc, OvcRow, OvcStream, Row, Stats};
+use ovc_core::compare::compare_same_base_spec;
+use ovc_core::{Ovc, OvcRow, OvcStream, Row, SortSpec, Stats};
 
 /// A tree node: an offset-value code plus a run identifier.  16 bytes, so a
 /// queue of 512–1024 entries fits an L1 cache as Section 3 envisions.
@@ -61,15 +61,24 @@ pub struct TreeOfLosers<C: Iterator<Item = OvcRow>> {
     winner: Entry,
     /// Leaf count: `cursors.len()` rounded up to a power of two.
     cap: usize,
-    key_len: usize,
+    spec: SortSpec,
     stats: Rc<Stats>,
 }
 
 impl<C: Iterator<Item = OvcRow>> TreeOfLosers<C> {
-    /// Build the queue over the given cursors.  Runs compete at fixed
-    /// leaves; missing leaves (when the fan-in is not a power of two) are
-    /// late fences.
-    pub fn new(mut cursors: Vec<C>, key_len: usize, stats: Rc<Stats>) -> Self {
+    /// Build the queue over the given cursors with the default
+    /// all-ascending ordering on the leading `key_len` columns.
+    pub fn new(cursors: Vec<C>, key_len: usize, stats: Rc<Stats>) -> Self {
+        Self::new_spec(cursors, SortSpec::asc(key_len), stats)
+    }
+
+    /// Build the queue over cursors ordered (and coded) under `spec`.
+    /// Runs compete at fixed leaves; missing leaves (when the fan-in is
+    /// not a power of two) are late fences.  Every comparison is the
+    /// same same-base code comparison as the ascending case — the spec
+    /// only changes which direction column comparisons resolve in and
+    /// how loser values are re-encoded ([`compare_same_base_spec`]).
+    pub fn new_spec(mut cursors: Vec<C>, spec: SortSpec, stats: Rc<Stats>) -> Self {
         let f = cursors.len();
         let cap = f.next_power_of_two().max(1);
         let mut cur = Vec::with_capacity(f);
@@ -101,7 +110,7 @@ impl<C: Iterator<Item = OvcRow>> TreeOfLosers<C> {
                 run: 0,
             },
             cap,
-            key_len,
+            spec,
             stats,
         };
         tree.winner = tree.build(1, &first_codes);
@@ -115,7 +124,7 @@ impl<C: Iterator<Item = OvcRow>> TreeOfLosers<C> {
         self.cur
             .get(e.run as usize)
             .and_then(|r| r.as_ref())
-            .map(|r| r.key(self.key_len))
+            .map(|r| r.key(self.spec.len()))
             .unwrap_or(&[])
     }
 
@@ -127,7 +136,14 @@ impl<C: Iterator<Item = OvcRow>> TreeOfLosers<C> {
             // Split borrows: keys are reads of `cur`, codes are locals.
             let a_key = self.key_of(a);
             let b_key = self.key_of(b);
-            compare_same_base(a_key, b_key, &mut a.code, &mut b.code, &self.stats)
+            compare_same_base_spec(
+                a_key,
+                b_key,
+                &mut a.code,
+                &mut b.code,
+                &self.spec,
+                &self.stats,
+            )
         };
         match ord {
             Ordering::Less => (a, b),
@@ -228,7 +244,10 @@ impl<C: Iterator<Item = OvcRow>> Iterator for TreeOfLosers<C> {
 
 impl<C: Iterator<Item = OvcRow>> OvcStream for TreeOfLosers<C> {
     fn key_len(&self) -> usize {
-        self.key_len
+        self.spec.len()
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
     }
 }
 
@@ -354,6 +373,47 @@ mod tests {
             stats.col_value_cmps(),
             n * 3
         );
+    }
+
+    #[test]
+    fn merges_mixed_direction_runs_with_exact_codes() {
+        use ovc_core::derive::assert_codes_exact_spec;
+        use ovc_core::Direction;
+        let spec = SortSpec::with_dirs(&[Direction::Desc, Direction::Asc]);
+        // Two runs ordered [c0 desc, c1 asc].
+        let a = VecStream::from_sorted_rows_spec(
+            vec![
+                Row::new(vec![9, 1]),
+                Row::new(vec![5, 0]),
+                Row::new(vec![5, 7]),
+            ],
+            spec.clone(),
+        );
+        let b = VecStream::from_sorted_rows_spec(
+            vec![
+                Row::new(vec![7, 2]),
+                Row::new(vec![5, 7]),
+                Row::new(vec![1, 1]),
+            ],
+            spec.clone(),
+        );
+        let stats = Stats::new_shared();
+        let tree = TreeOfLosers::new_spec(vec![a, b], spec.clone(), stats);
+        assert_eq!(tree.sort_spec(), spec);
+        let pairs = collect_pairs(tree);
+        let keys: Vec<Vec<u64>> = pairs.iter().map(|(r, _)| r.cols().to_vec()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                vec![9, 1],
+                vec![7, 2],
+                vec![5, 0],
+                vec![5, 7],
+                vec![5, 7],
+                vec![1, 1]
+            ]
+        );
+        assert_codes_exact_spec(&pairs, &spec);
     }
 
     #[test]

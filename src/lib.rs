@@ -12,3 +12,12 @@ pub use ovc_exec as exec;
 pub use ovc_plan as plan;
 pub use ovc_sort as sort;
 pub use ovc_storage as storage;
+
+// The physical-property vocabulary of the ordering/partitioning API —
+// re-exported at the root so downstream code matches on one canonical
+// set of types.  `PhysOp`, `PlanError`, and `Logical` are
+// `#[non_exhaustive]`: downstream `match` arms need a wildcard and
+// survive future variants.
+pub use ovc_core::{Direction, SortSpec};
+pub use ovc_plan::logical::Logical;
+pub use ovc_plan::{Partitioning, PhysOp, PhysicalPlan, PhysicalProps, PlanError};

@@ -182,6 +182,138 @@ proptest! {
     }
 }
 
+/// The ISSUE 3 acceptance criterion: a planned merge join over two
+/// hash-co-partitioned inputs runs with explicit `Exchange` nodes in
+/// EXPLAIN — split both inputs on the join key, join partition pairs on
+/// worker threads, gather with the order-preserving merging shuffle —
+/// and returns byte-identical rows *and exact codes* vs the serial
+/// single-thread plan.
+#[test]
+fn planned_merge_join_with_explicit_exchanges_matches_serial() {
+    use ovc_core::Row;
+    use ovc_plan::{Catalog, JoinType, LogicalPlan, Planner, Table};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0xE8C4A);
+    let mk = |rng: &mut StdRng, n: usize| -> Vec<Row> {
+        (0..n)
+            .map(|_| Row::new(vec![rng.gen_range(0..25u64), rng.gen_range(0..50u64)]))
+            .collect()
+    };
+    for join_type in [JoinType::Inner, JoinType::LeftOuter, JoinType::LeftSemi] {
+        let mut catalog = Catalog::new();
+        catalog.register("l", Table::unsorted(mk(&mut rng, 400)));
+        catalog.register("r", Table::unsorted(mk(&mut rng, 350)));
+        let q = LogicalPlan::scan("l").join(LogicalPlan::scan("r"), 1, join_type);
+        let base = PlannerConfig::default()
+            .with_memory_rows(64)
+            .with_fan_in(8)
+            .with_preference(Preference::ForceSortBased);
+
+        // Serial plan: no exchanges anywhere.
+        let serial_plan = Planner::new(&catalog, base).plan(&q).expect("plans");
+        assert_eq!(serial_plan.count_op("Exchange"), 0, "{serial_plan}");
+
+        // Parallel plan: split both join inputs, gather above the join.
+        let par_cfg = base.with_dop(4).with_parallel_threshold(1);
+        let par_plan = Planner::new(&catalog, par_cfg).plan(&q).expect("plans");
+        assert_eq!(
+            par_plan.count_op("Exchange"),
+            3,
+            "two splits + one gather ({join_type:?}):\n{par_plan}"
+        );
+        assert_eq!(par_plan.exchanges().len(), 3, "{par_plan}");
+        let ex = par_plan.explain();
+        assert!(ex.contains("Exchange -> hash(c0)x4"), "{ex}");
+        assert!(ex.contains("Exchange -> single"), "{ex}");
+        assert!(ex.contains("part=hash(c0)x4"), "{ex}");
+
+        let run = |plan: &ovc_plan::PhysicalPlan| -> Vec<OvcRow> {
+            let stats = Stats::new_shared();
+            execute(
+                plan,
+                &catalog,
+                &stats,
+                &ExecOptions {
+                    verify_trusted: true,
+                },
+            )
+            .into_coded()
+        };
+        let serial = run(&serial_plan);
+        let parallel = run(&par_plan);
+        assert_eq!(parallel, serial, "{join_type:?}: rows and codes");
+        // All three plans sort their inputs on the 1-column join key, so
+        // the join output (semi included) is coded at arity 1.
+        let pairs: Vec<(Row, Ovc)> = serial.into_iter().map(|r| (r.row, r.code)).collect();
+        exact(&pairs, 1);
+    }
+}
+
+/// Regression (code review): the partitioning enforcer must not shuffle
+/// streams whose trusted order is longer than the ascending join prefix
+/// — a table stored `[c0 asc, c1 desc]` satisfies an ascending 1-column
+/// join requirement via TrustSorted, but the threaded exchange path is
+/// ascending-only, so the join stays serial (and correct) despite the
+/// dop directive.
+#[test]
+fn mixed_direction_trusted_inputs_keep_joins_serial() {
+    use ovc_core::{Direction, Row, SortSpec};
+    use ovc_plan::{Catalog, JoinType, LogicalPlan, Planner, Table};
+
+    let spec = SortSpec::with_dirs(&[Direction::Asc, Direction::Desc]);
+    let mk = |seed: u64| -> Vec<Row> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows: Vec<Row> = (0..300)
+            .map(|_| Row::new(vec![rng.gen_range(0..15u64), rng.gen_range(0..15u64)]))
+            .collect();
+        rows.sort_by(|a, b| spec.cmp_keys(a.key(2), b.key(2)));
+        rows
+    };
+    let mut catalog = Catalog::new();
+    catalog.register("l", Table::sorted_by(mk(7), spec.clone()));
+    catalog.register("r", Table::sorted_by(mk(8), spec.clone()));
+    for join_type in [JoinType::Inner, JoinType::LeftSemi] {
+        let q = LogicalPlan::scan("l").join(LogicalPlan::scan("r"), 1, join_type);
+        let cfg = PlannerConfig::default()
+            .with_preference(Preference::ForceSortBased)
+            .with_dop(4)
+            .with_parallel_threshold(1);
+        let plan = Planner::new(&catalog, cfg).plan(&q).expect("plans");
+        assert_eq!(
+            plan.count_op("Exchange"),
+            0,
+            "mixed-direction trusted inputs must not be shuffled:\n{plan}"
+        );
+        assert_eq!(plan.elided_sorts().len(), 2, "{plan}");
+        let stats = Stats::new_shared();
+        let out = execute(
+            &plan,
+            &catalog,
+            &stats,
+            &ExecOptions {
+                verify_trusted: true,
+            },
+        )
+        .into_coded();
+        // Semi joins preserve the left spec; inner joins code at the
+        // ascending join arity.
+        match join_type {
+            JoinType::LeftSemi => {
+                let pairs: Vec<(Row, Ovc)> = out.into_iter().map(|r| (r.row, r.code)).collect();
+                ovc_core::derive::assert_codes_exact_spec(&pairs, &spec);
+            }
+            _ => {
+                let pairs: Vec<(Row, Ovc)> = out.into_iter().map(|r| (r.row, r.code)).collect();
+                exact(&pairs, 1);
+            }
+        }
+    }
+}
+
 /// Deterministic spot-check of the planner threshold: small inputs stay
 /// serial even when a dop is configured, large ones go parallel.
 #[test]

@@ -4,7 +4,8 @@
 
 use std::collections::BTreeMap;
 
-use ovc_core::{Row, Stats};
+use ovc_core::derive::{assert_codes_exact_spec, derive_codes_spec};
+use ovc_core::{Direction, Ovc, OvcRow, Row, SortSpec, Stats};
 use ovc_plan::exec::{execute, ExecOptions};
 use ovc_plan::{
     Aggregate, Catalog, JoinType, LogicalPlan, Planner, PlannerConfig, Predicate, Preference,
@@ -150,6 +151,71 @@ proptest! {
         prop_assert_eq!(got_rows, expect_rows);
     }
 
+    /// The ISSUE 3 satellite: a `SortSpec` plan with mixed asc/desc
+    /// directions (normalized-key encoding included) produces rows
+    /// byte-identical to the `ovc-baseline` full-compare sort under the
+    /// same spec, and codes byte-identical to the reference derivation
+    /// over those rows.
+    #[test]
+    fn mixed_direction_sort_plan_matches_baseline_full_compare_sort(
+        rows in rows_strategy(2, 300),
+        dir_sel in 0usize..4,
+        norm_sel in 0usize..2,
+    ) {
+        let normalized = norm_sel == 1;
+        let dirs = [
+            [Direction::Asc, Direction::Desc],
+            [Direction::Desc, Direction::Asc],
+            [Direction::Desc, Direction::Desc],
+            [Direction::Asc, Direction::Asc],
+        ][dir_sel];
+        let spec = SortSpec::with_dirs(&dirs).with_normalized(normalized);
+        let mut catalog = Catalog::new();
+        catalog.register("t", Table::unsorted(rows.clone()));
+        let q = LogicalPlan::scan("t").sort_by(spec.clone());
+        let cfg = PlannerConfig::default().with_memory_rows(48).with_fan_in(4);
+        let plan = Planner::new(&catalog, cfg).plan(&q).expect("plans");
+        prop_assert_eq!(&plan.props.order, &spec, "{}", plan.explain());
+        let stats = Stats::new_shared();
+        let out: Vec<OvcRow> =
+            execute(&plan, &catalog, &stats, &ExecOptions { verify_trusted: true }).into_coded();
+
+        // Reference: the baseline's instrumented full-compare sort.
+        let baseline =
+            ovc_baseline::sort_rows_plain_spec(rows, &spec, &Stats::new_shared());
+        let got_rows: Vec<Row> = out.iter().map(|r| r.row.clone()).collect();
+        prop_assert_eq!(&got_rows, &baseline, "rows byte-identical");
+        let expect_codes = derive_codes_spec(&baseline, &spec);
+        let got_codes: Vec<Ovc> = out.iter().map(|r| r.code).collect();
+        prop_assert_eq!(got_codes, expect_codes, "codes byte-identical");
+    }
+
+    /// A descending-stored table under a descending Sort demand: the
+    /// planner elides the sort (`TrustSorted` under a desc spec), and the
+    /// `assert_codes_exact` audit of the trusted stream passes.
+    #[test]
+    fn descending_trust_sorted_elision_survives_code_audit(rows in rows_strategy(2, 300)) {
+        let spec = SortSpec::desc(2);
+        let mut s = rows;
+        s.sort_by(|a, b| spec.cmp_keys(a.key(2), b.key(2)));
+        let n = s.len();
+        let mut catalog = Catalog::new();
+        catalog.register("t", Table::sorted_by(s, spec.clone()));
+        let q = LogicalPlan::scan("t").sort_by(spec.clone());
+        let plan = Planner::new(&catalog, PlannerConfig::default()).plan(&q).expect("plans");
+        prop_assert_eq!(plan.count_op("SortOvc"), 0, "{}", plan.explain());
+        prop_assert_eq!(plan.count_op("Reverse"), 0, "{}", plan.explain());
+        prop_assert_eq!(plan.elided_sorts().len(), 1, "{}", plan.explain());
+        let stats = Stats::new_shared();
+        // verify_trusted audits the trusted stream with
+        // assert_codes_exact_spec under the descending spec.
+        let out: Vec<OvcRow> =
+            execute(&plan, &catalog, &stats, &ExecOptions { verify_trusted: true }).into_coded();
+        prop_assert_eq!(out.len(), n);
+        let pairs: Vec<(Row, Ovc)> = out.into_iter().map(|r| (r.row, r.code)).collect();
+        assert_codes_exact_spec(&pairs, &spec);
+    }
+
     /// A sorted-table scan under an explicit Sort demand: the planner
     /// must elide the sort, and the elision must survive the code audit.
     #[test]
@@ -234,6 +300,57 @@ fn figure5_acceptance_sorted_inputs() {
             "planner-produced sort plan must match the hash reference (seed {seed})"
         );
     }
+}
+
+/// EXPLAIN prints the full physical-property contract: the order spec
+/// with per-column directions, the partitioning, and — on parallel
+/// operators — the dop, instead of the old bare column-count and
+/// `dop=N` suffix.
+#[test]
+fn explain_prints_full_order_and_partitioning_properties() {
+    let rows: Vec<Row> = (0..500).map(|i| Row::new(vec![i % 13, i % 7])).collect();
+    let mut catalog = Catalog::new();
+    catalog.register("l", Table::unsorted(rows.clone()));
+    catalog.register("r", Table::unsorted(rows.clone()));
+
+    // Serial mixed-direction sort: full spec in both the operator detail
+    // and the property suffix.
+    let spec = SortSpec::with_dirs(&[Direction::Asc, Direction::Desc]);
+    let plan = Planner::new(&catalog, PlannerConfig::default())
+        .plan(&LogicalPlan::scan("l").sort_by(spec))
+        .expect("plans");
+    let ex = plan.explain();
+    assert!(ex.contains("SortOvc key=[c0 asc, c1 desc]"), "{ex}");
+    assert!(ex.contains("order=[c0 asc, c1 desc]"), "{ex}");
+    assert!(ex.contains("part=single"), "{ex}");
+
+    // Partition-parallel join: explicit exchange targets, hash
+    // partitioning, and dop all visible.
+    let cfg = PlannerConfig::default()
+        .with_preference(Preference::ForceSortBased)
+        .with_dop(4)
+        .with_parallel_threshold(1);
+    let q = LogicalPlan::scan("l").join(LogicalPlan::scan("r"), 1, JoinType::Inner);
+    let plan = Planner::new(&catalog, cfg).plan(&q).expect("plans");
+    let ex = plan.explain();
+    assert!(ex.contains("Exchange -> hash(c0)x4"), "{ex}");
+    assert!(ex.contains("Exchange -> single"), "{ex}");
+    assert!(ex.contains("part=hash(c0)x4"), "{ex}");
+    assert!(ex.contains("dop=4"), "{ex}");
+    // A descending elision renders its spec too.
+    let spec = SortSpec::desc(1);
+    let mut sorted = rows;
+    sorted.sort_by(|a, b| spec.cmp_keys(a.key(1), b.key(1)));
+    catalog.register("d", Table::sorted_by(sorted, spec.clone()));
+    let plan = Planner::new(&catalog, PlannerConfig::default())
+        .plan(&LogicalPlan::scan("d").sort_by(spec))
+        .expect("plans");
+    let ex = plan.explain();
+    assert!(
+        ex.contains("TrustSorted key=[c0 desc] (sort elided)"),
+        "{ex}"
+    );
+    assert!(ex.contains("order=[c0 desc]"), "{ex}");
 }
 
 /// Unknown tables and schema violations surface as planner errors, not
