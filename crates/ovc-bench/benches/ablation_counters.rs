@@ -64,7 +64,7 @@ fn main() {
         s.ovc_cmps()
     );
     let s = Stats::new_shared();
-    let _ = external_sort_plain(rows.clone(), 4, 40_000, 128, &s);
+    let _ = external_sort_plain(rows, 4, 40_000, 128, &s);
     println!(
         "{:<28} col-cmps {:>12}  code-cmps {:>12}",
         "plain external sort",

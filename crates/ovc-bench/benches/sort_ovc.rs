@@ -1,12 +1,17 @@
 //! Hypothesis 1, sorting: external merge sort with offset-value coding vs
 //! the conventional sort (quicksorted runs, heap merge, full comparisons),
-//! plus the replacement-selection variant.
+//! plus the replacement-selection variant and the flat-to-run path (the
+//! sort without the final boxed-row materialization).
+
+use std::rc::Rc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ovc_baseline::external_sort_plain;
 use ovc_bench::workload::{table, TableSpec};
-use ovc_core::Stats;
-use ovc_sort::{external_sort_collect, RunGenStrategy, SortConfig};
+use ovc_core::{SortSpec, Stats};
+use ovc_sort::{
+    external_sort_collect, external_sort_spec_to_run, MemoryRunStorage, RunGenStrategy, SortConfig,
+};
 
 const ROWS: usize = 300_000;
 const KEY_COLS: usize = 4;
@@ -32,6 +37,27 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let stats = Stats::new_shared();
                 external_sort_collect(rows.clone(), SortConfig::new(KEY_COLS, MEMORY), &stats).len()
+            })
+        },
+    );
+
+    // The same sort kept flat end-to-end: output is one contiguous run
+    // (values + codes), no per-row boxed materialization at the boundary.
+    g.bench_with_input(
+        BenchmarkId::new("ovc_flat_to_run", ROWS),
+        &rows,
+        |b, rows| {
+            b.iter(|| {
+                let stats = Stats::new_shared();
+                let mut storage = MemoryRunStorage::new(Rc::clone(&stats));
+                external_sort_spec_to_run(
+                    rows.clone(),
+                    SortConfig::new(KEY_COLS, MEMORY),
+                    &SortSpec::asc(KEY_COLS),
+                    &mut storage,
+                    &stats,
+                )
+                .len()
             })
         },
     );

@@ -124,23 +124,36 @@ pub fn assert_codes_exact(pairs: &[(Row, Ovc)], key_len: usize) {
 /// Spec-aware [`find_code_violation`]: first index where the sequence
 /// breaks spec order or carries an inexact code.
 pub fn find_code_violation_spec(pairs: &[(Row, Ovc)], spec: &SortSpec) -> Option<usize> {
+    let k = spec.len();
+    find_code_violation_slices(pairs.iter().map(|(row, code)| (row.key(k), *code)), spec)
+}
+
+/// Borrow-based [`find_code_violation_spec`] over `(key columns, code)`
+/// pairs: validates a stored representation (a flat run, a column slice)
+/// in place, without cloning a single row.  `key` slices must carry at
+/// least `spec.len()` leading key columns.
+pub fn find_code_violation_slices<'a, I>(pairs: I, spec: &SortSpec) -> Option<usize>
+where
+    I: IntoIterator<Item = (&'a [u64], Ovc)>,
+{
     let stats = Stats::default();
     let k = spec.len();
-    let mut prev: Option<&Row> = None;
-    for (i, (row, code)) in pairs.iter().enumerate() {
+    let mut prev: Option<&[u64]> = None;
+    for (i, (key, code)) in pairs.into_iter().enumerate() {
+        let key = &key[..k];
         let expect = match prev {
-            None => spec.initial_code(row.key(k)),
+            None => spec.initial_code(key),
             Some(p) => {
-                if spec.cmp_keys(p.key(k), row.key(k)) == std::cmp::Ordering::Greater {
+                if spec.cmp_keys(p, key) == std::cmp::Ordering::Greater {
                     return Some(i); // not sorted under the spec
                 }
-                derive_code_spec(p.key(k), row.key(k), spec, &stats)
+                derive_code_spec(p, key, spec, &stats)
             }
         };
-        if *code != expect {
+        if code != expect {
             return Some(i);
         }
-        prev = Some(row);
+        prev = Some(key);
     }
     None
 }
@@ -190,7 +203,7 @@ mod tests {
     fn is_sorted_detects_order() {
         let rows = crate::table1::rows();
         assert!(is_sorted(&rows, 4));
-        let mut bad = rows.clone();
+        let mut bad = rows;
         bad.swap(0, 6);
         assert!(!is_sorted(&bad, 4));
     }
@@ -261,7 +274,7 @@ mod tests {
         // Codes must ascend with the stream position where they differ
         // from their base — spot-check the violation finder catches a
         // mis-ordered swap.
-        let mut bad = pairs.clone();
+        let mut bad = pairs;
         bad.swap(0, 4);
         assert!(find_code_violation_spec(&bad, &spec).is_some());
     }

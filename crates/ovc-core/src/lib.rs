@@ -16,6 +16,9 @@
 //!   corollary, and the [`theorem::OvcAccumulator`] every operator uses to
 //!   produce output codes;
 //! * [`mod@derive`] — reference derivation/validation of exact codes;
+//! * [`flat`] — [`flat::FlatRows`]: contiguous struct-of-arrays storage for
+//!   coded rows, the memory layout of the sort/merge hot path (one
+//!   `Vec<u64>` of values plus a parallel `Vec<Ovc>` of codes);
 //! * [`spec`] — [`spec::SortSpec`]: the first-class ordering contract
 //!   (per-column directions plus an optional normalized-key flag) that
 //!   streams carry and planners match on;
@@ -49,6 +52,7 @@
 pub mod compare;
 pub mod derive;
 pub mod desc;
+pub mod flat;
 pub mod normalized;
 pub mod ovc;
 pub mod row;
@@ -58,6 +62,7 @@ pub mod stream;
 pub mod table1;
 pub mod theorem;
 
+pub use flat::FlatRows;
 pub use ovc::Ovc;
 pub use row::{Row, SortKey, Value};
 pub use spec::{Direction, SortSpec};

@@ -10,6 +10,7 @@
 //! re-comparing rows.
 
 use crate::derive::{derive_codes, derive_codes_spec};
+use crate::flat::FlatRows;
 use crate::ovc::Ovc;
 use crate::row::Row;
 use crate::spec::SortSpec;
@@ -82,12 +83,16 @@ impl VecStream {
     }
 
     /// Wrap rows coded under an explicit [`SortSpec`].  Debug builds
-    /// verify the spec's stream contract.
+    /// verify the spec's stream contract (in place — no row clones).
     pub fn from_coded_spec(rows: Vec<OvcRow>, spec: SortSpec) -> Self {
         #[cfg(debug_assertions)]
         {
-            let pairs: Vec<(Row, Ovc)> = rows.iter().map(|r| (r.row.clone(), r.code)).collect();
-            crate::derive::assert_codes_exact_spec(&pairs, &spec);
+            if let Some(i) = crate::derive::find_code_violation_slices(
+                rows.iter().map(|r| (r.row.cols(), r.code)),
+                &spec,
+            ) {
+                panic!("VecStream::from_coded_spec: code violation at row {i} under {spec}");
+            }
         }
         VecStream {
             iter: rows.into_iter(),
@@ -182,8 +187,16 @@ impl<S: OvcStream + Send> SendOvcStream for S {}
 /// every code exact relative to its predecessor.
 #[derive(Clone, Debug)]
 pub struct CodedBatch {
-    rows: Vec<OvcRow>,
+    repr: BatchRepr,
     spec: SortSpec,
+}
+
+/// Either layout of a batch's rows: boxed (one allocation per row, the
+/// historical layout) or flat columnar (one contiguous buffer).
+#[derive(Clone, Debug)]
+enum BatchRepr {
+    Boxed(Vec<OvcRow>),
+    Flat(FlatRows),
 }
 
 impl CodedBatch {
@@ -192,7 +205,25 @@ impl CodedBatch {
     pub fn from_stream<S: OvcStream>(stream: S) -> Self {
         let spec = stream.sort_spec();
         CodedBatch {
-            rows: stream.collect(),
+            repr: BatchRepr::Boxed(stream.collect()),
+            spec,
+        }
+    }
+
+    /// Materialize a coded stream into a **flat-backed** batch: rows are
+    /// copied into one contiguous buffer as they arrive, so the batch
+    /// crosses threads (and later re-streams) without per-row pointer
+    /// chasing.  Requires the stream's rows to share one width (operator
+    /// outputs are homogeneous).
+    pub fn from_stream_flat<S: OvcStream>(stream: S) -> Self {
+        let spec = stream.sort_spec();
+        let mut flat: Option<FlatRows> = None;
+        for OvcRow { row, code } in stream {
+            flat.get_or_insert_with(|| FlatRows::new(row.width()))
+                .push(row.cols(), code);
+        }
+        CodedBatch {
+            repr: BatchRepr::Flat(flat.unwrap_or_else(|| FlatRows::new(spec.len()))),
             spec,
         }
     }
@@ -203,14 +234,36 @@ impl CodedBatch {
     }
 
     /// Wrap rows coded under an explicit [`SortSpec`].  Debug builds
-    /// verify the spec's stream contract.
+    /// verify the spec's stream contract (in place — no row clones).
     pub fn from_coded_spec(rows: Vec<OvcRow>, spec: SortSpec) -> Self {
         #[cfg(debug_assertions)]
         {
-            let pairs: Vec<(Row, Ovc)> = rows.iter().map(|r| (r.row.clone(), r.code)).collect();
-            crate::derive::assert_codes_exact_spec(&pairs, &spec);
+            if let Some(i) = crate::derive::find_code_violation_slices(
+                rows.iter().map(|r| (r.row.cols(), r.code)),
+                &spec,
+            ) {
+                panic!("CodedBatch::from_coded: code violation at row {i} under {spec}");
+            }
         }
-        CodedBatch { rows, spec }
+        CodedBatch {
+            repr: BatchRepr::Boxed(rows),
+            spec,
+        }
+    }
+
+    /// Wrap a flat buffer coded under `spec`.  Debug builds verify the
+    /// spec's stream contract in place.
+    pub fn from_flat(flat: FlatRows, spec: SortSpec) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            if let Some(i) = crate::derive::find_code_violation_slices(flat.iter(), &spec) {
+                panic!("CodedBatch::from_flat: code violation at row {i} under {spec}");
+            }
+        }
+        CodedBatch {
+            repr: BatchRepr::Flat(flat),
+            spec,
+        }
     }
 
     /// Derive codes for sorted rows and wrap them.  Panics if unsorted.
@@ -219,32 +272,53 @@ impl CodedBatch {
     }
 
     /// Resume streaming (typically on a different thread than the one
-    /// that materialized the batch).
-    pub fn into_stream(self) -> VecStream {
-        VecStream {
-            iter: self.rows.into_iter(),
-            spec: self.spec,
+    /// that materialized the batch).  A flat batch materializes each
+    /// [`OvcRow`] lazily, straight from the contiguous buffer.
+    pub fn into_stream(self) -> BatchStream {
+        match self.repr {
+            BatchRepr::Boxed(rows) => BatchStream {
+                inner: BatchStreamRepr::Boxed(rows.into_iter()),
+                spec: self.spec,
+            },
+            BatchRepr::Flat(flat) => BatchStream {
+                inner: BatchStreamRepr::Flat { flat, pos: 0 },
+                spec: self.spec,
+            },
         }
     }
 
-    /// Consume into the coded rows.
+    /// Consume into boxed coded rows (materializing if flat).
     pub fn into_rows(self) -> Vec<OvcRow> {
-        self.rows
+        match self.repr {
+            BatchRepr::Boxed(rows) => rows,
+            BatchRepr::Flat(flat) => flat.to_ovc_rows(),
+        }
     }
 
-    /// Borrow the coded rows.
-    pub fn rows(&self) -> &[OvcRow] {
-        &self.rows
+    /// Materialize the coded rows without consuming the batch.
+    pub fn to_ovc_rows(&self) -> Vec<OvcRow> {
+        match &self.repr {
+            BatchRepr::Boxed(rows) => rows.clone(),
+            BatchRepr::Flat(flat) => flat.to_ovc_rows(),
+        }
+    }
+
+    /// Is this batch flat-backed?
+    pub fn is_flat(&self) -> bool {
+        matches!(self.repr, BatchRepr::Flat(_))
     }
 
     /// Number of rows in the batch.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.repr {
+            BatchRepr::Boxed(rows) => rows.len(),
+            BatchRepr::Flat(flat) => flat.len(),
+        }
     }
 
     /// Is the batch empty?
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
     /// Sort-key arity of the batch's codes.
@@ -255,6 +329,53 @@ impl CodedBatch {
     /// The ordering contract the batch's rows and codes follow.
     pub fn sort_spec(&self) -> &SortSpec {
         &self.spec
+    }
+}
+
+/// The stream a [`CodedBatch`] reopens into: boxed rows pass through,
+/// flat rows materialize lazily from the contiguous buffer.
+pub struct BatchStream {
+    inner: BatchStreamRepr,
+    spec: SortSpec,
+}
+
+enum BatchStreamRepr {
+    Boxed(std::vec::IntoIter<OvcRow>),
+    Flat { flat: FlatRows, pos: usize },
+}
+
+impl Iterator for BatchStream {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        match &mut self.inner {
+            BatchStreamRepr::Boxed(iter) => iter.next(),
+            BatchStreamRepr::Flat { flat, pos } => {
+                if *pos >= flat.len() {
+                    return None;
+                }
+                let r = OvcRow::new(Row::from_slice(flat.row(*pos)), flat.code(*pos));
+                *pos += 1;
+                Some(r)
+            }
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            BatchStreamRepr::Boxed(iter) => iter.size_hint(),
+            BatchStreamRepr::Flat { flat, pos } => {
+                let left = flat.len() - pos;
+                (left, Some(left))
+            }
+        }
+    }
+}
+
+impl OvcStream for BatchStream {
+    fn key_len(&self) -> usize {
+        self.spec.len()
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
     }
 }
 
@@ -340,7 +461,7 @@ mod tests {
             .iter()
             .map(|c| Row::new(c.to_vec()))
             .collect();
-        let stream = VecStream::from_sorted_rows_spec(rows.clone(), spec.clone());
+        let stream = VecStream::from_sorted_rows_spec(rows, spec.clone());
         assert_eq!(stream.key_len(), 2);
         assert_eq!(stream.sort_spec(), spec);
         let batch = CodedBatch::from_stream(stream);
@@ -365,7 +486,37 @@ mod tests {
     #[test]
     fn coded_batch_from_coded_and_rows_accessors() {
         let batch = CodedBatch::from_sorted_rows(crate::table1::rows(), 4);
-        let again = CodedBatch::from_coded(batch.rows().to_vec(), 4);
+        let again = CodedBatch::from_coded(batch.to_ovc_rows(), 4);
         assert_eq!(again.into_rows().len(), 7);
+    }
+
+    #[test]
+    fn flat_batch_round_trips_and_matches_boxed() {
+        let boxed = CodedBatch::from_sorted_rows(crate::table1::rows(), 4);
+        let flat =
+            CodedBatch::from_stream_flat(VecStream::from_sorted_rows(crate::table1::rows(), 4));
+        assert!(flat.is_flat() && !boxed.is_flat());
+        assert_eq!(flat.len(), boxed.len());
+        assert_eq!(flat.to_ovc_rows(), boxed.to_ovc_rows());
+        // Reopened streams agree item for item, and the flat batch can be
+        // rebuilt from its parts.
+        let pairs_flat = collect_pairs(flat.into_stream());
+        let pairs_boxed = collect_pairs(boxed.into_stream());
+        assert_eq!(pairs_flat, pairs_boxed);
+        let direct = CodedBatch::from_flat(
+            crate::flat::FlatRows::from_ovc_rows(
+                VecStream::from_sorted_rows(crate::table1::rows(), 4).collect(),
+                4,
+            ),
+            SortSpec::asc(4),
+        );
+        assert_eq!(collect_pairs(direct.into_stream()), pairs_boxed);
+    }
+
+    #[test]
+    fn empty_flat_batch() {
+        let flat = CodedBatch::from_stream_flat(VecStream::from_sorted_rows(vec![], 2));
+        assert!(flat.is_empty() && flat.is_flat());
+        assert_eq!(flat.into_stream().count(), 0);
     }
 }

@@ -108,7 +108,7 @@ mod tests {
     #[test]
     fn removes_the_table1_duplicate() {
         let rows = ovc_core::table1::rows();
-        let input = VecStream::from_sorted_rows(rows.clone(), 4);
+        let input = VecStream::from_sorted_rows(rows, 4);
         let dedup = Dedup::new(input);
         let pairs = collect_pairs(dedup);
         assert_eq!(pairs.len(), 6, "one duplicate row suppressed");

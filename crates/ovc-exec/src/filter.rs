@@ -101,7 +101,7 @@ mod tests {
     #[test]
     fn keep_all_is_identity() {
         let rows = ovc_core::table1::rows();
-        let input = VecStream::from_sorted_rows(rows.clone(), 4);
+        let input = VecStream::from_sorted_rows(rows, 4);
         let expect: Vec<Ovc> = ovc_core::table1::asc_codes();
         let filter = Filter::new(input, |_| true);
         let pairs = collect_pairs(filter);

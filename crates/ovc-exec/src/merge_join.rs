@@ -360,16 +360,17 @@ impl<L: OvcStream, R: OvcStream> MergeJoin<L, R> {
                     // Output codes follow the filter theorem over the left
                     // input at its full arity (Section 4.7: "the rule for
                     // setting offset-value codes in the output is the same
-                    // as given in the 'filter theorem'").
+                    // as given in the 'filter theorem'").  Rows move out of
+                    // the group buffer — no clone.
                     let mut first = true;
-                    for item in &left {
+                    for item in left {
                         let code = if first {
                             first = false;
                             self.left_acc.emit(item.orig_code)
                         } else {
                             item.orig_code
                         };
-                        self.queue.push_back(OvcRow::new(item.row.clone(), code));
+                        self.queue.push_back(OvcRow::new(item.row, code));
                     }
                 } else {
                     for item in &left {
@@ -436,9 +437,10 @@ mod tests {
         let mut rsort = r.to_vec();
         lsort.sort();
         rsort.sort();
-        let mut rmap: BTreeMap<Vec<u64>, Vec<Vec<u64>>> = BTreeMap::new();
+        // Group by borrowed key slices — no per-row key allocation.
+        let mut rmap: BTreeMap<&[u64], Vec<&Vec<u64>>> = BTreeMap::new();
         for row in &rsort {
-            rmap.entry(row[..j].to_vec()).or_default().push(row.clone());
+            rmap.entry(&row[..j]).or_default().push(row);
         }
         let mut out = Vec::new();
         match jt {
@@ -476,14 +478,14 @@ mod tests {
                 }
             }
             JoinType::RightOuter | JoinType::FullOuter => {
-                let mut lmap: BTreeMap<Vec<u64>, Vec<Vec<u64>>> = BTreeMap::new();
+                let mut lmap: BTreeMap<&[u64], Vec<&Vec<u64>>> = BTreeMap::new();
                 for row in &lsort {
-                    lmap.entry(row[..j].to_vec()).or_default().push(row.clone());
+                    lmap.entry(&row[..j]).or_default().push(row);
                 }
-                let mut keys: Vec<Vec<u64>> = lmap
+                let mut keys: Vec<&[u64]> = lmap
                     .keys()
                     .chain(rmap.keys())
-                    .cloned()
+                    .copied()
                     .collect::<std::collections::BTreeSet<_>>()
                     .into_iter()
                     .collect();
@@ -493,7 +495,7 @@ mod tests {
                         (Some(ls), Some(rs)) => {
                             for lrow in ls {
                                 for rrow in rs {
-                                    let mut c = lrow.clone();
+                                    let mut c = (*lrow).clone();
                                     c.extend_from_slice(&rrow[j..]);
                                     out.push(c);
                                 }
@@ -501,7 +503,7 @@ mod tests {
                         }
                         (Some(ls), None) if jt == JoinType::FullOuter => {
                             for lrow in ls {
-                                let mut c = lrow.clone();
+                                let mut c = (*lrow).clone();
                                 c.resize(lw + rw - j, NULL_VALUE);
                                 out.push(c);
                             }

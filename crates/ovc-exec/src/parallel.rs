@@ -28,7 +28,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::{self, JoinHandle};
 
 use ovc_core::theorem::OvcAccumulator;
-use ovc_core::{CodedBatch, OvcRow, OvcStream, Row, SortSpec, Stats, StatsSnapshot, VecStream};
+use ovc_core::{CodedBatch, OvcRow, OvcStream, Row, SortSpec, Stats, StatsSnapshot};
 use ovc_sort::TreeOfLosers;
 
 use crate::merge_join::{JoinType, MergeJoin};
@@ -322,7 +322,7 @@ where
                         bufs[idx].push(row);
                     }
                     let local = Stats::new_shared();
-                    let streams: Vec<VecStream> = bufs
+                    let streams: Vec<_> = bufs
                         .into_iter()
                         .map(|rows| CodedBatch::from_coded(rows, key_len).into_stream())
                         .collect();
@@ -429,7 +429,11 @@ mod tests {
     }
 
     fn check_exact(b: &CodedBatch) {
-        let pairs: Vec<(Row, Ovc)> = b.rows().iter().map(|r| (r.row.clone(), r.code)).collect();
+        let pairs: Vec<(Row, Ovc)> = b
+            .to_ovc_rows()
+            .iter()
+            .map(|r| (r.row.clone(), r.code))
+            .collect();
         assert_codes_exact(&pairs, b.key_len());
     }
 

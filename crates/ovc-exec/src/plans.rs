@@ -52,7 +52,7 @@ where
         stats,
     )
     .into_iter()
-    .map(|run| dedup_run(run, key_len))
+    .map(Run::into_distinct)
     .collect();
 
     if runs.len() <= 1 {
@@ -63,14 +63,16 @@ where
         return DistinctSortOutput(Dedup::new(SortOutput::Memory(run.cursor())));
     }
 
-    // Spill once; merge with dedup folded into every merge step.
+    // Spill once; merge with dedup folded into every merge step.  The
+    // intermediate levels stay on the flat path: duplicate-coded rows are
+    // dropped as winners copy between contiguous buffers.
     let mut handles: Vec<usize> = runs.into_iter().map(|r| storage.write_run(r)).collect();
     while handles.len() > fan_in {
         let mut next = Vec::new();
         for chunk in handles.chunks(fan_in) {
             let level: Vec<Run> = chunk.iter().map(|&h| storage.read_run(h)).collect();
-            let merged: Vec<OvcRow> = Dedup::new(merge_runs(level, key_len, stats)).collect();
-            next.push(storage.write_run(Run::from_coded(merged, key_len)));
+            let merged = merge_runs(level, key_len, stats).into_run_distinct();
+            next.push(storage.write_run(merged));
         }
         handles = next;
     }
@@ -78,16 +80,6 @@ where
     DistinctSortOutput(Dedup::new(SortOutput::Merge(merge_runs(
         final_runs, key_len, stats,
     ))))
-}
-
-/// Remove duplicate-coded rows from a run (free: one integer test per row).
-fn dedup_run(run: Run, key_len: usize) -> Run {
-    let rows: Vec<OvcRow> = run
-        .into_rows()
-        .into_iter()
-        .filter(|r| !r.code.is_duplicate())
-        .collect();
-    Run::from_coded(rows, key_len)
 }
 
 /// Newtype so the function can return a concrete `impl OvcStream`.

@@ -388,7 +388,10 @@ impl Cx<'_> {
                 // draining against bounded channels deadlocks, §4.10).
                 Partitioning::Hash { cols, parts } => {
                     let stream = self.run(input).into_stream();
-                    let batch = CodedBatch::from_stream(stream);
+                    // Flat-backed batch: the materialized stream lands in
+                    // one contiguous buffer and crosses the producer
+                    // thread without per-row pointer chasing.
+                    let batch = CodedBatch::from_stream_flat(stream);
                     let split = split_threaded(
                         batch,
                         *parts,

@@ -556,10 +556,7 @@ mod tests {
         );
         assert!(!p.satisfies_ordering(&SortSpec::asc(3)));
         assert_eq!(p.ordered_key(), 2);
-        let un = PhysicalProps {
-            coded: false,
-            ..p.clone()
-        };
+        let un = PhysicalProps { coded: false, ..p };
         assert!(!un.satisfies_ordering(&SortSpec::asc(1)));
     }
 

@@ -24,7 +24,7 @@ use ovc_core::{OvcRow, OvcStream, Row, SortSpec, Stats};
 use crate::merge::merge_runs_spec;
 use crate::run_gen::{generate_runs_spec, RunGenStrategy};
 use crate::runs::{Run, RunCursor};
-use crate::tree::TreeOfLosers;
+use crate::tree::FlatMerge;
 
 /// Configuration of an external sort.
 #[derive(Clone, Copy, Debug)]
@@ -115,8 +115,9 @@ impl RunStorage for MemoryRunStorage {
 pub enum SortOutput {
     /// The input fit in memory: a single run streams out directly.
     Memory(RunCursor),
-    /// Final merge over the last `<= fan_in` spilled runs.
-    Merge(TreeOfLosers<RunCursor>),
+    /// Final merge over the last `<= fan_in` spilled runs — flat runs
+    /// merged in place, rows materialized only as they stream out.
+    Merge(FlatMerge),
 }
 
 impl Iterator for SortOutput {
@@ -125,6 +126,12 @@ impl Iterator for SortOutput {
         match self {
             SortOutput::Memory(c) => c.next(),
             SortOutput::Merge(t) => t.next(),
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            SortOutput::Memory(c) => c.size_hint(),
+            SortOutput::Merge(t) => t.size_hint(),
         }
     }
 }
@@ -201,13 +208,37 @@ where
         let mut next_level = Vec::new();
         for chunk in handles.chunks(config.fan_in) {
             let level_runs: Vec<Run> = chunk.iter().map(|&h| storage.read_run(h)).collect();
-            let merged: Vec<OvcRow> = merge_runs_spec(level_runs, spec, stats).collect();
-            next_level.push(storage.write_run(Run::from_coded_spec(merged, spec.clone())));
+            // Intermediate merge levels stay flat end-to-end: winner rows
+            // copy between contiguous buffers, nothing is boxed.
+            let merged = merge_runs_spec(level_runs, spec, stats).into_run();
+            next_level.push(storage.write_run(merged));
         }
         handles = next_level;
     }
     let final_runs: Vec<Run> = handles.into_iter().map(|h| storage.read_run(h)).collect();
     SortOutput::Merge(merge_runs_spec(final_runs, spec, stats))
+}
+
+/// Externally sort `input` all the way into a single **flat** run — the
+/// allocation-free variant of [`external_sort_spec`] for consumers that
+/// keep working on the contiguous layout (benches, storage loads).  The
+/// final merge gathers straight into one flat buffer instead of streaming
+/// boxed [`OvcRow`]s.
+pub fn external_sort_spec_to_run<I, S>(
+    input: I,
+    config: SortConfig,
+    spec: &SortSpec,
+    storage: &mut S,
+    stats: &Rc<Stats>,
+) -> Run
+where
+    I: IntoIterator<Item = Row>,
+    S: RunStorage,
+{
+    match external_sort_spec(input, config, spec, storage, stats) {
+        SortOutput::Memory(cursor) => cursor.into_run(),
+        SortOutput::Merge(merge) => merge.into_run(),
+    }
 }
 
 /// Convenience: spec-aware sort and collect.

@@ -5,7 +5,8 @@
 //!
 //! * [`tree`] — the tree-of-losers priority queue of Figures 1–3, with
 //!   fences and offset-value codes folded into one 64-bit comparison;
-//! * [`runs`] — sorted coded runs (in-memory prefix-truncation equivalent);
+//! * [`runs`] — sorted coded runs in flat columnar layout (in-memory
+//!   prefix-truncation equivalent);
 //! * [`run_gen`] — run generation by priority queue (OVC-native) or
 //!   quicksort (baseline);
 //! * [`replacement`] — replacement selection for longer runs;
@@ -43,7 +44,7 @@ pub mod tree;
 
 pub use external::{
     external_sort, external_sort_collect, external_sort_spec, external_sort_spec_collect,
-    MemoryRunStorage, RunStorage, SortConfig, SortOutput,
+    external_sort_spec_to_run, MemoryRunStorage, RunStorage, SortConfig, SortOutput,
 };
 pub use merge::{
     merge_runs, merge_runs_spec, merge_runs_to_run, merge_runs_to_run_spec, merge_streams,
@@ -54,6 +55,6 @@ pub use run_gen::{
     generate_runs, generate_runs_spec, sort_rows_ovc, sort_rows_ovc_spec, sort_rows_quicksort,
     sort_rows_quicksort_spec, RunGenStrategy,
 };
-pub use runs::{Run, RunCursor, SingleRow};
+pub use runs::{Run, RunCursor};
 pub use segmented::SegmentedSort;
-pub use tree::TreeOfLosers;
+pub use tree::{FlatMerge, TreeOfLosers};

@@ -1,35 +1,36 @@
 //! Multi-way merge of sorted, coded inputs.
 //!
-//! Thin wrappers over [`TreeOfLosers`]: merging consumes offset-value codes
-//! from its inputs and produces exact codes in its output — the property
-//! every downstream operator in this reproduction relies on.  The same
-//! merge logic serves external sort steps, order-preserving "merging"
-//! exchange (Section 4.10), and LSM-forest scans and compaction
-//! (Section 4.11).
+//! Thin wrappers over the tree-of-losers engines: merging consumes
+//! offset-value codes from its inputs and produces exact codes in its
+//! output — the property every downstream operator in this reproduction
+//! relies on.  Runs merge on the flat path ([`FlatMerge`]: rows stay in
+//! their contiguous buffers, winners copy slice-to-slice); arbitrary coded
+//! streams merge through the generic [`TreeOfLosers`].  The same merge
+//! logic serves external sort steps, order-preserving "merging" exchange
+//! (Section 4.10), and LSM-forest scans and compaction (Section 4.11).
 
 use std::rc::Rc;
 
-use ovc_core::{OvcRow, OvcStream, SortSpec, Stats};
+use ovc_core::{OvcStream, SortSpec, Stats};
 
-use crate::runs::{Run, RunCursor};
-use crate::tree::TreeOfLosers;
+use crate::runs::Run;
+use crate::tree::{FlatMerge, TreeOfLosers};
 
-/// Merge in-memory runs into one coded output stream.
-pub fn merge_runs(runs: Vec<Run>, key_len: usize, stats: &Rc<Stats>) -> TreeOfLosers<RunCursor> {
-    debug_assert!(runs.iter().all(|r| r.key_len() == key_len));
-    let cursors: Vec<RunCursor> = runs.into_iter().map(Run::cursor).collect();
-    TreeOfLosers::new(cursors, key_len, Rc::clone(stats))
+/// Merge in-memory flat runs into one coded output stream (allocation-free
+/// until the stream materializes rows; use [`FlatMerge::into_run`] to stay
+/// flat end-to-end).
+pub fn merge_runs(runs: Vec<Run>, key_len: usize, stats: &Rc<Stats>) -> FlatMerge {
+    merge_runs_spec_owned(runs, SortSpec::asc(key_len), stats)
 }
 
 /// Merge runs ordered under an arbitrary [`SortSpec`].
-pub fn merge_runs_spec(
-    runs: Vec<Run>,
-    spec: &SortSpec,
-    stats: &Rc<Stats>,
-) -> TreeOfLosers<RunCursor> {
-    debug_assert!(runs.iter().all(|r| r.sort_spec() == spec));
-    let cursors: Vec<RunCursor> = runs.into_iter().map(Run::cursor).collect();
-    TreeOfLosers::new_spec(cursors, spec.clone(), Rc::clone(stats))
+pub fn merge_runs_spec(runs: Vec<Run>, spec: &SortSpec, stats: &Rc<Stats>) -> FlatMerge {
+    merge_runs_spec_owned(runs, spec.clone(), stats)
+}
+
+fn merge_runs_spec_owned(runs: Vec<Run>, spec: SortSpec, stats: &Rc<Stats>) -> FlatMerge {
+    debug_assert!(runs.iter().all(|r| r.sort_spec() == &spec));
+    FlatMerge::new(runs, spec, Rc::clone(stats))
 }
 
 /// Merge coded streams ordered under an arbitrary [`SortSpec`].
@@ -44,8 +45,7 @@ pub fn merge_streams_spec<S: OvcStream>(
 
 /// Spec-aware [`merge_runs_to_run`].
 pub fn merge_runs_to_run_spec(runs: Vec<Run>, spec: &SortSpec, stats: &Rc<Stats>) -> Run {
-    let merged: Vec<OvcRow> = merge_runs_spec(runs, spec, stats).collect();
-    Run::from_coded_spec(merged, spec.clone())
+    merge_runs_spec(runs, spec, stats).into_run()
 }
 
 /// Merge arbitrary coded streams (all sorted on the same key prefix).
@@ -58,11 +58,11 @@ pub fn merge_streams<S: OvcStream>(
     TreeOfLosers::new(inputs, key_len, Rc::clone(stats))
 }
 
-/// Merge runs and materialize the result as a single run (used by
-/// intermediate external-merge steps and LSM compaction).
+/// Merge runs and materialize the result as a single flat run (used by
+/// intermediate external-merge steps and LSM compaction) — winner rows
+/// copy straight between contiguous buffers, no boxed row anywhere.
 pub fn merge_runs_to_run(runs: Vec<Run>, key_len: usize, stats: &Rc<Stats>) -> Run {
-    let merged: Vec<OvcRow> = merge_runs(runs, key_len, stats).collect();
-    Run::from_coded(merged, key_len)
+    merge_runs(runs, key_len, stats).into_run()
 }
 
 #[cfg(test)]
@@ -90,14 +90,37 @@ mod tests {
         let merged = merge_runs_to_run(runs, 2, &stats);
         assert_eq!(merged.len(), 250);
         let pairs: Vec<(Row, Ovc)> = merged
-            .rows()
             .iter()
-            .map(|r| (r.row.clone(), r.code))
+            .map(|(r, c)| (Row::from_slice(r), c))
             .collect();
         assert_codes_exact(&pairs, 2);
         all.sort();
         let got: Vec<Row> = pairs.into_iter().map(|(r, _)| r).collect();
         assert_eq!(got, all);
+    }
+
+    #[test]
+    fn flat_merge_stream_equals_cursor_merge() {
+        // The flat merge and the generic cursor-based tree must agree row
+        // for row and code for code (same tournament, different storage).
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut runs = Vec::new();
+        for _ in 0..4 {
+            let mut rows: Vec<Row> = (0..40)
+                .map(|_| Row::new(vec![rng.gen_range(0..6u64), rng.gen()]))
+                .collect();
+            rows.sort();
+            runs.push(Run::from_sorted_rows(rows, 1));
+        }
+        let stats = Stats::new_shared();
+        let via_cursors: Vec<_> = TreeOfLosers::new(
+            runs.iter().map(|r| r.clone().cursor()).collect(),
+            1,
+            Rc::clone(&stats),
+        )
+        .collect();
+        let via_flat: Vec<_> = merge_runs(runs, 1, &stats).collect();
+        assert_eq!(via_cursors, via_flat);
     }
 
     #[test]

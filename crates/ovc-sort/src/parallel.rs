@@ -177,9 +177,9 @@ pub fn parallel_sort_distinct(
 ) -> impl OvcStream {
     let runs: Vec<Run> = parallel_generate_runs(rows, key_len, threads, memory_rows, stats)
         .into_iter()
-        .map(|run| dedup_run(run, key_len))
+        .map(Run::into_distinct)
         .collect();
-    let runs = reduce_to_fan_in(runs, key_len, fan_in, stats, dedup_run);
+    let runs = reduce_to_fan_in(runs, key_len, fan_in, stats, |run, _| run.into_distinct());
     let inner = if runs.len() <= 1 {
         SortOutput::Memory(
             runs.into_iter()
@@ -191,18 +191,6 @@ pub fn parallel_sort_distinct(
         SortOutput::Merge(merge_runs(runs, key_len, stats))
     };
     DedupCodes(inner)
-}
-
-/// Drop duplicate-coded rows from a run.  Removing a row whose code says
-/// "equal to my predecessor" leaves every surviving code exact (the
-/// predecessor it described is equal to the one it now follows).
-fn dedup_run(run: Run, key_len: usize) -> Run {
-    let rows: Vec<OvcRow> = run
-        .into_rows()
-        .into_iter()
-        .filter(|r| !r.code.is_duplicate())
-        .collect();
-    Run::from_coded(rows, key_len)
 }
 
 /// Streaming duplicate filter by code inspection (one integer test/row).
@@ -308,7 +296,7 @@ mod tests {
         assert_eq!(one.len(), 1);
         // More threads than rows clamps to one row per worker.
         let few = random_rows(3, 2, 4, 5);
-        let out = parallel_sort_collect(few.clone(), 2, 64, 16, &stats);
+        let out = parallel_sort_collect(few, 2, 64, 16, &stats);
         assert_eq!(out.len(), 3);
     }
 }

@@ -332,8 +332,7 @@ mod tests {
     fn check_runs(runs: &[Run], input: &[Row], key_len: usize) {
         let mut all: Vec<Row> = Vec::new();
         for run in runs {
-            let pairs: Vec<(Row, Ovc)> =
-                run.rows().iter().map(|r| (r.row.clone(), r.code)).collect();
+            let pairs: Vec<(Row, Ovc)> = run.iter().map(|(r, c)| (Row::from_slice(r), c)).collect();
             assert_codes_exact(&pairs, key_len);
             all.extend(pairs.into_iter().map(|(r, _)| r));
         }
@@ -390,7 +389,7 @@ mod tests {
         let runs = generate_runs_replacement(rows.clone(), 1, 4, &stats);
         assert_eq!(runs.len(), 1);
         check_runs(&runs, &rows, 1);
-        assert!(runs[0].rows()[1..].iter().all(|r| r.code.is_duplicate()));
+        assert!(runs[0].iter().skip(1).all(|(_, c)| c.is_duplicate()));
     }
 
     #[test]

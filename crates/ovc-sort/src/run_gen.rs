@@ -10,40 +10,97 @@
 //! comparisons, then prime codes in one linear pass (the "comparing …
 //! row-by-row, column-by-column" method).  Both feed the external sorter;
 //! Figure-level benches compare them.
+//!
+//! All strategies run over **flat** buffers (DESIGN.md §10): incoming
+//! rows are copied once into a contiguous `Vec<u64>` (their boxes freed
+//! immediately), the sort permutes indices or tournament entries over
+//! that buffer, and the winner sequence is gathered straight into the
+//! output run's flat storage.  No boxed row is moved, allocated, or
+//! dropped anywhere in the hot loop.
 
 use std::rc::Rc;
 
-use ovc_core::derive::{derive_codes_counted, derive_codes_spec_counted};
-use ovc_core::{compare::compare_keys_counted, Row, SortSpec, Stats};
+use ovc_core::compare::{compare_keys_counted, derive_code, derive_code_spec};
+use ovc_core::{FlatRows, Ovc, Row, SortSpec, Stats};
 
-use crate::runs::{Run, SingleRow};
-use crate::tree::TreeOfLosers;
+use crate::runs::Run;
+use crate::tree::{loser_tree, play_entries, Entry, FENCE_ENTRY};
+
+/// Accumulates incoming rows into one contiguous buffer, fixing the width
+/// from the first row and freeing each box as it lands.
+struct RowBuffer {
+    width: Option<usize>,
+    values: Vec<u64>,
+    rows: usize,
+}
+
+impl RowBuffer {
+    fn new() -> Self {
+        RowBuffer {
+            width: None,
+            values: Vec::new(),
+            rows: 0,
+        }
+    }
+
+    fn push(&mut self, row: Row) {
+        let width = *self.width.get_or_insert_with(|| row.width());
+        assert_eq!(row.width(), width, "run generation requires uniform rows");
+        self.values.extend_from_slice(row.cols());
+        self.rows += 1;
+    }
+
+    /// Take the buffered `(rows, width, values)`, leaving the buffer ready
+    /// (same width) for the next run's rows.
+    fn take(&mut self) -> (usize, usize, Vec<u64>) {
+        let width = self.width.unwrap_or(0);
+        let n = std::mem::take(&mut self.rows);
+        let cap = self.values.capacity();
+        (
+            n,
+            width,
+            std::mem::replace(&mut self.values, Vec::with_capacity(cap)),
+        )
+    }
+}
+
+/// Copy boxed rows into one contiguous buffer, returning `(row count,
+/// width, values)`.  Panics unless all rows share one width (streams are
+/// homogeneous).
+fn flatten_values(rows: Vec<Row>) -> (usize, usize, Vec<u64>) {
+    let mut buf = RowBuffer::new();
+    for row in rows {
+        buf.push(row);
+    }
+    buf.take()
+}
+
+/// Sort one flat buffer into a run under the requested strategy.
+fn sort_flat(
+    n: usize,
+    width: usize,
+    values: &[u64],
+    spec: &SortSpec,
+    strategy: RunGenStrategy,
+    stats: &Rc<Stats>,
+) -> Run {
+    if n == 0 {
+        return Run::empty_spec(spec.clone());
+    }
+    if spec.normalized() {
+        return sort_flat_normalized(n, width, values, spec, stats);
+    }
+    match strategy {
+        RunGenStrategy::OvcPriorityQueue => flat_tournament_sort(n, width, values, spec, stats),
+        RunGenStrategy::Quicksort => sort_flat_quicksort(n, width, values, spec, stats),
+        RunGenStrategy::ReplacementSelection => unreachable!("handled by caller"),
+    }
+}
 
 /// Sort rows into one run using a tree-of-losers priority queue over
 /// single-row inputs.  Codes are a by-product of the tournament.
 pub fn sort_rows_ovc(rows: Vec<Row>, key_len: usize, stats: &Rc<Stats>) -> Run {
-    if rows.is_empty() {
-        return Run::empty(key_len);
-    }
-    let singles: Vec<SingleRow> = rows
-        .into_iter()
-        .map(|r| SingleRow::new(r, key_len))
-        .collect();
-    let tree = TreeOfLosers::new(singles, key_len, Rc::clone(stats));
-    Run::from_coded(tree.collect(), key_len)
-}
-
-/// Sort rows with `sort_unstable_by` full-key comparisons, then derive
-/// codes in a linear pass.  The conventional method the paper improves on.
-pub fn sort_rows_quicksort(mut rows: Vec<Row>, key_len: usize, stats: &Rc<Stats>) -> Run {
-    rows.sort_by(|a, b| compare_keys_counted(a.key(key_len), b.key(key_len), stats));
-    let codes = derive_codes_counted(&rows, key_len, stats);
-    let coded = rows
-        .into_iter()
-        .zip(codes)
-        .map(|(row, code)| ovc_core::OvcRow::new(row, code))
-        .collect();
-    Run::from_coded(coded, key_len)
+    sort_rows_ovc_spec(rows, &SortSpec::asc(key_len), stats)
 }
 
 /// Direction-aware [`sort_rows_ovc`]: a tree-of-losers over single-row
@@ -53,35 +110,167 @@ pub fn sort_rows_quicksort(mut rows: Vec<Row>, key_len: usize, stats: &Rc<Stats>
 /// normalization pass charged as `N × K` column accesses, then pure byte
 /// comparisons) and codes are derived in a linear pass.
 pub fn sort_rows_ovc_spec(rows: Vec<Row>, spec: &SortSpec, stats: &Rc<Stats>) -> Run {
-    if rows.is_empty() {
-        return Run::empty_spec(spec.clone());
+    let (n, width, values) = flatten_values(rows);
+    sort_flat(
+        n,
+        width,
+        &values,
+        spec,
+        RunGenStrategy::OvcPriorityQueue,
+        stats,
+    )
+}
+
+/// The single-row tournament of Section 3 over a flat buffer: leaf `i` is
+/// row `i` in place; the build-up plays initial codes (each relative to
+/// "−∞"), every pop replays one leaf-to-root path of same-base code
+/// comparisons, and the winner's columns are copied slice-to-slice into
+/// the output run.  Bit-identical comparisons, codes, and counters to the
+/// boxed-row formulation it replaces.
+fn flat_tournament_sort(
+    n: usize,
+    width: usize,
+    values: &[u64],
+    spec: &SortSpec,
+    stats: &Rc<Stats>,
+) -> Run {
+    let k = spec.len();
+    let asc = spec.is_asc_prefix();
+    let key_of = |e: Entry| -> &[u64] {
+        let i = e.run as usize;
+        if i < n {
+            &values[i * width..i * width + k]
+        } else {
+            &[]
+        }
+    };
+
+    let cap = n.next_power_of_two().max(1);
+    let mut nodes = vec![FENCE_ENTRY; cap];
+    let mut play = |a: Entry, b: Entry| -> (Entry, Entry) {
+        play_entries(a, b, key_of(a), key_of(b), spec, asc, stats)
+    };
+    let mut winner = loser_tree::build(
+        &mut nodes,
+        cap,
+        &mut |r| {
+            if r < n {
+                spec.initial_code(&values[r * width..r * width + k])
+            } else {
+                Ovc::LATE_FENCE
+            }
+        },
+        &mut play,
+    );
+
+    let mut out = FlatRows::with_capacity(width, n);
+    while !winner.code.is_late_fence() {
+        let w = winner.run as usize;
+        out.push(&values[w * width..(w + 1) * width], winner.code);
+        // A single-row input is exhausted after its win: its successor is
+        // a permanent late fence.
+        let cand = Entry {
+            code: Ovc::LATE_FENCE,
+            run: w as u32,
+        };
+        winner = loser_tree::replay(&mut nodes, cap, w, cand, &mut play);
     }
-    if spec.normalized() {
-        return sort_rows_normalized(rows, spec, stats);
+    debug_assert_eq!(out.len(), n);
+    Run::from_flat(out, spec.clone())
+}
+
+/// Sort rows with stable full-key comparisons over an index permutation,
+/// then derive codes in a linear pass while gathering the sorted flat
+/// output.  The conventional method the paper improves on.
+pub fn sort_rows_quicksort(rows: Vec<Row>, key_len: usize, stats: &Rc<Stats>) -> Run {
+    sort_rows_quicksort_spec(rows, &SortSpec::asc(key_len), stats)
+}
+
+fn sort_flat_quicksort(
+    n: usize,
+    width: usize,
+    values: &[u64],
+    spec: &SortSpec,
+    stats: &Rc<Stats>,
+) -> Run {
+    let k = spec.len();
+    let key = |i: u32| -> &[u64] {
+        let i = i as usize * width;
+        &values[i..i + k]
+    };
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    if spec.is_asc_prefix() {
+        idx.sort_by(|&a, &b| compare_keys_counted(key(a), key(b), stats));
+    } else {
+        idx.sort_by(|&a, &b| {
+            stats.count_row_cmp();
+            let (ak, bk) = (key(a), key(b));
+            for i in 0..k {
+                stats.count_col_cmp();
+                match spec.cmp_values(i, ak[i], bk[i]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
     }
-    let singles: Vec<SingleRow> = rows
-        .into_iter()
-        .map(|r| SingleRow::new_spec(r, spec))
-        .collect();
-    let tree = TreeOfLosers::new_spec(singles, spec.clone(), Rc::clone(stats));
-    Run::from_coded_spec(tree.collect(), spec.clone())
+    gather_with_codes(&idx, width, values, spec, stats)
 }
 
 /// Sort by normalized keys: one byte-string encode per row (charged as
-/// `key_len` column accesses, the CFC encode cost), a bytewise sort, and
-/// a linear code-priming pass.  Output rows and codes are identical to
-/// the column-comparison strategies under the same spec.
-fn sort_rows_normalized(mut rows: Vec<Row>, spec: &SortSpec, stats: &Rc<Stats>) -> Run {
+/// `key_len` column accesses, the CFC encode cost), a bytewise sort over
+/// the index permutation, and a linear code-priming pass during the
+/// gather.  Output rows and codes are identical to the column-comparison
+/// strategies under the same spec.
+fn sort_flat_normalized(
+    n: usize,
+    width: usize,
+    values: &[u64],
+    spec: &SortSpec,
+    stats: &Rc<Stats>,
+) -> Run {
     let k = spec.len();
-    stats.count_col_cmps((rows.len() * k) as u64);
-    rows.sort_by_cached_key(|r| spec.normalize_key(r.key(k)));
-    let codes = derive_codes_spec_counted(&rows, spec, stats);
-    let coded = rows
-        .into_iter()
-        .zip(codes)
-        .map(|(row, code)| ovc_core::OvcRow::new(row, code))
-        .collect();
-    Run::from_coded_spec(coded, spec.clone())
+    stats.count_col_cmps((n * k) as u64);
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_by_cached_key(|&i| {
+        spec.normalize_key(&values[i as usize * width..i as usize * width + k])
+    });
+    gather_with_codes(&idx, width, values, spec, stats)
+}
+
+/// Direction-aware [`sort_rows_quicksort`]: full-key comparisons under
+/// the spec over an index permutation, then a linear code-priming pass.
+pub fn sort_rows_quicksort_spec(rows: Vec<Row>, spec: &SortSpec, stats: &Rc<Stats>) -> Run {
+    let (n, width, values) = flatten_values(rows);
+    sort_flat(n, width, &values, spec, RunGenStrategy::Quicksort, stats)
+}
+
+/// Gather rows of a flat buffer in `idx` order into a new run, deriving
+/// each code against the previous gathered row (first row relative to
+/// "−∞").
+fn gather_with_codes(
+    idx: &[u32],
+    width: usize,
+    values: &[u64],
+    spec: &SortSpec,
+    stats: &Rc<Stats>,
+) -> Run {
+    let k = spec.len();
+    let asc = spec.is_asc_prefix();
+    let mut out = FlatRows::with_capacity(width, idx.len());
+    let mut prev: Option<&[u64]> = None;
+    for &i in idx {
+        let row = &values[i as usize * width..(i as usize + 1) * width];
+        let code = match prev {
+            None => spec.initial_code(&row[..k]),
+            Some(p) if asc => derive_code(p, &row[..k], stats),
+            Some(p) => derive_code_spec(p, &row[..k], spec, stats),
+        };
+        out.push(row, code);
+        prev = Some(&row[..k]);
+    }
+    Run::from_flat(out, spec.clone())
 }
 
 /// How initial runs are produced.
@@ -114,32 +303,36 @@ where
     if strategy == RunGenStrategy::ReplacementSelection {
         return crate::replacement::generate_runs_replacement(input, key_len, memory_rows, stats);
     }
-    let mut runs = Vec::new();
-    let mut buffer: Vec<Row> = Vec::with_capacity(memory_rows);
-    for row in input {
-        buffer.push(row);
-        if buffer.len() == memory_rows {
-            runs.push(sort_buffer(
-                std::mem::take(&mut buffer),
-                key_len,
-                strategy,
-                stats,
-            ));
-            buffer.reserve(memory_rows);
-        }
-    }
-    if !buffer.is_empty() {
-        runs.push(sort_buffer(buffer, key_len, strategy, stats));
-    }
-    runs
+    generate_runs_flat(input, &SortSpec::asc(key_len), memory_rows, strategy, stats)
 }
 
-fn sort_buffer(rows: Vec<Row>, key_len: usize, strategy: RunGenStrategy, stats: &Rc<Stats>) -> Run {
-    match strategy {
-        RunGenStrategy::OvcPriorityQueue => sort_rows_ovc(rows, key_len, stats),
-        RunGenStrategy::Quicksort => sort_rows_quicksort(rows, key_len, stats),
-        RunGenStrategy::ReplacementSelection => unreachable!("handled by caller"),
+/// The shared flat-buffered loop: rows land straight in a contiguous
+/// buffer (one copy, boxes freed on arrival) which each full window sorts
+/// in place.
+fn generate_runs_flat<I>(
+    input: I,
+    spec: &SortSpec,
+    memory_rows: usize,
+    strategy: RunGenStrategy,
+    stats: &Rc<Stats>,
+) -> Vec<Run>
+where
+    I: IntoIterator<Item = Row>,
+{
+    let mut runs = Vec::new();
+    let mut buffer = RowBuffer::new();
+    for row in input {
+        buffer.push(row);
+        if buffer.rows == memory_rows {
+            let (n, width, values) = buffer.take();
+            runs.push(sort_flat(n, width, &values, spec, strategy, stats));
+        }
     }
+    if buffer.rows > 0 {
+        let (n, width, values) = buffer.take();
+        runs.push(sort_flat(n, width, &values, spec, strategy, stats));
+    }
+    runs
 }
 
 /// Direction-aware [`generate_runs`]: initial runs ordered under `spec`.
@@ -169,71 +362,13 @@ where
         strategy != RunGenStrategy::ReplacementSelection,
         "replacement selection supports ascending-prefix specs only"
     );
-    let mut runs = Vec::new();
-    let mut buffer: Vec<Row> = Vec::with_capacity(memory_rows);
-    for row in input {
-        buffer.push(row);
-        if buffer.len() == memory_rows {
-            runs.push(sort_buffer_spec(
-                std::mem::take(&mut buffer),
-                spec,
-                strategy,
-                stats,
-            ));
-            buffer.reserve(memory_rows);
-        }
-    }
-    if !buffer.is_empty() {
-        runs.push(sort_buffer_spec(buffer, spec, strategy, stats));
-    }
-    runs
-}
-
-fn sort_buffer_spec(
-    rows: Vec<Row>,
-    spec: &SortSpec,
-    strategy: RunGenStrategy,
-    stats: &Rc<Stats>,
-) -> Run {
-    match strategy {
-        RunGenStrategy::OvcPriorityQueue => sort_rows_ovc_spec(rows, spec, stats),
-        RunGenStrategy::Quicksort => sort_rows_quicksort_spec(rows, spec, stats),
-        RunGenStrategy::ReplacementSelection => unreachable!("rejected by caller"),
-    }
-}
-
-/// Direction-aware [`sort_rows_quicksort`]: full-key comparisons under
-/// the spec, then a linear code-priming pass.
-pub fn sort_rows_quicksort_spec(mut rows: Vec<Row>, spec: &SortSpec, stats: &Rc<Stats>) -> Run {
-    if spec.normalized() {
-        return sort_rows_normalized(rows, spec, stats);
-    }
-    let k = spec.len();
-    rows.sort_by(|a, b| {
-        stats.count_row_cmp();
-        for i in 0..k {
-            stats.count_col_cmp();
-            match spec.cmp_values(i, a.key(k)[i], b.key(k)[i]) {
-                std::cmp::Ordering::Equal => continue,
-                other => return other,
-            }
-        }
-        std::cmp::Ordering::Equal
-    });
-    let codes = derive_codes_spec_counted(&rows, spec, stats);
-    let coded = rows
-        .into_iter()
-        .zip(codes)
-        .map(|(row, code)| ovc_core::OvcRow::new(row, code))
-        .collect();
-    Run::from_coded_spec(coded, spec.clone())
+    generate_runs_flat(input, spec, memory_rows, strategy, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ovc_core::derive::assert_codes_exact;
-    use ovc_core::Ovc;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -245,7 +380,7 @@ mod tests {
     }
 
     fn check_run(run: &Run, rows: &[Row], key_len: usize) {
-        let pairs: Vec<(Row, Ovc)> = run.rows().iter().map(|r| (r.row.clone(), r.code)).collect();
+        let pairs: Vec<(Row, Ovc)> = run.iter().map(|(r, c)| (Row::from_slice(r), c)).collect();
         assert_codes_exact(&pairs, key_len);
         let mut expect: Vec<Row> = rows.to_vec();
         expect.sort();
@@ -274,13 +409,9 @@ mod tests {
         let stats = Stats::new_shared();
         let a = sort_rows_ovc(rows.clone(), 2, &stats);
         let b = sort_rows_quicksort(rows, 2, &stats);
-        let keys = |run: &Run| -> Vec<Vec<u64>> {
-            run.rows().iter().map(|r| r.row.key(2).to_vec()).collect()
-        };
-        assert_eq!(keys(&a), keys(&b));
-        // And byte-identical codes, since codes are determined by the data.
-        let codes = |run: &Run| -> Vec<Ovc> { run.rows().iter().map(|r| r.code).collect() };
-        assert_eq!(codes(&a), codes(&b));
+        // Byte-identical rows and codes, since both are determined by the
+        // data alone.
+        assert_eq!(a.flat(), b.flat());
     }
 
     #[test]
@@ -308,7 +439,7 @@ mod tests {
         let stats = Stats::new_shared();
         let run = sort_rows_ovc(rows.clone(), 2, &stats);
         check_run(&run, &rows, 2);
-        assert!(run.rows()[1..].iter().all(|r| r.code.is_duplicate()));
+        assert!(run.iter().skip(1).all(|(_, c)| c.is_duplicate()));
     }
 
     #[test]
@@ -316,7 +447,7 @@ mod tests {
         let stats = Stats::new_shared();
         let run = sort_rows_ovc(vec![Row::new(vec![9])], 1, &stats);
         assert_eq!(run.len(), 1);
-        assert_eq!(run.rows()[0].code, Ovc::new(0, 9, 1));
+        assert_eq!(run.code(0), Ovc::new(0, 9, 1));
     }
 
     #[test]
@@ -334,5 +465,12 @@ mod tests {
             s_ovc.col_value_cmps(),
             s_qs.col_value_cmps()
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform rows")]
+    fn mixed_width_rows_are_rejected() {
+        let stats = Stats::new_shared();
+        let _ = sort_rows_ovc(vec![Row::new(vec![1, 2]), Row::new(vec![1])], 1, &stats);
     }
 }

@@ -7,20 +7,27 @@
 //! for rows in sorted runs are a byproduct of run generation.  These
 //! offset-value codes later improve the efficiency of merging"
 //! (Section 5).
+//!
+//! Since the flat-layout refactor (DESIGN.md §10) a run stores its rows in
+//! one contiguous [`FlatRows`] buffer — fixed row width, values and codes
+//! in parallel vectors — instead of a `Vec` of boxed rows.  Merging reads
+//! each run sequentially in place and copies winner rows slice-to-slice;
+//! [`OvcRow`]s are materialized only at stream boundaries ([`RunCursor`]).
 
 use ovc_core::derive::{derive_codes, derive_codes_spec};
-use ovc_core::{Ovc, OvcRow, OvcStream, Row, SortSpec};
+use ovc_core::{FlatRows, Ovc, OvcRow, OvcStream, Row, SortSpec};
 
-/// A sorted, coded, in-memory run.
+/// A sorted, coded, in-memory run in flat columnar layout.
 #[derive(Clone, Debug)]
 pub struct Run {
-    rows: Vec<OvcRow>,
+    flat: FlatRows,
     spec: SortSpec,
 }
 
 impl Run {
-    /// Wrap rows that already carry exact codes (e.g. merge output).
-    /// Debug builds verify the contract.
+    /// Wrap rows that already carry exact codes (e.g. merge output),
+    /// flattening them into the contiguous layout.  Debug builds verify
+    /// the contract.
     pub fn from_coded(rows: Vec<OvcRow>, key_len: usize) -> Self {
         Self::from_coded_spec(rows, SortSpec::asc(key_len))
     }
@@ -28,27 +35,35 @@ impl Run {
     /// Wrap rows coded under an explicit [`SortSpec`].  Debug builds
     /// verify the spec's stream contract.
     pub fn from_coded_spec(rows: Vec<OvcRow>, spec: SortSpec) -> Self {
+        Self::from_flat(FlatRows::from_ovc_rows(rows, spec.len()), spec)
+    }
+
+    /// Wrap an already-coded flat buffer.  Debug builds verify the spec's
+    /// stream contract directly on the stored representation — no clones.
+    pub fn from_flat(flat: FlatRows, spec: SortSpec) -> Self {
         #[cfg(debug_assertions)]
         {
-            let pairs: Vec<(Row, Ovc)> = rows.iter().map(|r| (r.row.clone(), r.code)).collect();
-            if let Some(i) = ovc_core::derive::find_code_violation_spec(&pairs, &spec) {
-                panic!("Run::from_coded: code violation at row {i} under {spec}");
+            if let Some(i) = ovc_core::derive::find_code_violation_slices(flat.iter(), &spec) {
+                panic!("Run::from_flat: code violation at row {i} under {spec}");
             }
         }
-        Run { rows, spec }
+        Run { flat, spec }
+    }
+
+    /// As [`Run::from_flat`] without the debug validation — for merge
+    /// outputs whose exactness is guaranteed by construction and re-checked
+    /// by the property tests (validating every intermediate merge level
+    /// would make debug externs quadratic).
+    pub(crate) fn from_flat_trusted(flat: FlatRows, spec: SortSpec) -> Self {
+        Run { flat, spec }
     }
 
     /// Derive codes for an already-sorted row vector.
     pub fn from_sorted_rows(rows: Vec<Row>, key_len: usize) -> Self {
         debug_assert!(ovc_core::derive::is_sorted(&rows, key_len));
         let codes = derive_codes(&rows, key_len);
-        let rows = rows
-            .into_iter()
-            .zip(codes)
-            .map(|(row, code)| OvcRow::new(row, code))
-            .collect();
         Run {
-            rows,
+            flat: flatten(rows, codes, key_len),
             spec: SortSpec::asc(key_len),
         }
     }
@@ -57,12 +72,8 @@ impl Run {
     pub fn from_sorted_rows_spec(rows: Vec<Row>, spec: SortSpec) -> Self {
         debug_assert!(ovc_core::derive::is_sorted_spec(&rows, &spec));
         let codes = derive_codes_spec(&rows, &spec);
-        let rows = rows
-            .into_iter()
-            .zip(codes)
-            .map(|(row, code)| OvcRow::new(row, code))
-            .collect();
-        Run { rows, spec }
+        let flat = flatten(rows, codes, spec.len());
+        Run { flat, spec }
     }
 
     /// An empty run.
@@ -73,19 +84,19 @@ impl Run {
     /// An empty run under an explicit spec.
     pub fn empty_spec(spec: SortSpec) -> Self {
         Run {
-            rows: Vec::new(),
+            flat: FlatRows::new(spec.len()),
             spec,
         }
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.flat.len()
     }
 
     /// Is the run empty?
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.flat.is_empty()
     }
 
     /// Sort-key arity of the run's codes.
@@ -93,25 +104,59 @@ impl Run {
         self.spec.len()
     }
 
+    /// Columns per row.
+    pub fn width(&self) -> usize {
+        self.flat.width()
+    }
+
     /// The ordering contract the run's rows and codes follow.
     pub fn sort_spec(&self) -> &SortSpec {
         &self.spec
     }
 
-    /// Borrow the coded rows.
-    pub fn rows(&self) -> &[OvcRow] {
-        &self.rows
+    /// Borrow the flat storage.
+    pub fn flat(&self) -> &FlatRows {
+        &self.flat
     }
 
-    /// Consume into the coded rows.
+    /// Consume into the flat storage.
+    pub fn into_flat(self) -> FlatRows {
+        self.flat
+    }
+
+    /// All columns of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        self.flat.row(i)
+    }
+
+    /// Code of row `i`.
+    #[inline]
+    pub fn code(&self, i: usize) -> Ovc {
+        self.flat.code(i)
+    }
+
+    /// Iterate `(columns, code)` pairs in place.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u64], Ovc)> + '_ {
+        self.flat.iter()
+    }
+
+    /// Materialize boxed coded rows (test/boundary convenience; one
+    /// allocation per row).
+    pub fn to_ovc_rows(&self) -> Vec<OvcRow> {
+        self.flat.to_ovc_rows()
+    }
+
+    /// Consume into boxed coded rows (materializing).
     pub fn into_rows(self) -> Vec<OvcRow> {
-        self.rows
+        self.flat.to_ovc_rows()
     }
 
     /// A consuming cursor for merging.
     pub fn cursor(self) -> RunCursor {
         RunCursor {
-            iter: self.rows.into_iter(),
+            flat: self.flat,
+            pos: 0,
             spec: self.spec,
         }
     }
@@ -119,26 +164,70 @@ impl Run {
     /// Total payload bytes a spill of this run would write (8 bytes per
     /// column plus the 8-byte code per row) — used for I/O accounting.
     pub fn spill_bytes(&self) -> u64 {
-        self.rows
-            .iter()
-            .map(|r| (r.row.width() as u64 + 1) * 8)
-            .sum()
+        ((self.flat.values().len() + self.flat.codes().len()) * 8) as u64
+    }
+
+    /// Drop duplicate-coded rows (one integer test per row): the in-sort
+    /// duplicate removal of Figure 5.  Removing a row whose code says
+    /// "equal to my predecessor" leaves every surviving code exact, and
+    /// survivors copy slice-to-slice between flat buffers — no boxing.
+    pub fn into_distinct(self) -> Run {
+        let flat = self.flat.retain_indices(|_, c| !c.is_duplicate());
+        Run {
+            flat,
+            spec: self.spec,
+        }
     }
 }
 
-/// Consuming cursor over a run's coded rows.
+/// Build a flat buffer from boxed rows plus their codes.
+fn flatten(rows: Vec<Row>, codes: Vec<Ovc>, fallback_width: usize) -> FlatRows {
+    let width = rows.first().map(Row::width).unwrap_or(fallback_width);
+    let mut flat = FlatRows::with_capacity(width, rows.len());
+    for (row, code) in rows.into_iter().zip(codes) {
+        flat.push(row.cols(), code);
+    }
+    flat
+}
+
+/// Consuming cursor over a run's coded rows, materializing each
+/// [`OvcRow`] from the flat buffer as it streams out.
 pub struct RunCursor {
-    iter: std::vec::IntoIter<OvcRow>,
+    flat: FlatRows,
+    pos: usize,
     spec: SortSpec,
+}
+
+impl RunCursor {
+    /// Rewrap an **unconsumed** cursor as its run (flat, zero-copy).
+    /// Panics if rows have already streamed out — the remainder of a
+    /// partially-consumed cursor is not a valid coded run on its own
+    /// (its first code is relative to a row that is gone).
+    pub(crate) fn into_run(self) -> Run {
+        assert_eq!(self.pos, 0, "cannot rewrap a partially-consumed cursor");
+        Run {
+            flat: self.flat,
+            spec: self.spec,
+        }
+    }
 }
 
 impl Iterator for RunCursor {
     type Item = OvcRow;
     fn next(&mut self) -> Option<OvcRow> {
-        self.iter.next()
+        if self.pos >= self.flat.len() {
+            return None;
+        }
+        let r = OvcRow::new(
+            Row::from_slice(self.flat.row(self.pos)),
+            self.flat.code(self.pos),
+        );
+        self.pos += 1;
+        Some(r)
     }
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.iter.size_hint()
+        let left = self.flat.len() - self.pos;
+        (left, Some(left))
     }
 }
 
@@ -148,40 +237,6 @@ impl OvcStream for RunCursor {
     }
     fn sort_spec(&self) -> SortSpec {
         self.spec.clone()
-    }
-}
-
-/// A cursor over exactly one row — run generation "merges 'sorted' runs of
-/// a single row each" (Section 3).  The row is coded relative to "−∞".
-pub struct SingleRow {
-    row: Option<OvcRow>,
-}
-
-impl SingleRow {
-    /// Wrap one row, priming its code (the only column-value access the
-    /// whole sort needs in the best case — see Section 7's "extreme case
-    /// with a unique first column").
-    pub fn new(row: Row, key_len: usize) -> Self {
-        let code = Ovc::initial(row.key(key_len));
-        SingleRow {
-            row: Some(OvcRow::new(row, code)),
-        }
-    }
-
-    /// Wrap one row priming its code under `spec` (direction-encoded
-    /// initial value).
-    pub fn new_spec(row: Row, spec: &SortSpec) -> Self {
-        let code = spec.initial_code(row.key(spec.len()));
-        SingleRow {
-            row: Some(OvcRow::new(row, code)),
-        }
-    }
-}
-
-impl Iterator for SingleRow {
-    type Item = OvcRow;
-    fn next(&mut self) -> Option<OvcRow> {
-        self.row.take()
     }
 }
 
@@ -195,7 +250,7 @@ mod tests {
         assert_eq!(run.len(), 7);
         assert!(!run.is_empty());
         assert_eq!(run.key_len(), 4);
-        let codes: Vec<Ovc> = run.rows().iter().map(|r| r.code).collect();
+        let codes: Vec<Ovc> = run.iter().map(|(_, c)| c).collect();
         assert_eq!(codes, ovc_core::table1::asc_codes());
     }
 
@@ -207,6 +262,17 @@ mod tests {
     }
 
     #[test]
+    fn flat_layout_round_trips_boxed_rows() {
+        let run = Run::from_sorted_rows(ovc_core::table1::rows(), 4);
+        let boxed = run.to_ovc_rows();
+        let again = Run::from_coded(boxed.clone(), 4);
+        assert_eq!(again.flat(), run.flat());
+        assert_eq!(again.into_rows(), boxed);
+        assert_eq!(run.width(), 4);
+        assert_eq!(run.row(0), ovc_core::table1::rows()[0].cols());
+    }
+
+    #[test]
     fn spill_bytes_counts_columns_and_code() {
         let run = Run::from_sorted_rows(vec![Row::new(vec![1, 2, 3])], 2);
         // 3 columns + 1 code word = 32 bytes.
@@ -215,11 +281,16 @@ mod tests {
     }
 
     #[test]
-    fn single_row_cursor() {
-        let mut c = SingleRow::new(Row::new(vec![7, 8]), 2);
-        let r = c.next().unwrap();
-        assert_eq!(r.code, Ovc::new(0, 7, 2));
-        assert!(c.next().is_none());
+    fn into_distinct_drops_duplicate_coded_rows() {
+        let rows = vec![
+            Row::new(vec![1, 9]),
+            Row::new(vec![1, 9]),
+            Row::new(vec![2, 0]),
+        ];
+        let run = Run::from_sorted_rows(rows, 2).into_distinct();
+        assert_eq!(run.len(), 2);
+        assert_eq!(run.row(1), &[2, 0]);
+        assert!(run.iter().all(|(_, c)| !c.is_duplicate()));
     }
 
     #[test]

@@ -202,7 +202,7 @@ mod tests {
         let rows = make_input(300, 1);
         // Input stream: sorted on column 0 (A) only as far as codes of
         // arity 1 are concerned.
-        let input = VecStream::from_sorted_rows(rows.clone(), 1);
+        let input = VecStream::from_sorted_rows(rows, 1);
         let stats = Stats::new_shared();
         let seg = SegmentedSort::new(input, 1, 2, Rc::clone(&stats));
         let pairs = collect_pairs(seg);
@@ -240,7 +240,7 @@ mod tests {
         let rows: Vec<Row> = (0..50).map(|i| Row::new(vec![7, (i * 13) % 50])).collect();
         let input = VecStream::from_sorted_rows(
             {
-                let mut r = rows.clone();
+                let mut r = rows;
                 r.sort_by_key(|x| x.cols()[0]);
                 r
             },

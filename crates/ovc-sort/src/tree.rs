@@ -32,15 +32,151 @@
 use std::cmp::Ordering;
 use std::rc::Rc;
 
-use ovc_core::compare::compare_same_base_spec;
-use ovc_core::{Ovc, OvcRow, OvcStream, Row, SortSpec, Stats};
+use ovc_core::compare::{compare_same_base, compare_same_base_spec};
+use ovc_core::{FlatRows, Ovc, OvcRow, OvcStream, Row, SortSpec, Stats};
+
+use crate::runs::Run;
 
 /// A tree node: an offset-value code plus a run identifier.  16 bytes, so a
 /// queue of 512–1024 entries fits an L1 cache as Section 3 envisions.
 #[derive(Clone, Copy, Debug)]
-struct Entry {
-    code: Ovc,
-    run: u32,
+pub(crate) struct Entry {
+    pub(crate) code: Ovc,
+    pub(crate) run: u32,
+}
+
+/// Play one match between two entries whose keys are `a_key`/`b_key`:
+/// returns `(winner, loser)` with the loser's code adjusted relative to
+/// the winner where required.  Shared by the cursor-based
+/// [`TreeOfLosers`], the flat-run [`FlatMerge`], and flat run generation —
+/// all three must produce bit-identical tournaments.
+///
+/// `asc` is the caller's cached `spec.is_asc_prefix()`: the all-ascending
+/// case (the paper's default throughout) skips the per-column direction
+/// dispatch entirely.  Both comparators implement the same two theorems
+/// with identical counting, so the dispatch is purely mechanical.
+#[inline]
+pub(crate) fn play_entries(
+    mut a: Entry,
+    mut b: Entry,
+    a_key: &[u64],
+    b_key: &[u64],
+    spec: &SortSpec,
+    asc: bool,
+    stats: &Stats,
+) -> (Entry, Entry) {
+    let ord = if asc {
+        compare_same_base(a_key, b_key, &mut a.code, &mut b.code, stats)
+    } else {
+        compare_same_base_spec(a_key, b_key, &mut a.code, &mut b.code, spec, stats)
+    };
+    match ord {
+        Ordering::Less => (a, b),
+        Ordering::Greater => (b, a),
+        Ordering::Equal => {
+            // Equal keys (or two fences).  Lower run index wins so the
+            // merge is stable; an equal-key loser is a duplicate of the
+            // winner.
+            let (w, mut l) = if a.run <= b.run { (a, b) } else { (b, a) };
+            if l.code.is_valid() {
+                l.code = Ovc::duplicate();
+            }
+            (w, l)
+        }
+    }
+}
+
+/// The array-embedded tournament mechanics shared by every engine in this
+/// crate — the cursor-based [`TreeOfLosers`], the flat-run [`FlatMerge`],
+/// and run generation's single-row tournament.  One copy of the walk means
+/// the three cannot diverge: slot 0 unused, slots `1..cap` hold losers,
+/// leaves `cap..2*cap` are implicit.
+pub(crate) mod loser_tree {
+    use super::Entry;
+    use ovc_core::Ovc;
+
+    /// Run the initial tournament, storing losers in `nodes[1..cap]` and
+    /// returning the overall winner.  `leaf_code(r)` supplies leaf `r`'s
+    /// first code ([`Ovc::LATE_FENCE`] for absent leaves).  Build is the
+    /// cold path, so the callbacks are dyn — the recursion stays simple.
+    pub(crate) fn build(
+        nodes: &mut [Entry],
+        cap: usize,
+        leaf_code: &mut dyn FnMut(usize) -> Ovc,
+        play: &mut dyn FnMut(Entry, Entry) -> (Entry, Entry),
+    ) -> Entry {
+        build_node(1, nodes, cap, leaf_code, play)
+    }
+
+    fn build_node(
+        node: usize,
+        nodes: &mut [Entry],
+        cap: usize,
+        leaf_code: &mut dyn FnMut(usize) -> Ovc,
+        play: &mut dyn FnMut(Entry, Entry) -> (Entry, Entry),
+    ) -> Entry {
+        if node >= cap {
+            let r = node - cap;
+            return Entry {
+                code: leaf_code(r),
+                run: r as u32,
+            };
+        }
+        let a = build_node(2 * node, nodes, cap, leaf_code, play);
+        let b = build_node(2 * node + 1, nodes, cap, leaf_code, play);
+        let (w, l) = play(a, b);
+        nodes[node] = l;
+        w
+    }
+
+    /// One comparison per tree level: the candidate (leaf `leaf`'s
+    /// successor) retraces the prior winner's leaf-to-root path, swapping
+    /// with stored losers it loses to; returns the new overall winner.
+    #[inline]
+    pub(crate) fn replay(
+        nodes: &mut [Entry],
+        cap: usize,
+        leaf: usize,
+        mut cand: Entry,
+        play: &mut impl FnMut(Entry, Entry) -> (Entry, Entry),
+    ) -> Entry {
+        let mut node = (cap + leaf) >> 1;
+        while node >= 1 {
+            let stored = nodes[node];
+            let (win, lose) = play(cand, stored);
+            nodes[node] = lose;
+            cand = win;
+            node >>= 1;
+        }
+        cand
+    }
+}
+
+/// A node holding the late fence (empty leaf / pre-build placeholder).
+pub(crate) const FENCE_ENTRY: Entry = Entry {
+    code: Ovc::LATE_FENCE,
+    run: 0,
+};
+
+/// Key slice of an entry's current row in a cursor-based tree (empty for
+/// fences; only read when both codes are valid and equal, in which case
+/// rows exist).
+#[inline]
+fn cursor_key(cur: &[Option<Row>], key_len: usize, e: Entry) -> &[u64] {
+    cur.get(e.run as usize)
+        .and_then(|r| r.as_ref())
+        .map(|r| r.key(key_len))
+        .unwrap_or(&[])
+}
+
+/// Key slice of an entry's current row in a flat-run merge.
+#[inline]
+fn flat_key<'a>(runs: &'a [FlatRows], pos: &[usize], key_len: usize, e: Entry) -> &'a [u64] {
+    let r = e.run as usize;
+    match runs.get(r) {
+        Some(run) if pos[r] < run.len() => run.key(pos[r], key_len),
+        _ => &[],
+    }
 }
 
 /// Tree-of-losers priority queue merging `F` cursors of coded rows.
@@ -62,6 +198,9 @@ pub struct TreeOfLosers<C: Iterator<Item = OvcRow>> {
     /// Leaf count: `cursors.len()` rounded up to a power of two.
     cap: usize,
     spec: SortSpec,
+    /// Cached `spec.is_asc_prefix()` — selects the direction-free
+    /// comparator in [`play_entries`].
+    asc: bool,
     stats: Rc<Stats>,
 }
 
@@ -95,88 +234,38 @@ impl<C: Iterator<Item = OvcRow>> TreeOfLosers<C> {
                 }
             }
         }
-        let mut tree = TreeOfLosers {
-            cursors,
-            cur,
-            nodes: vec![
-                Entry {
-                    code: Ovc::LATE_FENCE,
-                    run: 0
-                };
-                cap
-            ],
-            winner: Entry {
-                code: Ovc::LATE_FENCE,
-                run: 0,
-            },
-            cap,
-            spec,
-            stats,
-        };
-        tree.winner = tree.build(1, &first_codes);
-        tree
-    }
-
-    /// Key slice of an entry's current row (empty for fences; only read
-    /// when both codes are valid and equal, in which case rows exist).
-    #[inline]
-    fn key_of(&self, e: Entry) -> &[u64] {
-        self.cur
-            .get(e.run as usize)
-            .and_then(|r| r.as_ref())
-            .map(|r| r.key(self.spec.len()))
-            .unwrap_or(&[])
-    }
-
-    /// Play one match: returns `(winner, loser)` with the loser's code
-    /// adjusted relative to the winner where required.
-    #[inline]
-    fn play(&self, mut a: Entry, mut b: Entry) -> (Entry, Entry) {
-        let ord = {
-            // Split borrows: keys are reads of `cur`, codes are locals.
-            let a_key = self.key_of(a);
-            let b_key = self.key_of(b);
-            compare_same_base_spec(
-                a_key,
-                b_key,
-                &mut a.code,
-                &mut b.code,
-                &self.spec,
-                &self.stats,
+        let asc = spec.is_asc_prefix();
+        let k = spec.len();
+        let mut nodes = vec![FENCE_ENTRY; cap];
+        let winner = {
+            let mut play = |a: Entry, b: Entry| {
+                play_entries(
+                    a,
+                    b,
+                    cursor_key(&cur, k, a),
+                    cursor_key(&cur, k, b),
+                    &spec,
+                    asc,
+                    &stats,
+                )
+            };
+            loser_tree::build(
+                &mut nodes,
+                cap,
+                &mut |r| first_codes.get(r).copied().unwrap_or(Ovc::LATE_FENCE),
+                &mut play,
             )
         };
-        match ord {
-            Ordering::Less => (a, b),
-            Ordering::Greater => (b, a),
-            Ordering::Equal => {
-                // Equal keys (or two fences).  Lower run index wins so the
-                // merge is stable; an equal-key loser is a duplicate of the
-                // winner.
-                let (w, mut l) = if a.run <= b.run { (a, b) } else { (b, a) };
-                if l.code.is_valid() {
-                    l.code = Ovc::duplicate();
-                }
-                (w, l)
-            }
+        TreeOfLosers {
+            cursors,
+            cur,
+            nodes,
+            winner,
+            cap,
+            asc,
+            spec,
+            stats,
         }
-    }
-
-    /// Recursively run the initial tournament below `node`, storing losers,
-    /// returning the subtree winner.
-    fn build(&mut self, node: usize, first_codes: &[Ovc]) -> Entry {
-        if node >= self.cap {
-            let r = node - self.cap;
-            let code = first_codes.get(r).copied().unwrap_or(Ovc::LATE_FENCE);
-            return Entry {
-                code,
-                run: r as u32,
-            };
-        }
-        let a = self.build(2 * node, first_codes);
-        let b = self.build(2 * node + 1, first_codes);
-        let (w, l) = self.play(a, b);
-        self.nodes[node] = l;
-        w
     }
 
     /// Number of leaves (padded fan-in).
@@ -213,7 +302,7 @@ impl<C: Iterator<Item = OvcRow>> Iterator for TreeOfLosers<C> {
         // Fetch the winner's successor from the same input; it is coded
         // relative to the row just output (prefix truncation within the
         // run), so the leaf-to-root pass below compares same-base codes.
-        let mut cand = match self.cursors[w].next() {
+        let cand = match self.cursors[w].next() {
             Some(OvcRow { row, code }) => {
                 self.cur[w] = Some(row);
                 Entry {
@@ -229,20 +318,227 @@ impl<C: Iterator<Item = OvcRow>> Iterator for TreeOfLosers<C> {
 
         // One comparison per tree level: the candidate retraces the prior
         // winner's leaf-to-root path.
-        let mut node = (self.cap + w) >> 1;
-        while node >= 1 {
-            let stored = self.nodes[node];
-            let (win, lose) = self.play(cand, stored);
-            self.nodes[node] = lose;
-            cand = win;
-            node >>= 1;
-        }
-        self.winner = cand;
+        let (cur, spec, asc, stats) = (&self.cur, &self.spec, self.asc, &self.stats);
+        let k = spec.len();
+        let mut play = |a: Entry, b: Entry| {
+            play_entries(
+                a,
+                b,
+                cursor_key(cur, k, a),
+                cursor_key(cur, k, b),
+                spec,
+                asc,
+                stats,
+            )
+        };
+        self.winner = loser_tree::replay(&mut self.nodes, self.cap, w, cand, &mut play);
         Some(out)
     }
 }
 
 impl<C: Iterator<Item = OvcRow>> OvcStream for TreeOfLosers<C> {
+    fn key_len(&self) -> usize {
+        self.spec.len()
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
+    }
+}
+
+/// Tree-of-losers merge over **flat** runs: the allocation-free merge hot
+/// path.
+///
+/// Where [`TreeOfLosers`] pulls boxed [`OvcRow`]s out of generic cursors,
+/// `FlatMerge` keeps every input run's rows in place in its contiguous
+/// [`FlatRows`] buffer and tracks one cursor *position* per run.  Each
+/// steady-state step is the same same-base code tournament (shared
+/// `play_entries` logic, hence bit-identical comparisons, codes, and
+/// [`Stats`] counters), but the winner "moves" by advancing an index; its
+/// row is copied slice-to-slice into a flat output buffer
+/// ([`FlatMerge::into_run`]) or materialized as an [`OvcRow`] only when
+/// the merge is itself the pipeline boundary (the [`Iterator`] impl).
+/// Per-run reads are sequential, so the whole merge streams through
+/// memory the way the hardware prefetcher wants.
+pub struct FlatMerge {
+    runs: Vec<FlatRows>,
+    pos: Vec<usize>,
+    nodes: Vec<Entry>,
+    winner: Entry,
+    cap: usize,
+    width: usize,
+    spec: SortSpec,
+    asc: bool,
+    stats: Rc<Stats>,
+}
+
+impl FlatMerge {
+    /// Build the merge over flat runs ordered (and coded) under `spec`.
+    pub fn new(runs: Vec<Run>, spec: SortSpec, stats: Rc<Stats>) -> Self {
+        debug_assert!(runs.iter().all(|r| r.sort_spec() == &spec));
+        let width = runs
+            .iter()
+            .find(|r| !r.is_empty())
+            .map(Run::width)
+            .unwrap_or(spec.len());
+        let runs: Vec<FlatRows> = runs.into_iter().map(Run::into_flat).collect();
+        let f = runs.len();
+        let cap = f.next_power_of_two().max(1);
+        let first_codes: Vec<Ovc> = runs
+            .iter()
+            .map(|r| {
+                if r.is_empty() {
+                    Ovc::LATE_FENCE
+                } else {
+                    r.code(0)
+                }
+            })
+            .collect();
+        let asc = spec.is_asc_prefix();
+        let k = spec.len();
+        let pos = vec![0usize; f];
+        let mut nodes = vec![FENCE_ENTRY; cap];
+        let winner = {
+            let mut play = |a: Entry, b: Entry| {
+                play_entries(
+                    a,
+                    b,
+                    flat_key(&runs, &pos, k, a),
+                    flat_key(&runs, &pos, k, b),
+                    &spec,
+                    asc,
+                    &stats,
+                )
+            };
+            loser_tree::build(
+                &mut nodes,
+                cap,
+                &mut |r| first_codes.get(r).copied().unwrap_or(Ovc::LATE_FENCE),
+                &mut play,
+            )
+        };
+        FlatMerge {
+            pos,
+            runs,
+            nodes,
+            winner,
+            cap,
+            width,
+            asc,
+            spec,
+            stats,
+        }
+    }
+
+    /// Pop the winner as `(run, row index, code)` — the row itself stays
+    /// in the run's buffer for the caller to copy or borrow.
+    #[inline]
+    fn next_idx(&mut self) -> Option<(usize, usize, Ovc)> {
+        if self.winner.code.is_late_fence() {
+            return None;
+        }
+        let w = self.winner.run as usize;
+        let idx = self.pos[w];
+        let out_code = self.winner.code;
+        self.pos[w] += 1;
+
+        // The successor from the same run is coded relative to the row
+        // just output (prefix truncation within the run), so the
+        // leaf-to-root pass below compares same-base codes.
+        let succ = if self.pos[w] < self.runs[w].len() {
+            self.runs[w].code(self.pos[w])
+        } else {
+            Ovc::LATE_FENCE
+        };
+        let cand = Entry {
+            code: succ,
+            run: w as u32,
+        };
+        let (runs, pos, spec, asc, stats) =
+            (&self.runs, &self.pos, &self.spec, self.asc, &self.stats);
+        let k = spec.len();
+        let mut play = |a: Entry, b: Entry| {
+            play_entries(
+                a,
+                b,
+                flat_key(runs, pos, k, a),
+                flat_key(runs, pos, k, b),
+                spec,
+                asc,
+                stats,
+            )
+        };
+        self.winner = loser_tree::replay(&mut self.nodes, self.cap, w, cand, &mut play);
+        Some((w, idx, out_code))
+    }
+
+    /// Rows remaining across all inputs.
+    fn remaining(&self) -> usize {
+        self.runs
+            .iter()
+            .zip(&self.pos)
+            .map(|(r, &p)| r.len() - p)
+            .sum()
+    }
+
+    /// Panic unless no row has streamed out yet: a partially-consumed
+    /// merge cannot become a run (the next winner's code is relative to a
+    /// row that is gone, so the output would violate the stream contract
+    /// silently).
+    fn assert_unconsumed(&self) {
+        assert!(
+            self.pos.iter().all(|&p| p == 0),
+            "cannot collect a partially-consumed merge into a run"
+        );
+    }
+
+    /// Drain the merge into one flat run: winner rows are copied straight
+    /// into a contiguous output buffer — no boxed row anywhere.  Panics if
+    /// rows were already taken through the [`Iterator`] impl.
+    pub fn into_run(mut self) -> Run {
+        self.assert_unconsumed();
+        let mut out = FlatRows::with_capacity(self.width, self.remaining());
+        while let Some((r, i, code)) = self.next_idx() {
+            out.push_from(&self.runs[r], i, code);
+        }
+        Run::from_flat_trusted(out, self.spec)
+    }
+
+    /// As [`FlatMerge::into_run`], dropping duplicate-coded rows on the
+    /// fly (the in-sort duplicate removal of Figure 5: one integer test
+    /// per row, and removing a row whose code says "equal to my
+    /// predecessor" leaves every surviving code exact).
+    pub fn into_run_distinct(mut self) -> Run {
+        self.assert_unconsumed();
+        let mut out = FlatRows::with_capacity(self.width, self.remaining());
+        while let Some((r, i, code)) = self.next_idx() {
+            if !code.is_duplicate() {
+                out.push_from(&self.runs[r], i, code);
+            }
+        }
+        Run::from_flat_trusted(out, self.spec)
+    }
+
+    /// Number of leaves (padded fan-in).
+    pub fn fan_in(&self) -> usize {
+        self.cap
+    }
+}
+
+impl Iterator for FlatMerge {
+    type Item = OvcRow;
+
+    fn next(&mut self) -> Option<OvcRow> {
+        let (r, i, code) = self.next_idx()?;
+        Some(OvcRow::new(Row::from_slice(self.runs[r].row(i)), code))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.remaining();
+        (left, Some(left))
+    }
+}
+
+impl OvcStream for FlatMerge {
     fn key_len(&self) -> usize {
         self.spec.len()
     }

@@ -402,7 +402,7 @@ mod tests {
     fn duplicates_spanning_leaves() {
         // 30 identical keys with leaf capacity 8: duplicates cross leaves.
         let rows: Vec<Row> = (0..30).map(|i| Row::new(vec![7, i])).collect();
-        let tree = BTree::bulk_load(rows.clone(), 1, 8, 4);
+        let tree = BTree::bulk_load(rows, 1, 8, 4);
         let stats = Stats::default();
         let got = tree.lookup(&[7], &stats);
         assert_eq!(got.len(), 30);

@@ -1,4 +1,4 @@
-//! Prefix-truncated run encoding.
+//! Run spill encodings: prefix-truncated and raw flat words.
 //!
 //! "Recall that input runs are encoded with prefixes truncated"
 //! (Section 3) — each row stores only its offset-value code, the key
@@ -8,75 +8,126 @@
 //! the prior row *for free* ("offset-value codes for rows in sorted runs
 //! are a byproduct of run generation", Section 5).
 //!
-//! Layout (all little-endian `u64`):
+//! Prefix-truncated layout (all little-endian `u64`):
 //!
 //! ```text
 //! [magic][key_len][width][row count]
 //! per row: [code][key columns from offset .. key_len][payload columns]
 //! ```
+//!
+//! Since runs live in flat columnar storage (DESIGN.md §10) there is also
+//! a **raw** layout that writes the run's two vectors verbatim — codes,
+//! then the value buffer — trading bytes for serialization CPU:
+//!
+//! ```text
+//! [magic2][key_len][width][row count][codes × count][values × count·width]
+//! ```
+//!
+//! Both round-trip bit-exactly; spill devices pick per fidelity goal
+//! (encoded-byte accounting vs raw throughput).
 
-use ovc_core::{Ovc, OvcRow, Row};
+use ovc_core::{FlatRows, Ovc, SortSpec};
 use ovc_sort::Run;
 
-const MAGIC: u64 = 0x4F56_4352_554E_0001; // "OVCRUN" v1
+const MAGIC: u64 = 0x4F56_4352_554E_0001; // "OVCRUN" v1 (prefix-truncated)
+const MAGIC_RAW: u64 = 0x4F56_4352_554E_0002; // "OVCRUN" v2 (raw flat words)
 
-/// Encode a run into bytes with prefix truncation.
-///
-/// Panics if rows have non-uniform width (streams are homogeneous).
+/// Encode a run into bytes with prefix truncation, straight off its flat
+/// storage.
 pub fn encode_run(run: &Run) -> Vec<u8> {
     let key_len = run.key_len();
-    let width = run.rows().first().map(|r| r.row.width()).unwrap_or(key_len);
+    let width = run.width();
     let mut out = Vec::with_capacity(32 + run.len() * (width + 1) * 8);
     push_u64(&mut out, MAGIC);
     push_u64(&mut out, key_len as u64);
     push_u64(&mut out, width as u64);
     push_u64(&mut out, run.len() as u64);
-    for OvcRow { row, code } in run.rows() {
-        assert_eq!(row.width(), width, "runs must have uniform row width");
+    for (row, code) in run.iter() {
         push_u64(&mut out, code.raw());
         let offset = if code.is_valid() {
             code.offset(key_len)
         } else {
             0
         };
-        for &col in &row.key(key_len)[offset..] {
+        for &col in &row[offset..key_len] {
             push_u64(&mut out, col);
         }
-        for &col in row.payload(key_len) {
+        for &col in &row[key_len..] {
             push_u64(&mut out, col);
         }
     }
     out
 }
 
-/// Decode a prefix-truncated run.  Panics on malformed input (this is an
-/// internal format, not an adversarial one).
+/// Decode a prefix-truncated run into flat storage.  Shared key prefixes
+/// are reconstructed by copying from the previous row **within the output
+/// buffer itself** — the decode loop performs no per-row allocation.
+/// Panics on malformed input (this is an internal format, not an
+/// adversarial one).
 pub fn decode_run(bytes: &[u8]) -> Run {
     let mut pos = 0usize;
     assert_eq!(read_u64(bytes, &mut pos), MAGIC, "bad run magic");
     let key_len = read_u64(bytes, &mut pos) as usize;
     let width = read_u64(bytes, &mut pos) as usize;
     let count = read_u64(bytes, &mut pos) as usize;
-    let mut rows = Vec::with_capacity(count);
-    let mut prev_key: Vec<u64> = Vec::new();
+    let mut values: Vec<u64> = Vec::with_capacity(count * width);
+    let mut codes: Vec<Ovc> = Vec::with_capacity(count);
     for i in 0..count {
         let code = Ovc::from_raw(read_u64(bytes, &mut pos));
         assert!(code.is_valid(), "row {i}: fence stored in run");
         let offset = code.offset(key_len);
-        let mut cols = Vec::with_capacity(width);
-        cols.extend_from_slice(&prev_key[..offset]);
-        for _ in offset..key_len {
-            cols.push(read_u64(bytes, &mut pos));
+        let prev_start = values.len().saturating_sub(width);
+        // Shared prefix from the previous decoded row, in place.
+        values.extend_from_within(prev_start..prev_start + offset);
+        for _ in offset..width {
+            values.push(read_u64(bytes, &mut pos));
         }
-        prev_key.clear();
-        prev_key.extend_from_slice(&cols[..key_len]);
-        for _ in key_len..width {
-            cols.push(read_u64(bytes, &mut pos));
-        }
-        rows.push(OvcRow::new(Row::new(cols), code));
+        codes.push(code);
     }
     assert_eq!(pos, bytes.len(), "trailing bytes after run");
-    Run::from_coded(rows, key_len)
+    Run::from_flat(
+        FlatRows::from_parts(width, values, codes),
+        SortSpec::asc(key_len),
+    )
+}
+
+/// Encode a run as raw flat words: header, then the code vector, then the
+/// contiguous value buffer.  No per-row branching — the cheap spill format
+/// for devices that do not need prefix-truncated byte accounting.
+pub fn encode_run_raw(run: &Run) -> Vec<u8> {
+    let flat = run.flat();
+    let mut out = Vec::with_capacity(32 + (flat.codes().len() + flat.values().len()) * 8);
+    push_u64(&mut out, MAGIC_RAW);
+    push_u64(&mut out, run.key_len() as u64);
+    push_u64(&mut out, flat.width() as u64);
+    push_u64(&mut out, flat.len() as u64);
+    for &code in flat.codes() {
+        push_u64(&mut out, code.raw());
+    }
+    for &v in flat.values() {
+        push_u64(&mut out, v);
+    }
+    out
+}
+
+/// Decode a raw flat-words run.  Panics on malformed input.
+pub fn decode_run_raw(bytes: &[u8]) -> Run {
+    let mut pos = 0usize;
+    assert_eq!(read_u64(bytes, &mut pos), MAGIC_RAW, "bad raw run magic");
+    let key_len = read_u64(bytes, &mut pos) as usize;
+    let width = read_u64(bytes, &mut pos) as usize;
+    let count = read_u64(bytes, &mut pos) as usize;
+    let codes: Vec<Ovc> = (0..count)
+        .map(|_| Ovc::from_raw(read_u64(bytes, &mut pos)))
+        .collect();
+    let values: Vec<u64> = (0..count * width)
+        .map(|_| read_u64(bytes, &mut pos))
+        .collect();
+    assert_eq!(pos, bytes.len(), "trailing bytes after raw run");
+    Run::from_flat(
+        FlatRows::from_parts(width, values, codes),
+        SortSpec::asc(key_len),
+    )
 }
 
 #[inline]
@@ -94,7 +145,7 @@ fn read_u64(bytes: &[u8], pos: &mut usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ovc_core::Stats;
+    use ovc_core::{Row, Stats};
     use ovc_sort::sort_rows_ovc;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -103,7 +154,11 @@ mod tests {
         let bytes = encode_run(run);
         let back = decode_run(&bytes);
         assert_eq!(back.key_len(), run.key_len());
-        assert_eq!(back.rows(), run.rows());
+        assert_eq!(back.flat(), run.flat());
+        let raw = encode_run_raw(run);
+        let back_raw = decode_run_raw(&raw);
+        assert_eq!(back_raw.key_len(), run.key_len());
+        assert_eq!(back_raw.flat(), run.flat());
     }
 
     #[test]
@@ -149,6 +204,8 @@ mod tests {
             bytes.len(),
             plain
         );
+        // The raw format is exactly the flat words plus the header.
+        assert_eq!(encode_run_raw(&run).len(), plain);
     }
 
     #[test]

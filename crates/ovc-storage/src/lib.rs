@@ -30,8 +30,8 @@ pub mod secondary;
 pub mod spill;
 
 pub use btree::{BTree, BTreeScan};
-pub use encode::{decode_run, encode_run};
+pub use encode::{decode_run, decode_run_raw, encode_run, encode_run_raw};
 pub use lsm::{merge_forest_scans, LsmConfig, LsmForest};
 pub use rle::{RleColumnStore, RleScan};
 pub use secondary::{Rid, SecondaryIndex};
-pub use spill::{EncodedRunStorage, FileRunStorage};
+pub use spill::{EncodedRunStorage, FileRunStorage, SpillFormat};

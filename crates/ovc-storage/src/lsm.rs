@@ -149,16 +149,22 @@ impl LsmForest {
         assert_eq!(key.len(), self.key_len);
         let mut out: Vec<Row> = Vec::new();
         for run in self.levels.iter().flatten() {
-            let rows = run.rows();
-            let lo = rows.partition_point(|r| {
+            // Binary search directly over the run's flat storage.
+            let (mut lo, mut hi) = (0usize, run.len());
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
                 self.stats.count_row_cmp();
-                r.row.key(self.key_len) < key
-            });
-            for r in &rows[lo..] {
-                if r.row.key(self.key_len) != key {
+                if &run.row(mid)[..self.key_len] < key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            for i in lo..run.len() {
+                if &run.row(i)[..self.key_len] != key {
                     break;
                 }
-                out.push(r.row.clone());
+                out.push(Row::from_slice(run.row(i)));
             }
         }
         out.sort();

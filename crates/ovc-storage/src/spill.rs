@@ -12,7 +12,35 @@ use std::rc::Rc;
 use ovc_core::Stats;
 use ovc_sort::{Run, RunStorage};
 
-use crate::encode::{decode_run, encode_run};
+use crate::encode::{decode_run, decode_run_raw, encode_run, encode_run_raw};
+
+/// On-disk layout of a spilled run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpillFormat {
+    /// Prefix-truncated byte images (Section 3's encoding; honest encoded
+    /// byte accounting, the historical default).
+    PrefixTruncated,
+    /// The run's flat buffers written as raw little-endian `u64` words —
+    /// no per-row branching on either side of the spill, the cheap path
+    /// for devices where serialization CPU matters more than bytes.
+    RawWords,
+}
+
+impl SpillFormat {
+    fn encode(self, run: &Run) -> Vec<u8> {
+        match self {
+            SpillFormat::PrefixTruncated => encode_run(run),
+            SpillFormat::RawWords => encode_run_raw(run),
+        }
+    }
+
+    fn decode(self, bytes: &[u8]) -> Run {
+        match self {
+            SpillFormat::PrefixTruncated => decode_run(bytes),
+            SpillFormat::RawWords => decode_run_raw(bytes),
+        }
+    }
+}
 
 /// In-memory spill device storing encoded (prefix-truncated) run images.
 pub struct EncodedRunStorage {
@@ -62,9 +90,18 @@ pub struct FileRunStorage {
     files: Vec<Option<(PathBuf, u64, u64)>>, // (path, rows, bytes)
     stats: Rc<Stats>,
     next_id: u64,
+    format: SpillFormat,
 }
 
 impl FileRunStorage {
+    /// As [`FileRunStorage::new`], spilling raw flat words instead of
+    /// prefix-truncated images (cheaper encode/decode, more bytes).
+    pub fn new_raw(stats: Rc<Stats>) -> std::io::Result<Self> {
+        let mut s = Self::new(stats)?;
+        s.format = SpillFormat::RawWords;
+        Ok(s)
+    }
+
     /// Create a scratch directory under the system temp dir.
     pub fn new(stats: Rc<Stats>) -> std::io::Result<Self> {
         let dir = std::env::temp_dir().join(format!(
@@ -81,6 +118,7 @@ impl FileRunStorage {
             files: Vec::new(),
             stats,
             next_id: 0,
+            format: SpillFormat::PrefixTruncated,
         })
     }
 
@@ -93,7 +131,7 @@ impl FileRunStorage {
 impl RunStorage for FileRunStorage {
     fn write_run(&mut self, run: Run) -> usize {
         let rows = run.len() as u64;
-        let bytes = encode_run(&run);
+        let bytes = self.format.encode(&run);
         let path = self.dir.join(format!("run-{}.ovc", self.next_id));
         self.next_id += 1;
         std::fs::write(&path, &bytes).expect("spill write");
@@ -107,7 +145,7 @@ impl RunStorage for FileRunStorage {
         let data = std::fs::read(&path).expect("spill read");
         let _ = std::fs::remove_file(&path);
         self.stats.count_read_back(rows, bytes);
-        decode_run(&data)
+        self.format.decode(&data)
     }
 
     fn stored_runs(&self) -> usize {
@@ -145,7 +183,7 @@ mod tests {
         assert_eq!(storage.stored_runs(), 1);
         assert!(storage.resident_bytes() > 0);
         let back = storage.read_run(h);
-        assert_eq!(back.rows(), run.rows());
+        assert_eq!(back.flat(), run.flat());
         assert_eq!(storage.stored_runs(), 0);
         assert_eq!(stats.rows_spilled(), 7);
         assert_eq!(stats.rows_read_back(), 7);
@@ -158,7 +196,7 @@ mod tests {
         let stats = Stats::new_shared();
         let mut storage = EncodedRunStorage::new(Rc::clone(&stats));
         let out: Vec<_> =
-            external_sort(rows.clone(), SortConfig::new(2, 64), &mut storage, &stats).collect();
+            external_sort(rows, SortConfig::new(2, 64), &mut storage, &stats).collect();
         assert_eq!(out.len(), 600);
         let pairs: Vec<_> = out.into_iter().map(|r| (r.row, r.code)).collect();
         ovc_core::derive::assert_codes_exact(&pairs, 2);
@@ -176,9 +214,34 @@ mod tests {
         let run = Run::from_sorted_rows(rows, 2);
         let h = storage.write_run(run.clone());
         let back = storage.read_run(h);
-        assert_eq!(back.rows(), run.rows());
+        assert_eq!(back.flat(), run.flat());
         drop(storage);
         assert!(!dir.exists(), "scratch dir removed on drop");
+    }
+
+    #[test]
+    fn raw_file_storage_round_trips_and_costs_more_bytes() {
+        let mut rows = random_rows(200, 21);
+        rows.sort();
+        let run = Run::from_sorted_rows(rows, 2);
+
+        let s_enc = Stats::new_shared();
+        let mut enc = FileRunStorage::new(Rc::clone(&s_enc)).expect("tempdir");
+        let h = enc.write_run(run.clone());
+        assert_eq!(enc.read_run(h).flat(), run.flat());
+
+        let s_raw = Stats::new_shared();
+        let mut raw = FileRunStorage::new_raw(Rc::clone(&s_raw)).expect("tempdir");
+        let h = raw.write_run(run.clone());
+        assert_eq!(raw.read_run(h).flat(), run.flat());
+
+        // Raw words spill the whole flat buffer; prefix truncation saves
+        // bytes on these low-cardinality keys.
+        assert!(s_raw.bytes_spilled() > s_enc.bytes_spilled());
+        assert_eq!(
+            s_raw.bytes_spilled(),
+            32 + (run.len() as u64) * (run.width() as u64 + 1) * 8
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn main() {
     let mut catalog = Catalog::new();
     catalog.register("t", Table::unsorted(rows(n, 1000, 42)));
     let spec = SortSpec::with_dirs(&[Direction::Asc, Direction::Desc]);
-    let q = LogicalPlan::scan("t").sort_by(spec.clone());
+    let q = LogicalPlan::scan("t").sort_by(spec);
     let plan = Planner::new(
         &catalog,
         PlannerConfig::default().with_memory_rows(n / 10 + 1),

@@ -55,7 +55,7 @@ fn main() {
 
     assert_eq!(seg_out.len(), full.len());
     let seg_keys: Vec<&[u64]> = seg_out.iter().map(|r| r.row.key(2)).collect();
-    let full_keys: Vec<&[u64]> = full.rows().iter().map(|r| r.row.key(2)).collect();
+    let full_keys: Vec<&[u64]> = (0..full.len()).map(|i| &full.row(i)[..2]).collect();
     assert_eq!(seg_keys, full_keys, "both orders must agree");
 
     println!(

@@ -99,12 +99,12 @@ fn merge_join_column_comparisons_bounded() {
 fn unique_first_column_costs_n_column_accesses() {
     // Section 7's extreme case: "with a unique first column, the entire
     // operation accesses not N × K but only N column values, each only
-    // once to prime offset-value codes".  Priming happens in SingleRow
-    // (no counter); every further comparison is decided by codes, so the
+    // once to prime offset-value codes".  Priming happens when leaf codes
+    // initialize (no counter); every further comparison is decided by
+    // codes, so the
     // counted column comparisons during the sort are zero.
     let n = 4096;
-    let rows: Vec<Row> = (0..n).map(|i| Row::new(vec![i as u64, 7, 7, 7])).collect();
-    let mut shuffled = rows.clone();
+    let mut shuffled: Vec<Row> = (0..n).map(|i| Row::new(vec![i as u64, 7, 7, 7])).collect();
     // Deterministic shuffle.
     let mut rng = StdRng::seed_from_u64(15);
     for i in (1..shuffled.len()).rev() {

@@ -99,7 +99,7 @@ proptest! {
         let mut batches = Vec::new();
         for (t, s) in threaded.into_iter().zip(serial) {
             let s_rows: Vec<OvcRow> = s.collect();
-            prop_assert_eq!(t.rows(), &s_rows[..]);
+            prop_assert_eq!(t.to_ovc_rows(), s_rows);
             batches.push(t);
         }
         if skewed {

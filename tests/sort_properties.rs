@@ -67,7 +67,7 @@ proptest! {
         let mut all: Vec<Row> = Vec::new();
         for run in &runs {
             let pairs: Vec<(Row, Ovc)> =
-                run.rows().iter().map(|r| (r.row.clone(), r.code)).collect();
+                run.iter().map(|(r, c)| (Row::from_slice(r), c)).collect();
             prop_assert_eq!(find_code_violation(&pairs, 3), None);
             all.extend(pairs.into_iter().map(|(r, _)| r));
         }
