@@ -115,9 +115,10 @@ mod tests {
             Rc::clone(&stats),
         )
         .collect();
-        let ovc: Vec<Row> = GroupAggregate::new(VecStream::from_sorted_rows(rows, 3), 2, aggs)
-            .map(|r| r.row)
-            .collect();
+        let ovc: Vec<Row> =
+            GroupAggregate::new(VecStream::from_sorted_rows(rows, 3), 2, aggs, stats)
+                .map(|r| r.row)
+                .collect();
         assert_eq!(baseline, ovc);
     }
 

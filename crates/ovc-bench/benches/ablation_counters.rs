@@ -76,7 +76,7 @@ fn main() {
     let rows = grouped_sorted_table(1_000_000, 4, 10, 3);
     let s = Stats::new_shared();
     let input = VecStream::from_sorted_rows(rows.clone(), 4);
-    let _ = GroupAggregate::new(input, 2, vec![Aggregate::Count]).count();
+    let _ = GroupAggregate::new(input, 2, vec![Aggregate::Count], Rc::clone(&s)).count();
     println!(
         "{:<28} col-cmps {:>12}",
         "ovc offset test",

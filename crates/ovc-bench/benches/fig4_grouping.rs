@@ -30,7 +30,13 @@ fn bench(c: &mut Criterion) {
             |b, rows| {
                 b.iter(|| {
                     let input = VecStream::from_sorted_rows(rows.clone(), KEY_COLS);
-                    GroupAggregate::new(input, GROUP_LEN, vec![Aggregate::Count]).count()
+                    GroupAggregate::new(
+                        input,
+                        GROUP_LEN,
+                        vec![Aggregate::Count],
+                        Stats::new_shared(),
+                    )
+                    .count()
                 })
             },
         );

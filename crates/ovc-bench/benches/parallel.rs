@@ -1,6 +1,7 @@
 //! Threads sweep over the Figure-5/Figure-6 workloads: serial vs parallel
-//! execution of the same coded sort and the same planned intersect query,
-//! threads ∈ {1, 2, 4, 8}.
+//! execution of the same coded sort, the same planned intersect query,
+//! and (since the group-by/set-op exchange enforcer) the same planned
+//! group-by and union-all queries, threads ∈ {1, 2, 4, 8}.
 //!
 //! Equivalence (identical rows *and* codes across thread counts) is
 //! asserted once before timing; the timed loops then measure the speedup
@@ -108,5 +109,93 @@ fn bench_parallel_figure5(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_parallel_sort, bench_parallel_figure5);
+/// Planned group-by behind the exchange sandwich: sort (parallel run
+/// generation) -> Exchange hash(group key) x dop -> partition-wise
+/// grouping -> gathering merge.
+fn bench_parallel_group_by(c: &mut Criterion) {
+    use ovc_plan::{Aggregate, Catalog, LogicalPlan, Planner, Table};
+
+    const ROWS: usize = 200_000;
+    let rows = table(TableSpec {
+        rows: ROWS,
+        key_cols: 2,
+        payload_cols: 1,
+        distinct_per_col: 64,
+        seed: 7,
+    });
+    let mut catalog = Catalog::new();
+    catalog.register("t", Table::unsorted(rows));
+    let q = LogicalPlan::scan("t").group_by(
+        1,
+        vec![Aggregate::Count, Aggregate::Sum(2), Aggregate::Max(2)],
+    );
+    let base = PlannerConfig::default()
+        .with_memory_rows(MEMORY_ROWS)
+        .with_preference(Preference::ForceSortBased);
+    let run = |dop: usize| -> Vec<OvcRow> {
+        let cfg = base.with_dop(dop).with_parallel_threshold(1);
+        let plan = Planner::new(&catalog, cfg).plan(&q).expect("plans");
+        let stats = Stats::new_shared();
+        execute(&plan, &catalog, &stats, &ExecOptions::default()).into_coded()
+    };
+    let reference = run(1);
+    for dop in THREADS {
+        assert_eq!(run(dop), reference, "dop={dop} must match serial");
+    }
+
+    let mut g = c.benchmark_group("planned_group_by_dop");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ROWS as u64));
+    for dop in THREADS {
+        g.bench_with_input(BenchmarkId::from_parameter(dop), &dop, |b, &d| {
+            b.iter(|| run(d).len())
+        });
+    }
+    g.finish();
+}
+
+/// Planned UNION ALL behind the exchange sandwich: both inputs sorted,
+/// hash-split on the full row, one set-op worker per partition pair,
+/// gathering merge.
+fn bench_parallel_set_op(c: &mut Criterion) {
+    use ovc_plan::{Catalog, LogicalPlan, Planner, SetOp, Table};
+
+    let (t1, t2) = intersect_tables(100_000, 7);
+    let total = (t1.len() + t2.len()) as u64;
+    let mut catalog = Catalog::new();
+    catalog.register("l", Table::unsorted(t1));
+    catalog.register("r", Table::unsorted(t2));
+    let q = LogicalPlan::scan("l").set_op(LogicalPlan::scan("r"), SetOp::UnionAll);
+    let base = PlannerConfig::default()
+        .with_memory_rows(MEMORY_ROWS)
+        .with_preference(Preference::ForceSortBased);
+    let run = |dop: usize| -> Vec<OvcRow> {
+        let cfg = base.with_dop(dop).with_parallel_threshold(1);
+        let plan = Planner::new(&catalog, cfg).plan(&q).expect("plans");
+        let stats = Stats::new_shared();
+        execute(&plan, &catalog, &stats, &ExecOptions::default()).into_coded()
+    };
+    let reference = run(1);
+    for dop in THREADS {
+        assert_eq!(run(dop), reference, "dop={dop} must match serial");
+    }
+
+    let mut g = c.benchmark_group("planned_union_all_dop");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(total));
+    for dop in THREADS {
+        g.bench_with_input(BenchmarkId::from_parameter(dop), &dop, |b, &d| {
+            b.iter(|| run(d).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_sort,
+    bench_parallel_figure5,
+    bench_parallel_group_by,
+    bench_parallel_set_op
+);
 criterion_main!(benches);

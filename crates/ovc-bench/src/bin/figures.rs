@@ -111,7 +111,7 @@ fn table_3() {
     let keep = [rows[0].clone(), rows[6].clone()];
     let input = VecStream::from_sorted_rows(rows, 4);
     println!("{:<18} {:>9} {:>8}", "rows", "a-offs", "asc OVC");
-    for r in Filter::new(input, |row| keep.contains(row)) {
+    for r in Filter::new(input, |row| keep.contains(row), Stats::new_shared()) {
         println!(
             "{:<18} {:>9} {:>8}",
             format!("{:?}", r.row.cols()),

@@ -9,23 +9,31 @@
 //! No row or column comparisons happen here at all — only one integer
 //! `max` per input row.
 
+use std::rc::Rc;
+
 use ovc_core::theorem::OvcAccumulator;
-use ovc_core::{OvcRow, OvcStream, Row};
+use ovc_core::{OvcRow, OvcStream, Row, Stats};
 
 /// A predicate filter over a coded stream.
 pub struct Filter<S, P> {
     input: S,
     predicate: P,
     acc: OvcAccumulator,
+    /// Shared counters: the accumulator `max` is one integer (code)
+    /// operation per row, accounted here — the same units
+    /// `ovc_plan::cost::streaming` estimates — so the operator's
+    /// zero-column-comparison claim is measured, not assumed.
+    stats: Rc<Stats>,
 }
 
 impl<S: OvcStream, P: FnMut(&Row) -> bool> Filter<S, P> {
     /// Filter `input`, keeping rows for which `predicate` returns true.
-    pub fn new(input: S, predicate: P) -> Self {
+    pub fn new(input: S, predicate: P, stats: Rc<Stats>) -> Self {
         Filter {
             input,
             predicate,
             acc: OvcAccumulator::new(),
+            stats,
         }
     }
 }
@@ -36,6 +44,7 @@ impl<S: OvcStream, P: FnMut(&Row) -> bool> Iterator for Filter<S, P> {
     fn next(&mut self) -> Option<OvcRow> {
         loop {
             let OvcRow { row, code } = self.input.next()?;
+            self.stats.count_ovc_cmp();
             if (self.predicate)(&row) {
                 // Filter theorem: max over the dropped chain plus this row.
                 let code = self.acc.emit(code);
@@ -71,7 +80,7 @@ mod tests {
         let rows = ovc_core::table1::rows();
         let keep: Vec<Row> = vec![rows[0].clone(), rows[6].clone()];
         let input = VecStream::from_sorted_rows(rows, 4);
-        let filter = Filter::new(input, |r| keep.contains(r));
+        let filter = Filter::new(input, |r| keep.contains(r), Stats::new_shared());
         let pairs = collect_pairs(filter);
         assert_eq!(pairs.len(), 2);
         assert_eq!(pairs[0].1.paper_decimal(), 405);
@@ -93,7 +102,7 @@ mod tests {
             .collect();
         rows.sort();
         let input = VecStream::from_sorted_rows(rows, 3);
-        let filter = Filter::new(input, |r| r.cols()[1] % 2 == 0);
+        let filter = Filter::new(input, |r| r.cols()[1] % 2 == 0, Stats::new_shared());
         let pairs = collect_pairs(filter);
         assert_codes_exact(&pairs, 3);
     }
@@ -103,7 +112,7 @@ mod tests {
         let rows = ovc_core::table1::rows();
         let input = VecStream::from_sorted_rows(rows, 4);
         let expect: Vec<Ovc> = ovc_core::table1::asc_codes();
-        let filter = Filter::new(input, |_| true);
+        let filter = Filter::new(input, |_| true, Stats::new_shared());
         let pairs = collect_pairs(filter);
         let codes: Vec<Ovc> = pairs.iter().map(|(_, c)| *c).collect();
         assert_eq!(codes, expect, "an all-pass filter changes nothing");
@@ -112,26 +121,32 @@ mod tests {
     #[test]
     fn drop_all_is_empty() {
         let input = VecStream::from_sorted_rows(ovc_core::table1::rows(), 4);
-        let mut filter = Filter::new(input, |_| false);
+        let mut filter = Filter::new(input, |_| false, Stats::new_shared());
         assert!(filter.next().is_none());
     }
 
     #[test]
     fn no_column_comparisons() {
-        let stats = ovc_core::Stats::default();
-        let input = VecStream::from_sorted_rows(ovc_core::table1::rows(), 4);
-        let filter = Filter::new(input, |r| r.cols()[0] > 0);
+        // The handle is attached to the operator, so the zeros below are
+        // measurements of its accounting, not asserts on a dangling
+        // counter: one code operation per row, nothing else.
+        let rows = ovc_core::table1::rows();
+        let n_rows = rows.len() as u64;
+        let input = VecStream::from_sorted_rows(rows, 4);
+        let stats = Stats::new_shared();
+        let filter = Filter::new(input, |r| r.cols()[0] > 0, Rc::clone(&stats));
         let _ = collect_pairs(filter);
         assert_eq!(stats.col_value_cmps(), 0);
         assert_eq!(stats.row_cmps(), 0);
+        assert_eq!(stats.ovc_cmps(), n_rows, "the handle is live");
     }
 
     #[test]
     fn filters_compose() {
         let rows = ovc_core::table1::rows();
         let input = VecStream::from_sorted_rows(rows, 4);
-        let f1 = Filter::new(input, |r| r.cols()[1] >= 8);
-        let f2 = Filter::new(f1, |r| r.cols()[2] == 2);
+        let f1 = Filter::new(input, |r| r.cols()[1] >= 8, Stats::new_shared());
+        let f2 = Filter::new(f1, |r| r.cols()[2] == 2, Stats::new_shared());
         let pairs = collect_pairs(f2);
         assert_eq!(pairs.len(), 2); // the duplicate pair (5,9,2,7)
         assert_codes_exact(&pairs, 4);

@@ -11,10 +11,17 @@
 //! precomputed code threshold — the exact mechanism Figure 4 benchmarks
 //! against "full comparisons of multiple key columns".
 
+use std::rc::Rc;
+
 use ovc_core::theorem::clamp_to_prefix;
-use ovc_core::{Ovc, OvcRow, OvcStream, Row, Value};
+use ovc_core::{Ovc, OvcRow, OvcStream, Row, Stats, Value};
 
 /// An aggregate function over a group of rows.
+///
+/// Accumulators are uniformly **wrapping**: `Count` and `Sum` wrap on
+/// `u64` overflow instead of panicking in debug builds, so an aggregate
+/// over adversarial data behaves the same in every build profile.
+/// `Min`/`Max`/`First`/`Last` cannot overflow.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Aggregate {
     /// Number of rows in the group.
@@ -44,15 +51,34 @@ impl Aggregate {
         }
     }
 
-    /// Fold one more row into the accumulator.
+    /// Fold one more row into the accumulator (wrapping, see the enum
+    /// docs).
     pub fn fold(&self, acc: Value, row: &Row) -> Value {
         match *self {
-            Aggregate::Count => acc + 1,
+            Aggregate::Count => acc.wrapping_add(1),
             Aggregate::Sum(c) => acc.wrapping_add(row.cols()[c]),
             Aggregate::Min(c) => acc.min(row.cols()[c]),
             Aggregate::Max(c) => acc.max(row.cols()[c]),
             Aggregate::First(_) => acc,
             Aggregate::Last(c) => row.cols()[c],
+        }
+    }
+
+    /// Combine two partial results of this aggregate computed over
+    /// disjoint, order-adjacent slices of one group (`a`'s rows precede
+    /// `b`'s in the input order).  This is the decomposition law behind
+    /// partition-parallel grouping: `fold` over a whole group equals
+    /// `merge` over per-partition partial folds.  Wrapping like `fold`.
+    ///
+    /// `Last` trusts the stated orientation; [`GroupFinal`] establishes
+    /// it by comparing the carried last-row keys before calling.
+    pub fn merge(&self, a: Value, b: Value) -> Value {
+        match *self {
+            Aggregate::Count | Aggregate::Sum(_) => a.wrapping_add(b),
+            Aggregate::Min(_) => a.min(b),
+            Aggregate::Max(_) => a.max(b),
+            Aggregate::First(_) => a,
+            Aggregate::Last(_) => b,
         }
     }
 }
@@ -68,11 +94,15 @@ pub struct GroupAggregate<S> {
     aggregates: Vec<Aggregate>,
     /// First row of the group currently being accumulated.
     pending: Option<(Row, Ovc, Vec<Value>)>,
+    /// Shared counters: the per-row boundary test is one integer (code)
+    /// comparison, accounted here so the zero-column-comparison claim is
+    /// measured on a live handle rather than asserted vacuously.
+    stats: Rc<Stats>,
 }
 
 impl<S: OvcStream> GroupAggregate<S> {
     /// Build the operator.  Panics unless `group_len <= input.key_len()`.
-    pub fn new(input: S, group_len: usize, aggregates: Vec<Aggregate>) -> Self {
+    pub fn new(input: S, group_len: usize, aggregates: Vec<Aggregate>, stats: Rc<Stats>) -> Self {
         let in_key_len = input.key_len();
         assert!(
             group_len <= in_key_len,
@@ -84,6 +114,7 @@ impl<S: OvcStream> GroupAggregate<S> {
             group_len,
             aggregates,
             pending: None,
+            stats,
         }
     }
 
@@ -111,7 +142,9 @@ impl<S: OvcStream> Iterator for GroupAggregate<S> {
                 Some(OvcRow { row, code }) => {
                     // Group membership by code inspection alone: an offset
                     // of at least `group_len` means the entire group key is
-                    // shared with the predecessor.
+                    // shared with the predecessor.  One integer comparison
+                    // per row, counted as such.
+                    self.stats.count_ovc_cmp();
                     let same_group =
                         code.is_valid() && code.offset(self.in_key_len) >= self.group_len;
                     match (&mut self.pending, same_group) {
@@ -158,12 +191,13 @@ pub struct GroupCountDistinct<S> {
     in_key_len: usize,
     group_len: usize,
     pending: Option<(Row, Ovc, u64)>,
+    stats: Rc<Stats>,
 }
 
 impl<S: OvcStream> GroupCountDistinct<S> {
     /// Build the operator; the distinct columns are the sort-key suffix
     /// past `group_len`.
-    pub fn new(input: S, group_len: usize) -> Self {
+    pub fn new(input: S, group_len: usize, stats: Rc<Stats>) -> Self {
         let in_key_len = input.key_len();
         assert!(group_len <= in_key_len);
         GroupCountDistinct {
@@ -171,6 +205,7 @@ impl<S: OvcStream> GroupCountDistinct<S> {
             in_key_len,
             group_len,
             pending: None,
+            stats,
         }
     }
 
@@ -193,6 +228,8 @@ impl<S: OvcStream> Iterator for GroupCountDistinct<S> {
                 None => return self.pending.take().map(|g| self.finish(g)),
                 Some(OvcRow { row, code }) => {
                     // Two integer tests per row, zero column comparisons:
+                    self.stats.count_ovc_cmp(); // duplicate test
+                    self.stats.count_ovc_cmp(); // group-boundary test
                     let is_duplicate = code.is_duplicate();
                     let same_group =
                         code.is_valid() && code.offset(self.in_key_len) >= self.group_len;
@@ -222,6 +259,340 @@ impl<S: OvcStream> OvcStream for GroupCountDistinct<S> {
     }
 }
 
+/// Partial-aggregate half of the parallel group-by decomposition
+/// (DESIGN.md §7): used when the exchange hashes on a sort-key prefix
+/// **longer** than the group key, so one group's rows spread across
+/// partitions and no partition can finish the group alone.
+///
+/// Accumulates local groups exactly like [`GroupAggregate`], but emits
+/// rows built for a downstream [`GroupFinal`] merge instead of final
+/// results:
+///
+/// * the row starts with the full input key (`in_key_len` columns) of
+///   the group's **first** local row, so the gathering merge orders the
+///   partials of one group by their first-row keys — the partial holding
+///   the globally-first row of a group always gathers first;
+/// * one partial accumulator column per aggregate follows;
+/// * when any [`Aggregate::Last`] is present, the full input key of the
+///   group's **last** local row rides along as trailing payload: the
+///   only way a final merge can decide which partial saw the
+///   globally-last row;
+/// * the code is the first row's **unclamped** input code, which is
+///   exact for the partial sequence: consecutive local groups differ
+///   inside the group-key prefix, and every row of a group shares that
+///   prefix, so the code against the previous group's last row equals
+///   the code against its first row.
+pub struct GroupPartial<S> {
+    input: S,
+    in_key_len: usize,
+    group_len: usize,
+    aggregates: Vec<Aggregate>,
+    carry_last_key: bool,
+    /// First row, its code, the accumulators, and (when carried) the
+    /// key of the group's last row seen so far.
+    pending: Option<(Row, Ovc, Vec<Value>, Vec<Value>)>,
+    stats: Rc<Stats>,
+}
+
+impl<S: OvcStream> GroupPartial<S> {
+    /// Build the operator.  Panics unless `group_len <= input.key_len()`.
+    pub fn new(input: S, group_len: usize, aggregates: Vec<Aggregate>, stats: Rc<Stats>) -> Self {
+        let in_key_len = input.key_len();
+        assert!(
+            group_len <= in_key_len,
+            "group key must be a sort-key prefix"
+        );
+        let carry_last_key = aggregates.iter().any(|a| matches!(a, Aggregate::Last(_)));
+        GroupPartial {
+            input,
+            in_key_len,
+            group_len,
+            aggregates,
+            carry_last_key,
+            pending: None,
+            stats,
+        }
+    }
+
+    fn finish(&self, (row, code, accs, last_key): (Row, Ovc, Vec<Value>, Vec<Value>)) -> OvcRow {
+        let mut cols = Vec::with_capacity(self.in_key_len + accs.len() + last_key.len());
+        cols.extend_from_slice(row.key(self.in_key_len));
+        cols.extend_from_slice(&accs);
+        cols.extend_from_slice(&last_key);
+        // Unclamped: the partial stream stays coded at the full input
+        // arity so the gathering merge can order partials of one group.
+        OvcRow::new(Row::new(cols), code)
+    }
+}
+
+impl<S: OvcStream> Iterator for GroupPartial<S> {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        loop {
+            match self.input.next() {
+                None => return self.pending.take().map(|g| self.finish(g)),
+                Some(OvcRow { row, code }) => {
+                    self.stats.count_ovc_cmp();
+                    let same_group =
+                        code.is_valid() && code.offset(self.in_key_len) >= self.group_len;
+                    match (&mut self.pending, same_group) {
+                        (Some((_, _, accs, last_key)), true) => {
+                            for (acc, agg) in accs.iter_mut().zip(&self.aggregates) {
+                                *acc = agg.fold(*acc, &row);
+                            }
+                            if self.carry_last_key {
+                                last_key.copy_from_slice(row.key(self.in_key_len));
+                            }
+                        }
+                        (pending @ None, _) => {
+                            let accs: Vec<Value> =
+                                self.aggregates.iter().map(|a| a.init(&row)).collect();
+                            let last = if self.carry_last_key {
+                                row.key(self.in_key_len).to_vec()
+                            } else {
+                                Vec::new()
+                            };
+                            *pending = Some((row, code, accs, last));
+                        }
+                        (pending @ Some(_), false) => {
+                            let accs: Vec<Value> =
+                                self.aggregates.iter().map(|a| a.init(&row)).collect();
+                            let last = if self.carry_last_key {
+                                row.key(self.in_key_len).to_vec()
+                            } else {
+                                Vec::new()
+                            };
+                            let done = pending
+                                .replace((row, code, accs, last))
+                                .expect("pending group");
+                            return Some(self.finish(done));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<S: OvcStream> OvcStream for GroupPartial<S> {
+    fn key_len(&self) -> usize {
+        self.in_key_len
+    }
+}
+
+/// Count-distinct flavour of [`GroupPartial`]: per local group, emit
+/// `[first-row key (in_key_len)] ++ [local distinct count]` with the
+/// first row's unclamped code.  Distinct full keys never split across
+/// hash partitions (equal rows hash equally), so the per-partition
+/// counts are disjoint and a [`GroupFinal`] over `[Aggregate::Count]`
+/// sums them into the exact global counts.
+pub struct GroupCountDistinctPartial<S> {
+    input: S,
+    in_key_len: usize,
+    group_len: usize,
+    pending: Option<(Row, Ovc, u64)>,
+    stats: Rc<Stats>,
+}
+
+impl<S: OvcStream> GroupCountDistinctPartial<S> {
+    /// Build the operator; panics unless `group_len <= input.key_len()`.
+    pub fn new(input: S, group_len: usize, stats: Rc<Stats>) -> Self {
+        let in_key_len = input.key_len();
+        assert!(group_len <= in_key_len);
+        GroupCountDistinctPartial {
+            input,
+            in_key_len,
+            group_len,
+            pending: None,
+            stats,
+        }
+    }
+
+    fn finish(&self, (row, code, distinct): (Row, Ovc, u64)) -> OvcRow {
+        let mut cols = Vec::with_capacity(self.in_key_len + 1);
+        cols.extend_from_slice(row.key(self.in_key_len));
+        cols.push(distinct);
+        OvcRow::new(Row::new(cols), code)
+    }
+}
+
+impl<S: OvcStream> Iterator for GroupCountDistinctPartial<S> {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        loop {
+            match self.input.next() {
+                None => return self.pending.take().map(|g| self.finish(g)),
+                Some(OvcRow { row, code }) => {
+                    self.stats.count_ovc_cmp(); // duplicate test
+                    self.stats.count_ovc_cmp(); // group-boundary test
+                    let is_duplicate = code.is_duplicate();
+                    let same_group =
+                        code.is_valid() && code.offset(self.in_key_len) >= self.group_len;
+                    match (&mut self.pending, same_group) {
+                        (Some((_, _, distinct)), true) => {
+                            if !is_duplicate {
+                                *distinct += 1;
+                            }
+                        }
+                        (pending @ None, _) => {
+                            *pending = Some((row, code, 1));
+                        }
+                        (pending @ Some(_), false) => {
+                            let done = pending.replace((row, code, 1)).expect("pending group");
+                            return Some(self.finish(done));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<S: OvcStream> OvcStream for GroupCountDistinctPartial<S> {
+    fn key_len(&self) -> usize {
+        self.in_key_len
+    }
+}
+
+/// Final-merge half of the parallel group-by decomposition: consumes a
+/// gathered stream of [`GroupPartial`] (or
+/// [`GroupCountDistinctPartial`]) rows — sorted and coded at the full
+/// input arity — and merges the partials of each group with
+/// [`Aggregate::merge`] into exactly the rows and codes the serial
+/// [`GroupAggregate`] would have produced:
+///
+/// * group membership is the same one-integer boundary test
+///   (`offset >= group_len`);
+/// * `First` keeps the first gathered partial's value — the gather
+///   merge orders partials by their first-row keys, so the first
+///   partial holds the globally-first row;
+/// * `Last` compares the carried last-row keys (the one place the
+///   decomposition must touch column values; those comparisons are
+///   counted) and keeps the value of the partial whose slice ends last;
+/// * the output code is the first partial's code clamped to the group
+///   arity, which equals the serial code because group boundaries fall
+///   inside the shared group-key prefix.
+pub struct GroupFinal<S> {
+    input: S,
+    in_key_len: usize,
+    group_len: usize,
+    aggregates: Vec<Aggregate>,
+    carry_last_key: bool,
+    /// Representative (first) partial row, its code, merged
+    /// accumulators, and the winning last-row key so far.
+    pending: Option<(Row, Ovc, Vec<Value>, Vec<Value>)>,
+    stats: Rc<Stats>,
+}
+
+impl<S: OvcStream> GroupFinal<S> {
+    /// Build the operator over a gathered partial stream.  Panics unless
+    /// `group_len <= input.key_len()`.
+    pub fn new(input: S, group_len: usize, aggregates: Vec<Aggregate>, stats: Rc<Stats>) -> Self {
+        let in_key_len = input.key_len();
+        assert!(
+            group_len <= in_key_len,
+            "group key must be a sort-key prefix"
+        );
+        let carry_last_key = aggregates.iter().any(|a| matches!(a, Aggregate::Last(_)));
+        GroupFinal {
+            input,
+            in_key_len,
+            group_len,
+            aggregates,
+            carry_last_key,
+            pending: None,
+            stats,
+        }
+    }
+
+    fn finish(&self, (row, code, accs, _): (Row, Ovc, Vec<Value>, Vec<Value>)) -> OvcRow {
+        let mut cols = Vec::with_capacity(self.group_len + accs.len());
+        cols.extend_from_slice(row.key(self.group_len));
+        cols.extend_from_slice(&accs);
+        OvcRow::new(
+            Row::new(cols),
+            clamp_to_prefix(code, self.in_key_len, self.group_len),
+        )
+    }
+}
+
+impl<S: OvcStream> Iterator for GroupFinal<S> {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        loop {
+            match self.input.next() {
+                None => return self.pending.take().map(|g| self.finish(g)),
+                Some(OvcRow { row, code }) => {
+                    self.stats.count_ovc_cmp();
+                    let n = self.aggregates.len();
+                    let in_key = self.in_key_len;
+                    debug_assert_eq!(
+                        row.width(),
+                        in_key + n + if self.carry_last_key { in_key } else { 0 },
+                        "partial row layout mismatch"
+                    );
+                    let same_group = code.is_valid() && code.offset(in_key) >= self.group_len;
+                    match (&mut self.pending, same_group) {
+                        (Some((_, _, accs, last_key)), true) => {
+                            let cand_accs = &row.cols()[in_key..in_key + n];
+                            let cand_last = &row.cols()[in_key + n..];
+                            // Does the candidate partial's slice end after
+                            // the pending one's?  Only Last cares; the
+                            // column comparisons it takes are counted.
+                            let cand_is_later = if self.carry_last_key {
+                                let mut later = false;
+                                for (a, b) in cand_last.iter().zip(last_key.iter()) {
+                                    self.stats.count_col_cmp();
+                                    match a.cmp(b) {
+                                        std::cmp::Ordering::Greater => {
+                                            later = true;
+                                            break;
+                                        }
+                                        std::cmp::Ordering::Less => break,
+                                        std::cmp::Ordering::Equal => {}
+                                    }
+                                }
+                                later
+                            } else {
+                                false
+                            };
+                            for (i, (acc, agg)) in accs.iter_mut().zip(&self.aggregates).enumerate()
+                            {
+                                *acc = match agg {
+                                    Aggregate::Last(_) if !cand_is_later => *acc,
+                                    _ => agg.merge(*acc, cand_accs[i]),
+                                };
+                            }
+                            if cand_is_later {
+                                last_key.copy_from_slice(cand_last);
+                            }
+                        }
+                        (pending @ None, _) => {
+                            let accs = row.cols()[in_key..in_key + n].to_vec();
+                            let last = row.cols()[in_key + n..].to_vec();
+                            *pending = Some((row, code, accs, last));
+                        }
+                        (pending @ Some(_), false) => {
+                            let accs = row.cols()[in_key..in_key + n].to_vec();
+                            let last = row.cols()[in_key + n..].to_vec();
+                            let done = pending
+                                .replace((row, code, accs, last))
+                                .expect("pending group");
+                            return Some(self.finish(done));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<S: OvcStream> OvcStream for GroupFinal<S> {
+    fn key_len(&self) -> usize {
+        self.group_len
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,7 +609,7 @@ mod tests {
         // similarly to segmentation" — Table 1 has groups (5,7), (5,8),
         // (5,9) of sizes 2, 1, 4.
         let input = VecStream::from_sorted_rows(ovc_core::table1::rows(), 4);
-        let group = GroupAggregate::new(input, 2, vec![Aggregate::Count]);
+        let group = GroupAggregate::new(input, 2, vec![Aggregate::Count], Stats::new_shared());
         let pairs = collect_pairs(group);
         let got: Vec<(Vec<u64>, u64)> = pairs
             .iter()
@@ -273,6 +644,7 @@ mod tests {
                 Aggregate::First(1),
                 Aggregate::Last(1),
             ],
+            Stats::new_shared(),
         );
         let out: Vec<Row> = group.map(|r| r.row).collect();
         // Stable sort keeps group-1 payloads in arrival order 10, 30, 20.
@@ -300,7 +672,12 @@ mod tests {
             e.1 += r.cols()[2];
         }
         let input = VecStream::from_sorted_rows(rows, 3);
-        let group = GroupAggregate::new(input, 2, vec![Aggregate::Count, Aggregate::Sum(2)]);
+        let group = GroupAggregate::new(
+            input,
+            2,
+            vec![Aggregate::Count, Aggregate::Sum(2)],
+            Stats::new_shared(),
+        );
         let pairs = collect_pairs(group);
         assert_codes_exact(&pairs, 2);
         let got: Vec<(Vec<u64>, (u64, u64))> = pairs
@@ -314,7 +691,7 @@ mod tests {
     #[test]
     fn group_by_full_key_is_dedup_with_count() {
         let input = VecStream::from_sorted_rows(ovc_core::table1::rows(), 4);
-        let group = GroupAggregate::new(input, 4, vec![Aggregate::Count]);
+        let group = GroupAggregate::new(input, 4, vec![Aggregate::Count], Stats::new_shared());
         let pairs = collect_pairs(group);
         assert_eq!(pairs.len(), 6);
         let counts: Vec<u64> = pairs.iter().map(|(r, _)| r.cols()[4]).collect();
@@ -325,7 +702,7 @@ mod tests {
     #[test]
     fn group_by_empty_key_aggregates_everything() {
         let input = VecStream::from_sorted_rows(ovc_core::table1::rows(), 4);
-        let group = GroupAggregate::new(input, 0, vec![Aggregate::Count]);
+        let group = GroupAggregate::new(input, 0, vec![Aggregate::Count], Stats::new_shared());
         let out: Vec<Row> = group.map(|r| r.row).collect();
         assert_eq!(out, vec![Row::new(vec![7])]);
     }
@@ -333,7 +710,7 @@ mod tests {
     #[test]
     fn empty_input() {
         let input = VecStream::from_sorted_rows(vec![], 2);
-        let mut group = GroupAggregate::new(input, 1, vec![Aggregate::Count]);
+        let mut group = GroupAggregate::new(input, 1, vec![Aggregate::Count], Stats::new_shared());
         assert!(group.next().is_none());
     }
 
@@ -349,13 +726,20 @@ mod tests {
             Row::new(vec![2, 5]), // duplicate
             Row::new(vec![3, 1]),
         ];
+        let n_rows = rows.len() as u64;
         let input = VecStream::from_sorted_rows(rows, 2);
-        let stats = ovc_core::Stats::default();
-        let out: Vec<(u64, u64)> = GroupCountDistinct::new(input, 1)
+        // The handle is *attached to the operator*: the zero below pins
+        // the operator's own accounting, not an unused counter.
+        let stats = Stats::new_shared();
+        let out: Vec<(u64, u64)> = GroupCountDistinct::new(input, 1, Rc::clone(&stats))
             .map(|r| (r.row.cols()[0], r.row.cols()[1]))
             .collect();
         assert_eq!(out, vec![(1, 2), (2, 1), (3, 1)]);
         assert_eq!(stats.col_value_cmps(), 0);
+        // Liveness: the duplicate and boundary tests were counted (two
+        // integer comparisons per input row), so the zero above is a
+        // measurement, not a vacuous assert on a dangling handle.
+        assert_eq!(stats.ovc_cmps(), 2 * n_rows);
     }
 
     #[test]
@@ -370,7 +754,7 @@ mod tests {
             expect.entry(r.cols()[0]).or_default().insert(r.cols()[1]);
         }
         let input = VecStream::from_sorted_rows(rows, 2);
-        let pairs = collect_pairs(GroupCountDistinct::new(input, 1));
+        let pairs = collect_pairs(GroupCountDistinct::new(input, 1, Stats::new_shared()));
         assert_codes_exact(&pairs, 1);
         let got: Vec<(u64, u64)> = pairs
             .iter()
@@ -386,15 +770,135 @@ mod tests {
     #[test]
     fn count_distinct_empty_input() {
         let input = VecStream::from_sorted_rows(vec![], 2);
-        assert_eq!(GroupCountDistinct::new(input, 1).count(), 0);
+        assert_eq!(
+            GroupCountDistinct::new(input, 1, Stats::new_shared()).count(),
+            0
+        );
     }
 
     #[test]
     fn boundary_detection_uses_no_column_comparisons() {
-        let stats = ovc_core::Stats::default();
-        let input = VecStream::from_sorted_rows(ovc_core::table1::rows(), 4);
-        let group = GroupAggregate::new(input, 2, vec![Aggregate::Count]);
+        let rows = ovc_core::table1::rows();
+        let n_rows = rows.len() as u64;
+        let input = VecStream::from_sorted_rows(rows, 4);
+        let stats = Stats::new_shared();
+        let group = GroupAggregate::new(input, 2, vec![Aggregate::Count], Rc::clone(&stats));
         let _ = collect_pairs(group);
         assert_eq!(stats.col_value_cmps(), 0);
+        // One counted integer test per input row proves the handle is the
+        // one the operator accounts into.
+        assert_eq!(stats.ovc_cmps(), n_rows);
+    }
+
+    #[test]
+    fn count_accumulator_wraps_instead_of_panicking() {
+        // A pre-saturated Count accumulator must wrap in every build
+        // profile (the documented uniform overflow discipline).
+        assert_eq!(Aggregate::Count.fold(u64::MAX, &Row::new(vec![1])), 0);
+        assert_eq!(
+            Aggregate::Sum(0).fold(u64::MAX, &Row::new(vec![2])),
+            1,
+            "Sum wraps identically"
+        );
+        assert_eq!(Aggregate::Count.merge(u64::MAX, 2), 1, "merge wraps too");
+    }
+
+    #[test]
+    fn merge_law_matches_fold_on_split_groups() {
+        // fold(whole group) == merge(fold(front), fold(back)) for every
+        // aggregate whose merge is order-trusting (First/Last orientation
+        // is established by GroupFinal; here the split is in order).
+        let rows: Vec<Row> = [[1u64, 10], [1, 30], [1, 20], [1, 5]]
+            .iter()
+            .map(|c| Row::new(c.to_vec()))
+            .collect();
+        for agg in [
+            Aggregate::Count,
+            Aggregate::Sum(1),
+            Aggregate::Min(1),
+            Aggregate::Max(1),
+            Aggregate::First(1),
+            Aggregate::Last(1),
+        ] {
+            let fold_all = rows[1..]
+                .iter()
+                .fold(agg.init(&rows[0]), |acc, r| agg.fold(acc, r));
+            let front = rows[1..2]
+                .iter()
+                .fold(agg.init(&rows[0]), |acc, r| agg.fold(acc, r));
+            let back = rows[3..]
+                .iter()
+                .fold(agg.init(&rows[2]), |acc, r| agg.fold(acc, r));
+            assert_eq!(fold_all, agg.merge(front, back), "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn partial_then_final_equals_direct_grouping() {
+        // One partition (no parallelism): GroupPartial -> GroupFinal must
+        // already reproduce GroupAggregate byte for byte.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut rows: Vec<Row> = (0..500)
+            .map(|_| {
+                Row::new(vec![
+                    rng.gen_range(0..4u64),
+                    rng.gen_range(0..6u64),
+                    rng.gen_range(0..50u64),
+                ])
+            })
+            .collect();
+        rows.sort();
+        let aggs = vec![
+            Aggregate::Count,
+            Aggregate::Sum(2),
+            Aggregate::Min(2),
+            Aggregate::Max(2),
+            Aggregate::First(2),
+            Aggregate::Last(2),
+        ];
+        let serial = collect_pairs(GroupAggregate::new(
+            VecStream::from_sorted_rows(rows.clone(), 3),
+            1,
+            aggs.clone(),
+            Stats::new_shared(),
+        ));
+        let stats = Stats::new_shared();
+        let partial = GroupPartial::new(
+            VecStream::from_sorted_rows(rows, 3),
+            1,
+            aggs.clone(),
+            Rc::clone(&stats),
+        );
+        assert_eq!(partial.key_len(), 3, "partials stay at full arity");
+        let partial_rows: Vec<OvcRow> = partial.collect();
+        let gathered = VecStream::from_coded(partial_rows, 3);
+        let final_pairs = collect_pairs(GroupFinal::new(gathered, 1, aggs, stats));
+        assert_eq!(final_pairs, serial);
+        assert_codes_exact(&final_pairs, 1);
+    }
+
+    #[test]
+    fn count_distinct_partial_then_final_equals_direct() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut rows: Vec<Row> = (0..400)
+            .map(|_| Row::new(vec![rng.gen_range(0..5u64), rng.gen_range(0..5u64)]))
+            .collect();
+        rows.sort();
+        let serial = collect_pairs(GroupCountDistinct::new(
+            VecStream::from_sorted_rows(rows.clone(), 2),
+            1,
+            Stats::new_shared(),
+        ));
+        let stats = Stats::new_shared();
+        let partial_rows: Vec<OvcRow> = GroupCountDistinctPartial::new(
+            VecStream::from_sorted_rows(rows, 2),
+            1,
+            Rc::clone(&stats),
+        )
+        .collect();
+        let gathered = VecStream::from_coded(partial_rows, 2);
+        let final_pairs =
+            collect_pairs(GroupFinal::new(gathered, 1, vec![Aggregate::Count], stats));
+        assert_eq!(final_pairs, serial);
     }
 }

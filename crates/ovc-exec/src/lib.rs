@@ -45,13 +45,18 @@ pub mod window;
 
 pub use dedup::{Dedup, DedupCounting};
 pub use filter::Filter;
-pub use group::{Aggregate, GroupAggregate, GroupCountDistinct};
+pub use group::{
+    Aggregate, GroupAggregate, GroupCountDistinct, GroupCountDistinctPartial, GroupFinal,
+    GroupPartial,
+};
 pub use hash_join_op::{HashJoinOp, HashTable};
 pub use merge_join::{JoinType, MergeJoin, NULL_VALUE};
 pub use nlj::{BTreeInner, InnerSource, LookupJoin, PredicateInner};
 pub use parallel::{
+    count_distinct_partitions_partial, group_partitions, group_partitions_partial,
     merge_join_partitions, merge_threaded, merge_threaded_spec, repartition_threaded,
-    split_threaded, ChannelStream, MergeThreaded, SplitThreads, DEFAULT_CHANNEL_CAPACITY,
+    set_op_partitions, split_threaded, ChannelStream, MergeThreaded, SplitThreads,
+    DEFAULT_CHANNEL_CAPACITY,
 };
 pub use pivot::{Pivot, PivotSpec};
 pub use project::{ClampKey, Project};

@@ -16,6 +16,16 @@
 //! * [`repartition_threaded`] — many-to-many: N splitter threads and P
 //!   merger threads all live at once, bounded channels throughout — the
 //!   shape of F1 Query's exchange-parallel plans.
+//! * [`merge_join_partitions`], [`group_partitions`], and
+//!   [`set_op_partitions`] — partition-wise operator workers between a
+//!   splitting and a gathering shuffle: one thread per partition (pair),
+//!   each running the ordinary serial operator, correct because the
+//!   split hashes the operator's whole key (join key, group key, or
+//!   full row) so every key group is local to one worker.
+//! * [`group_partitions_partial`] / [`count_distinct_partitions_partial`]
+//!   — the partial-aggregate side of the split-group decomposition for
+//!   exchanges hashed on a sort-key prefix longer than the group key;
+//!   a `GroupFinal` above the gathering merge recombines the partials.
 //!
 //! Code exactness survives every hand-off because codes are a function of
 //! the row sequence within a partition stream, and each thread sees its
@@ -31,7 +41,9 @@ use ovc_core::theorem::OvcAccumulator;
 use ovc_core::{CodedBatch, OvcRow, OvcStream, Row, SortSpec, Stats, StatsSnapshot};
 use ovc_sort::TreeOfLosers;
 
+use crate::group::{Aggregate, GroupAggregate, GroupCountDistinctPartial, GroupPartial};
 use crate::merge_join::{JoinType, MergeJoin};
+use crate::set_ops::{SetOp, SetOperation};
 
 /// Default bound of every exchange channel, in rows.  Small enough for
 /// backpressure to keep memory flat, large enough to amortize wakeups.
@@ -409,6 +421,138 @@ pub fn merge_join_partitions(
         .collect()
 }
 
+/// Shared worker harness of the partition operators: one thread per
+/// partition item (a batch, or a co-partitioned batch pair), each with
+/// its own [`Stats`] merged into the caller's by snapshot after the
+/// join.
+fn partition_workers<T, F>(parts: Vec<T>, stats: &Rc<Stats>, work: F) -> Vec<CodedBatch>
+where
+    T: Send,
+    F: Fn(T, Rc<Stats>) -> CodedBatch + Send + Sync,
+{
+    let outs: Vec<(CodedBatch, StatsSnapshot)> = thread::scope(|scope| {
+        let workers: Vec<_> = parts
+            .into_iter()
+            .map(|item| {
+                let work = &work;
+                scope.spawn(move || {
+                    let local = Stats::new_shared();
+                    let out = work(item, Rc::clone(&local));
+                    (out, local.snapshot())
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("partition worker panicked"))
+            .collect()
+    });
+    outs.into_iter()
+        .map(|(batch, snapshot)| {
+            stats.absorb(&snapshot);
+            batch
+        })
+        .collect()
+}
+
+/// Partition-parallel grouping: one worker thread per partition, each
+/// running the ordinary [`GroupAggregate`] over its partition with a
+/// per-thread [`Stats`] (snapshot-merged into the caller's).
+///
+/// Correctness rests on group co-location: the partitioning must hash
+/// the full group key (or any subset of its columns —
+/// [`crate::exchange::partition::by_key_hash`] over `group_len`), so
+/// rows of one group agree on the hashed columns and land in the same
+/// partition.  Every group is then completed by exactly one worker, and
+/// the gathering merge ([`merge_threaded`]) reproduces the serial
+/// grouping's row sequence — and, codes being a function of the row
+/// sequence, its exact codes — byte for byte.
+///
+/// When the exchange must hash on a sort-key prefix *longer* than the
+/// group key (groups split across partitions), use
+/// [`group_partitions_partial`] plus a [`crate::group::GroupFinal`]
+/// above the gather instead.
+pub fn group_partitions(
+    parts: Vec<CodedBatch>,
+    group_len: usize,
+    aggs: Vec<Aggregate>,
+    stats: &Rc<Stats>,
+) -> Vec<CodedBatch> {
+    partition_workers(parts, stats, move |batch, local| {
+        let rows: Vec<OvcRow> =
+            GroupAggregate::new(batch.into_stream(), group_len, aggs.clone(), local).collect();
+        CodedBatch::from_coded(rows, group_len)
+    })
+}
+
+/// Partial half of the split-group decomposition: one
+/// [`crate::group::GroupPartial`] worker per partition, for exchanges
+/// hashed on a sort-key prefix longer than the group key.  The returned
+/// batches stay coded at the **full input arity**; gather them with
+/// [`merge_threaded`] at that arity and merge the adjacent partials
+/// with [`crate::group::GroupFinal`] to recover the serial rows and
+/// codes.
+pub fn group_partitions_partial(
+    parts: Vec<CodedBatch>,
+    group_len: usize,
+    aggs: Vec<Aggregate>,
+    stats: &Rc<Stats>,
+) -> Vec<CodedBatch> {
+    partition_workers(parts, stats, move |batch, local| {
+        let key_len = batch.key_len();
+        let rows: Vec<OvcRow> =
+            GroupPartial::new(batch.into_stream(), group_len, aggs.clone(), local).collect();
+        CodedBatch::from_coded(rows, key_len)
+    })
+}
+
+/// Count-distinct flavour of [`group_partitions_partial`]: per-partition
+/// [`crate::group::GroupCountDistinctPartial`] workers.  Equal full keys
+/// hash equally, so per-partition distinct counts are disjoint and the
+/// downstream [`crate::group::GroupFinal`] (over `[Aggregate::Count]`)
+/// sums them into the exact global counts.
+pub fn count_distinct_partitions_partial(
+    parts: Vec<CodedBatch>,
+    group_len: usize,
+    stats: &Rc<Stats>,
+) -> Vec<CodedBatch> {
+    partition_workers(parts, stats, move |batch, local| {
+        let key_len = batch.key_len();
+        let rows: Vec<OvcRow> =
+            GroupCountDistinctPartial::new(batch.into_stream(), group_len, local).collect();
+        CodedBatch::from_coded(rows, key_len)
+    })
+}
+
+/// Partition-parallel set operation: one worker thread per partition
+/// pair, each running the ordinary [`SetOperation`] over its
+/// co-partitioned inputs with a per-thread [`Stats`] (snapshot-merged).
+///
+/// Correctness rests on co-partitioning on the **full row** (set
+/// semantics compare entire rows — hash all `key_len` columns on both
+/// sides): equal rows co-locate whichever input they come from, so
+/// every key group is local to one worker and the gathering merge
+/// reproduces the serial operation's rows and codes byte for byte.
+pub fn set_op_partitions(
+    left: Vec<CodedBatch>,
+    right: Vec<CodedBatch>,
+    op: SetOp,
+    stats: &Rc<Stats>,
+) -> Vec<CodedBatch> {
+    assert_eq!(
+        left.len(),
+        right.len(),
+        "partitioned set operation requires co-partitioned inputs"
+    );
+    let pairs: Vec<(CodedBatch, CodedBatch)> = left.into_iter().zip(right).collect();
+    partition_workers(pairs, stats, move |(l, r), local| {
+        let key_len = l.key_len();
+        let rows: Vec<OvcRow> =
+            SetOperation::new(l.into_stream(), r.into_stream(), op, local).collect();
+        CodedBatch::from_coded(rows, key_len)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -588,6 +732,190 @@ mod tests {
             assert_eq!(gathered, serial, "{join_type:?}: rows and codes");
             let pairs: Vec<(Row, Ovc)> = gathered.into_iter().map(|r| (r.row, r.code)).collect();
             assert_codes_exact(&pairs, out_key);
+        }
+    }
+
+    #[test]
+    fn partitioned_group_by_matches_serial_grouping() {
+        use crate::group::GroupAggregate;
+        let mut rows: Vec<Row> = {
+            let mut rng = StdRng::seed_from_u64(55);
+            (0..400)
+                .map(|_| Row::new(vec![rng.gen_range(0..12u64), rng.gen_range(0..40u64)]))
+                .collect()
+        };
+        rows.sort();
+        let aggs = vec![
+            crate::group::Aggregate::Count,
+            crate::group::Aggregate::Sum(1),
+            crate::group::Aggregate::Min(1),
+            crate::group::Aggregate::Max(1),
+            crate::group::Aggregate::First(1),
+            crate::group::Aggregate::Last(1),
+        ];
+        let serial: Vec<OvcRow> = GroupAggregate::new(
+            VecStream::from_sorted_rows(rows.clone(), 2),
+            1,
+            aggs.clone(),
+            Stats::new_shared(),
+        )
+        .collect();
+
+        // Split on the full group key (groups co-locate), group each
+        // partition on a worker, gather with the merging exchange.
+        let parts = 3;
+        let stats = Stats::new_shared();
+        let split = split_threaded(
+            CodedBatch::from_sorted_rows(rows, 2),
+            parts,
+            partition::by_key_hash(1, parts),
+            16,
+        )
+        .collect_all();
+        let grouped = group_partitions(split, 1, aggs, &stats);
+        let gathered: Vec<OvcRow> = merge_threaded(grouped, 1, 16, &stats).collect();
+        assert_eq!(gathered, serial, "rows and codes");
+        let pairs: Vec<(Row, Ovc)> = gathered.into_iter().map(|r| (r.row, r.code)).collect();
+        assert_codes_exact(&pairs, 1);
+        // Worker-side boundary tests were snapshot-merged into the
+        // caller's counters (one per input row plus gather work).
+        assert!(stats.ovc_cmps() >= 400);
+    }
+
+    #[test]
+    fn partitioned_set_ops_match_serial_for_all_six_ops() {
+        use crate::set_ops::{SetOp, SetOperation};
+        let mk = |seed: u64, n: usize| -> Vec<Row> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rows: Vec<Row> = (0..n)
+                .map(|_| Row::new(vec![rng.gen_range(0..8u64), rng.gen_range(0..4u64)]))
+                .collect();
+            rows.sort();
+            rows
+        };
+        for op in [
+            SetOp::Union,
+            SetOp::UnionAll,
+            SetOp::Intersect,
+            SetOp::IntersectAll,
+            SetOp::Except,
+            SetOp::ExceptAll,
+        ] {
+            let (l, r) = (mk(61, 250), mk(62, 200));
+            let serial: Vec<OvcRow> = SetOperation::new(
+                VecStream::from_sorted_rows(l.clone(), 2),
+                VecStream::from_sorted_rows(r.clone(), 2),
+                op,
+                Stats::new_shared(),
+            )
+            .collect();
+
+            // Hash both sides on the full row: equal rows co-locate.
+            let parts = 3;
+            let stats = Stats::new_shared();
+            let lp = split_threaded(
+                CodedBatch::from_sorted_rows(l, 2),
+                parts,
+                partition::by_key_hash(2, parts),
+                16,
+            )
+            .collect_all();
+            let rp = split_threaded(
+                CodedBatch::from_sorted_rows(r, 2),
+                parts,
+                partition::by_key_hash(2, parts),
+                16,
+            )
+            .collect_all();
+            let outs = set_op_partitions(lp, rp, op, &stats);
+            let gathered: Vec<OvcRow> = merge_threaded(outs, 2, 16, &stats).collect();
+            assert_eq!(gathered, serial, "{op:?}: rows and codes");
+            let pairs: Vec<(Row, Ovc)> = gathered.into_iter().map(|r| (r.row, r.code)).collect();
+            assert_codes_exact(&pairs, 2);
+        }
+    }
+
+    #[test]
+    fn prefix_hashed_partial_aggregation_matches_serial() {
+        use crate::group::{Aggregate, GroupAggregate, GroupFinal};
+        // Hash on the FULL sort key while grouping on a 1-column prefix:
+        // groups split across partitions, so each worker emits partials
+        // and a final merge above the gather recombines them.
+        let mut rows: Vec<Row> = {
+            let mut rng = StdRng::seed_from_u64(73);
+            (0..500)
+                .map(|_| {
+                    Row::new(vec![
+                        rng.gen_range(0..5u64),
+                        rng.gen_range(0..10u64),
+                        rng.gen_range(0..30u64),
+                    ])
+                })
+                .collect()
+        };
+        rows.sort();
+        let aggs = vec![
+            Aggregate::Count,
+            Aggregate::Sum(2),
+            Aggregate::Min(2),
+            Aggregate::Max(2),
+            Aggregate::First(2),
+            Aggregate::Last(2),
+        ];
+        let serial: Vec<OvcRow> = GroupAggregate::new(
+            VecStream::from_sorted_rows(rows.clone(), 3),
+            1,
+            aggs.clone(),
+            Stats::new_shared(),
+        )
+        .collect();
+        for parts in [1usize, 2, 4] {
+            let stats = Stats::new_shared();
+            let split = split_threaded(
+                CodedBatch::from_sorted_rows(rows.clone(), 3),
+                parts,
+                partition::by_key_hash(3, parts),
+                16,
+            )
+            .collect_all();
+            let partials = group_partitions_partial(split, 1, aggs.clone(), &stats);
+            let gathered = merge_threaded(partials, 3, 16, &stats);
+            let out: Vec<OvcRow> =
+                GroupFinal::new(gathered, 1, aggs.clone(), Rc::clone(&stats)).collect();
+            assert_eq!(out, serial, "parts={parts}: rows and codes");
+        }
+    }
+
+    #[test]
+    fn prefix_hashed_count_distinct_partials_match_serial() {
+        use crate::group::{Aggregate, GroupCountDistinct, GroupFinal};
+        let mut rows: Vec<Row> = {
+            let mut rng = StdRng::seed_from_u64(81);
+            (0..400)
+                .map(|_| Row::new(vec![rng.gen_range(0..4u64), rng.gen_range(0..6u64)]))
+                .collect()
+        };
+        rows.sort();
+        let serial: Vec<OvcRow> = GroupCountDistinct::new(
+            VecStream::from_sorted_rows(rows.clone(), 2),
+            1,
+            Stats::new_shared(),
+        )
+        .collect();
+        for parts in [2usize, 3] {
+            let stats = Stats::new_shared();
+            let split = split_threaded(
+                CodedBatch::from_sorted_rows(rows.clone(), 2),
+                parts,
+                partition::by_key_hash(2, parts),
+                16,
+            )
+            .collect_all();
+            let partials = count_distinct_partitions_partial(split, 1, &stats);
+            let gathered = merge_threaded(partials, 2, 16, &stats);
+            let out: Vec<OvcRow> =
+                GroupFinal::new(gathered, 1, vec![Aggregate::Count], Rc::clone(&stats)).collect();
+            assert_eq!(out, serial, "parts={parts}: rows and codes");
         }
     }
 

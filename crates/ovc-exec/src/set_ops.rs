@@ -63,6 +63,12 @@ pub struct SetOperation<L: OvcStream, R: OvcStream> {
 
 impl<L: OvcStream, R: OvcStream> SetOperation<L, R> {
     /// Build the operator over two streams with equal key length.
+    ///
+    /// The documented full-row contract (`key_len == row width` on both
+    /// inputs) cannot be checked here — streams reveal row widths only
+    /// as they produce rows — so it is asserted per group in `next()`:
+    /// a mismatched input fails loudly instead of silently emitting
+    /// truncated or over-wide rows under `UnionAll`.
     pub fn new(left: L, right: R, op: SetOp, stats: Rc<Stats>) -> Self {
         let key_len = left.key_len();
         assert_eq!(
@@ -88,6 +94,26 @@ impl<L: OvcStream, R: OvcStream> Iterator for SetOperation<L, R> {
                 return Some(r);
             }
             let JoinGroup { code, left, right } = self.groups.next()?;
+            // Enforce the documented contract on both inputs: SQL set
+            // semantics compare entire rows, so the sort key must be the
+            // whole row.  Every buffered row is checked (one integer
+            // compare each) — a key-equal group can mix widths, so
+            // checking only a group's first row would still let an
+            // over-wide row slip into the output.
+            for item in &left {
+                assert_eq!(
+                    item.row.width(),
+                    self.key_len,
+                    "set operation left input must be sorted on its full rows"
+                );
+            }
+            for item in &right {
+                assert_eq!(
+                    item.row.width(),
+                    self.key_len,
+                    "set operation right input must be sorted on its full rows"
+                );
+            }
             let copies = self.op.copies(left.len(), right.len());
             if copies == 0 {
                 self.acc.absorb(code);
@@ -199,6 +225,24 @@ mod tests {
             );
             assert_eq!(setop.count(), 0);
         }
+    }
+
+    /// Regression: a 2-column stream keyed on 1 column used to flow
+    /// through `UnionAll` silently, emitting garbage (key-equal rows
+    /// collapsed onto one side's payload).  The full-row contract is now
+    /// asserted on both inputs, and on **every** buffered row: here the
+    /// offending wide row hides behind a correctly-narrow row in the
+    /// same key group, so a first-row-only check would miss it.
+    #[test]
+    #[should_panic(expected = "sorted on its full rows")]
+    fn rejects_inputs_not_keyed_on_the_full_row() {
+        let mixed = VecStream::from_unsorted_rows(
+            vec![Row::new(vec![1]), Row::new(vec![1, 10])],
+            1, // key-equal group mixing widths: violates the contract
+        );
+        let narrow = stream(vec![vec![1], vec![3]]);
+        let setop = SetOperation::new(mixed, narrow, SetOp::UnionAll, Stats::new_shared());
+        let _ = setop.count();
     }
 
     #[test]

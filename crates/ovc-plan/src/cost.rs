@@ -210,6 +210,29 @@ pub fn reverse(rows: f64, key_len: usize) -> Cost {
     }
 }
 
+/// Partition-parallel in-stream grouping
+/// (`ovc_exec::parallel::group_partitions` behind an exchange sandwich):
+/// each of the `rows` input rows pays its one code-inspection boundary
+/// test in exactly one partition, so the counted work is dop-invariant
+/// and equals the serial [`streaming`] estimate.  The surrounding
+/// splitting/gathering shuffles are explicit plan nodes priced by
+/// [`exchange`]; nothing spills either way.  `_dop` stays in the
+/// signature for when wall-clock-aware costing (ROADMAP) makes the
+/// estimate dop-sensitive.
+pub fn group_parallel(rows: f64, _dop: usize) -> Cost {
+    streaming(rows)
+}
+
+/// Partition-parallel merge set operation
+/// (`ovc_exec::parallel::set_op_partitions` behind an exchange
+/// sandwich): every row flows through exactly one partition's two-way
+/// merge, so comparison totals match the serial [`merge_streaming`]
+/// estimate — the exchanges around it are priced separately on their
+/// own plan nodes, mirroring the partitioned merge join.
+pub fn set_op_parallel(left_rows: f64, right_rows: f64, key_len: usize, _dop: usize) -> Cost {
+    merge_streaming(left_rows, right_rows, key_len)
+}
+
 /// Parallel OVC sort (`ovc_sort::parallel::parallel_sort`): run
 /// generation on `dop` worker slices, then the same in-memory
 /// bounded-fan-in cascade the serial estimate already counts.
@@ -365,6 +388,26 @@ mod tests {
         let d_parallel = in_sort_distinct_parallel(50_000.0, 40_000.0, 1, 1000, 64, 4);
         assert!(d_serial.spill_rows > 0.0);
         assert_eq!(d_parallel.spill_rows, 0.0);
+    }
+
+    #[test]
+    fn parallel_group_and_set_op_counts_are_dop_invariant() {
+        // The partitioned lowerings run the same total comparisons as
+        // their serial forms (each row visits exactly one partition);
+        // only the explicit exchange nodes add overhead, priced apart.
+        let g = group_parallel(10_000.0, 4);
+        assert_eq!(g, streaming(10_000.0));
+        assert_eq!(g.spill_rows, 0.0);
+        let s = set_op_parallel(5_000.0, 4_000.0, 2, 4);
+        assert_eq!(s, merge_streaming(5_000.0, 4_000.0, 2));
+        // A bracketed operator plus its two splits and gather stays far
+        // below what a spilling blocking operator would cost.
+        let bracketed = s
+            .plus(&exchange(9_000.0, 4))
+            .plus(&exchange(9_000.0, 4))
+            .plus(&exchange(9_000.0, 4));
+        let sort = sort_ovc(9_000.0, 2, 500, 8);
+        assert!(bracketed.total(&W) < sort.total(&W));
     }
 
     #[test]

@@ -5,11 +5,14 @@
 //! `ovc-exec`/`ovc-sort` operators, hash paths call the `ovc-baseline`
 //! algorithms on materialized rows, and **exchange sandwiches** run on
 //! real threads — [`PhysOp::Exchange`] to a hash layout lowers onto the
-//! threaded splitting shuffle (`split_threaded`), a partitioned
+//! threaded splitting shuffle (`split_threaded`); a partitioned
 //! [`PhysOp::MergeJoinOvc`] joins partition pairs on worker threads
-//! (`merge_join_partitions`), and the gathering exchange merges the
-//! partition streams back with the threaded tree-of-losers
-//! (`merge_threaded`).  The boundaries between the three worlds
+//! (`merge_join_partitions`), a partitioned [`PhysOp::GroupOvc`] groups
+//! partition-wise (`group_partitions`, hash on the full group key), a
+//! partitioned [`PhysOp::SetOpMerge`] runs one set-operation worker per
+//! partition pair (`set_op_partitions`, hash on the whole row); and the
+//! gathering exchange merges the partition streams back with the
+//! threaded tree-of-losers (`merge_threaded`).  The boundaries between the three worlds
 //! (stream / rows / partitions) are explicit in the plan, so the
 //! executor never guesses.
 //!
@@ -28,8 +31,9 @@ use ovc_core::{CodedBatch, Ovc, OvcRow, OvcStream, Row, SortSpec, Stats, VecStre
 use ovc_exec::exchange::partition;
 use ovc_exec::plans::in_sort_distinct;
 use ovc_exec::{
-    merge_join_partitions, merge_threaded_spec, split_threaded, Dedup, Filter as FilterOp,
-    GroupAggregate, MergeJoin, Project as ProjectOp, SetOperation, DEFAULT_CHANNEL_CAPACITY,
+    group_partitions, merge_join_partitions, merge_threaded_spec, set_op_partitions,
+    split_threaded, Dedup, Filter as FilterOp, GroupAggregate, MergeJoin, Project as ProjectOp,
+    SetOperation, DEFAULT_CHANNEL_CAPACITY,
 };
 use ovc_sort::{external_sort, external_sort_spec, MemoryRunStorage, SortConfig};
 
@@ -291,7 +295,11 @@ impl Cx<'_> {
             PhysOp::Filter { input, pred } => match self.run(input) {
                 Output::Stream(s) => {
                     let p = pred.clone();
-                    Output::Stream(Box::new(FilterOp::new(s, move |row: &Row| p.eval(row))))
+                    Output::Stream(Box::new(FilterOp::new(
+                        s,
+                        move |row: &Row| p.eval(row),
+                        Rc::clone(self.stats),
+                    )))
                 }
                 Output::Rows(rows) => {
                     Output::Rows(rows.into_iter().filter(|r| pred.eval(r)).collect())
@@ -318,14 +326,25 @@ impl Cx<'_> {
                 input,
                 group_len,
                 aggs,
-            } => {
-                let stream = self.run(input).into_stream();
-                Output::Stream(Box::new(GroupAggregate::new(
-                    stream,
+            } => match self.run(input) {
+                // Partition-parallel: the input arrives hash-partitioned
+                // on the full group key from an explicit Exchange child;
+                // every group is local to one partition, so each worker
+                // completes its groups and the gathering exchange above
+                // reproduces the serial rows and codes.
+                Output::Partitions(parts) => Output::Partitions(group_partitions(
+                    parts,
                     *group_len,
                     aggs.clone(),
-                )))
-            }
+                    self.stats,
+                )),
+                other => Output::Stream(Box::new(GroupAggregate::new(
+                    other.into_stream(),
+                    *group_len,
+                    aggs.clone(),
+                    Rc::clone(self.stats),
+                ))),
+            },
             PhysOp::MergeJoinOvc {
                 left,
                 right,
@@ -363,14 +382,18 @@ impl Cx<'_> {
                 ))
             }
             PhysOp::SetOpMerge { left, right, op } => {
-                let l = self.run(left).into_stream();
-                let r = self.run(right).into_stream();
-                Output::Stream(Box::new(SetOperation::new(
-                    l,
-                    r,
-                    *op,
-                    Rc::clone(self.stats),
-                )))
+                match (self.run(left), self.run(right)) {
+                    // Partition-parallel: both inputs hash-co-partitioned
+                    // on the full row by explicit Exchange children; run
+                    // one set-operation worker per partition pair.
+                    (Output::Partitions(lp), Output::Partitions(rp)) => {
+                        Output::Partitions(set_op_partitions(lp, rp, *op, self.stats))
+                    }
+                    (Output::Stream(l), Output::Stream(r)) => Output::Stream(Box::new(
+                        SetOperation::new(l, r, *op, Rc::clone(self.stats)),
+                    )),
+                    _ => panic!("set operation inputs must both be streams or both partitioned"),
+                }
             }
             PhysOp::TopK { input, k } => {
                 let stream = self.run(input).into_stream();

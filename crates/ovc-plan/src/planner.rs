@@ -16,11 +16,12 @@
 //!   direction-aware codes (or [`PhysOp::InSortDistinct`] when distinct
 //!   semantics allow folding the dedup in).
 //! * **Partitioning** (`Planner::exchange_to`): when the config grants
-//!   a degree of parallelism and the input is large enough, a merge join
-//!   is bracketed with explicit [`PhysOp::Exchange`] nodes — hash-split
-//!   both inputs on the join key, join partition pairs on worker
-//!   threads, gather with the order-preserving merging shuffle (the
-//!   F1-Query-style exchange parallelism of Section 4.10).
+//!   a degree of parallelism and the input is large enough, merge
+//!   joins, groupings, and set operations are bracketed with explicit
+//!   [`PhysOp::Exchange`] nodes — hash-split the input(s) on the
+//!   operator's key (join key, full group key, or whole row), run one
+//!   worker per partition, gather with the order-preserving merging
+//!   shuffle (the F1-Query-style exchange parallelism of Section 4.10).
 //!
 //! The elision justification is the property-propagation theorems of
 //! [`ovc_core::theorem`] (order-preserving operators produce exact codes
@@ -466,17 +467,39 @@ impl<'a> Planner<'a> {
             .powf(group_len as f64 / width.max(1) as f64)
             .min(rows)
             .max(1.0);
+        // The partitioning enforcer, generalized from merge joins: with a
+        // dop granted and enough rows (`partition_target`), bracket the
+        // grouping with explicit exchanges — hash the input on the full
+        // group key (equal group keys co-locate, so every group completes
+        // inside one worker), group partition-wise on worker threads,
+        // gather with the order-preserving merging shuffle.  Rows and
+        // codes are dop-invariant.  An empty group key has nothing to
+        // hash (one global group) and stays serial.
+        let target = self.partition_target(group_len, rows, &[&input]);
+        let (input, group_partitioning, group_dop) = match &target {
+            Some(to) => (
+                self.exchange_to(input, to.clone()),
+                to.clone(),
+                self.config.dop,
+            ),
+            None => (input, Partitioning::Single, 1),
+        };
+        let local = if target.is_some() {
+            cost::group_parallel(rows, group_dop)
+        } else {
+            cost::streaming(rows)
+        };
         let props = PhysicalProps {
             width: group_len + aggs.len(),
             order: SortSpec::asc(group_len),
             coded: true,
-            partitioning: Partitioning::Single,
+            partitioning: group_partitioning,
             rows: groups,
             distinct_rows: groups,
-            dop: input.props.dop,
+            dop: group_dop.max(input.props.dop),
         };
         let plan = PhysicalPlan {
-            cost: input.cost.plus(&cost::streaming(rows)),
+            cost: input.cost.plus(&local),
             props,
             op: PhysOp::GroupOvc {
                 input: Box::new(input),
@@ -484,10 +507,62 @@ impl<'a> Planner<'a> {
                 aggs: aggs.to_vec(),
             },
         };
+        // Partitioned groupings gather back to a single stream so the
+        // plan's output contract is layout-independent.
+        let plan = if target.is_some() {
+            self.exchange_to(plan, Partitioning::Single)
+        } else {
+            plan
+        };
         Ok(Alts {
             ordered: Some(plan),
             unordered: None,
         })
+    }
+
+    /// The partition-parallel gate shared by the join, group-by, and
+    /// set-operation enforcers: a dop granted, a non-empty hash key,
+    /// enough rows to amortize thread coordination, and a plain
+    /// ascending-prefix order on **every** input (the threaded exchange
+    /// path is ascending-only — a trusted stream may carry a longer
+    /// mixed-direction spec, and such operators run serial rather than
+    /// risk a mis-specced shuffle).  Returns the hash layout to
+    /// exchange into when all gates pass.
+    fn partition_target(
+        &self,
+        hash_cols: usize,
+        rows: f64,
+        inputs: &[&PhysicalPlan],
+    ) -> Option<Partitioning> {
+        (self.config.dop > 1
+            && hash_cols > 0
+            && rows >= self.config.parallel_threshold_rows as f64
+            && inputs.iter().all(|p| p.props.order.is_asc_prefix()))
+        .then(|| Partitioning::Hash {
+            cols: (0..hash_cols).collect(),
+            parts: self.config.dop,
+        })
+    }
+
+    /// Apply a granted partition target to a two-input operator:
+    /// exchange both inputs into the hash layout, or leave them serial
+    /// when no target was granted.  Returns the (possibly bracketed)
+    /// inputs plus the operator's partitioning and dop.
+    fn bracket_inputs(
+        &self,
+        li: PhysicalPlan,
+        ri: PhysicalPlan,
+        target: &Option<Partitioning>,
+    ) -> (PhysicalPlan, PhysicalPlan, Partitioning, usize) {
+        match target {
+            Some(to) => (
+                self.exchange_to(li, to.clone()),
+                self.exchange_to(ri, to.clone()),
+                to.clone(),
+                self.config.dop,
+            ),
+            None => (li, ri, Partitioning::Single, 1),
+        }
     }
 
     /// Wrap `input` in an explicit [`PhysOp::Exchange`] targeting `to`,
@@ -551,38 +626,15 @@ impl<'a> Planner<'a> {
                 JoinType::LeftSemi | JoinType::LeftAnti => li.props.order.clone(),
                 _ => SortSpec::asc(join_len),
             };
-            // The partitioning enforcer: with a dop granted and enough
-            // rows to amortize thread coordination, bracket the join
-            // with explicit exchanges — hash-co-partition both inputs on
-            // the whole join key, join partition pairs in parallel,
-            // gather with the order-preserving merging shuffle.  Rows
-            // and codes are dop-invariant (the gather merge reproduces
-            // the serial sequence because equal join keys co-locate).
-            // Restricted to plain ascending-prefix input orders: a
-            // trusted stream may carry a longer mixed-direction spec
-            // (e.g. a table stored [c0 asc, c1 desc]), and the threaded
-            // exchange path is exercised for ascending contracts only —
-            // such joins run serial rather than risk a mis-specced
-            // shuffle.
-            let partition_parallel = self.config.dop > 1
-                && join_len > 0
-                && (ln + rn) >= self.config.parallel_threshold_rows as f64
-                && li.props.order.is_asc_prefix()
-                && ri.props.order.is_asc_prefix();
-            let (li, ri, join_partitioning, join_dop) = if partition_parallel {
-                let to = Partitioning::Hash {
-                    cols: (0..join_len).collect(),
-                    parts: self.config.dop,
-                };
-                (
-                    self.exchange_to(li, to.clone()),
-                    self.exchange_to(ri, to.clone()),
-                    to,
-                    self.config.dop,
-                )
-            } else {
-                (li, ri, Partitioning::Single, 1)
-            };
+            // The partitioning enforcer: when `partition_target` grants
+            // it, bracket the join with explicit exchanges — hash-co-
+            // partition both inputs on the whole join key, join
+            // partition pairs in parallel, gather with the order-
+            // preserving merging shuffle.  Rows and codes are
+            // dop-invariant (the gather merge reproduces the serial
+            // sequence because equal join keys co-locate).
+            let target = self.partition_target(join_len, ln + rn, &[&li, &ri]);
+            let (li, ri, join_partitioning, join_dop) = self.bracket_inputs(li, ri, &target);
             let props = PhysicalProps {
                 width: out_width,
                 order,
@@ -607,7 +659,7 @@ impl<'a> Planner<'a> {
             };
             // Partitioned joins gather back to a single stream so the
             // plan's output contract is layout-independent.
-            Some(if partition_parallel {
+            Some(if target.is_some() {
                 self.exchange_to(join, Partitioning::Single)
             } else {
                 join
@@ -684,27 +736,42 @@ impl<'a> Planner<'a> {
             // multiplicities, so inputs get a plain sort.
             let li = self.ensure_ordered(&l, &SortSpec::asc(lw), distinct_semantics)?;
             let ri = self.ensure_ordered(&r, &SortSpec::asc(rw), distinct_semantics)?;
+            // The partitioning enforcer: set semantics compare entire
+            // rows, so hash both inputs on the full row width — equal
+            // rows co-locate whichever side they come from, every key
+            // group is local to one worker, and the gathered output
+            // equals the serial operation byte for byte (the merge-join
+            // argument verbatim, with "join key" = "whole row").
+            let target = self.partition_target(lw, ln + rn, &[&li, &ri]);
+            let (li, ri, set_partitioning, set_dop) = self.bracket_inputs(li, ri, &target);
+            let local = if target.is_some() {
+                cost::set_op_parallel(li.props.rows, ri.props.rows, lw, set_dop)
+            } else {
+                cost::merge_streaming(li.props.rows, ri.props.rows, lw)
+            };
             let props = PhysicalProps {
                 width: lw,
                 order: SortSpec::asc(lw),
                 coded: true,
-                partitioning: Partitioning::Single,
+                partitioning: set_partitioning,
                 rows: out_rows,
                 distinct_rows: out_rows.min(ld + rd),
-                dop: li.props.dop.max(ri.props.dop),
+                dop: set_dop.max(li.props.dop).max(ri.props.dop),
             };
-            Some(PhysicalPlan {
-                cost: li.cost.plus(&ri.cost).plus(&cost::merge_streaming(
-                    li.props.rows,
-                    ri.props.rows,
-                    lw,
-                )),
+            let set_plan = PhysicalPlan {
+                cost: li.cost.plus(&ri.cost).plus(&local),
                 props,
                 op: PhysOp::SetOpMerge {
                     left: Box::new(li),
                     right: Box::new(ri),
                     op,
                 },
+            };
+            // Partitioned set operations gather back to a single stream.
+            Some(if target.is_some() {
+                self.exchange_to(set_plan, Partitioning::Single)
+            } else {
+                set_plan
             })
         } else {
             None

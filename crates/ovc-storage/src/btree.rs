@@ -320,15 +320,15 @@ mod tests {
         let (tree, rows) = build(500, 1);
         assert_eq!(tree.len(), 500);
         assert!(tree.height() >= 3, "multi-level tree expected");
-        let stats = Stats::new_shared();
-        // The scan itself performs no comparisons; count via a fresh Stats
-        // threaded nowhere — instead verify codes and order.
+        // The scan replays codes stored at bulk-load and holds no Stats
+        // handle — there is nothing to count.  (A local Stats asserted
+        // zero here used to pass vacuously; the checkable form of
+        // "scans are free" is that the replayed codes are exact.)
         let pairs: Vec<(Row, Ovc)> = tree.scan().map(|r| (r.row, r.code)).collect();
         assert_eq!(pairs.len(), 500);
         assert_codes_exact(&pairs, 2);
         let got: Vec<Row> = pairs.into_iter().map(|(r, _)| r).collect();
         assert_eq!(got, rows);
-        assert_eq!(stats.col_value_cmps(), 0);
     }
 
     #[test]

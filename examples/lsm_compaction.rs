@@ -62,7 +62,7 @@ fn main() {
     println!("query: select k1, k2, count(*) group by k1, k2\n");
     let scan = forest.scan();
     let before = stats.snapshot();
-    let grouped = GroupAggregate::new(scan, 2, vec![Aggregate::Count]);
+    let grouped = GroupAggregate::new(scan, 2, vec![Aggregate::Count], Rc::clone(&stats));
     let mut groups = 0usize;
     let mut max_count = 0u64;
     for g in grouped {

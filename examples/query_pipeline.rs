@@ -58,7 +58,7 @@ fn main() {
     let mark = stats.snapshot();
 
     // 2. Filter: codes by the filter theorem.
-    let filtered = Filter::new(scan, |r: &Row| r.cols()[1] != 0);
+    let filtered = Filter::new(scan, |r: &Row| r.cols()[1] != 0, Rc::clone(&stats));
 
     // 3. Merge join with the dimension (sorted stream with derived codes).
     let dim_stream = VecStream::from_sorted_rows(dim, 1);
@@ -84,6 +84,7 @@ fn main() {
             p,
             1,
             vec![Aggregate::Min(1), Aggregate::Count, Aggregate::Sum(2)],
+            Rc::clone(&stats),
         )
         .collect();
         grouped_parts.push(VecStream::from_coded(grouped, 1));

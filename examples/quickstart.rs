@@ -46,7 +46,7 @@ fn main() {
     println!("\n=== Table 3: codes after a filter (keep first & last row) ===\n");
     let keep = [rows[0].clone(), rows[6].clone()];
     let input = VecStream::from_sorted_rows(rows.clone(), 4);
-    for r in Filter::new(input, |row| keep.contains(row)) {
+    for r in Filter::new(input, |row| keep.contains(row), Stats::new_shared()) {
         println!(
             "{:<16} asc-code {:>4}  (offset {})",
             format!("{:?}", r.row.cols()),
@@ -66,7 +66,7 @@ fn main() {
 
     println!("\n=== Grouping on the first two columns ===\n");
     let input = VecStream::from_sorted_rows(rows, 4);
-    for r in GroupAggregate::new(input, 2, vec![Aggregate::Count]) {
+    for r in GroupAggregate::new(input, 2, vec![Aggregate::Count], Stats::new_shared()) {
         println!(
             "group {:?} -> count {}  (output code offset {})",
             r.row.key(2),

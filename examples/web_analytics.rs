@@ -43,7 +43,7 @@ fn main() {
         // in one operator (GroupCountDistinct).
         let stats_ovc = Stats::new_shared();
         let start = Instant::now();
-        let grouped = GroupCountDistinct::new(input, group_len);
+        let grouped = GroupCountDistinct::new(input, group_len, Rc::clone(&stats_ovc));
         let groups_ovc: usize = grouped.count();
         let t_ovc = start.elapsed();
 

@@ -39,8 +39,13 @@ fn rle_scan_filter_group_pipeline() {
     let stats = Stats::new_shared();
 
     let scan = store.scan();
-    let filtered = Filter::new(scan, |r| r.cols()[2] != 0);
-    let grouped = GroupAggregate::new(filtered, 2, vec![Aggregate::Count, Aggregate::Sum(3)]);
+    let filtered = Filter::new(scan, |r| r.cols()[2] != 0, Rc::clone(&stats));
+    let grouped = GroupAggregate::new(
+        filtered,
+        2,
+        vec![Aggregate::Count, Aggregate::Sum(3)],
+        Rc::clone(&stats),
+    );
     let pairs = collect_pairs(grouped);
     assert_codes_exact(&pairs, 2);
     assert_eq!(
@@ -67,7 +72,7 @@ fn sort_join_group_pipeline() {
     let s1 = external_sort(t1, SortConfig::new(2, 200), &mut st1, &stats);
     let s2 = external_sort(t2, SortConfig::new(2, 200), &mut st2, &stats);
     let join = MergeJoin::new(s1, s2, 2, JoinType::Inner, 3, 3, Rc::clone(&stats));
-    let grouped = GroupAggregate::new(join, 1, vec![Aggregate::Count]);
+    let grouped = GroupAggregate::new(join, 1, vec![Aggregate::Count], Rc::clone(&stats));
     let pairs = collect_pairs(grouped);
     assert_codes_exact(&pairs, 1);
     assert!(!pairs.is_empty());
@@ -115,7 +120,8 @@ fn exchange_round_trip_with_partitionwise_grouping() {
     // one partition, so partition-wise grouping is correct.
     let mut grouped_parts = Vec::new();
     for p in parts {
-        let grouped: Vec<_> = GroupAggregate::new(p, 2, vec![Aggregate::Count]).collect();
+        let grouped: Vec<_> =
+            GroupAggregate::new(p, 2, vec![Aggregate::Count], Rc::clone(&stats)).collect();
         let pairs: Vec<(Row, Ovc)> = grouped.iter().map(|r| (r.row.clone(), r.code)).collect();
         assert_codes_exact(&pairs, 2);
         grouped_parts.push(VecStream::from_coded(grouped, 2));
@@ -164,10 +170,10 @@ fn deep_pipeline_comparison_budget() {
 
     let f = ovc_storage::btree::scan_to_stream(&fact_tree);
     let d = ovc_storage::btree::scan_to_stream(&dim_tree);
-    let filtered = Filter::new(f, |r| r.cols()[1] % 3 != 0);
+    let filtered = Filter::new(f, |r| r.cols()[1] % 3 != 0, Rc::clone(&stats));
     let join = MergeJoin::new(filtered, d, 1, JoinType::Inner, 3, 3, Rc::clone(&stats));
     let dedup = Dedup::new(join);
-    let grouped = GroupAggregate::new(dedup, 1, vec![Aggregate::Count]);
+    let grouped = GroupAggregate::new(dedup, 1, vec![Aggregate::Count], Rc::clone(&stats));
     let pairs = collect_pairs(grouped);
     assert_codes_exact(&pairs, 1);
     // Only the merge join may compare columns, bounded by N*K of its

@@ -70,9 +70,10 @@ fn table3_full_reproduction() {
     let rows = table1::rows();
     let keep = [rows[0].clone(), rows[6].clone()];
     let input = ovc_core::VecStream::from_sorted_rows(rows, 4);
-    let out: Vec<(Vec<u64>, u64)> = Filter::new(input, |r| keep.contains(r))
-        .map(|r| (r.row.cols().to_vec(), r.code.paper_decimal()))
-        .collect();
+    let out: Vec<(Vec<u64>, u64)> =
+        Filter::new(input, |r| keep.contains(r), ovc_core::Stats::new_shared())
+            .map(|r| (r.row.cols().to_vec(), r.code.paper_decimal()))
+            .collect();
     assert_eq!(out, vec![(vec![5, 7, 3, 9], 405), (vec![5, 9, 3, 7], 309),]);
 }
 

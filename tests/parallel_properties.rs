@@ -152,6 +152,120 @@ proptest! {
         }
     }
 
+    /// Partition-parallel grouping ≡ serial grouping, rows and codes,
+    /// for arbitrary inputs (few distinct keys leave partitions empty;
+    /// the hash on the group key may park everything on one worker).
+    #[test]
+    fn partitioned_group_by_equals_serial(
+        rows in rows_strategy(2, 300),
+        parts in 2usize..5,
+    ) {
+        use ovc_exec::{group_partitions, Aggregate, GroupAggregate};
+        let mut rows = rows;
+        rows.sort();
+        let aggs = vec![Aggregate::Count, Aggregate::Sum(1), Aggregate::Last(1)];
+        let serial: Vec<OvcRow> = GroupAggregate::new(
+            VecStream::from_sorted_rows(rows.clone(), 2),
+            1,
+            aggs.clone(),
+            Stats::new_shared(),
+        )
+        .collect();
+        let stats = Stats::new_shared();
+        let split = split_threaded(
+            CodedBatch::from_sorted_rows(rows, 2),
+            parts,
+            partition::by_key_hash(1, parts),
+            8,
+        )
+        .collect_all();
+        let grouped = group_partitions(split, 1, aggs, &stats);
+        let gathered: Vec<OvcRow> = merge_threaded(grouped, 1, 8, &stats).collect();
+        prop_assert_eq!(gathered, serial, "parts={}", parts);
+    }
+
+    /// Partition-parallel count-distinct (partials hashed on the full
+    /// sort key, summed by the final merge) ≡ the serial operator.
+    #[test]
+    fn partitioned_count_distinct_equals_serial(
+        rows in rows_strategy(2, 300),
+        parts in 2usize..5,
+    ) {
+        use ovc_exec::parallel::count_distinct_partitions_partial;
+        use ovc_exec::{Aggregate, GroupCountDistinct, GroupFinal};
+        let mut rows = rows;
+        rows.sort();
+        let serial: Vec<OvcRow> = GroupCountDistinct::new(
+            VecStream::from_sorted_rows(rows.clone(), 2),
+            1,
+            Stats::new_shared(),
+        )
+        .collect();
+        let stats = Stats::new_shared();
+        let split = split_threaded(
+            CodedBatch::from_sorted_rows(rows, 2),
+            parts,
+            partition::by_key_hash(2, parts),
+            8,
+        )
+        .collect_all();
+        let partials = count_distinct_partitions_partial(split, 1, &stats);
+        let gathered = merge_threaded(partials, 2, 8, &stats);
+        let out: Vec<OvcRow> =
+            GroupFinal::new(gathered, 1, vec![Aggregate::Count], std::rc::Rc::clone(&stats))
+                .collect();
+        prop_assert_eq!(out, serial, "parts={}", parts);
+    }
+
+    /// Partition-parallel set operations ≡ serial, rows and codes, for
+    /// all six operations over arbitrary (including empty) inputs.
+    #[test]
+    fn partitioned_set_ops_equal_serial(
+        l in rows_strategy(2, 200),
+        r in rows_strategy(2, 200),
+        op_sel in 0usize..6,
+        parts in 2usize..4,
+    ) {
+        use ovc_exec::parallel::set_op_partitions;
+        use ovc_exec::{SetOp, SetOperation};
+        let op = [
+            SetOp::Union,
+            SetOp::UnionAll,
+            SetOp::Intersect,
+            SetOp::IntersectAll,
+            SetOp::Except,
+            SetOp::ExceptAll,
+        ][op_sel];
+        let (mut l, mut r) = (l, r);
+        l.sort();
+        r.sort();
+        let serial: Vec<OvcRow> = SetOperation::new(
+            VecStream::from_sorted_rows(l.clone(), 2),
+            VecStream::from_sorted_rows(r.clone(), 2),
+            op,
+            Stats::new_shared(),
+        )
+        .collect();
+        let stats = Stats::new_shared();
+        let lp = split_threaded(
+            CodedBatch::from_sorted_rows(l, 2),
+            parts,
+            partition::by_key_hash(2, parts),
+            8,
+        )
+        .collect_all();
+        let rp = split_threaded(
+            CodedBatch::from_sorted_rows(r, 2),
+            parts,
+            partition::by_key_hash(2, parts),
+            8,
+        )
+        .collect_all();
+        let outs = set_op_partitions(lp, rp, op, &stats);
+        let gathered: Vec<OvcRow> = merge_threaded(outs, 2, 8, &stats).collect();
+        prop_assert_eq!(gathered, serial, "{:?} parts={}", op, parts);
+    }
+
     /// The acceptance property: the Figure-5 query planned with dop ∈
     /// {2, 4} executes to byte-identical rows and exact codes as the
     /// dop=1 plan, with every elided sort still passing the trusted-
@@ -247,6 +361,252 @@ fn planned_merge_join_with_explicit_exchanges_matches_serial() {
         // All three plans sort their inputs on the 1-column join key, so
         // the join output (semi included) is coded at arity 1.
         let pairs: Vec<(Row, Ovc)> = serial.into_iter().map(|r| (r.row, r.code)).collect();
+        exact(&pairs, 1);
+    }
+}
+
+/// The ISSUE 5 acceptance criterion, grouping half: a planned `dop=4`
+/// group-by EXPLAINs with `Exchange -> hash(group key) x4` below the
+/// grouping and `Exchange -> single` above it, runs on real threads via
+/// `split_threaded`/`merge_threaded`, and produces rows and codes
+/// byte-identical to the `dop=1` plan — all six aggregates included.
+#[test]
+fn planned_group_by_with_explicit_exchanges_matches_serial() {
+    use ovc_core::Row;
+    use ovc_plan::{Aggregate, Catalog, LogicalPlan, Planner, Table};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0x6A0B);
+    let rows: Vec<Row> = (0..500)
+        .map(|_| {
+            Row::new(vec![
+                rng.gen_range(0..20u64),
+                rng.gen_range(0..10u64),
+                rng.gen_range(0..100u64),
+            ])
+        })
+        .collect();
+    let mut catalog = Catalog::new();
+    catalog.register("t", Table::unsorted(rows));
+    let q = LogicalPlan::scan("t").group_by(
+        1,
+        vec![
+            Aggregate::Count,
+            Aggregate::Sum(2),
+            Aggregate::Min(2),
+            Aggregate::Max(2),
+            Aggregate::First(2),
+            Aggregate::Last(2),
+        ],
+    );
+    let base = PlannerConfig::default()
+        .with_memory_rows(64)
+        .with_fan_in(8)
+        .with_preference(Preference::ForceSortBased);
+
+    // Serial plan: no exchanges anywhere.
+    let serial_plan = Planner::new(&catalog, base).plan(&q).expect("plans");
+    assert_eq!(serial_plan.count_op("Exchange"), 0, "{serial_plan}");
+
+    // Parallel plan: split below the grouping, gather above it.
+    let par_cfg = base.with_dop(4).with_parallel_threshold(1);
+    let par_plan = Planner::new(&catalog, par_cfg).plan(&q).expect("plans");
+    assert_eq!(
+        par_plan.count_op("Exchange"),
+        2,
+        "one split + one gather:\n{par_plan}"
+    );
+    let ex = par_plan.explain();
+    assert!(ex.contains("Exchange -> hash(c0)x4"), "{ex}");
+    assert!(ex.contains("Exchange -> single"), "{ex}");
+    assert!(ex.contains("part=hash(c0)x4"), "{ex}");
+    assert!(ex.contains("dop=4"), "{ex}");
+    assert_eq!(par_plan.props.dop, 4);
+
+    let run = |plan: &ovc_plan::PhysicalPlan| -> Vec<OvcRow> {
+        let stats = Stats::new_shared();
+        let out = execute(
+            plan,
+            &catalog,
+            &stats,
+            &ExecOptions {
+                verify_trusted: true,
+            },
+        )
+        .into_coded();
+        // Stats snapshots account every comparison: the grouping's
+        // per-row boundary tests land in the caller's counters at any
+        // dop (500 input rows at minimum, plus sort and exchange work).
+        assert!(stats.ovc_cmps() >= 500, "boundary tests accounted");
+        out
+    };
+    let serial = run(&serial_plan);
+    let parallel = run(&par_plan);
+    assert_eq!(parallel, serial, "rows and codes");
+    let pairs: Vec<(Row, Ovc)> = serial.into_iter().map(|r| (r.row, r.code)).collect();
+    exact(&pairs, 1);
+}
+
+/// The ISSUE 5 acceptance criterion, set-operation half: every planned
+/// `dop=4` set operation EXPLAINs with `Exchange -> hash(whole row) x4`
+/// under both inputs plus a gather, and answers byte-identically to the
+/// serial plan — all six operations.
+#[test]
+fn planned_set_ops_with_explicit_exchanges_match_serial() {
+    use ovc_core::Row;
+    use ovc_plan::{Catalog, LogicalPlan, Planner, SetOp, Table};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mk = |seed: u64, n: usize| -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Row::new(vec![rng.gen_range(0..15u64), rng.gen_range(0..4u64)]))
+            .collect()
+    };
+    for op in [
+        SetOp::Union,
+        SetOp::UnionAll,
+        SetOp::Intersect,
+        SetOp::IntersectAll,
+        SetOp::Except,
+        SetOp::ExceptAll,
+    ] {
+        let mut catalog = Catalog::new();
+        catalog.register("l", Table::unsorted(mk(0xA1, 400)));
+        catalog.register("r", Table::unsorted(mk(0xB2, 350)));
+        let q = LogicalPlan::scan("l").set_op(LogicalPlan::scan("r"), op);
+        let base = PlannerConfig::default()
+            .with_memory_rows(64)
+            .with_fan_in(8)
+            .with_preference(Preference::ForceSortBased);
+
+        let serial_plan = Planner::new(&catalog, base).plan(&q).expect("plans");
+        assert_eq!(serial_plan.count_op("Exchange"), 0, "{serial_plan}");
+
+        let par_cfg = base.with_dop(4).with_parallel_threshold(1);
+        let par_plan = Planner::new(&catalog, par_cfg).plan(&q).expect("plans");
+        assert_eq!(
+            par_plan.count_op("Exchange"),
+            3,
+            "two splits + one gather ({op:?}):\n{par_plan}"
+        );
+        let ex = par_plan.explain();
+        assert!(ex.contains("Exchange -> hash(c0,c1)x4"), "{ex}");
+        assert!(ex.contains("Exchange -> single"), "{ex}");
+
+        let run = |plan: &ovc_plan::PhysicalPlan| -> Vec<OvcRow> {
+            let stats = Stats::new_shared();
+            execute(
+                plan,
+                &catalog,
+                &stats,
+                &ExecOptions {
+                    verify_trusted: true,
+                },
+            )
+            .into_coded()
+        };
+        let serial = run(&serial_plan);
+        let parallel = run(&par_plan);
+        assert_eq!(parallel, serial, "{op:?}: rows and codes");
+        let pairs: Vec<(Row, Ovc)> = serial.into_iter().map(|r| (r.row, r.code)).collect();
+        exact(&pairs, 2);
+    }
+}
+
+/// Skew and empty partitions: a group-by whose keys all hash to one
+/// partition (every other partition empty) still matches serial.
+#[test]
+fn skewed_planned_group_by_matches_serial() {
+    use ovc_core::Row;
+    use ovc_plan::{Aggregate, Catalog, LogicalPlan, Planner, Table};
+
+    // One hot group key — all rows share it, so one partition gets
+    // everything and dop-1 partitions run empty.
+    let rows: Vec<Row> = (0..300).map(|i| Row::new(vec![7, i % 13])).collect();
+    let mut catalog = Catalog::new();
+    catalog.register("t", Table::unsorted(rows));
+    let q = LogicalPlan::scan("t").group_by(1, vec![Aggregate::Count, Aggregate::Sum(1)]);
+    let base = PlannerConfig::default()
+        .with_memory_rows(64)
+        .with_preference(Preference::ForceSortBased);
+    let run = |cfg: PlannerConfig| -> Vec<OvcRow> {
+        let plan = Planner::new(&catalog, cfg).plan(&q).expect("plans");
+        let stats = Stats::new_shared();
+        execute(
+            &plan,
+            &catalog,
+            &stats,
+            &ExecOptions {
+                verify_trusted: true,
+            },
+        )
+        .into_coded()
+    };
+    let serial = run(base);
+    let parallel = run(base.with_dop(4).with_parallel_threshold(1));
+    assert_eq!(parallel, serial);
+    assert_eq!(serial.len(), 1, "a single hot group");
+}
+
+/// The prefix-hash partial-aggregate decomposition at the operator
+/// level: exchange hashed on the full sort key (groups split across
+/// partitions), per-partition `GroupPartial` workers, gathering merge,
+/// `GroupFinal` — byte-identical to the serial grouping for all six
+/// aggregates, across partition counts and a skewed distribution.
+#[test]
+fn prefix_hash_partial_aggregate_matches_serial() {
+    use ovc_exec::exchange::partition;
+    use ovc_exec::parallel::group_partitions_partial;
+    use ovc_exec::{Aggregate, GroupAggregate, GroupFinal};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    // Skewed: group 0 holds half of all rows.
+    let mut rows: Vec<Row> = (0..600)
+        .map(|_| {
+            let g = if rng.gen_bool(0.5) {
+                0
+            } else {
+                rng.gen_range(1..6u64)
+            };
+            Row::new(vec![g, rng.gen_range(0..25u64), rng.gen_range(0..50u64)])
+        })
+        .collect();
+    rows.sort();
+    let aggs = vec![
+        Aggregate::Count,
+        Aggregate::Sum(2),
+        Aggregate::Min(2),
+        Aggregate::Max(2),
+        Aggregate::First(2),
+        Aggregate::Last(2),
+    ];
+    let serial: Vec<OvcRow> = GroupAggregate::new(
+        VecStream::from_sorted_rows(rows.clone(), 3),
+        1,
+        aggs.clone(),
+        Stats::new_shared(),
+    )
+    .collect();
+    for parts in [2usize, 4] {
+        let stats = Stats::new_shared();
+        let split = split_threaded(
+            CodedBatch::from_sorted_rows(rows.clone(), 3),
+            parts,
+            partition::by_key_hash(3, parts),
+            16,
+        )
+        .collect_all();
+        let partials = group_partitions_partial(split, 1, aggs.clone(), &stats);
+        let gathered = merge_threaded(partials, 3, 16, &stats);
+        let out: Vec<OvcRow> =
+            GroupFinal::new(gathered, 1, aggs.clone(), std::rc::Rc::clone(&stats)).collect();
+        assert_eq!(out, serial, "parts={parts}");
+        let pairs: Vec<(Row, Ovc)> = out.into_iter().map(|r| (r.row, r.code)).collect();
         exact(&pairs, 1);
     }
 }
