@@ -191,11 +191,81 @@ fn bench_parallel_set_op(c: &mut Criterion) {
     g.finish();
 }
 
+/// Final stage of the sweep: re-time a reduced version of each workload
+/// with plain medians and write `BENCH_parallel.json` (schema in
+/// `ovc_bench::snapshot`), so the sweep leaves machine-readable data
+/// behind alongside criterion's console output.  The environment stanza
+/// records `single_core`, which is how a reader distinguishes a speedup
+/// measurement from an overhead measurement.
+fn emit_snapshot(_c: &mut Criterion) {
+    use ovc_bench::snapshot::{BenchEntry, BenchSnapshot};
+    use std::time::Instant;
+
+    const SNAP_ROWS: usize = 50_000;
+    let rows = table(TableSpec {
+        rows: SNAP_ROWS,
+        key_cols: KEY_COLS,
+        payload_cols: 1,
+        distinct_per_col: 8,
+        seed: 42,
+    });
+    let (t1, t2) = intersect_tables(SNAP_ROWS, 7);
+    let catalog = catalog_unsorted(t1, t2);
+    let base = PlannerConfig::default()
+        .with_memory_rows(MEMORY_ROWS)
+        .with_preference(Preference::ForceSortBased);
+
+    let median3 = |f: &mut dyn FnMut()| {
+        let mut times: Vec<_> = (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed()
+            })
+            .collect();
+        times.sort();
+        times[1]
+    };
+
+    let mut snap = BenchSnapshot::new("parallel");
+    for threads in THREADS {
+        let wall = median3(&mut || {
+            let stats = Stats::new_shared();
+            parallel_sort(rows.clone(), KEY_COLS, threads, MEMORY_ROWS, 64, &stats).count();
+        });
+        snap.push(
+            BenchEntry::new("parallel_sort", format!("threads_{threads}"))
+                .metric("rows", SNAP_ROWS as f64)
+                .metric("threads", threads as f64)
+                .wall("wall", wall),
+        );
+        let wall = median3(&mut || {
+            let cfg = base.with_dop(threads).with_parallel_threshold(1);
+            let plan = plan_intersect(&catalog, cfg).expect("plans");
+            let stats = Stats::new_shared();
+            execute(&plan, &catalog, &stats, &ExecOptions::default())
+                .into_coded()
+                .len();
+        });
+        snap.push(
+            BenchEntry::new("fig5_planned_query", format!("dop_{threads}"))
+                .metric("rows_per_table", SNAP_ROWS as f64)
+                .metric("dop", threads as f64)
+                .wall("wall", wall),
+        );
+    }
+    match snap.write_to(std::path::Path::new(".")) {
+        Ok(path) => println!("snapshot: wrote {}", path.display()),
+        Err(e) => eprintln!("snapshot: failed to write {}: {e}", snap.file_name()),
+    }
+}
+
 criterion_group!(
     benches,
     bench_parallel_sort,
     bench_parallel_figure5,
     bench_parallel_group_by,
-    bench_parallel_set_op
+    bench_parallel_set_op,
+    emit_snapshot
 );
 criterion_main!(benches);

@@ -1,12 +1,17 @@
-//! Regenerate every table and figure of the paper as plain text.
+//! Regenerate every table and figure of the paper as plain text, and
+//! emit the same measurements as a machine-readable snapshot
+//! (`BENCH_figures.json`, schema in [`ovc_bench::snapshot`]).
 //!
 //! Run with: `cargo run --release -p ovc-bench --bin figures`
 //! Scale Figure 4 / Figure 6 with `--fig4-rows N` / `--fig6-rows N`.
+//! `--quick` shrinks both to a smoke-test scale (CI runs this mode and
+//! validates the emitted snapshot against the documented schema).
 
 use std::rc::Rc;
 use std::time::Instant;
 
 use ovc_baseline::hash_intersect_distinct;
+use ovc_bench::snapshot::{BenchEntry, BenchSnapshot};
 use ovc_bench::workload::{grouped_sorted_table, intersect_tables};
 use ovc_core::compare::compare_same_base;
 use ovc_core::derive::derive_codes;
@@ -25,13 +30,36 @@ fn arg(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 fn main() {
+    let quick = flag("--quick");
+    let default_rows = if quick { 20_000 } else { 1_000_000 };
+
+    let mut snap = BenchSnapshot::new("figures");
+    if snap.environment.single_core {
+        println!("==================================================================");
+        println!("!! WARNING: available_parallelism() == 1 on this host.");
+        println!("!! Timings below measure single-core behavior only; any");
+        println!("!! parallel sweep run here measures coordination overhead,");
+        println!("!! not speedup.  The emitted snapshot records this");
+        println!("!! (environment.single_core = true).");
+        println!("==================================================================\n");
+    }
+
     table_1();
     table_2();
     table_3();
-    figure_4(arg("--fig4-rows", 1_000_000));
+    figure_4(arg("--fig4-rows", default_rows), &mut snap);
     figure_5();
-    figure_6(arg("--fig6-rows", 1_000_000));
+    figure_6(arg("--fig6-rows", default_rows), &mut snap);
+
+    match snap.write_to(std::path::Path::new(".")) {
+        Ok(path) => println!("snapshot: wrote {}", path.display()),
+        Err(e) => eprintln!("snapshot: failed to write {}: {e}", snap.file_name()),
+    }
 }
 
 fn table_1() {
@@ -122,7 +150,7 @@ fn table_3() {
     println!("\npaper: (5,7,3,9) -> 405;  (5,9,3,7) -> 309\n");
 }
 
-fn figure_4(rows_n: usize) {
+fn figure_4(rows_n: usize, snap: &mut BenchSnapshot) {
     println!("==================================================================");
     println!("Figure 4: Group boundaries from offset-value codes");
     println!("         (in-stream aggregation over materialized sorted input,");
@@ -201,6 +229,13 @@ fn figure_4(rows_n: usize) {
             t_full,
             t_full.as_secs_f64() / t_ovc.as_secs_f64()
         );
+        snap.push(
+            BenchEntry::new("figure_4", format!("ratio_{ratio}"))
+                .metric("rows", rows_n as f64)
+                .wall("ovc", t_ovc)
+                .wall("full_compare", t_full)
+                .metric("speedup", t_full.as_secs_f64() / t_ovc.as_secs_f64()),
+        );
     }
     println!("\nThe library operators (GroupAggregate / GroupFullCompare) implement");
     println!("the same two mechanisms and are tested to produce identical output;");
@@ -223,7 +258,7 @@ fn figure_5() {
     println!("\n  3 blocking operators                2 blocking operators\n");
 }
 
-fn figure_6(rows_n: usize) {
+fn figure_6(rows_n: usize, snap: &mut BenchSnapshot) {
     println!("==================================================================");
     println!("Figure 6: Performance of 'intersect distinct' query plans");
     println!("         (N = {rows_n} rows per table, memory = N/10 rows,");
@@ -285,6 +320,22 @@ fn figure_6(rows_n: usize) {
     );
     println!("\npaper shape: sort plan spills each row once (hash: many rows twice)");
     println!("and the merge join rides on the aggregation's offset-value codes\n");
+
+    for (label, wall, stats, result_rows) in [
+        ("hash_plan", t_hash, &hs, h.len()),
+        ("sort_plan", t_sort, &ss, s.len()),
+    ] {
+        snap.push(
+            BenchEntry::new("figure_6", label)
+                .metric("input_rows_per_table", rows_n as f64)
+                .metric("result_rows", result_rows as f64)
+                .wall("wall", wall)
+                .metric("rows_spilled", stats.rows_spilled() as f64)
+                .metric("bytes_spilled", stats.bytes_spilled() as f64)
+                .metric("col_value_cmps", stats.col_value_cmps() as f64)
+                .metric("ovc_cmps", stats.ovc_cmps() as f64),
+        );
+    }
 }
 
 fn median5<T>(mut f: impl FnMut() -> T) -> std::time::Duration {

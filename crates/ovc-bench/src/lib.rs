@@ -4,9 +4,12 @@
 //! actual data in our daily production web analysis with many rows and
 //! many key columns.  Each key column is an 8-byte integer with only a
 //! few distinct values."  The [`workload`] module generates exactly that
-//! data shape, parameterized the way the figures sweep it.
+//! data shape, parameterized the way the figures sweep it; [`snapshot`]
+//! gives the figure binaries a machine-readable output channel
+//! (`BENCH_<name>.json`, schema-validated in CI).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod snapshot;
 pub mod workload;

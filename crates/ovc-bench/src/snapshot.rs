@@ -1,0 +1,630 @@
+//! Machine-readable bench snapshots: `BENCH_<name>.json`.
+//!
+//! The figure binaries and benches print human-readable tables; CI and
+//! regression tooling need the same numbers as data.  This module is a
+//! self-contained JSON layer (this workspace builds without crates.io,
+//! so no serde): a [`Json`] value type with a writer *and* a parser, the
+//! [`BenchSnapshot`] builder the binaries use, and [`validate_snapshot`]
+//! — the schema check CI runs against every emitted file.
+//!
+//! ## Snapshot schema (`schema_version` 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "name": "figures",
+//!   "environment": {
+//!     "available_parallelism": 1,
+//!     "single_core": true,
+//!     "debug_assertions": false,
+//!     "rustc": "rustc 1.99.0 (...)",
+//!     "os": "linux",
+//!     "arch": "x86_64"
+//!   },
+//!   "entries": [
+//!     { "group": "figure_6", "label": "sort_plan",
+//!       "metrics": { "wall_ns": 12345.0, "rows_spilled": 2000.0 } }
+//!   ]
+//! }
+//! ```
+//!
+//! Every metric is a JSON number (f64 — exact for the counter ranges
+//! involved).  The `environment` stanza exists so a snapshot is
+//! meaningless-proof: a single-core container or a debug build is
+//! recorded in the file itself, not remembered out of band (this repo's
+//! dev container has one core, where parallel sweeps measure overhead,
+//! not speedup).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A JSON value.  Object member order is preserved (insertion order),
+/// which keeps emitted snapshots diffable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, members in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects (`None` for other variants or missing
+    /// keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                let pad = "  ".repeat(depth + 1);
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    v.write_pretty(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&"  ".repeat(depth));
+                out.push(']');
+            }
+            Json::Obj(members) if members.is_empty() => out.push_str("{}"),
+            Json::Obj(members) => {
+                let pad = "  ".repeat(depth + 1);
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    out.push_str(&pad);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                    out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&"  ".repeat(depth));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (the subset this module emits: no
+    /// scientific-notation requirement on the writer side, but the
+    /// parser accepts standard number syntax).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{token}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                members.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = bytes
+                    .get(*pos)
+                    .ok_or_else(|| "unterminated escape".to_string())?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        *pos += 4;
+                        out.push(char::from_u32(cp).ok_or("invalid \\u escape")?);
+                    }
+                    other => return Err(format!("unknown escape `\\{}`", *other as char)),
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so the
+                // byte stream is valid UTF-8 by construction).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|e| e.to_string())?
+        .parse()
+        .map_err(|_| format!("invalid number at byte {start}"))
+}
+
+/// The `environment` stanza: everything needed to judge whether two
+/// snapshots are comparable.
+#[derive(Clone, Debug)]
+pub struct Environment {
+    /// `std::thread::available_parallelism()` at snapshot time.
+    pub available_parallelism: usize,
+    /// `available_parallelism == 1` — parallel sweeps on such a host
+    /// measure coordination overhead, not speedup.
+    pub single_core: bool,
+    /// Was the binary compiled with debug assertions (a debug profile)?
+    pub debug_assertions: bool,
+    /// `rustc --version` output, when the compiler is on `PATH`.
+    pub rustc: Option<String>,
+    /// Target OS.
+    pub os: String,
+    /// Target architecture.
+    pub arch: String,
+}
+
+impl Environment {
+    /// Probe the current process's environment.
+    pub fn capture() -> Environment {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let rustc = std::process::Command::new("rustc")
+            .arg("--version")
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string());
+        Environment {
+            available_parallelism: parallelism,
+            single_core: parallelism == 1,
+            debug_assertions: cfg!(debug_assertions),
+            rustc,
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "available_parallelism".into(),
+                Json::Num(self.available_parallelism as f64),
+            ),
+            ("single_core".into(), Json::Bool(self.single_core)),
+            ("debug_assertions".into(), Json::Bool(self.debug_assertions)),
+            (
+                "rustc".into(),
+                match &self.rustc {
+                    Some(v) => Json::Str(v.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("os".into(), Json::Str(self.os.clone())),
+            ("arch".into(), Json::Str(self.arch.clone())),
+        ])
+    }
+}
+
+/// One measured data point: a `(group, label)` name plus named metrics.
+#[derive(Clone, Debug)]
+pub struct BenchEntry {
+    /// Which table/figure/sweep this point belongs to.
+    pub group: String,
+    /// The point within the group (parameter setting, plan name, …).
+    pub label: String,
+    /// Named measurements, insertion order preserved.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchEntry {
+    /// An entry with no metrics yet.
+    pub fn new(group: impl Into<String>, label: impl Into<String>) -> BenchEntry {
+        BenchEntry {
+            group: group.into(),
+            label: label.into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Append a named metric.
+    pub fn metric(mut self, name: impl Into<String>, value: f64) -> BenchEntry {
+        self.metrics.push((name.into(), value));
+        self
+    }
+
+    /// Append a wall time as `<name>_ns`.
+    pub fn wall(self, name: &str, d: Duration) -> BenchEntry {
+        self.metric(format!("{name}_ns"), d.as_nanos() as f64)
+    }
+}
+
+/// Version stamped into every snapshot; bump when the shape changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A full `BENCH_<name>.json` document under construction.
+#[derive(Clone, Debug)]
+pub struct BenchSnapshot {
+    /// Snapshot name (the `<name>` in the file name).
+    pub name: String,
+    /// Environment at capture time.
+    pub environment: Environment,
+    /// Measured points, in emission order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchSnapshot {
+    /// A snapshot named `name`, capturing the current environment.
+    pub fn new(name: impl Into<String>) -> BenchSnapshot {
+        BenchSnapshot {
+            name: name.into(),
+            environment: Environment::capture(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Record one entry.
+    pub fn push(&mut self, entry: BenchEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The snapshot as a [`Json`] document (schema above).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Num(SCHEMA_VERSION as f64)),
+            ("name".into(), Json::Str(self.name.clone())),
+            ("environment".into(), self.environment.to_json()),
+            (
+                "entries".into(),
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("group".into(), Json::Str(e.group.clone())),
+                                ("label".into(), Json::Str(e.label.clone())),
+                                (
+                                    "metrics".into(),
+                                    Json::Obj(
+                                        e.metrics
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The file name this snapshot is written under.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Write `BENCH_<name>.json` into `dir`, returning the path.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json().to_pretty())?;
+        Ok(path)
+    }
+}
+
+/// Validate a parsed snapshot document against the documented schema
+/// (see the module docs).  Returns the first violation found.
+pub fn validate_snapshot(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric `schema_version`")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    doc.get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing string `name`")?;
+    let env = doc.get("environment").ok_or("missing `environment`")?;
+    env.get("available_parallelism")
+        .and_then(Json::as_num)
+        .ok_or("environment: missing numeric `available_parallelism`")?;
+    env.get("single_core")
+        .and_then(Json::as_bool)
+        .ok_or("environment: missing boolean `single_core`")?;
+    env.get("debug_assertions")
+        .and_then(Json::as_bool)
+        .ok_or("environment: missing boolean `debug_assertions`")?;
+    match env.get("rustc") {
+        Some(Json::Str(_)) | Some(Json::Null) => {}
+        _ => return Err("environment: `rustc` must be string or null".into()),
+    }
+    env.get("os")
+        .and_then(Json::as_str)
+        .ok_or("environment: missing string `os`")?;
+    env.get("arch")
+        .and_then(Json::as_str)
+        .ok_or("environment: missing string `arch`")?;
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `entries`")?;
+    for (i, entry) in entries.iter().enumerate() {
+        entry
+            .get("group")
+            .and_then(Json::as_str)
+            .ok_or(format!("entries[{i}]: missing string `group`"))?;
+        entry
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or(format!("entries[{i}]: missing string `label`"))?;
+        match entry.get("metrics") {
+            Some(Json::Obj(metrics)) => {
+                for (k, v) in metrics {
+                    if v.as_num().is_none() {
+                        return Err(format!("entries[{i}]: metric `{k}` is not a number"));
+                    }
+                }
+            }
+            _ => return Err(format!("entries[{i}]: missing object `metrics`")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let doc = Json::Obj(vec![
+            ("s".into(), Json::Str("a \"quoted\"\nline\t\\".into())),
+            (
+                "a".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-3.0)]),
+            ),
+            ("b".into(), Json::Bool(true)),
+            ("n".into(), Json::Null),
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+        ]);
+        let text = doc.to_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        let mut out = String::new();
+        write_num(&mut out, 1234567.0);
+        assert_eq!(out, "1234567");
+        out.clear();
+        write_num(&mut out, 0.5);
+        assert_eq!(out, "0.5");
+    }
+
+    #[test]
+    fn snapshot_emits_valid_schema() {
+        let mut snap = BenchSnapshot::new("unit");
+        snap.push(
+            BenchEntry::new("g", "l")
+                .metric("rows", 100.0)
+                .wall("sort", Duration::from_micros(250)),
+        );
+        let text = snap.to_json().to_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        validate_snapshot(&parsed).unwrap();
+        assert_eq!(snap.file_name(), "BENCH_unit.json");
+        let entry = &parsed.get("entries").unwrap().as_arr().unwrap()[0];
+        let metrics = entry.get("metrics").unwrap();
+        assert_eq!(metrics.get("rows").unwrap().as_num(), Some(100.0));
+        assert_eq!(metrics.get("sort_ns").unwrap().as_num(), Some(250_000.0));
+    }
+
+    #[test]
+    fn validation_pinpoints_violations() {
+        let mut snap = BenchSnapshot::new("unit");
+        snap.push(BenchEntry::new("g", "l"));
+        let mut doc = snap.to_json();
+        validate_snapshot(&doc).unwrap();
+        if let Json::Obj(members) = &mut doc {
+            members.retain(|(k, _)| k != "environment");
+        }
+        let err = validate_snapshot(&doc).unwrap_err();
+        assert!(err.contains("environment"), "{err}");
+    }
+
+    #[test]
+    fn environment_capture_is_consistent() {
+        let env = Environment::capture();
+        assert_eq!(env.single_core, env.available_parallelism == 1);
+        assert_eq!(env.debug_assertions, cfg!(debug_assertions));
+        assert!(!env.os.is_empty());
+        assert!(!env.arch.is_empty());
+    }
+}

@@ -28,6 +28,10 @@
 //! * [`stats`] — comparison and spill accounting for the paper's `N × K`
 //!   bound and the Figure 6 spill claims, single-threaded (`Stats`) and
 //!   sendable ([`stats::AtomicStats`], per-thread snapshot merging);
+//! * [`metrics`] — per-operator runtime profiling (`EXPLAIN ANALYZE`):
+//!   the [`metrics::ProfileNode`] accumulator tree executors stamp
+//!   measurements into, and the [`metrics::ChannelGauge`] wait/occupancy
+//!   counters of the threaded exchange;
 //! * [`table1`] — the paper's running example as a shared fixture.
 //!
 //! ## Quick example
@@ -53,6 +57,7 @@ pub mod compare;
 pub mod derive;
 pub mod desc;
 pub mod flat;
+pub mod metrics;
 pub mod normalized;
 pub mod ovc;
 pub mod row;
@@ -63,6 +68,9 @@ pub mod table1;
 pub mod theorem;
 
 pub use flat::FlatRows;
+pub use metrics::{
+    ChannelGauge, ChannelGaugeSnapshot, ExchangeGauges, OpMetrics, PlanProfile, ProfileNode,
+};
 pub use ovc::Ovc;
 pub use row::{Row, SortKey, Value};
 pub use spec::{Direction, SortSpec};

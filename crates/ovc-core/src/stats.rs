@@ -326,6 +326,19 @@ impl StatsSnapshot {
         }
     }
 
+    /// Accumulate another snapshot into this one field-wise (the owned
+    /// counterpart of [`Stats::absorb`], used by profiling adapters that
+    /// collect deltas locally before publishing them).
+    pub fn add(&mut self, d: &StatsSnapshot) {
+        self.col_value_cmps += d.col_value_cmps;
+        self.ovc_cmps += d.ovc_cmps;
+        self.row_cmps += d.row_cmps;
+        self.rows_spilled += d.rows_spilled;
+        self.bytes_spilled += d.bytes_spilled;
+        self.rows_read_back += d.rows_read_back;
+        self.bytes_read_back += d.bytes_read_back;
+    }
+
     /// Fold the counters into one scalar under the given weights — the
     /// measured counterpart of the planner's estimated plan cost.
     pub fn weighted_cost(&self, w: &CostWeights) -> f64 {

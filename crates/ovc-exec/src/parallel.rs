@@ -32,11 +32,21 @@
 //! partition in order.  Comparison counters from worker threads are kept
 //! in per-thread [`Stats`] and merged into the caller's by snapshot
 //! (`ovc_core::stats`), so accounting is identical to the serial exchange.
+//!
+//! **Channel gauges** ([`split_threaded_gauged`],
+//! [`merge_threaded_spec_gauged`]): profiled runs attach one
+//! [`ChannelGauge`] per partition, recording producer send waits,
+//! consumer receive waits, and peak queue occupancy — the per-channel
+//! evidence behind the "exchange sandwich" costs of EXPERIMENTS.md §5.
+//! Ungauged calls add no clock reads to the exchange hot path.
 
 use std::rc::Rc;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
+use ovc_core::metrics::{ChannelGauge, ExchangeGauges};
 use ovc_core::theorem::OvcAccumulator;
 use ovc_core::{CodedBatch, OvcRow, OvcStream, Row, SortSpec, Stats, StatsSnapshot};
 use ovc_sort::TreeOfLosers;
@@ -57,12 +67,23 @@ pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
 pub struct ChannelStream {
     rx: Receiver<OvcRow>,
     spec: SortSpec,
+    /// Wait/occupancy gauge for this channel (profiled exchanges only —
+    /// `None` keeps the unprofiled hot path free of clock reads).
+    gauge: Option<Arc<ChannelGauge>>,
 }
 
 impl Iterator for ChannelStream {
     type Item = OvcRow;
     fn next(&mut self) -> Option<OvcRow> {
-        self.rx.recv().ok()
+        match &self.gauge {
+            None => self.rx.recv().ok(),
+            Some(g) => {
+                let t0 = Instant::now();
+                let row = self.rx.recv().ok();
+                g.note_recv(t0.elapsed(), row.is_some());
+                row
+            }
+        }
     }
 }
 
@@ -124,20 +145,58 @@ pub fn split_threaded<P>(input: CodedBatch, parts: usize, part: P, capacity: usi
 where
     P: FnMut(&Row) -> usize + Send + 'static,
 {
+    split_threaded_gauged(input, parts, part, capacity, None)
+}
+
+/// [`split_threaded`] with per-partition [`ChannelGauge`]s: the producer
+/// times every `send` (blocked time = backpressure from that partition's
+/// consumer) and each partition's consumer times every `recv`, so a
+/// profiled run can read skew and stalls per channel.  `None` gauges are
+/// the ungauged fast path — not a single clock read is added.
+pub fn split_threaded_gauged<P>(
+    input: CodedBatch,
+    parts: usize,
+    part: P,
+    capacity: usize,
+    gauges: Option<&ExchangeGauges>,
+) -> SplitThreads
+where
+    P: FnMut(&Row) -> usize + Send + 'static,
+{
     assert!(parts > 0, "split needs at least one partition");
     let spec = input.sort_spec().clone();
     let capacity = capacity.max(1);
     let (txs, rxs): (Vec<SyncSender<OvcRow>>, Vec<Receiver<OvcRow>>) =
         (0..parts).map(|_| sync_channel(capacity)).unzip();
+    let send_gauges: Vec<Option<Arc<ChannelGauge>>> = match gauges {
+        Some(g) => (0..parts).map(|p| Some(g.channel(p))).collect(),
+        None => vec![None; parts],
+    };
+    let recv_gauges: Vec<Option<Arc<ChannelGauge>>> = match gauges {
+        Some(g) => (0..parts).map(|p| Some(g.channel(p))).collect(),
+        None => vec![None; parts],
+    };
     let producer = thread::spawn(move || {
-        route_coded_rows(input, parts, part, |p, row| txs[p].send(row).is_ok());
+        route_coded_rows(input, parts, part, |p, row| match &send_gauges[p] {
+            None => txs[p].send(row).is_ok(),
+            Some(g) => {
+                let t0 = Instant::now();
+                let ok = txs[p].send(row).is_ok();
+                if ok {
+                    g.note_send(t0.elapsed());
+                }
+                ok
+            }
+        });
     });
     SplitThreads {
         partitions: rxs
             .into_iter()
-            .map(|rx| ChannelStream {
+            .zip(recv_gauges)
+            .map(|(rx, gauge)| ChannelStream {
                 rx,
                 spec: spec.clone(),
+                gauge,
             })
             .collect(),
         producer,
@@ -235,22 +294,51 @@ pub fn merge_threaded_spec(
     capacity: usize,
     stats: &Rc<Stats>,
 ) -> MergeThreaded {
+    merge_threaded_spec_gauged(inputs, spec, capacity, stats, None)
+}
+
+/// [`merge_threaded_spec`] with per-input [`ChannelGauge`]s: feeder `i`
+/// times its sends into channel `i` (blocked time = the merge consuming
+/// other inputs) and the merging thread times its receives, so a
+/// profiled run can see which partition starved the gather.  `None` is
+/// the ungauged fast path.
+pub fn merge_threaded_spec_gauged(
+    inputs: Vec<CodedBatch>,
+    spec: SortSpec,
+    capacity: usize,
+    stats: &Rc<Stats>,
+    gauges: Option<&ExchangeGauges>,
+) -> MergeThreaded {
     debug_assert!(inputs.iter().all(|b| b.sort_spec() == &spec));
     let capacity = capacity.max(1);
     let mut streams = Vec::with_capacity(inputs.len());
     let mut feeders = Vec::with_capacity(inputs.len());
-    for batch in inputs {
+    for (i, batch) in inputs.into_iter().enumerate() {
         let (tx, rx) = sync_channel::<OvcRow>(capacity);
+        let gauge = gauges.map(|g| g.channel(i));
+        let feeder_gauge = gauge.clone();
         feeders.push(thread::spawn(move || {
             for row in batch.into_stream() {
-                if tx.send(row).is_err() {
-                    break; // consumer gone: stop feeding
+                match &feeder_gauge {
+                    None => {
+                        if tx.send(row).is_err() {
+                            break; // consumer gone: stop feeding
+                        }
+                    }
+                    Some(g) => {
+                        let t0 = Instant::now();
+                        if tx.send(row).is_err() {
+                            break;
+                        }
+                        g.note_send(t0.elapsed());
+                    }
                 }
             }
         }));
         streams.push(ChannelStream {
             rx,
             spec: spec.clone(),
+            gauge,
         });
     }
     MergeThreaded {
@@ -917,6 +1005,34 @@ mod tests {
                 GroupFinal::new(gathered, 1, vec![Aggregate::Count], Rc::clone(&stats)).collect();
             assert_eq!(out, serial, "parts={parts}: rows and codes");
         }
+    }
+
+    #[test]
+    fn gauged_exchange_counts_rows_and_occupancy_without_perturbing_codes() {
+        let (input, rows) = batch(400, 11);
+        let split_gauges = ExchangeGauges::new(4);
+        let merge_gauges = ExchangeGauges::new(4);
+        let stats = Stats::new_shared();
+        let parts =
+            split_threaded_gauged(input, 4, partition::by_hash(0, 4), 8, Some(&split_gauges))
+                .collect_all();
+        // Every row crossed exactly one split channel; waits accrued and
+        // occupancy never exceeded the channel bound (+1 for the row in
+        // flight on the consumer side — see ChannelGauge::note_send).
+        let snap = split_gauges.snapshot();
+        assert_eq!(snap.iter().map(|g| g.rows).sum::<u64>(), rows.len() as u64);
+        assert!(snap.iter().all(|g| g.peak_depth <= 8 + 1), "{snap:?}");
+
+        // Gauged gather: rows and codes identical to the ungauged merge.
+        let reference: Vec<OvcRow> =
+            merge_threaded(parts.clone(), 2, 8, &Stats::new_shared()).collect();
+        let merged: Vec<OvcRow> =
+            merge_threaded_spec_gauged(parts, SortSpec::asc(2), 8, &stats, Some(&merge_gauges))
+                .collect();
+        assert_eq!(merged, reference, "gauges must not perturb rows or codes");
+        let snap = merge_gauges.snapshot();
+        assert_eq!(snap.iter().map(|g| g.rows).sum::<u64>(), rows.len() as u64);
+        assert!(snap.iter().any(|g| g.peak_depth >= 1));
     }
 
     #[test]

@@ -25,15 +25,20 @@
 //! means operationally.
 
 use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use ovc_core::derive::{assert_codes_exact_spec, derive_codes_spec_counted};
-use ovc_core::{CodedBatch, Ovc, OvcRow, OvcStream, Row, SortSpec, Stats, VecStream};
+use ovc_core::metrics::ProfileNode;
+use ovc_core::{
+    CodedBatch, Ovc, OvcRow, OvcStream, Row, SortSpec, Stats, StatsSnapshot, VecStream,
+};
 use ovc_exec::exchange::partition;
 use ovc_exec::plans::in_sort_distinct;
 use ovc_exec::{
-    group_partitions, merge_join_partitions, merge_threaded_spec, set_op_partitions,
-    split_threaded, Dedup, Filter as FilterOp, GroupAggregate, MergeJoin, Project as ProjectOp,
-    SetOperation, DEFAULT_CHANNEL_CAPACITY,
+    group_partitions, merge_join_partitions, merge_threaded_spec_gauged, set_op_partitions,
+    split_threaded_gauged, Dedup, Filter as FilterOp, GroupAggregate, MergeJoin,
+    Project as ProjectOp, SetOperation, DEFAULT_CHANNEL_CAPACITY,
 };
 use ovc_sort::{external_sort, external_sort_spec, MemoryRunStorage, SortConfig};
 
@@ -129,7 +134,33 @@ pub fn execute(
         stats,
         options,
     };
-    cx.run(plan)
+    cx.run(plan, None)
+}
+
+/// As [`execute`], but with per-operator profiling: every lowered
+/// operator reports rows, wall time, and counter deltas into a
+/// [`ProfileNode`] tree mirroring the plan's shape, and threaded
+/// exchanges report per-channel wait/occupancy gauges.
+///
+/// The returned stream (when the root is ordered) is lazily profiled:
+/// drain it fully, then take [`ProfileNode::snapshot`] — streaming
+/// adapters flush their tallies when dropped.  Profiling only observes:
+/// rows, codes, and the [`Stats`] totals are byte-identical to an
+/// unprofiled [`execute`] of the same plan.
+pub fn execute_profiled(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    stats: &Rc<Stats>,
+    options: &ExecOptions,
+) -> (Output, Arc<ProfileNode>) {
+    let root = crate::profile::build_profile(plan);
+    let cx = Cx {
+        catalog,
+        stats,
+        options,
+    };
+    let out = cx.run(plan, Some(&root));
+    (out, root)
 }
 
 /// As [`execute`], but demand a coded stream (the plan root must be
@@ -150,6 +181,12 @@ struct Cx<'a> {
     options: &'a ExecOptions,
 }
 
+/// The profile node for child `i` of a profiled node (the profile tree
+/// mirrors the plan tree child-for-child, by construction).
+fn child(prof: Option<&Arc<ProfileNode>>, i: usize) -> Option<&Arc<ProfileNode>> {
+    prof.map(|n| &n.children[i])
+}
+
 impl Cx<'_> {
     fn table(&self, name: &str) -> &crate::catalog::Table {
         self.catalog
@@ -157,7 +194,51 @@ impl Cx<'_> {
             .unwrap_or_else(|| panic!("plan references unknown table {name}"))
     }
 
-    fn run(&self, plan: &PhysicalPlan) -> Output {
+    /// Lower and (when profiled) instrument one plan node.
+    ///
+    /// With `prof == None` this is exactly the unprofiled executor: no
+    /// clock reads, no snapshots, no adapters.  With a node, the eager
+    /// part of lowering (materializing sorts, threaded exchanges, …) is
+    /// timed around [`Cx::lower`], and stream outputs are wrapped in a
+    /// [`ProfiledStream`] that meters every subsequent `next()`.  Both
+    /// windows are disjoint in time, so a node's total is eager work +
+    /// streamed work, inclusive of its subtree (children run inside one
+    /// window or the other).
+    fn run(&self, plan: &PhysicalPlan, prof: Option<&Arc<ProfileNode>>) -> Output {
+        let Some(node) = prof else {
+            return self.lower(plan, None);
+        };
+        let before = self.stats.snapshot();
+        let start = Instant::now();
+        let out = self.lower(plan, prof);
+        node.add_wall(start.elapsed());
+        node.absorb_stats(&self.stats.snapshot().since(&before));
+        match out {
+            Output::Stream(inner) => {
+                let spec = inner.sort_spec();
+                Output::Stream(Box::new(ProfiledStream {
+                    inner,
+                    spec,
+                    node: Arc::clone(node),
+                    stats: Rc::clone(self.stats),
+                    rows: 0,
+                    wall: Duration::ZERO,
+                    delta: StatsSnapshot::default(),
+                }))
+            }
+            Output::Rows(rows) => {
+                node.add_rows_out(rows.len() as u64);
+                Output::Rows(rows)
+            }
+            Output::Partitions(parts) => {
+                node.add_batches(parts.len() as u64);
+                node.add_rows_out(parts.iter().map(|b| b.len() as u64).sum());
+                Output::Partitions(parts)
+            }
+        }
+    }
+
+    fn lower(&self, plan: &PhysicalPlan, prof: Option<&Arc<ProfileNode>>) -> Output {
         match &plan.op {
             PhysOp::ScanRows { table } => Output::Rows(self.table(table).rows().to_vec()),
             PhysOp::ScanCoded { table } => {
@@ -178,7 +259,7 @@ impl Cx<'_> {
                 fan_in,
                 dop,
             } => {
-                let rows = self.run(input).into_rows();
+                let rows = self.run(input, child(prof, 0)).into_rows();
                 if *dop > 1 {
                     // Parallel run generation over row-range slices: rows
                     // and codes are byte-identical to the serial sort
@@ -213,7 +294,7 @@ impl Cx<'_> {
                 }
             }
             PhysOp::TrustSorted { input, spec } => {
-                let stream = self.run(input).into_stream();
+                let stream = self.run(input, child(prof, 0)).into_stream();
                 if self.options.verify_trusted {
                     // Audit the elision: the stream the planner trusted
                     // must carry exact codes under its own spec (which
@@ -235,7 +316,7 @@ impl Cx<'_> {
                 // cost::reverse).  The input is sorted on spec.reversed(),
                 // so the reversed row sequence satisfies `spec` — only
                 // the codes need re-deriving.
-                let stream = self.run(input).into_stream();
+                let stream = self.run(input, child(prof, 0)).into_stream();
                 debug_assert!(stream.sort_spec().satisfies(&spec.reversed()));
                 let mut rows: Vec<Row> = stream.map(|r| r.row).collect();
                 rows.reverse();
@@ -258,7 +339,7 @@ impl Cx<'_> {
                 // for distinct semantics.
                 debug_assert!(spec.is_asc_prefix());
                 let key_len = spec.len();
-                let rows = self.run(input).into_rows();
+                let rows = self.run(input, child(prof, 0)).into_rows();
                 if *dop > 1 {
                     Output::Stream(Box::new(ovc_sort::parallel::parallel_sort_distinct(
                         rows,
@@ -281,18 +362,18 @@ impl Cx<'_> {
                 }
             }
             PhysOp::DedupCodes { input } => {
-                let stream = self.run(input).into_stream();
+                let stream = self.run(input, child(prof, 0)).into_stream();
                 Output::Stream(Box::new(Dedup::new(stream)))
             }
             PhysOp::HashDistinct { input, memory_rows } => {
-                let rows = self.run(input).into_rows();
+                let rows = self.run(input, child(prof, 0)).into_rows();
                 Output::Rows(ovc_baseline::hash_aggregate_distinct(
                     rows,
                     *memory_rows,
                     self.stats,
                 ))
             }
-            PhysOp::Filter { input, pred } => match self.run(input) {
+            PhysOp::Filter { input, pred } => match self.run(input, child(prof, 0)) {
                 Output::Stream(s) => {
                     let p = pred.clone();
                     Output::Stream(Box::new(FilterOp::new(
@@ -310,7 +391,7 @@ impl Cx<'_> {
                 input,
                 cols,
                 surviving_key,
-            } => match self.run(input) {
+            } => match self.run(input, child(prof, 0)) {
                 Output::Stream(s) => {
                     let cols = cols.clone();
                     Output::Stream(Box::new(ProjectOp::new(
@@ -326,7 +407,7 @@ impl Cx<'_> {
                 input,
                 group_len,
                 aggs,
-            } => match self.run(input) {
+            } => match self.run(input, child(prof, 0)) {
                 // Partition-parallel: the input arrives hash-partitioned
                 // on the full group key from an explicit Exchange child;
                 // every group is local to one partition, so each worker
@@ -352,7 +433,10 @@ impl Cx<'_> {
                 join_type,
             } => {
                 let (lw, rw) = (left.props.width, right.props.width);
-                match (self.run(left), self.run(right)) {
+                match (
+                    self.run(left, child(prof, 0)),
+                    self.run(right, child(prof, 1)),
+                ) {
                     // Partition-parallel: both inputs arrive hash-co-
                     // partitioned from explicit Exchange children; join
                     // each partition pair on its own worker thread.
@@ -371,8 +455,8 @@ impl Cx<'_> {
                 join_len,
                 memory_rows,
             } => {
-                let l = self.run(left).into_rows();
-                let r = self.run(right).into_rows();
+                let l = self.run(left, child(prof, 0)).into_rows();
+                let r = self.run(right, child(prof, 1)).into_rows();
                 Output::Rows(ovc_baseline::grace_hash_join(
                     l,
                     r,
@@ -382,7 +466,10 @@ impl Cx<'_> {
                 ))
             }
             PhysOp::SetOpMerge { left, right, op } => {
-                match (self.run(left), self.run(right)) {
+                match (
+                    self.run(left, child(prof, 0)),
+                    self.run(right, child(prof, 1)),
+                ) {
                     // Partition-parallel: both inputs hash-co-partitioned
                     // on the full row by explicit Exchange children; run
                     // one set-operation worker per partition pair.
@@ -396,7 +483,7 @@ impl Cx<'_> {
                 }
             }
             PhysOp::TopK { input, k } => {
-                let stream = self.run(input).into_stream();
+                let stream = self.run(input, child(prof, 0)).into_stream();
                 Output::Stream(Box::new(TakeStream {
                     spec: stream.sort_spec(),
                     inner: stream,
@@ -410,16 +497,17 @@ impl Cx<'_> {
                 // concurrently (collect_all fans out — sequential
                 // draining against bounded channels deadlocks, §4.10).
                 Partitioning::Hash { cols, parts } => {
-                    let stream = self.run(input).into_stream();
+                    let stream = self.run(input, child(prof, 0)).into_stream();
                     // Flat-backed batch: the materialized stream lands in
                     // one contiguous buffer and crosses the producer
                     // thread without per-row pointer chasing.
                     let batch = CodedBatch::from_stream_flat(stream);
-                    let split = split_threaded(
+                    let split = split_threaded_gauged(
                         batch,
                         *parts,
                         partition::by_cols_hash(cols.clone(), *parts),
                         DEFAULT_CHANNEL_CAPACITY,
+                        prof.and_then(|n| n.gauges()),
                     );
                     Output::Partitions(split.collect_all())
                 }
@@ -428,22 +516,23 @@ impl Cx<'_> {
                 // the order-preserving tree-of-losers merge under the
                 // partitions' actual ordering contract.
                 Partitioning::Single => {
-                    let parts = self.run(input).into_partitions();
+                    let parts = self.run(input, child(prof, 0)).into_partitions();
                     let spec = parts
                         .first()
                         .map(|b| b.sort_spec().clone())
                         .unwrap_or_else(|| input.props.order.clone());
-                    Output::Stream(Box::new(merge_threaded_spec(
+                    Output::Stream(Box::new(merge_threaded_spec_gauged(
                         parts,
                         spec,
                         DEFAULT_CHANNEL_CAPACITY,
                         self.stats,
+                        prof.and_then(|n| n.gauges()),
                     )))
                 }
                 Partitioning::Any => panic!("Exchange to `any` is not a layout"),
             },
             PhysOp::Repartition { input, cols, parts } => {
-                let batches = self.run(input).into_partitions();
+                let batches = self.run(input, child(prof, 0)).into_partitions();
                 let key_len = batches
                     .first()
                     .map(|b| b.key_len())
@@ -486,5 +575,58 @@ impl OvcStream for TakeStream {
     }
     fn sort_spec(&self) -> SortSpec {
         self.spec.clone()
+    }
+}
+
+/// Metering adapter around one operator's output stream: times every
+/// `next()` and attributes the [`Stats`] counter delta observed across
+/// it to the operator's [`ProfileNode`].
+///
+/// Rows and codes pass through untouched, and the shared [`Stats`] is
+/// only *read* (two snapshots per `next()`), so profiled output is
+/// byte-identical to unprofiled.  Tallies accumulate in plain fields and
+/// flush to the node's atomics on drop — one flush per stream, covering
+/// early termination (`TopK` abandoning its input) as well as full
+/// drains.  Nested adapters nest their windows, which is exactly the
+/// inclusive accounting convention of `EXPLAIN ANALYZE`.
+struct ProfiledStream {
+    inner: Box<dyn OvcStream>,
+    spec: SortSpec,
+    node: Arc<ProfileNode>,
+    stats: Rc<Stats>,
+    rows: u64,
+    wall: Duration,
+    delta: StatsSnapshot,
+}
+
+impl Iterator for ProfiledStream {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        let before = self.stats.snapshot();
+        let start = Instant::now();
+        let item = self.inner.next();
+        self.wall += start.elapsed();
+        self.delta.add(&self.stats.snapshot().since(&before));
+        if item.is_some() {
+            self.rows += 1;
+        }
+        item
+    }
+}
+
+impl OvcStream for ProfiledStream {
+    fn key_len(&self) -> usize {
+        self.spec.len()
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
+    }
+}
+
+impl Drop for ProfiledStream {
+    fn drop(&mut self) {
+        self.node.add_rows_out(self.rows);
+        self.node.add_wall(self.wall);
+        self.node.absorb_stats(&self.delta);
     }
 }

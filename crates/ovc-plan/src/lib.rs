@@ -26,6 +26,11 @@
 //! * [`exec`] — the executor lowering chosen plans onto
 //!   `ovc-exec`/`ovc-sort`/`ovc-baseline` operators, returning a coded
 //!   [`ovc_core::OvcStream`] for ordered plans;
+//! * [`profile`] — `EXPLAIN ANALYZE`: [`exec::execute_profiled`] meters
+//!   every lowered operator into an [`ovc_core::metrics::ProfileNode`]
+//!   tree (rows, wall time, comparison deltas, exchange channel gauges)
+//!   and [`physical::PhysicalPlan::explain_analyze`] renders estimates
+//!   beside measurements;
 //! * [`figure5`] — the paper's Figure 5 experiment derived from one
 //!   logical query instead of two hand-written pipelines.
 //!
@@ -63,13 +68,15 @@ pub mod figure5;
 pub mod logical;
 pub mod physical;
 pub mod planner;
+pub mod profile;
 
 pub use catalog::{Catalog, Table};
 pub use cost::Cost;
-pub use exec::{execute, execute_stream, ExecOptions, Output};
+pub use exec::{execute, execute_profiled, execute_stream, ExecOptions, Output};
 pub use logical::{Aggregate, JoinType, LogicalPlan, Predicate, SetOp};
 pub use physical::{Partitioning, PhysOp, PhysicalPlan, PhysicalProps};
 pub use planner::{PlanError, Planner, PlannerConfig, Preference};
+pub use profile::{build_profile, render_analyze};
 
 // The property types plans are matched on, re-exported so planner users
 // need not depend on `ovc-core` directly.

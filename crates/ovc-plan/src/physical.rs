@@ -418,10 +418,12 @@ impl PhysicalPlan {
         out
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
-        use std::fmt::Write;
-        let pad = "  ".repeat(depth);
-        let detail = match &self.op {
+    /// Operator detail string as rendered by [`PhysicalPlan::explain`]
+    /// (key, predicate, partitioning target, …) — shared with the
+    /// profiler so `EXPLAIN` and `EXPLAIN ANALYZE` label nodes
+    /// identically.
+    pub fn op_detail(&self) -> String {
+        match &self.op {
             PhysOp::ScanCoded { table } | PhysOp::ScanRows { table } => format!(" {table}"),
             PhysOp::SortOvc { spec, dop, .. } | PhysOp::InSortDistinct { spec, dop, .. } => {
                 if *dop > 1 {
@@ -454,7 +456,13 @@ impl PhysicalPlan {
                 format!(" -> {to}")
             }
             _ => String::new(),
-        };
+        }
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        let detail = self.op_detail();
         let dop = if self.props.dop > 1 {
             format!(", dop={}", self.props.dop)
         } else {

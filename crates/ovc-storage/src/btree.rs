@@ -336,12 +336,25 @@ mod tests {
         let (tree, rows) = build(400, 2);
         let stats = Stats::default();
         for probe in 0..20u64 {
+            let before = stats.snapshot();
             let got = tree.lookup(&[probe], &stats);
+            let delta = stats.snapshot().since(&before);
             let expect: Vec<&Row> = rows.iter().filter(|r| r.cols()[0] == probe).collect();
             assert_eq!(got.len(), expect.len(), "probe {probe}");
             for (g, e) in got.iter().zip(expect) {
                 assert_eq!(&g.row, e);
             }
+            // Live accounting: one row comparison per examined entry —
+            // every result row plus at most the terminating non-match —
+            // and the descent/lower-bound paid column comparisons.
+            assert!(
+                delta.row_cmps >= got.len() as u64
+                    && delta.row_cmps <= got.len() as u64 + tree.leaves.len() as u64,
+                "probe {probe}: row cmps {} for {} results",
+                delta.row_cmps,
+                got.len()
+            );
+            assert!(delta.col_value_cmps >= 1, "probe {probe}: descent counted");
             // Result codes form a valid coded stream.
             let pairs: Vec<(Row, Ovc)> = got.into_iter().map(|r| (r.row, r.code)).collect();
             assert_codes_exact(&pairs, 2);
@@ -353,6 +366,12 @@ mod tests {
         let (tree, _) = build(100, 3);
         let stats = Stats::default();
         assert!(tree.lookup(&[999], &stats).is_empty());
+        // The probe descended and searched leaves (column comparisons)
+        // but no candidate ever matched the prefix (no row comparisons:
+        // the lower bound is past the last entry).
+        let snap = stats.snapshot();
+        assert!(snap.col_value_cmps >= 1, "descent must be counted");
+        assert_eq!(snap.row_cmps, 0, "no candidate rows examined");
     }
 
     #[test]
@@ -363,6 +382,10 @@ mod tests {
         let got = tree.lookup(probe, &stats);
         assert!(!got.is_empty());
         assert!(got.iter().all(|r| r.row.key(2) == probe));
+        // Each returned row was examined (counted) at least once.
+        let snap = stats.snapshot();
+        assert!(snap.row_cmps >= got.len() as u64, "{snap:?}");
+        assert!(snap.col_value_cmps >= 1, "{snap:?}");
     }
 
     #[test]
@@ -375,6 +398,11 @@ mod tests {
             .filter(|r| r.cols()[0] >= 5 && r.cols()[0] < 12)
             .collect();
         assert_eq!(got.len(), expect.len());
+        // Every emitted row paid one upper-bound prefix comparison (plus
+        // the lower-bound search); codes themselves stay free.
+        let snap = stats.snapshot();
+        assert!(snap.col_value_cmps >= got.len() as u64, "{snap:?}");
+        assert_eq!(snap.row_cmps, 0, "range scans examine bounds, not rows");
         let pairs: Vec<(Row, Ovc)> = got.into_iter().map(|r| (r.row, r.code)).collect();
         assert_codes_exact(&pairs, 2);
     }

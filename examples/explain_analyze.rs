@@ -1,0 +1,55 @@
+//! `EXPLAIN ANALYZE` end to end: plan a query, run it with per-operator
+//! profiling, and print estimates next to measurements.
+//!
+//! Three renderings of the paper's Figure 5 workload:
+//!
+//! 1. the sort-based serial plan — watch the in-sort distincts resolve
+//!    comparisons by code (`code cmps`) while the column comparisons
+//!    (`col cmps`) stay near the `N × K` bound;
+//! 2. the same query on pre-sorted coded inputs — the elided sorts
+//!    (`TrustSorted`) report zero comparison work of their own;
+//! 3. the dop=4 parallel plan — `Exchange` operators show per-channel
+//!    rows, send/recv waits, and peak queue occupancy.
+//!
+//! Run with: `cargo run --release --example explain_analyze -- 200000`
+
+use ovc_bench::workload::intersect_tables;
+use ovc_plan::exec::ExecOptions;
+use ovc_plan::figure5::{catalog_sorted, catalog_unsorted, plan_intersect};
+use ovc_plan::{PlannerConfig, Preference};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100_000);
+    let (t1, t2) = intersect_tables(n, 42);
+    let mem = (n / 10).max(64);
+    let base = PlannerConfig::default()
+        .with_memory_rows(mem)
+        .with_preference(Preference::ForceSortBased);
+    let options = ExecOptions::default();
+
+    println!("=== EXPLAIN ANALYZE: sort-based plan, unsorted inputs (N = {n}) ===\n");
+    let catalog = catalog_unsorted(t1.clone(), t2.clone());
+    let plan = plan_intersect(&catalog, base).expect("plans");
+    print!("{}", plan.explain_analyze(&catalog, &options));
+
+    println!("\n=== EXPLAIN ANALYZE: pre-sorted coded inputs (sorts elided) ===\n");
+    let catalog = catalog_sorted(t1, t2);
+    let plan = plan_intersect(&catalog, base).expect("plans");
+    print!("{}", plan.explain_analyze(&catalog, &options));
+
+    println!("\n=== EXPLAIN ANALYZE: dop=4 exchange plan (channel gauges) ===\n");
+    let catalog = {
+        let (t1, t2) = intersect_tables(n, 42);
+        catalog_unsorted(t1, t2)
+    };
+    let plan =
+        plan_intersect(&catalog, base.with_dop(4).with_parallel_threshold(1)).expect("plans");
+    print!("{}", plan.explain_analyze(&catalog, &options));
+
+    println!("\nAll figures are inclusive of each operator's subtree (the Postgres");
+    println!("EXPLAIN ANALYZE convention); `code cmps` are comparisons resolved by");
+    println!("offset-value-code inspection alone — the paper's saved column accesses.");
+}

@@ -1,0 +1,244 @@
+//! The observability contract (DESIGN.md §11): profiling observes, it
+//! never perturbs.  A profiled execution must produce byte-identical
+//! rows and codes and identical `Stats` totals versus the unprofiled
+//! executor on the same plan, the profile tree must mirror the plan
+//! shape, exchange gauges must account for every row that crossed a
+//! thread boundary, and `explain_analyze` must render the measured
+//! counters the paper's argument is about (column comparisons vs
+//! comparisons resolved by offset-value codes).
+
+use ovc_core::{Ovc, OvcRow, Row, Stats};
+use ovc_plan::exec::{execute, execute_profiled, ExecOptions};
+use ovc_plan::{
+    figure5, Catalog, JoinType, LogicalPlan, Planner, PlannerConfig, Preference, Table,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_rows(rng: &mut StdRng, n: usize, key_max: u64) -> Vec<Row> {
+    (0..n)
+        .map(|_| Row::new(vec![rng.gen_range(0..key_max), rng.gen_range(0..50u64)]))
+        .collect()
+}
+
+/// Run both executors on one plan and demand byte-identity of rows,
+/// codes, and counter totals; return the frozen profile.
+fn assert_profiling_is_invisible(
+    plan: &ovc_plan::PhysicalPlan,
+    catalog: &Catalog,
+) -> ovc_core::PlanProfile {
+    let options = ExecOptions::default();
+
+    let plain_stats = Stats::new_shared();
+    let plain: Vec<(Row, Ovc)> = execute(plan, catalog, &plain_stats, &options)
+        .into_coded()
+        .into_iter()
+        .map(|r| (r.row, r.code))
+        .collect();
+
+    let prof_stats = Stats::new_shared();
+    let (out, root) = execute_profiled(plan, catalog, &prof_stats, &options);
+    let profiled: Vec<(Row, Ovc)> = out
+        .into_coded()
+        .into_iter()
+        .map(|r| (r.row, r.code))
+        .collect();
+
+    assert_eq!(
+        plain, profiled,
+        "profiled rows/codes must be byte-identical"
+    );
+    assert_eq!(
+        plain_stats.snapshot(),
+        prof_stats.snapshot(),
+        "profiled Stats totals must be identical"
+    );
+    let profile = root.snapshot();
+    assert_eq!(profile.metrics.rows_out, plain.len() as u64);
+    profile
+}
+
+/// Profile tree and plan tree walk in lockstep: same node count, same
+/// names, same details, preorder.
+fn assert_mirrors(plan: &ovc_plan::PhysicalPlan, profile: &ovc_core::PlanProfile) {
+    let plan_nodes = plan.nodes();
+    let prof_nodes = profile.nodes();
+    assert_eq!(plan_nodes.len(), prof_nodes.len(), "tree shapes differ");
+    for (p, n) in plan_nodes.iter().zip(&prof_nodes) {
+        assert_eq!(p.op_name(), n.name);
+        assert_eq!(p.op_detail(), n.detail);
+    }
+}
+
+/// The ISSUE 6 acceptance criterion, part 1: the Figure-5 sort plan,
+/// profiled, matches the unprofiled run byte for byte, and its profile
+/// carries per-operator rows/wall/comparison figures.
+#[test]
+fn figure5_sort_plan_profiles_without_perturbation() {
+    let mut rng = StdRng::seed_from_u64(0x0B5E);
+    let t1: Vec<Row> = (0..600)
+        .map(|_| Row::new(vec![rng.gen_range(0..80u64)]))
+        .collect();
+    let t2: Vec<Row> = (0..500)
+        .map(|_| Row::new(vec![rng.gen_range(0..80u64)]))
+        .collect();
+    let catalog = figure5::catalog_unsorted(t1, t2);
+    let cfg = PlannerConfig::default()
+        .with_memory_rows(64)
+        .with_fan_in(8)
+        .with_preference(Preference::ForceSortBased);
+    let plan = figure5::plan_intersect(&catalog, cfg).expect("plans");
+    assert!(plan.uses_sort_based_ops());
+
+    let profile = assert_profiling_is_invisible(&plan, &catalog);
+    assert_mirrors(&plan, &profile);
+
+    // The sort side did measurable work: the blocking operators report
+    // rows out and comparisons, and every figure the acceptance names
+    // is present per operator.
+    let distinct = profile
+        .find("InSortDistinct")
+        .expect("sort-based distinct in the profile");
+    assert!(distinct.metrics.rows_out > 0);
+    assert!(
+        distinct.metrics.code_resolved_cmps() > 0,
+        "in-sort dedup resolves comparisons by code"
+    );
+    let scans: Vec<_> = profile
+        .nodes()
+        .into_iter()
+        .filter(|n| n.name == "ScanRows")
+        .collect();
+    assert_eq!(scans.len(), 2);
+    assert_eq!(
+        scans.iter().map(|s| s.metrics.rows_out).sum::<u64>(),
+        1100,
+        "scans observed every input row"
+    );
+    // Inclusive accounting: the root's wall time covers its subtree.
+    for n in profile.nodes() {
+        assert!(profile.metrics.wall >= n.metrics.wall || n.metrics.wall.is_zero());
+    }
+}
+
+/// The ISSUE 6 acceptance criterion, part 2: a planned dop=4 exchange
+/// join profiles without perturbation, every Exchange node carries
+/// channel gauges, and the gauges account for every row that crossed.
+#[test]
+fn planned_dop4_exchange_join_profiles_with_gauges() {
+    let mut rng = StdRng::seed_from_u64(0xD0B4);
+    let mut catalog = Catalog::new();
+    catalog.register("l", Table::unsorted(random_rows(&mut rng, 400, 25)));
+    catalog.register("r", Table::unsorted(random_rows(&mut rng, 350, 25)));
+    let q = LogicalPlan::scan("l").join(LogicalPlan::scan("r"), 1, JoinType::Inner);
+    let cfg = PlannerConfig::default()
+        .with_memory_rows(64)
+        .with_fan_in(8)
+        .with_preference(Preference::ForceSortBased)
+        .with_dop(4)
+        .with_parallel_threshold(1);
+    let plan = Planner::new(&catalog, cfg).plan(&q).expect("plans");
+    assert_eq!(plan.count_op("Exchange"), 3, "two splits + one gather");
+
+    let profile = assert_profiling_is_invisible(&plan, &catalog);
+    assert_mirrors(&plan, &profile);
+
+    // Every Exchange in the profile carries 4 channel gauges, and the
+    // rows crossing each exchange equal the rows its subtree produced.
+    let exchanges: Vec<_> = profile
+        .nodes()
+        .into_iter()
+        .filter(|n| n.name == "Exchange")
+        .collect();
+    assert_eq!(exchanges.len(), 3);
+    for ex in &exchanges {
+        assert_eq!(ex.gauges.len(), 4, "one gauge per partition");
+        let crossed: u64 = ex.gauges.iter().map(|g| g.rows).sum();
+        assert_eq!(
+            crossed, ex.metrics.rows_out,
+            "gauges account for every row that crossed `{}{}`",
+            ex.name, ex.detail
+        );
+    }
+    // Non-exchange operators have no gauges.
+    for n in profile.nodes() {
+        if n.name != "Exchange" {
+            assert!(n.gauges.is_empty(), "{} should not carry gauges", n.name);
+        }
+    }
+}
+
+/// `explain_analyze` format contract: one line per operator carrying
+/// estimates and the measured rows out / wall time / column comparisons
+/// / code-resolved comparisons, with gauge lines under each exchange.
+#[test]
+fn explain_analyze_renders_estimates_and_measurements() {
+    let mut rng = StdRng::seed_from_u64(0x0E5A);
+    let t1: Vec<Row> = (0..300)
+        .map(|_| Row::new(vec![rng.gen_range(0..40u64)]))
+        .collect();
+    let t2: Vec<Row> = (0..300)
+        .map(|_| Row::new(vec![rng.gen_range(0..40u64)]))
+        .collect();
+    let catalog = figure5::catalog_unsorted(t1, t2);
+    let cfg = PlannerConfig::default()
+        .with_memory_rows(64)
+        .with_fan_in(8)
+        .with_preference(Preference::ForceSortBased);
+    let plan = figure5::plan_intersect(&catalog, cfg).expect("plans");
+
+    let text = plan.explain_analyze(&catalog, &ExecOptions::default());
+    assert_eq!(text.lines().count(), plan.nodes().len(), "{text}");
+    for node in plan.nodes() {
+        assert!(text.contains(node.op_name()), "{text}");
+    }
+    for line in text.lines() {
+        assert!(line.contains("(est rows~"), "{line}");
+        assert!(line.contains("rows out="), "{line}");
+        assert!(line.contains("wall="), "{line}");
+        assert!(line.contains("col cmps="), "{line}");
+        assert!(line.contains("code cmps="), "{line}");
+    }
+
+    // A parallel plan adds `~ channel` gauge lines beneath exchanges.
+    let par = figure5::plan_intersect(&catalog, cfg.with_dop(4).with_parallel_threshold(1))
+        .expect("plans");
+    if par.count_op("Exchange") > 0 {
+        let text = par.explain_analyze(&catalog, &ExecOptions::default());
+        assert!(text.contains("~ channel 0:"), "{text}");
+        assert!(text.contains("send wait="), "{text}");
+        assert!(text.contains("recv wait="), "{text}");
+        assert!(text.contains("peak depth="), "{text}");
+    }
+}
+
+/// Profiling composes with `verify_trusted` (the planner audit mode)
+/// and with early termination: a TopK root abandons its input, and the
+/// profile still reports the rows that actually flowed.
+#[test]
+fn profiled_topk_reports_partial_drains() {
+    let mut rng = StdRng::seed_from_u64(0x109C);
+    let rows: Vec<Row> = (0..500)
+        .map(|_| Row::new(vec![rng.gen_range(0..1000u64), rng.gen_range(0..10u64)]))
+        .collect();
+    let mut catalog = Catalog::new();
+    catalog.register("t", Table::unsorted(rows));
+    let q = LogicalPlan::scan("t").top_k(1, 7);
+    let cfg = PlannerConfig::default().with_memory_rows(64).with_fan_in(8);
+    let plan = Planner::new(&catalog, cfg).plan(&q).expect("plans");
+
+    let stats = Stats::new_shared();
+    let options = ExecOptions {
+        verify_trusted: true,
+    };
+    let (out, root) = execute_profiled(&plan, &catalog, &stats, &options);
+    let got: Vec<OvcRow> = out.into_coded();
+    assert_eq!(got.len(), 7);
+    let profile = root.snapshot();
+    assert_eq!(profile.metrics.rows_out, 7, "TopK emitted exactly k rows");
+    // The sort below it still materialized (and reports) all input rows
+    // it emitted into TopK's 7 next() calls — at most 7 due to the
+    // streaming pull model.
+    let sort = profile.find("SortOvc").expect("sort below TopK");
+    assert!(sort.metrics.rows_out <= 7 + 1, "pull model: no overdrain");
+}
