@@ -1,0 +1,351 @@
+//! Morsel-style batch-at-a-time streams of coded rows.
+//!
+//! The systems the paper builds its offset-value-coding argument on — F1
+//! Query and Napa — run vectorized pipelines: operators hand each other
+//! fixed-size batches, not single boxed rows.  This module is the batch
+//! counterpart of [`crate::stream`]: a [`BatchStream`] yields
+//! [`FlatRows`] batches (contiguous struct-of-arrays storage, one
+//! `Vec<u64>` of values plus a parallel `Vec<Ovc>` of codes) under one
+//! [`SortSpec`] ordering contract.
+//!
+//! **The seam rule (DESIGN.md §12).**  A batch stream carries the *same*
+//! contract as a row stream, batched: concatenating all batches yields a
+//! row sequence sorted under the stream's spec in which every code is
+//! exact relative to the *previous row of the stream* — including across
+//! batch boundaries.  The first code of batch `k+1` relates to the last
+//! row of batch `k`; only the very first code of the whole stream is
+//! relative to "−∞".  Cutting a coded stream into batches therefore
+//! requires **no code repair at all** (codes are a function of the row
+//! sequence, which batching does not change), and splicing batches back
+//! into a row stream ([`BatchRows`]) is equally free.  Repair is only
+//! needed when a batch is *lifted out* of its stream and treated as a
+//! standalone sorted unit — [`repair_head`] re-bases its first code to
+//! "−∞", and every later code stays exact because it never looks past
+//! the batch's own previous row.
+//!
+//! Validation mirrors the row-stream helpers:
+//! [`find_code_violation_batches`] / [`assert_batches_exact_spec`] audit
+//! a batch sequence *including its seams*.
+
+use crate::derive::find_code_violation_slices;
+use crate::flat::FlatRows;
+use crate::row::Row;
+use crate::spec::SortSpec;
+use crate::stream::{OvcRow, OvcStream};
+
+/// A sorted stream of coded rows delivered batch-at-a-time.
+///
+/// Contract: concatenating every yielded batch gives a row sequence that
+/// satisfies the row-stream contract under [`BatchStream::sort_spec`] —
+/// rows ordered by the spec, each code exact relative to the stream's
+/// previous row, seams included (see the module docs).  Batch sizes are
+/// an upper bound chosen by the producer: operators may emit shorter
+/// batches (a filter that dropped rows, a flush at end of input), and a
+/// batch is never empty.
+pub trait BatchStream {
+    /// The next batch, or `None` at end of stream.  Yielded batches are
+    /// non-empty.
+    fn next_batch(&mut self) -> Option<FlatRows>;
+
+    /// The ordering contract the concatenated rows and codes follow.
+    fn sort_spec(&self) -> SortSpec;
+
+    /// Number of leading sort-key columns (the code arity).
+    fn key_len(&self) -> usize {
+        self.sort_spec().len()
+    }
+}
+
+impl<B: BatchStream + ?Sized> BatchStream for Box<B> {
+    fn next_batch(&mut self) -> Option<FlatRows> {
+        (**self).next_batch()
+    }
+    fn sort_spec(&self) -> SortSpec {
+        (**self).sort_spec()
+    }
+    fn key_len(&self) -> usize {
+        (**self).key_len()
+    }
+}
+
+/// Cut a row stream into fixed-size batches.
+///
+/// Codes pass through untouched: the stream contract already makes every
+/// code exact relative to the previous row, and batching does not change
+/// the row sequence, so the seam rule holds by construction.
+pub struct Batcher<S: OvcStream> {
+    input: S,
+    spec: SortSpec,
+    batch_size: usize,
+}
+
+impl<S: OvcStream> Batcher<S> {
+    /// Batch `input` into chunks of at most `batch_size` rows.  Panics if
+    /// `batch_size` is zero.
+    pub fn new(input: S, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let spec = input.sort_spec();
+        Batcher {
+            input,
+            spec,
+            batch_size,
+        }
+    }
+}
+
+impl<S: OvcStream> BatchStream for Batcher<S> {
+    fn next_batch(&mut self) -> Option<FlatRows> {
+        let OvcRow { row, code } = self.input.next()?;
+        let mut flat = FlatRows::with_capacity(row.width(), self.batch_size);
+        flat.push(row.cols(), code);
+        while flat.len() < self.batch_size {
+            match self.input.next() {
+                Some(OvcRow { row, code }) => flat.push(row.cols(), code),
+                None => break,
+            }
+        }
+        Some(flat)
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
+    }
+}
+
+/// Splice a batch stream back into a row stream (the inverse of
+/// [`Batcher`]): rows materialize lazily, one boxed [`OvcRow`] per
+/// `next()`, straight from the current batch's contiguous buffer.
+pub struct BatchRows<B: BatchStream> {
+    input: B,
+    spec: SortSpec,
+    cur: Option<FlatRows>,
+    pos: usize,
+}
+
+impl<B: BatchStream> BatchRows<B> {
+    /// Stream the rows of `input` one at a time.
+    pub fn new(input: B) -> Self {
+        let spec = input.sort_spec();
+        BatchRows {
+            input,
+            spec,
+            cur: None,
+            pos: 0,
+        }
+    }
+}
+
+impl<B: BatchStream> Iterator for BatchRows<B> {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        loop {
+            if let Some(cur) = &self.cur {
+                if self.pos < cur.len() {
+                    let r = OvcRow::new(Row::from_slice(cur.row(self.pos)), cur.code(self.pos));
+                    self.pos += 1;
+                    return Some(r);
+                }
+            }
+            self.cur = Some(self.input.next_batch()?);
+            self.pos = 0;
+        }
+    }
+}
+
+impl<B: BatchStream> OvcStream for BatchRows<B> {
+    fn key_len(&self) -> usize {
+        self.spec.len()
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
+    }
+}
+
+/// An in-memory batch stream over pre-cut batches (tests, rewrapping
+/// materialized partitions).
+pub struct VecBatchStream {
+    batches: std::vec::IntoIter<FlatRows>,
+    spec: SortSpec,
+}
+
+impl VecBatchStream {
+    /// Wrap already-coded batches.  Debug builds verify the full batched
+    /// contract, seams included; empty batches are dropped.
+    pub fn new(batches: Vec<FlatRows>, spec: SortSpec) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            if let Some(i) = find_code_violation_batches(&batches, &spec) {
+                panic!("VecBatchStream::new: code violation at stream row {i} under {spec}");
+            }
+        }
+        let batches: Vec<FlatRows> = batches.into_iter().filter(|b| !b.is_empty()).collect();
+        VecBatchStream {
+            batches: batches.into_iter(),
+            spec,
+        }
+    }
+}
+
+impl BatchStream for VecBatchStream {
+    fn next_batch(&mut self) -> Option<FlatRows> {
+        self.batches.next()
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
+    }
+}
+
+/// Audit a batch sequence against the batched stream contract under
+/// `spec`, **seams included**: the concatenated rows must be ordered by
+/// the spec and every code exact relative to the stream's previous row
+/// (batch `k+1`'s first code checked against batch `k`'s last row; the
+/// stream's very first code against "−∞").  Returns the index of the
+/// first offending row in concatenated order.
+pub fn find_code_violation_batches(batches: &[FlatRows], spec: &SortSpec) -> Option<usize> {
+    find_code_violation_slices(batches.iter().flat_map(|b| b.iter()), spec)
+}
+
+/// Panic unless the batch sequence satisfies the batched stream contract
+/// under `spec` (the batched counterpart of
+/// [`crate::derive::assert_codes_exact_spec`]).
+pub fn assert_batches_exact_spec(batches: &[FlatRows], spec: &SortSpec) {
+    if let Some(i) = find_code_violation_batches(batches, spec) {
+        panic!("batched code violation at stream row {i} under {spec}");
+    }
+}
+
+/// Promote a mid-stream batch to a standalone sorted unit: re-base its
+/// first code to "−∞" under `spec`.
+///
+/// This is the whole batch-seam repair rule: a batch cut from a coded
+/// stream is internally exact from its second row on (those codes never
+/// look past the batch's own previous row), and only the head code
+/// references the previous batch's last row.  After `repair_head` the
+/// batch satisfies the standalone contract checked by
+/// [`crate::CodedBatch::from_flat`].  No-op on empty batches.
+pub fn repair_head(flat: &mut FlatRows, spec: &SortSpec) {
+    if !flat.is_empty() {
+        let code = spec.initial_code(&flat.row(0)[..spec.len()]);
+        flat.set_code(0, code);
+    }
+}
+
+/// Drain a batch stream into `(Row, Ovc)` pairs (test convenience).
+pub fn collect_batch_pairs<B: BatchStream>(stream: B) -> Vec<(Row, crate::Ovc)> {
+    BatchRows::new(stream).map(|r| (r.row, r.code)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{collect_pairs, VecStream};
+    use crate::Ovc;
+
+    fn table1_stream() -> VecStream {
+        VecStream::from_sorted_rows(crate::table1::rows(), 4)
+    }
+
+    #[test]
+    fn batcher_round_trips_for_every_batch_size() {
+        let reference = collect_pairs(table1_stream());
+        for batch_size in [1usize, 2, 3, 7, 64] {
+            let mut batcher = Batcher::new(table1_stream(), batch_size);
+            assert_eq!(batcher.sort_spec(), SortSpec::asc(4));
+            assert_eq!(batcher.key_len(), 4);
+            let mut batches = Vec::new();
+            while let Some(b) = batcher.next_batch() {
+                assert!(!b.is_empty());
+                assert!(b.len() <= batch_size);
+                batches.push(b);
+            }
+            assert_batches_exact_spec(&batches, &SortSpec::asc(4));
+            let spliced = collect_pairs(BatchRows::new(VecBatchStream::new(
+                batches,
+                SortSpec::asc(4),
+            )));
+            assert_eq!(spliced, reference, "batch_size={batch_size}");
+        }
+    }
+
+    #[test]
+    fn boxed_batch_streams_forward_the_contract() {
+        let mut boxed: Box<dyn BatchStream> = Box::new(Batcher::new(table1_stream(), 3));
+        assert_eq!(boxed.key_len(), 4);
+        let first = boxed.next_batch().expect("first batch");
+        assert_eq!(first.len(), 3);
+    }
+
+    #[test]
+    fn empty_stream_yields_no_batches() {
+        let mut b = Batcher::new(VecStream::from_sorted_rows(vec![], 2), 8);
+        assert!(b.next_batch().is_none());
+        assert_eq!(
+            collect_batch_pairs(Batcher::new(VecStream::from_sorted_rows(vec![], 2), 8)).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn seam_validation_catches_a_bad_head_code() {
+        let mut batcher = Batcher::new(table1_stream(), 3);
+        let mut batches = Vec::new();
+        while let Some(b) = batcher.next_batch() {
+            batches.push(b);
+        }
+        // Corrupt the second batch's head: pretend it starts a stream.
+        repair_head(&mut batches[1], &SortSpec::asc(4));
+        let i = find_code_violation_batches(&batches, &SortSpec::asc(4));
+        assert_eq!(i, Some(3), "the repaired head no longer matches the seam");
+    }
+
+    #[test]
+    fn repair_head_makes_a_mid_stream_batch_standalone() {
+        let mut batcher = Batcher::new(table1_stream(), 3);
+        let _ = batcher.next_batch();
+        let mut mid = batcher.next_batch().expect("second batch");
+        repair_head(&mut mid, &SortSpec::asc(4));
+        // The standalone contract (first code relative to −∞) now holds.
+        let _ = crate::CodedBatch::from_flat(mid, SortSpec::asc(4));
+    }
+
+    #[test]
+    fn spec_streams_batch_with_their_contract() {
+        use crate::spec::Direction;
+        let spec = SortSpec::with_dirs(&[Direction::Desc, Direction::Asc]);
+        let rows: Vec<Row> = [[9u64, 1], [9, 5], [2, 0], [2, 4]]
+            .iter()
+            .map(|c| Row::new(c.to_vec()))
+            .collect();
+        let mut b = Batcher::new(VecStream::from_sorted_rows_spec(rows, spec.clone()), 2);
+        assert_eq!(b.sort_spec(), spec);
+        let mut batches = Vec::new();
+        while let Some(batch) = b.next_batch() {
+            batches.push(batch);
+        }
+        assert_eq!(batches.len(), 2);
+        assert_batches_exact_spec(&batches, &spec);
+    }
+
+    #[test]
+    fn zero_batch_size_is_rejected() {
+        let r = std::panic::catch_unwind(|| Batcher::new(table1_stream(), 0));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn duplicate_codes_survive_batch_seams() {
+        // A run of equal rows spanning a seam keeps its duplicate codes.
+        let rows: Vec<Row> = vec![
+            Row::new(vec![1]),
+            Row::new(vec![1]),
+            Row::new(vec![1]),
+            Row::new(vec![2]),
+        ];
+        let mut b = Batcher::new(VecStream::from_sorted_rows(rows, 1), 2);
+        let first = b.next_batch().unwrap();
+        let second = b.next_batch().unwrap();
+        assert!(first.code(1).is_duplicate());
+        assert!(second.code(0).is_duplicate(), "the seam code stays exact");
+        assert_eq!(second.code(1), Ovc::new(0, 2, 1));
+        assert_batches_exact_spec(&[first, second], &SortSpec::asc(1));
+    }
+}

@@ -131,6 +131,23 @@ impl FlatRows {
         self.codes[i]
     }
 
+    /// Overwrite the code of row `i` (the batch-seam head repair:
+    /// promoting a mid-stream batch to standalone re-bases code 0 —
+    /// [`crate::batch::repair_head`]).
+    #[inline]
+    pub fn set_code(&mut self, i: usize, code: Ovc) {
+        self.codes[i] = code;
+    }
+
+    /// Keep only the first `rows` rows (values and codes truncate
+    /// together; a no-op when `rows >= len()`).
+    pub fn truncate(&mut self, rows: usize) {
+        if rows < self.len() {
+            self.values.truncate(rows * self.width);
+            self.codes.truncate(rows);
+        }
+    }
+
     /// Append a row.  Panics unless `row.len()` equals the width — a
     /// mixed-width push would silently corrupt every later `row(i)`
     /// offset, so the check stays on in release builds (one predictable
@@ -245,6 +262,19 @@ mod tests {
         let kept = f.retain_indices(|_, c| !c.is_duplicate());
         assert_eq!(kept.len(), 2);
         assert_eq!(kept.row(1), &[2]);
+    }
+
+    #[test]
+    fn set_code_and_truncate() {
+        let mut f = sample();
+        f.set_code(1, Ovc::duplicate());
+        assert!(f.code(1).is_duplicate());
+        f.truncate(5); // no-op past the end
+        assert_eq!(f.len(), 2);
+        f.truncate(1);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.values().len(), 3);
+        assert_eq!(f.row(0), &[1, 2, 3]);
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //! * [`stream`] — the [`stream::OvcStream`] contract operators compose on,
 //!   plus the [`stream::CodedBatch`] / [`stream::SendOvcStream`] adapters
 //!   that let coded streams cross thread boundaries;
+//! * [`batch`] — the [`batch::BatchStream`] contract for morsel-style
+//!   batch-at-a-time pipelines: fixed-size [`flat::FlatRows`] batches
+//!   whose codes stay exact across batch seams, with
+//!   [`batch::Batcher`] / [`batch::BatchRows`] converting to and from
+//!   row streams and seam-aware validation;
 //! * [`stats`] — comparison and spill accounting for the paper's `N × K`
 //!   bound and the Figure 6 spill claims, single-threaded (`Stats`) and
 //!   sendable ([`stats::AtomicStats`], per-thread snapshot merging);
@@ -53,6 +58,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod compare;
 pub mod derive;
 pub mod desc;
@@ -67,6 +73,7 @@ pub mod stream;
 pub mod table1;
 pub mod theorem;
 
+pub use batch::{BatchRows, BatchStream, Batcher, VecBatchStream};
 pub use flat::FlatRows;
 pub use metrics::{
     ChannelGauge, ChannelGaugeSnapshot, ExchangeGauges, OpMetrics, PlanProfile, ProfileNode,

@@ -180,11 +180,17 @@ impl ProfileNode {
 pub struct ChannelGauge {
     send_wait_ns: AtomicU64,
     recv_wait_ns: AtomicU64,
-    /// Rows sent (monotonic — occupancy is `sent - received`, which
-    /// cannot drift the way a single racing up/down counter can).
-    sent: AtomicU64,
-    /// Rows received (monotonic).
-    received: AtomicU64,
+    /// Rows sent (monotonic).  A batched exchange counts every row a
+    /// batch carries, so `rows` always means rows crossed, never
+    /// messages.
+    rows_sent: AtomicU64,
+    /// Messages enqueued (monotonic — one per send: a row in a
+    /// row-at-a-time exchange, a whole batch in a batched one).
+    /// Occupancy is `msgs_sent - msgs_received`, which cannot drift the
+    /// way a single racing up/down counter can.
+    msgs_sent: AtomicU64,
+    /// Messages dequeued (monotonic).
+    msgs_received: AtomicU64,
     peak_depth: AtomicU64,
 }
 
@@ -193,15 +199,25 @@ impl ChannelGauge {
     /// raising the occupancy high-water mark if needed.  Call *after*
     /// the send returns (the row is then in the channel).
     pub fn note_send(&self, wait: Duration) {
+        self.note_send_rows(wait, 1);
+    }
+
+    /// Record one enqueued **batch** carrying `rows` rows: the row
+    /// counter grows by `rows` (gauges account rows crossed, not
+    /// messages), occupancy grows by one message — a `sync_channel`
+    /// bounds messages, so `peak_depth` stays comparable to the channel
+    /// capacity whatever the batch size.
+    pub fn note_send_rows(&self, wait: Duration, rows: u64) {
         self.send_wait_ns
             .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
-        let sent = self.sent.fetch_add(1, Ordering::Relaxed) + 1;
-        let received = self.received.load(Ordering::Relaxed);
+        self.rows_sent.fetch_add(rows, Ordering::Relaxed);
+        let sent = self.msgs_sent.fetch_add(1, Ordering::Relaxed) + 1;
+        let received = self.msgs_received.load(Ordering::Relaxed);
         // Both counters only grow, so the difference cannot drift; the
-        // consumer bumps `received` just after its `recv` returns, so
-        // the observed occupancy may exceed the channel bound by the one
-        // row in flight on the consumer side (gauges are statistics, not
-        // synchronization).
+        // consumer bumps `msgs_received` just after its `recv` returns,
+        // so the observed occupancy may exceed the channel bound by the
+        // one message in flight on the consumer side (gauges are
+        // statistics, not synchronization).
         self.peak_depth
             .fetch_max(sent.saturating_sub(received), Ordering::Relaxed);
     }
@@ -209,10 +225,16 @@ impl ChannelGauge {
     /// Record time spent blocked in `recv`, and the dequeue itself.
     /// `got_row` distinguishes a delivered row from a closed channel.
     pub fn note_recv(&self, wait: Duration, got_row: bool) {
+        self.note_recv_rows(wait, got_row.then_some(1));
+    }
+
+    /// Record a batched dequeue: `rows` is the delivered batch's row
+    /// count, or `None` for a closed channel (wait still accrues).
+    pub fn note_recv_rows(&self, wait: Duration, rows: Option<u64>) {
         self.recv_wait_ns
             .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
-        if got_row {
-            self.received.fetch_add(1, Ordering::Relaxed);
+        if rows.is_some() {
+            self.msgs_received.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -221,7 +243,7 @@ impl ChannelGauge {
         ChannelGaugeSnapshot {
             send_wait: Duration::from_nanos(self.send_wait_ns.load(Ordering::Relaxed)),
             recv_wait: Duration::from_nanos(self.recv_wait_ns.load(Ordering::Relaxed)),
-            rows: self.sent.load(Ordering::Relaxed),
+            rows: self.rows_sent.load(Ordering::Relaxed),
             peak_depth: self.peak_depth.load(Ordering::Relaxed),
         }
     }
@@ -234,11 +256,13 @@ pub struct ChannelGaugeSnapshot {
     pub send_wait: Duration,
     /// Total consumer time blocked receiving from this channel.
     pub recv_wait: Duration,
-    /// Rows that crossed the channel.
+    /// Rows that crossed the channel (every row of every batch, for a
+    /// batched exchange — never a message count).
     pub rows: u64,
-    /// Peak queue occupancy observed (rows resident in the channel; may
-    /// read one above the channel bound for the row in flight on the
-    /// consumer side).
+    /// Peak queue occupancy observed, in **messages** (single rows for a
+    /// row-at-a-time exchange, whole batches for a batched one — the
+    /// unit a `sync_channel` capacity bounds; may read one above the
+    /// channel bound for the message in flight on the consumer side).
     pub peak_depth: u64,
 }
 
@@ -428,6 +452,52 @@ mod tests {
         assert_eq!(snap[0].send_wait, Duration::from_micros(10));
         assert_eq!(snap[0].recv_wait, Duration::from_micros(3));
         assert_eq!(snap[1], ChannelGaugeSnapshot::default());
+    }
+
+    #[test]
+    fn batched_sends_count_rows_but_bound_depth_by_messages() {
+        // Satellite contract: a batched exchange's gauge counts rows
+        // crossed (not batches), while peak_depth — measured in queued
+        // messages, the unit a sync_channel capacity bounds — never
+        // exceeds capacity + 1 (the one message in flight on the
+        // consumer side).
+        let capacity = 4;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<u64>(capacity);
+        let g = ExchangeGauges::new(1);
+        let c = g.channel(0);
+        let producer = {
+            let c = g.channel(0);
+            std::thread::spawn(move || {
+                for batch_rows in [100u64, 1, 57, 3, 1024, 9, 9, 9, 300, 2] {
+                    let t0 = std::time::Instant::now();
+                    tx.send(batch_rows).unwrap();
+                    c.note_send_rows(t0.elapsed(), batch_rows);
+                }
+            })
+        };
+        let mut total = 0u64;
+        loop {
+            let t0 = std::time::Instant::now();
+            match rx.recv() {
+                Ok(batch_rows) => {
+                    c.note_recv_rows(t0.elapsed(), Some(batch_rows));
+                    total += batch_rows;
+                }
+                Err(_) => {
+                    c.note_recv_rows(t0.elapsed(), None);
+                    break;
+                }
+            }
+        }
+        producer.join().unwrap();
+        let snap = g.snapshot();
+        assert_eq!(snap[0].rows, total, "gauges count rows, not batches");
+        assert_eq!(snap[0].rows, 100 + 1 + 57 + 3 + 1024 + 9 + 9 + 9 + 300 + 2);
+        assert!(
+            snap[0].peak_depth <= capacity as u64 + 1,
+            "depth is bounded by the channel's message capacity: {snap:?}"
+        );
+        assert!(snap[0].peak_depth >= 1);
     }
 
     #[test]

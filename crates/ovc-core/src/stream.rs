@@ -274,14 +274,14 @@ impl CodedBatch {
     /// Resume streaming (typically on a different thread than the one
     /// that materialized the batch).  A flat batch materializes each
     /// [`OvcRow`] lazily, straight from the contiguous buffer.
-    pub fn into_stream(self) -> BatchStream {
+    pub fn into_stream(self) -> CodedBatchIter {
         match self.repr {
-            BatchRepr::Boxed(rows) => BatchStream {
-                inner: BatchStreamRepr::Boxed(rows.into_iter()),
+            BatchRepr::Boxed(rows) => CodedBatchIter {
+                inner: CodedBatchIterRepr::Boxed(rows.into_iter()),
                 spec: self.spec,
             },
-            BatchRepr::Flat(flat) => BatchStream {
-                inner: BatchStreamRepr::Flat { flat, pos: 0 },
+            BatchRepr::Flat(flat) => CodedBatchIter {
+                inner: CodedBatchIterRepr::Flat { flat, pos: 0 },
                 spec: self.spec,
             },
         }
@@ -334,22 +334,22 @@ impl CodedBatch {
 
 /// The stream a [`CodedBatch`] reopens into: boxed rows pass through,
 /// flat rows materialize lazily from the contiguous buffer.
-pub struct BatchStream {
-    inner: BatchStreamRepr,
+pub struct CodedBatchIter {
+    inner: CodedBatchIterRepr,
     spec: SortSpec,
 }
 
-enum BatchStreamRepr {
+enum CodedBatchIterRepr {
     Boxed(std::vec::IntoIter<OvcRow>),
     Flat { flat: FlatRows, pos: usize },
 }
 
-impl Iterator for BatchStream {
+impl Iterator for CodedBatchIter {
     type Item = OvcRow;
     fn next(&mut self) -> Option<OvcRow> {
         match &mut self.inner {
-            BatchStreamRepr::Boxed(iter) => iter.next(),
-            BatchStreamRepr::Flat { flat, pos } => {
+            CodedBatchIterRepr::Boxed(iter) => iter.next(),
+            CodedBatchIterRepr::Flat { flat, pos } => {
                 if *pos >= flat.len() {
                     return None;
                 }
@@ -361,8 +361,8 @@ impl Iterator for BatchStream {
     }
     fn size_hint(&self) -> (usize, Option<usize>) {
         match &self.inner {
-            BatchStreamRepr::Boxed(iter) => iter.size_hint(),
-            BatchStreamRepr::Flat { flat, pos } => {
+            CodedBatchIterRepr::Boxed(iter) => iter.size_hint(),
+            CodedBatchIterRepr::Flat { flat, pos } => {
                 let left = flat.len() - pos;
                 (left, Some(left))
             }
@@ -370,7 +370,7 @@ impl Iterator for BatchStream {
     }
 }
 
-impl OvcStream for BatchStream {
+impl OvcStream for CodedBatchIter {
     fn key_len(&self) -> usize {
         self.spec.len()
     }

@@ -1,0 +1,540 @@
+//! Morsel-style batch operators over [`FlatRows`] batches.
+//!
+//! These are the batch-at-a-time counterparts of the row operators in
+//! [`crate::filter`], [`crate::project`], [`crate::dedup`] and the
+//! splitting side of [`crate::exchange`].  Each one consumes and produces
+//! [`BatchStream`] batches whose codes stay exact *across batch seams*
+//! (DESIGN.md §12): batch `k+1`'s first code is relative to batch `k`'s
+//! last row, so no repair happens at a seam — only at a standalone lift
+//! ([`ovc_core::batch::repair_head`]).
+//!
+//! Counting discipline mirrors the row operators exactly, which is what
+//! the differential harness (`tests/batch_pipeline_properties.rs`)
+//! asserts: [`BatchFilter`] accounts one code operation per *input* row,
+//! projection/clamping/dedup account nothing, and [`route_batches`]'s
+//! per-partition accumulators are uncounted — identical to
+//! `route_coded_rows` in [`crate::parallel`].
+
+use std::rc::Rc;
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ovc_core::theorem::{clamp_to_prefix, OvcAccumulator};
+use ovc_core::{BatchStream, ChannelGauge, FlatRows, Row, SortSpec, Stats, Value};
+
+/// The receiving end of a batched exchange channel: a [`BatchStream`]
+/// over a bounded (or unbounded) channel of [`FlatRows`], the batched
+/// counterpart of [`crate::parallel::ChannelStream`].
+///
+/// With a gauge attached, every `recv` is timed and the *rows* (not just
+/// messages) crossing the channel are counted —
+/// [`ChannelGauge::note_recv_rows`].
+pub struct BatchChannelStream {
+    rx: Receiver<FlatRows>,
+    spec: SortSpec,
+    gauge: Option<Arc<ChannelGauge>>,
+}
+
+impl BatchChannelStream {
+    /// Wrap a channel receiver as a coded batch stream with the given
+    /// ordering contract.
+    pub fn new(rx: Receiver<FlatRows>, spec: SortSpec, gauge: Option<Arc<ChannelGauge>>) -> Self {
+        BatchChannelStream { rx, spec, gauge }
+    }
+}
+
+impl BatchStream for BatchChannelStream {
+    fn next_batch(&mut self) -> Option<FlatRows> {
+        match &self.gauge {
+            None => self.rx.recv().ok(),
+            Some(g) => {
+                let t0 = Instant::now();
+                let got = self.rx.recv().ok();
+                g.note_recv_rows(t0.elapsed(), got.as_ref().map(|b| b.len() as u64));
+                got
+            }
+        }
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
+    }
+}
+
+/// The splitting side of a batched exchange: route every row of `input`
+/// to a partition chosen by `part`, repairing codes with one
+/// [`OvcAccumulator`] per partition (a row "kept" by partition `p` is
+/// "absorbed" by every other partition's accumulator — the filter
+/// corollary), buffering up to `batch_size` rows per partition before
+/// handing the batch to `send`.
+///
+/// This is `route_coded_rows` of [`crate::parallel`] re-expressed over
+/// flat batches: same accumulators, same codes, but one channel operation
+/// per *batch* instead of per row.  A `false` return from `send` closes
+/// that partition (its consumer is gone); the others keep flowing.  Any
+/// partial batches are flushed when the input is exhausted.
+pub fn route_batches<B, P>(
+    mut input: B,
+    parts: usize,
+    mut part: P,
+    batch_size: usize,
+    mut send: impl FnMut(usize, FlatRows) -> bool,
+) where
+    B: BatchStream,
+    P: FnMut(&[Value]) -> usize,
+{
+    assert!(parts > 0, "split needs at least one partition");
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut accs = vec![OvcAccumulator::new(); parts];
+    let mut open = vec![true; parts];
+    let mut pending: Vec<Option<FlatRows>> = (0..parts).map(|_| None).collect();
+    while let Some(batch) = input.next_batch() {
+        let width = batch.width();
+        for i in 0..batch.len() {
+            let row = batch.row(i);
+            let code = batch.code(i);
+            let p = part(row);
+            assert!(p < parts, "partition function out of range");
+            let out_code = accs[p].emit(code);
+            for (j, acc) in accs.iter_mut().enumerate() {
+                if j != p {
+                    acc.absorb(code);
+                }
+            }
+            if open[p] {
+                let buf =
+                    pending[p].get_or_insert_with(|| FlatRows::with_capacity(width, batch_size));
+                buf.push(row, out_code);
+                if buf.len() >= batch_size {
+                    let full = pending[p].take().expect("buffer just filled");
+                    if !send(p, full) {
+                        open[p] = false;
+                    }
+                }
+            }
+        }
+    }
+    for (p, buf) in pending.into_iter().enumerate() {
+        if let Some(buf) = buf {
+            if open[p] && !buf.is_empty() {
+                let _ = send(p, buf);
+            }
+        }
+    }
+}
+
+/// Batched predicate filter — [`crate::filter::Filter`] over flat batches.
+///
+/// Accounting is identical to the row operator: one code operation per
+/// *input* row (the accumulator `max`), no column comparisons.  Output
+/// batches may be shorter than input batches (never empty).
+pub struct BatchFilter<B, P> {
+    input: B,
+    predicate: P,
+    acc: OvcAccumulator,
+    stats: Rc<Stats>,
+}
+
+impl<B: BatchStream, P: FnMut(&[Value]) -> bool> BatchFilter<B, P> {
+    /// Filter `input`, keeping rows for which `predicate` returns true.
+    pub fn new(input: B, predicate: P, stats: Rc<Stats>) -> Self {
+        BatchFilter {
+            input,
+            predicate,
+            acc: OvcAccumulator::new(),
+            stats,
+        }
+    }
+}
+
+impl<B: BatchStream, P: FnMut(&[Value]) -> bool> BatchStream for BatchFilter<B, P> {
+    fn next_batch(&mut self) -> Option<FlatRows> {
+        loop {
+            let batch = self.input.next_batch()?;
+            let mut out = FlatRows::with_capacity(batch.width(), batch.len());
+            for i in 0..batch.len() {
+                let code = batch.code(i);
+                self.stats.count_ovc_cmp();
+                let row = batch.row(i);
+                if (self.predicate)(row) {
+                    // Filter theorem: max over the dropped chain plus this row.
+                    out.push(row, self.acc.emit(code));
+                } else {
+                    self.acc.absorb(code);
+                }
+            }
+            if !out.is_empty() {
+                return Some(out);
+            }
+        }
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.input.sort_spec()
+    }
+}
+
+/// Batched projection preserving the first `surviving_key` sort-key
+/// columns — [`crate::project::Project`] over flat batches.  Codes are
+/// clamped to the surviving prefix; nothing is counted (§4.2: projection
+/// compares no columns).
+pub struct BatchProject<B, F> {
+    input: B,
+    map: F,
+    in_key_len: usize,
+    surviving_key: usize,
+    spec: SortSpec,
+}
+
+impl<B: BatchStream, F: FnMut(&[Value]) -> Row> BatchProject<B, F> {
+    /// Build a projection.  `map` receives each input row's columns and
+    /// produces the output row, whose first `surviving_key` columns must
+    /// equal the input's (debug-asserted).  Panics if `surviving_key`
+    /// exceeds the input key length.
+    pub fn new(input: B, surviving_key: usize, map: F) -> Self {
+        let in_key_len = input.key_len();
+        assert!(surviving_key <= in_key_len);
+        let spec = input.sort_spec().prefix(surviving_key);
+        BatchProject {
+            input,
+            map,
+            in_key_len,
+            surviving_key,
+            spec,
+        }
+    }
+}
+
+impl<B: BatchStream, F: FnMut(&[Value]) -> Row> BatchStream for BatchProject<B, F> {
+    fn next_batch(&mut self) -> Option<FlatRows> {
+        let batch = self.input.next_batch()?;
+        let mut out: Option<FlatRows> = None;
+        for i in 0..batch.len() {
+            let row = batch.row(i);
+            let mapped = (self.map)(row);
+            debug_assert_eq!(
+                mapped.key(self.surviving_key),
+                &row[..self.surviving_key],
+                "projection must preserve the surviving key prefix"
+            );
+            let code = clamp_to_prefix(batch.code(i), self.in_key_len, self.surviving_key);
+            out.get_or_insert_with(|| FlatRows::with_capacity(mapped.width(), batch.len()))
+                .push(mapped.cols(), code);
+        }
+        // Input batches are never empty, so `out` is always populated.
+        out
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
+    }
+}
+
+/// Batched sort-key clamp — [`crate::project::ClampKey`] over flat
+/// batches: rows untouched, codes clamped in place to the shorter key.
+pub struct BatchClampKey<B> {
+    input: B,
+    in_key_len: usize,
+    new_key_len: usize,
+    spec: SortSpec,
+}
+
+impl<B: BatchStream> BatchClampKey<B> {
+    /// Wrap `input` with a shorter sort key.
+    pub fn new(input: B, new_key_len: usize) -> Self {
+        let in_key_len = input.key_len();
+        assert!(new_key_len <= in_key_len);
+        let spec = input.sort_spec().prefix(new_key_len);
+        BatchClampKey {
+            input,
+            in_key_len,
+            new_key_len,
+            spec,
+        }
+    }
+}
+
+impl<B: BatchStream> BatchStream for BatchClampKey<B> {
+    fn next_batch(&mut self) -> Option<FlatRows> {
+        let mut batch = self.input.next_batch()?;
+        for i in 0..batch.len() {
+            batch.set_code(
+                i,
+                clamp_to_prefix(batch.code(i), self.in_key_len, self.new_key_len),
+            );
+        }
+        Some(batch)
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
+    }
+}
+
+/// Batched duplicate removal by code inspection — [`crate::dedup::Dedup`]
+/// over flat batches.  A duplicate-coded first row of a batch is relative
+/// to the previous batch's last row, so per-batch filtering is exact
+/// across seams: survivors keep their input codes (§4.4).
+pub struct BatchDedup<B> {
+    input: B,
+}
+
+impl<B: BatchStream> BatchDedup<B> {
+    /// Remove rows whose key equals the previous row's key.
+    pub fn new(input: B) -> Self {
+        BatchDedup { input }
+    }
+}
+
+impl<B: BatchStream> BatchStream for BatchDedup<B> {
+    fn next_batch(&mut self) -> Option<FlatRows> {
+        loop {
+            let batch = self.input.next_batch()?;
+            if batch.codes().iter().all(|c| !c.is_duplicate()) {
+                return Some(batch); // duplicate-free: no copy needed
+            }
+            let kept = batch.retain_indices(|_, c| !c.is_duplicate());
+            if !kept.is_empty() {
+                return Some(kept);
+            }
+        }
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.input.sort_spec()
+    }
+}
+
+/// Batched top-k: pass batches through until `k` rows have flowed, then
+/// stop pulling — truncating the final batch so exactly `k` rows emerge.
+/// Codes of a stream prefix are exact as-is.
+pub struct BatchTake<B> {
+    input: B,
+    left: usize,
+}
+
+impl<B: BatchStream> BatchTake<B> {
+    /// Keep the first `k` rows of `input`.
+    pub fn new(input: B, k: usize) -> Self {
+        BatchTake { input, left: k }
+    }
+}
+
+impl<B: BatchStream> BatchStream for BatchTake<B> {
+    fn next_batch(&mut self) -> Option<FlatRows> {
+        if self.left == 0 {
+            return None;
+        }
+        let mut batch = self.input.next_batch()?;
+        if batch.len() >= self.left {
+            batch.truncate(self.left);
+            self.left = 0;
+        } else {
+            self.left -= batch.len();
+        }
+        Some(batch)
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.input.sort_spec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dedup::Dedup;
+    use crate::exchange::{partition, split};
+    use crate::filter::Filter;
+    use crate::project::{ClampKey, Project};
+    use ovc_core::batch::collect_batch_pairs;
+    use ovc_core::derive::assert_codes_exact_spec;
+    use ovc_core::stream::collect_pairs;
+    use ovc_core::{Batcher, Ovc, VecStream};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sorted_rows(n: usize, seed: u64, cols: usize, domain: u64) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows: Vec<Row> = (0..n)
+            .map(|_| Row::new((0..cols).map(|_| rng.gen_range(0..domain)).collect()))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    fn batched(rows: Vec<Row>, key_len: usize, batch_size: usize) -> Batcher<VecStream> {
+        Batcher::new(VecStream::from_sorted_rows(rows, key_len), batch_size)
+    }
+
+    #[test]
+    fn batch_filter_matches_row_filter_rows_codes_and_stats() {
+        for batch_size in [1, 3, 7, 64] {
+            let rows = sorted_rows(300, 11, 3, 5);
+            let row_stats = Stats::new_shared();
+            let row_pairs = collect_pairs(Filter::new(
+                VecStream::from_sorted_rows(rows.clone(), 3),
+                |r| r.cols()[1] % 2 == 0,
+                Rc::clone(&row_stats),
+            ));
+            let batch_stats = Stats::new_shared();
+            let batch_pairs = collect_batch_pairs(BatchFilter::new(
+                batched(rows, 3, batch_size),
+                |r: &[Value]| r[1].is_multiple_of(2),
+                Rc::clone(&batch_stats),
+            ));
+            assert_eq!(batch_pairs, row_pairs, "batch={batch_size}");
+            assert_eq!(
+                batch_stats.snapshot(),
+                row_stats.snapshot(),
+                "batch={batch_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_project_matches_row_project() {
+        for batch_size in [1, 5, 300] {
+            let rows = sorted_rows(300, 12, 4, 6);
+            let row_pairs = collect_pairs(Project::new(
+                VecStream::from_sorted_rows(rows.clone(), 4),
+                2,
+                |r| r.project(&[0, 1, 3]),
+            ));
+            let spec = SortSpec::asc(2);
+            let batch_op = BatchProject::new(batched(rows, 4, batch_size), 2, |r: &[Value]| {
+                Row::from_slice(r).project(&[0, 1, 3])
+            });
+            assert_eq!(batch_op.sort_spec(), spec);
+            let batch_pairs = collect_batch_pairs(batch_op);
+            assert_eq!(batch_pairs, row_pairs, "batch={batch_size}");
+            assert_codes_exact_spec(&batch_pairs, &spec);
+        }
+    }
+
+    #[test]
+    fn batch_clamp_matches_row_clamp() {
+        for batch_size in [1, 4, 17] {
+            let rows = sorted_rows(250, 13, 3, 4);
+            let row_pairs = collect_pairs(ClampKey::new(
+                VecStream::from_sorted_rows(rows.clone(), 3),
+                1,
+            ));
+            let batch_pairs =
+                collect_batch_pairs(BatchClampKey::new(batched(rows, 3, batch_size), 1));
+            assert_eq!(batch_pairs, row_pairs, "batch={batch_size}");
+        }
+    }
+
+    #[test]
+    fn batch_dedup_matches_row_dedup_on_duplicate_heavy_input() {
+        for batch_size in [1, 2, 9, 1024] {
+            let rows = sorted_rows(400, 14, 2, 3); // tiny domain: mostly duplicates
+            let row_pairs = collect_pairs(Dedup::new(VecStream::from_sorted_rows(rows.clone(), 2)));
+            let batch_pairs = collect_batch_pairs(BatchDedup::new(batched(rows, 2, batch_size)));
+            assert_eq!(batch_pairs, row_pairs, "batch={batch_size}");
+            assert_codes_exact_spec(&batch_pairs, &SortSpec::asc(2));
+        }
+    }
+
+    #[test]
+    fn batch_take_truncates_to_exactly_k() {
+        let rows = sorted_rows(100, 15, 2, 10);
+        let all = collect_pairs(VecStream::from_sorted_rows(rows.clone(), 2));
+        for (k, batch_size) in [
+            (0usize, 7usize),
+            (1, 7),
+            (23, 7),
+            (100, 7),
+            (100, 1),
+            (7, 100),
+        ] {
+            let got = collect_batch_pairs(BatchTake::new(batched(rows.clone(), 2, batch_size), k));
+            assert_eq!(got, all[..k.min(all.len())], "k={k} batch={batch_size}");
+        }
+    }
+
+    #[test]
+    fn route_batches_matches_serial_split_codes_and_hash() {
+        let parts = 4;
+        for batch_size in [1, 3, 64] {
+            let rows = sorted_rows(500, 16, 3, 7);
+            // Serial reference: the §4.10 one-to-many split on boxed rows.
+            let expect: Vec<Vec<(Row, Ovc)>> = split(
+                VecStream::from_sorted_rows(rows.clone(), 3),
+                parts,
+                partition::by_cols_hash(vec![0, 2], parts),
+            )
+            .into_iter()
+            .map(collect_pairs)
+            .collect();
+            // Batched routing with the slice-based twin of the same hash.
+            let mut got: Vec<Vec<(Row, Ovc)>> = vec![Vec::new(); parts];
+            let mut max_seen = 0usize;
+            route_batches(
+                batched(rows, 3, batch_size),
+                parts,
+                partition::by_cols_hash_slice(vec![0, 2], parts),
+                batch_size,
+                |p, batch| {
+                    assert!(!batch.is_empty());
+                    max_seen = max_seen.max(batch.len());
+                    got[p].extend(batch.iter().map(|(r, c)| (Row::from_slice(r), c)));
+                    true
+                },
+            );
+            assert!(max_seen <= batch_size);
+            assert_eq!(got, expect, "batch={batch_size}");
+            for pairs in &got {
+                assert_codes_exact_spec(pairs, &SortSpec::asc(3));
+            }
+        }
+    }
+
+    #[test]
+    fn route_batches_closed_partition_keeps_others_exact() {
+        let parts = 3;
+        let rows = sorted_rows(200, 17, 2, 5);
+        let mut got: Vec<Vec<(Row, Ovc)>> = vec![Vec::new(); parts];
+        route_batches(
+            batched(rows, 2, 4),
+            parts,
+            partition::by_cols_hash_slice(vec![0, 1], parts),
+            4,
+            |p, batch| {
+                if p == 1 {
+                    return false; // partition 1's consumer is gone
+                }
+                got[p].extend(batch.iter().map(|(r, c)| (Row::from_slice(r), c)));
+                true
+            },
+        );
+        assert!(got[1].is_empty());
+        for p in [0, 2] {
+            assert!(!got[p].is_empty());
+            assert_codes_exact_spec(&got[p], &SortSpec::asc(2));
+        }
+    }
+
+    #[test]
+    fn batch_channel_stream_yields_batches_in_order() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let rows = sorted_rows(50, 18, 2, 9);
+        let expect = collect_pairs(VecStream::from_sorted_rows(rows.clone(), 2));
+        let mut batcher = batched(rows, 2, 8);
+        while let Some(b) = batcher.next_batch() {
+            tx.send(b).unwrap();
+        }
+        drop(tx);
+        let stream = BatchChannelStream::new(rx, SortSpec::asc(2), None);
+        assert_eq!(stream.sort_spec(), SortSpec::asc(2));
+        assert_eq!(collect_batch_pairs(stream), expect);
+    }
+
+    #[test]
+    fn filter_over_desc_spec_stays_exact() {
+        let mut rows = sorted_rows(200, 19, 2, 6);
+        rows.reverse();
+        let spec = SortSpec::desc(2);
+        let input = Batcher::new(VecStream::from_sorted_rows_spec(rows, spec.clone()), 5);
+        let op = BatchFilter::new(input, |r: &[Value]| r[0] != 3, Stats::new_shared());
+        assert_eq!(op.sort_spec(), spec);
+        let pairs = collect_batch_pairs(op);
+        assert_codes_exact_spec(&pairs, &spec);
+    }
+}

@@ -55,6 +55,24 @@ pub mod partition {
         }
     }
 
+    /// Slice-based twin of [`by_cols_hash`] for flat-batch routing: the
+    /// same hash over the same columns, so a row lands in the same
+    /// partition whether it arrives boxed or as a batch slice — the
+    /// property the batched/serial differential tests rely on.
+    pub fn by_cols_hash_slice(
+        cols: Vec<usize>,
+        n: usize,
+    ) -> impl FnMut(&[Value]) -> usize + Clone + Send {
+        move |r: &[Value]| {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+            for &c in &cols {
+                h ^= r[c];
+                h = h.wrapping_mul(0x100_0000_01b3); // FNV prime
+            }
+            ((h.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as usize % n
+        }
+    }
+
     /// Range-partition on column 0 with the given upper boundaries
     /// (partition `i` receives values below `boundaries[i]`; the last
     /// partition receives the rest).

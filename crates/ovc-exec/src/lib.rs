@@ -16,6 +16,9 @@
 //! * [`nlj`] — nested-loops and b-tree lookup joins (§4.8);
 //! * [`hash_join_op`] — order-preserving in-memory hash join (§4.9);
 //! * [`window`] — analytic (window) functions over coded streams (§5);
+//! * [`batch`] — morsel-style batch-at-a-time counterparts (filter,
+//!   project, clamp, dedup, top-k, and the splitting shuffle) over
+//!   [`ovc_core::FlatRows`] batches with seam-exact codes;
 //! * [`exchange`] — order-preserving split and merge shuffles (§4.10),
 //!   single-threaded data-flow semantics;
 //! * [`parallel`] — the same shuffles on real producer/consumer threads
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod dedup;
 pub mod exchange;
 pub mod filter;
@@ -43,6 +47,10 @@ pub mod project;
 pub mod set_ops;
 pub mod window;
 
+pub use batch::{
+    route_batches, BatchChannelStream, BatchClampKey, BatchDedup, BatchFilter, BatchProject,
+    BatchTake,
+};
 pub use dedup::{Dedup, DedupCounting};
 pub use filter::Filter;
 pub use group::{

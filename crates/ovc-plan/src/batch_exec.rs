@@ -1,0 +1,814 @@
+//! The batched executor: physical plans lowered onto morsel-style
+//! flat-batch pipelines ([`ovc_core::batch::BatchStream`]).
+//!
+//! [`execute_batched`] is the batch-at-a-time counterpart of
+//! [`crate::exec::execute`], selected by [`ExecOptions::batch_size`].
+//! Operators hand each other [`FlatRows`] batches instead of boxed rows,
+//! and — the point of the exercise — **exchanges forward batches through
+//! their channels instead of materializing whole inputs** at the
+//! split/merge boundaries (EXPERIMENTS.md §5 measured that sandwich at
+//! up to 2.7× the serial runtime; §6 re-measures it batched):
+//!
+//! * A splitting [`PhysOp::Exchange`] spawns one producer thread that
+//!   lowers and drains its child *on that thread*, routing rows with
+//!   [`ovc_exec::route_batches`] (one [`OvcAccumulator`] per partition —
+//!   exactly `split_threaded`'s code repair) and sending each filled
+//!   batch down an **unbounded** per-partition channel.  Unbounded is
+//!   deliberate: the split edge's consumers (partitioned join/group/set
+//!   workers) start immediately but may drain unevenly; the memory bound
+//!   is the input size, which is precisely what the row executor's full
+//!   materialization at this same boundary already cost (DESIGN.md §12).
+//! * Partitioned [`PhysOp::MergeJoinOvc`] / [`PhysOp::GroupOvc`] /
+//!   [`PhysOp::SetOpMerge`] run one worker per partition (pair); each
+//!   worker streams batches in from the split edge, applies the ordinary
+//!   row kernel between [`BatchRows`] and [`Batcher`], and sends output
+//!   batches down a **bounded** channel (capacity
+//!   `DEFAULT_CHANNEL_CAPACITY / batch` messages, so the in-flight *row*
+//!   budget matches the row executor's).
+//! * The gathering [`PhysOp::Exchange`] merges the partition batch
+//!   streams on the calling thread with the order-preserving
+//!   tree-of-losers, under the partitions' actual ordering contract.
+//!
+//! Rows, codes, and [`Stats`] totals are byte-identical to the row
+//! executor — `tests/batch_pipeline_properties.rs` holds serial-row,
+//! batched-serial, and batched-parallel runs to that, code for code.
+//! The seam rule makes this cheap: cutting a coded stream into batches
+//! needs no code repair at all, so every serial operator is the row
+//! kernel with batch adapters at its ports, and only the exchange edges
+//! (where partitions *are* lifted out of their stream) repair codes,
+//! with the same accumulators the row executor uses.
+//!
+//! Worker threads account into per-thread [`Stats`] merged through one
+//! [`AtomicStats`]; totals land in the caller's `stats` when the plan's
+//! thread scope ends.  Under profiling, each worker also attributes its
+//! counters to its operator's [`ProfileNode`] directly, so *that node's*
+//! figures are exact while ancestors' inclusive figures cover only
+//! calling-thread work (same caveat as the row executor's threaded
+//! helpers; the plan-wide totals agree either way).
+//!
+//! [`OvcAccumulator`]: ovc_core::theorem::OvcAccumulator
+//! [`DEFAULT_CHANNEL_CAPACITY`]: ovc_exec::DEFAULT_CHANNEL_CAPACITY
+
+use std::rc::Rc;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::Scope;
+use std::time::{Duration, Instant};
+
+use ovc_core::batch::{assert_batches_exact_spec, BatchRows, Batcher, VecBatchStream};
+use ovc_core::derive::derive_codes_spec_counted;
+use ovc_core::metrics::{ChannelGauge, ExchangeGauges, ProfileNode};
+use ovc_core::{
+    AtomicStats, BatchStream, CodedBatch, FlatRows, OvcRow, OvcStream, Row, SortSpec, Stats,
+    StatsSnapshot, Value, VecStream,
+};
+use ovc_exec::exchange::partition;
+use ovc_exec::plans::in_sort_distinct;
+use ovc_exec::{
+    route_batches, BatchChannelStream, BatchDedup, BatchFilter, BatchProject, BatchTake,
+    GroupAggregate, MergeJoin, SetOperation, DEFAULT_CHANNEL_CAPACITY,
+};
+use ovc_sort::{external_sort, external_sort_spec, MemoryRunStorage, SortConfig};
+
+use crate::catalog::Catalog;
+use crate::exec::{ExecOptions, Output};
+use crate::physical::{Partitioning, PhysOp, PhysicalPlan};
+
+/// A partition's batch stream as it crosses threads.
+type PartStream = Box<dyn BatchStream + Send>;
+
+/// Run `plan` batch-at-a-time with `options.batch_size` rows per batch
+/// (which must be set), accounting into `stats`; with `prof`, fill the
+/// profile tree exactly as [`crate::exec::execute_profiled`] does.
+///
+/// The returned [`Output`] is shaped like the row executor's: ordered
+/// roots come back as a coded stream (materialized — the pipeline's
+/// threads are joined before returning), hash-side roots as rows,
+/// partitioned roots as coded batches.
+pub fn execute_batched(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    stats: &Rc<Stats>,
+    options: &ExecOptions,
+    prof: Option<&Arc<ProfileNode>>,
+) -> Output {
+    let batch = options
+        .batch_size
+        .expect("batched executor requires ExecOptions::batch_size");
+    let shared = Arc::new(AtomicStats::default());
+    let out = std::thread::scope(|scope| {
+        let cx = BCx {
+            catalog,
+            options,
+            batch,
+            scope,
+            shared: Arc::clone(&shared),
+        };
+        match cx.run(plan, stats, prof, None) {
+            BOut::Batches(mut b) => {
+                let spec = b.sort_spec();
+                let mut rows: Vec<OvcRow> = Vec::new();
+                while let Some(fb) = b.next_batch() {
+                    rows.extend(fb.to_ovc_rows());
+                }
+                drop(b);
+                Output::Stream(Box::new(VecStream::from_coded_spec(rows, spec)))
+            }
+            BOut::Rows(rows) => Output::Rows(rows),
+            BOut::Parts(parts, _) => {
+                // Drain every partition stream to a standalone coded
+                // batch.  Concurrent drains keep upstream workers busy;
+                // each partition chain is fed by its own thread, so
+                // join order cannot deadlock.
+                let handles: Vec<_> = parts
+                    .into_iter()
+                    .map(|s| scope.spawn(move || CodedBatch::from_stream_flat(BatchRows::new(s))))
+                    .collect();
+                Output::Partitions(
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("partition drain panicked"))
+                        .collect(),
+                )
+            }
+        }
+    });
+    // Fold every worker thread's counters into the caller's totals.
+    stats.absorb(&shared.snapshot());
+    out
+}
+
+/// What a (sub)plan produced, batched: the analogue of [`Output`] with
+/// streams delivered batch-at-a-time and partitions delivered as *live*
+/// per-partition batch streams instead of materialized batches.
+enum BOut {
+    /// Sorted batch stream carrying exact offset-value codes.
+    Batches(Box<dyn BatchStream>),
+    /// Materialized rows in arbitrary order (hash-side operators).
+    Rows(Vec<Row>),
+    /// Hash-partitioned coded batch streams (between a splitting
+    /// exchange and the gathering one), each standalone-coded under the
+    /// carried spec.
+    Parts(Vec<PartStream>, SortSpec),
+}
+
+impl BOut {
+    fn into_rows(self) -> Vec<Row> {
+        match self {
+            BOut::Batches(b) => BatchRows::new(b).map(|r| r.row).collect(),
+            BOut::Rows(rows) => rows,
+            BOut::Parts(..) => {
+                panic!("plan output is partitioned; gather it with an Exchange to single")
+            }
+        }
+    }
+
+    fn into_batches(self) -> Box<dyn BatchStream> {
+        match self {
+            BOut::Batches(b) => b,
+            BOut::Rows(_) => panic!("plan output is unordered; not a coded stream"),
+            BOut::Parts(..) => {
+                panic!("plan output is partitioned; gather it with an Exchange to single")
+            }
+        }
+    }
+
+    fn into_parts(self) -> (Vec<PartStream>, SortSpec) {
+        match self {
+            BOut::Parts(p, spec) => (p, spec),
+            _ => panic!("plan output is not partitioned"),
+        }
+    }
+}
+
+/// The profile node for child `i` of a profiled node (the profile tree
+/// mirrors the plan tree child-for-child, by construction).
+fn child(prof: Option<&Arc<ProfileNode>>, i: usize) -> Option<&Arc<ProfileNode>> {
+    prof.map(|n| &n.children[i])
+}
+
+/// The per-partition gauge of an exchange's channel set, when profiled.
+fn gauge_for(gauges: Option<&ExchangeGauges>, p: usize) -> Option<Arc<ChannelGauge>> {
+    gauges.filter(|g| p < g.len()).map(|g| g.channel(p))
+}
+
+/// Batched lowering context: one per [`execute_batched`] call, cloned
+/// into every producer/worker thread it spawns (all threads live inside
+/// one [`std::thread::scope`], so plan and catalog borrows cross freely).
+struct BCx<'scope, 'env> {
+    catalog: &'env Catalog,
+    options: &'env ExecOptions,
+    /// Rows per batch for every operator that re-batches, unless an
+    /// exchange edge carries its own stamped size.
+    batch: usize,
+    scope: &'scope Scope<'scope, 'env>,
+    /// Meeting point for worker-thread counters; absorbed into the
+    /// caller's [`Stats`] after the scope joins.
+    shared: Arc<AtomicStats>,
+}
+
+impl Clone for BCx<'_, '_> {
+    fn clone(&self) -> Self {
+        BCx {
+            catalog: self.catalog,
+            options: self.options,
+            batch: self.batch,
+            scope: self.scope,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<'env> BCx<'_, 'env> {
+    fn table(&self, name: &str) -> &'env crate::catalog::Table {
+        self.catalog
+            .get(name)
+            .unwrap_or_else(|| panic!("plan references unknown table {name}"))
+    }
+
+    /// Cut a row-kernel output into this plan's batches.
+    fn batched(&self, s: impl OvcStream + 'static) -> BOut {
+        BOut::Batches(Box::new(Batcher::new(s, self.batch)))
+    }
+
+    /// Lower and (when profiled) instrument one plan node — the batched
+    /// mirror of `Cx::run`: the eager window times lowering on the
+    /// calling thread, batch outputs are metered per `next_batch` by a
+    /// [`ProfiledBatchStream`], and thread-spawning arms attribute their
+    /// workers' counters to the node from the worker side.
+    ///
+    /// `gather` carries the consuming exchange's channel gauges down one
+    /// edge: an `Exchange` to single hands its own gauges to its child so
+    /// the partitioned operator's workers meter the send side of the very
+    /// channels the gather meters on receive.
+    fn run(
+        &self,
+        plan: &'env PhysicalPlan,
+        stats: &Rc<Stats>,
+        prof: Option<&Arc<ProfileNode>>,
+        gather: Option<&ExchangeGauges>,
+    ) -> BOut {
+        let Some(node) = prof else {
+            return self.lower(plan, stats, None, gather);
+        };
+        let before = stats.snapshot();
+        let start = Instant::now();
+        let out = self.lower(plan, stats, prof, gather);
+        node.add_wall(start.elapsed());
+        node.absorb_stats(&stats.snapshot().since(&before));
+        match out {
+            BOut::Batches(inner) => {
+                let spec = inner.sort_spec();
+                BOut::Batches(Box::new(ProfiledBatchStream {
+                    inner,
+                    spec,
+                    node: Arc::clone(node),
+                    stats: Rc::clone(stats),
+                    rows: 0,
+                    batches: 0,
+                    wall: Duration::ZERO,
+                    delta: StatsSnapshot::default(),
+                }))
+            }
+            BOut::Rows(rows) => {
+                node.add_rows_out(rows.len() as u64);
+                BOut::Rows(rows)
+            }
+            // Partition rows/batches are counted at the producing side
+            // (the spawning arms), where they are actually observed.
+            parts => parts,
+        }
+    }
+
+    fn lower(
+        &self,
+        plan: &'env PhysicalPlan,
+        stats: &Rc<Stats>,
+        prof: Option<&Arc<ProfileNode>>,
+        gather: Option<&ExchangeGauges>,
+    ) -> BOut {
+        match &plan.op {
+            PhysOp::ScanRows { table } => BOut::Rows(self.table(table).rows().to_vec()),
+            PhysOp::ScanCoded { table } => {
+                let t = self.table(table);
+                let coded = t
+                    .coded()
+                    .unwrap_or_else(|| panic!("table {table} is not stored sorted"))
+                    .to_vec();
+                self.batched(VecStream::from_coded_spec(coded, t.sort_spec().clone()))
+            }
+            PhysOp::SortOvc {
+                input,
+                spec,
+                memory_rows,
+                fan_in,
+                dop,
+            } => {
+                let rows = self.run(input, stats, child(prof, 0), None).into_rows();
+                if *dop > 1 {
+                    debug_assert!(spec.is_prefix() && !spec.normalized());
+                    if spec.is_asc_prefix() {
+                        self.batched(ovc_sort::parallel::parallel_sort(
+                            rows,
+                            spec.len(),
+                            *dop,
+                            *memory_rows,
+                            *fan_in,
+                            stats,
+                        ))
+                    } else {
+                        self.batched(ovc_sort::parallel_sort_spec(
+                            rows,
+                            spec,
+                            *dop,
+                            *memory_rows,
+                            *fan_in,
+                            stats,
+                        ))
+                    }
+                } else if spec.is_asc_prefix() && !spec.normalized() {
+                    let mut storage = MemoryRunStorage::new(Rc::clone(stats));
+                    let cfg = SortConfig::new(spec.len(), *memory_rows).with_fan_in(*fan_in);
+                    self.batched(external_sort(rows, cfg, &mut storage, stats))
+                } else {
+                    let mut storage = MemoryRunStorage::new(Rc::clone(stats));
+                    let cfg = SortConfig::new(spec.len(), *memory_rows).with_fan_in(*fan_in);
+                    self.batched(external_sort_spec(rows, cfg, spec, &mut storage, stats))
+                }
+            }
+            PhysOp::TrustSorted { input, spec } => {
+                let mut stream = self.run(input, stats, child(prof, 0), None).into_batches();
+                if self.options.verify_trusted {
+                    // Audit the elision batch-wise, seams included: the
+                    // batched contract is the row contract, so this is
+                    // exactly the row executor's audit.
+                    let stream_spec = stream.sort_spec();
+                    debug_assert!(stream_spec.satisfies(spec));
+                    let mut batches = Vec::new();
+                    while let Some(b) = stream.next_batch() {
+                        batches.push(b);
+                    }
+                    assert_batches_exact_spec(&batches, &stream_spec);
+                    BOut::Batches(Box::new(VecBatchStream::new(batches, stream_spec)))
+                } else {
+                    BOut::Batches(stream)
+                }
+            }
+            PhysOp::Reverse { input, spec } => {
+                let stream = self.run(input, stats, child(prof, 0), None).into_batches();
+                debug_assert!(stream.sort_spec().satisfies(&spec.reversed()));
+                let mut rows: Vec<Row> = BatchRows::new(stream).map(|r| r.row).collect();
+                rows.reverse();
+                let codes = derive_codes_spec_counted(&rows, spec, stats);
+                let coded: Vec<OvcRow> = rows
+                    .into_iter()
+                    .zip(codes)
+                    .map(|(row, code)| OvcRow::new(row, code))
+                    .collect();
+                self.batched(VecStream::from_coded_spec(coded, spec.clone()))
+            }
+            PhysOp::InSortDistinct {
+                input,
+                spec,
+                memory_rows,
+                fan_in,
+                dop,
+            } => {
+                debug_assert!(spec.is_asc_prefix());
+                let key_len = spec.len();
+                let rows = self.run(input, stats, child(prof, 0), None).into_rows();
+                if *dop > 1 {
+                    self.batched(ovc_sort::parallel::parallel_sort_distinct(
+                        rows,
+                        key_len,
+                        *dop,
+                        *memory_rows,
+                        *fan_in,
+                        stats,
+                    ))
+                } else {
+                    let mut storage = MemoryRunStorage::new(Rc::clone(stats));
+                    self.batched(in_sort_distinct(
+                        rows,
+                        key_len,
+                        *memory_rows,
+                        *fan_in,
+                        &mut storage,
+                        stats,
+                    ))
+                }
+            }
+            PhysOp::DedupCodes { input } => {
+                let stream = self.run(input, stats, child(prof, 0), None).into_batches();
+                BOut::Batches(Box::new(BatchDedup::new(stream)))
+            }
+            PhysOp::HashDistinct { input, memory_rows } => {
+                let rows = self.run(input, stats, child(prof, 0), None).into_rows();
+                BOut::Rows(ovc_baseline::hash_aggregate_distinct(
+                    rows,
+                    *memory_rows,
+                    stats,
+                ))
+            }
+            PhysOp::Filter { input, pred } => match self.run(input, stats, child(prof, 0), None) {
+                BOut::Batches(s) => {
+                    let p = pred.clone();
+                    BOut::Batches(Box::new(BatchFilter::new(
+                        s,
+                        move |cols: &[Value]| p.eval_slice(cols),
+                        Rc::clone(stats),
+                    )))
+                }
+                BOut::Rows(rows) => BOut::Rows(rows.into_iter().filter(|r| pred.eval(r)).collect()),
+                BOut::Parts(..) => panic!("filter over partitions is not planned"),
+            },
+            PhysOp::Project {
+                input,
+                cols,
+                surviving_key,
+            } => match self.run(input, stats, child(prof, 0), None) {
+                BOut::Batches(s) => {
+                    let cols = cols.clone();
+                    BOut::Batches(Box::new(BatchProject::new(
+                        s,
+                        *surviving_key,
+                        move |row: &[Value]| Row::new(cols.iter().map(|&c| row[c]).collect()),
+                    )))
+                }
+                BOut::Rows(rows) => BOut::Rows(rows.iter().map(|r| r.project(cols)).collect()),
+                BOut::Parts(..) => panic!("projection over partitions is not planned"),
+            },
+            PhysOp::GroupOvc {
+                input,
+                group_len,
+                aggs,
+            } => match self.run(input, stats, child(prof, 0), None) {
+                BOut::Parts(parts, _) => {
+                    let (group_len, aggs) = (*group_len, aggs.clone());
+                    self.partitioned(
+                        parts.into_iter().map(|p| vec![p]).collect(),
+                        SortSpec::asc(group_len),
+                        prof,
+                        gather,
+                        move |mut streams, local| {
+                            let s = streams.pop().expect("one stream per group worker");
+                            Box::new(GroupAggregate::new(
+                                BatchRows::new(s),
+                                group_len,
+                                aggs.clone(),
+                                local,
+                            ))
+                        },
+                    )
+                }
+                other => self.batched(GroupAggregate::new(
+                    BatchRows::new(other.into_batches()),
+                    *group_len,
+                    aggs.clone(),
+                    Rc::clone(stats),
+                )),
+            },
+            PhysOp::MergeJoinOvc {
+                left,
+                right,
+                join_len,
+                join_type,
+            } => {
+                let (lw, rw) = (left.props.width, right.props.width);
+                match (
+                    self.run(left, stats, child(prof, 0), None),
+                    self.run(right, stats, child(prof, 1), None),
+                ) {
+                    (BOut::Parts(lp, lspec), BOut::Parts(rp, _)) => {
+                        assert_eq!(lp.len(), rp.len(), "co-partitioned join arity mismatch");
+                        let out_spec = match join_type {
+                            ovc_exec::JoinType::LeftSemi | ovc_exec::JoinType::LeftAnti => lspec,
+                            _ => lspec.prefix(*join_len).with_normalized(false),
+                        };
+                        let (join_len, join_type) = (*join_len, *join_type);
+                        self.partitioned(
+                            lp.into_iter().zip(rp).map(|(l, r)| vec![l, r]).collect(),
+                            out_spec,
+                            prof,
+                            gather,
+                            move |mut streams, local| {
+                                let r = streams.pop().expect("right input");
+                                let l = streams.pop().expect("left input");
+                                Box::new(MergeJoin::new(
+                                    BatchRows::new(l),
+                                    BatchRows::new(r),
+                                    join_len,
+                                    join_type,
+                                    lw,
+                                    rw,
+                                    local,
+                                ))
+                            },
+                        )
+                    }
+                    (BOut::Batches(l), BOut::Batches(r)) => self.batched(MergeJoin::new(
+                        BatchRows::new(l),
+                        BatchRows::new(r),
+                        *join_len,
+                        *join_type,
+                        lw,
+                        rw,
+                        Rc::clone(stats),
+                    )),
+                    _ => panic!("merge join inputs must both be streams or both partitioned"),
+                }
+            }
+            PhysOp::GraceHashJoin {
+                left,
+                right,
+                join_len,
+                memory_rows,
+            } => {
+                let l = self.run(left, stats, child(prof, 0), None).into_rows();
+                let r = self.run(right, stats, child(prof, 1), None).into_rows();
+                BOut::Rows(ovc_baseline::grace_hash_join(
+                    l,
+                    r,
+                    *join_len,
+                    *memory_rows,
+                    stats,
+                ))
+            }
+            PhysOp::SetOpMerge { left, right, op } => {
+                match (
+                    self.run(left, stats, child(prof, 0), None),
+                    self.run(right, stats, child(prof, 1), None),
+                ) {
+                    (BOut::Parts(lp, lspec), BOut::Parts(rp, _)) => {
+                        assert_eq!(lp.len(), rp.len(), "co-partitioned set-op arity mismatch");
+                        let op = *op;
+                        self.partitioned(
+                            lp.into_iter().zip(rp).map(|(l, r)| vec![l, r]).collect(),
+                            lspec,
+                            prof,
+                            gather,
+                            move |mut streams, local| {
+                                let r = streams.pop().expect("right input");
+                                let l = streams.pop().expect("left input");
+                                Box::new(SetOperation::new(
+                                    BatchRows::new(l),
+                                    BatchRows::new(r),
+                                    op,
+                                    local,
+                                ))
+                            },
+                        )
+                    }
+                    (BOut::Batches(l), BOut::Batches(r)) => self.batched(SetOperation::new(
+                        BatchRows::new(l),
+                        BatchRows::new(r),
+                        *op,
+                        Rc::clone(stats),
+                    )),
+                    _ => panic!("set operation inputs must both be streams or both partitioned"),
+                }
+            }
+            PhysOp::TopK { input, k } => {
+                let stream = self.run(input, stats, child(prof, 0), None).into_batches();
+                BOut::Batches(Box::new(BatchTake::new(stream, *k)))
+            }
+            PhysOp::Exchange { input, to, batch } => match to {
+                // Splitting shuffle, pipelined: the child subtree is
+                // lowered and drained on the producer thread, and coded
+                // batches flow to the partition channels as they fill —
+                // no materialization at the boundary.
+                Partitioning::Hash { cols, parts } => {
+                    let b = batch.unwrap_or(self.batch);
+                    let parts = *parts;
+                    let spec = input.props.order.clone();
+                    let own = prof.and_then(|n| n.gauges());
+                    let mut txs = Vec::with_capacity(parts);
+                    let mut streams: Vec<PartStream> = Vec::with_capacity(parts);
+                    for p in 0..parts {
+                        let (tx, rx) = mpsc::channel::<FlatRows>();
+                        txs.push(tx);
+                        streams.push(Box::new(BatchChannelStream::new(
+                            rx,
+                            spec.clone(),
+                            gauge_for(own, p),
+                        )));
+                    }
+                    let send_gauges: Vec<Option<Arc<ChannelGauge>>> =
+                        (0..parts).map(|p| gauge_for(own, p)).collect();
+                    let cx = self.clone();
+                    let src_plan: &'env PhysicalPlan = input;
+                    let src_prof = child(prof, 0).cloned();
+                    let node = prof.cloned();
+                    let cols = cols.clone();
+                    self.scope.spawn(move || {
+                        let local = Stats::new_shared();
+                        let src = cx
+                            .run(src_plan, &local, src_prof.as_ref(), None)
+                            .into_batches();
+                        let mut rows = 0u64;
+                        let mut nbatches = 0u64;
+                        route_batches(
+                            src,
+                            parts,
+                            partition::by_cols_hash_slice(cols, parts),
+                            b,
+                            |p, fb| {
+                                let n = fb.len() as u64;
+                                rows += n;
+                                nbatches += 1;
+                                match &send_gauges[p] {
+                                    Some(g) => {
+                                        let t0 = Instant::now();
+                                        let ok = txs[p].send(fb).is_ok();
+                                        g.note_send_rows(t0.elapsed(), n);
+                                        ok
+                                    }
+                                    None => txs[p].send(fb).is_ok(),
+                                }
+                            },
+                        );
+                        drop(txs);
+                        let snap = local.snapshot();
+                        if let Some(n) = &node {
+                            n.add_rows_out(rows);
+                            n.add_batches(nbatches);
+                            n.absorb_stats(&snap);
+                        }
+                        cx.shared.absorb(&snap);
+                    });
+                    BOut::Parts(streams, spec)
+                }
+                // Gathering shuffle: merge the live partition streams on
+                // the calling thread with the tree-of-losers, then re-cut
+                // into batches.  Our own gauges ride down to the child so
+                // its workers meter the send side of these channels.
+                Partitioning::Single => {
+                    let b = batch.unwrap_or(self.batch);
+                    let own = prof.and_then(|n| n.gauges());
+                    let (parts, pspec) = self.run(input, stats, child(prof, 0), own).into_parts();
+                    let spec = parts
+                        .first()
+                        .map(|s| s.sort_spec())
+                        .unwrap_or_else(|| pspec.clone());
+                    let cursors: Vec<BatchRows<PartStream>> =
+                        parts.into_iter().map(BatchRows::new).collect();
+                    let merged = ovc_sort::merge_streams_spec(cursors, &spec, stats);
+                    BOut::Batches(Box::new(Batcher::new(merged, b)))
+                }
+                Partitioning::Any => panic!("Exchange to `any` is not a layout"),
+            },
+            PhysOp::Repartition { input, cols, parts } => {
+                // Materializing boundary by design (the planner prices it
+                // that way): drain the incoming partition streams, rehash
+                // with the threaded repartitioner, and re-batch.
+                let (streams, pspec) = self.run(input, stats, child(prof, 0), None).into_parts();
+                let handles: Vec<_> = streams
+                    .into_iter()
+                    .map(|s| {
+                        self.scope
+                            .spawn(move || CodedBatch::from_stream_flat(BatchRows::new(s)))
+                    })
+                    .collect();
+                let batches: Vec<CodedBatch> = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("repartition drain panicked"))
+                    .collect();
+                let key_len = batches
+                    .first()
+                    .map(|b| b.key_len())
+                    .unwrap_or_else(|| input.props.order.len());
+                let cols = cols.clone();
+                let out = ovc_exec::parallel::repartition_threaded(
+                    batches,
+                    key_len,
+                    *parts,
+                    || partition::by_cols_hash(cols.clone(), *parts),
+                    DEFAULT_CHANNEL_CAPACITY,
+                    stats,
+                );
+                if let Some(n) = prof {
+                    n.add_batches(out.len() as u64);
+                    n.add_rows_out(out.iter().map(|b| b.len() as u64).sum());
+                }
+                let spec = out.first().map(|b| b.sort_spec().clone()).unwrap_or(pspec);
+                let streams: Vec<PartStream> = out
+                    .into_iter()
+                    .map(|cb| Box::new(Batcher::new(cb.into_stream(), self.batch)) as PartStream)
+                    .collect();
+                BOut::Parts(streams, spec)
+            }
+        }
+    }
+
+    /// One worker thread per partition: `build` assembles the row kernel
+    /// over that partition's input stream(s) on the worker, whose output
+    /// is re-batched and sent down a bounded channel (in-flight row
+    /// budget ≈ [`DEFAULT_CHANNEL_CAPACITY`], message capacity scaled by
+    /// the batch size).  `gather` gauges, when present, meter the send
+    /// side here and the receive side at the consuming merge.
+    fn partitioned<F>(
+        &self,
+        inputs: Vec<Vec<PartStream>>,
+        out_spec: SortSpec,
+        prof: Option<&Arc<ProfileNode>>,
+        gather: Option<&ExchangeGauges>,
+        build: F,
+    ) -> BOut
+    where
+        F: Fn(Vec<PartStream>, Rc<Stats>) -> Box<dyn OvcStream> + Send + Sync + 'env,
+    {
+        let cap = DEFAULT_CHANNEL_CAPACITY.div_ceil(self.batch).max(1);
+        let build = Arc::new(build);
+        let mut outs: Vec<PartStream> = Vec::with_capacity(inputs.len());
+        for (p, streams) in inputs.into_iter().enumerate() {
+            let (tx, rx) = mpsc::sync_channel::<FlatRows>(cap);
+            let send_gauge = gauge_for(gather, p);
+            let recv_gauge = gauge_for(gather, p);
+            let build = Arc::clone(&build);
+            let node = prof.cloned();
+            let shared = Arc::clone(&self.shared);
+            let batch = self.batch;
+            self.scope.spawn(move || {
+                let local = Stats::new_shared();
+                let op = build(streams, Rc::clone(&local));
+                let mut out = Batcher::new(op, batch);
+                let mut rows = 0u64;
+                let mut nbatches = 0u64;
+                while let Some(fb) = out.next_batch() {
+                    let n = fb.len() as u64;
+                    rows += n;
+                    nbatches += 1;
+                    let ok = match &send_gauge {
+                        Some(g) => {
+                            let t0 = Instant::now();
+                            let ok = tx.send(fb).is_ok();
+                            g.note_send_rows(t0.elapsed(), n);
+                            ok
+                        }
+                        None => tx.send(fb).is_ok(),
+                    };
+                    if !ok {
+                        // Consumer gone (early termination above): stop
+                        // producing; the input chain unwinds the same way.
+                        break;
+                    }
+                }
+                let snap = local.snapshot();
+                if let Some(n) = &node {
+                    n.add_rows_out(rows);
+                    n.add_batches(nbatches);
+                    n.absorb_stats(&snap);
+                }
+                shared.absorb(&snap);
+            });
+            outs.push(Box::new(BatchChannelStream::new(
+                rx,
+                out_spec.clone(),
+                recv_gauge,
+            )));
+        }
+        BOut::Parts(outs, out_spec)
+    }
+}
+
+/// Metering adapter around one operator's batch output: the batched
+/// [`ProfiledStream`](crate::exec) — times every `next_batch`, counts
+/// rows and batches, attributes the calling thread's [`Stats`] delta,
+/// and flushes once on drop (covering early termination).
+struct ProfiledBatchStream {
+    inner: Box<dyn BatchStream>,
+    spec: SortSpec,
+    node: Arc<ProfileNode>,
+    stats: Rc<Stats>,
+    rows: u64,
+    batches: u64,
+    wall: Duration,
+    delta: StatsSnapshot,
+}
+
+impl BatchStream for ProfiledBatchStream {
+    fn next_batch(&mut self) -> Option<FlatRows> {
+        let before = self.stats.snapshot();
+        let start = Instant::now();
+        let item = self.inner.next_batch();
+        self.wall += start.elapsed();
+        self.delta.add(&self.stats.snapshot().since(&before));
+        if let Some(b) = &item {
+            self.rows += b.len() as u64;
+            self.batches += 1;
+        }
+        item
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
+    }
+}
+
+impl Drop for ProfiledBatchStream {
+    fn drop(&mut self) {
+        self.node.add_rows_out(self.rows);
+        self.node.add_batches(self.batches);
+        self.node.add_wall(self.wall);
+        self.node.absorb_stats(&self.delta);
+    }
+}

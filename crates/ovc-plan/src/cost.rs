@@ -198,6 +198,22 @@ pub fn exchange(rows: f64, parts: usize) -> Cost {
     }
 }
 
+/// Flat-batch exchange ([`crate::PhysOp::Exchange`] with a stamped batch
+/// size): the accumulator/merge comparator work is the same `rows ×
+/// log2(parts)` as [`exchange`], but the per-row channel crossing — the
+/// `+1` term above — collapses to one crossing per `batch`-row message.
+/// Cheaper than the row exchange for any `batch > 1`, equal at
+/// `batch == 1`.
+pub fn exchange_batched(rows: f64, parts: usize, batch: usize) -> Cost {
+    if parts <= 1 {
+        return Cost::zero();
+    }
+    Cost {
+        ovc_cmps: rows * log2(parts as f64) + rows / batch.max(1) as f64,
+        ..Cost::zero()
+    }
+}
+
 /// Opposite-direction reuse (`PhysOp::Reverse`): materialize, reverse,
 /// and re-prime codes in one linear pass — `rows × key_len` column
 /// accesses (the derivation bound) plus one accumulator op per row, no

@@ -52,6 +52,16 @@ pub struct ExecOptions {
     /// unless its codes are exact under its spec (test harness for the
     /// planner).
     pub verify_trusted: bool,
+    /// Run the plan on the batched executor
+    /// ([`crate::batch_exec`]) with this many rows per [`ovc_core::FlatRows`]
+    /// batch: operators pass flat batches instead of boxed rows, and
+    /// exchanges forward batches through their channels instead of
+    /// materializing whole inputs at split/merge boundaries.  A plan
+    /// node's own stamped batch size ([`PhysOp::Exchange`]) takes
+    /// precedence on its exchange edges.  `None` runs the row-at-a-time
+    /// executor.  Rows, codes, and [`Stats`] totals are byte-identical
+    /// either way (`tests/batch_pipeline_properties.rs`).
+    pub batch_size: Option<usize>,
 }
 
 /// What a (sub)plan produced: a coded sorted stream, bare rows, or — in
@@ -129,6 +139,9 @@ pub fn execute(
     stats: &Rc<Stats>,
     options: &ExecOptions,
 ) -> Output {
+    if options.batch_size.is_some() {
+        return crate::batch_exec::execute_batched(plan, catalog, stats, options, None);
+    }
     let cx = Cx {
         catalog,
         stats,
@@ -154,6 +167,10 @@ pub fn execute_profiled(
     options: &ExecOptions,
 ) -> (Output, Arc<ProfileNode>) {
     let root = crate::profile::build_profile(plan);
+    if options.batch_size.is_some() {
+        let out = crate::batch_exec::execute_batched(plan, catalog, stats, options, Some(&root));
+        return (out, root);
+    }
     let cx = Cx {
         catalog,
         stats,
@@ -264,17 +281,29 @@ impl Cx<'_> {
                     // Parallel run generation over row-range slices: rows
                     // and codes are byte-identical to the serial sort
                     // (tests/parallel_properties.rs holds it to that).
-                    // The planner stamps dop > 1 only onto plain
-                    // ascending-prefix specs.
-                    debug_assert!(spec.is_asc_prefix() && !spec.normalized());
-                    Output::Stream(Box::new(ovc_sort::parallel::parallel_sort(
-                        rows,
-                        spec.len(),
-                        *dop,
-                        *memory_rows,
-                        *fan_in,
-                        self.stats,
-                    )))
+                    // The planner stamps dop > 1 onto leading-prefix,
+                    // non-normalized specs; mixed directions take the
+                    // spec-aware lowering.
+                    debug_assert!(spec.is_prefix() && !spec.normalized());
+                    if spec.is_asc_prefix() {
+                        Output::Stream(Box::new(ovc_sort::parallel::parallel_sort(
+                            rows,
+                            spec.len(),
+                            *dop,
+                            *memory_rows,
+                            *fan_in,
+                            self.stats,
+                        )))
+                    } else {
+                        Output::Stream(Box::new(ovc_sort::parallel_sort_spec(
+                            rows,
+                            spec,
+                            *dop,
+                            *memory_rows,
+                            *fan_in,
+                            self.stats,
+                        )))
+                    }
                 } else if spec.is_asc_prefix() && !spec.normalized() {
                     let mut storage = MemoryRunStorage::new(Rc::clone(self.stats));
                     let cfg = SortConfig::new(spec.len(), *memory_rows).with_fan_in(*fan_in);
@@ -490,7 +519,7 @@ impl Cx<'_> {
                     left: *k,
                 }))
             }
-            PhysOp::Exchange { input, to } => match to {
+            PhysOp::Exchange { input, to, .. } => match to {
                 // Splitting shuffle: one producer thread routes rows by
                 // hash of the partitioning columns, repairing codes with
                 // one accumulator per partition; consumers drain

@@ -150,6 +150,7 @@ mod tests {
             &stats,
             &ExecOptions {
                 verify_trusted: true,
+                ..Default::default()
             },
         );
         let got: Vec<u64> = out.into_rows().iter().map(|r| r.cols()[0]).collect();

@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch_exec;
 pub mod catalog;
 pub mod cost;
 pub mod exec;
@@ -70,6 +71,7 @@ pub mod physical;
 pub mod planner;
 pub mod profile;
 
+pub use batch_exec::execute_batched;
 pub use catalog::{Catalog, Table};
 pub use cost::Cost;
 pub use exec::{execute, execute_profiled, execute_stream, ExecOptions, Output};

@@ -39,15 +39,21 @@ pub enum Predicate {
 impl Predicate {
     /// Evaluate against one row.
     pub fn eval(&self, row: &Row) -> bool {
+        self.eval_slice(row.cols())
+    }
+
+    /// Evaluate against a row's raw columns — the flat-batch path, where
+    /// rows live as slices of a contiguous buffer and never box up.
+    pub fn eval_slice(&self, cols: &[Value]) -> bool {
         match self {
-            Predicate::ColEq(c, v) => row.cols()[*c] == *v,
-            Predicate::ColNe(c, v) => row.cols()[*c] != *v,
-            Predicate::ColLt(c, v) => row.cols()[*c] < *v,
-            Predicate::ColLe(c, v) => row.cols()[*c] <= *v,
-            Predicate::ColGt(c, v) => row.cols()[*c] > *v,
-            Predicate::ColGe(c, v) => row.cols()[*c] >= *v,
-            Predicate::And(a, b) => a.eval(row) && b.eval(row),
-            Predicate::Or(a, b) => a.eval(row) || b.eval(row),
+            Predicate::ColEq(c, v) => cols[*c] == *v,
+            Predicate::ColNe(c, v) => cols[*c] != *v,
+            Predicate::ColLt(c, v) => cols[*c] < *v,
+            Predicate::ColLe(c, v) => cols[*c] <= *v,
+            Predicate::ColGt(c, v) => cols[*c] > *v,
+            Predicate::ColGe(c, v) => cols[*c] >= *v,
+            Predicate::And(a, b) => a.eval_slice(cols) && b.eval_slice(cols),
+            Predicate::Or(a, b) => a.eval_slice(cols) || b.eval_slice(cols),
         }
     }
 

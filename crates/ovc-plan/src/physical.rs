@@ -283,6 +283,12 @@ pub enum PhysOp {
         input: Box<PhysicalPlan>,
         /// Target layout.
         to: Partitioning,
+        /// Rows per [`ovc_core::FlatRows`] batch crossing the exchange
+        /// channels when the plan runs on the batched executor (`None` =
+        /// row-at-a-time).  Stamped by
+        /// [`crate::planner::PlannerConfig::with_batch_size`] and shown
+        /// by `EXPLAIN`.
+        batch: Option<usize>,
     },
     /// Hash-to-hash repartitioning: N splitters × P mergers, all
     /// threaded (`repartition_threaded`) — used when the input is
@@ -447,7 +453,10 @@ impl PhysicalPlan {
             PhysOp::GraceHashJoin { join_len, .. } => format!(" Inner on={join_len}"),
             PhysOp::SetOpMerge { op, .. } => format!(" {op:?}"),
             PhysOp::TopK { k, .. } => format!(" k={k}"),
-            PhysOp::Exchange { to, .. } => format!(" -> {to}"),
+            PhysOp::Exchange { to, batch, .. } => match batch {
+                Some(b) => format!(" -> {to} batch={b}"),
+                None => format!(" -> {to}"),
+            },
             PhysOp::Repartition { cols, parts, .. } => {
                 let to = Partitioning::Hash {
                     cols: cols.clone(),
@@ -604,6 +613,7 @@ mod tests {
                     cols: vec![0],
                     parts: 4,
                 },
+                batch: None,
             },
         };
         let ex = split.explain();

@@ -76,6 +76,13 @@ pub struct PlannerConfig {
     /// uncounted wall-clock effect, hence a floor rather than a cost
     /// term).
     pub parallel_threshold_rows: usize,
+    /// Rows per flat batch crossing exchange channels (`None` = the
+    /// row-at-a-time exchange).  Stamped onto every [`PhysOp::Exchange`]
+    /// the planner emits, priced with [`cost::exchange_batched`], and
+    /// shown by `EXPLAIN`; pair it with
+    /// [`crate::ExecOptions::batch_size`] to actually run the plan on
+    /// the batched executor.
+    pub batch_size: Option<usize>,
 }
 
 impl Default for PlannerConfig {
@@ -87,6 +94,7 @@ impl Default for PlannerConfig {
             weights: CostWeights::default(),
             dop: 1,
             parallel_threshold_rows: 4096,
+            batch_size: None,
         }
     }
 }
@@ -119,6 +127,12 @@ impl PlannerConfig {
     /// Override the row floor above which operators run parallel.
     pub fn with_parallel_threshold(mut self, rows: usize) -> Self {
         self.parallel_threshold_rows = rows;
+        self
+    }
+
+    /// Request flat-batch exchanges of `rows` rows per batch.
+    pub fn with_batch_size(mut self, rows: usize) -> Self {
+        self.batch_size = Some(rows.max(1));
         self
     }
 }
@@ -570,17 +584,22 @@ impl<'a> Planner<'a> {
     /// [`cost::exchange`].
     fn exchange_to(&self, input: PhysicalPlan, to: Partitioning) -> PhysicalPlan {
         let parts = to.parts().max(input.props.partitioning.parts());
+        let local = match self.config.batch_size {
+            Some(b) => cost::exchange_batched(input.props.rows, parts, b),
+            None => cost::exchange(input.props.rows, parts),
+        };
         let props = PhysicalProps {
             partitioning: to.clone(),
             dop: input.props.dop.max(to.parts()),
             ..input.props.clone()
         };
         PhysicalPlan {
-            cost: input.cost.plus(&cost::exchange(input.props.rows, parts)),
+            cost: input.cost.plus(&local),
             props,
             op: PhysOp::Exchange {
                 input: Box::new(input),
                 to,
+                batch: self.config.batch_size,
             },
         }
     }
@@ -910,17 +929,17 @@ impl<'a> Planner<'a> {
         let key_len = spec.len();
         // The degree-of-parallelism directive: a sort big enough to clear
         // the threshold is stamped with the config's dop and lowers onto
-        // ovc_sort::parallel's sliced run generation (an
-        // ascending-prefix-only lowering — direction-aware and
-        // normalized-key sorts run serial).  Rows and codes are identical
-        // either way; the estimate switches to the parallel cost
-        // functions because the parallel lowering keeps its runs resident
-        // (no spill — like every storage device in this repository,
-        // "spilling" is accounting over in-memory buffers, so residency
-        // changes the counters, not the RSS).
+        // ovc_sort::parallel's sliced run generation — direction-aware
+        // since `parallel_sort_spec`, so mixed asc/desc prefixes qualify
+        // too; only normalized-key sorts still run serial.  Rows and
+        // codes are identical either way; the estimate switches to the
+        // parallel cost functions because the parallel lowering keeps
+        // its runs resident (no spill — like every storage device in
+        // this repository, "spilling" is accounting over in-memory
+        // buffers, so residency changes the counters, not the RSS).
         let dop = if self.config.dop > 1
             && rows >= self.config.parallel_threshold_rows as f64
-            && spec.is_asc_prefix()
+            && spec.is_prefix()
             && !spec.normalized()
         {
             self.config.dop
@@ -1073,6 +1092,7 @@ mod tests {
             &stats,
             &ExecOptions {
                 verify_trusted: true,
+                ..Default::default()
             },
         )
         .into_rows();
@@ -1111,6 +1131,7 @@ mod tests {
             &stats,
             &ExecOptions {
                 verify_trusted: true,
+                ..Default::default()
             },
         )
         .into_rows();

@@ -41,7 +41,7 @@ pub fn build_profile(plan: &PhysicalPlan) -> Arc<ProfileNode> {
     let name = plan.op_name();
     let detail = plan.op_detail();
     Arc::new(match &plan.op {
-        PhysOp::Exchange { input, to } => {
+        PhysOp::Exchange { input, to, .. } => {
             let channels = match to {
                 Partitioning::Hash { parts, .. } => *parts,
                 Partitioning::Single => input.props.partitioning.parts(),

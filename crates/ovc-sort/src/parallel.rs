@@ -32,11 +32,11 @@
 use std::rc::Rc;
 use std::thread;
 
-use ovc_core::{OvcRow, OvcStream, Row, Stats, StatsSnapshot};
+use ovc_core::{OvcRow, OvcStream, Row, SortSpec, Stats, StatsSnapshot};
 
 use crate::external::SortOutput;
-use crate::merge::{merge_runs, merge_runs_to_run};
-use crate::run_gen::{generate_runs, RunGenStrategy};
+use crate::merge::{merge_runs_spec, merge_runs_to_run_spec};
+use crate::run_gen::{generate_runs_spec, RunGenStrategy};
 use crate::runs::Run;
 
 /// Generate initial runs from `threads` workers over contiguous row-range
@@ -49,11 +49,26 @@ pub fn parallel_generate_runs(
     memory_rows: usize,
     stats: &Rc<Stats>,
 ) -> Vec<Run> {
+    parallel_generate_runs_spec(rows, &SortSpec::asc(key_len), threads, memory_rows, stats)
+}
+
+/// [`parallel_generate_runs`] under an arbitrary leading-prefix
+/// [`SortSpec`] (mixed ascending/descending directions, normalized keys).
+/// The ascending-prefix case takes the identical code path as the
+/// unsuffixed function — `generate_runs_spec` dispatches to the same
+/// kernel — so rows, codes, *and counters* are unchanged for it.
+pub fn parallel_generate_runs_spec(
+    rows: Vec<Row>,
+    spec: &SortSpec,
+    threads: usize,
+    memory_rows: usize,
+    stats: &Rc<Stats>,
+) -> Vec<Run> {
     let threads = threads.clamp(1, rows.len().max(1));
     if threads <= 1 {
-        return generate_runs(
+        return generate_runs_spec(
             rows,
-            key_len,
+            spec,
             memory_rows,
             RunGenStrategy::OvcPriorityQueue,
             stats,
@@ -76,9 +91,9 @@ pub fn parallel_generate_runs(
                     // Per-thread counters: `Rc<Stats>` never crosses the
                     // thread boundary; only the snapshot does.
                     let local = Stats::new_shared();
-                    let runs = generate_runs(
+                    let runs = generate_runs_spec(
                         chunk,
-                        key_len,
+                        spec,
                         memory_rows,
                         RunGenStrategy::OvcPriorityQueue,
                         &local,
@@ -108,10 +123,10 @@ pub fn parallel_generate_runs(
 /// duplicate removal for the distinct variant.
 fn reduce_to_fan_in(
     mut runs: Vec<Run>,
-    key_len: usize,
+    spec: &SortSpec,
     fan_in: usize,
     stats: &Rc<Stats>,
-    post: impl Fn(Run, usize) -> Run,
+    post: impl Fn(Run) -> Run,
 ) -> Vec<Run> {
     let fan_in = fan_in.max(2);
     while runs.len() > fan_in {
@@ -122,7 +137,7 @@ fn reduce_to_fan_in(
             if group.is_empty() {
                 break;
             }
-            next.push(post(merge_runs_to_run(group, key_len, stats), key_len));
+            next.push(post(merge_runs_to_run_spec(group, spec, stats)));
         }
         runs = next;
     }
@@ -140,15 +155,39 @@ pub fn parallel_sort(
     fan_in: usize,
     stats: &Rc<Stats>,
 ) -> SortOutput {
-    let runs = parallel_generate_runs(rows, key_len, threads, memory_rows, stats);
+    parallel_sort_spec(
+        rows,
+        &SortSpec::asc(key_len),
+        threads,
+        memory_rows,
+        fan_in,
+        stats,
+    )
+}
+
+/// [`parallel_sort`] under an arbitrary leading-prefix [`SortSpec`] —
+/// the direction-aware lowering the planner uses for `ORDER BY ... DESC`
+/// at dop > 1.  Mirrors `external_sort_spec` the way [`parallel_sort`]
+/// mirrors `external_sort`: same workers, same cascaded reduce, with
+/// every merge running the spec-aware tree.  Output rows and codes are
+/// identical to `external_sort_spec` over the same input.
+pub fn parallel_sort_spec(
+    rows: Vec<Row>,
+    spec: &SortSpec,
+    threads: usize,
+    memory_rows: usize,
+    fan_in: usize,
+    stats: &Rc<Stats>,
+) -> SortOutput {
+    let runs = parallel_generate_runs_spec(rows, spec, threads, memory_rows, stats);
     if runs.is_empty() {
-        return SortOutput::Memory(Run::empty(key_len).cursor());
+        return SortOutput::Memory(Run::empty_spec(spec.clone()).cursor());
     }
-    let mut runs = reduce_to_fan_in(runs, key_len, fan_in, stats, |run, _| run);
+    let mut runs = reduce_to_fan_in(runs, spec, fan_in, stats, |run| run);
     if runs.len() == 1 {
         return SortOutput::Memory(runs.pop().expect("one run").cursor());
     }
-    SortOutput::Merge(merge_runs(runs, key_len, stats))
+    SortOutput::Merge(merge_runs_spec(runs, spec, stats))
 }
 
 /// Convenience: parallel sort and collect.
@@ -175,11 +214,12 @@ pub fn parallel_sort_distinct(
     fan_in: usize,
     stats: &Rc<Stats>,
 ) -> impl OvcStream {
+    let spec = SortSpec::asc(key_len);
     let runs: Vec<Run> = parallel_generate_runs(rows, key_len, threads, memory_rows, stats)
         .into_iter()
         .map(Run::into_distinct)
         .collect();
-    let runs = reduce_to_fan_in(runs, key_len, fan_in, stats, |run, _| run.into_distinct());
+    let runs = reduce_to_fan_in(runs, &spec, fan_in, stats, Run::into_distinct);
     let inner = if runs.len() <= 1 {
         SortOutput::Memory(
             runs.into_iter()
@@ -188,7 +228,7 @@ pub fn parallel_sort_distinct(
                 .cursor(),
         )
     } else {
-        SortOutput::Merge(merge_runs(runs, key_len, stats))
+        SortOutput::Merge(merge_runs_spec(runs, &spec, stats))
     };
     DedupCodes(inner)
 }
@@ -218,6 +258,7 @@ impl OvcStream for DedupCodes {
 mod tests {
     use super::*;
     use crate::external::external_sort_collect;
+    use crate::external_sort_spec_collect;
     use crate::SortConfig;
     use ovc_core::derive::assert_codes_exact;
     use ovc_core::{Ovc, Row};
@@ -286,6 +327,48 @@ mod tests {
         assert_eq!(out, ser);
         // Parallel run generation keeps everything resident.
         assert_eq!(stats.rows_spilled(), 0);
+    }
+
+    #[test]
+    fn parallel_sort_spec_matches_serial_on_mixed_directions() {
+        // Satellite: direction-aware parallel sorts.  A mixed asc/desc
+        // spec at every thread count must match the serial spec sort row
+        // for row and code for code.
+        use ovc_core::derive::assert_codes_exact_spec;
+        use ovc_core::spec::Direction;
+
+        let rows = random_rows(4000, 3, 9, 6);
+        let spec = SortSpec::with_dirs(&[Direction::Asc, Direction::Desc, Direction::Asc]);
+        let ser = external_sort_spec_collect(
+            rows.clone(),
+            SortConfig::new(3, 256),
+            &spec,
+            &Stats::new_shared(),
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let stats = Stats::new_shared();
+            let par: Vec<OvcRow> =
+                parallel_sort_spec(rows.clone(), &spec, threads, 256, 8, &stats).collect();
+            assert_eq!(par, ser, "threads={threads}");
+            let pairs: Vec<(Row, Ovc)> = par.into_iter().map(|r| (r.row, r.code)).collect();
+            assert_codes_exact_spec(&pairs, &spec);
+            assert!(stats.col_value_cmps() > 0, "worker counters merged");
+        }
+    }
+
+    #[test]
+    fn parallel_sort_spec_descending_only() {
+        let rows = random_rows(1500, 2, 6, 7);
+        let spec = SortSpec::desc(2);
+        let ser = external_sort_spec_collect(
+            rows.clone(),
+            SortConfig::new(2, 128),
+            &spec,
+            &Stats::new_shared(),
+        );
+        let par: Vec<OvcRow> =
+            parallel_sort_spec(rows, &spec, 4, 128, 8, &Stats::new_shared()).collect();
+        assert_eq!(par, ser);
     }
 
     #[test]

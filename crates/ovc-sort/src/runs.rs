@@ -15,7 +15,7 @@
 //! [`OvcRow`]s are materialized only at stream boundaries ([`RunCursor`]).
 
 use ovc_core::derive::{derive_codes, derive_codes_spec};
-use ovc_core::{FlatRows, Ovc, OvcRow, OvcStream, Row, SortSpec};
+use ovc_core::{BatchStream, FlatRows, Ovc, OvcRow, OvcStream, Row, SortSpec};
 
 /// A sorted, coded, in-memory run in flat columnar layout.
 #[derive(Clone, Debug)]
@@ -161,6 +161,22 @@ impl Run {
         }
     }
 
+    /// Consume the run as a [`BatchStream`] of `batch_size`-row
+    /// [`FlatRows`] chunks — the batch-pipeline entry point for sorted
+    /// data.  Cutting a coded run at any point needs no code repair
+    /// (each batch's first code is relative to the previous batch's last
+    /// row — the seam rule of `ovc_core::batch`), so the chunks are plain
+    /// slices of the flat buffer.  Panics if `batch_size` is zero.
+    pub fn batches(self, batch_size: usize) -> RunBatches {
+        assert!(batch_size > 0, "batch size must be positive");
+        RunBatches {
+            flat: self.flat,
+            spec: self.spec,
+            pos: 0,
+            batch_size,
+        }
+    }
+
     /// Total payload bytes a spill of this run would write (8 bytes per
     /// column plus the 8-byte code per row) — used for I/O accounting.
     pub fn spill_bytes(&self) -> u64 {
@@ -240,6 +256,36 @@ impl OvcStream for RunCursor {
     }
 }
 
+/// Consuming batch cursor over a run: yields `batch_size`-row
+/// [`FlatRows`] slices of the flat buffer (the last batch may be short),
+/// codes exact across seams.  Built by [`Run::batches`].
+pub struct RunBatches {
+    flat: FlatRows,
+    spec: SortSpec,
+    pos: usize,
+    batch_size: usize,
+}
+
+impl BatchStream for RunBatches {
+    fn next_batch(&mut self) -> Option<FlatRows> {
+        if self.pos >= self.flat.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch_size).min(self.flat.len());
+        let w = self.flat.width();
+        let out = FlatRows::from_parts(
+            w,
+            self.flat.values()[self.pos * w..end * w].to_vec(),
+            self.flat.codes()[self.pos..end].to_vec(),
+        );
+        self.pos = end;
+        Some(out)
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +298,31 @@ mod tests {
         assert_eq!(run.key_len(), 4);
         let codes: Vec<Ovc> = run.iter().map(|(_, c)| c).collect();
         assert_eq!(codes, ovc_core::table1::asc_codes());
+    }
+
+    #[test]
+    fn batches_slice_the_run_with_exact_seams() {
+        // The batch cursor cuts the run without any code repair; the
+        // seam-aware validator accepts every cut size, including 1 and
+        // exactly the run length.
+        let rows = ovc_core::table1::rows();
+        let run = Run::from_sorted_rows(rows.clone(), 4);
+        let expect = run.to_ovc_rows();
+        for batch_size in [1usize, 2, 3, 7, 100] {
+            let mut cursor = Run::from_sorted_rows(rows.clone(), 4).batches(batch_size);
+            assert_eq!(cursor.sort_spec(), SortSpec::asc(4));
+            let mut batches = Vec::new();
+            while let Some(b) = cursor.next_batch() {
+                assert!(!b.is_empty());
+                assert!(b.len() <= batch_size);
+                batches.push(b);
+            }
+            ovc_core::batch::assert_batches_exact_spec(&batches, &SortSpec::asc(4));
+            let flat: Vec<OvcRow> = batches.iter().flat_map(|b| b.to_ovc_rows()).collect();
+            assert_eq!(flat, expect, "batch={batch_size}");
+        }
+        // Empty run: no batches at all.
+        assert!(Run::empty(2).batches(4).next_batch().is_none());
     }
 
     #[test]

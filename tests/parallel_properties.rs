@@ -283,7 +283,7 @@ proptest! {
         let run = |cfg: PlannerConfig| -> Vec<OvcRow> {
             let plan = figure5::plan_intersect(&catalog, cfg).expect("plans");
             let stats = Stats::new_shared();
-            execute(&plan, &catalog, &stats, &ExecOptions { verify_trusted: true }).into_coded()
+            execute(&plan, &catalog, &stats, &ExecOptions { verify_trusted: true, ..Default::default() }).into_coded()
         };
         let serial = run(base);
         let pairs: Vec<(Row, Ovc)> =
@@ -351,6 +351,7 @@ fn planned_merge_join_with_explicit_exchanges_matches_serial() {
                 &stats,
                 &ExecOptions {
                     verify_trusted: true,
+                    ..Default::default()
                 },
             )
             .into_coded()
@@ -432,6 +433,7 @@ fn planned_group_by_with_explicit_exchanges_matches_serial() {
             &stats,
             &ExecOptions {
                 verify_trusted: true,
+                ..Default::default()
             },
         )
         .into_coded();
@@ -504,6 +506,7 @@ fn planned_set_ops_with_explicit_exchanges_match_serial() {
                 &stats,
                 &ExecOptions {
                     verify_trusted: true,
+                    ..Default::default()
                 },
             )
             .into_coded()
@@ -541,6 +544,7 @@ fn skewed_planned_group_by_matches_serial() {
             &stats,
             &ExecOptions {
                 verify_trusted: true,
+                ..Default::default()
             },
         )
         .into_coded()
@@ -656,6 +660,7 @@ fn mixed_direction_trusted_inputs_keep_joins_serial() {
             &stats,
             &ExecOptions {
                 verify_trusted: true,
+                ..Default::default()
             },
         )
         .into_coded();

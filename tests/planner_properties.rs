@@ -40,6 +40,7 @@ fn exec_with(
         &stats,
         &ExecOptions {
             verify_trusted: verify,
+            ..Default::default()
         },
     );
     (plan, out.into_rows())
@@ -178,7 +179,7 @@ proptest! {
         prop_assert_eq!(&plan.props.order, &spec, "{}", plan.explain());
         let stats = Stats::new_shared();
         let out: Vec<OvcRow> =
-            execute(&plan, &catalog, &stats, &ExecOptions { verify_trusted: true }).into_coded();
+            execute(&plan, &catalog, &stats, &ExecOptions { verify_trusted: true, ..Default::default() }).into_coded();
 
         // Reference: the baseline's instrumented full-compare sort.
         let baseline =
@@ -210,7 +211,7 @@ proptest! {
         // verify_trusted audits the trusted stream with
         // assert_codes_exact_spec under the descending spec.
         let out: Vec<OvcRow> =
-            execute(&plan, &catalog, &stats, &ExecOptions { verify_trusted: true }).into_coded();
+            execute(&plan, &catalog, &stats, &ExecOptions { verify_trusted: true, ..Default::default() }).into_coded();
         prop_assert_eq!(out.len(), n);
         let pairs: Vec<(Row, Ovc)> = out.into_iter().map(|r| (r.row, r.code)).collect();
         assert_codes_exact_spec(&pairs, &spec);
@@ -233,7 +234,7 @@ proptest! {
         let stats = Stats::new_shared();
         // verify_trusted drains the trusted stream through
         // assert_codes_exact — the elision's justification.
-        let out = execute(&plan, &catalog, &stats, &ExecOptions { verify_trusted: true });
+        let out = execute(&plan, &catalog, &stats, &ExecOptions { verify_trusted: true, ..Default::default() });
         prop_assert_eq!(out.into_rows().len(), n);
     }
 }
@@ -286,6 +287,7 @@ fn figure5_acceptance_sorted_inputs() {
             &stats,
             &ExecOptions {
                 verify_trusted: true,
+                ..Default::default()
             },
         );
         let planner_rows: Vec<Row> = out.into_rows();

@@ -27,17 +27,25 @@ fn assert_profiling_is_invisible(
     plan: &ovc_plan::PhysicalPlan,
     catalog: &Catalog,
 ) -> ovc_core::PlanProfile {
-    let options = ExecOptions::default();
+    assert_profiling_is_invisible_with(plan, catalog, &ExecOptions::default())
+}
 
+/// As [`assert_profiling_is_invisible`], under explicit executor knobs
+/// (the batched executor is exercised by passing a `batch_size`).
+fn assert_profiling_is_invisible_with(
+    plan: &ovc_plan::PhysicalPlan,
+    catalog: &Catalog,
+    options: &ExecOptions,
+) -> ovc_core::PlanProfile {
     let plain_stats = Stats::new_shared();
-    let plain: Vec<(Row, Ovc)> = execute(plan, catalog, &plain_stats, &options)
+    let plain: Vec<(Row, Ovc)> = execute(plan, catalog, &plain_stats, options)
         .into_coded()
         .into_iter()
         .map(|r| (r.row, r.code))
         .collect();
 
     let prof_stats = Stats::new_shared();
-    let (out, root) = execute_profiled(plan, catalog, &prof_stats, &options);
+    let (out, root) = execute_profiled(plan, catalog, &prof_stats, options);
     let profiled: Vec<(Row, Ovc)> = out
         .into_coded()
         .into_iter()
@@ -168,6 +176,89 @@ fn planned_dop4_exchange_join_profiles_with_gauges() {
     }
 }
 
+/// The batched-pipeline satellite: the same dop=4 exchange join run on
+/// the **batched** executor (batches crossing every exchange channel)
+/// profiles without perturbing rows, codes, or Stats; the exchange
+/// gauges still account for every row that crossed, message counts show
+/// the batching (≈ rows / batch_size messages, not one per row), and
+/// the profiled output equals the row executor's byte for byte.
+#[test]
+fn planned_dop4_exchange_join_profiles_batched() {
+    const BATCH: usize = 8;
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    let mut catalog = Catalog::new();
+    catalog.register("l", Table::unsorted(random_rows(&mut rng, 400, 25)));
+    catalog.register("r", Table::unsorted(random_rows(&mut rng, 350, 25)));
+    let q = LogicalPlan::scan("l").join(LogicalPlan::scan("r"), 1, JoinType::Inner);
+    let cfg = PlannerConfig::default()
+        .with_memory_rows(64)
+        .with_fan_in(8)
+        .with_preference(Preference::ForceSortBased)
+        .with_dop(4)
+        .with_parallel_threshold(1)
+        .with_batch_size(BATCH);
+    let plan = Planner::new(&catalog, cfg).plan(&q).expect("plans");
+    assert_eq!(plan.count_op("Exchange"), 3, "two splits + one gather");
+
+    let options = ExecOptions {
+        batch_size: Some(BATCH),
+        ..Default::default()
+    };
+    let profile = assert_profiling_is_invisible_with(&plan, &catalog, &options);
+    assert_mirrors(&plan, &profile);
+
+    // Batched ≡ row-wise on the very same plan.
+    let row_stats = Stats::new_shared();
+    let row_wise: Vec<(Row, Ovc)> = execute(&plan, &catalog, &row_stats, &ExecOptions::default())
+        .into_coded()
+        .into_iter()
+        .map(|r| (r.row, r.code))
+        .collect();
+    let bat_stats = Stats::new_shared();
+    let batched: Vec<(Row, Ovc)> = execute(&plan, &catalog, &bat_stats, &options)
+        .into_coded()
+        .into_iter()
+        .map(|r| (r.row, r.code))
+        .collect();
+    assert_eq!(batched, row_wise, "batched rows/codes ≡ row executor");
+    assert_eq!(
+        bat_stats.snapshot(),
+        row_stats.snapshot(),
+        "batched Stats ≡ row executor"
+    );
+
+    let exchanges: Vec<_> = profile
+        .nodes()
+        .into_iter()
+        .filter(|n| n.name == "Exchange")
+        .collect();
+    assert_eq!(exchanges.len(), 3);
+    for ex in &exchanges {
+        assert_eq!(ex.gauges.len(), 4, "one gauge per partition");
+        let crossed: u64 = ex.gauges.iter().map(|g| g.rows).sum();
+        assert_eq!(
+            crossed, ex.metrics.rows_out,
+            "gauges account for every row crossing `{}{}`",
+            ex.name, ex.detail
+        );
+        // Batches, not rows, are the channel currency: peak queue depth
+        // is counted in messages, so on the bounded worker→gather edge
+        // it can never exceed the message capacity (scaled down by the
+        // batch size) plus the one message in flight.
+        if ex.detail.contains("single") {
+            let cap = ovc_exec::DEFAULT_CHANNEL_CAPACITY.div_ceil(BATCH) as u64;
+            for (p, g) in ex.gauges.iter().enumerate() {
+                assert!(
+                    g.peak_depth <= cap + 1,
+                    "gather channel {p}: peak {} > bound {}",
+                    g.peak_depth,
+                    cap + 1
+                );
+            }
+        }
+    }
+}
+
 /// `explain_analyze` format contract: one line per operator carrying
 /// estimates and the measured rows out / wall time / column comparisons
 /// / code-resolved comparisons, with gauge lines under each exchange.
@@ -230,6 +321,7 @@ fn profiled_topk_reports_partial_drains() {
     let stats = Stats::new_shared();
     let options = ExecOptions {
         verify_trusted: true,
+        ..Default::default()
     };
     let (out, root) = execute_profiled(&plan, &catalog, &stats, &options);
     let got: Vec<OvcRow> = out.into_coded();
