@@ -6,7 +6,7 @@
 //! row's, column by column — the cost the paper's Figure 4 measures
 //! against the offset-test version.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::{OvcRow, Row, Stats, Value};
 use ovc_exec::Aggregate;
@@ -20,12 +20,12 @@ pub struct GroupFullCompare<S> {
     group_len: usize,
     aggregates: Vec<Aggregate>,
     pending: Option<(Row, Vec<Value>)>,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
 }
 
 impl<S: Iterator<Item = OvcRow>> GroupFullCompare<S> {
     /// Build the baseline operator over any sorted row stream.
-    pub fn new(input: S, group_len: usize, aggregates: Vec<Aggregate>, stats: Rc<Stats>) -> Self {
+    pub fn new(input: S, group_len: usize, aggregates: Vec<Aggregate>, stats: Arc<Stats>) -> Self {
         GroupFullCompare {
             input,
             group_len,
@@ -112,7 +112,7 @@ mod tests {
             VecStream::from_sorted_rows(rows.clone(), 3),
             2,
             aggs.clone(),
-            Rc::clone(&stats),
+            Arc::clone(&stats),
         )
         .collect();
         let ovc: Vec<Row> =
@@ -134,7 +134,7 @@ mod tests {
             VecStream::from_sorted_rows(rows, 2),
             2,
             vec![Aggregate::Count],
-            Rc::clone(&stats),
+            Arc::clone(&stats),
         )
         .count();
         assert!(n <= 9);

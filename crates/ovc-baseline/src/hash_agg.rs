@@ -10,7 +10,7 @@
 //! (Section 6).
 
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::{Row, Stats};
 
@@ -61,7 +61,7 @@ pub(crate) fn decode_rows(bytes: &[u8]) -> Vec<Row> {
 /// Hash-based duplicate removal with a `memory_rows` budget.  Output order
 /// is arbitrary (hash order) — the hash plan has no interesting ordering
 /// to offer downstream.
-pub fn hash_aggregate_distinct(rows: Vec<Row>, memory_rows: usize, stats: &Rc<Stats>) -> Vec<Row> {
+pub fn hash_aggregate_distinct(rows: Vec<Row>, memory_rows: usize, stats: &Arc<Stats>) -> Vec<Row> {
     assert!(memory_rows > 0);
     distinct_recursive(rows, memory_rows, 0, stats)
 }
@@ -70,7 +70,7 @@ fn distinct_recursive(
     rows: Vec<Row>,
     memory_rows: usize,
     level: u64,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<Row> {
     // Hybrid hash aggregation: the in-memory table holds up to
     // `memory_rows` *distinct* rows; duplicates of resident rows collapse

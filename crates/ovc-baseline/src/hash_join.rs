@@ -8,7 +8,7 @@
 //! the Figure 6 contrast with the sort-based plan's single spill.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::{Row, Stats, Value};
 
@@ -31,7 +31,7 @@ pub fn grace_hash_join(
     right: Vec<Row>,
     join_len: usize,
     memory_rows: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<Row> {
     assert!(memory_rows > 0);
     join_recursive(left, right, join_len, memory_rows, 0, stats)
@@ -43,7 +43,7 @@ fn join_recursive(
     join_len: usize,
     memory_rows: usize,
     level: u64,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<Row> {
     // Build on the smaller input, probe with the larger.
     let (build, probe, build_is_left) = if left.len() <= right.len() {

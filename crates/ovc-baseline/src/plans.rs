@@ -9,7 +9,7 @@
 //! [`hash_intersect_distinct`] stays as the reference the planner's
 //! property tests compare against row for row.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::{Row, Stats};
 
@@ -24,7 +24,7 @@ pub fn hash_intersect_distinct(
     t1: Vec<Row>,
     t2: Vec<Row>,
     memory_rows: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<Row> {
     let width = t1
         .first()
@@ -66,8 +66,8 @@ mod tests {
         hash_result.sort();
 
         let ss = Stats::new_shared();
-        let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
-        let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
+        let mut s1 = MemoryRunStorage::new(Arc::clone(&ss));
+        let mut s2 = MemoryRunStorage::new(Arc::clone(&ss));
         let cfg = IntersectConfig {
             key_len: 1,
             memory_rows: 200,
@@ -95,8 +95,8 @@ mod tests {
         let _ = hash_intersect_distinct(t1.clone(), t2.clone(), mem, &hs);
 
         let ss = Stats::new_shared();
-        let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
-        let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
+        let mut s1 = MemoryRunStorage::new(Arc::clone(&ss));
+        let mut s2 = MemoryRunStorage::new(Arc::clone(&ss));
         let cfg = IntersectConfig {
             key_len: 1,
             memory_rows: mem,

@@ -9,7 +9,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::compare::compare_keys_counted;
 use ovc_core::{Row, Stats};
@@ -19,7 +19,7 @@ fn spill_bytes(rows: &[Row]) -> u64 {
 }
 
 /// Sort rows with instrumented full-key comparisons.
-pub fn sort_rows_plain(mut rows: Vec<Row>, key_len: usize, stats: &Rc<Stats>) -> Vec<Row> {
+pub fn sort_rows_plain(mut rows: Vec<Row>, key_len: usize, stats: &Arc<Stats>) -> Vec<Row> {
     rows.sort_by(|a, b| compare_keys_counted(a.key(key_len), b.key(key_len), stats));
     rows
 }
@@ -31,7 +31,7 @@ pub fn sort_rows_plain(mut rows: Vec<Row>, key_len: usize, stats: &Rc<Stats>) ->
 pub fn sort_rows_plain_spec(
     mut rows: Vec<Row>,
     spec: &ovc_core::SortSpec,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<Row> {
     let k = spec.len();
     rows.sort_by(|a, b| {
@@ -78,7 +78,7 @@ impl Ord for HeapEntry<'_> {
 }
 
 /// Merge sorted runs with a binary heap and full key comparisons.
-pub fn merge_runs_plain(runs: Vec<Vec<Row>>, key_len: usize, stats: &Rc<Stats>) -> Vec<Row> {
+pub fn merge_runs_plain(runs: Vec<Vec<Row>>, key_len: usize, stats: &Arc<Stats>) -> Vec<Row> {
     let total: usize = runs.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(total);
     let mut heap: BinaryHeap<HeapEntry<'_>> = BinaryHeap::with_capacity(runs.len());
@@ -113,7 +113,7 @@ pub fn external_sort_plain(
     key_len: usize,
     memory_rows: usize,
     fan_in: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<Row> {
     assert!(memory_rows > 0 && fan_in >= 2);
     if input.len() <= memory_rows {

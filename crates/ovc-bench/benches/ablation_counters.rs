@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo bench -p ovc-bench --bench ablation_counters`
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_baseline::{external_sort_plain, hash_intersect_distinct};
 use ovc_bench::workload::{grouped_sorted_table, intersect_tables, table, TableSpec};
@@ -76,7 +76,7 @@ fn main() {
     let rows = grouped_sorted_table(1_000_000, 4, 10, 3);
     let s = Stats::new_shared();
     let input = VecStream::from_sorted_rows(rows.clone(), 4);
-    let _ = GroupAggregate::new(input, 2, vec![Aggregate::Count], Rc::clone(&s)).count();
+    let _ = GroupAggregate::new(input, 2, vec![Aggregate::Count], Arc::clone(&s)).count();
     println!(
         "{:<28} col-cmps {:>12}",
         "ovc offset test",
@@ -84,7 +84,7 @@ fn main() {
     );
     let s = Stats::new_shared();
     let input = VecStream::from_sorted_rows(rows, 4);
-    let _ = ovc_baseline::GroupFullCompare::new(input, 2, vec![Aggregate::Count], Rc::clone(&s))
+    let _ = ovc_baseline::GroupFullCompare::new(input, 2, vec![Aggregate::Count], Arc::clone(&s))
         .count();
     println!(
         "{:<28} col-cmps {:>12}",
@@ -112,7 +112,7 @@ fn main() {
     let s = Stats::new_shared();
     let ls = VecStream::from_sorted_rows(l, 2);
     let rs = VecStream::from_sorted_rows(r, 2);
-    let join = MergeJoin::new(ls, rs, 2, JoinType::Inner, 3, 3, Rc::clone(&s));
+    let join = MergeJoin::new(ls, rs, 2, JoinType::Inner, 3, 3, Arc::clone(&s));
     let n_out = Dedup::new(join).count();
     println!(
         "join+dedup output rows {n_out}; col-cmps {} (bound 2*N*K = {})",
@@ -130,8 +130,8 @@ fn main() {
         let hs = Stats::new_shared();
         let _ = hash_intersect_distinct(t1.clone(), t2.clone(), n / 10, &hs);
         let ss = Stats::new_shared();
-        let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
-        let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
+        let mut s1 = MemoryRunStorage::new(Arc::clone(&ss));
+        let mut s2 = MemoryRunStorage::new(Arc::clone(&ss));
         let cfg = IntersectConfig {
             key_len: 1,
             memory_rows: n / 10,

@@ -10,7 +10,7 @@ use ovc_baseline::GroupFullCompare;
 use ovc_bench::workload::grouped_sorted_table;
 use ovc_core::{Stats, VecStream};
 use ovc_exec::{Aggregate, GroupAggregate};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const ROWS: usize = 1_000_000;
 const KEY_COLS: usize = 8;
@@ -52,7 +52,7 @@ fn bench(c: &mut Criterion) {
                         input,
                         GROUP_LEN,
                         vec![Aggregate::Count],
-                        Rc::clone(&stats),
+                        Arc::clone(&stats),
                     )
                     .count()
                 })

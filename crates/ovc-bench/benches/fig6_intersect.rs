@@ -11,7 +11,7 @@ use ovc_bench::workload::intersect_tables;
 use ovc_core::Stats;
 use ovc_exec::plans::{sort_intersect_distinct, IntersectConfig};
 use ovc_sort::MemoryRunStorage;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const ROWS: usize = 400_000;
 
@@ -39,8 +39,8 @@ fn bench(c: &mut Criterion) {
         |b, (t1, t2)| {
             b.iter(|| {
                 let stats = Stats::new_shared();
-                let mut s1 = MemoryRunStorage::new(Rc::clone(&stats));
-                let mut s2 = MemoryRunStorage::new(Rc::clone(&stats));
+                let mut s1 = MemoryRunStorage::new(Arc::clone(&stats));
+                let mut s2 = MemoryRunStorage::new(Arc::clone(&stats));
                 let cfg = IntersectConfig {
                     key_len: 1,
                     memory_rows: mem,

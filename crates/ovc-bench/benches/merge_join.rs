@@ -10,7 +10,7 @@ use ovc_core::compare::{compare_keys_counted, derive_code};
 use ovc_core::{Ovc, Row, Stats, VecStream};
 use ovc_exec::{JoinType, MergeJoin};
 use std::cmp::Ordering;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const ROWS: usize = 200_000;
 const KEY_COLS: usize = 3;
@@ -21,7 +21,7 @@ fn plain_merge_join_with_code_rederivation(
     l: &[Row],
     r: &[Row],
     join_len: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> usize {
     let mut out_count = 0usize;
     let mut prev_out: Option<Row> = None;

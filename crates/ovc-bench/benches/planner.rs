@@ -6,7 +6,7 @@
 //! hand-written pipelines call, so `plan + execute` should match the
 //! hand-written wall time, and `plan` alone should be microseconds.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ovc_baseline::hash_intersect_distinct;
@@ -35,8 +35,8 @@ fn bench(c: &mut Criterion) {
         |b, (t1, t2)| {
             b.iter(|| {
                 let stats = Stats::new_shared();
-                let mut s1 = MemoryRunStorage::new(Rc::clone(&stats));
-                let mut s2 = MemoryRunStorage::new(Rc::clone(&stats));
+                let mut s1 = MemoryRunStorage::new(Arc::clone(&stats));
+                let mut s2 = MemoryRunStorage::new(Arc::clone(&stats));
                 let cfg = IntersectConfig {
                     key_len: 1,
                     memory_rows: mem,

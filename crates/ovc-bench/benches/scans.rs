@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use ovc_bench::workload::{table, TableSpec};
 use ovc_core::{Row, Stats};
 use ovc_storage::{BTree, LsmConfig, LsmForest, RleColumnStore};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const ROWS: usize = 200_000;
 const KEY_COLS: usize = 3;
@@ -40,7 +40,7 @@ fn bench(c: &mut Criterion) {
     });
 
     let stats = Stats::new_shared();
-    let mut forest = LsmForest::new(KEY_COLS, LsmConfig { fanout: 4 }, Rc::clone(&stats));
+    let mut forest = LsmForest::new(KEY_COLS, LsmConfig { fanout: 4 }, Arc::clone(&stats));
     for chunk in rows.chunks(ROWS / 16) {
         forest.ingest(chunk.to_vec());
     }

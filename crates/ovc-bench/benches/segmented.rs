@@ -7,7 +7,7 @@ use ovc_core::{Row, Stats, VecStream};
 use ovc_sort::{sort_rows_ovc, SegmentedSort};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const ROWS: usize = 300_000;
 
@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     let stats = Stats::new_shared();
                     let stream = VecStream::from_sorted_rows(rows.clone(), 1);
-                    SegmentedSort::new(stream, 1, 2, Rc::clone(&stats)).count()
+                    SegmentedSort::new(stream, 1, 2, Arc::clone(&stats)).count()
                 })
             },
         );

@@ -3,7 +3,7 @@
 //! plus the replacement-selection variant and the flat-to-run path (the
 //! sort without the final boxed-row materialization).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ovc_baseline::external_sort_plain;
@@ -49,7 +49,7 @@ fn bench(c: &mut Criterion) {
         |b, rows| {
             b.iter(|| {
                 let stats = Stats::new_shared();
-                let mut storage = MemoryRunStorage::new(Rc::clone(&stats));
+                let mut storage = MemoryRunStorage::new(Arc::clone(&stats));
                 external_sort_spec_to_run(
                     rows.clone(),
                     SortConfig::new(KEY_COLS, MEMORY),

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p ovc-bench --example phase_timing`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ovc_bench::workload::{table, TableSpec};
@@ -41,7 +41,7 @@ fn main() {
             &stats,
         );
         let t2 = Instant::now();
-        let mut storage = MemoryRunStorage::new(Rc::clone(&stats));
+        let mut storage = MemoryRunStorage::new(Arc::clone(&stats));
         let handles: Vec<usize> = runs.into_iter().map(|r| storage.write_run(r)).collect();
         let final_runs: Vec<_> = handles.into_iter().map(|h| storage.read_run(h)).collect();
         let run = merge_runs(final_runs, KEY_COLS, &stats).into_run();
@@ -62,7 +62,7 @@ fn main() {
     for _ in 0..3 {
         let stats = Stats::new_shared();
         let t0 = Instant::now();
-        let mut storage = MemoryRunStorage::new(Rc::clone(&stats));
+        let mut storage = MemoryRunStorage::new(Arc::clone(&stats));
         let n = external_sort(
             rows.clone(),
             SortConfig::new(KEY_COLS, MEMORY),

@@ -7,7 +7,7 @@
 //! `--quick` shrinks both to a smoke-test scale (CI runs this mode and
 //! validates the emitted snapshot against the documented schema).
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ovc_baseline::hash_intersect_distinct;
@@ -273,8 +273,8 @@ fn figure_6(rows_n: usize, snap: &mut BenchSnapshot) {
     let t_hash = start.elapsed();
 
     let ss = Stats::new_shared();
-    let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
-    let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
+    let mut s1 = MemoryRunStorage::new(Arc::clone(&ss));
+    let mut s2 = MemoryRunStorage::new(Arc::clone(&ss));
     let cfg = IntersectConfig {
         key_len: 1,
         memory_rows: mem,

@@ -7,154 +7,152 @@
 //! claims measurable independent of wall-clock noise; EXPERIMENTS.md and
 //! the `ablation_counters` bench are driven by them.
 
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Shared counters for one thread of execution.  Operators hold an
-/// `Rc<Stats>` along a pipeline.  Parallel components (the threaded
-/// exchange, parallel run generation) have two sendable paths:
+/// Shared counters for one pipeline of execution.  Operators hold an
+/// `Arc<Stats>` along a pipeline; the counters are relaxed atomics, so a
+/// `Stats` is `Send + Sync` and a whole pipeline — plan handle, operator
+/// stack, output stream — can move to a connection-handler thread and
+/// execute there (the `ovc-server` deployment shape).  Parallel
+/// components (the threaded exchange, parallel run generation) still
+/// have two merge paths:
 ///
 /// * **per-thread `Stats`** — each worker creates its own `Stats`, and the
 ///   coordinator merges [`StatsSnapshot`]s with [`Stats::absorb`] after
-///   joining (lock-free, zero contention; the default choice);
-/// * **[`AtomicStats`]** — one `Sync` accumulator shared via `Arc` when
-///   workers must publish counters while still running.
+///   joining (zero contention; the default choice);
+/// * **shared `Arc<Stats>`/[`AtomicStats`]** — one accumulator shared
+///   across workers when they must publish counters while still running.
 ///
 /// Both merge paths preserve the accounting exactly — every worker's
 /// counts land in the coordinator's totals, nothing lost or
-/// double-counted.
+/// double-counted.  Relaxed ordering is sufficient: counters are
+/// statistics, not synchronization.
 #[derive(Default)]
 pub struct Stats {
-    col_value_cmps: Cell<u64>,
-    ovc_cmps: Cell<u64>,
-    row_cmps: Cell<u64>,
-    rows_spilled: Cell<u64>,
-    bytes_spilled: Cell<u64>,
-    rows_read_back: Cell<u64>,
-    bytes_read_back: Cell<u64>,
+    col_value_cmps: AtomicU64,
+    ovc_cmps: AtomicU64,
+    row_cmps: AtomicU64,
+    rows_spilled: AtomicU64,
+    bytes_spilled: AtomicU64,
+    rows_read_back: AtomicU64,
+    bytes_read_back: AtomicU64,
 }
 
 impl Stats {
-    /// Fresh zeroed counters behind an `Rc` (the common way operators share
-    /// them along a pipeline).
-    pub fn new_shared() -> Rc<Stats> {
-        Rc::new(Stats::default())
+    /// Fresh zeroed counters behind an `Arc` (the common way operators
+    /// share them along a pipeline, and the handle that crosses threads).
+    pub fn new_shared() -> Arc<Stats> {
+        Arc::new(Stats::default())
     }
 
     /// Count one column-value comparison (the expensive kind the paper
     /// bounds by `N × K`).
     #[inline]
     pub fn count_col_cmp(&self) {
-        self.col_value_cmps.set(self.col_value_cmps.get() + 1);
+        self.col_value_cmps.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count `n` column-value comparisons at once.
     #[inline]
     pub fn count_col_cmps(&self, n: u64) {
-        self.col_value_cmps.set(self.col_value_cmps.get() + n);
+        self.col_value_cmps.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Count one offset-value-code comparison (a single integer compare;
     /// the paper argues these are practically free).
     #[inline]
     pub fn count_ovc_cmp(&self) {
-        self.ovc_cmps.set(self.ovc_cmps.get() + 1);
+        self.ovc_cmps.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one full row comparison (baseline algorithms).
     #[inline]
     pub fn count_row_cmp(&self) {
-        self.row_cmps.set(self.row_cmps.get() + 1);
+        self.row_cmps.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Account rows and bytes written to spill storage.
     #[inline]
     pub fn count_spill(&self, rows: u64, bytes: u64) {
-        self.rows_spilled.set(self.rows_spilled.get() + rows);
-        self.bytes_spilled.set(self.bytes_spilled.get() + bytes);
+        self.rows_spilled.fetch_add(rows, Ordering::Relaxed);
+        self.bytes_spilled.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Account rows and bytes read back from spill storage.
     #[inline]
     pub fn count_read_back(&self, rows: u64, bytes: u64) {
-        self.rows_read_back.set(self.rows_read_back.get() + rows);
-        self.bytes_read_back.set(self.bytes_read_back.get() + bytes);
+        self.rows_read_back.fetch_add(rows, Ordering::Relaxed);
+        self.bytes_read_back.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Total column-value comparisons so far.
     pub fn col_value_cmps(&self) -> u64 {
-        self.col_value_cmps.get()
+        self.col_value_cmps.load(Ordering::Relaxed)
     }
 
     /// Total offset-value-code comparisons so far.
     pub fn ovc_cmps(&self) -> u64 {
-        self.ovc_cmps.get()
+        self.ovc_cmps.load(Ordering::Relaxed)
     }
 
     /// Total full row comparisons so far.
     pub fn row_cmps(&self) -> u64 {
-        self.row_cmps.get()
+        self.row_cmps.load(Ordering::Relaxed)
     }
 
     /// Total rows spilled so far.
     pub fn rows_spilled(&self) -> u64 {
-        self.rows_spilled.get()
+        self.rows_spilled.load(Ordering::Relaxed)
     }
 
     /// Total bytes spilled so far.
     pub fn bytes_spilled(&self) -> u64 {
-        self.bytes_spilled.get()
+        self.bytes_spilled.load(Ordering::Relaxed)
     }
 
     /// Total rows read back from spill storage so far.
     pub fn rows_read_back(&self) -> u64 {
-        self.rows_read_back.get()
+        self.rows_read_back.load(Ordering::Relaxed)
     }
 
     /// Total bytes read back from spill storage so far.
     pub fn bytes_read_back(&self) -> u64 {
-        self.bytes_read_back.get()
+        self.bytes_read_back.load(Ordering::Relaxed)
     }
 
     /// Reset all counters to zero.
     pub fn reset(&self) {
-        self.col_value_cmps.set(0);
-        self.ovc_cmps.set(0);
-        self.row_cmps.set(0);
-        self.rows_spilled.set(0);
-        self.bytes_spilled.set(0);
-        self.rows_read_back.set(0);
-        self.bytes_read_back.set(0);
+        self.col_value_cmps.store(0, Ordering::Relaxed);
+        self.ovc_cmps.store(0, Ordering::Relaxed);
+        self.row_cmps.store(0, Ordering::Relaxed);
+        self.rows_spilled.store(0, Ordering::Relaxed);
+        self.bytes_spilled.store(0, Ordering::Relaxed);
+        self.rows_read_back.store(0, Ordering::Relaxed);
+        self.bytes_read_back.store(0, Ordering::Relaxed);
     }
 
     /// Capture the current counter values.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            col_value_cmps: self.col_value_cmps.get(),
-            ovc_cmps: self.ovc_cmps.get(),
-            row_cmps: self.row_cmps.get(),
-            rows_spilled: self.rows_spilled.get(),
-            bytes_spilled: self.bytes_spilled.get(),
-            rows_read_back: self.rows_read_back.get(),
-            bytes_read_back: self.bytes_read_back.get(),
+            col_value_cmps: self.col_value_cmps(),
+            ovc_cmps: self.ovc_cmps(),
+            row_cmps: self.row_cmps(),
+            rows_spilled: self.rows_spilled(),
+            bytes_spilled: self.bytes_spilled(),
+            rows_read_back: self.rows_read_back(),
+            bytes_read_back: self.bytes_read_back(),
         }
     }
 
     /// Add a snapshot (e.g. from another thread's `Stats`) into this one.
     pub fn absorb(&self, s: &StatsSnapshot) {
         self.count_col_cmps(s.col_value_cmps);
-        self.ovc_cmps.set(self.ovc_cmps.get() + s.ovc_cmps);
-        self.row_cmps.set(self.row_cmps.get() + s.row_cmps);
-        self.rows_spilled
-            .set(self.rows_spilled.get() + s.rows_spilled);
-        self.bytes_spilled
-            .set(self.bytes_spilled.get() + s.bytes_spilled);
-        self.rows_read_back
-            .set(self.rows_read_back.get() + s.rows_read_back);
-        self.bytes_read_back
-            .set(self.bytes_read_back.get() + s.bytes_read_back);
+        self.ovc_cmps.fetch_add(s.ovc_cmps, Ordering::Relaxed);
+        self.row_cmps.fetch_add(s.row_cmps, Ordering::Relaxed);
+        self.count_spill(s.rows_spilled, s.bytes_spilled);
+        self.count_read_back(s.rows_read_back, s.bytes_read_back);
     }
 }
 

@@ -15,7 +15,6 @@
 //! per-partition accumulators are uncounted — identical to
 //! `route_coded_rows` in [`crate::parallel`].
 
-use std::rc::Rc;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::Instant;
@@ -132,12 +131,12 @@ pub struct BatchFilter<B, P> {
     input: B,
     predicate: P,
     acc: OvcAccumulator,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
 }
 
 impl<B: BatchStream, P: FnMut(&[Value]) -> bool> BatchFilter<B, P> {
     /// Filter `input`, keeping rows for which `predicate` returns true.
-    pub fn new(input: B, predicate: P, stats: Rc<Stats>) -> Self {
+    pub fn new(input: B, predicate: P, stats: Arc<Stats>) -> Self {
         BatchFilter {
             input,
             predicate,
@@ -370,13 +369,13 @@ mod tests {
             let row_pairs = collect_pairs(Filter::new(
                 VecStream::from_sorted_rows(rows.clone(), 3),
                 |r| r.cols()[1] % 2 == 0,
-                Rc::clone(&row_stats),
+                Arc::clone(&row_stats),
             ));
             let batch_stats = Stats::new_shared();
             let batch_pairs = collect_batch_pairs(BatchFilter::new(
                 batched(rows, 3, batch_size),
                 |r: &[Value]| r[1].is_multiple_of(2),
-                Rc::clone(&batch_stats),
+                Arc::clone(&batch_stats),
             ));
             assert_eq!(batch_pairs, row_pairs, "batch={batch_size}");
             assert_eq!(

@@ -16,7 +16,7 @@
 //! `repartition_threaded`), which is property-tested to match these
 //! functions row for row and code for code.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::theorem::OvcAccumulator;
 use ovc_core::{OvcRow, OvcStream, Row, Stats, VecStream};
@@ -127,7 +127,7 @@ where
 
 /// Order-preserving many-to-one merge: the tree-of-losers merge over the
 /// partition streams.
-pub fn merge<S: OvcStream>(inputs: Vec<S>, key_len: usize, stats: &Rc<Stats>) -> TreeOfLosers<S> {
+pub fn merge<S: OvcStream>(inputs: Vec<S>, key_len: usize, stats: &Arc<Stats>) -> TreeOfLosers<S> {
     ovc_sort::merge_streams(inputs, key_len, stats)
 }
 
@@ -139,7 +139,7 @@ pub fn many_to_many<S, P>(
     inputs: Vec<S>,
     parts_out: usize,
     mut make_part: impl FnMut() -> P,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<VecStream>
 where
     S: OvcStream,

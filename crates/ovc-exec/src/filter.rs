@@ -9,7 +9,7 @@
 //! No row or column comparisons happen here at all — only one integer
 //! `max` per input row.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::theorem::OvcAccumulator;
 use ovc_core::{OvcRow, OvcStream, Row, Stats};
@@ -23,12 +23,12 @@ pub struct Filter<S, P> {
     /// operation per row, accounted here — the same units
     /// `ovc_plan::cost::streaming` estimates — so the operator's
     /// zero-column-comparison claim is measured, not assumed.
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
 }
 
 impl<S: OvcStream, P: FnMut(&Row) -> bool> Filter<S, P> {
     /// Filter `input`, keeping rows for which `predicate` returns true.
-    pub fn new(input: S, predicate: P, stats: Rc<Stats>) -> Self {
+    pub fn new(input: S, predicate: P, stats: Arc<Stats>) -> Self {
         Filter {
             input,
             predicate,
@@ -134,7 +134,7 @@ mod tests {
         let n_rows = rows.len() as u64;
         let input = VecStream::from_sorted_rows(rows, 4);
         let stats = Stats::new_shared();
-        let filter = Filter::new(input, |r| r.cols()[0] > 0, Rc::clone(&stats));
+        let filter = Filter::new(input, |r| r.cols()[0] > 0, Arc::clone(&stats));
         let _ = collect_pairs(filter);
         assert_eq!(stats.col_value_cmps(), 0);
         assert_eq!(stats.row_cmps(), 0);

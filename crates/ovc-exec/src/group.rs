@@ -11,7 +11,7 @@
 //! precomputed code threshold — the exact mechanism Figure 4 benchmarks
 //! against "full comparisons of multiple key columns".
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::theorem::clamp_to_prefix;
 use ovc_core::{Ovc, OvcRow, OvcStream, Row, Stats, Value};
@@ -97,12 +97,12 @@ pub struct GroupAggregate<S> {
     /// Shared counters: the per-row boundary test is one integer (code)
     /// comparison, accounted here so the zero-column-comparison claim is
     /// measured on a live handle rather than asserted vacuously.
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
 }
 
 impl<S: OvcStream> GroupAggregate<S> {
     /// Build the operator.  Panics unless `group_len <= input.key_len()`.
-    pub fn new(input: S, group_len: usize, aggregates: Vec<Aggregate>, stats: Rc<Stats>) -> Self {
+    pub fn new(input: S, group_len: usize, aggregates: Vec<Aggregate>, stats: Arc<Stats>) -> Self {
         let in_key_len = input.key_len();
         assert!(
             group_len <= in_key_len,
@@ -191,13 +191,13 @@ pub struct GroupCountDistinct<S> {
     in_key_len: usize,
     group_len: usize,
     pending: Option<(Row, Ovc, u64)>,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
 }
 
 impl<S: OvcStream> GroupCountDistinct<S> {
     /// Build the operator; the distinct columns are the sort-key suffix
     /// past `group_len`.
-    pub fn new(input: S, group_len: usize, stats: Rc<Stats>) -> Self {
+    pub fn new(input: S, group_len: usize, stats: Arc<Stats>) -> Self {
         let in_key_len = input.key_len();
         assert!(group_len <= in_key_len);
         GroupCountDistinct {
@@ -291,12 +291,12 @@ pub struct GroupPartial<S> {
     /// First row, its code, the accumulators, and (when carried) the
     /// key of the group's last row seen so far.
     pending: Option<(Row, Ovc, Vec<Value>, Vec<Value>)>,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
 }
 
 impl<S: OvcStream> GroupPartial<S> {
     /// Build the operator.  Panics unless `group_len <= input.key_len()`.
-    pub fn new(input: S, group_len: usize, aggregates: Vec<Aggregate>, stats: Rc<Stats>) -> Self {
+    pub fn new(input: S, group_len: usize, aggregates: Vec<Aggregate>, stats: Arc<Stats>) -> Self {
         let in_key_len = input.key_len();
         assert!(
             group_len <= in_key_len,
@@ -391,12 +391,12 @@ pub struct GroupCountDistinctPartial<S> {
     in_key_len: usize,
     group_len: usize,
     pending: Option<(Row, Ovc, u64)>,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
 }
 
 impl<S: OvcStream> GroupCountDistinctPartial<S> {
     /// Build the operator; panics unless `group_len <= input.key_len()`.
-    pub fn new(input: S, group_len: usize, stats: Rc<Stats>) -> Self {
+    pub fn new(input: S, group_len: usize, stats: Arc<Stats>) -> Self {
         let in_key_len = input.key_len();
         assert!(group_len <= in_key_len);
         GroupCountDistinctPartial {
@@ -481,13 +481,13 @@ pub struct GroupFinal<S> {
     /// Representative (first) partial row, its code, merged
     /// accumulators, and the winning last-row key so far.
     pending: Option<(Row, Ovc, Vec<Value>, Vec<Value>)>,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
 }
 
 impl<S: OvcStream> GroupFinal<S> {
     /// Build the operator over a gathered partial stream.  Panics unless
     /// `group_len <= input.key_len()`.
-    pub fn new(input: S, group_len: usize, aggregates: Vec<Aggregate>, stats: Rc<Stats>) -> Self {
+    pub fn new(input: S, group_len: usize, aggregates: Vec<Aggregate>, stats: Arc<Stats>) -> Self {
         let in_key_len = input.key_len();
         assert!(
             group_len <= in_key_len,
@@ -731,7 +731,7 @@ mod tests {
         // The handle is *attached to the operator*: the zero below pins
         // the operator's own accounting, not an unused counter.
         let stats = Stats::new_shared();
-        let out: Vec<(u64, u64)> = GroupCountDistinct::new(input, 1, Rc::clone(&stats))
+        let out: Vec<(u64, u64)> = GroupCountDistinct::new(input, 1, Arc::clone(&stats))
             .map(|r| (r.row.cols()[0], r.row.cols()[1]))
             .collect();
         assert_eq!(out, vec![(1, 2), (2, 1), (3, 1)]);
@@ -782,7 +782,7 @@ mod tests {
         let n_rows = rows.len() as u64;
         let input = VecStream::from_sorted_rows(rows, 4);
         let stats = Stats::new_shared();
-        let group = GroupAggregate::new(input, 2, vec![Aggregate::Count], Rc::clone(&stats));
+        let group = GroupAggregate::new(input, 2, vec![Aggregate::Count], Arc::clone(&stats));
         let _ = collect_pairs(group);
         assert_eq!(stats.col_value_cmps(), 0);
         // One counted integer test per input row proves the handle is the
@@ -867,7 +867,7 @@ mod tests {
             VecStream::from_sorted_rows(rows, 3),
             1,
             aggs.clone(),
-            Rc::clone(&stats),
+            Arc::clone(&stats),
         );
         assert_eq!(partial.key_len(), 3, "partials stay at full arity");
         let partial_rows: Vec<OvcRow> = partial.collect();
@@ -893,7 +893,7 @@ mod tests {
         let partial_rows: Vec<OvcRow> = GroupCountDistinctPartial::new(
             VecStream::from_sorted_rows(rows, 2),
             1,
-            Rc::clone(&stats),
+            Arc::clone(&stats),
         )
         .collect();
         let gathered = VecStream::from_coded(partial_rows, 2);

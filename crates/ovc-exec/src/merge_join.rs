@@ -26,7 +26,7 @@
 
 use std::cmp::Ordering;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::compare::compare_same_base_spec;
 use ovc_core::theorem::{clamp_to_prefix, OvcAccumulator};
@@ -98,12 +98,12 @@ pub(crate) struct GroupedMerge<L: OvcStream, R: OvcStream> {
     cur_r: Option<Head>,
     /// Lookahead: the first item of the next group, if already popped.
     carry: Option<(Side, Item, Ovc)>,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
     started: bool,
 }
 
 impl<L: OvcStream, R: OvcStream> GroupedMerge<L, R> {
-    pub fn new(mut left: L, mut right: R, join_len: usize, stats: Rc<Stats>) -> Self {
+    pub fn new(mut left: L, mut right: R, join_len: usize, stats: Arc<Stats>) -> Self {
         let left_key_len = left.key_len();
         let right_key_len = right.key_len();
         assert!(
@@ -266,7 +266,7 @@ impl<L: OvcStream, R: OvcStream> MergeJoin<L, R> {
         join_type: JoinType,
         left_width: usize,
         right_width: usize,
-        stats: Rc<Stats>,
+        stats: Arc<Stats>,
     ) -> Self {
         let left_key_len = left.key_len();
         let left_spec = left.sort_spec();
@@ -662,7 +662,7 @@ mod tests {
             JoinType::Inner,
             3,
             3,
-            Rc::clone(&stats),
+            Arc::clone(&stats),
         );
         let _ = join.count();
         assert!(

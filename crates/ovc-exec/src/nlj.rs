@@ -19,7 +19,7 @@
 //! join … we ignore here right semi join, …").
 
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::theorem::OvcAccumulator;
 use ovc_core::{Ovc, OvcRow, OvcStream, Row, Stats};
@@ -44,12 +44,12 @@ pub struct BTreeInner<'a> {
     index: &'a BTree,
     probe_len: usize,
     width: usize,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
 }
 
 impl<'a> BTreeInner<'a> {
     /// Probe `index` with the outer row's first `probe_len` columns.
-    pub fn new(index: &'a BTree, probe_len: usize, width: usize, stats: Rc<Stats>) -> Self {
+    pub fn new(index: &'a BTree, probe_len: usize, width: usize, stats: Arc<Stats>) -> Self {
         assert!(probe_len <= index.key_len());
         BTreeInner {
             index,
@@ -346,7 +346,7 @@ mod tests {
         let stats = Stats::new_shared();
         let outer =
             VecStream::from_unsorted_rows(outer_rows.into_iter().map(Row::new).collect(), 1);
-        let inner = BTreeInner::new(&index, 1, 2, Rc::clone(&stats));
+        let inner = BTreeInner::new(&index, 1, 2, Arc::clone(&stats));
         let join = LookupJoin::new(outer, inner, JoinType::Inner);
         assert_eq!(join.key_len(), 3); // outer key (1) + inner key (2)
         let pairs = collect_pairs(join);
@@ -403,7 +403,7 @@ mod tests {
         for jt in [JoinType::LeftSemi, JoinType::LeftAnti] {
             let stats = Stats::new_shared();
             let outer = VecStream::from_unsorted_rows(outer_rows.clone(), 2);
-            let inner = BTreeInner::new(&index, 1, 2, Rc::clone(&stats));
+            let inner = BTreeInner::new(&index, 1, 2, Arc::clone(&stats));
             let join = LookupJoin::new(outer, inner, jt);
             assert_eq!(join.key_len(), 2);
             let pairs = collect_pairs(join);

@@ -40,7 +40,6 @@
 //! evidence behind the "exchange sandwich" costs of EXPERIMENTS.md §5.
 //! Ungauged calls add no clock reads to the exchange hot path.
 
-use std::rc::Rc;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -281,7 +280,7 @@ pub fn merge_threaded(
     inputs: Vec<CodedBatch>,
     key_len: usize,
     capacity: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> MergeThreaded {
     merge_threaded_spec(inputs, SortSpec::asc(key_len), capacity, stats)
 }
@@ -292,7 +291,7 @@ pub fn merge_threaded_spec(
     inputs: Vec<CodedBatch>,
     spec: SortSpec,
     capacity: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> MergeThreaded {
     merge_threaded_spec_gauged(inputs, spec, capacity, stats, None)
 }
@@ -306,7 +305,7 @@ pub fn merge_threaded_spec_gauged(
     inputs: Vec<CodedBatch>,
     spec: SortSpec,
     capacity: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
     gauges: Option<&ExchangeGauges>,
 ) -> MergeThreaded {
     debug_assert!(inputs.iter().all(|b| b.sort_spec() == &spec));
@@ -345,7 +344,7 @@ pub fn merge_threaded_spec_gauged(
         tree: Some(TreeOfLosers::new_spec(
             streams,
             spec.clone(),
-            Rc::clone(stats),
+            Arc::clone(stats),
         )),
         feeders,
         spec,
@@ -366,7 +365,7 @@ pub fn repartition_threaded<P>(
     parts_out: usize,
     mut make_part: impl FnMut() -> P,
     capacity: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<CodedBatch>
 where
     P: FnMut(&Row) -> usize + Send,
@@ -427,7 +426,7 @@ where
                         .map(|rows| CodedBatch::from_coded(rows, key_len).into_stream())
                         .collect();
                     let rows: Vec<OvcRow> =
-                        TreeOfLosers::new(streams, key_len, Rc::clone(&local)).collect();
+                        TreeOfLosers::new(streams, key_len, Arc::clone(&local)).collect();
                     (rows, local.snapshot())
                 })
             })
@@ -466,7 +465,7 @@ pub fn merge_join_partitions(
     join_type: JoinType,
     left_width: usize,
     right_width: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<CodedBatch> {
     assert_eq!(
         left.len(),
@@ -487,7 +486,7 @@ pub fn merge_join_partitions(
                         join_type,
                         left_width,
                         right_width,
-                        Rc::clone(&local),
+                        Arc::clone(&local),
                     );
                     let spec = join.sort_spec();
                     let rows: Vec<OvcRow> = join.collect();
@@ -513,10 +512,10 @@ pub fn merge_join_partitions(
 /// partition item (a batch, or a co-partitioned batch pair), each with
 /// its own [`Stats`] merged into the caller's by snapshot after the
 /// join.
-fn partition_workers<T, F>(parts: Vec<T>, stats: &Rc<Stats>, work: F) -> Vec<CodedBatch>
+fn partition_workers<T, F>(parts: Vec<T>, stats: &Arc<Stats>, work: F) -> Vec<CodedBatch>
 where
     T: Send,
-    F: Fn(T, Rc<Stats>) -> CodedBatch + Send + Sync,
+    F: Fn(T, Arc<Stats>) -> CodedBatch + Send + Sync,
 {
     let outs: Vec<(CodedBatch, StatsSnapshot)> = thread::scope(|scope| {
         let workers: Vec<_> = parts
@@ -525,7 +524,7 @@ where
                 let work = &work;
                 scope.spawn(move || {
                     let local = Stats::new_shared();
-                    let out = work(item, Rc::clone(&local));
+                    let out = work(item, Arc::clone(&local));
                     (out, local.snapshot())
                 })
             })
@@ -564,7 +563,7 @@ pub fn group_partitions(
     parts: Vec<CodedBatch>,
     group_len: usize,
     aggs: Vec<Aggregate>,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<CodedBatch> {
     partition_workers(parts, stats, move |batch, local| {
         let rows: Vec<OvcRow> =
@@ -584,7 +583,7 @@ pub fn group_partitions_partial(
     parts: Vec<CodedBatch>,
     group_len: usize,
     aggs: Vec<Aggregate>,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<CodedBatch> {
     partition_workers(parts, stats, move |batch, local| {
         let key_len = batch.key_len();
@@ -602,7 +601,7 @@ pub fn group_partitions_partial(
 pub fn count_distinct_partitions_partial(
     parts: Vec<CodedBatch>,
     group_len: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<CodedBatch> {
     partition_workers(parts, stats, move |batch, local| {
         let key_len = batch.key_len();
@@ -625,7 +624,7 @@ pub fn set_op_partitions(
     left: Vec<CodedBatch>,
     right: Vec<CodedBatch>,
     op: SetOp,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<CodedBatch> {
     assert_eq!(
         left.len(),
@@ -791,7 +790,7 @@ mod tests {
                 join_type,
                 2,
                 2,
-                Rc::clone(&serial_stats),
+                Arc::clone(&serial_stats),
             )
             .collect();
 
@@ -969,7 +968,7 @@ mod tests {
             let partials = group_partitions_partial(split, 1, aggs.clone(), &stats);
             let gathered = merge_threaded(partials, 3, 16, &stats);
             let out: Vec<OvcRow> =
-                GroupFinal::new(gathered, 1, aggs.clone(), Rc::clone(&stats)).collect();
+                GroupFinal::new(gathered, 1, aggs.clone(), Arc::clone(&stats)).collect();
             assert_eq!(out, serial, "parts={parts}: rows and codes");
         }
     }
@@ -1002,7 +1001,7 @@ mod tests {
             let partials = count_distinct_partitions_partial(split, 1, &stats);
             let gathered = merge_threaded(partials, 2, 16, &stats);
             let out: Vec<OvcRow> =
-                GroupFinal::new(gathered, 1, vec![Aggregate::Count], Rc::clone(&stats)).collect();
+                GroupFinal::new(gathered, 1, vec![Aggregate::Count], Arc::clone(&stats)).collect();
             assert_eq!(out, serial, "parts={parts}: rows and codes");
         }
     }

@@ -19,7 +19,7 @@
 //! remains as the hand-written reference that benches and planner tests
 //! compare against, row for row and spill for spill.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::{OvcRow, OvcStream, Row, Stats};
 use ovc_sort::{generate_runs, merge_runs, Run, RunGenStrategy, RunStorage, SortOutput};
@@ -36,7 +36,7 @@ pub fn in_sort_distinct<I, S>(
     memory_rows: usize,
     fan_in: usize,
     storage: &mut S,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> impl OvcStream
 where
     I: IntoIterator<Item = Row>,
@@ -121,7 +121,7 @@ pub fn sort_intersect_distinct<S: RunStorage>(
     config: IntersectConfig,
     storage1: &mut S,
     storage2: &mut S,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<OvcRow> {
     let d1 = in_sort_distinct(
         t1,
@@ -139,7 +139,7 @@ pub fn sort_intersect_distinct<S: RunStorage>(
         storage2,
         stats,
     );
-    SetOperation::new(d1, d2, SetOp::Intersect, Rc::clone(stats)).collect()
+    SetOperation::new(d1, d2, SetOp::Intersect, Arc::clone(stats)).collect()
 }
 
 #[cfg(test)]
@@ -163,7 +163,7 @@ mod tests {
     fn in_sort_distinct_output_is_distinct_sorted_exact() {
         let rows = table(2000, 50, 1);
         let stats = Stats::new_shared();
-        let mut storage = MemoryRunStorage::new(Rc::clone(&stats));
+        let mut storage = MemoryRunStorage::new(Arc::clone(&stats));
         let out: Vec<OvcRow> =
             in_sort_distinct(rows.clone(), 1, 128, 64, &mut storage, &stats).collect();
         let expect: BTreeSet<u64> = rows.iter().map(|r| r.cols()[0]).collect();
@@ -179,7 +179,7 @@ mod tests {
         // duplicate removal shrinks every spilled run drastically.
         let rows = table(2000, 50, 2);
         let stats = Stats::new_shared();
-        let mut storage = MemoryRunStorage::new(Rc::clone(&stats));
+        let mut storage = MemoryRunStorage::new(Arc::clone(&stats));
         let _ = in_sort_distinct(rows, 1, 128, 64, &mut storage, &stats).count();
         assert!(
             stats.rows_spilled() < 2000,
@@ -198,8 +198,8 @@ mod tests {
             a.intersection(&b).copied().collect()
         };
         let stats = Stats::new_shared();
-        let mut s1 = MemoryRunStorage::new(Rc::clone(&stats));
-        let mut s2 = MemoryRunStorage::new(Rc::clone(&stats));
+        let mut s1 = MemoryRunStorage::new(Arc::clone(&stats));
+        let mut s2 = MemoryRunStorage::new(Arc::clone(&stats));
         let cfg = IntersectConfig {
             key_len: 1,
             memory_rows: 256,
@@ -219,8 +219,8 @@ mod tests {
         let t1 = table(4000, 3000, 5); // mostly distinct
         let t2 = table(4000, 3000, 6);
         let stats = Stats::new_shared();
-        let mut s1 = MemoryRunStorage::new(Rc::clone(&stats));
-        let mut s2 = MemoryRunStorage::new(Rc::clone(&stats));
+        let mut s1 = MemoryRunStorage::new(Arc::clone(&stats));
+        let mut s2 = MemoryRunStorage::new(Arc::clone(&stats));
         let cfg = IntersectConfig {
             key_len: 1,
             memory_rows: 400,
@@ -237,8 +237,8 @@ mod tests {
     #[test]
     fn small_inputs_never_spill() {
         let stats = Stats::new_shared();
-        let mut s1 = MemoryRunStorage::new(Rc::clone(&stats));
-        let mut s2 = MemoryRunStorage::new(Rc::clone(&stats));
+        let mut s1 = MemoryRunStorage::new(Arc::clone(&stats));
+        let mut s2 = MemoryRunStorage::new(Arc::clone(&stats));
         let cfg = IntersectConfig {
             key_len: 1,
             memory_rows: 1000,

@@ -13,7 +13,7 @@
 //! over the merged chain, with copies past the first being duplicates.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::theorem::OvcAccumulator;
 use ovc_core::{Ovc, OvcRow, OvcStream, Row, Stats};
@@ -69,7 +69,7 @@ impl<L: OvcStream, R: OvcStream> SetOperation<L, R> {
     /// as they produce rows — so it is asserted per group in `next()`:
     /// a mismatched input fails loudly instead of silently emitting
     /// truncated or over-wide rows under `UnionAll`.
-    pub fn new(left: L, right: R, op: SetOp, stats: Rc<Stats>) -> Self {
+    pub fn new(left: L, right: R, op: SetOp, stats: Arc<Stats>) -> Self {
         let key_len = left.key_len();
         assert_eq!(
             key_len,

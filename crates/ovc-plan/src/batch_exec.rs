@@ -49,7 +49,6 @@
 //! [`OvcAccumulator`]: ovc_core::theorem::OvcAccumulator
 //! [`DEFAULT_CHANNEL_CAPACITY`]: ovc_exec::DEFAULT_CHANNEL_CAPACITY
 
-use std::rc::Rc;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::Scope;
@@ -88,7 +87,7 @@ type PartStream = Box<dyn BatchStream + Send>;
 pub fn execute_batched(
     plan: &PhysicalPlan,
     catalog: &Catalog,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
     options: &ExecOptions,
     prof: Option<&Arc<ProfileNode>>,
 ) -> Output {
@@ -244,7 +243,7 @@ impl<'env> BCx<'_, 'env> {
     fn run(
         &self,
         plan: &'env PhysicalPlan,
-        stats: &Rc<Stats>,
+        stats: &Arc<Stats>,
         prof: Option<&Arc<ProfileNode>>,
         gather: Option<&ExchangeGauges>,
     ) -> BOut {
@@ -263,7 +262,7 @@ impl<'env> BCx<'_, 'env> {
                     inner,
                     spec,
                     node: Arc::clone(node),
-                    stats: Rc::clone(stats),
+                    stats: Arc::clone(stats),
                     rows: 0,
                     batches: 0,
                     wall: Duration::ZERO,
@@ -283,7 +282,7 @@ impl<'env> BCx<'_, 'env> {
     fn lower(
         &self,
         plan: &'env PhysicalPlan,
-        stats: &Rc<Stats>,
+        stats: &Arc<Stats>,
         prof: Option<&Arc<ProfileNode>>,
         gather: Option<&ExchangeGauges>,
     ) -> BOut {
@@ -327,11 +326,11 @@ impl<'env> BCx<'_, 'env> {
                         ))
                     }
                 } else if spec.is_asc_prefix() && !spec.normalized() {
-                    let mut storage = MemoryRunStorage::new(Rc::clone(stats));
+                    let mut storage = MemoryRunStorage::new(Arc::clone(stats));
                     let cfg = SortConfig::new(spec.len(), *memory_rows).with_fan_in(*fan_in);
                     self.batched(external_sort(rows, cfg, &mut storage, stats))
                 } else {
-                    let mut storage = MemoryRunStorage::new(Rc::clone(stats));
+                    let mut storage = MemoryRunStorage::new(Arc::clone(stats));
                     let cfg = SortConfig::new(spec.len(), *memory_rows).with_fan_in(*fan_in);
                     self.batched(external_sort_spec(rows, cfg, spec, &mut storage, stats))
                 }
@@ -387,7 +386,7 @@ impl<'env> BCx<'_, 'env> {
                         stats,
                     ))
                 } else {
-                    let mut storage = MemoryRunStorage::new(Rc::clone(stats));
+                    let mut storage = MemoryRunStorage::new(Arc::clone(stats));
                     self.batched(in_sort_distinct(
                         rows,
                         key_len,
@@ -416,7 +415,7 @@ impl<'env> BCx<'_, 'env> {
                     BOut::Batches(Box::new(BatchFilter::new(
                         s,
                         move |cols: &[Value]| p.eval_slice(cols),
-                        Rc::clone(stats),
+                        Arc::clone(stats),
                     )))
                 }
                 BOut::Rows(rows) => BOut::Rows(rows.into_iter().filter(|r| pred.eval(r)).collect()),
@@ -465,7 +464,7 @@ impl<'env> BCx<'_, 'env> {
                     BatchRows::new(other.into_batches()),
                     *group_len,
                     aggs.clone(),
-                    Rc::clone(stats),
+                    Arc::clone(stats),
                 )),
             },
             PhysOp::MergeJoinOvc {
@@ -513,7 +512,7 @@ impl<'env> BCx<'_, 'env> {
                         *join_type,
                         lw,
                         rw,
-                        Rc::clone(stats),
+                        Arc::clone(stats),
                     )),
                     _ => panic!("merge join inputs must both be streams or both partitioned"),
                 }
@@ -563,7 +562,7 @@ impl<'env> BCx<'_, 'env> {
                         BatchRows::new(l),
                         BatchRows::new(r),
                         *op,
-                        Rc::clone(stats),
+                        Arc::clone(stats),
                     )),
                     _ => panic!("set operation inputs must both be streams or both partitioned"),
                 }
@@ -715,7 +714,7 @@ impl<'env> BCx<'_, 'env> {
         build: F,
     ) -> BOut
     where
-        F: Fn(Vec<PartStream>, Rc<Stats>) -> Box<dyn OvcStream> + Send + Sync + 'env,
+        F: Fn(Vec<PartStream>, Arc<Stats>) -> Box<dyn OvcStream + Send> + Send + Sync + 'env,
     {
         let cap = DEFAULT_CHANNEL_CAPACITY.div_ceil(self.batch).max(1);
         let build = Arc::new(build);
@@ -730,7 +729,7 @@ impl<'env> BCx<'_, 'env> {
             let batch = self.batch;
             self.scope.spawn(move || {
                 let local = Stats::new_shared();
-                let op = build(streams, Rc::clone(&local));
+                let op = build(streams, Arc::clone(&local));
                 let mut out = Batcher::new(op, batch);
                 let mut rows = 0u64;
                 let mut nbatches = 0u64;
@@ -779,7 +778,7 @@ struct ProfiledBatchStream {
     inner: Box<dyn BatchStream>,
     spec: SortSpec,
     node: Arc<ProfileNode>,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
     rows: u64,
     batches: u64,
     wall: Duration,

@@ -24,7 +24,6 @@
 //! with this enabled, which is what "every elided sort is justified"
 //! means operationally.
 
-use std::rc::Rc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -69,7 +68,7 @@ pub struct ExecOptions {
 /// stream.
 pub enum Output {
     /// Sorted stream carrying exact offset-value codes.
-    Stream(Box<dyn OvcStream>),
+    Stream(Box<dyn OvcStream + Send>),
     /// Materialized rows in arbitrary order (hash-side operators).
     Rows(Vec<Row>),
     /// Hash-partitioned coded batches (between a splitting
@@ -103,7 +102,7 @@ impl Output {
     }
 
     /// The coded stream; panics if this output is unordered.
-    pub fn into_stream(self) -> Box<dyn OvcStream> {
+    pub fn into_stream(self) -> Box<dyn OvcStream + Send> {
         match self {
             Output::Stream(s) => s,
             Output::Rows(_) => panic!("plan output is unordered; not a coded stream"),
@@ -136,7 +135,7 @@ impl Output {
 pub fn execute(
     plan: &PhysicalPlan,
     catalog: &Catalog,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
     options: &ExecOptions,
 ) -> Output {
     if options.batch_size.is_some() {
@@ -163,7 +162,7 @@ pub fn execute(
 pub fn execute_profiled(
     plan: &PhysicalPlan,
     catalog: &Catalog,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
     options: &ExecOptions,
 ) -> (Output, Arc<ProfileNode>) {
     let root = crate::profile::build_profile(plan);
@@ -186,15 +185,15 @@ pub fn execute_profiled(
 pub fn execute_stream(
     plan: &PhysicalPlan,
     catalog: &Catalog,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
     options: &ExecOptions,
-) -> Box<dyn OvcStream> {
+) -> Box<dyn OvcStream + Send> {
     execute(plan, catalog, stats, options).into_stream()
 }
 
 struct Cx<'a> {
     catalog: &'a Catalog,
-    stats: &'a Rc<Stats>,
+    stats: &'a Arc<Stats>,
     options: &'a ExecOptions,
 }
 
@@ -237,7 +236,7 @@ impl Cx<'_> {
                     inner,
                     spec,
                     node: Arc::clone(node),
-                    stats: Rc::clone(self.stats),
+                    stats: Arc::clone(self.stats),
                     rows: 0,
                     wall: Duration::ZERO,
                     delta: StatsSnapshot::default(),
@@ -305,13 +304,13 @@ impl Cx<'_> {
                         )))
                     }
                 } else if spec.is_asc_prefix() && !spec.normalized() {
-                    let mut storage = MemoryRunStorage::new(Rc::clone(self.stats));
+                    let mut storage = MemoryRunStorage::new(Arc::clone(self.stats));
                     let cfg = SortConfig::new(spec.len(), *memory_rows).with_fan_in(*fan_in);
                     Output::Stream(Box::new(external_sort(rows, cfg, &mut storage, self.stats)))
                 } else {
                     // Direction-aware (and/or normalized-key) external
                     // sort: same cascade, spec-driven comparisons.
-                    let mut storage = MemoryRunStorage::new(Rc::clone(self.stats));
+                    let mut storage = MemoryRunStorage::new(Arc::clone(self.stats));
                     let cfg = SortConfig::new(spec.len(), *memory_rows).with_fan_in(*fan_in);
                     Output::Stream(Box::new(external_sort_spec(
                         rows,
@@ -379,7 +378,7 @@ impl Cx<'_> {
                         self.stats,
                     )))
                 } else {
-                    let mut storage = MemoryRunStorage::new(Rc::clone(self.stats));
+                    let mut storage = MemoryRunStorage::new(Arc::clone(self.stats));
                     Output::Stream(Box::new(in_sort_distinct(
                         rows,
                         key_len,
@@ -408,7 +407,7 @@ impl Cx<'_> {
                     Output::Stream(Box::new(FilterOp::new(
                         s,
                         move |row: &Row| p.eval(row),
-                        Rc::clone(self.stats),
+                        Arc::clone(self.stats),
                     )))
                 }
                 Output::Rows(rows) => {
@@ -452,7 +451,7 @@ impl Cx<'_> {
                     other.into_stream(),
                     *group_len,
                     aggs.clone(),
-                    Rc::clone(self.stats),
+                    Arc::clone(self.stats),
                 ))),
             },
             PhysOp::MergeJoinOvc {
@@ -473,7 +472,7 @@ impl Cx<'_> {
                         merge_join_partitions(lp, rp, *join_len, *join_type, lw, rw, self.stats),
                     ),
                     (Output::Stream(l), Output::Stream(r)) => Output::Stream(Box::new(
-                        MergeJoin::new(l, r, *join_len, *join_type, lw, rw, Rc::clone(self.stats)),
+                        MergeJoin::new(l, r, *join_len, *join_type, lw, rw, Arc::clone(self.stats)),
                     )),
                     _ => panic!("merge join inputs must both be streams or both partitioned"),
                 }
@@ -506,7 +505,7 @@ impl Cx<'_> {
                         Output::Partitions(set_op_partitions(lp, rp, *op, self.stats))
                     }
                     (Output::Stream(l), Output::Stream(r)) => Output::Stream(Box::new(
-                        SetOperation::new(l, r, *op, Rc::clone(self.stats)),
+                        SetOperation::new(l, r, *op, Arc::clone(self.stats)),
                     )),
                     _ => panic!("set operation inputs must both be streams or both partitioned"),
                 }
@@ -582,7 +581,7 @@ impl Cx<'_> {
 
 /// First-`k` adapter: a prefix of a coded stream stays exactly coded.
 struct TakeStream {
-    inner: Box<dyn OvcStream>,
+    inner: Box<dyn OvcStream + Send>,
     spec: SortSpec,
     left: usize,
 }
@@ -619,10 +618,10 @@ impl OvcStream for TakeStream {
 /// drains.  Nested adapters nest their windows, which is exactly the
 /// inclusive accounting convention of `EXPLAIN ANALYZE`.
 struct ProfiledStream {
-    inner: Box<dyn OvcStream>,
+    inner: Box<dyn OvcStream + Send>,
     spec: SortSpec,
     node: Arc<ProfileNode>,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
     rows: u64,
     wall: Duration,
     delta: StatsSnapshot,

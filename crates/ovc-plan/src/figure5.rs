@@ -9,7 +9,7 @@
 //! the paper's authors made by hand is now the planner's to make, and
 //! every future workload flows through the same machinery.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::{Row, Stats};
 
@@ -59,7 +59,7 @@ pub fn plan_intersect(catalog: &Catalog, config: PlannerConfig) -> Result<Physic
 pub fn run_intersect(
     catalog: &Catalog,
     config: PlannerConfig,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Result<(PhysicalPlan, Output), PlanError> {
     let plan = plan_intersect(catalog, config)?;
     let out = execute(&plan, catalog, stats, &ExecOptions::default());

@@ -37,7 +37,7 @@
 //! ## Quick example
 //!
 //! ```
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //! use ovc_core::{Row, Stats};
 //! use ovc_plan::{Catalog, Table, LogicalPlan, Planner, PlannerConfig, SetOp};
 //! use ovc_plan::exec::{execute, ExecOptions};

@@ -1,0 +1,99 @@
+//! The `ovc-server` binary: serve the query engine over HTTP/1.1.
+//!
+//! ```text
+//! ovc-server [--addr HOST:PORT] [--max-sessions N] [--batch-rows N]
+//!            [--dop N] [--rate-per-second N] [--rate-burst N]
+//!            [--seed-tables]
+//! ```
+//!
+//! `--seed-tables` registers the paper's Figure-5 intersect tables
+//! (`t1`, `t2`, 10k rows each, stored sorted so scans stream exact
+//! codes) so smoke tests can query without a registration step.  The
+//! process exits cleanly on `POST /shutdown` after draining in-flight
+//! queries.
+
+use ovc_plan::{Catalog, PlannerConfig, Table};
+use ovc_server::{RateLimitConfig, Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ovc-server [--addr HOST:PORT] [--max-sessions N] [--batch-rows N] \
+         [--dop N] [--rate-per-second N] [--rate-burst N] [--seed-tables]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut rate = RateLimitConfig::default();
+    let mut planner = PlannerConfig::default().with_batch_size(1024);
+    let mut seed_tables = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value ({what})");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("host:port"),
+            "--max-sessions" => match value("count").parse() {
+                Ok(n) => config.max_sessions = n,
+                Err(_) => usage(),
+            },
+            "--batch-rows" => match value("rows").parse() {
+                Ok(n) => config.batch_rows = n,
+                Err(_) => usage(),
+            },
+            "--dop" => match value("threads").parse() {
+                Ok(n) => planner = planner.with_dop(n),
+                Err(_) => usage(),
+            },
+            "--rate-per-second" => match value("tokens").parse() {
+                Ok(n) => rate.per_second = n,
+                Err(_) => usage(),
+            },
+            "--rate-burst" => match value("tokens").parse() {
+                Ok(n) => rate.burst = n,
+                Err(_) => usage(),
+            },
+            "--seed-tables" => seed_tables = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    config.rate_limit = rate;
+    config.planner = planner;
+
+    let mut catalog = Catalog::new();
+    if seed_tables {
+        let (t1, t2) = ovc_bench::workload::intersect_tables(10_000, 42);
+        let (mut t1, mut t2) = (t1, t2);
+        t1.sort();
+        t2.sort();
+        let w1 = t1.first().map(|r| r.width()).unwrap_or(1);
+        let w2 = t2.first().map(|r| r.width()).unwrap_or(1);
+        catalog.register("t1", Table::sorted(t1, w1));
+        catalog.register("t2", Table::sorted(t2, w2));
+        eprintln!("seeded tables t1, t2 (Figure-5 intersect workload, 10k rows each)");
+    }
+
+    let server = match Server::bind(config, catalog) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1)
+        }
+    };
+    eprintln!("ovc-server listening on {}", server.local_addr());
+    if let Err(e) = server.run() {
+        eprintln!("server error: {e}");
+        std::process::exit(1)
+    }
+    eprintln!("ovc-server drained and stopped");
+}

@@ -1,0 +1,169 @@
+//! Served-query throughput: boot the server in-process, load it from
+//! concurrent client connections, and write `BENCH_server.json` through
+//! the shared snapshot writer (same contract as `BENCH_figures.json`;
+//! validate with `validate_snapshot`).
+//!
+//! Two workloads, each swept over client counts {1, 2, 4, 8}:
+//!
+//! * `figure5_intersect` — the paper's `SELECT ... INTERSECT` over
+//!   pre-sorted tables, the cheap-per-query shape that stresses
+//!   request handling;
+//! * `batched_group_by` — a dop-4 group-by over an unsorted table with
+//!   flat-batch exchanges, the heavy shape that stresses streaming.
+//!
+//! Correctness is asserted before timing: every client's served rows
+//! and codes must equal the direct library execution byte for byte.
+
+use std::time::Instant;
+
+use ovc_bench::snapshot::{BenchEntry, BenchSnapshot};
+use ovc_bench::workload::{intersect_tables, table, TableSpec};
+use ovc_core::Stats;
+use ovc_plan::{
+    execute, Aggregate, Catalog, ExecOptions, LogicalPlan, Planner, PlannerConfig, SetOp, Table,
+};
+use ovc_server::{Client, Server, ServerConfig};
+
+const CLIENTS: [usize; 4] = [1, 2, 4, 8];
+const QUERIES_PER_CLIENT: usize = 8;
+
+/// A coded result set: `(row values, offset-value code)` per row.
+type CodedRows = Vec<(Vec<u64>, u64)>;
+
+fn main() {
+    let rows_per_table = 20_000;
+    let (mut t1, mut t2) = intersect_tables(rows_per_table, 42);
+    t1.sort();
+    t2.sort();
+    let heap = table(TableSpec {
+        rows: 40_000,
+        key_cols: 2,
+        payload_cols: 1,
+        distinct_per_col: 32,
+        seed: 7,
+    });
+    let mut catalog = Catalog::new();
+    let w = t1.first().map(|r| r.width()).unwrap_or(1);
+    catalog.register("t1", Table::sorted(t1, w));
+    catalog.register("t2", Table::sorted(t2, w));
+    catalog.register("heap", Table::unsorted(heap));
+
+    let planner_config = PlannerConfig::default()
+        .with_dop(4)
+        .with_parallel_threshold(1024)
+        .with_batch_size(1024);
+    let config = ServerConfig {
+        max_sessions: 64,
+        planner: planner_config,
+        ..ServerConfig::default()
+    };
+
+    // Reference answers from direct library execution.
+    let intersect_query = LogicalPlan::scan("t1").set_op(LogicalPlan::scan("t2"), SetOp::Intersect);
+    let group_query = LogicalPlan::scan("heap")
+        .group_by(2, vec![Aggregate::Count, Aggregate::Sum(2)])
+        .sort(2);
+    let options = ExecOptions {
+        batch_size: planner_config.batch_size,
+        ..ExecOptions::default()
+    };
+    let planner = Planner::new(&catalog, planner_config);
+    let reference: Vec<(String, CodedRows)> = [
+        ("figure5_intersect", &intersect_query),
+        ("batched_group_by", &group_query),
+    ]
+    .into_iter()
+    .map(|(name, q)| {
+        let plan = planner.plan(q).expect("benchmark query plans");
+        let coded: CodedRows = execute(&plan, &catalog, &Stats::new_shared(), &options)
+            .into_coded()
+            .into_iter()
+            .map(|r| (r.row.cols().to_vec(), r.code.raw()))
+            .collect();
+        (name.to_string(), coded)
+    })
+    .collect();
+
+    let server = Server::bind(config, catalog).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    let wire_queries = [
+        (
+            "figure5_intersect",
+            r#"{"plan": {"set_op": {"left": {"scan": "t1"}, "right": {"scan": "t2"}, "op": "intersect"}}}"#,
+        ),
+        (
+            "batched_group_by",
+            r#"{"plan": {"sort": {"input": {"group_by": {"input": {"scan": "heap"}, "group_len": 2, "aggs": ["count", {"sum": 2}]}}, "key_len": 2}}}"#,
+        ),
+    ];
+
+    // Correctness gate before any timing.
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        for (name, body) in wire_queries {
+            let served = client.query(body).expect("served query");
+            let expect = &reference.iter().find(|(n, _)| n == name).expect("ref").1;
+            assert_eq!(served.rows.len(), expect.len(), "{name}: row count");
+            for (i, (row, code)) in expect.iter().enumerate() {
+                assert_eq!(&served.rows[i], row, "{name}: row {i}");
+                assert_eq!(served.codes[i], *code, "{name}: code {i}");
+            }
+            println!("{name}: served == library ({} rows)", expect.len());
+        }
+    }
+
+    let mut snap = BenchSnapshot::new("server");
+    for (name, body) in wire_queries {
+        let expect_rows = reference
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("ref")
+            .1
+            .len();
+        for clients in CLIENTS {
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..clients {
+                    scope.spawn(|| {
+                        let mut client = Client::connect(addr).expect("connect");
+                        for _ in 0..QUERIES_PER_CLIENT {
+                            let r = client.query(body).expect("query");
+                            assert_eq!(r.rows.len(), expect_rows);
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed();
+            let queries = (clients * QUERIES_PER_CLIENT) as f64;
+            let rows = queries * expect_rows as f64;
+            println!(
+                "{name} clients={clients}: {queries} queries, {:.1} q/s, {:.0} rows/s",
+                queries / elapsed.as_secs_f64(),
+                rows / elapsed.as_secs_f64()
+            );
+            snap.push(
+                BenchEntry::new(name, format!("clients_{clients}"))
+                    .metric("clients", clients as f64)
+                    .metric("queries", queries)
+                    .metric("rows_streamed", rows)
+                    .metric("queries_per_sec", queries / elapsed.as_secs_f64())
+                    .metric("rows_per_sec", rows / elapsed.as_secs_f64())
+                    .wall("wall_ms", elapsed),
+            );
+        }
+    }
+
+    handle.shutdown();
+    runner.join().expect("server thread").expect("server run");
+
+    match snap.write_to(std::path::Path::new(".")) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write snapshot: {e}");
+            std::process::exit(1)
+        }
+    }
+}

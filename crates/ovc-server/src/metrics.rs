@@ -1,0 +1,199 @@
+//! Server-level counters and their Prometheus text rendering.
+//!
+//! Two layers are exported by `GET /metrics`:
+//!
+//! * **service counters** — requests, queries, rejections, streamed
+//!   rows/batches, live sessions (all `AtomicU64`, relaxed: they are
+//!   monotonic tallies, not synchronization);
+//! * **engine counters** — the cumulative [`ovc_core::Stats`] across
+//!   every served query (comparison counts, spill traffic), i.e. the
+//!   paper's cost metrics folded fleet-wide, plus exchange-channel
+//!   wait totals folded out of profiled runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ovc_core::metrics::PlanProfile;
+use ovc_core::{Stats, StatsSnapshot};
+
+/// All counters the server exports.  One instance lives in the
+/// [`crate::server::Server`] and is shared by every session thread.
+#[derive(Default)]
+pub struct ServerMetrics {
+    /// HTTP requests accepted (any route, any outcome).
+    pub requests_total: AtomicU64,
+    /// Queries executed to completion (trailer sent).
+    pub queries_total: AtomicU64,
+    /// Queries that failed after admission (parse, plan, or I/O).
+    pub query_errors_total: AtomicU64,
+    /// Requests rejected by the per-IP rate limiter (429s).
+    pub rate_limited_total: AtomicU64,
+    /// Connections rejected because the session pool was full (503s).
+    pub sessions_rejected_total: AtomicU64,
+    /// Rows streamed in batch frames.
+    pub rows_streamed_total: AtomicU64,
+    /// Batch frames streamed.
+    pub batches_streamed_total: AtomicU64,
+    /// Currently live session threads.
+    pub active_sessions: AtomicU64,
+    /// Exchange-channel producer wait, nanoseconds, summed over profiled
+    /// runs (mirrors `ChannelGaugeSnapshot::send_wait`).
+    pub exchange_send_wait_ns_total: AtomicU64,
+    /// Exchange-channel consumer wait, nanoseconds, summed likewise.
+    pub exchange_recv_wait_ns_total: AtomicU64,
+    /// Rows that crossed exchange channels in profiled runs.
+    pub exchange_rows_total: AtomicU64,
+    /// Cumulative engine stats across all served queries.
+    pub engine: Stats,
+}
+
+impl ServerMetrics {
+    /// Bump a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bump a counter by `n`.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Fold one query's engine-stat deltas into the cumulative totals.
+    pub fn absorb_query(&self, delta: &StatsSnapshot) {
+        self.engine.absorb(delta);
+    }
+
+    /// Fold the exchange-channel gauges of a finished profiled run.
+    pub fn absorb_gauges(&self, profile: &PlanProfile) {
+        for node in profile.nodes() {
+            for g in &node.gauges {
+                Self::add(
+                    &self.exchange_send_wait_ns_total,
+                    g.send_wait.as_nanos() as u64,
+                );
+                Self::add(
+                    &self.exchange_recv_wait_ns_total,
+                    g.recv_wait.as_nanos() as u64,
+                );
+                Self::add(&self.exchange_rows_total, g.rows);
+            }
+        }
+    }
+
+    /// Render every counter in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter(
+            "ovc_requests_total",
+            "HTTP requests accepted",
+            self.requests_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "ovc_queries_total",
+            "Queries completed (trailer sent)",
+            self.queries_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "ovc_query_errors_total",
+            "Queries failed after admission",
+            self.query_errors_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "ovc_rate_limited_total",
+            "Requests rejected by the per-IP rate limiter",
+            self.rate_limited_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "ovc_sessions_rejected_total",
+            "Connections rejected by the bounded session pool",
+            self.sessions_rejected_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "ovc_rows_streamed_total",
+            "Rows streamed in batch frames",
+            self.rows_streamed_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "ovc_batches_streamed_total",
+            "Batch frames streamed",
+            self.batches_streamed_total.load(Ordering::Relaxed),
+        );
+        let s = self.engine.snapshot();
+        counter(
+            "ovc_engine_col_value_cmps_total",
+            "Column-value comparisons across all served queries",
+            s.col_value_cmps,
+        );
+        counter(
+            "ovc_engine_ovc_cmps_total",
+            "Offset-value-code comparisons across all served queries",
+            s.ovc_cmps,
+        );
+        counter(
+            "ovc_engine_row_cmps_total",
+            "Full-row comparisons across all served queries",
+            s.row_cmps,
+        );
+        counter(
+            "ovc_engine_rows_spilled_total",
+            "Rows spilled to run storage across all served queries",
+            s.rows_spilled,
+        );
+        counter(
+            "ovc_engine_rows_read_back_total",
+            "Rows read back from run storage across all served queries",
+            s.rows_read_back,
+        );
+        counter(
+            "ovc_exchange_send_wait_ns_total",
+            "Exchange producer wait (ns) over profiled runs",
+            self.exchange_send_wait_ns_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "ovc_exchange_recv_wait_ns_total",
+            "Exchange consumer wait (ns) over profiled runs",
+            self.exchange_recv_wait_ns_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "ovc_exchange_rows_total",
+            "Rows crossing exchange channels in profiled runs",
+            self.exchange_rows_total.load(Ordering::Relaxed),
+        );
+        out.push_str(&format!(
+            "# HELP ovc_active_sessions Currently live session threads\n\
+             # TYPE ovc_active_sessions gauge\n\
+             ovc_active_sessions {}\n",
+            self.active_sessions.load(Ordering::Relaxed)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_rendering_has_every_series() {
+        let m = ServerMetrics::default();
+        ServerMetrics::inc(&m.requests_total);
+        ServerMetrics::add(&m.rows_streamed_total, 42);
+        m.absorb_query(&StatsSnapshot {
+            ovc_cmps: 7,
+            ..StatsSnapshot::default()
+        });
+        let text = m.render_prometheus();
+        assert!(text.contains("ovc_requests_total 1\n"), "{text}");
+        assert!(text.contains("ovc_rows_streamed_total 42\n"), "{text}");
+        assert!(text.contains("ovc_engine_ovc_cmps_total 7\n"), "{text}");
+        assert!(text.contains("# TYPE ovc_active_sessions gauge"), "{text}");
+        // Every HELP line pairs with a TYPE and a sample.
+        let helps = text.matches("# HELP").count();
+        let types = text.matches("# TYPE").count();
+        assert_eq!(helps, types);
+    }
+}

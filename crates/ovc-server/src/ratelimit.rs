@@ -1,0 +1,148 @@
+//! Per-IP token-bucket rate limiting.
+//!
+//! Each client IP owns a bucket of `burst` tokens refilled at
+//! `per_second` tokens per second; a request spends one token or — if
+//! the bucket is dry — gets 429 with a `retry-after` hint.  `/health`
+//! and `/metrics` bypass the limiter so monitoring keeps working while a
+//! client is being throttled.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Limiter configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RateLimitConfig {
+    /// Steady-state tokens per second per IP.
+    pub per_second: f64,
+    /// Bucket capacity: how far a client may burst above steady state.
+    pub burst: f64,
+}
+
+impl Default for RateLimitConfig {
+    fn default() -> RateLimitConfig {
+        RateLimitConfig {
+            per_second: 50.0,
+            burst: 100.0,
+        }
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// The shared limiter: one bucket per client IP, lazily created full.
+pub struct RateLimiter {
+    config: RateLimitConfig,
+    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+}
+
+/// Outcome of one admission check.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Admission {
+    /// Token spent; serve the request.
+    Allowed,
+    /// Bucket dry; reject with the suggested `retry-after` in seconds
+    /// (time until one token refills, rounded up, at least 1).
+    Limited(u64),
+}
+
+impl RateLimiter {
+    /// A limiter with the given refill/burst policy.
+    pub fn new(config: RateLimitConfig) -> RateLimiter {
+        RateLimiter {
+            config,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admit or reject one request from `ip`, observed at `now`.
+    ///
+    /// Taking `now` as an argument (rather than sampling inside) keeps
+    /// the refill arithmetic deterministic under test.
+    pub fn check_at(&self, ip: IpAddr, now: Instant) -> Admission {
+        let mut buckets = self.buckets.lock().expect("rate limiter poisoned");
+        let bucket = buckets.entry(ip).or_insert(Bucket {
+            tokens: self.config.burst,
+            last: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.last).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.config.per_second).min(self.config.burst);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Admission::Allowed
+        } else {
+            let wait = (1.0 - bucket.tokens) / self.config.per_second;
+            Admission::Limited((wait.ceil() as u64).max(1))
+        }
+    }
+
+    /// Admit or reject one request from `ip` now.
+    pub fn check(&self, ip: IpAddr) -> Admission {
+        self.check_at(ip, Instant::now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use std::time::Duration;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(127, 0, 0, last))
+    }
+
+    #[test]
+    fn burst_then_limit_then_refill() {
+        let rl = RateLimiter::new(RateLimitConfig {
+            per_second: 1.0,
+            burst: 3.0,
+        });
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert_eq!(rl.check_at(ip(1), t0), Admission::Allowed);
+        }
+        match rl.check_at(ip(1), t0) {
+            Admission::Limited(retry) => assert!(retry >= 1),
+            a => panic!("expected limit, got {a:?}"),
+        }
+        // After two seconds two tokens are back.
+        let t2 = t0 + Duration::from_secs(2);
+        assert_eq!(rl.check_at(ip(1), t2), Admission::Allowed);
+        assert_eq!(rl.check_at(ip(1), t2), Admission::Allowed);
+        assert!(matches!(rl.check_at(ip(1), t2), Admission::Limited(_)));
+    }
+
+    #[test]
+    fn buckets_are_per_ip() {
+        let rl = RateLimiter::new(RateLimitConfig {
+            per_second: 1.0,
+            burst: 1.0,
+        });
+        let t0 = Instant::now();
+        assert_eq!(rl.check_at(ip(1), t0), Admission::Allowed);
+        assert!(matches!(rl.check_at(ip(1), t0), Admission::Limited(_)));
+        // A different client is untouched by the first one's exhaustion.
+        assert_eq!(rl.check_at(ip(2), t0), Admission::Allowed);
+    }
+
+    #[test]
+    fn tokens_cap_at_burst() {
+        let rl = RateLimiter::new(RateLimitConfig {
+            per_second: 100.0,
+            burst: 2.0,
+        });
+        let t0 = Instant::now();
+        assert_eq!(rl.check_at(ip(3), t0), Admission::Allowed);
+        // A long idle period refills to burst, not beyond.
+        let later = t0 + Duration::from_secs(3600);
+        assert_eq!(rl.check_at(ip(3), later), Admission::Allowed);
+        assert_eq!(rl.check_at(ip(3), later), Admission::Allowed);
+        assert!(matches!(rl.check_at(ip(3), later), Admission::Limited(_)));
+    }
+}

@@ -1,0 +1,655 @@
+//! The threaded query server: accept loop, bounded session pool,
+//! request routing, streaming execution, graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! One listener thread runs [`Server::run`]; every accepted connection
+//! gets its own session thread (keep-alive: a session serves many
+//! requests).  The pool is bounded by [`ServerConfig::max_sessions`] —
+//! connection number `max+1` receives `503` and is closed, so a client
+//! herd degrades loudly instead of queueing invisibly.  All state the
+//! sessions share ([`crate::metrics::ServerMetrics`], the catalog, the
+//! rate limiter) is behind `Arc`, which is exactly what the
+//! `Arc<Stats>`/atomic refactor of this crate's PR bought: a physical
+//! plan and its coded stream are `Send`, so a query can execute entirely
+//! on the connection's thread.
+//!
+//! ## Graceful shutdown
+//!
+//! [`ServerHandle::shutdown`] (or `POST /shutdown`) sets a flag and
+//! self-connects to wake the blocking accept.  Sessions notice the flag
+//! **between** requests only — a query mid-stream always runs to its
+//! trailer frame, so shutdown drains in-flight work without dropping a
+//! batch.  [`Server::run`] returns after every session thread has been
+//! joined.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use ovc_bench::snapshot::Json;
+use ovc_core::{Stats, StatsSnapshot};
+use ovc_plan::{execute, execute_profiled, Catalog, ExecOptions, Output, Planner, PlannerConfig};
+
+use crate::http::{read_request, write_response, ChunkedWriter, ParseError, Request};
+use crate::metrics::ServerMetrics;
+use crate::ratelimit::{Admission, RateLimitConfig, RateLimiter};
+use crate::wire;
+
+/// Server construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Maximum concurrent session threads; further connections get 503.
+    pub max_sessions: usize,
+    /// Rows per streamed `batch` frame.
+    pub batch_rows: usize,
+    /// Per-IP token-bucket policy.
+    pub rate_limit: RateLimitConfig,
+    /// Planner knobs applied to every served query (memory budget,
+    /// fan-in, degree of parallelism, executor batch size).
+    pub planner: PlannerConfig,
+    /// How long a session waits for the next request before re-checking
+    /// the shutdown flag (liveness knob; correctness does not depend on
+    /// it).
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_sessions: 32,
+            batch_rows: 1000,
+            rate_limit: RateLimitConfig::default(),
+            planner: PlannerConfig::default(),
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// State shared by the listener and every session thread.
+pub struct ServerState {
+    config: ServerConfig,
+    /// Snapshot-swap catalog: readers clone the `Arc` and drop the lock
+    /// before executing, so a long query never blocks registration and a
+    /// panicking executor can never poison the lock.
+    catalog: RwLock<Arc<Catalog>>,
+    /// Exported counters.
+    pub metrics: ServerMetrics,
+    limiter: RateLimiter,
+    shutdown: AtomicBool,
+    request_counter: AtomicU64,
+    /// Queries currently streaming (admission to trailer) — drained to
+    /// zero before [`Server::run`] returns.
+    pub in_flight_queries: AtomicU64,
+    local_addr: SocketAddr,
+}
+
+impl ServerState {
+    /// The current catalog snapshot.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog.read().expect("catalog lock poisoned"))
+    }
+
+    /// Replace table `name`, snapshot-swapping the catalog (in-flight
+    /// queries keep the snapshot they started with).
+    pub fn register_table(&self, name: &str, table: ovc_plan::Table) {
+        let mut guard = self.catalog.write().expect("catalog lock poisoned");
+        let mut next = Catalog::clone(&guard);
+        next.register(name, table);
+        *guard = Arc::new(next);
+    }
+
+    /// Has shutdown been requested?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept; the listener re-checks the flag on
+        // every returned connection, so one poke suffices.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    fn next_request_id(&self) -> String {
+        format!(
+            "req-{}",
+            self.request_counter.fetch_add(1, Ordering::Relaxed)
+        )
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// A handle for controlling a running server from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// Request graceful shutdown: stop accepting, let in-flight queries
+    /// stream to their trailers, then let [`Server::run`] return.
+    pub fn shutdown(&self) {
+        self.state.trigger_shutdown();
+    }
+
+    /// The shared state (metrics, catalog, flags).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+}
+
+impl Server {
+    /// Bind the listener and wrap the initial catalog.
+    pub fn bind(config: ServerConfig, catalog: Catalog) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let limiter = RateLimiter::new(config.rate_limit);
+        let state = Arc::new(ServerState {
+            config,
+            catalog: RwLock::new(Arc::new(catalog)),
+            metrics: ServerMetrics::default(),
+            limiter,
+            shutdown: AtomicBool::new(false),
+            request_counter: AtomicU64::new(0),
+            in_flight_queries: AtomicU64::new(0),
+            local_addr,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// A control handle, cloneable across threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Run the accept loop until shutdown, then join every session
+    /// thread.  Returns only after all in-flight work has drained.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.state.is_shutting_down() {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            sessions.retain(|h| !h.is_finished());
+            let active = self.state.metrics.active_sessions.load(Ordering::Relaxed);
+            if active as usize >= self.state.config.max_sessions {
+                ServerMetrics::inc(&self.state.metrics.sessions_rejected_total);
+                let mut w = BufWriter::new(&stream);
+                let _ = write_response(
+                    &mut w,
+                    503,
+                    "Service Unavailable",
+                    "application/json",
+                    &[("connection", "close"), ("retry-after", "1")],
+                    wire::error_body("-", "session pool full").as_bytes(),
+                );
+                continue;
+            }
+            ServerMetrics::inc(&self.state.metrics.active_sessions);
+            let state = Arc::clone(&self.state);
+            sessions.push(std::thread::spawn(move || {
+                let _guard = SessionGuard(&state.metrics.active_sessions);
+                session_loop(&state, stream);
+            }));
+        }
+        for h in sessions {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Decrements `active_sessions` when the session thread exits, however
+/// it exits.
+struct SessionGuard<'a>(&'a AtomicU64);
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Serve one keep-alive connection until the peer closes, an error
+/// forces a close, or shutdown is observed between requests.
+fn session_loop(state: &ServerState, stream: TcpStream) {
+    let peer_ip = stream
+        .peer_addr()
+        .map(|a| a.ip())
+        .unwrap_or(IpAddr::V4(Ipv4Addr::LOCALHOST));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    loop {
+        // Wait for the next request in short slices so the shutdown flag
+        // is observed promptly — but never abandon a request mid-parse.
+        if reader.buffer().is_empty() {
+            if state.is_shutting_down() {
+                return;
+            }
+            let _ = stream.set_read_timeout(Some(state.config.poll_interval));
+            let mut probe = [0u8; 1];
+            match stream.peek(&mut probe) {
+                Ok(0) => return, // peer closed
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => return,
+            }
+        }
+        // A request has begun; allow a generous window for the rest of
+        // it (slow writers), then parse it whole.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let request = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,
+            Err(ParseError::UnexpectedEof) => return,
+            Err(e) => {
+                let mut w = BufWriter::new(&stream);
+                let status = match e {
+                    ParseError::TooLarge(_) => (413, "Payload Too Large"),
+                    _ => (400, "Bad Request"),
+                };
+                let _ = write_response(
+                    &mut w,
+                    status.0,
+                    status.1,
+                    "application/json",
+                    &[("connection", "close")],
+                    wire::error_body("-", &e.to_string()).as_bytes(),
+                );
+                return;
+            }
+        };
+        let close_after = request.wants_close() || state.is_shutting_down();
+        let ok = handle_request(state, &stream, &request, peer_ip, close_after);
+        if !ok || close_after {
+            return;
+        }
+    }
+}
+
+/// Route and answer one request.  Returns `false` when the connection
+/// must close (I/O failure or protocol-level close).
+fn handle_request(
+    state: &ServerState,
+    stream: &TcpStream,
+    request: &Request,
+    peer_ip: IpAddr,
+    close_after: bool,
+) -> bool {
+    ServerMetrics::inc(&state.metrics.requests_total);
+    let request_id = request
+        .header("x-request-id")
+        .map(str::to_string)
+        .unwrap_or_else(|| state.next_request_id());
+    let conn_header = if close_after { "close" } else { "keep-alive" };
+    let base_headers = [
+        ("x-request-id", request_id.as_str()),
+        ("connection", conn_header),
+    ];
+    let mut writer = BufWriter::new(stream);
+    let respond =
+        |w: &mut BufWriter<&TcpStream>, status: u16, reason: &str, ct: &str, body: &[u8]| {
+            write_response(w, status, reason, ct, &base_headers, body).is_ok()
+        };
+
+    // Monitoring endpoints bypass the rate limiter by design.
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => {
+            let body = format!(
+                "{{\"status\":\"ok\",\"active_sessions\":{},\"in_flight_queries\":{},\
+                 \"shutting_down\":{}}}\n",
+                state.metrics.active_sessions.load(Ordering::Relaxed),
+                state.in_flight_queries.load(Ordering::Relaxed),
+                state.is_shutting_down()
+            );
+            return respond(&mut writer, 200, "OK", "application/json", body.as_bytes());
+        }
+        ("GET", "/metrics") => {
+            let body = state.metrics.render_prometheus();
+            return respond(
+                &mut writer,
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                body.as_bytes(),
+            );
+        }
+        _ => {}
+    }
+
+    match state.limiter.check(peer_ip) {
+        Admission::Allowed => {}
+        Admission::Limited(retry_after) => {
+            ServerMetrics::inc(&state.metrics.rate_limited_total);
+            let retry = retry_after.to_string();
+            let headers = [
+                ("x-request-id", request_id.as_str()),
+                ("connection", conn_header),
+                ("retry-after", retry.as_str()),
+            ];
+            let body = wire::error_body(&request_id, "rate limit exceeded");
+            return write_response(
+                &mut writer,
+                429,
+                "Too Many Requests",
+                "application/json",
+                &headers,
+                body.as_bytes(),
+            )
+            .is_ok();
+        }
+    }
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/query") => handle_query(state, writer, request, &request_id, conn_header),
+        ("POST", "/tables") => {
+            let outcome = parse_body(&request.body).and_then(|doc| {
+                let name = doc
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| wire::WireError("table: missing field \"name\"".into()))?
+                    .to_string();
+                let table = wire::parse_table(&doc)?;
+                Ok((name, table))
+            });
+            match outcome {
+                Ok((name, table)) => {
+                    let rows = table.len();
+                    state.register_table(&name, table);
+                    let body =
+                        format!("{{\"status\":\"ok\",\"table\":\"{name}\",\"rows\":{rows}}}\n");
+                    respond(&mut writer, 200, "OK", "application/json", body.as_bytes())
+                }
+                Err(e) => respond(
+                    &mut writer,
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    wire::error_body(&request_id, &e.to_string()).as_bytes(),
+                ),
+            }
+        }
+        ("POST", "/shutdown") => {
+            state.trigger_shutdown();
+            let body =
+                format!("{{\"status\":\"shutting_down\",\"request_id\":\"{request_id}\"}}\n");
+            // The flag is set, so the session loop closes after this
+            // response either way.
+            respond(&mut writer, 200, "OK", "application/json", body.as_bytes())
+        }
+        _ => respond(
+            &mut writer,
+            404,
+            "Not Found",
+            "application/json",
+            wire::error_body(&request_id, "no such route").as_bytes(),
+        ),
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, wire::WireError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| wire::WireError("body is not valid UTF-8".into()))?;
+    Json::parse(text).map_err(wire::WireError)
+}
+
+/// `POST /query`: plan, then either answer `explain` in one response or
+/// stream `rows`/`analyze` as chunked frames.
+fn handle_query(
+    state: &ServerState,
+    mut writer: BufWriter<&TcpStream>,
+    request: &Request,
+    request_id: &str,
+    conn_header: &str,
+) -> bool {
+    let base_headers = [("x-request-id", request_id), ("connection", conn_header)];
+    let bad_request = |writer: &mut BufWriter<&TcpStream>, msg: &str| {
+        write_response(
+            writer,
+            400,
+            "Bad Request",
+            "application/json",
+            &base_headers,
+            wire::error_body(request_id, msg).as_bytes(),
+        )
+        .is_ok()
+    };
+
+    let doc = match parse_body(&request.body) {
+        Ok(d) => d,
+        Err(e) => return bad_request(&mut writer, &e.to_string()),
+    };
+    let mode = match doc.get("mode").map(|m| m.as_str()) {
+        None => "rows",
+        Some(Some(m @ ("rows" | "explain" | "analyze"))) => m,
+        Some(other) => {
+            return bad_request(
+                &mut writer,
+                &format!("mode: expected \"rows\", \"explain\", or \"analyze\", got {other:?}"),
+            )
+        }
+    };
+    let plan_json = match doc.get("plan") {
+        Some(p) => p,
+        None => return bad_request(&mut writer, "query: missing field \"plan\""),
+    };
+    let logical = match wire::parse_plan(plan_json) {
+        Ok(p) => p,
+        Err(e) => return bad_request(&mut writer, &e.to_string()),
+    };
+
+    // Planning and execution run against one catalog snapshot; a
+    // concurrent /tables registration cannot shift the ground mid-query.
+    let catalog = state.catalog();
+    let planner = Planner::new(&catalog, state.config.planner);
+    let physical = match planner.plan(&logical) {
+        Ok(p) => p,
+        Err(e) => {
+            ServerMetrics::inc(&state.metrics.query_errors_total);
+            return bad_request(&mut writer, &format!("plan error: {e}"));
+        }
+    };
+    let options = ExecOptions {
+        batch_size: state.config.planner.batch_size,
+        ..ExecOptions::default()
+    };
+
+    if mode == "explain" {
+        let mut body = format!("{{\"status\":\"ok\",\"request_id\":\"{request_id}\",\"explain\":");
+        let mut text = String::new();
+        wire_escape_into(&mut text, &physical.explain());
+        body.push_str(&text);
+        body.push_str("}\n");
+        return write_response(
+            &mut writer,
+            200,
+            "OK",
+            "application/json",
+            &base_headers,
+            body.as_bytes(),
+        )
+        .is_ok();
+    }
+
+    // Streaming modes.  From here on the query counts as in flight and
+    // MUST reach its trailer (or error frame) before shutdown completes.
+    state.in_flight_queries.fetch_add(1, Ordering::SeqCst);
+    let result = stream_query(
+        state,
+        &mut writer,
+        &base_headers,
+        request_id,
+        mode,
+        &physical,
+        &catalog,
+        &options,
+    );
+    state.in_flight_queries.fetch_sub(1, Ordering::SeqCst);
+    match result {
+        Ok(()) => {
+            ServerMetrics::inc(&state.metrics.queries_total);
+            true
+        }
+        Err(_) => {
+            ServerMetrics::inc(&state.metrics.query_errors_total);
+            false
+        }
+    }
+}
+
+/// Execute and stream one query: header frame, row batches, trailer.
+#[allow(clippy::too_many_arguments)]
+fn stream_query(
+    state: &ServerState,
+    writer: &mut BufWriter<&TcpStream>,
+    base_headers: &[(&str, &str)],
+    request_id: &str,
+    mode: &str,
+    physical: &ovc_plan::PhysicalPlan,
+    catalog: &Catalog,
+    options: &ExecOptions,
+) -> std::io::Result<()> {
+    let stats = Stats::new_shared();
+    let before = stats.snapshot();
+    let (output, profile) = if mode == "analyze" {
+        let (out, root) = execute_profiled(physical, catalog, &stats, options);
+        (out, Some(root))
+    } else {
+        (execute(physical, catalog, &stats, options), None)
+    };
+
+    let width = physical.props.width;
+    let key_len = physical.props.order.len();
+    let mut cw = ChunkedWriter::start(
+        &mut *writer,
+        200,
+        "OK",
+        "application/x-ndjson",
+        base_headers,
+    )?;
+    cw.chunk(wire::header_frame(request_id, mode, width, key_len).as_bytes())?;
+
+    let batch_rows = state.config.batch_rows.max(1);
+    let mut seq = 0u64;
+    let mut total_rows = 0u64;
+    let mut rows_buf: Vec<Vec<u64>> = Vec::with_capacity(batch_rows);
+    let mut codes_buf: Vec<u64> = Vec::with_capacity(batch_rows);
+    let mut flush = |cw: &mut ChunkedWriter<&mut BufWriter<&TcpStream>>,
+                     rows_buf: &mut Vec<Vec<u64>>,
+                     codes_buf: &mut Vec<u64>,
+                     coded: bool|
+     -> std::io::Result<()> {
+        if rows_buf.is_empty() {
+            return Ok(());
+        }
+        let codes = if coded {
+            Some(codes_buf.as_slice())
+        } else {
+            None
+        };
+        cw.chunk(wire::batch_frame(seq, rows_buf, codes).as_bytes())?;
+        seq += 1;
+        total_rows += rows_buf.len() as u64;
+        rows_buf.clear();
+        codes_buf.clear();
+        Ok(())
+    };
+
+    match output {
+        Output::Stream(s) => {
+            for r in s {
+                rows_buf.push(r.row.cols().to_vec());
+                codes_buf.push(r.code.raw());
+                if rows_buf.len() >= batch_rows {
+                    flush(&mut cw, &mut rows_buf, &mut codes_buf, true)?;
+                }
+            }
+            flush(&mut cw, &mut rows_buf, &mut codes_buf, true)?;
+        }
+        Output::Rows(rows) => {
+            for r in rows {
+                rows_buf.push(r.cols().to_vec());
+                if rows_buf.len() >= batch_rows {
+                    flush(&mut cw, &mut rows_buf, &mut codes_buf, false)?;
+                }
+            }
+            flush(&mut cw, &mut rows_buf, &mut codes_buf, false)?;
+        }
+        Output::Partitions(_) => {
+            // The planner always gathers to a single stream at the root;
+            // reaching this is a planner bug, reported on the stream.
+            cw.chunk(wire::error_frame("plan root is partitioned").as_bytes())?;
+            cw.finish()?;
+            return Ok(());
+        }
+    }
+
+    let delta = stats.snapshot().since(&before);
+    state.metrics.absorb_query(&delta);
+    ServerMetrics::add(&state.metrics.rows_streamed_total, total_rows);
+    ServerMetrics::add(&state.metrics.batches_streamed_total, seq);
+    let analyze_text = profile.map(|root| {
+        let snapshot = root.snapshot();
+        state.metrics.absorb_gauges(&snapshot);
+        ovc_plan::render_analyze(physical, &snapshot)
+    });
+    cw.chunk(wire::trailer_frame(total_rows, seq, &delta, analyze_text.as_deref()).as_bytes())?;
+    cw.finish()?;
+    Ok(())
+}
+
+/// JSON-escape `s` into `out` (string form, with quotes).
+fn wire_escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The deltas of one query, for tests that want to compare a served
+/// query's accounting to a direct library run.
+pub fn snapshot_delta(stats: &Arc<Stats>, before: &StatsSnapshot) -> StatsSnapshot {
+    stats.snapshot().since(before)
+}

@@ -17,7 +17,7 @@
 //! "sort-based plan spills each input row only once" claim is asserted on
 //! these counters.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::{OvcRow, OvcStream, Row, SortSpec, Stats};
 
@@ -67,7 +67,13 @@ impl SortConfig {
 /// Where spilled runs live.  The in-memory device below serves simulation;
 /// `ovc-storage` provides an encoding-faithful implementation with byte
 /// accounting and an optional file-backed variant.
-pub trait RunStorage {
+///
+/// Devices are `Send`: a parallel sort hands each worker thread its own
+/// spill device (see `parallel::parallel_sort_spec_spilled`), and the
+/// device — with its stored runs — moves back to the coordinator for the
+/// merge.  All implementations in this workspace account through
+/// `Arc<Stats>`, so the bound costs nothing.
+pub trait RunStorage: Send {
     /// Write a run; returns its handle.
     fn write_run(&mut self, run: Run) -> usize;
     /// Read a run back (consuming it from storage).
@@ -79,12 +85,12 @@ pub trait RunStorage {
 /// In-memory "external" storage that accounts spill traffic in [`Stats`].
 pub struct MemoryRunStorage {
     runs: Vec<Option<Run>>,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
 }
 
 impl MemoryRunStorage {
     /// New storage device accounting into `stats`.
-    pub fn new(stats: Rc<Stats>) -> Self {
+    pub fn new(stats: Arc<Stats>) -> Self {
         MemoryRunStorage {
             runs: Vec::new(),
             stats,
@@ -161,7 +167,7 @@ pub fn external_sort<I, S>(
     input: I,
     config: SortConfig,
     storage: &mut S,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> SortOutput
 where
     I: IntoIterator<Item = Row>,
@@ -172,11 +178,11 @@ where
 }
 
 /// Convenience: sort and collect (tests, small inputs).
-pub fn external_sort_collect<I>(input: I, config: SortConfig, stats: &Rc<Stats>) -> Vec<OvcRow>
+pub fn external_sort_collect<I>(input: I, config: SortConfig, stats: &Arc<Stats>) -> Vec<OvcRow>
 where
     I: IntoIterator<Item = Row>,
 {
-    let mut storage = MemoryRunStorage::new(Rc::clone(stats));
+    let mut storage = MemoryRunStorage::new(Arc::clone(stats));
     external_sort(input, config, &mut storage, stats).collect()
 }
 
@@ -190,7 +196,7 @@ pub fn external_sort_spec<I, S>(
     config: SortConfig,
     spec: &SortSpec,
     storage: &mut S,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> SortOutput
 where
     I: IntoIterator<Item = Row>,
@@ -229,7 +235,7 @@ pub fn external_sort_spec_to_run<I, S>(
     config: SortConfig,
     spec: &SortSpec,
     storage: &mut S,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Run
 where
     I: IntoIterator<Item = Row>,
@@ -246,12 +252,12 @@ pub fn external_sort_spec_collect<I>(
     input: I,
     config: SortConfig,
     spec: &SortSpec,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<OvcRow>
 where
     I: IntoIterator<Item = Row>,
 {
-    let mut storage = MemoryRunStorage::new(Rc::clone(stats));
+    let mut storage = MemoryRunStorage::new(Arc::clone(stats));
     external_sort_spec(input, config, spec, &mut storage, stats).collect()
 }
 
@@ -375,8 +381,8 @@ mod tests {
         let rows = random_rows(2000, 2, 1000, 5);
         let s_pq = Stats::new_shared();
         let s_rs = Stats::new_shared();
-        let mut st_pq = MemoryRunStorage::new(Rc::clone(&s_pq));
-        let mut st_rs = MemoryRunStorage::new(Rc::clone(&s_rs));
+        let mut st_pq = MemoryRunStorage::new(Arc::clone(&s_pq));
+        let mut st_rs = MemoryRunStorage::new(Arc::clone(&s_rs));
         let _ = external_sort(rows.clone(), SortConfig::new(2, 100), &mut st_pq, &s_pq).count();
         let _ = external_sort(
             rows,

@@ -52,7 +52,7 @@ pub use merge::{
 };
 pub use parallel::{
     parallel_generate_runs, parallel_generate_runs_spec, parallel_sort, parallel_sort_distinct,
-    parallel_sort_spec,
+    parallel_sort_spec, parallel_sort_spec_spilled,
 };
 pub use run_gen::{
     generate_runs, generate_runs_spec, sort_rows_ovc, sort_rows_ovc_spec, sort_rows_quicksort,

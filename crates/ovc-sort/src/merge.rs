@@ -9,7 +9,7 @@
 //! logic serves external sort steps, order-preserving "merging" exchange
 //! (Section 4.10), and LSM-forest scans and compaction (Section 4.11).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::{OvcStream, SortSpec, Stats};
 
@@ -19,32 +19,32 @@ use crate::tree::{FlatMerge, TreeOfLosers};
 /// Merge in-memory flat runs into one coded output stream (allocation-free
 /// until the stream materializes rows; use [`FlatMerge::into_run`] to stay
 /// flat end-to-end).
-pub fn merge_runs(runs: Vec<Run>, key_len: usize, stats: &Rc<Stats>) -> FlatMerge {
+pub fn merge_runs(runs: Vec<Run>, key_len: usize, stats: &Arc<Stats>) -> FlatMerge {
     merge_runs_spec_owned(runs, SortSpec::asc(key_len), stats)
 }
 
 /// Merge runs ordered under an arbitrary [`SortSpec`].
-pub fn merge_runs_spec(runs: Vec<Run>, spec: &SortSpec, stats: &Rc<Stats>) -> FlatMerge {
+pub fn merge_runs_spec(runs: Vec<Run>, spec: &SortSpec, stats: &Arc<Stats>) -> FlatMerge {
     merge_runs_spec_owned(runs, spec.clone(), stats)
 }
 
-fn merge_runs_spec_owned(runs: Vec<Run>, spec: SortSpec, stats: &Rc<Stats>) -> FlatMerge {
+fn merge_runs_spec_owned(runs: Vec<Run>, spec: SortSpec, stats: &Arc<Stats>) -> FlatMerge {
     debug_assert!(runs.iter().all(|r| r.sort_spec() == &spec));
-    FlatMerge::new(runs, spec, Rc::clone(stats))
+    FlatMerge::new(runs, spec, Arc::clone(stats))
 }
 
 /// Merge coded streams ordered under an arbitrary [`SortSpec`].
 pub fn merge_streams_spec<S: OvcStream>(
     inputs: Vec<S>,
     spec: &SortSpec,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> TreeOfLosers<S> {
     debug_assert!(inputs.iter().all(|s| s.sort_spec() == *spec));
-    TreeOfLosers::new_spec(inputs, spec.clone(), Rc::clone(stats))
+    TreeOfLosers::new_spec(inputs, spec.clone(), Arc::clone(stats))
 }
 
 /// Spec-aware [`merge_runs_to_run`].
-pub fn merge_runs_to_run_spec(runs: Vec<Run>, spec: &SortSpec, stats: &Rc<Stats>) -> Run {
+pub fn merge_runs_to_run_spec(runs: Vec<Run>, spec: &SortSpec, stats: &Arc<Stats>) -> Run {
     merge_runs_spec(runs, spec, stats).into_run()
 }
 
@@ -52,16 +52,16 @@ pub fn merge_runs_to_run_spec(runs: Vec<Run>, spec: &SortSpec, stats: &Rc<Stats>
 pub fn merge_streams<S: OvcStream>(
     inputs: Vec<S>,
     key_len: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> TreeOfLosers<S> {
     debug_assert!(inputs.iter().all(|s| s.key_len() == key_len));
-    TreeOfLosers::new(inputs, key_len, Rc::clone(stats))
+    TreeOfLosers::new(inputs, key_len, Arc::clone(stats))
 }
 
 /// Merge runs and materialize the result as a single flat run (used by
 /// intermediate external-merge steps and LSM compaction) — winner rows
 /// copy straight between contiguous buffers, no boxed row anywhere.
-pub fn merge_runs_to_run(runs: Vec<Run>, key_len: usize, stats: &Rc<Stats>) -> Run {
+pub fn merge_runs_to_run(runs: Vec<Run>, key_len: usize, stats: &Arc<Stats>) -> Run {
     merge_runs(runs, key_len, stats).into_run()
 }
 
@@ -116,7 +116,7 @@ mod tests {
         let via_cursors: Vec<_> = TreeOfLosers::new(
             runs.iter().map(|r| r.clone().cursor()).collect(),
             1,
-            Rc::clone(&stats),
+            Arc::clone(&stats),
         )
         .collect();
         let via_flat: Vec<_> = merge_runs(runs, 1, &stats).collect();

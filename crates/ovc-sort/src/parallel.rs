@@ -29,12 +29,12 @@
 //! here changes the counters, not the process footprint; real
 //! out-of-core parallel spilling is a ROADMAP item.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::thread;
 
 use ovc_core::{OvcRow, OvcStream, Row, SortSpec, Stats, StatsSnapshot};
 
-use crate::external::SortOutput;
+use crate::external::{RunStorage, SortOutput};
 use crate::merge::{merge_runs_spec, merge_runs_to_run_spec};
 use crate::run_gen::{generate_runs_spec, RunGenStrategy};
 use crate::runs::Run;
@@ -47,7 +47,7 @@ pub fn parallel_generate_runs(
     key_len: usize,
     threads: usize,
     memory_rows: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<Run> {
     parallel_generate_runs_spec(rows, &SortSpec::asc(key_len), threads, memory_rows, stats)
 }
@@ -62,7 +62,7 @@ pub fn parallel_generate_runs_spec(
     spec: &SortSpec,
     threads: usize,
     memory_rows: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<Run> {
     let threads = threads.clamp(1, rows.len().max(1));
     if threads <= 1 {
@@ -88,7 +88,7 @@ pub fn parallel_generate_runs_spec(
             .into_iter()
             .map(|chunk| {
                 scope.spawn(move || {
-                    // Per-thread counters: `Rc<Stats>` never crosses the
+                    // Per-thread counters: `Arc<Stats>` never crosses the
                     // thread boundary; only the snapshot does.
                     let local = Stats::new_shared();
                     let runs = generate_runs_spec(
@@ -125,7 +125,7 @@ fn reduce_to_fan_in(
     mut runs: Vec<Run>,
     spec: &SortSpec,
     fan_in: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
     post: impl Fn(Run) -> Run,
 ) -> Vec<Run> {
     let fan_in = fan_in.max(2);
@@ -153,7 +153,7 @@ pub fn parallel_sort(
     threads: usize,
     memory_rows: usize,
     fan_in: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> SortOutput {
     parallel_sort_spec(
         rows,
@@ -177,9 +177,98 @@ pub fn parallel_sort_spec(
     threads: usize,
     memory_rows: usize,
     fan_in: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> SortOutput {
     let runs = parallel_generate_runs_spec(rows, spec, threads, memory_rows, stats);
+    if runs.is_empty() {
+        return SortOutput::Memory(Run::empty_spec(spec.clone()).cursor());
+    }
+    let mut runs = reduce_to_fan_in(runs, spec, fan_in, stats, |run| run);
+    if runs.len() == 1 {
+        return SortOutput::Memory(runs.pop().expect("one run").cursor());
+    }
+    SortOutput::Merge(merge_runs_spec(runs, spec, stats))
+}
+
+/// [`parallel_sort_spec`] with **per-worker spill devices**: each worker
+/// thread builds its own [`RunStorage`] via `make_storage`, spills every
+/// run it generates, and the device — runs and all — moves back to the
+/// coordinator, which reads the runs back for the bounded-fan-in merge.
+///
+/// This is the out-of-core regime the resident [`parallel_sort_spec`]
+/// skips: every input row is spilled exactly once and read back exactly
+/// once (the Figure 6 sort-plan property), now with the spill bandwidth
+/// spread across workers.  It is also the function that *forces*
+/// `RunStorage: Send` — devices are created on worker threads and
+/// consumed on the caller's.  Accounting flows through whatever `Stats`
+/// handle the factory bakes into each device (shared `Arc<Stats>` now
+/// crosses threads, so `|| MemoryRunStorage::new(Arc::clone(&stats))`
+/// simply works); comparison counters from run generation land in
+/// `stats` via per-thread snapshots as in [`parallel_sort_spec`].
+///
+/// Output rows and codes are byte-identical to
+/// [`crate::external::external_sort_spec`] over the same input.
+pub fn parallel_sort_spec_spilled<S, F>(
+    rows: Vec<Row>,
+    spec: &SortSpec,
+    threads: usize,
+    memory_rows: usize,
+    fan_in: usize,
+    make_storage: F,
+    stats: &Arc<Stats>,
+) -> SortOutput
+where
+    S: RunStorage,
+    F: Fn() -> S + Send + Sync,
+{
+    let threads = threads.clamp(1, rows.len().max(1));
+    let chunk_len = rows.len().div_ceil(threads.max(1)).max(1);
+    let mut chunks: Vec<Vec<Row>> = Vec::with_capacity(threads);
+    let mut rest = rows;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+
+    // Each worker: generate runs from its slice, spill every run into its
+    // own device, send the loaded device home.
+    let results: Vec<(S, Vec<usize>, StatsSnapshot)> = thread::scope(|scope| {
+        let workers: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let make_storage = &make_storage;
+                scope.spawn(move || {
+                    let local = Stats::new_shared();
+                    let mut device = make_storage();
+                    let runs = generate_runs_spec(
+                        chunk,
+                        spec,
+                        memory_rows,
+                        RunGenStrategy::OvcPriorityQueue,
+                        &local,
+                    );
+                    let handles: Vec<usize> =
+                        runs.into_iter().map(|r| device.write_run(r)).collect();
+                    (device, handles, local.snapshot())
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("spilling run-generation worker panicked"))
+            .collect()
+    });
+
+    // Coordinator: absorb worker comparison counts, read every spilled
+    // run back, merge with bounded fan-in exactly like the resident path.
+    let mut runs = Vec::new();
+    for (mut device, handles, snapshot) in results {
+        stats.absorb(&snapshot);
+        for h in handles {
+            runs.push(device.read_run(h));
+        }
+    }
     if runs.is_empty() {
         return SortOutput::Memory(Run::empty_spec(spec.clone()).cursor());
     }
@@ -196,7 +285,7 @@ pub fn parallel_sort_collect(
     key_len: usize,
     threads: usize,
     memory_rows: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<OvcRow> {
     parallel_sort(rows, key_len, threads, memory_rows, 128, stats).collect()
 }
@@ -212,7 +301,7 @@ pub fn parallel_sort_distinct(
     threads: usize,
     memory_rows: usize,
     fan_in: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> impl OvcStream {
     let spec = SortSpec::asc(key_len);
     let runs: Vec<Run> = parallel_generate_runs(rows, key_len, threads, memory_rows, stats)
@@ -369,6 +458,75 @@ mod tests {
         let par: Vec<OvcRow> =
             parallel_sort_spec(rows, &spec, 4, 128, 8, &Stats::new_shared()).collect();
         assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn spilled_parallel_sort_matches_serial_and_spills_once() {
+        use crate::MemoryRunStorage;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let rows = random_rows(4000, 3, 11, 8);
+        let spec = SortSpec::asc(3);
+        let ser =
+            external_sort_collect(rows.clone(), SortConfig::new(3, 256), &Stats::new_shared());
+        for threads in [1usize, 2, 4] {
+            let stats = Stats::new_shared();
+            let devices = AtomicUsize::new(0);
+            let par: Vec<OvcRow> = parallel_sort_spec_spilled(
+                rows.clone(),
+                &spec,
+                threads,
+                256,
+                8,
+                || {
+                    devices.fetch_add(1, Ordering::Relaxed);
+                    // Shared Arc<Stats> crosses into the worker — the
+                    // capability the Send refactor bought.
+                    MemoryRunStorage::new(Arc::clone(&stats))
+                },
+                &stats,
+            )
+            .collect();
+            assert_eq!(par, ser, "threads={threads}");
+            // One device per worker, created on that worker's thread.
+            assert_eq!(devices.load(Ordering::Relaxed), threads);
+            // The Figure 6 sort-plan property survives the fan-out: every
+            // row spilled exactly once and read back exactly once.
+            assert_eq!(stats.rows_spilled(), 4000, "threads={threads}");
+            assert_eq!(stats.rows_read_back(), 4000, "threads={threads}");
+            let pairs: Vec<(Row, Ovc)> = par.into_iter().map(|r| (r.row, r.code)).collect();
+            assert_codes_exact(&pairs, 3);
+        }
+    }
+
+    #[test]
+    fn spilled_parallel_sort_mixed_directions() {
+        use crate::MemoryRunStorage;
+        use ovc_core::derive::assert_codes_exact_spec;
+        use ovc_core::spec::Direction;
+
+        let rows = random_rows(2500, 2, 7, 9);
+        let spec = SortSpec::with_dirs(&[Direction::Desc, Direction::Asc]);
+        let ser = external_sort_spec_collect(
+            rows.clone(),
+            SortConfig::new(2, 128),
+            &spec,
+            &Stats::new_shared(),
+        );
+        let stats = Stats::new_shared();
+        let par: Vec<OvcRow> = parallel_sort_spec_spilled(
+            rows,
+            &spec,
+            4,
+            128,
+            8,
+            || MemoryRunStorage::new(Arc::clone(&stats)),
+            &stats,
+        )
+        .collect();
+        assert_eq!(par, ser);
+        let pairs: Vec<(Row, Ovc)> = par.into_iter().map(|r| (r.row, r.code)).collect();
+        assert_codes_exact_spec(&pairs, &spec);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! the stream contract intact.
 
 use std::cmp::Ordering;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::compare::{compare_same_base, derive_code, full_compare_set_loser};
 use ovc_core::{Ovc, OvcRow, Row, Stats};
@@ -75,11 +75,11 @@ struct Selector<I: Iterator<Item = Row>> {
     cap: usize,
     key_len: usize,
     next_id: u64,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
 }
 
 impl<I: Iterator<Item = Row>> Selector<I> {
-    fn new(mut input: I, key_len: usize, capacity: usize, stats: Rc<Stats>) -> Self {
+    fn new(mut input: I, key_len: usize, capacity: usize, stats: Arc<Stats>) -> Self {
         let cap = capacity.next_power_of_two().max(1);
         let mut slots: Vec<Option<Row>> = Vec::with_capacity(capacity);
         let mut initial: Vec<Entry> = Vec::with_capacity(capacity);
@@ -279,13 +279,13 @@ pub fn generate_runs_replacement<I>(
     input: I,
     key_len: usize,
     capacity: usize,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<Run>
 where
     I: IntoIterator<Item = Row>,
 {
     assert!(capacity > 0);
-    let mut sel = Selector::new(input.into_iter(), key_len, capacity, Rc::clone(stats));
+    let mut sel = Selector::new(input.into_iter(), key_len, capacity, Arc::clone(stats));
     let mut runs: Vec<Run> = Vec::new();
     let mut cur: Vec<OvcRow> = Vec::new();
     let mut cur_run = 0u32;

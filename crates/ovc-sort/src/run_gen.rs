@@ -18,7 +18,7 @@
 //! output run's flat storage.  No boxed row is moved, allocated, or
 //! dropped anywhere in the hot loop.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::compare::{compare_keys_counted, derive_code, derive_code_spec};
 use ovc_core::{FlatRows, Ovc, Row, SortSpec, Stats};
@@ -82,7 +82,7 @@ fn sort_flat(
     values: &[u64],
     spec: &SortSpec,
     strategy: RunGenStrategy,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Run {
     if n == 0 {
         return Run::empty_spec(spec.clone());
@@ -99,7 +99,7 @@ fn sort_flat(
 
 /// Sort rows into one run using a tree-of-losers priority queue over
 /// single-row inputs.  Codes are a by-product of the tournament.
-pub fn sort_rows_ovc(rows: Vec<Row>, key_len: usize, stats: &Rc<Stats>) -> Run {
+pub fn sort_rows_ovc(rows: Vec<Row>, key_len: usize, stats: &Arc<Stats>) -> Run {
     sort_rows_ovc_spec(rows, &SortSpec::asc(key_len), stats)
 }
 
@@ -109,7 +109,7 @@ pub fn sort_rows_ovc(rows: Vec<Row>, key_len: usize, stats: &Rc<Stats>) -> Run {
 /// comparing order-preserving byte strings (the IBM CFC regime — one
 /// normalization pass charged as `N × K` column accesses, then pure byte
 /// comparisons) and codes are derived in a linear pass.
-pub fn sort_rows_ovc_spec(rows: Vec<Row>, spec: &SortSpec, stats: &Rc<Stats>) -> Run {
+pub fn sort_rows_ovc_spec(rows: Vec<Row>, spec: &SortSpec, stats: &Arc<Stats>) -> Run {
     let (n, width, values) = flatten_values(rows);
     sort_flat(
         n,
@@ -132,7 +132,7 @@ fn flat_tournament_sort(
     width: usize,
     values: &[u64],
     spec: &SortSpec,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Run {
     let k = spec.len();
     let asc = spec.is_asc_prefix();
@@ -182,7 +182,7 @@ fn flat_tournament_sort(
 /// Sort rows with stable full-key comparisons over an index permutation,
 /// then derive codes in a linear pass while gathering the sorted flat
 /// output.  The conventional method the paper improves on.
-pub fn sort_rows_quicksort(rows: Vec<Row>, key_len: usize, stats: &Rc<Stats>) -> Run {
+pub fn sort_rows_quicksort(rows: Vec<Row>, key_len: usize, stats: &Arc<Stats>) -> Run {
     sort_rows_quicksort_spec(rows, &SortSpec::asc(key_len), stats)
 }
 
@@ -191,7 +191,7 @@ fn sort_flat_quicksort(
     width: usize,
     values: &[u64],
     spec: &SortSpec,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Run {
     let k = spec.len();
     let key = |i: u32| -> &[u64] {
@@ -228,7 +228,7 @@ fn sort_flat_normalized(
     width: usize,
     values: &[u64],
     spec: &SortSpec,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Run {
     let k = spec.len();
     stats.count_col_cmps((n * k) as u64);
@@ -241,7 +241,7 @@ fn sort_flat_normalized(
 
 /// Direction-aware [`sort_rows_quicksort`]: full-key comparisons under
 /// the spec over an index permutation, then a linear code-priming pass.
-pub fn sort_rows_quicksort_spec(rows: Vec<Row>, spec: &SortSpec, stats: &Rc<Stats>) -> Run {
+pub fn sort_rows_quicksort_spec(rows: Vec<Row>, spec: &SortSpec, stats: &Arc<Stats>) -> Run {
     let (n, width, values) = flatten_values(rows);
     sort_flat(n, width, &values, spec, RunGenStrategy::Quicksort, stats)
 }
@@ -254,7 +254,7 @@ fn gather_with_codes(
     width: usize,
     values: &[u64],
     spec: &SortSpec,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Run {
     let k = spec.len();
     let asc = spec.is_asc_prefix();
@@ -294,7 +294,7 @@ pub fn generate_runs<I>(
     key_len: usize,
     memory_rows: usize,
     strategy: RunGenStrategy,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<Run>
 where
     I: IntoIterator<Item = Row>,
@@ -314,7 +314,7 @@ fn generate_runs_flat<I>(
     spec: &SortSpec,
     memory_rows: usize,
     strategy: RunGenStrategy,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<Run>
 where
     I: IntoIterator<Item = Row>,
@@ -345,7 +345,7 @@ pub fn generate_runs_spec<I>(
     spec: &SortSpec,
     memory_rows: usize,
     strategy: RunGenStrategy,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> Vec<Run>
 where
     I: IntoIterator<Item = Row>,

@@ -13,7 +13,7 @@
 //! describes ("all offsets within a segment are cut to the size of (A) …
 //! to be extended again by the sort within each segment").
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::{Ovc, OvcRow, OvcStream, Row, Stats};
 
@@ -31,14 +31,14 @@ pub struct SegmentedSort<S: OvcStream> {
     out_key_len: usize,
     /// Clamped boundary code of the segment currently buffered.
     segment: std::vec::IntoIter<OvcRow>,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
     first_segment: bool,
 }
 
 impl<S: OvcStream> SegmentedSort<S> {
     /// Build the operator.  Panics unless
     /// `seg_len <= input.key_len()` and `seg_len <= out_key_len`.
-    pub fn new(input: S, seg_len: usize, out_key_len: usize, stats: Rc<Stats>) -> Self {
+    pub fn new(input: S, seg_len: usize, out_key_len: usize, stats: Arc<Stats>) -> Self {
         let in_key_len = input.key_len();
         assert!(
             seg_len <= in_key_len,
@@ -92,7 +92,7 @@ impl<S: OvcStream> SegmentedSort<S> {
         // Sort the segment on the suffix columns only; the shared
         // segmentation-key prefix never needs another comparison.
         let (seg_len, out_key_len) = (self.seg_len, self.out_key_len);
-        let stats = Rc::clone(&self.stats);
+        let stats = Arc::clone(&self.stats);
         rows.sort_by(|a, b| {
             for i in seg_len..out_key_len {
                 stats.count_col_cmp();
@@ -204,7 +204,7 @@ mod tests {
         // arity 1 are concerned.
         let input = VecStream::from_sorted_rows(rows, 1);
         let stats = Stats::new_shared();
-        let seg = SegmentedSort::new(input, 1, 2, Rc::clone(&stats));
+        let seg = SegmentedSort::new(input, 1, 2, Arc::clone(&stats));
         let pairs = collect_pairs(seg);
         assert_eq!(pairs.len(), 300);
         assert_codes_exact(&pairs, 2);
@@ -221,7 +221,7 @@ mod tests {
         let rows: Vec<Row> = (0..100).map(|i| Row::new(vec![i, 100 - i])).collect();
         let input = VecStream::from_sorted_rows(rows, 1);
         let stats = Stats::new_shared();
-        let seg = SegmentedSort::new(input, 1, 2, Rc::clone(&stats));
+        let seg = SegmentedSort::new(input, 1, 2, Arc::clone(&stats));
         let pairs = collect_pairs(seg);
         assert_eq!(pairs.len(), 100);
         assert_codes_exact(&pairs, 2);
@@ -247,7 +247,7 @@ mod tests {
             1,
         );
         let stats = Stats::new_shared();
-        let seg = SegmentedSort::new(input, 1, 2, Rc::clone(&stats));
+        let seg = SegmentedSort::new(input, 1, 2, Arc::clone(&stats));
         let pairs = collect_pairs(seg);
         assert_eq!(pairs.len(), 50);
         assert_codes_exact(&pairs, 2);

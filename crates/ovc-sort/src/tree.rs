@@ -30,7 +30,7 @@
 //! comparison of offset-value codes is practically free", Section 5).
 
 use std::cmp::Ordering;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::compare::{compare_same_base, compare_same_base_spec};
 use ovc_core::{FlatRows, Ovc, OvcRow, OvcStream, Row, SortSpec, Stats};
@@ -201,13 +201,13 @@ pub struct TreeOfLosers<C: Iterator<Item = OvcRow>> {
     /// Cached `spec.is_asc_prefix()` — selects the direction-free
     /// comparator in [`play_entries`].
     asc: bool,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
 }
 
 impl<C: Iterator<Item = OvcRow>> TreeOfLosers<C> {
     /// Build the queue over the given cursors with the default
     /// all-ascending ordering on the leading `key_len` columns.
-    pub fn new(cursors: Vec<C>, key_len: usize, stats: Rc<Stats>) -> Self {
+    pub fn new(cursors: Vec<C>, key_len: usize, stats: Arc<Stats>) -> Self {
         Self::new_spec(cursors, SortSpec::asc(key_len), stats)
     }
 
@@ -217,7 +217,7 @@ impl<C: Iterator<Item = OvcRow>> TreeOfLosers<C> {
     /// same same-base code comparison as the ascending case — the spec
     /// only changes which direction column comparisons resolve in and
     /// how loser values are re-encoded ([`compare_same_base_spec`]).
-    pub fn new_spec(mut cursors: Vec<C>, spec: SortSpec, stats: Rc<Stats>) -> Self {
+    pub fn new_spec(mut cursors: Vec<C>, spec: SortSpec, stats: Arc<Stats>) -> Self {
         let f = cursors.len();
         let cap = f.next_power_of_two().max(1);
         let mut cur = Vec::with_capacity(f);
@@ -274,7 +274,7 @@ impl<C: Iterator<Item = OvcRow>> TreeOfLosers<C> {
     }
 
     /// The shared statistics handle.
-    pub fn stats(&self) -> &Rc<Stats> {
+    pub fn stats(&self) -> &Arc<Stats> {
         &self.stats
     }
 
@@ -368,12 +368,12 @@ pub struct FlatMerge {
     width: usize,
     spec: SortSpec,
     asc: bool,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
 }
 
 impl FlatMerge {
     /// Build the merge over flat runs ordered (and coded) under `spec`.
-    pub fn new(runs: Vec<Run>, spec: SortSpec, stats: Rc<Stats>) -> Self {
+    pub fn new(runs: Vec<Run>, spec: SortSpec, stats: Arc<Stats>) -> Self {
         debug_assert!(runs.iter().all(|r| r.sort_spec() == &spec));
         let width = runs
             .iter()
@@ -587,7 +587,7 @@ mod tests {
     fn single_run_passes_through() {
         let a = stream_of(vec![vec![2], vec![3], vec![9]], 1);
         let stats = Stats::new_shared();
-        let tree = TreeOfLosers::new(vec![a], 1, Rc::clone(&stats));
+        let tree = TreeOfLosers::new(vec![a], 1, Arc::clone(&stats));
         let pairs = collect_pairs(tree);
         assert_eq!(pairs.len(), 3);
         assert_codes_exact(&pairs, 1);
@@ -658,7 +658,7 @@ mod tests {
             runs.push(VecStream::from_sorted_rows(rows, 3));
         }
         let stats = Stats::new_shared();
-        let tree = TreeOfLosers::new(runs, 3, Rc::clone(&stats));
+        let tree = TreeOfLosers::new(runs, 3, Arc::clone(&stats));
         let pairs = collect_pairs(tree);
         assert_eq!(pairs.len() as u64, n);
         assert_codes_exact(&pairs, 3);

@@ -18,7 +18,7 @@
 //! * **scan** merges all runs the same way, delivering one coded stream to
 //!   query processing.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::{Row, Stats};
 use ovc_sort::{merge_runs_to_run, sort_rows_ovc, Run, RunCursor, TreeOfLosers};
@@ -42,13 +42,13 @@ pub struct LsmForest {
     config: LsmConfig,
     /// `levels[0]` holds the newest (smallest) runs.
     levels: Vec<Vec<Run>>,
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
     total_rows: usize,
 }
 
 impl LsmForest {
     /// An empty forest.
-    pub fn new(key_len: usize, config: LsmConfig, stats: Rc<Stats>) -> Self {
+    pub fn new(key_len: usize, config: LsmConfig, stats: Arc<Stats>) -> Self {
         assert!(config.fanout >= 2);
         LsmForest {
             key_len,
@@ -140,7 +140,7 @@ impl LsmForest {
             .flatten()
             .map(|r| r.clone().cursor())
             .collect();
-        TreeOfLosers::new(cursors, self.key_len, Rc::clone(&self.stats))
+        TreeOfLosers::new(cursors, self.key_len, Arc::clone(&self.stats))
     }
 
     /// Point lookup: all rows matching the full key, newest level first
@@ -175,7 +175,7 @@ impl LsmForest {
     /// that own the forest).
     pub fn into_scan(self) -> TreeOfLosers<RunCursor> {
         let key_len = self.key_len;
-        let stats = Rc::clone(&self.stats);
+        let stats = Arc::clone(&self.stats);
         let cursors: Vec<RunCursor> = self.levels.into_iter().flatten().map(Run::cursor).collect();
         TreeOfLosers::new(cursors, key_len, stats)
     }
@@ -186,12 +186,12 @@ impl LsmForest {
 /// merge is itself a tree-of-losers over the forests' merge trees.
 pub fn merge_forest_scans(
     forests: Vec<LsmForest>,
-    stats: &Rc<Stats>,
+    stats: &Arc<Stats>,
 ) -> TreeOfLosers<TreeOfLosers<RunCursor>> {
     let key_len = forests.first().map(|f| f.key_len()).unwrap_or(0);
     let scans: Vec<TreeOfLosers<RunCursor>> =
         forests.into_iter().map(LsmForest::into_scan).collect();
-    TreeOfLosers::new(scans, key_len, Rc::clone(stats))
+    TreeOfLosers::new(scans, key_len, Arc::clone(stats))
 }
 
 #[cfg(test)]
@@ -218,7 +218,7 @@ mod tests {
     fn ingest_scan_round_trip() {
         let mut rng = StdRng::seed_from_u64(1);
         let stats = Stats::new_shared();
-        let mut forest = LsmForest::new(2, LsmConfig::default(), Rc::clone(&stats));
+        let mut forest = LsmForest::new(2, LsmConfig::default(), Arc::clone(&stats));
         let mut all: Vec<Row> = Vec::new();
         for _ in 0..10 {
             let b = batch(100, &mut rng);
@@ -241,7 +241,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let stats = Stats::new_shared();
         let cfg = LsmConfig { fanout: 3 };
-        let mut forest = LsmForest::new(2, cfg, Rc::clone(&stats));
+        let mut forest = LsmForest::new(2, cfg, Arc::clone(&stats));
         for _ in 0..40 {
             forest.ingest(batch(20, &mut rng));
         }
@@ -256,7 +256,7 @@ mod tests {
     fn major_compact_leaves_single_run() {
         let mut rng = StdRng::seed_from_u64(3);
         let stats = Stats::new_shared();
-        let mut forest = LsmForest::new(2, LsmConfig::default(), Rc::clone(&stats));
+        let mut forest = LsmForest::new(2, LsmConfig::default(), Arc::clone(&stats));
         for _ in 0..7 {
             forest.ingest(batch(30, &mut rng));
         }
@@ -270,7 +270,7 @@ mod tests {
     #[test]
     fn lookup_finds_all_versions() {
         let stats = Stats::new_shared();
-        let mut forest = LsmForest::new(1, LsmConfig { fanout: 2 }, Rc::clone(&stats));
+        let mut forest = LsmForest::new(1, LsmConfig { fanout: 2 }, Arc::clone(&stats));
         forest.ingest(vec![Row::new(vec![5, 100]), Row::new(vec![6, 101])]);
         forest.ingest(vec![Row::new(vec![5, 200])]);
         forest.ingest(vec![Row::new(vec![7, 300]), Row::new(vec![5, 300])]);
@@ -301,7 +301,7 @@ mod tests {
         // N*K column comparisons per merge level.
         let mut rng = StdRng::seed_from_u64(4);
         let stats = Stats::new_shared();
-        let mut forest = LsmForest::new(2, LsmConfig { fanout: 4 }, Rc::clone(&stats));
+        let mut forest = LsmForest::new(2, LsmConfig { fanout: 4 }, Arc::clone(&stats));
         let mut n = 0u64;
         for _ in 0..16 {
             let b = batch(50, &mut rng);

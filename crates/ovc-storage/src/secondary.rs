@@ -18,7 +18,7 @@
 //! the set operations and merge join of `ovc-exec` — see the
 //! `secondary_index` integration tests.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::{Ovc, OvcRow, Row, Stats, Value, VecStream};
 use ovc_sort::{Run, RunCursor, TreeOfLosers};
@@ -105,25 +105,25 @@ impl SecondaryIndex {
     /// tree-of-losers merge of the per-value lists, producing exact codes
     /// for the merged list (Section 4.11's "range queries need to merge
     /// lists of row identifiers").
-    pub fn scan_range(&self, lo: Value, hi: Value, stats: &Rc<Stats>) -> TreeOfLosers<RunCursor> {
+    pub fn scan_range(&self, lo: Value, hi: Value, stats: &Arc<Stats>) -> TreeOfLosers<RunCursor> {
         let from = self.entries.partition_point(|(v, _)| *v < lo);
         let to = self.entries.partition_point(|(v, _)| *v < hi);
         let cursors: Vec<RunCursor> = self.entries[from..to]
             .iter()
             .map(|(_, list)| Run::from_coded(list.clone(), 1).cursor())
             .collect();
-        TreeOfLosers::new(cursors, 1, Rc::clone(stats))
+        TreeOfLosers::new(cursors, 1, Arc::clone(stats))
     }
 
     /// Coded RID stream for an IN-list predicate — MDAM-style merging of
     /// several disjoint lists.
-    pub fn scan_in(&self, values: &[Value], stats: &Rc<Stats>) -> TreeOfLosers<RunCursor> {
+    pub fn scan_in(&self, values: &[Value], stats: &Arc<Stats>) -> TreeOfLosers<RunCursor> {
         let cursors: Vec<RunCursor> = values
             .iter()
             .filter_map(|&v| self.list_for(v))
             .map(|list| Run::from_coded(list.to_vec(), 1).cursor())
             .collect();
-        TreeOfLosers::new(cursors, 1, Rc::clone(stats))
+        TreeOfLosers::new(cursors, 1, Arc::clone(stats))
     }
 
     /// Index-only scan in RID order: `(rid, value)` rows sorted by RID with

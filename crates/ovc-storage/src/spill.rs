@@ -7,7 +7,7 @@
 //! images through `std::fs` for runs that should genuinely leave memory.
 
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::Stats;
 use ovc_sort::{Run, RunStorage};
@@ -45,12 +45,12 @@ impl SpillFormat {
 /// In-memory spill device storing encoded (prefix-truncated) run images.
 pub struct EncodedRunStorage {
     blobs: Vec<Option<(Vec<u8>, u64)>>, // (bytes, row count)
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
 }
 
 impl EncodedRunStorage {
     /// New device accounting into `stats`.
-    pub fn new(stats: Rc<Stats>) -> Self {
+    pub fn new(stats: Arc<Stats>) -> Self {
         EncodedRunStorage {
             blobs: Vec::new(),
             stats,
@@ -88,7 +88,7 @@ impl RunStorage for EncodedRunStorage {
 pub struct FileRunStorage {
     dir: PathBuf,
     files: Vec<Option<(PathBuf, u64, u64)>>, // (path, rows, bytes)
-    stats: Rc<Stats>,
+    stats: Arc<Stats>,
     next_id: u64,
     format: SpillFormat,
 }
@@ -96,14 +96,14 @@ pub struct FileRunStorage {
 impl FileRunStorage {
     /// As [`FileRunStorage::new`], spilling raw flat words instead of
     /// prefix-truncated images (cheaper encode/decode, more bytes).
-    pub fn new_raw(stats: Rc<Stats>) -> std::io::Result<Self> {
+    pub fn new_raw(stats: Arc<Stats>) -> std::io::Result<Self> {
         let mut s = Self::new(stats)?;
         s.format = SpillFormat::RawWords;
         Ok(s)
     }
 
     /// Create a scratch directory under the system temp dir.
-    pub fn new(stats: Rc<Stats>) -> std::io::Result<Self> {
+    pub fn new(stats: Arc<Stats>) -> std::io::Result<Self> {
         let dir = std::env::temp_dir().join(format!(
             "ovc-spill-{}-{:x}",
             std::process::id(),
@@ -177,7 +177,7 @@ mod tests {
     #[test]
     fn encoded_storage_round_trip() {
         let stats = Stats::new_shared();
-        let mut storage = EncodedRunStorage::new(Rc::clone(&stats));
+        let mut storage = EncodedRunStorage::new(Arc::clone(&stats));
         let run = Run::from_sorted_rows(ovc_core::table1::rows(), 4);
         let h = storage.write_run(run.clone());
         assert_eq!(storage.stored_runs(), 1);
@@ -194,7 +194,7 @@ mod tests {
     fn external_sort_through_encoded_storage() {
         let rows = random_rows(600, 9);
         let stats = Stats::new_shared();
-        let mut storage = EncodedRunStorage::new(Rc::clone(&stats));
+        let mut storage = EncodedRunStorage::new(Arc::clone(&stats));
         let out: Vec<_> =
             external_sort(rows, SortConfig::new(2, 64), &mut storage, &stats).collect();
         assert_eq!(out.len(), 600);
@@ -206,7 +206,7 @@ mod tests {
     #[test]
     fn file_storage_round_trip() {
         let stats = Stats::new_shared();
-        let mut storage = FileRunStorage::new(Rc::clone(&stats)).expect("tempdir");
+        let mut storage = FileRunStorage::new(Arc::clone(&stats)).expect("tempdir");
         let dir = storage.dir().clone();
         assert!(dir.exists());
         let mut rows = random_rows(100, 3);
@@ -226,12 +226,12 @@ mod tests {
         let run = Run::from_sorted_rows(rows, 2);
 
         let s_enc = Stats::new_shared();
-        let mut enc = FileRunStorage::new(Rc::clone(&s_enc)).expect("tempdir");
+        let mut enc = FileRunStorage::new(Arc::clone(&s_enc)).expect("tempdir");
         let h = enc.write_run(run.clone());
         assert_eq!(enc.read_run(h).flat(), run.flat());
 
         let s_raw = Stats::new_shared();
-        let mut raw = FileRunStorage::new_raw(Rc::clone(&s_raw)).expect("tempdir");
+        let mut raw = FileRunStorage::new_raw(Arc::clone(&s_raw)).expect("tempdir");
         let h = raw.write_run(run.clone());
         assert_eq!(raw.read_run(h).flat(), run.flat());
 
@@ -248,7 +248,7 @@ mod tests {
     fn file_storage_external_sort() {
         let rows = random_rows(400, 11);
         let stats = Stats::new_shared();
-        let mut storage = FileRunStorage::new(Rc::clone(&stats)).expect("tempdir");
+        let mut storage = FileRunStorage::new(Arc::clone(&stats)).expect("tempdir");
         let out: Vec<_> =
             external_sort(rows, SortConfig::new(2, 50), &mut storage, &stats).collect();
         assert_eq!(out.len(), 400);

@@ -6,7 +6,7 @@
 //! volume, and comparison counts.  Scale with an argument:
 //! `cargo run --release --example intersect_distinct -- 2000000`
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ovc_baseline::hash_intersect_distinct;
@@ -46,8 +46,8 @@ fn main() {
 
     // Sort-based plan.
     let ss = Stats::new_shared();
-    let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
-    let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
+    let mut s1 = MemoryRunStorage::new(Arc::clone(&ss));
+    let mut s2 = MemoryRunStorage::new(Arc::clone(&ss));
     let cfg = IntersectConfig {
         key_len: 1,
         memory_rows: mem,

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example lsm_compaction`
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_bench::workload::{table, TableSpec};
 use ovc_core::Stats;
@@ -26,7 +26,7 @@ fn main() {
 
     println!("=== LSM forest: ingest, compact, scan (the Napa workload) ===\n");
     let stats = Stats::new_shared();
-    let mut forest = LsmForest::new(key_cols, LsmConfig { fanout: 4 }, Rc::clone(&stats));
+    let mut forest = LsmForest::new(key_cols, LsmConfig { fanout: 4 }, Arc::clone(&stats));
 
     for i in 0..batches {
         let spec = TableSpec {
@@ -62,7 +62,7 @@ fn main() {
     println!("query: select k1, k2, count(*) group by k1, k2\n");
     let scan = forest.scan();
     let before = stats.snapshot();
-    let grouped = GroupAggregate::new(scan, 2, vec![Aggregate::Count], Rc::clone(&stats));
+    let grouped = GroupAggregate::new(scan, 2, vec![Aggregate::Count], Arc::clone(&stats));
     let mut groups = 0usize;
     let mut max_count = 0u64;
     for g in grouped {

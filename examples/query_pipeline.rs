@@ -18,7 +18,7 @@
 //!
 //! Run with: `cargo run --release --example query_pipeline`
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_bench::workload::{table, TableSpec};
 use ovc_core::derive::assert_codes_exact;
@@ -58,7 +58,7 @@ fn main() {
     let mark = stats.snapshot();
 
     // 2. Filter: codes by the filter theorem.
-    let filtered = Filter::new(scan, |r: &Row| r.cols()[1] != 0, Rc::clone(&stats));
+    let filtered = Filter::new(scan, |r: &Row| r.cols()[1] != 0, Arc::clone(&stats));
 
     // 3. Merge join with the dimension (sorted stream with derived codes).
     let dim_stream = VecStream::from_sorted_rows(dim, 1);
@@ -69,7 +69,7 @@ fn main() {
         JoinType::Inner,
         2,
         2,
-        Rc::clone(&stats),
+        Arc::clone(&stats),
     );
 
     // 4. Order-preserving split into 4 partitions by region.
@@ -84,7 +84,7 @@ fn main() {
             p,
             1,
             vec![Aggregate::Min(1), Aggregate::Count, Aggregate::Sum(2)],
-            Rc::clone(&stats),
+            Arc::clone(&stats),
         )
         .collect();
         grouped_parts.push(VecStream::from_coded(grouped, 1));

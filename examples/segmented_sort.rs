@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example segmented_sort`
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ovc_core::{Row, Stats, VecStream};
@@ -43,7 +43,7 @@ fn main() {
     let stats_seg = Stats::new_shared();
     let stream = VecStream::from_sorted_rows(input.clone(), 1);
     let start = Instant::now();
-    let seg = SegmentedSort::new(stream, 1, 2, Rc::clone(&stats_seg));
+    let seg = SegmentedSort::new(stream, 1, 2, Arc::clone(&stats_seg));
     let seg_out: Vec<_> = seg.collect();
     let t_seg = start.elapsed();
 

@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release --example tree_of_losers_demo`
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::{Row, Stats, VecStream};
 use ovc_sort::TreeOfLosers;
@@ -42,7 +42,7 @@ fn main() {
         .iter()
         .map(|r| VecStream::from_sorted_rows(r.clone(), 3))
         .collect();
-    let tree = TreeOfLosers::new(cursors, 3, Rc::clone(&stats));
+    let tree = TreeOfLosers::new(cursors, 3, Arc::clone(&stats));
 
     println!("merging {} runs of 3-character strings\n", runs.len());
     println!(

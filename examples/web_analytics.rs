@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --release --example web_analytics`
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ovc_baseline::GroupFullCompare;
@@ -43,7 +43,7 @@ fn main() {
         // in one operator (GroupCountDistinct).
         let stats_ovc = Stats::new_shared();
         let start = Instant::now();
-        let grouped = GroupCountDistinct::new(input, group_len, Rc::clone(&stats_ovc));
+        let grouped = GroupCountDistinct::new(input, group_len, Arc::clone(&stats_ovc));
         let groups_ovc: usize = grouped.count();
         let t_ovc = start.elapsed();
 
@@ -56,7 +56,7 @@ fn main() {
             distinct,
             group_len,
             vec![Aggregate::Count],
-            Rc::clone(&stats_full),
+            Arc::clone(&stats_full),
         );
         let groups_full: usize = grouped.count();
         let t_full = start.elapsed();

@@ -10,6 +10,7 @@ pub use ovc_bench as bench;
 pub use ovc_core as core;
 pub use ovc_exec as exec;
 pub use ovc_plan as plan;
+pub use ovc_server as server;
 pub use ovc_sort as sort;
 pub use ovc_storage as storage;
 

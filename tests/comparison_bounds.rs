@@ -5,7 +5,7 @@
 //! claim directly with the instrumented comparators, including the
 //! linear-growth (no log factor) check across doubling input sizes.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::{Row, Stats};
 use ovc_exec::{JoinType, MergeJoin};
@@ -85,7 +85,7 @@ fn merge_join_column_comparisons_bounded() {
         let stats = Stats::new_shared();
         let l = ovc_core::VecStream::from_unsorted_rows(rows(n, k, 8, 13), k);
         let r = ovc_core::VecStream::from_unsorted_rows(rows(n, k, 8, 14), k);
-        let join = MergeJoin::new(l, r, k, JoinType::Inner, k, k, Rc::clone(&stats));
+        let join = MergeJoin::new(l, r, k, JoinType::Inner, k, k, Arc::clone(&stats));
         let _ = join.count();
         assert!(
             stats.col_value_cmps() <= (2 * n * k) as u64,

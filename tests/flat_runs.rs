@@ -6,7 +6,7 @@
 //! and normalized-key `SortSpec`s — and spilled flat runs must round-trip
 //! bit-exactly through both encodings.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::derive::{assert_codes_exact_spec, derive_codes_spec};
 use ovc_core::{Direction, Ovc, OvcRow, Row, SortSpec, Stats};
@@ -72,7 +72,7 @@ proptest! {
             let got: Vec<(Row, Ovc)> = out.into_iter().map(|r| (r.row, r.code)).collect();
             prop_assert_eq!(&got, &expect, "stream path under {}", label);
 
-            let mut storage = MemoryRunStorage::new(Rc::clone(&stats));
+            let mut storage = MemoryRunStorage::new(Arc::clone(&stats));
             let run = external_sort_spec_to_run(rows.clone(), cfg, &spec, &mut storage, &stats);
             let flat_pairs: Vec<(Row, Ovc)> =
                 run.iter().map(|(r, c)| (Row::from_slice(r), c)).collect();
@@ -120,7 +120,7 @@ proptest! {
         let raw = decode_run_raw(&encode_run_raw(&run));
         prop_assert_eq!(raw.flat(), run.flat());
 
-        let mut device = EncodedRunStorage::new(Rc::clone(&stats));
+        let mut device = EncodedRunStorage::new(Arc::clone(&stats));
         use ovc_sort::RunStorage;
         let handle = device.write_run(run.clone());
         let back = device.read_run(handle);

@@ -4,7 +4,7 @@
 //! algorithms must not only consume but also produce offset-value codes,
 //! to be consumed and exploited by the next operator in the pipeline").
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::derive::assert_codes_exact;
 use ovc_core::stream::collect_pairs;
@@ -39,12 +39,12 @@ fn rle_scan_filter_group_pipeline() {
     let stats = Stats::new_shared();
 
     let scan = store.scan();
-    let filtered = Filter::new(scan, |r| r.cols()[2] != 0, Rc::clone(&stats));
+    let filtered = Filter::new(scan, |r| r.cols()[2] != 0, Arc::clone(&stats));
     let grouped = GroupAggregate::new(
         filtered,
         2,
         vec![Aggregate::Count, Aggregate::Sum(3)],
-        Rc::clone(&stats),
+        Arc::clone(&stats),
     );
     let pairs = collect_pairs(grouped);
     assert_codes_exact(&pairs, 2);
@@ -67,12 +67,12 @@ fn sort_join_group_pipeline() {
     let t1 = random_rows(1500, 2, 12, 2);
     let t2 = random_rows(1500, 2, 12, 3);
     let stats = Stats::new_shared();
-    let mut st1 = MemoryRunStorage::new(Rc::clone(&stats));
-    let mut st2 = MemoryRunStorage::new(Rc::clone(&stats));
+    let mut st1 = MemoryRunStorage::new(Arc::clone(&stats));
+    let mut st2 = MemoryRunStorage::new(Arc::clone(&stats));
     let s1 = external_sort(t1, SortConfig::new(2, 200), &mut st1, &stats);
     let s2 = external_sort(t2, SortConfig::new(2, 200), &mut st2, &stats);
-    let join = MergeJoin::new(s1, s2, 2, JoinType::Inner, 3, 3, Rc::clone(&stats));
-    let grouped = GroupAggregate::new(join, 1, vec![Aggregate::Count], Rc::clone(&stats));
+    let join = MergeJoin::new(s1, s2, 2, JoinType::Inner, 3, 3, Arc::clone(&stats));
+    let grouped = GroupAggregate::new(join, 1, vec![Aggregate::Count], Arc::clone(&stats));
     let pairs = collect_pairs(grouped);
     assert_codes_exact(&pairs, 1);
     assert!(!pairs.is_empty());
@@ -82,7 +82,7 @@ fn sort_join_group_pipeline() {
 #[test]
 fn lsm_scan_join_pipeline() {
     let stats = Stats::new_shared();
-    let mut forest = LsmForest::new(2, LsmConfig { fanout: 3 }, Rc::clone(&stats));
+    let mut forest = LsmForest::new(2, LsmConfig { fanout: 3 }, Arc::clone(&stats));
     let mut rng = StdRng::seed_from_u64(4);
     for _ in 0..8 {
         forest.ingest(
@@ -97,7 +97,7 @@ fn lsm_scan_join_pipeline() {
 
     let scan = forest.into_scan();
     let dedup = Dedup::new(scan);
-    let inner = BTreeInner::new(&dim, 1, 2, Rc::clone(&stats));
+    let inner = BTreeInner::new(&dim, 1, 2, Arc::clone(&stats));
     let join = LookupJoin::new(dedup, inner, JoinType::LeftSemi);
     let pairs = collect_pairs(join);
     assert_codes_exact(&pairs, 2);
@@ -121,7 +121,7 @@ fn exchange_round_trip_with_partitionwise_grouping() {
     let mut grouped_parts = Vec::new();
     for p in parts {
         let grouped: Vec<_> =
-            GroupAggregate::new(p, 2, vec![Aggregate::Count], Rc::clone(&stats)).collect();
+            GroupAggregate::new(p, 2, vec![Aggregate::Count], Arc::clone(&stats)).collect();
         let pairs: Vec<(Row, Ovc)> = grouped.iter().map(|r| (r.row.clone(), r.code)).collect();
         assert_codes_exact(&pairs, 2);
         grouped_parts.push(VecStream::from_coded(grouped, 2));
@@ -149,7 +149,7 @@ fn hash_join_project_setop_pipeline() {
     let left = VecStream::from_coded(Dedup::new(projected).collect(), 1);
 
     let right = VecStream::from_unsorted_rows((0..6u64).map(|k| Row::new(vec![k])).collect(), 1);
-    let setop = SetOperation::new(left, right, SetOp::Intersect, Rc::clone(&stats));
+    let setop = SetOperation::new(left, right, SetOp::Intersect, Arc::clone(&stats));
     let pairs = collect_pairs(setop);
     assert_codes_exact(&pairs, 1);
     assert!(pairs.iter().all(|(r, _)| r.cols()[0] < 6));
@@ -170,10 +170,10 @@ fn deep_pipeline_comparison_budget() {
 
     let f = ovc_storage::btree::scan_to_stream(&fact_tree);
     let d = ovc_storage::btree::scan_to_stream(&dim_tree);
-    let filtered = Filter::new(f, |r| r.cols()[1] % 3 != 0, Rc::clone(&stats));
-    let join = MergeJoin::new(filtered, d, 1, JoinType::Inner, 3, 3, Rc::clone(&stats));
+    let filtered = Filter::new(f, |r| r.cols()[1] % 3 != 0, Arc::clone(&stats));
+    let join = MergeJoin::new(filtered, d, 1, JoinType::Inner, 3, 3, Arc::clone(&stats));
     let dedup = Dedup::new(join);
-    let grouped = GroupAggregate::new(dedup, 1, vec![Aggregate::Count], Rc::clone(&stats));
+    let grouped = GroupAggregate::new(dedup, 1, vec![Aggregate::Count], Arc::clone(&stats));
     let pairs = collect_pairs(grouped);
     assert_codes_exact(&pairs, 1);
     // Only the merge join may compare columns, bounded by N*K of its

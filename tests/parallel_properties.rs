@@ -212,7 +212,7 @@ proptest! {
         let partials = count_distinct_partitions_partial(split, 1, &stats);
         let gathered = merge_threaded(partials, 2, 8, &stats);
         let out: Vec<OvcRow> =
-            GroupFinal::new(gathered, 1, vec![Aggregate::Count], std::rc::Rc::clone(&stats))
+            GroupFinal::new(gathered, 1, vec![Aggregate::Count], std::sync::Arc::clone(&stats))
                 .collect();
         prop_assert_eq!(out, serial, "parts={}", parts);
     }
@@ -608,7 +608,7 @@ fn prefix_hash_partial_aggregate_matches_serial() {
         let partials = group_partitions_partial(split, 1, aggs.clone(), &stats);
         let gathered = merge_threaded(partials, 3, 16, &stats);
         let out: Vec<OvcRow> =
-            GroupFinal::new(gathered, 1, aggs.clone(), std::rc::Rc::clone(&stats)).collect();
+            GroupFinal::new(gathered, 1, aggs.clone(), std::sync::Arc::clone(&stats)).collect();
         assert_eq!(out, serial, "parts={parts}");
         let pairs: Vec<(Row, Ovc)> = out.into_iter().map(|r| (r.row, r.code)).collect();
         exact(&pairs, 1);

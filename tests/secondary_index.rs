@@ -7,7 +7,7 @@
 //! crate's set operations and merge join — exactly the layering the paper
 //! envisions, with offset-value codes crossing the crate boundary.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::derive::assert_codes_exact;
 use ovc_core::stream::collect_pairs;
@@ -37,7 +37,7 @@ fn index_intersection_for_and_predicates() {
     for (x, y) in [(3u64, 7u64), (0, 0), (11, 5)] {
         let rids_a = ia.scan_eq(x);
         let rids_b = ib.scan_eq(y);
-        let inter = SetOperation::new(rids_a, rids_b, SetOp::Intersect, Rc::clone(&stats));
+        let inter = SetOperation::new(rids_a, rids_b, SetOp::Intersect, Arc::clone(&stats));
         let pairs = collect_pairs(inter);
         assert_codes_exact(&pairs, 1);
         let expect: Vec<u64> = t
@@ -62,7 +62,7 @@ fn range_index_intersection() {
 
     let ra = VecStream::from_coded(ia.scan_range(2, 8, &stats).collect(), 1);
     let rb = VecStream::from_coded(ib.scan_range(5, 11, &stats).collect(), 1);
-    let inter = SetOperation::new(ra, rb, SetOp::Intersect, Rc::clone(&stats));
+    let inter = SetOperation::new(ra, rb, SetOp::Intersect, Arc::clone(&stats));
     let pairs = collect_pairs(inter);
     assert_codes_exact(&pairs, 1);
     let expect = t
@@ -84,7 +84,7 @@ fn index_join_covers_query_without_base_table() {
     // Each scan: (rid, value) sorted by rid, codes arity 1.
     let sa = ia.scan_by_rid();
     let sb = ib.scan_by_rid();
-    let join = MergeJoin::new(sa, sb, 1, JoinType::Inner, 2, 2, Rc::clone(&stats));
+    let join = MergeJoin::new(sa, sb, 1, JoinType::Inner, 2, 2, Arc::clone(&stats));
     let pairs = collect_pairs(join);
     assert_codes_exact(&pairs, 1);
     assert_eq!(pairs.len(), t.len(), "every RID matches exactly once");
@@ -111,7 +111,7 @@ fn index_union_for_or_predicates() {
     let stats = Stats::new_shared();
     let r1 = ia.scan_eq(1);
     let r2 = ia.scan_eq(9);
-    let union = SetOperation::new(r1, r2, SetOp::Union, Rc::clone(&stats));
+    let union = SetOperation::new(r1, r2, SetOp::Union, Arc::clone(&stats));
     let pairs = collect_pairs(union);
     assert_codes_exact(&pairs, 1);
     let expect = t
@@ -132,7 +132,7 @@ fn fetch_after_intersection() {
         ia.scan_eq(6),
         ib.scan_eq(6),
         SetOp::Intersect,
-        Rc::clone(&stats),
+        Arc::clone(&stats),
     );
     let rows: Vec<&Row> = SecondaryIndex::fetch(&t, inter).collect();
     assert!(rows.iter().all(|r| r.cols()[0] == 6 && r.cols()[1] == 6));

@@ -1,0 +1,503 @@
+//! End-to-end contract of the served query engine (DESIGN.md §13):
+//! results that cross the wire are the results the library computes.
+//!
+//! * **Byte identity under concurrency** — N concurrent clients running
+//!   the Figure-5 intersect and a dop-4 batched-exchange group-by each
+//!   receive rows *and* offset-value codes identical to direct library
+//!   execution of the same plan, and the trailer's per-query counters
+//!   equal the library run's [`Stats`] deltas.
+//! * **Rate limiting is loss-free** — under a tiny token bucket some
+//!   requests bounce with 429, but every admitted query still answers
+//!   byte-identically, and retrying after `retry-after` succeeds.
+//! * **Graceful shutdown drains** — shutdown during streaming never
+//!   truncates a response: every client either gets its full trailer or
+//!   a clean pre-header refusal, and `Server::run` returns only after
+//!   the drain.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use ovc_repro::core::{Row, Stats};
+use ovc_repro::plan::{
+    execute, Aggregate, Catalog, ExecOptions, LogicalPlan, Planner, PlannerConfig, SetOp, Table,
+};
+use ovc_repro::server::ratelimit::RateLimitConfig;
+use ovc_repro::server::{Client, QueryResult, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const INTERSECT_WIRE: &str =
+    r#"{"plan": {"set_op": {"left": {"scan": "t1"}, "right": {"scan": "t2"}, "op": "intersect"}}}"#;
+const GROUP_WIRE: &str = r#"{"plan": {"sort": {"input": {"group_by": {"input": {"scan": "heap"},
+    "group_len": 2, "aggs": ["count", {"sum": 2}]}}, "key_len": 2}}}"#;
+
+/// The test catalog: Figure-5 style sorted pair + an unsorted table big
+/// enough to clear the parallel threshold (batched exchanges, dop > 1).
+fn catalog(rows: usize) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(0xEDB7);
+    let mut t1: Vec<Row> = (0..rows)
+        .map(|_| Row::new(vec![rng.gen_range(0..64u64), rng.gen_range(0..16u64)]))
+        .collect();
+    let mut t2: Vec<Row> = (0..rows)
+        .map(|_| Row::new(vec![rng.gen_range(0..64u64), rng.gen_range(0..16u64)]))
+        .collect();
+    t1.sort();
+    t2.sort();
+    let heap: Vec<Row> = (0..2 * rows)
+        .map(|_| {
+            Row::new(vec![
+                rng.gen_range(0..32u64),
+                rng.gen_range(0..8u64),
+                rng.gen_range(0..1000u64),
+            ])
+        })
+        .collect();
+    let mut cat = Catalog::new();
+    cat.register("t1", Table::sorted(t1, 2));
+    cat.register("t2", Table::sorted(t2, 2));
+    cat.register("heap", Table::unsorted(heap));
+    cat
+}
+
+fn planner_config() -> PlannerConfig {
+    PlannerConfig::default()
+        .with_dop(4)
+        .with_parallel_threshold(512)
+        .with_batch_size(256)
+}
+
+/// Direct library execution of `query`: (rows, codes, stat deltas).
+fn library_run(
+    cat: &Catalog,
+    query: &LogicalPlan,
+) -> (Vec<Vec<u64>>, Vec<u64>, BTreeMap<String, u64>) {
+    let config = planner_config();
+    let plan = Planner::new(cat, config).plan(query).expect("query plans");
+    let stats = Stats::new_shared();
+    let options = ExecOptions {
+        batch_size: config.batch_size,
+        ..ExecOptions::default()
+    };
+    let coded = execute(&plan, cat, &stats, &options).into_coded();
+    let (rows, codes) = coded
+        .into_iter()
+        .map(|r| (r.row.cols().to_vec(), r.code.raw()))
+        .unzip();
+    let s = stats.snapshot();
+    let deltas = BTreeMap::from([
+        ("col_value_cmps".to_string(), s.col_value_cmps),
+        ("ovc_cmps".to_string(), s.ovc_cmps),
+        ("row_cmps".to_string(), s.row_cmps),
+        ("rows_spilled".to_string(), s.rows_spilled),
+        ("rows_read_back".to_string(), s.rows_read_back),
+    ]);
+    (rows, codes, deltas)
+}
+
+fn intersect_query() -> LogicalPlan {
+    LogicalPlan::scan("t1").set_op(LogicalPlan::scan("t2"), SetOp::Intersect)
+}
+
+fn group_query() -> LogicalPlan {
+    LogicalPlan::scan("heap")
+        .group_by(2, vec![Aggregate::Count, Aggregate::Sum(2)])
+        .sort(2)
+}
+
+fn assert_served_matches(
+    served: &QueryResult,
+    rows: &[Vec<u64>],
+    codes: &[u64],
+    stats: &BTreeMap<String, u64>,
+    what: &str,
+) {
+    assert_eq!(served.rows, rows, "{what}: served rows differ from library");
+    assert_eq!(
+        served.codes, codes,
+        "{what}: served codes differ from library"
+    );
+    let served_stats: BTreeMap<String, u64> = served.stats.iter().cloned().collect();
+    assert_eq!(
+        &served_stats, stats,
+        "{what}: served stat deltas differ from library"
+    );
+}
+
+#[test]
+fn concurrent_clients_byte_identical_to_library() {
+    let cat = catalog(2_000);
+    let (i_rows, i_codes, i_stats) = library_run(&cat, &intersect_query());
+    let (g_rows, g_codes, g_stats) = library_run(&cat, &group_query());
+    assert!(
+        !i_rows.is_empty() && !g_rows.is_empty(),
+        "workloads are non-trivial"
+    );
+
+    let config = ServerConfig {
+        planner: planner_config(),
+        batch_rows: 100, // many batch frames per response
+        max_sessions: 16,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config, cat).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 3;
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let (i_rows, i_codes, i_stats) = (&i_rows, &i_codes, &i_stats);
+            let (g_rows, g_codes, g_stats) = (&g_rows, &g_codes, &g_stats);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for round in 0..ROUNDS {
+                    // Interleave the two workloads across clients.
+                    if (c + round) % 2 == 0 {
+                        let r = client.query(INTERSECT_WIRE).expect("intersect");
+                        assert!(r.batches > 1, "small batch_rows must yield several frames");
+                        assert_served_matches(&r, i_rows, i_codes, i_stats, "intersect");
+                    } else {
+                        let r = client.query(GROUP_WIRE).expect("group");
+                        assert_served_matches(&r, g_rows, g_codes, g_stats, "group_by");
+                    }
+                }
+            });
+        }
+    });
+
+    // Request-id middleware: echo when given, generate when not.
+    let mut client = Client::connect(addr).expect("connect");
+    let echoed = client
+        .query_with_headers(INTERSECT_WIRE, &[("x-request-id", "my-id-42")])
+        .expect("query");
+    assert_eq!(echoed.request_id, "my-id-42");
+    let generated = client.query(INTERSECT_WIRE).expect("query");
+    assert!(
+        generated.request_id.starts_with("req-"),
+        "generated id: {:?}",
+        generated.request_id
+    );
+
+    // Service counters reflect the traffic.
+    let metrics = client.metrics().expect("metrics");
+    let queries_total: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("ovc_queries_total "))
+        .expect("ovc_queries_total series")
+        .parse()
+        .expect("counter value");
+    assert_eq!(queries_total, (CLIENTS * ROUNDS + 2) as u64);
+    assert!(
+        metrics.contains("ovc_engine_ovc_cmps_total"),
+        "engine counters exported:\n{metrics}"
+    );
+
+    handle.shutdown();
+    runner.join().expect("runner").expect("run");
+}
+
+#[test]
+fn explain_and_analyze_over_the_wire() {
+    let cat = catalog(1_000);
+    let config = planner_config();
+    let expected_explain = Planner::new(&cat, config)
+        .plan(&intersect_query())
+        .expect("plans")
+        .explain();
+    let (i_rows, i_codes, _) = library_run(&cat, &intersect_query());
+
+    let server = Server::bind(
+        ServerConfig {
+            planner: config,
+            ..ServerConfig::default()
+        },
+        cat,
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).expect("connect");
+    let explain = client
+        .explain(
+            r#"{"set_op": {"left": {"scan": "t1"}, "right": {"scan": "t2"}, "op": "intersect"}}"#,
+        )
+        .expect("explain");
+    assert_eq!(explain, expected_explain, "served EXPLAIN is the library's");
+
+    let body = format!(
+        "{}{}",
+        &INTERSECT_WIRE[..INTERSECT_WIRE.len() - 1],
+        r#", "mode": "analyze"}"#
+    );
+    let analyzed = client.query(&body).expect("analyze");
+    assert_eq!(analyzed.rows, i_rows, "analyze mode still streams rows");
+    assert_eq!(analyzed.codes, i_codes, "analyze mode still streams codes");
+    let text = analyzed.analyze.expect("trailer carries the profile");
+    for needle in ["rows out=", "SetOpMerge"] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+
+    handle.shutdown();
+    runner.join().expect("runner").expect("run");
+}
+
+#[test]
+fn table_registration_and_errors_over_the_wire() {
+    let server = Server::bind(ServerConfig::default(), Catalog::new()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Unknown table: a planner error surfaces as 400 with the name.
+    let err = client
+        .query(r#"{"plan": {"scan": "nope"}}"#)
+        .expect_err("unknown table");
+    assert_eq!(err.status, 400);
+    assert!(err.message.contains("nope"), "{err}");
+
+    // Register sorted, then scan: codes stream from storage.
+    client
+        .register_table(r#"{"name": "s", "rows": [[1, 5], [2, 3], [2, 4]], "sorted_key": 2}"#)
+        .expect("register");
+    let r = client.query(r#"{"plan": {"scan": "s"}}"#).expect("scan");
+    assert_eq!(r.rows, vec![vec![1, 5], vec![2, 3], vec![2, 4]]);
+    assert_eq!(r.codes.len(), 3, "sorted scans carry codes");
+
+    // Malformed rows are refused with a reason, not registered.
+    let err = client
+        .register_table(r#"{"name": "bad", "rows": [[2], [1]], "sorted_key": 1}"#)
+        .expect_err("unsorted rows with sorted_key");
+    assert_eq!(err.status, 400);
+    assert!(err.message.contains("not ordered"), "{err}");
+
+    // Unknown routes 404; bad JSON 400.
+    let resp = client
+        .request("GET", "/nope", &[], "")
+        .expect("404 response");
+    assert_eq!(resp.status, 404);
+    let resp = client
+        .request("POST", "/query", &[], "{not json")
+        .expect("400 response");
+    assert_eq!(resp.status, 400);
+
+    handle.shutdown();
+    runner.join().expect("runner").expect("run");
+}
+
+#[test]
+fn rate_limited_clients_lose_requests_never_results() {
+    let cat = catalog(500);
+    let (i_rows, i_codes, i_stats) = library_run(&cat, &intersect_query());
+    let server = Server::bind(
+        ServerConfig {
+            planner: planner_config(),
+            rate_limit: RateLimitConfig {
+                per_second: 20.0,
+                burst: 4.0,
+            },
+            ..ServerConfig::default()
+        },
+        cat,
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    // Hammer from several connections sharing one IP (same bucket):
+    // some requests must bounce, every success must be byte-identical.
+    let rejected = AtomicU64::new(0);
+    let succeeded = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let (rejected, succeeded) = (&rejected, &succeeded);
+            let (i_rows, i_codes, i_stats) = (&i_rows, &i_codes, &i_stats);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for _ in 0..6 {
+                    match client.query(INTERSECT_WIRE) {
+                        Ok(r) => {
+                            assert_served_matches(&r, i_rows, i_codes, i_stats, "limited");
+                            succeeded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            assert_eq!(e.status, 429, "only 429 is acceptable: {e}");
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert!(
+        rejected.load(Ordering::Relaxed) > 0,
+        "the bucket must have run dry (24 requests vs burst 4)"
+    );
+    assert!(
+        succeeded.load(Ordering::Relaxed) >= 4,
+        "the initial burst must have been admitted"
+    );
+
+    // After the bucket refills, the same client is served again.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut client = Client::connect(addr).expect("connect");
+    let r = client.query(INTERSECT_WIRE).expect("post-refill query");
+    assert_served_matches(&r, &i_rows, &i_codes, &i_stats, "post-refill");
+
+    // Monitoring bypasses the limiter even while query traffic bounces.
+    for _ in 0..20 {
+        client.health().expect("health is never rate limited");
+    }
+
+    let metrics = client.metrics().expect("metrics");
+    let line = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("ovc_rate_limited_total "))
+        .expect("rate limit counter");
+    assert_eq!(
+        line.parse::<u64>().unwrap(),
+        rejected.load(Ordering::Relaxed)
+    );
+
+    handle.shutdown();
+    runner.join().expect("runner").expect("run");
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_queries() {
+    // Enough rows that a query streams for a while; tiny frames so
+    // shutdown lands mid-stream with high probability.
+    let cat = catalog(4_000);
+    let (g_rows, g_codes, g_stats) = library_run(&cat, &group_query());
+    let server = Server::bind(
+        ServerConfig {
+            planner: planner_config(),
+            batch_rows: 16,
+            max_sessions: 16,
+            ..ServerConfig::default()
+        },
+        cat,
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let state = std::sync::Arc::clone(handle.state());
+    let runner = std::thread::spawn(move || server.run());
+
+    let completed = AtomicU64::new(0);
+    let refused = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let (completed, refused) = (&completed, &refused);
+            let (g_rows, g_codes, g_stats) = (&g_rows, &g_codes, &g_stats);
+            scope.spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => return, // listener already gone: clean refusal
+                };
+                loop {
+                    match client.query(GROUP_WIRE) {
+                        Ok(r) => {
+                            // A response, once started, is always whole:
+                            // every row, every code, the exact trailer.
+                            assert_served_matches(&r, g_rows, g_codes, g_stats, "drained");
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            // Only clean pre-header refusals are
+                            // acceptable — never a truncated stream.
+                            assert!(
+                                !e.message.contains("without a trailer"),
+                                "truncated stream during shutdown: {e}"
+                            );
+                            refused.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        // Let queries get going, then pull the plug mid-flight.
+        std::thread::sleep(Duration::from_millis(100));
+        handle.shutdown();
+    });
+
+    runner
+        .join()
+        .expect("runner")
+        .expect("run returns after drain");
+    assert_eq!(
+        state.in_flight_queries.load(Ordering::SeqCst),
+        0,
+        "run() returned with queries still in flight"
+    );
+    assert!(
+        completed.load(Ordering::Relaxed) > 0,
+        "some queries must have completed across the shutdown"
+    );
+    // After run() returns the listener is gone: connects fail cleanly.
+    assert!(
+        Client::connect(addr).is_err() || {
+            // A racing OS may still accept briefly; a request must not work.
+            let mut c = Client::connect(addr).unwrap();
+            c.health().is_err()
+        }
+    );
+}
+
+#[test]
+fn session_pool_bounds_concurrent_connections() {
+    let server = Server::bind(
+        ServerConfig {
+            max_sessions: 1,
+            ..ServerConfig::default()
+        },
+        catalog(100),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    let mut first = Client::connect(addr).expect("first connect");
+    first.health().expect("first session works");
+    // The pool is full: the next connection is turned away with 503
+    // before any request is read — read the refusal straight off the
+    // raw socket (sending first would race the server's close).
+    {
+        use std::io::Read;
+        let mut second = std::net::TcpStream::connect(addr).expect("tcp connect still succeeds");
+        let mut refusal = String::new();
+        second
+            .read_to_string(&mut refusal)
+            .expect("read 503 until close");
+        assert!(
+            refusal.starts_with("HTTP/1.1 503"),
+            "expected a 503 refusal, got: {refusal:?}"
+        );
+    }
+    drop(first);
+
+    // With the first session closed, a new connection is admitted.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut again = Client::connect(addr).expect("reconnect");
+        match again.request("GET", "/health", &[], "") {
+            Ok(r) if r.status == 200 => break,
+            _ if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("pool never freed a slot: {other:?}"),
+        }
+    }
+
+    handle.shutdown();
+    runner.join().expect("runner").expect("run");
+}

@@ -3,7 +3,7 @@
 //! sort, with exact offset-value codes, within the paper's comparison
 //! bound.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_core::derive::find_code_violation;
 use ovc_core::{Ovc, Row, Stats};
@@ -88,7 +88,7 @@ proptest! {
         input.sort_by(|x, y| (x.cols()[0], x.cols()[2]).cmp(&(y.cols()[0], y.cols()[2])));
         let stats = Stats::new_shared();
         let stream = ovc_core::VecStream::from_sorted_rows(input.clone(), 1);
-        let seg = SegmentedSort::new(stream, 1, 2, Rc::clone(&stats));
+        let seg = SegmentedSort::new(stream, 1, 2, Arc::clone(&stats));
         let out: Vec<(Row, Ovc)> = seg.map(|r| (r.row, r.code)).collect();
         prop_assert_eq!(find_code_violation(&out, 2), None);
         let mut expect = input;

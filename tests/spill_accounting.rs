@@ -3,7 +3,7 @@
 //! "sort spills once, hash spills twice" shape at several scales, and the
 //! prefix-truncation byte savings.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ovc_baseline::hash_intersect_distinct;
 use ovc_core::{Row, Stats};
@@ -24,7 +24,7 @@ fn table(n: usize, domain: u64, seed: u64) -> Vec<Row> {
 fn sort_spill_conservation() {
     let rows = table(3000, 500, 1);
     let stats = Stats::new_shared();
-    let mut storage = EncodedRunStorage::new(Rc::clone(&stats));
+    let mut storage = EncodedRunStorage::new(Arc::clone(&stats));
     let out: usize = external_sort(rows, SortConfig::new(1, 200), &mut storage, &stats).count();
     assert_eq!(out, 3000);
     assert_eq!(stats.rows_spilled(), stats.rows_read_back());
@@ -48,7 +48,7 @@ fn prefix_truncation_shrinks_spill_bytes() {
         })
         .collect();
     let stats = Stats::new_shared();
-    let mut storage = EncodedRunStorage::new(Rc::clone(&stats));
+    let mut storage = EncodedRunStorage::new(Arc::clone(&stats));
     let _ = external_sort(rows, SortConfig::new(4, 500), &mut storage, &stats).count();
     let flat = stats.rows_spilled() * 5 * 8; // 4 cols + code per row
     assert!(
@@ -72,8 +72,8 @@ fn figure6_shape_across_scales() {
         let _ = hash_intersect_distinct(t1.clone(), t2.clone(), mem, &hs);
 
         let ss = Stats::new_shared();
-        let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
-        let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
+        let mut s1 = MemoryRunStorage::new(Arc::clone(&ss));
+        let mut s2 = MemoryRunStorage::new(Arc::clone(&ss));
         let cfg = IntersectConfig {
             key_len: 1,
             memory_rows: mem,
@@ -104,8 +104,8 @@ fn in_memory_plans_spill_nothing() {
     assert_eq!(hs.rows_spilled(), 0);
 
     let ss = Stats::new_shared();
-    let mut s1 = MemoryRunStorage::new(Rc::clone(&ss));
-    let mut s2 = MemoryRunStorage::new(Rc::clone(&ss));
+    let mut s1 = MemoryRunStorage::new(Arc::clone(&ss));
+    let mut s2 = MemoryRunStorage::new(Arc::clone(&ss));
     let cfg = IntersectConfig {
         key_len: 1,
         memory_rows: 10_000,
@@ -121,7 +121,7 @@ fn lsm_compaction_write_amplification_bounded() {
     // spilled rows <= (depth + 1) * ingested rows.
     let stats = Stats::new_shared();
     let mut forest =
-        ovc_storage::LsmForest::new(1, ovc_storage::LsmConfig { fanout: 4 }, Rc::clone(&stats));
+        ovc_storage::LsmForest::new(1, ovc_storage::LsmConfig { fanout: 4 }, Arc::clone(&stats));
     let mut rng = StdRng::seed_from_u64(7);
     let mut n = 0u64;
     for _ in 0..32 {
