@@ -42,8 +42,14 @@ fn main() {
         );
         let t2 = Instant::now();
         let mut storage = MemoryRunStorage::new(Arc::clone(&stats));
-        let handles: Vec<usize> = runs.into_iter().map(|r| storage.write_run(r)).collect();
-        let final_runs: Vec<_> = handles.into_iter().map(|h| storage.read_run(h)).collect();
+        let handles: Vec<usize> = runs
+            .into_iter()
+            .map(|r| storage.write_run(r).expect("in-memory spill"))
+            .collect();
+        let final_runs: Vec<_> = handles
+            .into_iter()
+            .map(|h| storage.read_run(h).expect("in-memory read-back"))
+            .collect();
         let run = merge_runs(final_runs, KEY_COLS, &stats).into_run();
         let t3 = Instant::now();
         let out: Vec<OvcRow> = run.cursor().collect();

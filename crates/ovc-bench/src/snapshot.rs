@@ -297,7 +297,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 // Consume one UTF-8 scalar (the input is a &str, so the
                 // byte stream is valid UTF-8 by construction).
                 let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().unwrap();
+                // Non-empty: the `Some(_)` peek above saw a byte here.
+                let Some(c) = rest.chars().next() else {
+                    return Err("truncated string".into());
+                };
                 out.push(c);
                 *pos += c.len_utf8();
             }

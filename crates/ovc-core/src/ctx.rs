@@ -1,0 +1,339 @@
+//! Query-lifetime execution context and the typed error every fault
+//! surfaces as.
+//!
+//! The engines this reproduction models (F1 Query, Napa) treat per-query
+//! fault isolation as table stakes: a query can be cancelled, can time
+//! out, can exhaust its spill budget, and can lose a worker to a panic —
+//! and in every case the *query* fails with a typed error while the
+//! process (and every other query) keeps running.  This module provides
+//! the two halves of that contract:
+//!
+//! * [`QueryCtx`] — a cheaply cloneable handle carrying a cooperative
+//!   cancellation token, an optional deadline, and an optional spill
+//!   budget.  Executors thread it through their operators and call
+//!   [`QueryCtx::check`] at batch and run boundaries; a tripped check
+//!   surfaces as an [`ExecError`].
+//! * [`ExecError`] + [`contain`] / [`propagate`] — typed error
+//!   propagation through iterator-shaped operators.  Operators cannot
+//!   return `Result` from `Iterator::next`, so a typed error travels as
+//!   a panic payload ([`propagate`] calls `std::panic::panic_any`) and
+//!   is caught exactly once at an execution boundary by [`contain`],
+//!   which maps the payload back to the original [`ExecError`].  A
+//!   *plain* panic (a bug, or an injected fault) caught at the same
+//!   boundary becomes [`ExecError::WorkerPanic`] — contained, never
+//!   process-fatal.
+//!
+//! Checks are engineered to be cheap enough for hot paths: cancellation
+//! is one relaxed atomic load, and the deadline comparison is only
+//! reached when a deadline was actually requested.
+
+use std::any::Any;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Typed execution failure.  Every fault the engine tolerates — user
+/// cancellation, deadline expiry, spill-device I/O errors, spill
+/// corruption, budget exhaustion, and contained worker panics — maps to
+/// exactly one variant, so callers (and the wire protocol) can react by
+/// kind instead of string-matching panic messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// The query's [`QueryCtx`] was cancelled (client disconnect,
+    /// explicit kill, server shutdown).
+    Cancelled,
+    /// The query ran past its deadline.
+    DeadlineExceeded {
+        /// The time budget the query was given.
+        budget: Duration,
+    },
+    /// A spill device failed to read or write (I/O error, injected
+    /// fault).
+    SpillIo {
+        /// Human-readable failure detail.
+        detail: String,
+    },
+    /// A spilled run failed validation on read-back: bad magic, torn
+    /// frame, or checksum mismatch.
+    SpillCorruption {
+        /// Human-readable failure detail.
+        detail: String,
+    },
+    /// Writing a run would exceed the query's spill budget.
+    SpillBudgetExceeded {
+        /// The configured budget in bytes.
+        budget_bytes: u64,
+        /// Total bytes the query attempted to spill.
+        attempted_bytes: u64,
+    },
+    /// A worker thread panicked; the panic was contained and the
+    /// payload (if a string) captured here.
+    WorkerPanic {
+        /// The panic message, when one was recoverable.
+        detail: String,
+    },
+}
+
+impl ExecError {
+    /// Stable machine-readable reason code, used by the server's error
+    /// frames and metrics labels.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            ExecError::Cancelled => "cancelled",
+            ExecError::DeadlineExceeded { .. } => "timeout",
+            ExecError::SpillIo { .. } => "spill_io",
+            ExecError::SpillCorruption { .. } => "spill_corruption",
+            ExecError::SpillBudgetExceeded { .. } => "spill_budget",
+            ExecError::WorkerPanic { .. } => "worker_panic",
+        }
+    }
+
+    /// True for spill-device failures ([`ExecError::SpillIo`] /
+    /// [`ExecError::SpillCorruption`]) — the errors a re-sort-from-source
+    /// retry can recover from (the data still exists upstream; only the
+    /// spilled copy is bad).
+    pub fn is_spill_fault(&self) -> bool {
+        matches!(
+            self,
+            ExecError::SpillIo { .. } | ExecError::SpillCorruption { .. }
+        )
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Cancelled => write!(f, "query cancelled"),
+            ExecError::DeadlineExceeded { budget } => {
+                write!(f, "query deadline exceeded (budget {budget:?})")
+            }
+            ExecError::SpillIo { detail } => write!(f, "spill I/O error: {detail}"),
+            ExecError::SpillCorruption { detail } => {
+                write!(f, "spill corruption detected: {detail}")
+            }
+            ExecError::SpillBudgetExceeded {
+                budget_bytes,
+                attempted_bytes,
+            } => write!(
+                f,
+                "spill budget exceeded: attempted {attempted_bytes} bytes against a \
+                 budget of {budget_bytes}"
+            ),
+            ExecError::WorkerPanic { detail } => write!(f, "worker panicked: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Raise a typed error out of iterator-shaped code.  The payload unwinds
+/// until the nearest [`contain`] boundary maps it back to the original
+/// [`ExecError`]; it never reaches the user as a raw panic.
+pub fn propagate(err: ExecError) -> ! {
+    panic::panic_any(err)
+}
+
+/// Run `f`, containing any unwind and mapping it to a typed
+/// [`ExecError`]: payloads raised by [`propagate`] come back verbatim,
+/// everything else (a genuine bug, an injected `panic!`) becomes
+/// [`ExecError::WorkerPanic`] with the panic message as detail.
+pub fn contain<R>(f: impl FnOnce() -> R) -> Result<R, ExecError> {
+    match panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(error_from_panic(payload)),
+    }
+}
+
+/// Map a caught panic payload (from `catch_unwind` or a `JoinHandle`
+/// error) to a typed [`ExecError`].
+pub fn error_from_panic(payload: Box<dyn Any + Send>) -> ExecError {
+    match payload.downcast::<ExecError>() {
+        Ok(err) => *err,
+        Err(payload) => {
+            let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "worker panicked with a non-string payload".to_string()
+            };
+            ExecError::WorkerPanic { detail }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CtxInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    budget: Option<Duration>,
+    spill_budget_bytes: Option<u64>,
+    spilled_bytes: AtomicU64,
+}
+
+/// Per-query execution context: cancellation token, optional deadline,
+/// optional spill budget.  Clones share state (the handle is an `Arc`),
+/// so a server can keep one clone to cancel a query while worker threads
+/// poll another.
+///
+/// A context with no deadline and no budget never trips on its own — it
+/// only fails a query if [`QueryCtx::cancel`] is called — so threading
+/// one through an executor is behaviour-preserving for untimed queries.
+#[derive(Clone, Debug)]
+pub struct QueryCtx {
+    inner: Arc<CtxInner>,
+}
+
+impl Default for QueryCtx {
+    fn default() -> Self {
+        QueryCtx::new()
+    }
+}
+
+impl QueryCtx {
+    /// A context with no deadline and no spill budget (cancellable
+    /// only).
+    pub fn new() -> Self {
+        QueryCtx::build(None, None)
+    }
+
+    /// A context that trips [`ExecError::DeadlineExceeded`] once
+    /// `timeout` has elapsed from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        QueryCtx::build(Some(timeout), None)
+    }
+
+    /// Full constructor: optional time budget (measured from now) and
+    /// optional spill budget in bytes.
+    pub fn build(timeout: Option<Duration>, spill_budget_bytes: Option<u64>) -> Self {
+        let now = Instant::now();
+        QueryCtx {
+            inner: Arc::new(CtxInner {
+                cancelled: AtomicBool::new(false),
+                deadline: timeout.map(|t| now + t),
+                budget: timeout,
+                spill_budget_bytes,
+                spilled_bytes: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Request cooperative cancellation.  Running operators observe it
+    /// at their next check and fail the query with
+    /// [`ExecError::Cancelled`].
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`QueryCtx::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The time budget this context was built with, if any.
+    pub fn time_budget(&self) -> Option<Duration> {
+        self.inner.budget
+    }
+
+    /// Check cancellation and deadline.  One relaxed atomic load on the
+    /// happy path; the clock is only consulted when a deadline exists.
+    pub fn check(&self) -> Result<(), ExecError> {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return Err(ExecError::Cancelled);
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                return Err(ExecError::DeadlineExceeded {
+                    budget: self.inner.budget.unwrap_or_default(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`QueryCtx::check`], raising through [`propagate`] on failure —
+    /// for iterator-shaped code that cannot return `Result`.
+    pub fn check_or_propagate(&self) {
+        if let Err(err) = self.check() {
+            propagate(err);
+        }
+    }
+
+    /// Charge `bytes` of spill volume against the budget (if one is
+    /// configured).  Returns [`ExecError::SpillBudgetExceeded`] once the
+    /// running total crosses the budget.
+    pub fn charge_spill(&self, bytes: u64) -> Result<(), ExecError> {
+        let total = self
+            .inner
+            .spilled_bytes
+            .fetch_add(bytes, Ordering::Relaxed)
+            .saturating_add(bytes);
+        if let Some(budget) = self.inner.spill_budget_bytes {
+            if total > budget {
+                return Err(ExecError::SpillBudgetExceeded {
+                    budget_bytes: budget,
+                    attempted_bytes: total,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total bytes charged so far via [`QueryCtx::charge_spill`].
+    pub fn spilled_bytes(&self) -> u64 {
+        self.inner.spilled_bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ctx_never_trips() {
+        let ctx = QueryCtx::new();
+        assert!(ctx.check().is_ok());
+        assert!(ctx.charge_spill(u64::MAX / 2).is_ok());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let ctx = QueryCtx::new();
+        let other = ctx.clone();
+        other.cancel();
+        assert_eq!(ctx.check(), Err(ExecError::Cancelled));
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let ctx = QueryCtx::with_timeout(Duration::ZERO);
+        match ctx.check() {
+            Err(ExecError::DeadlineExceeded { budget }) => assert_eq!(budget, Duration::ZERO),
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spill_budget_trips_on_crossing() {
+        let ctx = QueryCtx::build(None, Some(100));
+        assert!(ctx.charge_spill(60).is_ok());
+        let err = ctx.charge_spill(60).unwrap_err();
+        assert_eq!(err.reason(), "spill_budget");
+        assert_eq!(ctx.spilled_bytes(), 120);
+    }
+
+    #[test]
+    fn contain_maps_typed_payloads_and_plain_panics() {
+        let typed = contain(|| propagate(ExecError::Cancelled));
+        assert_eq!(typed, Err(ExecError::Cancelled));
+        let plain = contain(|| panic!("boom {}", 7));
+        match plain {
+            Err(ExecError::WorkerPanic { detail }) => assert_eq!(detail, "boom 7"),
+            other => panic!("expected worker panic, got {other:?}"),
+        }
+        assert_eq!(contain(|| 42), Ok(42));
+    }
+}

@@ -16,6 +16,11 @@
 //!   corollary, and the [`theorem::OvcAccumulator`] every operator uses to
 //!   produce output codes;
 //! * [`mod@derive`] — reference derivation/validation of exact codes;
+//! * [`ctx`] — per-query execution context ([`ctx::QueryCtx`]:
+//!   cancellation, deadlines, spill budgets) and the typed
+//!   [`ctx::ExecError`] with panic-contained propagation;
+//! * [`fault`] — the deterministic, seeded fault-injection registry
+//!   (zero-cost when disabled) behind the fault-tolerance test suite;
 //! * [`flat`] — [`flat::FlatRows`]: contiguous struct-of-arrays storage for
 //!   coded rows, the memory layout of the sort/merge hot path (one
 //!   `Vec<u64>` of values plus a parallel `Vec<Ovc>` of codes);
@@ -60,8 +65,10 @@
 
 pub mod batch;
 pub mod compare;
+pub mod ctx;
 pub mod derive;
 pub mod desc;
+pub mod fault;
 pub mod flat;
 pub mod metrics;
 pub mod normalized;
@@ -74,6 +81,7 @@ pub mod table1;
 pub mod theorem;
 
 pub use batch::{BatchRows, BatchStream, Batcher, VecBatchStream};
+pub use ctx::{ExecError, QueryCtx};
 pub use flat::FlatRows;
 pub use metrics::{
     ChannelGauge, ChannelGaugeSnapshot, ExchangeGauges, OpMetrics, PlanProfile, ProfileNode,

@@ -19,18 +19,33 @@ use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::Instant;
 
+use ovc_core::ctx::{self, ExecError};
+use ovc_core::fault;
 use ovc_core::theorem::{clamp_to_prefix, OvcAccumulator};
 use ovc_core::{BatchStream, ChannelGauge, FlatRows, Row, SortSpec, Stats, Value};
 
+/// What flows over a batched exchange channel: a flat batch, or — as the
+/// producer's last word before it exits — a **poison frame** carrying the
+/// typed error that killed it (the batched twin of the row exchange's
+/// poison protocol, DESIGN.md §14).  A channel that closes without
+/// poison is a clean end-of-stream.
+pub enum BatchFrame {
+    /// A flat batch of coded rows.
+    Batch(FlatRows),
+    /// The producer died: re-raise this typed error on the consumer.
+    Poison(ExecError),
+}
+
 /// The receiving end of a batched exchange channel: a [`BatchStream`]
-/// over a bounded (or unbounded) channel of [`FlatRows`], the batched
+/// over a bounded (or unbounded) channel of [`BatchFrame`]s, the batched
 /// counterpart of [`crate::parallel::ChannelStream`].
 ///
 /// With a gauge attached, every `recv` is timed and the *rows* (not just
 /// messages) crossing the channel are counted —
-/// [`ChannelGauge::note_recv_rows`].
+/// [`ChannelGauge::note_recv_rows`].  A poison frame re-raises the
+/// producer's typed error on the consuming thread ([`ctx::propagate`]).
 pub struct BatchChannelStream {
-    rx: Receiver<FlatRows>,
+    rx: Receiver<BatchFrame>,
     spec: SortSpec,
     gauge: Option<Arc<ChannelGauge>>,
 }
@@ -38,21 +53,33 @@ pub struct BatchChannelStream {
 impl BatchChannelStream {
     /// Wrap a channel receiver as a coded batch stream with the given
     /// ordering contract.
-    pub fn new(rx: Receiver<FlatRows>, spec: SortSpec, gauge: Option<Arc<ChannelGauge>>) -> Self {
+    pub fn new(rx: Receiver<BatchFrame>, spec: SortSpec, gauge: Option<Arc<ChannelGauge>>) -> Self {
         BatchChannelStream { rx, spec, gauge }
     }
 }
 
 impl BatchStream for BatchChannelStream {
     fn next_batch(&mut self) -> Option<FlatRows> {
-        match &self.gauge {
+        fault::maybe_slow_consumer();
+        let frame = match &self.gauge {
             None => self.rx.recv().ok(),
             Some(g) => {
                 let t0 = Instant::now();
                 let got = self.rx.recv().ok();
-                g.note_recv_rows(t0.elapsed(), got.as_ref().map(|b| b.len() as u64));
+                g.note_recv_rows(
+                    t0.elapsed(),
+                    match &got {
+                        Some(BatchFrame::Batch(b)) => Some(b.len() as u64),
+                        _ => None,
+                    },
+                );
                 got
             }
+        };
+        match frame {
+            Some(BatchFrame::Batch(b)) => Some(b),
+            Some(BatchFrame::Poison(err)) => ctx::propagate(err),
+            None => None,
         }
     }
     fn sort_spec(&self) -> SortSpec {
@@ -517,12 +544,32 @@ mod tests {
         let expect = collect_pairs(VecStream::from_sorted_rows(rows.clone(), 2));
         let mut batcher = batched(rows, 2, 8);
         while let Some(b) = batcher.next_batch() {
-            tx.send(b).unwrap();
+            tx.send(BatchFrame::Batch(b)).unwrap();
         }
         drop(tx);
         let stream = BatchChannelStream::new(rx, SortSpec::asc(2), None);
         assert_eq!(stream.sort_spec(), SortSpec::asc(2));
         assert_eq!(collect_batch_pairs(stream), expect);
+    }
+
+    #[test]
+    fn batch_channel_poison_frame_surfaces_typed_error() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let rows = sorted_rows(20, 20, 2, 9);
+        let mut batcher = batched(rows, 2, 8);
+        let first = batcher.next_batch().unwrap();
+        tx.send(BatchFrame::Batch(first)).unwrap();
+        tx.send(BatchFrame::Poison(ExecError::WorkerPanic {
+            detail: "producer died".into(),
+        }))
+        .unwrap();
+        drop(tx);
+        let mut stream = BatchChannelStream::new(rx, SortSpec::asc(2), None);
+        assert!(stream.next_batch().is_some(), "clean batch before poison");
+        match ctx::contain(|| stream.next_batch()) {
+            Err(err) => assert_eq!(err.reason(), "worker_panic"),
+            Ok(_) => panic!("poison frame must re-raise the producer's error"),
+        }
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub mod set_ops;
 pub mod window;
 
 pub use batch::{
-    route_batches, BatchChannelStream, BatchClampKey, BatchDedup, BatchFilter, BatchProject,
-    BatchTake,
+    route_batches, BatchChannelStream, BatchClampKey, BatchDedup, BatchFilter, BatchFrame,
+    BatchProject, BatchTake,
 };
 pub use dedup::{Dedup, DedupCounting};
 pub use filter::Filter;

@@ -39,15 +39,28 @@
 //! consumer receive waits, and peak queue occupancy — the per-channel
 //! evidence behind the "exchange sandwich" costs of EXPERIMENTS.md §5.
 //! Ungauged calls add no clock reads to the exchange hot path.
+//!
+//! **Fault model** (DESIGN.md §14): every worker thread runs under
+//! `ovc_core::ctx::contain`.  A panicking producer sends one **poison
+//! frame** — a typed [`ExecError`] — down each of its still-open
+//! channels; consumers re-raise it (`ctx::propagate`) the moment they
+//! receive it, mergers drain their inlets to completion first so no
+//! peer ever blocks on a full channel, and every join site collects
+//! *all* workers before the first error propagates.  The net contract:
+//! a worker panic fails the **query** with
+//! [`ExecError::WorkerPanic`] — it never deadlocks peers, never leaks
+//! threads, and never kills the process.
 
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
-use std::thread::{self, JoinHandle};
+use std::thread::{self, JoinHandle, ScopedJoinHandle};
 use std::time::Instant;
 
+use ovc_core::ctx::{self, ExecError};
+use ovc_core::fault;
 use ovc_core::metrics::{ChannelGauge, ExchangeGauges};
 use ovc_core::theorem::OvcAccumulator;
-use ovc_core::{CodedBatch, OvcRow, OvcStream, Row, SortSpec, Stats, StatsSnapshot};
+use ovc_core::{CodedBatch, OvcRow, OvcStream, Row, SortSpec, Stats};
 use ovc_sort::TreeOfLosers;
 
 use crate::group::{Aggregate, GroupAggregate, GroupCountDistinctPartial, GroupPartial};
@@ -58,13 +71,48 @@ use crate::set_ops::{SetOp, SetOperation};
 /// backpressure to keep memory flat, large enough to amortize wakeups.
 pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
 
+/// What flows over an exchange channel: a coded row, or — exactly once,
+/// as the producer's last word before it exits — a **poison frame**
+/// carrying the typed error that killed the producer.  Consumers
+/// re-raise the poison via [`ctx::propagate`]; a channel that closes
+/// without poison is a clean end-of-stream.
+enum Frame {
+    Row(OvcRow),
+    Poison(ExecError),
+}
+
+/// Join every handle, collecting successful results and the **first**
+/// failure (a contained [`ExecError`] or a raw panic payload).  Joining
+/// all peers before any error propagates is the no-deadlock half of the
+/// fault contract: no worker outlives the failing query, and no bounded
+/// channel keeps a peer blocked behind an early return.
+fn reap<'scope, T>(
+    handles: Vec<ScopedJoinHandle<'scope, Result<T, ExecError>>>,
+) -> (Vec<T>, Option<ExecError>) {
+    let mut outs = Vec::with_capacity(handles.len());
+    let mut failure = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(value)) => outs.push(value),
+            Ok(Err(err)) => {
+                failure.get_or_insert(err);
+            }
+            Err(payload) => {
+                failure.get_or_insert(ctx::error_from_panic(payload));
+            }
+        }
+    }
+    (outs, failure)
+}
+
 /// A coded stream arriving over a bounded channel from a producer thread.
 ///
 /// `ChannelStream` is `Send`: it can be handed to whichever thread runs
 /// the consuming operator.  Iteration blocks on the producer (that is the
-/// backpressure) and ends when the producer drops its sender.
+/// backpressure) and ends when the producer drops its sender; a poison
+/// frame re-raises the producer's typed error on the consuming thread.
 pub struct ChannelStream {
-    rx: Receiver<OvcRow>,
+    rx: Receiver<Frame>,
     spec: SortSpec,
     /// Wait/occupancy gauge for this channel (profiled exchanges only —
     /// `None` keeps the unprofiled hot path free of clock reads).
@@ -74,14 +122,20 @@ pub struct ChannelStream {
 impl Iterator for ChannelStream {
     type Item = OvcRow;
     fn next(&mut self) -> Option<OvcRow> {
-        match &self.gauge {
+        fault::maybe_slow_consumer();
+        let frame = match &self.gauge {
             None => self.rx.recv().ok(),
             Some(g) => {
                 let t0 = Instant::now();
-                let row = self.rx.recv().ok();
-                g.note_recv(t0.elapsed(), row.is_some());
-                row
+                let frame = self.rx.recv().ok();
+                g.note_recv(t0.elapsed(), matches!(frame, Some(Frame::Row(_))));
+                frame
             }
+        };
+        match frame {
+            Some(Frame::Row(row)) => Some(row),
+            Some(Frame::Poison(err)) => ctx::propagate(err),
+            None => None,
         }
     }
 }
@@ -118,17 +172,22 @@ impl SplitThreads {
     /// real systems design around) — so this helper always fans out.
     pub fn collect_all(self) -> Vec<CodedBatch> {
         let (parts, producer) = self.into_parts();
-        let out = thread::scope(|scope| {
+        let (out, failure) = thread::scope(|scope| {
             let consumers: Vec<_> = parts
                 .into_iter()
-                .map(|p| scope.spawn(move || CodedBatch::from_stream(p)))
+                .map(|p| scope.spawn(move || ctx::contain(|| CodedBatch::from_stream(p))))
                 .collect();
-            consumers
-                .into_iter()
-                .map(|c| c.join().expect("split consumer panicked"))
-                .collect()
+            reap(consumers)
         });
-        producer.join().expect("split producer panicked");
+        // Every consumer has drained or dropped its channel, so the
+        // producer (which contains its own panics into poison frames)
+        // has already exited; a join failure here can only be the
+        // poison hand-off itself dying, which still maps to a typed
+        // error rather than a crash.
+        let producer_failure = producer.join().err().map(ctx::error_from_panic);
+        if let Some(err) = failure.or(producer_failure) {
+            ctx::propagate(err);
+        }
         out
     }
 }
@@ -165,7 +224,7 @@ where
     assert!(parts > 0, "split needs at least one partition");
     let spec = input.sort_spec().clone();
     let capacity = capacity.max(1);
-    let (txs, rxs): (Vec<SyncSender<OvcRow>>, Vec<Receiver<OvcRow>>) =
+    let (txs, rxs): (Vec<SyncSender<Frame>>, Vec<Receiver<Frame>>) =
         (0..parts).map(|_| sync_channel(capacity)).unzip();
     let send_gauges: Vec<Option<Arc<ChannelGauge>>> = match gauges {
         Some(g) => (0..parts).map(|p| Some(g.channel(p))).collect(),
@@ -176,17 +235,29 @@ where
         None => vec![None; parts],
     };
     let producer = thread::spawn(move || {
-        route_coded_rows(input, parts, part, |p, row| match &send_gauges[p] {
-            None => txs[p].send(row).is_ok(),
-            Some(g) => {
-                let t0 = Instant::now();
-                let ok = txs[p].send(row).is_ok();
-                if ok {
-                    g.note_send(t0.elapsed());
+        let result = ctx::contain(|| {
+            fault::maybe_panic();
+            route_coded_rows(input, parts, part, |p, row| match &send_gauges[p] {
+                None => txs[p].send(Frame::Row(row)).is_ok(),
+                Some(g) => {
+                    let t0 = Instant::now();
+                    let ok = txs[p].send(Frame::Row(row)).is_ok();
+                    if ok {
+                        g.note_send(t0.elapsed());
+                    }
+                    ok
                 }
-                ok
-            }
+            });
         });
+        if let Err(err) = result {
+            // Poison every partition so consumers see the typed error
+            // instead of mistaking the close for clean end-of-stream.
+            // Backpressure cannot wedge this: a live consumer drains
+            // its channel, and a dead one makes the send fail cleanly.
+            for tx in &txs {
+                let _ = tx.send(Frame::Poison(err.clone()));
+            }
+        }
     });
     SplitThreads {
         partitions: rxs
@@ -313,25 +384,33 @@ pub fn merge_threaded_spec_gauged(
     let mut streams = Vec::with_capacity(inputs.len());
     let mut feeders = Vec::with_capacity(inputs.len());
     for (i, batch) in inputs.into_iter().enumerate() {
-        let (tx, rx) = sync_channel::<OvcRow>(capacity);
+        let (tx, rx) = sync_channel::<Frame>(capacity);
         let gauge = gauges.map(|g| g.channel(i));
         let feeder_gauge = gauge.clone();
         feeders.push(thread::spawn(move || {
-            for row in batch.into_stream() {
-                match &feeder_gauge {
-                    None => {
-                        if tx.send(row).is_err() {
-                            break; // consumer gone: stop feeding
+            let result = ctx::contain(|| {
+                fault::maybe_panic();
+                for row in batch.into_stream() {
+                    match &feeder_gauge {
+                        None => {
+                            if tx.send(Frame::Row(row)).is_err() {
+                                break; // consumer gone: stop feeding
+                            }
                         }
-                    }
-                    Some(g) => {
-                        let t0 = Instant::now();
-                        if tx.send(row).is_err() {
-                            break;
+                        Some(g) => {
+                            let t0 = Instant::now();
+                            if tx.send(Frame::Row(row)).is_err() {
+                                break;
+                            }
+                            g.note_send(t0.elapsed());
                         }
-                        g.note_send(t0.elapsed());
                     }
                 }
+            });
+            if let Err(err) = result {
+                // Poison this inlet: the merge re-raises the typed
+                // error the moment the tournament next reads it.
+                let _ = tx.send(Frame::Poison(err));
             }
         }));
         streams.push(ChannelStream {
@@ -385,23 +464,33 @@ where
     // each splitter's partition order (and with it code exactness)
     // survives the shared channel.
     let mut merger_rxs = Vec::with_capacity(parts_out);
-    let mut txs_template: Vec<SyncSender<(usize, OvcRow)>> = Vec::with_capacity(parts_out);
+    let mut txs_template: Vec<SyncSender<(usize, Frame)>> = Vec::with_capacity(parts_out);
     for _ in 0..parts_out {
-        let (tx, rx) = sync_channel::<(usize, OvcRow)>(capacity);
+        let (tx, rx) = sync_channel::<(usize, Frame)>(capacity);
         txs_template.push(tx);
         merger_rxs.push(rx);
     }
 
-    let merged: Vec<(Vec<OvcRow>, StatsSnapshot)> = thread::scope(|scope| {
+    let (merged, failure) = thread::scope(|scope| {
         // Splitters: one thread per input, the same routing core as
-        // split_threaded, rows tagged with their splitter index.
+        // split_threaded, rows tagged with their splitter index.  Each
+        // runs contained: a panicking splitter poisons every merger
+        // inlet it still holds and exits instead of tearing the scope.
         for (idx, batch) in inputs.into_iter().enumerate() {
             let txs = txs_template.clone();
             let part = make_part();
             scope.spawn(move || {
-                route_coded_rows(batch, parts_out, part, |p, row| {
-                    txs[p].send((idx, row)).is_ok()
+                let result = ctx::contain(|| {
+                    fault::maybe_panic();
+                    route_coded_rows(batch, parts_out, part, |p, row| {
+                        txs[p].send((idx, Frame::Row(row))).is_ok()
+                    });
                 });
+                if let Err(err) = result {
+                    for tx in &txs {
+                        let _ = tx.send((idx, Frame::Poison(err.clone())));
+                    }
+                }
             });
         }
         // The template senders must drop before the mergers can see
@@ -412,13 +501,32 @@ where
         // Mergers: one thread per output partition, per-thread Stats.
         // Each blocks on its inlet, demultiplexes rows back into
         // per-splitter buffers, then runs the coded tree-of-losers merge.
+        // A poison frame fails the merger's partition — but it keeps
+        // draining its inlet to the end first, so the *healthy*
+        // splitters never block on a full channel (§4.10's wait cycle).
         let mergers: Vec<_> = merger_rxs
             .into_iter()
             .map(|rx| {
                 scope.spawn(move || {
                     let mut bufs: Vec<Vec<OvcRow>> = vec![Vec::new(); n_inputs];
-                    while let Ok((idx, row)) = rx.recv() {
-                        bufs[idx].push(row);
+                    let mut poison: Option<ExecError> = None;
+                    while let Ok((idx, frame)) = rx.recv() {
+                        match frame {
+                            Frame::Row(row) => {
+                                if poison.is_none() {
+                                    bufs[idx].push(row);
+                                }
+                            }
+                            Frame::Poison(err) => {
+                                if poison.is_none() {
+                                    poison = Some(err);
+                                    bufs.iter_mut().for_each(Vec::clear);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(err) = poison {
+                        return Err(err);
                     }
                     let local = Stats::new_shared();
                     let streams: Vec<_> = bufs
@@ -427,23 +535,24 @@ where
                         .collect();
                     let rows: Vec<OvcRow> =
                         TreeOfLosers::new(streams, key_len, Arc::clone(&local)).collect();
-                    (rows, local.snapshot())
+                    Ok((rows, local.snapshot()))
                 })
             })
             .collect();
-        mergers
-            .into_iter()
-            .map(|m| m.join().expect("exchange merger panicked"))
-            .collect()
+        reap(mergers)
     });
 
-    merged
+    let outs: Vec<CodedBatch> = merged
         .into_iter()
         .map(|(rows, snapshot)| {
             stats.absorb(&snapshot);
             CodedBatch::from_coded(rows, key_len)
         })
-        .collect()
+        .collect();
+    if let Some(err) = failure {
+        ctx::propagate(err);
+    }
+    outs
 }
 
 /// Partition-parallel merge join: one worker thread per partition pair,
@@ -472,40 +581,44 @@ pub fn merge_join_partitions(
         right.len(),
         "partitioned merge join requires co-partitioned inputs"
     );
-    let joined: Vec<(Vec<OvcRow>, SortSpec, StatsSnapshot)> = thread::scope(|scope| {
+    let (joined, failure) = thread::scope(|scope| {
         let workers: Vec<_> = left
             .into_iter()
             .zip(right)
             .map(|(l, r)| {
                 scope.spawn(move || {
-                    let local = Stats::new_shared();
-                    let join = MergeJoin::new(
-                        l.into_stream(),
-                        r.into_stream(),
-                        join_len,
-                        join_type,
-                        left_width,
-                        right_width,
-                        Arc::clone(&local),
-                    );
-                    let spec = join.sort_spec();
-                    let rows: Vec<OvcRow> = join.collect();
-                    (rows, spec, local.snapshot())
+                    ctx::contain(|| {
+                        fault::maybe_panic();
+                        let local = Stats::new_shared();
+                        let join = MergeJoin::new(
+                            l.into_stream(),
+                            r.into_stream(),
+                            join_len,
+                            join_type,
+                            left_width,
+                            right_width,
+                            Arc::clone(&local),
+                        );
+                        let spec = join.sort_spec();
+                        let rows: Vec<OvcRow> = join.collect();
+                        (rows, spec, local.snapshot())
+                    })
                 })
             })
             .collect();
-        workers
-            .into_iter()
-            .map(|w| w.join().expect("partitioned join worker panicked"))
-            .collect()
+        reap(workers)
     });
-    joined
+    let outs: Vec<CodedBatch> = joined
         .into_iter()
         .map(|(rows, spec, snapshot)| {
             stats.absorb(&snapshot);
             CodedBatch::from_coded_spec(rows, spec)
         })
-        .collect()
+        .collect();
+    if let Some(err) = failure {
+        ctx::propagate(err);
+    }
+    outs
 }
 
 /// Shared worker harness of the partition operators: one thread per
@@ -517,29 +630,34 @@ where
     T: Send,
     F: Fn(T, Arc<Stats>) -> CodedBatch + Send + Sync,
 {
-    let outs: Vec<(CodedBatch, StatsSnapshot)> = thread::scope(|scope| {
+    let (outs, failure) = thread::scope(|scope| {
         let workers: Vec<_> = parts
             .into_iter()
             .map(|item| {
                 let work = &work;
                 scope.spawn(move || {
-                    let local = Stats::new_shared();
-                    let out = work(item, Arc::clone(&local));
-                    (out, local.snapshot())
+                    ctx::contain(|| {
+                        fault::maybe_panic();
+                        let local = Stats::new_shared();
+                        let out = work(item, Arc::clone(&local));
+                        (out, local.snapshot())
+                    })
                 })
             })
             .collect();
-        workers
-            .into_iter()
-            .map(|w| w.join().expect("partition worker panicked"))
-            .collect()
+        reap(workers)
     });
-    outs.into_iter()
+    let batches: Vec<CodedBatch> = outs
+        .into_iter()
         .map(|(batch, snapshot)| {
             stats.absorb(&snapshot);
             batch
         })
-        .collect()
+        .collect();
+    if let Some(err) = failure {
+        ctx::propagate(err);
+    }
+    batches
 }
 
 /// Partition-parallel grouping: one worker thread per partition, each
@@ -694,12 +812,65 @@ mod tests {
             .collect();
         let mut total = 0;
         for c in consumers {
-            let b = c.join().unwrap();
+            let b = match c.join() {
+                Ok(b) => b,
+                Err(payload) => ctx::propagate(ctx::error_from_panic(payload)),
+            };
             check_exact(&b);
             total += b.len();
         }
-        producer.join().unwrap();
+        assert!(producer.join().is_ok(), "split producer must exit cleanly");
         assert_eq!(total, rows.len());
+    }
+
+    #[test]
+    fn poisoned_split_surfaces_typed_error_on_every_partition() {
+        // A partition function that dies mid-stream runs on the producer
+        // thread: the containment there must poison every partition, and
+        // each consumer must see WorkerPanic — not a clean short stream.
+        let (input, _) = batch(300, 23);
+        let mut n = 0usize;
+        let split = split_threaded(
+            input,
+            3,
+            move |_row: &Row| {
+                n += 1;
+                assert!(n <= 50, "router failed mid-stream");
+                n % 3
+            },
+            256, // roomy channels: partitions are drained sequentially below
+        );
+        let (parts, producer) = split.into_parts();
+        for p in parts {
+            match ctx::contain(|| p.collect::<Vec<OvcRow>>()) {
+                Err(err) => assert_eq!(err.reason(), "worker_panic"),
+                Ok(rows) => panic!("partition must end in poison, got {} rows", rows.len()),
+            }
+        }
+        assert!(
+            producer.join().is_ok(),
+            "producer must contain its own panic"
+        );
+    }
+
+    #[test]
+    fn panicking_partition_worker_yields_typed_error_after_all_peers_join() {
+        let (a, _) = batch(100, 24);
+        let (b, _) = batch(100, 25);
+        let stats = Stats::new_shared();
+        let result = ctx::contain(|| {
+            partition_workers(vec![(a, false), (b, true)], &stats, |(batch, fail), _| {
+                assert!(!fail, "worker blew up");
+                batch
+            })
+        });
+        match result {
+            Err(err) => {
+                assert_eq!(err.reason(), "worker_panic");
+                assert!(err.to_string().contains("worker blew up"), "{err}");
+            }
+            Ok(_) => panic!("injected worker panic must fail the query"),
+        }
     }
 
     #[test]

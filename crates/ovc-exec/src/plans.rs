@@ -66,17 +66,34 @@ where
     // Spill once; merge with dedup folded into every merge step.  The
     // intermediate levels stay on the flat path: duplicate-coded rows are
     // dropped as winners copy between contiguous buffers.
-    let mut handles: Vec<usize> = runs.into_iter().map(|r| storage.write_run(r)).collect();
+    // Spill failures propagate as typed panic payloads, contained at the
+    // executor boundary (`ovc_core::ctx`) like every other `ExecError`.
+    let spill = |res: Result<usize, ovc_core::ExecError>| -> usize {
+        res.unwrap_or_else(|e| ovc_core::ctx::propagate(e))
+    };
+    let unspill = |res: Result<Run, ovc_core::ExecError>| -> Run {
+        res.unwrap_or_else(|e| ovc_core::ctx::propagate(e))
+    };
+    let mut handles: Vec<usize> = runs
+        .into_iter()
+        .map(|r| spill(storage.write_run(r)))
+        .collect();
     while handles.len() > fan_in {
         let mut next = Vec::new();
         for chunk in handles.chunks(fan_in) {
-            let level: Vec<Run> = chunk.iter().map(|&h| storage.read_run(h)).collect();
+            let level: Vec<Run> = chunk
+                .iter()
+                .map(|&h| unspill(storage.read_run(h)))
+                .collect();
             let merged = merge_runs(level, key_len, stats).into_run_distinct();
-            next.push(storage.write_run(merged));
+            next.push(spill(storage.write_run(merged)));
         }
         handles = next;
     }
-    let final_runs: Vec<Run> = handles.into_iter().map(|h| storage.read_run(h)).collect();
+    let final_runs: Vec<Run> = handles
+        .into_iter()
+        .map(|h| unspill(storage.read_run(h)))
+        .collect();
     DistinctSortOutput(Dedup::new(SortOutput::Merge(merge_runs(
         final_runs, key_len, stats,
     ))))

@@ -55,7 +55,9 @@ use std::thread::Scope;
 use std::time::{Duration, Instant};
 
 use ovc_core::batch::{assert_batches_exact_spec, BatchRows, Batcher, VecBatchStream};
+use ovc_core::ctx::{self, ExecError};
 use ovc_core::derive::derive_codes_spec_counted;
+use ovc_core::fault;
 use ovc_core::metrics::{ChannelGauge, ExchangeGauges, ProfileNode};
 use ovc_core::{
     AtomicStats, BatchStream, CodedBatch, FlatRows, OvcRow, OvcStream, Row, SortSpec, Stats,
@@ -64,8 +66,8 @@ use ovc_core::{
 use ovc_exec::exchange::partition;
 use ovc_exec::plans::in_sort_distinct;
 use ovc_exec::{
-    route_batches, BatchChannelStream, BatchDedup, BatchFilter, BatchProject, BatchTake,
-    GroupAggregate, MergeJoin, SetOperation, DEFAULT_CHANNEL_CAPACITY,
+    route_batches, BatchChannelStream, BatchDedup, BatchFilter, BatchFrame, BatchProject,
+    BatchTake, GroupAggregate, MergeJoin, SetOperation, DEFAULT_CHANNEL_CAPACITY,
 };
 use ovc_sort::{external_sort, external_sort_spec, MemoryRunStorage, SortConfig};
 
@@ -118,17 +120,21 @@ pub fn execute_batched(
                 // Drain every partition stream to a standalone coded
                 // batch.  Concurrent drains keep upstream workers busy;
                 // each partition chain is fed by its own thread, so
-                // join order cannot deadlock.
+                // join order cannot deadlock.  Drains run contained and
+                // every peer joins before the first error propagates.
                 let handles: Vec<_> = parts
                     .into_iter()
-                    .map(|s| scope.spawn(move || CodedBatch::from_stream_flat(BatchRows::new(s))))
+                    .map(|s| {
+                        scope.spawn(move || {
+                            ctx::contain(|| CodedBatch::from_stream_flat(BatchRows::new(s)))
+                        })
+                    })
                     .collect();
-                Output::Partitions(
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("partition drain panicked"))
-                        .collect(),
-                )
+                let (batches, failure) = reap_scoped(handles);
+                if let Some(err) = failure {
+                    ctx::propagate(err);
+                }
+                Output::Partitions(batches)
             }
         }
     });
@@ -178,6 +184,29 @@ impl BOut {
             _ => panic!("plan output is not partitioned"),
         }
     }
+}
+
+/// Join every scoped handle, collecting successes and the **first**
+/// failure (a contained [`ExecError`] or a raw panic payload) — the
+/// batched executor's copy of the exchange fault rule: all peers join
+/// before any error propagates, so no thread outlives a failing query.
+fn reap_scoped<'scope, T>(
+    handles: Vec<std::thread::ScopedJoinHandle<'scope, Result<T, ExecError>>>,
+) -> (Vec<T>, Option<ExecError>) {
+    let mut outs = Vec::with_capacity(handles.len());
+    let mut failure = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(value)) => outs.push(value),
+            Ok(Err(err)) => {
+                failure.get_or_insert(err);
+            }
+            Err(payload) => {
+                failure.get_or_insert(ctx::error_from_panic(payload));
+            }
+        }
+    }
+    (outs, failure)
 }
 
 /// The profile node for child `i` of a profiled node (the profile tree
@@ -584,7 +613,7 @@ impl<'env> BCx<'_, 'env> {
                     let mut txs = Vec::with_capacity(parts);
                     let mut streams: Vec<PartStream> = Vec::with_capacity(parts);
                     for p in 0..parts {
-                        let (tx, rx) = mpsc::channel::<FlatRows>();
+                        let (tx, rx) = mpsc::channel::<BatchFrame>();
                         txs.push(tx);
                         streams.push(Box::new(BatchChannelStream::new(
                             rx,
@@ -600,32 +629,42 @@ impl<'env> BCx<'_, 'env> {
                     let node = prof.cloned();
                     let cols = cols.clone();
                     self.scope.spawn(move || {
-                        let local = Stats::new_shared();
-                        let src = cx
-                            .run(src_plan, &local, src_prof.as_ref(), None)
-                            .into_batches();
                         let mut rows = 0u64;
                         let mut nbatches = 0u64;
-                        route_batches(
-                            src,
-                            parts,
-                            partition::by_cols_hash_slice(cols, parts),
-                            b,
-                            |p, fb| {
-                                let n = fb.len() as u64;
-                                rows += n;
-                                nbatches += 1;
-                                match &send_gauges[p] {
-                                    Some(g) => {
-                                        let t0 = Instant::now();
-                                        let ok = txs[p].send(fb).is_ok();
-                                        g.note_send_rows(t0.elapsed(), n);
-                                        ok
+                        let local = Stats::new_shared();
+                        let result = ctx::contain(|| {
+                            fault::maybe_panic();
+                            let src = cx
+                                .run(src_plan, &local, src_prof.as_ref(), None)
+                                .into_batches();
+                            route_batches(
+                                src,
+                                parts,
+                                partition::by_cols_hash_slice(cols, parts),
+                                b,
+                                |p, fb| {
+                                    let n = fb.len() as u64;
+                                    rows += n;
+                                    nbatches += 1;
+                                    match &send_gauges[p] {
+                                        Some(g) => {
+                                            let t0 = Instant::now();
+                                            let ok = txs[p].send(BatchFrame::Batch(fb)).is_ok();
+                                            g.note_send_rows(t0.elapsed(), n);
+                                            ok
+                                        }
+                                        None => txs[p].send(BatchFrame::Batch(fb)).is_ok(),
                                     }
-                                    None => txs[p].send(fb).is_ok(),
-                                }
-                            },
-                        );
+                                },
+                            );
+                        });
+                        if let Err(err) = result {
+                            // Poison every partition so the workers see
+                            // the typed error, not a short clean stream.
+                            for tx in &txs {
+                                let _ = tx.send(BatchFrame::Poison(err.clone()));
+                            }
+                        }
                         drop(txs);
                         let snap = local.snapshot();
                         if let Some(n) = &node {
@@ -664,14 +703,15 @@ impl<'env> BCx<'_, 'env> {
                 let handles: Vec<_> = streams
                     .into_iter()
                     .map(|s| {
-                        self.scope
-                            .spawn(move || CodedBatch::from_stream_flat(BatchRows::new(s)))
+                        self.scope.spawn(move || {
+                            ctx::contain(|| CodedBatch::from_stream_flat(BatchRows::new(s)))
+                        })
                     })
                     .collect();
-                let batches: Vec<CodedBatch> = handles
-                    .into_iter()
-                    .map(|h| h.join().expect("repartition drain panicked"))
-                    .collect();
+                let (batches, failure) = reap_scoped(handles);
+                if let Some(err) = failure {
+                    ctx::propagate(err);
+                }
                 let key_len = batches
                     .first()
                     .map(|b| b.key_len())
@@ -720,7 +760,7 @@ impl<'env> BCx<'_, 'env> {
         let build = Arc::new(build);
         let mut outs: Vec<PartStream> = Vec::with_capacity(inputs.len());
         for (p, streams) in inputs.into_iter().enumerate() {
-            let (tx, rx) = mpsc::sync_channel::<FlatRows>(cap);
+            let (tx, rx) = mpsc::sync_channel::<BatchFrame>(cap);
             let send_gauge = gauge_for(gather, p);
             let recv_gauge = gauge_for(gather, p);
             let build = Arc::clone(&build);
@@ -728,29 +768,38 @@ impl<'env> BCx<'_, 'env> {
             let shared = Arc::clone(&self.shared);
             let batch = self.batch;
             self.scope.spawn(move || {
-                let local = Stats::new_shared();
-                let op = build(streams, Arc::clone(&local));
-                let mut out = Batcher::new(op, batch);
                 let mut rows = 0u64;
                 let mut nbatches = 0u64;
-                while let Some(fb) = out.next_batch() {
-                    let n = fb.len() as u64;
-                    rows += n;
-                    nbatches += 1;
-                    let ok = match &send_gauge {
-                        Some(g) => {
-                            let t0 = Instant::now();
-                            let ok = tx.send(fb).is_ok();
-                            g.note_send_rows(t0.elapsed(), n);
-                            ok
+                let local = Stats::new_shared();
+                let result = ctx::contain(|| {
+                    fault::maybe_panic();
+                    let op = build(streams, Arc::clone(&local));
+                    let mut out = Batcher::new(op, batch);
+                    while let Some(fb) = out.next_batch() {
+                        let n = fb.len() as u64;
+                        rows += n;
+                        nbatches += 1;
+                        let ok = match &send_gauge {
+                            Some(g) => {
+                                let t0 = Instant::now();
+                                let ok = tx.send(BatchFrame::Batch(fb)).is_ok();
+                                g.note_send_rows(t0.elapsed(), n);
+                                ok
+                            }
+                            None => tx.send(BatchFrame::Batch(fb)).is_ok(),
+                        };
+                        if !ok {
+                            // Consumer gone (early termination above): stop
+                            // producing; the input chain unwinds the same way.
+                            break;
                         }
-                        None => tx.send(fb).is_ok(),
-                    };
-                    if !ok {
-                        // Consumer gone (early termination above): stop
-                        // producing; the input chain unwinds the same way.
-                        break;
                     }
+                });
+                if let Err(err) = result {
+                    // Poison the gather edge: a worker death (its own
+                    // panic, or a poisoned split edge re-raised by its
+                    // input) becomes a typed error at the consumer.
+                    let _ = tx.send(BatchFrame::Poison(err));
                 }
                 let snap = local.snapshot();
                 if let Some(n) = &node {

@@ -27,6 +27,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ovc_core::ctx::{self, ExecError, QueryCtx};
 use ovc_core::derive::{assert_codes_exact_spec, derive_codes_spec_counted};
 use ovc_core::metrics::ProfileNode;
 use ovc_core::{
@@ -39,7 +40,10 @@ use ovc_exec::{
     split_threaded_gauged, Dedup, Filter as FilterOp, GroupAggregate, MergeJoin,
     Project as ProjectOp, SetOperation, DEFAULT_CHANNEL_CAPACITY,
 };
-use ovc_sort::{external_sort, external_sort_spec, MemoryRunStorage, SortConfig};
+use ovc_sort::{
+    external_sort, external_sort_spec, external_sort_spec_resilient, MemoryRunStorage, Run,
+    RunStorage, SortConfig,
+};
 
 use crate::catalog::Catalog;
 use crate::physical::{Partitioning, PhysOp, PhysicalPlan};
@@ -145,8 +149,107 @@ pub fn execute(
         catalog,
         stats,
         options,
+        ctx: None,
     };
     cx.run(plan, None)
+}
+
+/// As [`execute`], but fault-tolerant: run the plan under a
+/// [`QueryCtx`] and return a typed [`ExecError`] instead of unwinding.
+///
+/// The context is checked at every operator boundary (each lowered
+/// stream re-checks every 256 rows), spills charge the context's
+/// budget, serial sorts take the re-sort-from-source retry path on
+/// spill faults, and the root is drained *inside* the containment
+/// boundary so worker panics, poisoned exchange channels, cancellation,
+/// deadline expiry, and spill corruption all surface here as `Err`.
+/// On success the output is fully materialized — rows, codes, and
+/// [`Stats`] totals byte-identical to [`execute`] of the same plan.
+pub fn execute_ctx(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    stats: &Arc<Stats>,
+    options: &ExecOptions,
+    qctx: &QueryCtx,
+) -> Result<Output, ExecError> {
+    qctx.check()?;
+    ctx::contain(|| {
+        let out = if options.batch_size.is_some() {
+            crate::batch_exec::execute_batched(plan, catalog, stats, options, None)
+        } else {
+            let cx = Cx {
+                catalog,
+                stats,
+                options,
+                ctx: Some(qctx),
+            };
+            cx.run(plan, None)
+        };
+        materialize_checked(out, qctx)
+    })
+}
+
+/// As [`execute_profiled`], but fault-tolerant (see [`execute_ctx`]).
+/// The profile tree is returned even though the output is already
+/// materialized: streaming adapters have flushed by the time this
+/// returns, so [`ProfileNode::snapshot`] is immediately meaningful.
+pub fn execute_ctx_profiled(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    stats: &Arc<Stats>,
+    options: &ExecOptions,
+    qctx: &QueryCtx,
+) -> Result<(Output, Arc<ProfileNode>), ExecError> {
+    qctx.check()?;
+    let root = crate::profile::build_profile(plan);
+    let out = ctx::contain(|| {
+        let out = if options.batch_size.is_some() {
+            crate::batch_exec::execute_batched(plan, catalog, stats, options, Some(&root))
+        } else {
+            let cx = Cx {
+                catalog,
+                stats,
+                options,
+                ctx: Some(qctx),
+            };
+            cx.run(plan, Some(&root))
+        };
+        materialize_checked(out, qctx)
+    })?;
+    Ok((out, root))
+}
+
+/// Drain a root stream eagerly under periodic context checks so that
+/// every late failure (a poison frame deep in an exchange, a deadline
+/// crossed mid-drain) is raised while still inside [`ctx::contain`].
+/// Already-materialized outputs get a single closing check.
+fn materialize_checked(out: Output, qctx: &QueryCtx) -> Output {
+    match out {
+        Output::Stream(mut s) => {
+            let spec = s.sort_spec();
+            let mut coded = Vec::new();
+            loop {
+                qctx.check_or_propagate();
+                let mut chunk = 0;
+                for row in s.by_ref() {
+                    coded.push(row);
+                    chunk += 1;
+                    if chunk == CHECK_INTERVAL {
+                        break;
+                    }
+                }
+                if chunk < CHECK_INTERVAL {
+                    break;
+                }
+            }
+            drop(s);
+            Output::Stream(Box::new(VecStream::from_coded_spec(coded, spec)))
+        }
+        other => {
+            qctx.check_or_propagate();
+            other
+        }
+    }
 }
 
 /// As [`execute`], but with per-operator profiling: every lowered
@@ -174,6 +277,7 @@ pub fn execute_profiled(
         catalog,
         stats,
         options,
+        ctx: None,
     };
     let out = cx.run(plan, Some(&root));
     (out, root)
@@ -191,10 +295,16 @@ pub fn execute_stream(
     execute(plan, catalog, stats, options).into_stream()
 }
 
+/// Rows drained between two context checks on a guarded stream.
+const CHECK_INTERVAL: usize = 256;
+
 struct Cx<'a> {
     catalog: &'a Catalog,
     stats: &'a Arc<Stats>,
     options: &'a ExecOptions,
+    /// Present only under [`execute_ctx`]: operators check it at their
+    /// boundaries and spills charge its budget.  `None` costs nothing.
+    ctx: Option<&'a QueryCtx>,
 }
 
 /// The profile node for child `i` of a profiled node (the profile tree
@@ -222,14 +332,14 @@ impl Cx<'_> {
     /// window or the other).
     fn run(&self, plan: &PhysicalPlan, prof: Option<&Arc<ProfileNode>>) -> Output {
         let Some(node) = prof else {
-            return self.lower(plan, None);
+            return self.guard(self.lower(plan, None));
         };
         let before = self.stats.snapshot();
         let start = Instant::now();
         let out = self.lower(plan, prof);
         node.add_wall(start.elapsed());
         node.absorb_stats(&self.stats.snapshot().since(&before));
-        match out {
+        let out = match out {
             Output::Stream(inner) => {
                 let spec = inner.sort_spec();
                 Output::Stream(Box::new(ProfiledStream {
@@ -251,6 +361,29 @@ impl Cx<'_> {
                 node.add_rows_out(parts.iter().map(|b| b.len() as u64).sum());
                 Output::Partitions(parts)
             }
+        };
+        self.guard(out)
+    }
+
+    /// Under a [`QueryCtx`], every operator boundary is a cancellation
+    /// point: materialized outputs get one check, stream outputs are
+    /// wrapped so the check repeats every [`CHECK_INTERVAL`] rows of the
+    /// drain.  Without a context this is the identity — no wrapper, no
+    /// atomic loads, byte-identical profiling windows.
+    fn guard(&self, out: Output) -> Output {
+        let Some(qctx) = self.ctx else { return out };
+        qctx.check_or_propagate();
+        match out {
+            Output::Stream(inner) => {
+                let spec = inner.sort_spec();
+                Output::Stream(Box::new(CheckStream {
+                    inner,
+                    spec,
+                    ctx: qctx.clone(),
+                    tick: 0,
+                }))
+            }
+            other => other,
         }
     }
 
@@ -302,6 +435,22 @@ impl Cx<'_> {
                             *fan_in,
                             self.stats,
                         )))
+                    }
+                } else if let Some(qctx) = self.ctx {
+                    // Fault-tolerant serial sort: spills run through the
+                    // context (budget + cancellation at run boundaries)
+                    // and a spill fault triggers the re-sort-from-source
+                    // retry — rows and codes are byte-identical to the
+                    // plain arms below because codes are a function of
+                    // the output sequence alone (§3).
+                    let mut storage = CtxStorage {
+                        inner: MemoryRunStorage::new(Arc::clone(self.stats)),
+                        ctx: qctx.clone(),
+                    };
+                    let cfg = SortConfig::new(spec.len(), *memory_rows).with_fan_in(*fan_in);
+                    match external_sort_spec_resilient(rows, cfg, spec, &mut storage, self.stats) {
+                        Ok(out) => Output::Stream(Box::new(out)),
+                        Err(err) => ctx::propagate(err),
                     }
                 } else if spec.is_asc_prefix() && !spec.normalized() {
                     let mut storage = MemoryRunStorage::new(Arc::clone(self.stats));
@@ -375,6 +524,22 @@ impl Cx<'_> {
                         *dop,
                         *memory_rows,
                         *fan_in,
+                        self.stats,
+                    )))
+                } else if let Some(qctx) = self.ctx {
+                    // Context-checked spills (budget + cancellation at
+                    // run boundaries); device faults surface as typed
+                    // errors through the containment boundary.
+                    let mut storage = CtxStorage {
+                        inner: MemoryRunStorage::new(Arc::clone(self.stats)),
+                        ctx: qctx.clone(),
+                    };
+                    Output::Stream(Box::new(in_sort_distinct(
+                        rows,
+                        key_len,
+                        *memory_rows,
+                        *fan_in,
+                        &mut storage,
                         self.stats,
                     )))
                 } else {
@@ -576,6 +741,64 @@ impl Cx<'_> {
                 ))
             }
         }
+    }
+}
+
+/// Spill device wrapper that routes every run transfer through the
+/// query context: cancellation and deadline are re-checked at each run
+/// boundary (runs are the natural quantum of sort I/O) and written
+/// bytes charge the context's spill budget before touching the device.
+struct CtxStorage<S: RunStorage> {
+    inner: S,
+    ctx: QueryCtx,
+}
+
+impl<S: RunStorage> RunStorage for CtxStorage<S> {
+    fn write_run(&mut self, run: Run) -> Result<usize, ExecError> {
+        self.ctx.check()?;
+        self.ctx.charge_spill(run.spill_bytes())?;
+        self.inner.write_run(run)
+    }
+
+    fn read_run(&mut self, handle: usize) -> Result<Run, ExecError> {
+        self.ctx.check()?;
+        self.inner.read_run(handle)
+    }
+
+    fn stored_runs(&self) -> usize {
+        self.inner.stored_runs()
+    }
+}
+
+/// Cancellation-point adapter: re-checks the query context every
+/// [`CHECK_INTERVAL`] rows so a long pipelined drain notices
+/// cancellation or a crossed deadline without per-row overhead.  Rows
+/// and codes pass through untouched.
+struct CheckStream {
+    inner: Box<dyn OvcStream + Send>,
+    spec: SortSpec,
+    ctx: QueryCtx,
+    tick: usize,
+}
+
+impl Iterator for CheckStream {
+    type Item = OvcRow;
+    fn next(&mut self) -> Option<OvcRow> {
+        self.tick += 1;
+        if self.tick >= CHECK_INTERVAL {
+            self.tick = 0;
+            self.ctx.check_or_propagate();
+        }
+        self.inner.next()
+    }
+}
+
+impl OvcStream for CheckStream {
+    fn key_len(&self) -> usize {
+        self.spec.len()
+    }
+    fn sort_spec(&self) -> SortSpec {
+        self.spec.clone()
     }
 }
 

@@ -74,7 +74,10 @@ pub mod profile;
 pub use batch_exec::execute_batched;
 pub use catalog::{Catalog, Table};
 pub use cost::Cost;
-pub use exec::{execute, execute_profiled, execute_stream, ExecOptions, Output};
+pub use exec::{
+    execute, execute_ctx, execute_ctx_profiled, execute_profiled, execute_stream, ExecOptions,
+    Output,
+};
 pub use logical::{Aggregate, JoinType, LogicalPlan, Predicate, SetOp};
 pub use physical::{Partitioning, PhysOp, PhysicalPlan, PhysicalProps};
 pub use planner::{PlanError, Planner, PlannerConfig, Preference};

@@ -3,7 +3,7 @@
 //! ```text
 //! ovc-server [--addr HOST:PORT] [--max-sessions N] [--batch-rows N]
 //!            [--dop N] [--rate-per-second N] [--rate-burst N]
-//!            [--seed-tables]
+//!            [--read-timeout-ms N] [--seed-tables]
 //! ```
 //!
 //! `--seed-tables` registers the paper's Figure-5 intersect tables
@@ -18,7 +18,8 @@ use ovc_server::{RateLimitConfig, Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: ovc-server [--addr HOST:PORT] [--max-sessions N] [--batch-rows N] \
-         [--dop N] [--rate-per-second N] [--rate-burst N] [--seed-tables]"
+         [--dop N] [--rate-per-second N] [--rate-burst N] [--read-timeout-ms N] \
+         [--seed-tables]"
     );
     std::process::exit(2)
 }
@@ -57,6 +58,10 @@ fn main() {
             },
             "--rate-burst" => match value("tokens").parse() {
                 Ok(n) => rate.burst = n,
+                Err(_) => usage(),
+            },
+            "--read-timeout-ms" => match value("milliseconds").parse() {
+                Ok(n) => config.read_timeout = std::time::Duration::from_millis(n),
                 Err(_) => usage(),
             },
             "--seed-tables" => seed_tables = true,

@@ -311,7 +311,17 @@ impl Client {
                         .get("message")
                         .and_then(Json::as_str)
                         .unwrap_or("unknown");
-                    return fail(200, format!("server error frame: {msg}"));
+                    // Typed frames carry a machine-readable reason
+                    // ("timeout", "worker_panic", ...); keep it in the
+                    // message so callers can branch on the fault class.
+                    let reason = frame.get("reason").and_then(Json::as_str);
+                    return fail(
+                        200,
+                        match reason {
+                            Some(r) => format!("server error frame [{r}]: {msg}"),
+                            None => format!("server error frame: {msg}"),
+                        },
+                    );
                 }
                 other => return fail(0, format!("unknown frame kind {other:?}")),
             }

@@ -23,8 +23,14 @@ pub struct ServerMetrics {
     pub requests_total: AtomicU64,
     /// Queries executed to completion (trailer sent).
     pub queries_total: AtomicU64,
-    /// Queries that failed after admission (parse, plan, or I/O).
+    /// Queries that failed after admission (parse, plan, or execution
+    /// faults other than cancellation/timeout).
     pub query_errors_total: AtomicU64,
+    /// Queries cancelled: the client disconnected mid-stream or the
+    /// query context was cancelled before completion.
+    pub queries_cancelled_total: AtomicU64,
+    /// Queries whose `x-query-timeout-ms` deadline expired.
+    pub queries_timed_out_total: AtomicU64,
     /// Requests rejected by the per-IP rate limiter (429s).
     pub rate_limited_total: AtomicU64,
     /// Connections rejected because the session pool was full (503s).
@@ -101,6 +107,16 @@ impl ServerMetrics {
             "ovc_query_errors_total",
             "Queries failed after admission",
             self.query_errors_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "ovc_queries_cancelled_total",
+            "Queries cancelled (client disconnect or explicit cancel)",
+            self.queries_cancelled_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "ovc_queries_timed_out_total",
+            "Queries whose deadline expired",
+            self.queries_timed_out_total.load(Ordering::Relaxed),
         );
         counter(
             "ovc_rate_limited_total",
@@ -186,8 +202,11 @@ mod tests {
             ovc_cmps: 7,
             ..StatsSnapshot::default()
         });
+        ServerMetrics::inc(&m.queries_timed_out_total);
         let text = m.render_prometheus();
         assert!(text.contains("ovc_requests_total 1\n"), "{text}");
+        assert!(text.contains("ovc_queries_cancelled_total 0\n"), "{text}");
+        assert!(text.contains("ovc_queries_timed_out_total 1\n"), "{text}");
         assert!(text.contains("ovc_rows_streamed_total 42\n"), "{text}");
         assert!(text.contains("ovc_engine_ovc_cmps_total 7\n"), "{text}");
         assert!(text.contains("# TYPE ovc_active_sessions gauge"), "{text}");

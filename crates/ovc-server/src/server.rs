@@ -30,8 +30,11 @@ use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 use ovc_bench::snapshot::Json;
-use ovc_core::{Stats, StatsSnapshot};
-use ovc_plan::{execute, execute_profiled, Catalog, ExecOptions, Output, Planner, PlannerConfig};
+use ovc_core::ctx::ExecError;
+use ovc_core::{QueryCtx, Stats, StatsSnapshot};
+use ovc_plan::{
+    execute_ctx, execute_ctx_profiled, Catalog, ExecOptions, Output, Planner, PlannerConfig,
+};
 
 use crate::http::{read_request, write_response, ChunkedWriter, ParseError, Request};
 use crate::metrics::ServerMetrics;
@@ -56,6 +59,10 @@ pub struct ServerConfig {
     /// the shutdown flag (liveness knob; correctness does not depend on
     /// it).
     pub poll_interval: Duration,
+    /// How long a session waits for the remainder of a request once its
+    /// first byte has arrived (slow-writer allowance; the connection is
+    /// closed when it expires mid-request).
+    pub read_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +74,7 @@ impl Default for ServerConfig {
             rate_limit: RateLimitConfig::default(),
             planner: PlannerConfig::default(),
             poll_interval: Duration::from_millis(50),
+            read_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -270,7 +278,7 @@ fn session_loop(state: &ServerState, stream: TcpStream) {
         }
         // A request has begun; allow a generous window for the rest of
         // it (slow writers), then parse it whole.
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = stream.set_read_timeout(Some(state.config.read_timeout));
         let request = match read_request(&mut reader) {
             Ok(Some(r)) => r,
             Ok(None) => return,
@@ -487,6 +495,23 @@ fn handle_query(
         ..ExecOptions::default()
     };
 
+    // Per-query fault context: `x-query-timeout-ms` arms a deadline the
+    // executor re-checks at operator and run boundaries; the context is
+    // also cancelled if the client disconnects mid-stream.
+    let timeout = match request.header("x-query-timeout-ms") {
+        None => None,
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(_) => {
+                return bad_request(
+                    &mut writer,
+                    "x-query-timeout-ms: expected milliseconds as an unsigned integer",
+                )
+            }
+        },
+    };
+    let qctx = QueryCtx::build(timeout, None);
+
     if mode == "explain" {
         let mut body = format!("{{\"status\":\"ok\",\"request_id\":\"{request_id}\",\"explain\":");
         let mut text = String::new();
@@ -516,21 +541,45 @@ fn handle_query(
         &physical,
         &catalog,
         &options,
+        &qctx,
     );
     state.in_flight_queries.fetch_sub(1, Ordering::SeqCst);
+    // Every streamed query lands in exactly one counter: completed,
+    // timed out, cancelled, or failed — so the /metrics series stay
+    // individually interpretable.
     match result {
-        Ok(()) => {
+        Ok(None) => {
             ServerMetrics::inc(&state.metrics.queries_total);
             true
         }
+        Ok(Some(err)) => {
+            match err.reason() {
+                "timeout" => ServerMetrics::inc(&state.metrics.queries_timed_out_total),
+                "cancelled" => ServerMetrics::inc(&state.metrics.queries_cancelled_total),
+                _ => ServerMetrics::inc(&state.metrics.query_errors_total),
+            }
+            // The error frame and terminal chunk were delivered; the
+            // connection stays usable for the next request.
+            true
+        }
         Err(_) => {
-            ServerMetrics::inc(&state.metrics.query_errors_total);
+            // The transport died mid-stream (client gone): cancel the
+            // context so any work still referencing it stops at its next
+            // check, and count the abandonment.  SessionGuard and the
+            // in-flight decrement above free the slot either way.
+            qctx.cancel();
+            ServerMetrics::inc(&state.metrics.queries_cancelled_total);
             false
         }
     }
 }
 
 /// Execute and stream one query: header frame, row batches, trailer.
+///
+/// The header goes out **before** execution starts, so when the
+/// executor fails the typed [`ExecError`] is delivered as an `error`
+/// frame on the already-open stream (`Ok(Some(err))`); `Err` is a
+/// transport failure (the client disconnected mid-stream).
 #[allow(clippy::too_many_arguments)]
 fn stream_query(
     state: &ServerState,
@@ -541,16 +590,10 @@ fn stream_query(
     physical: &ovc_plan::PhysicalPlan,
     catalog: &Catalog,
     options: &ExecOptions,
-) -> std::io::Result<()> {
+    qctx: &QueryCtx,
+) -> std::io::Result<Option<ExecError>> {
     let stats = Stats::new_shared();
     let before = stats.snapshot();
-    let (output, profile) = if mode == "analyze" {
-        let (out, root) = execute_profiled(physical, catalog, &stats, options);
-        (out, Some(root))
-    } else {
-        (execute(physical, catalog, &stats, options), None)
-    };
-
     let width = physical.props.width;
     let key_len = physical.props.order.len();
     let mut cw = ChunkedWriter::start(
@@ -561,6 +604,23 @@ fn stream_query(
         base_headers,
     )?;
     cw.chunk(wire::header_frame(request_id, mode, width, key_len).as_bytes())?;
+
+    let executed = if mode == "analyze" {
+        execute_ctx_profiled(physical, catalog, &stats, options, qctx).map(|(o, r)| (o, Some(r)))
+    } else {
+        execute_ctx(physical, catalog, &stats, options, qctx).map(|o| (o, None))
+    };
+    let (output, profile) = match executed {
+        Ok(v) => v,
+        Err(err) => {
+            // Keep the accounting of the failed attempt — the engine
+            // counters reflect work actually performed.
+            state.metrics.absorb_query(&stats.snapshot().since(&before));
+            cw.chunk(wire::typed_error_frame(err.reason(), &err.to_string()).as_bytes())?;
+            cw.finish()?;
+            return Ok(Some(err));
+        }
+    };
 
     let batch_rows = state.config.batch_rows.max(1);
     let mut seq = 0u64;
@@ -613,7 +673,7 @@ fn stream_query(
             // reaching this is a planner bug, reported on the stream.
             cw.chunk(wire::error_frame("plan root is partitioned").as_bytes())?;
             cw.finish()?;
-            return Ok(());
+            return Ok(None);
         }
     }
 
@@ -628,7 +688,7 @@ fn stream_query(
     });
     cw.chunk(wire::trailer_frame(total_rows, seq, &delta, analyze_text.as_deref()).as_bytes())?;
     cw.finish()?;
-    Ok(())
+    Ok(None)
 }
 
 /// JSON-escape `s` into `out` (string form, with quotes).

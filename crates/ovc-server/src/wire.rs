@@ -405,6 +405,20 @@ pub fn error_frame(message: &str) -> String {
     f
 }
 
+/// An `error` frame with a machine-readable failure `reason` —
+/// [`ovc_core::ctx::ExecError::reason`]: `"cancelled"`, `"timeout"`,
+/// `"spill_io"`, `"spill_corruption"`, `"spill_budget"`, or
+/// `"worker_panic"` — so clients can branch on the fault class without
+/// parsing the human-readable message.
+pub fn typed_error_frame(reason: &str, message: &str) -> String {
+    let mut f = String::from("{\"frame\":\"error\",\"status\":\"error\",\"reason\":");
+    push_escaped(&mut f, reason);
+    f.push_str(",\"message\":");
+    push_escaped(&mut f, message);
+    f.push_str("}\n");
+    f
+}
+
 /// A complete (non-streaming) JSON error body for pre-header failures.
 pub fn error_body(request_id: &str, message: &str) -> String {
     let mut f = String::from("{\"status\":\"error\",\"request_id\":");
@@ -528,6 +542,14 @@ mod tests {
         assert_eq!(
             Json::parse(&e).unwrap().get("message").unwrap().as_str(),
             Some("bad \"quote\"")
+        );
+        let e = typed_error_frame("timeout", "deadline exceeded after 5ms");
+        let doc = Json::parse(&e).unwrap();
+        assert_eq!(doc.get("frame").unwrap().as_str(), Some("error"));
+        assert_eq!(doc.get("reason").unwrap().as_str(), Some("timeout"));
+        assert_eq!(
+            doc.get("message").unwrap().as_str(),
+            Some("deadline exceeded after 5ms")
         );
     }
 }

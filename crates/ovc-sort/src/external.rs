@@ -19,7 +19,9 @@
 
 use std::sync::Arc;
 
-use ovc_core::{OvcRow, OvcStream, Row, SortSpec, Stats};
+use ovc_core::ctx::propagate;
+use ovc_core::fault::{self, FaultPoint};
+use ovc_core::{ExecError, OvcRow, OvcStream, Row, SortSpec, Stats};
 
 use crate::merge::merge_runs_spec;
 use crate::run_gen::{generate_runs_spec, RunGenStrategy};
@@ -73,11 +75,16 @@ impl SortConfig {
 /// device — with its stored runs — moves back to the coordinator for the
 /// merge.  All implementations in this workspace account through
 /// `Arc<Stats>`, so the bound costs nothing.
+/// Both operations are fallible: real devices hit I/O errors on write
+/// and detect corruption on read-back, and both must surface as a typed
+/// [`ExecError`] the sort can react to (fail the query, or retry from
+/// source — see [`external_sort_spec_resilient`]) rather than a panic or
+/// garbage rows.
 pub trait RunStorage: Send {
     /// Write a run; returns its handle.
-    fn write_run(&mut self, run: Run) -> usize;
+    fn write_run(&mut self, run: Run) -> Result<usize, ExecError>;
     /// Read a run back (consuming it from storage).
-    fn read_run(&mut self, handle: usize) -> Run;
+    fn read_run(&mut self, handle: usize) -> Result<Run, ExecError>;
     /// Number of stored runs still readable.
     fn stored_runs(&self) -> usize;
 }
@@ -99,17 +106,19 @@ impl MemoryRunStorage {
 }
 
 impl RunStorage for MemoryRunStorage {
-    fn write_run(&mut self, run: Run) -> usize {
+    fn write_run(&mut self, run: Run) -> Result<usize, ExecError> {
+        fault::maybe_spill_io(FaultPoint::SpillWrite)?;
         self.stats.count_spill(run.len() as u64, run.spill_bytes());
         self.runs.push(Some(run));
-        self.runs.len() - 1
+        Ok(self.runs.len() - 1)
     }
 
-    fn read_run(&mut self, handle: usize) -> Run {
+    fn read_run(&mut self, handle: usize) -> Result<Run, ExecError> {
+        fault::maybe_spill_io(FaultPoint::SpillRead)?;
         let run = self.runs[handle].take().expect("run already consumed");
         self.stats
             .count_read_back(run.len() as u64, run.spill_bytes());
-        run
+        Ok(run)
     }
 
     fn stored_runs(&self) -> usize {
@@ -202,27 +211,91 @@ where
     I: IntoIterator<Item = Row>,
     S: RunStorage,
 {
+    try_external_sort_spec(input, config, spec, storage, stats).unwrap_or_else(|err| propagate(err))
+}
+
+/// Fallible [`external_sort_spec`]: spill-device failures come back as a
+/// typed [`ExecError`] instead of unwinding.  This is the primitive the
+/// recovery path ([`external_sort_spec_resilient`]) and the executors'
+/// fault containment build on.
+pub fn try_external_sort_spec<I, S>(
+    input: I,
+    config: SortConfig,
+    spec: &SortSpec,
+    storage: &mut S,
+    stats: &Arc<Stats>,
+) -> Result<SortOutput, ExecError>
+where
+    I: IntoIterator<Item = Row>,
+    S: RunStorage,
+{
     let mut runs = generate_runs_spec(input, spec, config.memory_rows, config.strategy, stats);
     if runs.is_empty() {
-        return SortOutput::Memory(Run::empty_spec(spec.clone()).cursor());
+        return Ok(SortOutput::Memory(Run::empty_spec(spec.clone()).cursor()));
     }
     if runs.len() == 1 {
-        return SortOutput::Memory(runs.pop().expect("one run").cursor());
+        return Ok(SortOutput::Memory(runs.pop().expect("one run").cursor()));
     }
-    let mut handles: Vec<usize> = runs.into_iter().map(|r| storage.write_run(r)).collect();
+    let mut handles = Vec::with_capacity(runs.len());
+    for run in runs {
+        handles.push(storage.write_run(run)?);
+    }
     while handles.len() > config.fan_in {
         let mut next_level = Vec::new();
         for chunk in handles.chunks(config.fan_in) {
-            let level_runs: Vec<Run> = chunk.iter().map(|&h| storage.read_run(h)).collect();
+            let mut level_runs = Vec::with_capacity(chunk.len());
+            for &h in chunk {
+                level_runs.push(storage.read_run(h)?);
+            }
             // Intermediate merge levels stay flat end-to-end: winner rows
             // copy between contiguous buffers, nothing is boxed.
             let merged = merge_runs_spec(level_runs, spec, stats).into_run();
-            next_level.push(storage.write_run(merged));
+            next_level.push(storage.write_run(merged)?);
         }
         handles = next_level;
     }
-    let final_runs: Vec<Run> = handles.into_iter().map(|h| storage.read_run(h)).collect();
-    SortOutput::Merge(merge_runs_spec(final_runs, spec, stats))
+    let mut final_runs = Vec::with_capacity(handles.len());
+    for h in handles {
+        final_runs.push(storage.read_run(h)?);
+    }
+    Ok(SortOutput::Merge(merge_runs_spec(final_runs, spec, stats)))
+}
+
+/// [`try_external_sort_spec`] with a **re-sort-from-source retry**: when
+/// the spill device fails (I/O error or detected corruption — see
+/// [`ExecError::is_spill_fault`]), the input still exists upstream, so
+/// the sort retries entirely in memory instead of failing the query.
+///
+/// The price of the safety net: when the input exceeds the memory
+/// budget, a copy of the source rows is retained for the duration of
+/// the first attempt (recovery needs a source to re-sort from).  On
+/// retry, `memory_rows` is raised to the input size so run generation
+/// yields a single resident run and the faulty device is never touched
+/// again.  [`Stats`] keep every counter the failed attempt accrued —
+/// accounting reflects work actually performed.
+pub fn external_sort_spec_resilient<S>(
+    rows: Vec<Row>,
+    config: SortConfig,
+    spec: &SortSpec,
+    storage: &mut S,
+    stats: &Arc<Stats>,
+) -> Result<SortOutput, ExecError>
+where
+    S: RunStorage,
+{
+    let retained = (rows.len() > config.memory_rows).then(|| rows.clone());
+    match try_external_sort_spec(rows, config, spec, storage, stats) {
+        Ok(out) => Ok(out),
+        Err(err) if err.is_spill_fault() => {
+            let Some(rows) = retained else {
+                return Err(err);
+            };
+            let mut resident = config;
+            resident.memory_rows = rows.len().max(1);
+            try_external_sort_spec(rows, resident, spec, storage, stats)
+        }
+        Err(err) => Err(err),
+    }
 }
 
 /// Externally sort `input` all the way into a single **flat** run — the
@@ -374,6 +447,90 @@ mod tests {
         let spec = external_sort_spec_collect(rows, cfg, &SortSpec::asc(2), &stats_b);
         assert_eq!(plain, spec, "rows and codes byte-identical");
         assert_eq!(stats_a.rows_spilled(), stats_b.rows_spilled());
+    }
+
+    /// A spill device whose every operation fails with a typed error.
+    struct BrokenStorage;
+
+    impl RunStorage for BrokenStorage {
+        fn write_run(&mut self, _run: Run) -> Result<usize, ExecError> {
+            Err(ExecError::SpillIo {
+                detail: "device unplugged".into(),
+            })
+        }
+        fn read_run(&mut self, _handle: usize) -> Result<Run, ExecError> {
+            Err(ExecError::SpillIo {
+                detail: "device unplugged".into(),
+            })
+        }
+        fn stored_runs(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn broken_storage_surfaces_typed_error() {
+        let rows = random_rows(500, 2, 10, 21);
+        let stats = Stats::new_shared();
+        let err = try_external_sort_spec(
+            rows,
+            SortConfig::new(2, 50),
+            &SortSpec::asc(2),
+            &mut BrokenStorage,
+            &stats,
+        )
+        .map(|_| ())
+        .expect_err("spilling sort on a broken device must fail");
+        assert_eq!(err.reason(), "spill_io");
+    }
+
+    #[test]
+    fn resilient_sort_recovers_from_spill_faults_byte_identically() {
+        let rows = random_rows(800, 2, 10, 22);
+        let ref_stats = Stats::new_shared();
+        let reference = external_sort_collect(rows.clone(), SortConfig::new(2, 50), &ref_stats);
+
+        let stats = Stats::new_shared();
+        let out: Vec<OvcRow> = external_sort_spec_resilient(
+            rows,
+            SortConfig::new(2, 50),
+            &SortSpec::asc(2),
+            &mut BrokenStorage,
+            &stats,
+        )
+        .expect("retry path recovers")
+        .collect();
+        // Exact codes are a function of the output row sequence alone, so
+        // the in-memory retry reproduces rows *and* codes bit-for-bit.
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn resilient_sort_does_not_mask_non_spill_errors() {
+        struct CancelledStorage;
+        impl RunStorage for CancelledStorage {
+            fn write_run(&mut self, _run: Run) -> Result<usize, ExecError> {
+                Err(ExecError::Cancelled)
+            }
+            fn read_run(&mut self, _handle: usize) -> Result<Run, ExecError> {
+                Err(ExecError::Cancelled)
+            }
+            fn stored_runs(&self) -> usize {
+                0
+            }
+        }
+        let rows = random_rows(300, 2, 10, 23);
+        let stats = Stats::new_shared();
+        let err = external_sort_spec_resilient(
+            rows,
+            SortConfig::new(2, 50),
+            &SortSpec::asc(2),
+            &mut CancelledStorage,
+            &stats,
+        )
+        .map(|_| ())
+        .expect_err("cancellation is not retryable");
+        assert_eq!(err, ExecError::Cancelled);
     }
 
     #[test]

@@ -44,7 +44,8 @@ pub mod tree;
 
 pub use external::{
     external_sort, external_sort_collect, external_sort_spec, external_sort_spec_collect,
-    external_sort_spec_to_run, MemoryRunStorage, RunStorage, SortConfig, SortOutput,
+    external_sort_spec_resilient, external_sort_spec_to_run, try_external_sort_spec,
+    MemoryRunStorage, RunStorage, SortConfig, SortOutput,
 };
 pub use merge::{
     merge_runs, merge_runs_spec, merge_runs_to_run, merge_runs_to_run_spec, merge_streams,

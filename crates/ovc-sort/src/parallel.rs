@@ -32,12 +32,34 @@
 use std::sync::Arc;
 use std::thread;
 
+use ovc_core::ctx::{self, ExecError};
+use ovc_core::fault;
 use ovc_core::{OvcRow, OvcStream, Row, SortSpec, Stats, StatsSnapshot};
 
 use crate::external::{RunStorage, SortOutput};
 use crate::merge::{merge_runs_spec, merge_runs_to_run_spec};
 use crate::run_gen::{generate_runs_spec, RunGenStrategy};
 use crate::runs::Run;
+
+/// Join every worker, collecting the successes and the *first* panic
+/// payload (mapped to a typed [`ExecError`]).  Joining all handles before
+/// reporting is what keeps a single panicked worker from leaking threads
+/// or deadlocking peers; callers absorb surviving workers' stats and then
+/// propagate the error.
+fn join_all<T>(workers: Vec<thread::ScopedJoinHandle<'_, T>>) -> (Vec<T>, Option<ExecError>) {
+    let mut done = Vec::with_capacity(workers.len());
+    let mut first_err = None;
+    for worker in workers {
+        match worker.join() {
+            Ok(v) => done.push(v),
+            Err(payload) => {
+                let err = ctx::error_from_panic(payload);
+                first_err.get_or_insert(err);
+            }
+        }
+    }
+    (done, first_err)
+}
 
 /// Generate initial runs from `threads` workers over contiguous row-range
 /// slices of the input.  Each worker respects the per-worker `memory_rows`
@@ -83,11 +105,12 @@ pub fn parallel_generate_runs_spec(
     }
     chunks.push(rest);
 
-    let results: Vec<(Vec<Run>, StatsSnapshot)> = thread::scope(|scope| {
+    let (results, failure) = thread::scope(|scope| {
         let workers: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
                 scope.spawn(move || {
+                    fault::maybe_panic();
                     // Per-thread counters: `Arc<Stats>` never crosses the
                     // thread boundary; only the snapshot does.
                     let local = Stats::new_shared();
@@ -102,16 +125,16 @@ pub fn parallel_generate_runs_spec(
                 })
             })
             .collect();
-        workers
-            .into_iter()
-            .map(|w| w.join().expect("run-generation worker panicked"))
-            .collect()
+        join_all(workers)
     });
 
     let mut runs = Vec::new();
     for (worker_runs, snapshot) in results {
         stats.absorb(&snapshot);
         runs.extend(worker_runs);
+    }
+    if let Some(err) = failure {
+        ctx::propagate(err);
     }
     runs
 }
@@ -232,13 +255,17 @@ where
     chunks.push(rest);
 
     // Each worker: generate runs from its slice, spill every run into its
-    // own device, send the loaded device home.
-    let results: Vec<(S, Vec<usize>, StatsSnapshot)> = thread::scope(|scope| {
+    // own device, send the loaded device home.  Spill failures ride back
+    // as data (`Result` handles), worker panics as typed join errors —
+    // either way every worker is joined before anything propagates.
+    type SpilledSlice<S> = (S, Result<Vec<usize>, ExecError>, StatsSnapshot);
+    let (results, failure): (Vec<SpilledSlice<S>>, Option<ExecError>) = thread::scope(|scope| {
         let workers: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
                 let make_storage = &make_storage;
                 scope.spawn(move || {
+                    fault::maybe_panic();
                     let local = Stats::new_shared();
                     let mut device = make_storage();
                     let runs = generate_runs_spec(
@@ -248,26 +275,41 @@ where
                         RunGenStrategy::OvcPriorityQueue,
                         &local,
                     );
-                    let handles: Vec<usize> =
+                    let handles: Result<Vec<usize>, ExecError> =
                         runs.into_iter().map(|r| device.write_run(r)).collect();
                     (device, handles, local.snapshot())
                 })
             })
             .collect();
-        workers
-            .into_iter()
-            .map(|w| w.join().expect("spilling run-generation worker panicked"))
-            .collect()
+        join_all(workers)
     });
 
     // Coordinator: absorb worker comparison counts, read every spilled
     // run back, merge with bounded fan-in exactly like the resident path.
     let mut runs = Vec::new();
+    let mut spill_err = failure;
     for (mut device, handles, snapshot) in results {
         stats.absorb(&snapshot);
-        for h in handles {
-            runs.push(device.read_run(h));
+        match handles {
+            Ok(handles) if spill_err.is_none() => {
+                for h in handles {
+                    match device.read_run(h) {
+                        Ok(run) => runs.push(run),
+                        Err(err) => {
+                            spill_err.get_or_insert(err);
+                            break;
+                        }
+                    }
+                }
+            }
+            Ok(_) => {}
+            Err(err) => {
+                spill_err.get_or_insert(err);
+            }
         }
+    }
+    if let Some(err) = spill_err {
+        ctx::propagate(err);
     }
     if runs.is_empty() {
         return SortOutput::Memory(Run::empty_spec(spec.clone()).cursor());

@@ -1,0 +1,67 @@
+//! CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) for spill-frame
+//! integrity — table-driven, dependency-free.
+//!
+//! Spilled runs are written once and read back once on a path where a
+//! torn write or a flipped bit would otherwise decode into *plausible but
+//! wrong rows* (the raw-words format is just little-endian `u64`s — every
+//! bit pattern is a valid row).  A 32-bit frame checksum turns both
+//! failure modes into a typed `ExecError::SpillCorruption` instead.
+
+/// The reflected IEEE polynomial used by zip, Ethernet, PNG, et al.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32 of `bytes` (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF` — the
+/// standard IEEE convention).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let data = vec![0xABu8; 256];
+        let base = crc32(&data);
+        for pos in [0usize, 1, 100, 255] {
+            let mut flipped = data.clone();
+            flipped[pos] ^= 0x01;
+            assert_ne!(crc32(&flipped), base, "flip at {pos} must change crc");
+        }
+    }
+}

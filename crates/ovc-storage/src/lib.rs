@@ -6,7 +6,9 @@
 //! paper names, each delivering coded streams:
 //!
 //! * [`encode`] — prefix-truncated run format (runs "encoded with prefixes
-//!   truncated", Section 3);
+//!   truncated", Section 3) and the checksummed raw-words frame;
+//! * [`checksum`] — dependency-free CRC32 behind the crash-safe spill
+//!   framing (DESIGN.md §14);
 //! * [`spill`] — spill devices with honest byte accounting (in-memory and
 //!   file-backed) for the Figure 6 spill claims;
 //! * [`btree`] — bulk-loaded b-tree with next-neighbor-difference leaf
@@ -23,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub mod btree;
+pub mod checksum;
 pub mod encode;
 pub mod lsm;
 pub mod rle;
@@ -30,7 +33,8 @@ pub mod secondary;
 pub mod spill;
 
 pub use btree::{BTree, BTreeScan};
-pub use encode::{decode_run, decode_run_raw, encode_run, encode_run_raw};
+pub use checksum::crc32;
+pub use encode::{decode_run, decode_run_raw, encode_run, encode_run_raw, RAW_FRAME_OVERHEAD};
 pub use lsm::{merge_forest_scans, LsmConfig, LsmForest};
 pub use rle::{RleColumnStore, RleScan};
 pub use secondary::{Rid, SecondaryIndex};

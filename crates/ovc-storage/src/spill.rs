@@ -9,7 +9,8 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use ovc_core::Stats;
+use ovc_core::fault::{self, FaultPoint};
+use ovc_core::{ExecError, Stats};
 use ovc_sort::{Run, RunStorage};
 
 use crate::encode::{decode_run, decode_run_raw, encode_run, encode_run_raw};
@@ -34,11 +35,17 @@ impl SpillFormat {
         }
     }
 
-    fn decode(self, bytes: &[u8]) -> Run {
+    fn decode(self, bytes: &[u8]) -> Result<Run, ExecError> {
         match self {
-            SpillFormat::PrefixTruncated => decode_run(bytes),
+            SpillFormat::PrefixTruncated => Ok(decode_run(bytes)),
             SpillFormat::RawWords => decode_run_raw(bytes),
         }
+    }
+
+    /// Whether the format carries its own integrity framing (length +
+    /// CRC32), i.e. whether corrupted bytes decode to a typed error.
+    fn checksummed(self) -> bool {
+        matches!(self, SpillFormat::RawWords)
     }
 }
 
@@ -64,18 +71,20 @@ impl EncodedRunStorage {
 }
 
 impl RunStorage for EncodedRunStorage {
-    fn write_run(&mut self, run: Run) -> usize {
+    fn write_run(&mut self, run: Run) -> Result<usize, ExecError> {
+        fault::maybe_spill_io(FaultPoint::SpillWrite)?;
         let rows = run.len() as u64;
         let bytes = encode_run(&run);
         self.stats.count_spill(rows, bytes.len() as u64);
         self.blobs.push(Some((bytes, rows)));
-        self.blobs.len() - 1
+        Ok(self.blobs.len() - 1)
     }
 
-    fn read_run(&mut self, handle: usize) -> Run {
+    fn read_run(&mut self, handle: usize) -> Result<Run, ExecError> {
+        fault::maybe_spill_io(FaultPoint::SpillRead)?;
         let (bytes, rows) = self.blobs[handle].take().expect("run already consumed");
         self.stats.count_read_back(rows, bytes.len() as u64);
-        decode_run(&bytes)
+        Ok(decode_run(&bytes))
     }
 
     fn stored_runs(&self) -> usize {
@@ -129,20 +138,32 @@ impl FileRunStorage {
 }
 
 impl RunStorage for FileRunStorage {
-    fn write_run(&mut self, run: Run) -> usize {
+    fn write_run(&mut self, run: Run) -> Result<usize, ExecError> {
+        fault::maybe_spill_io(FaultPoint::SpillWrite)?;
         let rows = run.len() as u64;
-        let bytes = self.format.encode(&run);
+        let mut bytes = self.format.encode(&run);
+        // Corruption injection only targets the checksummed format: the
+        // flip must surface as a typed decode error on read-back, and
+        // only framed bytes guarantee that.
+        if self.format.checksummed() {
+            fault::maybe_corrupt(&mut bytes);
+        }
         let path = self.dir.join(format!("run-{}.ovc", self.next_id));
         self.next_id += 1;
-        std::fs::write(&path, &bytes).expect("spill write");
+        std::fs::write(&path, &bytes).map_err(|e| ExecError::SpillIo {
+            detail: format!("writing {}: {e}", path.display()),
+        })?;
         self.stats.count_spill(rows, bytes.len() as u64);
         self.files.push(Some((path, rows, bytes.len() as u64)));
-        self.files.len() - 1
+        Ok(self.files.len() - 1)
     }
 
-    fn read_run(&mut self, handle: usize) -> Run {
+    fn read_run(&mut self, handle: usize) -> Result<Run, ExecError> {
+        fault::maybe_spill_io(FaultPoint::SpillRead)?;
         let (path, rows, bytes) = self.files[handle].take().expect("run already consumed");
-        let data = std::fs::read(&path).expect("spill read");
+        let data = std::fs::read(&path).map_err(|e| ExecError::SpillIo {
+            detail: format!("reading {}: {e}", path.display()),
+        })?;
         let _ = std::fs::remove_file(&path);
         self.stats.count_read_back(rows, bytes);
         self.format.decode(&data)
@@ -179,10 +200,10 @@ mod tests {
         let stats = Stats::new_shared();
         let mut storage = EncodedRunStorage::new(Arc::clone(&stats));
         let run = Run::from_sorted_rows(ovc_core::table1::rows(), 4);
-        let h = storage.write_run(run.clone());
+        let h = storage.write_run(run.clone()).expect("write");
         assert_eq!(storage.stored_runs(), 1);
         assert!(storage.resident_bytes() > 0);
-        let back = storage.read_run(h);
+        let back = storage.read_run(h).expect("read");
         assert_eq!(back.flat(), run.flat());
         assert_eq!(storage.stored_runs(), 0);
         assert_eq!(stats.rows_spilled(), 7);
@@ -212,8 +233,8 @@ mod tests {
         let mut rows = random_rows(100, 3);
         rows.sort();
         let run = Run::from_sorted_rows(rows, 2);
-        let h = storage.write_run(run.clone());
-        let back = storage.read_run(h);
+        let h = storage.write_run(run.clone()).expect("write");
+        let back = storage.read_run(h).expect("read");
         assert_eq!(back.flat(), run.flat());
         drop(storage);
         assert!(!dir.exists(), "scratch dir removed on drop");
@@ -227,21 +248,75 @@ mod tests {
 
         let s_enc = Stats::new_shared();
         let mut enc = FileRunStorage::new(Arc::clone(&s_enc)).expect("tempdir");
-        let h = enc.write_run(run.clone());
-        assert_eq!(enc.read_run(h).flat(), run.flat());
+        let h = enc.write_run(run.clone()).expect("write");
+        assert_eq!(enc.read_run(h).expect("read").flat(), run.flat());
 
         let s_raw = Stats::new_shared();
         let mut raw = FileRunStorage::new_raw(Arc::clone(&s_raw)).expect("tempdir");
-        let h = raw.write_run(run.clone());
-        assert_eq!(raw.read_run(h).flat(), run.flat());
+        let h = raw.write_run(run.clone()).expect("write");
+        assert_eq!(raw.read_run(h).expect("read").flat(), run.flat());
 
         // Raw words spill the whole flat buffer; prefix truncation saves
         // bytes on these low-cardinality keys.
         assert!(s_raw.bytes_spilled() > s_enc.bytes_spilled());
         assert_eq!(
             s_raw.bytes_spilled(),
-            32 + (run.len() as u64) * (run.width() as u64 + 1) * 8
+            crate::encode::RAW_FRAME_OVERHEAD as u64
+                + (run.len() as u64) * (run.width() as u64 + 1) * 8
         );
+    }
+
+    #[test]
+    fn tampered_raw_spill_file_reads_back_as_typed_corruption() {
+        let stats = Stats::new_shared();
+        let mut storage = FileRunStorage::new_raw(Arc::clone(&stats)).expect("tempdir");
+        let mut rows = random_rows(150, 33);
+        rows.sort();
+        let run = Run::from_sorted_rows(rows, 2);
+        let h = storage.write_run(run).expect("write");
+
+        // Flip one byte of the spilled file behind the device's back —
+        // the bit-rot scenario the CRC32 framing exists for.
+        let file = std::fs::read_dir(storage.dir())
+            .expect("scratch dir")
+            .next()
+            .expect("one spill file")
+            .expect("dir entry")
+            .path();
+        let mut bytes = std::fs::read(&file).expect("read spill file");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&file, &bytes).expect("rewrite spill file");
+
+        let err = storage
+            .read_run(h)
+            .expect_err("corruption must be detected");
+        assert_eq!(err.reason(), "spill_corruption");
+    }
+
+    #[test]
+    fn truncated_raw_spill_file_reads_back_as_typed_corruption() {
+        let stats = Stats::new_shared();
+        let mut storage = FileRunStorage::new_raw(Arc::clone(&stats)).expect("tempdir");
+        let mut rows = random_rows(150, 34);
+        rows.sort();
+        let run = Run::from_sorted_rows(rows, 2);
+        let h = storage.write_run(run).expect("write");
+
+        // Simulate a torn write: the file loses its tail.
+        let file = std::fs::read_dir(storage.dir())
+            .expect("scratch dir")
+            .next()
+            .expect("one spill file")
+            .expect("dir entry")
+            .path();
+        let bytes = std::fs::read(&file).expect("read spill file");
+        std::fs::write(&file, &bytes[..bytes.len() / 2]).expect("truncate spill file");
+
+        let err = storage
+            .read_run(h)
+            .expect_err("torn write must be detected");
+        assert_eq!(err.reason(), "spill_corruption");
     }
 
     #[test]

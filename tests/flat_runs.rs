@@ -117,13 +117,13 @@ proptest! {
         prop_assert_eq!(truncated.flat(), run.flat());
         prop_assert_eq!(truncated.sort_spec(), run.sort_spec());
 
-        let raw = decode_run_raw(&encode_run_raw(&run));
+        let raw = decode_run_raw(&encode_run_raw(&run)).expect("clean frame decodes");
         prop_assert_eq!(raw.flat(), run.flat());
 
         let mut device = EncodedRunStorage::new(Arc::clone(&stats));
         use ovc_sort::RunStorage;
-        let handle = device.write_run(run.clone());
-        let back = device.read_run(handle);
+        let handle = device.write_run(run.clone()).expect("write");
+        let back = device.read_run(handle).expect("read");
         prop_assert_eq!(back.flat(), run.flat());
         prop_assert_eq!(stats.bytes_spilled(), stats.bytes_read_back());
     }

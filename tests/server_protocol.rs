@@ -27,6 +27,19 @@ use ovc_repro::server::{Client, QueryResult, Server, ServerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// The fault-injection test below arms the process-global fault
+/// registry; everything else must not run concurrently with it.  Plain
+/// tests share the gate with read locks (they still parallelize among
+/// themselves); the fault test takes the write lock.
+static FAULT_GATE: std::sync::RwLock<()> = std::sync::RwLock::new(());
+
+fn gate_read() -> std::sync::RwLockReadGuard<'static, ()> {
+    match FAULT_GATE.read() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
 const INTERSECT_WIRE: &str =
     r#"{"plan": {"set_op": {"left": {"scan": "t1"}, "right": {"scan": "t2"}, "op": "intersect"}}}"#;
 const GROUP_WIRE: &str = r#"{"plan": {"sort": {"input": {"group_by": {"input": {"scan": "heap"},
@@ -126,6 +139,7 @@ fn assert_served_matches(
 
 #[test]
 fn concurrent_clients_byte_identical_to_library() {
+    let _gate = gate_read();
     let cat = catalog(2_000);
     let (i_rows, i_codes, i_stats) = library_run(&cat, &intersect_query());
     let (g_rows, g_codes, g_stats) = library_run(&cat, &group_query());
@@ -201,6 +215,7 @@ fn concurrent_clients_byte_identical_to_library() {
 
 #[test]
 fn explain_and_analyze_over_the_wire() {
+    let _gate = gate_read();
     let cat = catalog(1_000);
     let config = planner_config();
     let expected_explain = Planner::new(&cat, config)
@@ -248,6 +263,7 @@ fn explain_and_analyze_over_the_wire() {
 
 #[test]
 fn table_registration_and_errors_over_the_wire() {
+    let _gate = gate_read();
     let server = Server::bind(ServerConfig::default(), Catalog::new()).expect("bind");
     let addr = server.local_addr();
     let handle = server.handle();
@@ -293,6 +309,7 @@ fn table_registration_and_errors_over_the_wire() {
 
 #[test]
 fn rate_limited_clients_lose_requests_never_results() {
+    let _gate = gate_read();
     let cat = catalog(500);
     let (i_rows, i_codes, i_stats) = library_run(&cat, &intersect_query());
     let server = Server::bind(
@@ -372,6 +389,7 @@ fn rate_limited_clients_lose_requests_never_results() {
 
 #[test]
 fn graceful_shutdown_drains_in_flight_queries() {
+    let _gate = gate_read();
     // Enough rows that a query streams for a while; tiny frames so
     // shutdown lands mid-stream with high probability.
     let cat = catalog(4_000);
@@ -454,6 +472,7 @@ fn graceful_shutdown_drains_in_flight_queries() {
 
 #[test]
 fn session_pool_bounds_concurrent_connections() {
+    let _gate = gate_read();
     let server = Server::bind(
         ServerConfig {
             max_sessions: 1,
@@ -500,4 +519,89 @@ fn session_pool_bounds_concurrent_connections() {
 
     handle.shutdown();
     runner.join().expect("runner").expect("run");
+}
+
+/// Shutdown while workers are being killed by injected panics: a
+/// response, once its header has gone out, always ends in a trailer or
+/// a typed error frame — never a truncated stream, and `Server::run`
+/// still drains and returns.
+#[test]
+fn shutdown_with_injected_worker_panics_never_truncates() {
+    // Exclusive: the fault registry is process-global.
+    let fault_gate = match FAULT_GATE.write() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    use ovc_repro::core::fault::{self, FaultConfig, FaultPoint};
+
+    let cat = catalog(2_000);
+    let (g_rows, g_codes, g_stats) = library_run(&cat, &group_query());
+    let server = Server::bind(
+        ServerConfig {
+            planner: planner_config(),
+            batch_rows: 32,
+            max_sessions: 16,
+            ..ServerConfig::default()
+        },
+        cat,
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    // Roughly a third of worker spawns die; queries race shutdown.
+    let _guard = fault::install(FaultConfig::new(0x005D_077A).with(FaultPoint::WorkerPanic, 300));
+
+    let completed = AtomicU64::new(0);
+    let panicked = AtomicU64::new(0);
+    let refused = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let (completed, panicked, refused) = (&completed, &panicked, &refused);
+            let (g_rows, g_codes, g_stats) = (&g_rows, &g_codes, &g_stats);
+            scope.spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => return,
+                };
+                loop {
+                    match client.query(GROUP_WIRE) {
+                        Ok(r) => {
+                            // A clean response is a WHOLE response, even
+                            // with panics landing all around it.
+                            assert_served_matches(&r, g_rows, g_codes, g_stats, "panic-storm");
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) if e.message.contains("[worker_panic]") => {
+                            // The contained panic arrived as a typed
+                            // error frame on an intact stream.
+                            panicked.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            assert!(
+                                !e.message.contains("without a trailer"),
+                                "truncated stream: {e}"
+                            );
+                            refused.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(150));
+        handle.shutdown();
+    });
+
+    runner.join().expect("runner").expect("run drains");
+    drop(_guard);
+    drop(fault_gate);
+    assert!(
+        panicked.load(Ordering::Relaxed) > 0,
+        "at 30% worker mortality some queries must have failed typed \
+         (completed {}, refused {})",
+        completed.load(Ordering::Relaxed),
+        refused.load(Ordering::Relaxed)
+    );
 }
