@@ -225,11 +225,13 @@ impl QueryCtx {
     /// at their next check and fail the query with
     /// [`ExecError::Cancelled`].
     pub fn cancel(&self) {
+        // ovc-lint: allow(relaxed-ordering-audit) -- monotonic one-way flag; observers only need eventual visibility, no data is published under it
         self.inner.cancelled.store(true, Ordering::Relaxed);
     }
 
     /// Whether [`QueryCtx::cancel`] has been called.
     pub fn is_cancelled(&self) -> bool {
+        // ovc-lint: allow(relaxed-ordering-audit) -- monotonic flag read on the per-row hot path; staleness only delays cancellation by one check
         self.inner.cancelled.load(Ordering::Relaxed)
     }
 
@@ -241,6 +243,7 @@ impl QueryCtx {
     /// Check cancellation and deadline.  One relaxed atomic load on the
     /// happy path; the clock is only consulted when a deadline exists.
     pub fn check(&self) -> Result<(), ExecError> {
+        // ovc-lint: allow(relaxed-ordering-audit) -- see is_cancelled: hot-path flag read, staleness delays the typed error by one check
         if self.inner.cancelled.load(Ordering::Relaxed) {
             return Err(ExecError::Cancelled);
         }
@@ -269,6 +272,7 @@ impl QueryCtx {
         let total = self
             .inner
             .spilled_bytes
+            // ovc-lint: allow(relaxed-ordering-audit) -- monotonic byte counter; the budget check reads the fetch_add return value, which is exact
             .fetch_add(bytes, Ordering::Relaxed)
             .saturating_add(bytes);
         if let Some(budget) = self.inner.spill_budget_bytes {
@@ -284,6 +288,7 @@ impl QueryCtx {
 
     /// Total bytes charged so far via [`QueryCtx::charge_spill`].
     pub fn spilled_bytes(&self) -> u64 {
+        // ovc-lint: allow(relaxed-ordering-audit) -- monotonic counter read for reporting, same contract as the stats counters
         self.inner.spilled_bytes.load(Ordering::Relaxed)
     }
 }

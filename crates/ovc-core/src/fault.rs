@@ -178,6 +178,7 @@ pub fn clear() {
 
 /// Whether a fault plan is currently installed.
 pub fn enabled() -> bool {
+    // ovc-lint: allow(relaxed-ordering-audit) -- test-only toggle; install/clear use Release and the registry mutex is the real fence
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -200,6 +201,7 @@ fn splitmix64(mut x: u64) -> u64 {
 /// Probe `point`: true when the installed plan says this occurrence
 /// fires.  One relaxed atomic load when nothing is installed.
 pub fn should_fire(point: FaultPoint) -> bool {
+    // ovc-lint: allow(relaxed-ordering-audit) -- zero-cost disabled probe; a stale read skips at most one fault occurrence, and plans are installed before threads start
     if !ENABLED.load(Ordering::Relaxed) {
         return false;
     }

@@ -1,0 +1,50 @@
+//! The built-in allowlists.
+//!
+//! Allowlists are deliberately *in the binary*, not in a config file:
+//! widening one is a reviewed code change to the lint itself, with the
+//! justification in the table below.  Point exemptions inside
+//! non-allowlisted files use inline suppressions instead
+//! (`// ovc-lint: allow(rule) -- reason`), which the report records.
+
+/// Rule configuration: per-rule file allowlists.  Paths are matched by
+/// suffix against the repo-relative path, so absolute walk roots work
+/// too.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Files where `Ordering::Relaxed` is the *point* — monotonic
+    /// counter/gauge modules whose reads are statistical by contract.
+    pub relaxed_allowed_files: Vec<String>,
+    /// Files exempt from the bounded-channel rule (none today; the one
+    /// deliberate unbounded edge carries an inline suppression where
+    /// the reasoning lives, DESIGN.md §12).
+    pub channel_allowed_files: Vec<String>,
+    /// Files exempt from the contained-spawn rule (none today).
+    pub spawn_allowed_files: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            relaxed_allowed_files: vec![
+                // Comparison/spill counters: monotonically increasing,
+                // read for reporting; torn totals are impossible and
+                // ordering between counters is never relied on.
+                "crates/ovc-core/src/stats.rs".into(),
+                // EXPLAIN ANALYZE gauges: peak-depth/wait accounting is
+                // explicitly drift-tolerant (DESIGN.md §11).
+                "crates/ovc-core/src/metrics.rs".into(),
+                // Prometheus service counters: same contract.
+                "crates/ovc-server/src/metrics.rs".into(),
+            ],
+            channel_allowed_files: vec![],
+            spawn_allowed_files: vec![],
+        }
+    }
+}
+
+impl Config {
+    /// Does `list` exempt `path`?  Suffix match on `/`-separated paths.
+    pub fn allows(&self, list: &[String], path: &str) -> bool {
+        list.iter().any(|allowed| path.ends_with(allowed.as_str()))
+    }
+}

@@ -1,0 +1,336 @@
+//! A comment-, string-, and raw-string-aware line lexer for Rust
+//! source.
+//!
+//! The rule engine works on *stripped* lines: comments removed, string
+//! and char literal bodies replaced by placeholders, so a `.unwrap()`
+//! inside a doc comment or an error message can never trip a rule.
+//! Comments are kept separately per line because suppressions
+//! (`// ovc-lint: allow(rule) -- reason`) live in them.
+//!
+//! This is deliberately *not* a parser: no syn, no token tree, no AST
+//! (the workspace builds without crates.io access, and the lint must
+//! never be broken by the code it lints).  The rules that need more
+//! than a line — `#[cfg(test)]` regions, `fn` bodies, statement
+//! boundaries — get it from brace counting over the stripped text (see
+//! [`crate::scope`]).
+
+/// One physical source line after lexing.
+#[derive(Clone, Debug, Default)]
+pub struct LexLine {
+    /// The line's code with comments removed and literal bodies
+    /// replaced: non-empty string literals become `"m"`, empty ones
+    /// stay `""`, char literals become `'c'`.  Multi-line literals
+    /// and block comments contribute only to the line they start on.
+    pub code: String,
+    /// Comment text on this line (`//`, `///`, `//!`, and `/* */`
+    /// bodies), one entry per comment, markers stripped.
+    pub comments: Vec<String>,
+}
+
+/// Lex `src` into per-line stripped code plus extracted comments.
+pub fn lex(src: &str) -> Vec<LexLine> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines: Vec<LexLine> = vec![LexLine::default()];
+    let mut i = 0;
+
+    // Push a newline boundary.
+    macro_rules! newline {
+        () => {
+            lines.push(LexLine::default())
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                newline!();
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment (incl. doc comments).  Collect to EOL.
+                let mut j = i + 2;
+                while chars.get(j) == Some(&'/') || chars.get(j) == Some(&'!') {
+                    j += 1;
+                }
+                let start = j;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let line = lines.last_mut().expect("at least one line");
+                line.comments.push(text.trim().to_string());
+                line.code.push(' ');
+                i = j;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                let start_line = lines.len() - 1;
+                let mut text = String::new();
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if chars[j] == '\n' {
+                            newline!();
+                        }
+                        text.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                lines[start_line].comments.push(text.trim().to_string());
+                lines[start_line].code.push(' ');
+                i = j;
+            }
+            '"' => {
+                i = consume_string(&chars, i, &mut lines);
+            }
+            'r' if is_raw_string_start(&chars, i) => {
+                i = consume_raw_string(&chars, i + 1, &mut lines);
+            }
+            'b' if chars.get(i + 1) == Some(&'"') => {
+                i = consume_string(&chars, i + 1, &mut lines);
+            }
+            'b' if chars.get(i + 1) == Some(&'r') && raw_start_at(&chars, i + 2) => {
+                i = consume_raw_string(&chars, i + 2, &mut lines);
+            }
+            'b' if chars.get(i + 1) == Some(&'\'') => {
+                // Byte char literal b'x' / b'\n'.
+                lines.last_mut().expect("line").code.push_str("'c'");
+                i = skip_char_literal(&chars, i + 1);
+            }
+            '\'' => {
+                // Char literal vs lifetime/label.  A char literal is
+                // `'\...'` or `'x'`; anything else (`'a` in `<'a>`,
+                // `'outer:`) is a lifetime and stays in the code.
+                let is_char = match chars.get(i + 1) {
+                    Some('\\') => true,
+                    Some(_) => chars.get(i + 2) == Some(&'\''),
+                    None => false,
+                };
+                if is_char {
+                    lines.last_mut().expect("line").code.push_str("'c'");
+                    i = skip_char_literal(&chars, i);
+                } else {
+                    lines.last_mut().expect("line").code.push(c);
+                    i += 1;
+                }
+            }
+            _ => {
+                lines.last_mut().expect("line").code.push(c);
+                i += 1;
+            }
+        }
+    }
+    lines
+}
+
+/// Does a raw string (`r"` or `r#...#"`) start at `chars[i]` (which is
+/// `'r'`)?  The previous character must not be part of an identifier,
+/// so `attr`/`for`/`super` never trigger.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    raw_start_at(chars, i + 1)
+}
+
+/// Do the hashes-then-quote of a raw string begin at `chars[i]`?
+fn raw_start_at(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Consume a plain (possibly multi-line) string literal starting at the
+/// opening quote `chars[i]`; returns the index after the closing quote.
+/// Emits `""` or `"m"` on the line the literal starts on.
+fn consume_string(chars: &[char], i: usize, lines: &mut Vec<LexLine>) -> usize {
+    let start_line = lines.len() - 1;
+    let mut j = i + 1;
+    let mut empty = true;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => {
+                empty = false;
+                j += 2;
+            }
+            '"' => {
+                j += 1;
+                break;
+            }
+            '\n' => {
+                empty = false;
+                lines.push(LexLine::default());
+                j += 1;
+            }
+            _ => {
+                empty = false;
+                j += 1;
+            }
+        }
+    }
+    lines[start_line]
+        .code
+        .push_str(if empty { "\"\"" } else { "\"m\"" });
+    j
+}
+
+/// Consume a raw string whose hashes begin at `chars[i]` (`i` points at
+/// the first `#` or the opening quote); returns the index after the
+/// closing delimiter.
+fn consume_raw_string(chars: &[char], i: usize, lines: &mut Vec<LexLine>) -> usize {
+    let start_line = lines.len() - 1;
+    let mut hashes = 0usize;
+    let mut j = i;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(chars.get(j), Some(&'"'));
+    j += 1; // past the opening quote
+    let mut empty = true;
+    'scan: while j < chars.len() {
+        if chars[j] == '"' {
+            // Candidate close: need `hashes` following '#'s.
+            let mut k = 0;
+            while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                j += 1 + hashes;
+                break 'scan;
+            }
+        }
+        if chars[j] == '\n' {
+            lines.push(LexLine::default());
+        }
+        empty = false;
+        j += 1;
+    }
+    lines[start_line]
+        .code
+        .push_str(if empty { "\"\"" } else { "\"m\"" });
+    j
+}
+
+/// Skip a char literal starting at the opening `'` at `chars[i]`;
+/// returns the index after the closing quote.
+fn skip_char_literal(chars: &[char], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Is the byte at `pos` in `code` a word-boundary occurrence of `word`
+/// (no identifier character on either side)?
+pub fn word_at(code: &str, pos: usize, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    if pos > 0 {
+        let prev = bytes[pos - 1] as char;
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let end = pos + word.len();
+    if end < bytes.len() {
+        let next = bytes[end] as char;
+        if next.is_alphanumeric() || next == '_' {
+            return false;
+        }
+    }
+    true
+}
+
+/// All word-boundary occurrences of `word` in `code` (byte offsets).
+pub fn find_word(code: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(word) {
+        let pos = from + rel;
+        if word_at(code, pos, word) {
+            out.push(pos);
+        }
+        from = pos + word.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn comments_are_stripped_and_collected() {
+        let lines = lex("let x = 1; // trailing .unwrap()\n/// doc .unwrap()\nlet y = 2;");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert_eq!(lines[0].comments, vec!["trailing .unwrap()"]);
+        assert!(!lines[1].code.contains("unwrap"));
+        assert_eq!(lines[1].comments, vec!["doc .unwrap()"]);
+        assert_eq!(lines[2].code, "let y = 2;");
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = lex("a /* x /* y */ z\nstill comment */ b");
+        assert_eq!(lines[0].code.trim(), "a");
+        assert_eq!(lines[1].code.trim(), "b");
+        assert!(lines[0].comments[0].contains("still comment"));
+    }
+
+    #[test]
+    fn string_bodies_are_blanked_but_emptiness_survives() {
+        let lines = codes(r#"x.expect("msg"); y.expect(""); z("has .unwrap() inside");"#);
+        assert_eq!(
+            lines[0],
+            r#"x.expect("m"); y.expect(""); z("m");"#.to_string()
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let lines = codes("let s = r#\"raw .unwrap() \"# ; let t = \"esc \\\" quote\";");
+        assert_eq!(lines[0], "let s = \"m\" ; let t = \"m\";");
+        let multi = codes("let s = r\"line1\nline2\"; after();");
+        assert_eq!(multi[0], "let s = \"m\"");
+        assert_eq!(multi[1], "; after();");
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let lines = codes("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            lines[0],
+            "fn f<'a>(x: &'a str) { let c = 'c'; let n = 'c'; }"
+        );
+    }
+
+    #[test]
+    fn word_boundaries() {
+        let code = "sync_channel(4); mpsc::channel(); my_channel();";
+        let hits = find_word(code, "channel");
+        assert_eq!(hits.len(), 1);
+        assert!(code[hits[0]..].starts_with("channel()"));
+    }
+}

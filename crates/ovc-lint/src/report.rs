@@ -1,0 +1,526 @@
+//! Machine-readable lint reports: `LINT_ovc.json`.
+//!
+//! Same design as the `BENCH_*.json` layer in `ovc-bench::snapshot`
+//! (this workspace builds without crates.io, so no serde): a [`Json`]
+//! value type with a writer *and* a parser, the [`LintReport`] builder,
+//! and [`validate_report`] — the schema check CI runs against the
+//! emitted file.  The module is duplicated rather than imported so the
+//! lint stays dependency-free: a broken engine crate must never take
+//! the linter down with it.
+//!
+//! ## Report schema (`schema_version` 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "name": "ovc-lint",
+//!   "root": "/path/to/workspace",
+//!   "rules": [ { "id": "no-unwrap-expect", "description": "..." } ],
+//!   "summary": { "files_scanned": 90, "findings": 0, "suppressions": 14 },
+//!   "findings": [
+//!     { "rule": "bounded-channels-only", "file": "crates/x/src/a.rs",
+//!       "line": 12, "snippet": "let (tx, rx) = mpsc::channel();",
+//!       "message": "unbounded mpsc::channel() ..." }
+//!   ],
+//!   "suppressions": [
+//!     { "rules": ["relaxed-ordering-audit"], "file": "crates/x/src/b.rs",
+//!       "line": 30, "reason": "monotonic cancel flag ..." }
+//!   ]
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::rules::{Finding, Suppression, RULES};
+
+/// A JSON value.  Object member order is preserved (insertion order),
+/// which keeps emitted reports diffable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, members in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects (`None` otherwise).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                let pad = "  ".repeat(depth + 1);
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    v.write_pretty(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&"  ".repeat(depth));
+                out.push(']');
+            }
+            Json::Obj(members) if members.is_empty() => out.push_str("{}"),
+            Json::Obj(members) => {
+                let pad = "  ".repeat(depth + 1);
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    out.push_str(&pad);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                    out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&"  ".repeat(depth));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_token(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{token}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect_token(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect_token(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect_token(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect_token(bytes, pos, ":")?;
+                members.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = bytes
+                    .get(*pos)
+                    .ok_or_else(|| "unterminated escape".to_string())?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        *pos += 4;
+                        out.push(char::from_u32(cp).ok_or("invalid \\u escape")?);
+                    }
+                    other => return Err(format!("unknown escape `\\{}`", *other as char)),
+                }
+            }
+            Some(_) => {
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let Some(c) = rest.chars().next() else {
+                    return Err("truncated string".into());
+                };
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|e| e.to_string())?
+        .parse()
+        .map_err(|_| format!("invalid number at byte {start}"))
+}
+
+/// Version stamped into every report; bump when the shape changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A full lint run, ready to serialize.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    /// Workspace root the walk started from.
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings, ordered by (file, line).
+    pub findings: Vec<Finding>,
+    /// Honored suppressions, ordered by (file, line).
+    pub suppressions: Vec<Suppression>,
+}
+
+impl LintReport {
+    /// The report as a [`Json`] document (schema in the module docs).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Num(SCHEMA_VERSION as f64)),
+            ("name".into(), Json::Str("ovc-lint".into())),
+            ("root".into(), Json::Str(self.root.clone())),
+            (
+                "rules".into(),
+                Json::Arr(
+                    RULES
+                        .iter()
+                        .map(|(id, desc)| {
+                            Json::Obj(vec![
+                                ("id".into(), Json::Str((*id).into())),
+                                ("description".into(), Json::Str((*desc).into())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "summary".into(),
+                Json::Obj(vec![
+                    ("files_scanned".into(), Json::Num(self.files_scanned as f64)),
+                    ("findings".into(), Json::Num(self.findings.len() as f64)),
+                    (
+                        "suppressions".into(),
+                        Json::Num(self.suppressions.len() as f64),
+                    ),
+                ]),
+            ),
+            (
+                "findings".into(),
+                Json::Arr(
+                    self.findings
+                        .iter()
+                        .map(|f| {
+                            Json::Obj(vec![
+                                ("rule".into(), Json::Str(f.rule.into())),
+                                ("file".into(), Json::Str(f.file.clone())),
+                                ("line".into(), Json::Num(f.line as f64)),
+                                ("snippet".into(), Json::Str(f.snippet.clone())),
+                                ("message".into(), Json::Str(f.message.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "suppressions".into(),
+                Json::Arr(
+                    self.suppressions
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                (
+                                    "rules".into(),
+                                    Json::Arr(
+                                        s.rules.iter().map(|r| Json::Str(r.clone())).collect(),
+                                    ),
+                                ),
+                                ("file".into(), Json::Str(s.file.clone())),
+                                ("line".into(), Json::Num(s.line as f64)),
+                                ("reason".into(), Json::Str(s.reason.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Validate a parsed report against the documented schema.  Returns
+/// the first violation found.
+pub fn validate_report(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric `schema_version`")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    match doc.get("name").and_then(Json::as_str) {
+        Some("ovc-lint") => {}
+        _ => return Err("`name` must be \"ovc-lint\"".into()),
+    }
+    doc.get("root")
+        .and_then(Json::as_str)
+        .ok_or("missing string `root`")?;
+    let rules = doc
+        .get("rules")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `rules`")?;
+    let mut known: Vec<&str> = Vec::new();
+    for (i, rule) in rules.iter().enumerate() {
+        let id = rule
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or(format!("rules[{i}]: missing string `id`"))?;
+        rule.get("description")
+            .and_then(Json::as_str)
+            .ok_or(format!("rules[{i}]: missing string `description`"))?;
+        known.push(id);
+    }
+    let summary = doc.get("summary").ok_or("missing `summary`")?;
+    for key in ["files_scanned", "findings", "suppressions"] {
+        summary
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or(format!("summary: missing numeric `{key}`"))?;
+    }
+    let findings = doc
+        .get("findings")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `findings`")?;
+    if summary.get("findings").and_then(Json::as_num) != Some(findings.len() as f64) {
+        return Err("summary.findings disagrees with the findings array".into());
+    }
+    for (i, f) in findings.iter().enumerate() {
+        let rule = f
+            .get("rule")
+            .and_then(Json::as_str)
+            .ok_or(format!("findings[{i}]: missing string `rule`"))?;
+        if !known.contains(&rule) {
+            return Err(format!("findings[{i}]: unknown rule `{rule}`"));
+        }
+        f.get("file")
+            .and_then(Json::as_str)
+            .ok_or(format!("findings[{i}]: missing string `file`"))?;
+        f.get("line")
+            .and_then(Json::as_num)
+            .filter(|n| *n >= 1.0)
+            .ok_or(format!("findings[{i}]: missing 1-based `line`"))?;
+        f.get("snippet")
+            .and_then(Json::as_str)
+            .ok_or(format!("findings[{i}]: missing string `snippet`"))?;
+        f.get("message")
+            .and_then(Json::as_str)
+            .ok_or(format!("findings[{i}]: missing string `message`"))?;
+    }
+    let sups = doc
+        .get("suppressions")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `suppressions`")?;
+    if summary.get("suppressions").and_then(Json::as_num) != Some(sups.len() as f64) {
+        return Err("summary.suppressions disagrees with the suppressions array".into());
+    }
+    for (i, s) in sups.iter().enumerate() {
+        let rules = s
+            .get("rules")
+            .and_then(Json::as_arr)
+            .ok_or(format!("suppressions[{i}]: missing array `rules`"))?;
+        for r in rules {
+            let r = r
+                .as_str()
+                .ok_or(format!("suppressions[{i}]: non-string rule"))?;
+            if !known.contains(&r) {
+                return Err(format!("suppressions[{i}]: unknown rule `{r}`"));
+            }
+        }
+        s.get("file")
+            .and_then(Json::as_str)
+            .ok_or(format!("suppressions[{i}]: missing string `file`"))?;
+        s.get("line")
+            .and_then(Json::as_num)
+            .filter(|n| *n >= 1.0)
+            .ok_or(format!("suppressions[{i}]: missing 1-based `line`"))?;
+        let reason = s
+            .get("reason")
+            .and_then(Json::as_str)
+            .ok_or(format!("suppressions[{i}]: missing string `reason`"))?;
+        if reason.trim().is_empty() {
+            return Err(format!("suppressions[{i}]: empty reason"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let doc = Json::Obj(vec![
+            ("s".into(), Json::Str("a \"quoted\"\nline\t\\".into())),
+            (
+                "a".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-3.0)]),
+            ),
+            ("b".into(), Json::Bool(true)),
+            ("n".into(), Json::Null),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        let text = doc.to_pretty();
+        assert_eq!(Json::parse(&text).expect("round trip"), doc);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+    }
+}

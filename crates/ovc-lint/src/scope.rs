@@ -1,0 +1,228 @@
+//! Brace-level context over stripped lines: `#[cfg(test)]` regions,
+//! `fn` body spans, and statement grouping.
+//!
+//! Everything here runs on [`crate::lexer::LexLine::code`] — comments
+//! and literal bodies are already gone, so `{` / `}` counting is safe.
+
+use crate::lexer::LexLine;
+
+/// Per-line context flags.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LineCtx {
+    /// Inside (or on) a `#[cfg(test)]` item — test code.
+    pub test: bool,
+    /// Brace depth at the start of the line.
+    pub depth: u32,
+}
+
+/// Compute [`LineCtx`] for every line.
+///
+/// A `#[cfg(test)]` attribute marks the next item: if that item opens a
+/// brace block (`mod tests { .. }`, a gated `fn`/`impl`), every line
+/// until the matching close is test code; a braceless gated item
+/// (`#[cfg(test)] use ..;`) marks just its own line.
+pub fn contexts(lines: &[LexLine]) -> Vec<LineCtx> {
+    let mut out = Vec::with_capacity(lines.len());
+    let mut depth: u32 = 0;
+    // Depths at which an open test region began.
+    let mut test_regions: Vec<u32> = Vec::new();
+    let mut pending_cfg_test = false;
+    for line in lines {
+        let code = line.code.as_str();
+        let trimmed = code.trim();
+        let mut ctx = LineCtx {
+            test: !test_regions.is_empty(),
+            depth,
+        };
+        if trimmed.starts_with("#[") && trimmed.contains("cfg(test)") {
+            pending_cfg_test = true;
+        }
+        if pending_cfg_test && !trimmed.is_empty() {
+            ctx.test = true;
+            if let Some(open) = code.find('{') {
+                // The gated item opens a block: the region lives until
+                // depth returns to the depth *before* that `{`.
+                let (o, c) = braces(&code[..open]);
+                test_regions.push((depth + o).saturating_sub(c));
+                pending_cfg_test = false;
+            } else if trimmed.ends_with(';') {
+                pending_cfg_test = false; // braceless item: this line only
+            }
+            // Otherwise: a pure attribute line or a continuing item
+            // header — the gate stays pending.
+        }
+        let (opens, closes) = braces(code);
+        depth = (depth + opens).saturating_sub(closes);
+        // Close any test regions whose opening depth we have returned to.
+        while let Some(&open_depth) = test_regions.last() {
+            if depth <= open_depth {
+                test_regions.pop();
+            } else {
+                break;
+            }
+        }
+        out.push(ctx);
+    }
+    out
+}
+
+fn braces(code: &str) -> (u32, u32) {
+    let mut opens = 0;
+    let mut closes = 0;
+    for c in code.chars() {
+        match c {
+            '{' => opens += 1,
+            '}' => closes += 1,
+            _ => {}
+        }
+    }
+    (opens, closes)
+}
+
+/// A `fn` body: line indices of the header and the inclusive body span.
+#[derive(Clone, Copy, Debug)]
+pub struct FnSpan {
+    /// Line of the `fn` keyword.
+    pub header: usize,
+    /// First line of the span (the header line).
+    pub start: usize,
+    /// Last line of the body (the line with the closing brace).
+    pub end: usize,
+}
+
+/// Find `fn` body spans by scanning for the `fn` keyword and tracking
+/// braces to the matching close.  Trait signatures without bodies
+/// (`fn f();`) are skipped.  Nested fns/closures are contained in
+/// their parent's span and also reported on their own.
+pub fn fn_spans(lines: &[LexLine]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        for pos in crate::lexer::find_word(&line.code, "fn") {
+            // `fn` must be followed by whitespace + an identifier
+            // (excludes `fn(` pointer types).
+            let after = line.code[pos + 2..].trim_start();
+            let is_item = after
+                .chars()
+                .next()
+                .map(|c| c.is_alphabetic() || c == '_')
+                .unwrap_or(false);
+            if !is_item {
+                continue;
+            }
+            if let Some((start, end)) = body_span(lines, i, pos) {
+                spans.push(FnSpan {
+                    header: i,
+                    start,
+                    end,
+                });
+            }
+        }
+    }
+    spans
+}
+
+/// From the `fn` keyword at `lines[header]` byte `pos`, find the body's
+/// `{ .. }` span in lines, or `None` for a bodyless signature.
+fn body_span(lines: &[LexLine], header: usize, pos: usize) -> Option<(usize, usize)> {
+    let mut depth: i64 = 0;
+    let mut seen_open = false;
+    let mut paren: i64 = 0;
+    for (i, line) in lines.iter().enumerate().skip(header) {
+        let code: &str = if i == header {
+            &line.code[pos..]
+        } else {
+            &line.code
+        };
+        for c in code.chars() {
+            match c {
+                '(' => paren += 1,
+                ')' => paren -= 1,
+                ';' if !seen_open && paren <= 0 => return None, // `fn f();`
+                '{' => {
+                    seen_open = true;
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if seen_open && depth == 0 {
+                        return Some((header, i));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if i > header + 200 && !seen_open {
+            return None; // runaway header — bail out
+        }
+    }
+    None
+}
+
+/// The statement containing line `i`: walks back to the nearest line
+/// whose predecessor ends a statement (`;`, `{`, `}`, attribute `]`) and
+/// forward to the first line ending one, and returns the joined
+/// stripped text plus the inclusive line range.
+pub fn statement(lines: &[LexLine], i: usize) -> (String, usize, usize) {
+    let ends_stmt = |code: &str| {
+        let t = code.trim_end();
+        t.ends_with(';') || t.ends_with('{') || t.ends_with('}') || t.ends_with(']') || t.is_empty()
+    };
+    let mut start = i;
+    while start > 0 && !ends_stmt(&lines[start - 1].code) {
+        start -= 1;
+    }
+    let mut end = i;
+    while end + 1 < lines.len() && !ends_stmt(&lines[end].code) {
+        end += 1;
+    }
+    let text = lines[start..=end]
+        .iter()
+        .map(|l| l.code.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+    (text, start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_mod_region() {
+        let src =
+            "pub fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn after() {}\n";
+        let lines = lex(src);
+        let ctx = contexts(&lines);
+        assert!(!ctx[0].test);
+        assert!(ctx[1].test, "the attribute line itself");
+        assert!(ctx[2].test && ctx[3].test && ctx[4].test);
+        assert!(!ctx[5].test, "code after the region is live again");
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_marks_one_line() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let ctx = contexts(&lex(src));
+        assert!(ctx[1].test);
+        assert!(!ctx[2].test);
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "fn a() {\n    one();\n}\nfn sig();\nfn b() { two(); }\n";
+        let spans = fn_spans(&lex(src));
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].start, spans[0].end), (0, 2));
+        assert_eq!((spans[1].start, spans[1].end), (4, 4));
+    }
+
+    #[test]
+    fn statement_spans_multiline_asserts() {
+        let src = "x();\nassert_eq!(\n    a.b(),\n    0\n);\ny();\n";
+        let lines = lex(src);
+        let (text, start, end) = statement(&lines, 2);
+        assert!(text.contains("assert_eq!"));
+        assert_eq!((start, end), (1, 4));
+    }
+}

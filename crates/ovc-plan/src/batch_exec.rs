@@ -613,6 +613,7 @@ impl<'env> BCx<'_, 'env> {
                     let mut txs = Vec::with_capacity(parts);
                     let mut streams: Vec<PartStream> = Vec::with_capacity(parts);
                     for p in 0..parts {
+                        // ovc-lint: allow(bounded-channels-only) -- deliberate unbounded split→worker edge: in-flight data is bounded by the producer's input, matching the row executor's materialization bound (DESIGN.md §12); a sync_channel here can deadlock the single splitter against uneven partition drain (§4.10)
                         let (tx, rx) = mpsc::channel::<BatchFrame>();
                         txs.push(tx);
                         streams.push(Box::new(BatchChannelStream::new(

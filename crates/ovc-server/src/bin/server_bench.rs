@@ -87,6 +87,7 @@ fn main() {
     let server = Server::bind(config, catalog).expect("bind");
     let addr = server.local_addr();
     let handle = server.handle();
+    // ovc-lint: allow(contained-spawn) -- bench driver: a server panic should crash the run loudly, not be contained into a result
     let runner = std::thread::spawn(move || server.run());
 
     let wire_queries = [
@@ -127,6 +128,7 @@ fn main() {
             let start = Instant::now();
             std::thread::scope(|scope| {
                 for _ in 0..clients {
+                    // ovc-lint: allow(contained-spawn) -- bench client: a failed query must abort the measurement, not be contained
                     scope.spawn(|| {
                         let mut client = Client::connect(addr).expect("connect");
                         for _ in 0..QUERIES_PER_CLIENT {

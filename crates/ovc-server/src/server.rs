@@ -127,6 +127,7 @@ impl ServerState {
     fn next_request_id(&self) -> String {
         format!(
             "req-{}",
+            // ovc-lint: allow(relaxed-ordering-audit) -- monotonic id counter; uniqueness needs atomicity, not ordering
             self.request_counter.fetch_add(1, Ordering::Relaxed)
         )
     }
@@ -206,6 +207,7 @@ impl Server {
                 Err(_) => continue,
             };
             sessions.retain(|h| !h.is_finished());
+            // ovc-lint: allow(relaxed-ordering-audit) -- admission gauge: the acceptor is the only incrementer, so the bound cannot be overshot; a dying session's decrement arriving late only under-admits
             let active = self.state.metrics.active_sessions.load(Ordering::Relaxed);
             if active as usize >= self.state.config.max_sessions {
                 ServerMetrics::inc(&self.state.metrics.sessions_rejected_total);
@@ -224,7 +226,12 @@ impl Server {
             let state = Arc::clone(&self.state);
             sessions.push(std::thread::spawn(move || {
                 let _guard = SessionGuard(&state.metrics.active_sessions);
-                session_loop(&state, stream);
+                // Contain session panics to a typed error: one broken
+                // connection must never take the acceptor (or the
+                // session slot accounting) down with it.
+                if let Err(err) = ovc_core::ctx::contain(|| session_loop(&state, stream)) {
+                    eprintln!("ovc-server: session aborted: {err}");
+                }
             }));
         }
         for h in sessions {
@@ -240,6 +247,7 @@ struct SessionGuard<'a>(&'a AtomicU64);
 
 impl Drop for SessionGuard<'_> {
     fn drop(&mut self) {
+        // ovc-lint: allow(relaxed-ordering-audit) -- gauge decrement; see the admission-site note
         self.0.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -339,7 +347,9 @@ fn handle_request(
             let body = format!(
                 "{{\"status\":\"ok\",\"active_sessions\":{},\"in_flight_queries\":{},\
                  \"shutting_down\":{}}}\n",
+                // ovc-lint: allow(relaxed-ordering-audit) -- statistical health snapshot; momentary drift is fine
                 state.metrics.active_sessions.load(Ordering::Relaxed),
+                // ovc-lint: allow(relaxed-ordering-audit) -- statistical health snapshot; momentary drift is fine
                 state.in_flight_queries.load(Ordering::Relaxed),
                 state.is_shutting_down()
             );

@@ -196,7 +196,9 @@ impl<I: Iterator<Item = Row>> Selector<I> {
             return None;
         }
         let w = self.winner;
-        let out_row = self.slots[w.slot as usize].take().expect("winner row");
+        let out_row = self.slots[w.slot as usize]
+            .take()
+            .expect("a non-fence winner always points at an occupied slot");
         let out_id = w.id;
 
         // Refill the slot: the run-assignment comparison against the row

@@ -86,7 +86,12 @@ impl<S: OvcStream> SegmentedSort<S> {
             if !within {
                 break;
             }
-            rows.push(self.input.next().expect("peeked").row);
+            rows.push(
+                self.input
+                    .next()
+                    .expect("peek just returned Some, so next() cannot be exhausted")
+                    .row,
+            );
         }
 
         // Sort the segment on the suffix columns only; the shared

@@ -205,7 +205,11 @@ fn push_u64(out: &mut Vec<u8>, v: u64) {
 
 #[inline]
 fn read_u64(bytes: &[u8], pos: &mut usize) -> u64 {
-    let v = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().expect("8 bytes"));
+    let v = u64::from_le_bytes(
+        bytes[*pos..*pos + 8]
+            .try_into()
+            .expect("an 8-byte slice always converts to [u8; 8]"),
+    );
     *pos += 8;
     v
 }
